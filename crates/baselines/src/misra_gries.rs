@@ -1,0 +1,305 @@
+//! The Misra–Gries edge-coloring algorithm (constructive Vizing).
+//!
+//! Colors any simple graph with at most `Δ+1` colors in polynomial time
+//! via fan rotations and `cd`-path inversions (J. Misra and D. Gries,
+//! *A constructive proof of Vizing's theorem*, IPL 1992). This is the
+//! quality yardstick for Conjecture 2: DiMaEC claims `Δ` or `Δ+1` colors
+//! "in the typical run", i.e. matching this centralised optimum-±1.
+//!
+//! Implementation notes: the palette is fixed to `Δ+1` colors; every
+//! vertex of degree `d ≤ Δ` therefore always has a free color. A *fan*
+//! `F = [f₀, …, f_k]` of `u` is a sequence of distinct neighbors such
+//! that `(u, f₀)` is uncolored and each `(u, f_{i+1})` is colored with a
+//! color free at `f_i`. Rotating the fan shifts each color one step
+//! toward `f₀`, freeing the edge to the fan's last vertex.
+
+use dima_core::palette::{Color, ColorSet};
+use dima_graph::{EdgeId, Graph, VertexId};
+
+/// State for one run.
+struct Mg<'g> {
+    g: &'g Graph,
+    colors: Vec<Option<Color>>,
+    /// Colors used at each vertex.
+    used: Vec<ColorSet>,
+    /// Palette size `Δ+1`.
+    palette: u32,
+}
+
+impl Mg<'_> {
+    fn free_color(&self, v: VertexId) -> Color {
+        let c = self.used[v.index()].first_absent();
+        debug_assert!(c.0 < self.palette, "vertex {v} has no free color in the Δ+1 palette");
+        c
+    }
+
+    fn is_free(&self, v: VertexId, c: Color) -> bool {
+        !self.used[v.index()].contains(c)
+    }
+
+    fn set_color(&mut self, e: EdgeId, c: Color) {
+        let (u, v) = self.g.endpoints(e);
+        if let Some(old) = self.colors[e.index()] {
+            self.used[u.index()].remove(old);
+            self.used[v.index()].remove(old);
+        }
+        self.colors[e.index()] = Some(c);
+        self.used[u.index()].insert(c);
+        self.used[v.index()].insert(c);
+    }
+
+    /// The edge at `v` colored `c`, if any.
+    fn edge_with_color(&self, v: VertexId, c: Color) -> Option<EdgeId> {
+        self.g
+            .neighbors(v)
+            .iter()
+            .map(|&(_, e)| e)
+            .find(|&e| self.colors[e.index()] == Some(c))
+    }
+
+    /// Build a maximal fan of `u` starting at `f0`.
+    fn build_fan(&self, u: VertexId, f0: VertexId) -> Vec<VertexId> {
+        let mut fan = vec![f0];
+        let mut in_fan = vec![false; self.g.num_vertices()];
+        in_fan[f0.index()] = true;
+        loop {
+            let last = *fan.last().unwrap();
+            let next = self.g.neighbors(u).iter().find(|&&(w, e)| {
+                !in_fan[w.index()]
+                    && self.colors[e.index()].is_some_and(|c| self.is_free(last, c))
+            });
+            match next {
+                Some(&(w, _)) => {
+                    in_fan[w.index()] = true;
+                    fan.push(w);
+                }
+                None => return fan,
+            }
+        }
+    }
+
+    /// Check the fan property of `u, fan` under the *current* colors.
+    fn is_fan(&self, u: VertexId, fan: &[VertexId]) -> bool {
+        if fan.is_empty() {
+            return false;
+        }
+        let first = self.g.edge_between(u, fan[0]).expect("fan members are neighbors");
+        if self.colors[first.index()].is_some() {
+            return false;
+        }
+        for i in 0..fan.len() - 1 {
+            let e = self.g.edge_between(u, fan[i + 1]).expect("fan members are neighbors");
+            match self.colors[e.index()] {
+                Some(c) if self.is_free(fan[i], c) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Invert the maximal path starting at `u` whose edges alternate
+    /// colors `d, c, d, …`.
+    fn invert_cd_path(&mut self, u: VertexId, c: Color, d: Color) {
+        if c == d {
+            return;
+        }
+        // Walk the path, collecting edges.
+        let mut path: Vec<EdgeId> = Vec::new();
+        let mut at = u;
+        let mut want = d;
+        let mut prev_edge: Option<EdgeId> = None;
+        while let Some(e) = self.edge_with_color(at, want) {
+            if Some(e) == prev_edge {
+                break; // cannot happen on a proper coloring, but be safe
+            }
+            path.push(e);
+            at = self.g.other_endpoint(e, at);
+            prev_edge = Some(e);
+            want = if want == d { c } else { d };
+        }
+        // Flip colors along the path in two passes. The `used` sets are
+        // *sets*, not multisets: recoloring edge-by-edge would transiently
+        // give a mid-path vertex two same-colored edges and then drop the
+        // color from its set entirely when one flips away. Clearing the
+        // whole path first keeps the bookkeeping exact.
+        let flips: Vec<(EdgeId, Color)> = path
+            .iter()
+            .map(|&e| {
+                let old = self.colors[e.index()].expect("path edges are colored");
+                (e, if old == c { d } else { c })
+            })
+            .collect();
+        for &(e, _) in &flips {
+            let old = self.colors[e.index()].expect("path edges are colored");
+            let (a, b) = self.g.endpoints(e);
+            self.colors[e.index()] = None;
+            self.used[a.index()].remove(old);
+            self.used[b.index()].remove(old);
+        }
+        for &(e, new) in &flips {
+            self.set_color(e, new);
+        }
+    }
+
+    /// Rotate the fan prefix `fan[0..=w]`: shift each edge color one step
+    /// toward `f₀`, leaving `(u, fan[w])` uncolored.
+    fn rotate_fan(&mut self, u: VertexId, fan: &[VertexId]) {
+        for i in 0..fan.len() - 1 {
+            let from = self.g.edge_between(u, fan[i + 1]).expect("neighbor");
+            let to = self.g.edge_between(u, fan[i]).expect("neighbor");
+            let c = self.colors[from.index()].expect("fan edges beyond f0 are colored");
+            // Clear `from` first so `set_color` bookkeeping stays exact.
+            let (a, b) = self.g.endpoints(from);
+            self.colors[from.index()] = None;
+            self.used[a.index()].remove(c);
+            self.used[b.index()].remove(c);
+            self.set_color(to, c);
+        }
+    }
+
+    /// Color one uncolored edge `(u, v)` (the Misra–Gries `COLOR`
+    /// procedure).
+    fn color_one(&mut self, u: VertexId, v: VertexId) {
+        let fan = self.build_fan(u, v);
+        let c = self.free_color(u);
+        let d = self.free_color(*fan.last().unwrap());
+        self.invert_cd_path(u, c, d);
+        // After the inversion, find the shortest fan prefix ending at a
+        // vertex with `d` free; the prefix is re-checked against the
+        // current colors because the inversion may have recolored fan
+        // edges.
+        for w in 0..fan.len() {
+            if self.is_free(fan[w], d) && self.is_fan(u, &fan[..=w]) {
+                self.rotate_fan(u, &fan[..=w]);
+                let e = self.g.edge_between(u, fan[w]).expect("neighbor");
+                debug_assert!(self.colors[e.index()].is_none());
+                debug_assert!(
+                    self.is_free(u, d) && self.is_free(fan[w], d),
+                    "u={u} fan={fan:?} w={w} c={c:?} d={d:?}"
+                );
+                self.set_color(e, d);
+                return;
+            }
+        }
+        unreachable!("Misra–Gries invariant: some fan prefix accepts d");
+    }
+}
+
+/// Color `g` with at most `Δ+1` colors. Always complete and proper.
+pub fn misra_gries_edge_coloring(g: &Graph) -> Vec<Option<Color>> {
+    let delta = g.max_degree();
+    let mut mg = Mg {
+        g,
+        colors: vec![None; g.num_edges()],
+        used: vec![ColorSet::with_capacity(delta + 1); g.num_vertices()],
+        palette: delta as u32 + 1,
+    };
+    for (e, (u, v)) in g.edges() {
+        debug_assert!(mg.colors[e.index()].is_none());
+        mg.color_one(u, v);
+    }
+    mg.colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_core::verify::{count_colors, verify_edge_coloring};
+    use dima_graph::gen::{
+        barabasi_albert, erdos_renyi_avg_degree, structured, watts_strogatz,
+    };
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph) -> usize {
+        let colors = misra_gries_edge_coloring(g);
+        verify_edge_coloring(g, &colors).unwrap();
+        let used = count_colors(&colors);
+        assert!(
+            used <= g.max_degree() + 1,
+            "{used} colors exceeds Δ+1 = {}",
+            g.max_degree() + 1
+        );
+        used
+    }
+
+    #[test]
+    fn structured_families_within_vizing_bound() {
+        for g in [
+            structured::complete(7),
+            structured::complete(8),
+            structured::cycle(9),
+            structured::cycle(10),
+            structured::star(11),
+            structured::grid(7, 7),
+            structured::petersen(),
+            structured::complete_bipartite(4, 6),
+            structured::hypercube(4),
+            structured::balanced_binary_tree(5),
+        ] {
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn exact_counts_on_forced_cases() {
+        // These counts are forced: χ' from below meets Δ+1 (or the edge
+        // count) from above. Misra–Gries does not promise χ' on class-1
+        // graphs — its cd-path inversions may spend the (Δ+1)th color
+        // even where Δ suffice — so cases like even cycles or K4 only
+        // admit range assertions (next test).
+        // Star: at most Δ distinct colors exist across Δ edges; χ' = Δ.
+        assert_eq!(check(&structured::star(8)), 7);
+        // Odd cycle is class 2: χ' = 3 = Δ+1.
+        assert_eq!(check(&structured::cycle(9)), 3);
+        // Petersen is class 2: χ' = 4 = Δ+1.
+        assert_eq!(check(&structured::petersen()), 4);
+        // K5 is class 2: χ' = 5 = Δ+1.
+        assert_eq!(check(&structured::complete(5)), 5);
+        // A single edge.
+        assert_eq!(check(&structured::path(2)), 1);
+    }
+
+    #[test]
+    fn range_counts_on_class1_cases() {
+        // Class-1 graphs: χ' = Δ is admissible but Misra–Gries only
+        // guarantees Δ+1.
+        let c10 = check(&structured::cycle(10));
+        assert!((2..=3).contains(&c10), "C10 used {c10}");
+        let p5 = check(&structured::path(5));
+        assert!((2..=3).contains(&p5), "P5 used {p5}");
+        let k4 = check(&structured::complete(4));
+        assert!((3..=4).contains(&k4), "K4 used {k4}");
+    }
+
+    #[test]
+    fn single_edge_and_empty() {
+        assert_eq!(check(&structured::path(2)), 1);
+        let g = Graph::empty(3);
+        assert!(misra_gries_edge_coloring(&g).is_empty());
+    }
+
+    #[test]
+    fn random_graphs_within_vizing_bound() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..6 {
+            let g = erdos_renyi_avg_degree(120, 8.0, &mut rng).unwrap();
+            check(&g);
+        }
+        for _ in 0..3 {
+            let g = barabasi_albert(150, 2, 1.5, &mut rng).unwrap();
+            check(&g);
+        }
+        for _ in 0..3 {
+            let g = watts_strogatz(100, 8, 0.3, &mut rng).unwrap();
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn dense_graph_stress() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = erdos_renyi_avg_degree(60, 30.0, &mut rng).unwrap();
+        check(&g);
+    }
+}

@@ -1,0 +1,64 @@
+//! Stress test for the Misra–Gries implementation: the fan/path machinery
+//! has subtle bookkeeping (this exact suite caught a set-vs-multiset bug
+//! in the path inversion), so hammer it across densities and families.
+
+use dima_baselines::misra_gries_edge_coloring;
+use dima_core::verify::{count_colors, verify_edge_coloring};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn check(g: &dima_graph::Graph) {
+    let colors = misra_gries_edge_coloring(g);
+    verify_edge_coloring(g, &colors).unwrap();
+    assert!(count_colors(&colors) <= g.max_degree() + 1);
+}
+
+#[test]
+fn er_medium_density_sweep() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    for _ in 0..10 {
+        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
+            .sample(&mut rng)
+            .unwrap();
+        check(&g);
+    }
+}
+
+#[test]
+fn er_density_ladder() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    for d in [2.0, 6.0, 12.0, 20.0, 40.0] {
+        for _ in 0..3 {
+            let g = GraphFamily::ErdosRenyiAvgDegree { n: 80, avg_degree: d }
+                .sample(&mut rng)
+                .unwrap();
+            check(&g);
+        }
+    }
+}
+
+#[test]
+fn hubby_and_clustered_families() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..5 {
+        let g = GraphFamily::ScaleFree { n: 200, edges_per_vertex: 3, power: 2.0 }
+            .sample(&mut rng)
+            .unwrap();
+        check(&g);
+        let g = GraphFamily::SmallWorld { n: 128, k: 16, beta: 0.2 }.sample(&mut rng).unwrap();
+        check(&g);
+        let g = GraphFamily::Regular { n: 100, d: 9 }.sample(&mut rng).unwrap();
+        check(&g);
+    }
+}
+
+#[test]
+fn near_complete_graphs() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for n in [10usize, 20, 40] {
+        let max = n * (n - 1) / 2;
+        let g = dima_graph::gen::erdos_renyi_gnm(n, max * 9 / 10, &mut rng).unwrap();
+        check(&g);
+    }
+}

@@ -1,0 +1,438 @@
+//! Command parsing and execution for the `dima` CLI.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use dima_core::verify::{verify_edge_coloring, verify_strong_coloring};
+use dima_core::{
+    color_edges, maximal_matching, strong_color_digraph, Color, ColoringConfig, Engine,
+};
+use dima_graph::gen;
+use dima_graph::{io, Digraph, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: dima-cli <command> [args]
+
+commands:
+  gen <family> [--n N] [--avg-degree D] [--p P] [--edges-per-vertex M]
+               [--power W] [--k K] [--beta B] [--d D] [--radius R]
+               [--seed S] [--out FILE]
+      families: er | gnp | scale-free | small-world | regular | geometric
+  info <graph.edges>
+  color <graph.edges> [--seed S] [--threads T] [--out FILE]
+  strong-color <graph.edges> [--seed S] [--threads T] [--width K] [--out FILE]
+  matching <graph.edges> [--seed S] [--threads T]
+  verify <graph.edges> <coloring.colors> [--strong]
+  dot <graph.edges> [<coloring.colors>]";
+
+/// Parse `--key value` flags from `args` (after the positional prefix).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{a}'"));
+        };
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), val.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for --{key}")),
+    }
+}
+
+fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String> {
+    let seed: u64 = flag(flags, "seed", 0)?;
+    let threads: usize = flag(flags, "threads", 0)?;
+    let width: usize = flag(flags, "width", 1)?;
+    Ok(ColoringConfig {
+        engine: if threads == 0 { Engine::Sequential } else { Engine::Parallel { threads } },
+        proposal_width: width,
+        ..ColoringConfig::seeded(seed)
+    })
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::from_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_or_print(out: Option<&String>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(Path::new(path), content).map_err(|e| format!("writing {path}: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// Serialise a coloring as `edge_id color` lines.
+fn coloring_to_text(colors: &[Option<Color>]) -> String {
+    let mut out = String::new();
+    for (i, c) in colors.iter().enumerate() {
+        if let Some(c) = c {
+            out.push_str(&format!("{i} {c}\n"));
+        }
+    }
+    out
+}
+
+/// Parse a coloring file back into a vector sized for `len` edges.
+fn coloring_from_text(text: &str, len: usize) -> Result<Vec<Option<Color>>, String> {
+    let mut colors = vec![None; len];
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let e: usize = tok
+            .next()
+            .ok_or("missing edge id")?
+            .parse()
+            .map_err(|_| format!("line {}: bad edge id", lineno + 1))?;
+        let c: u32 = tok
+            .next()
+            .ok_or_else(|| format!("line {}: missing color", lineno + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad color", lineno + 1))?;
+        if e >= len {
+            return Err(format!("line {}: edge id {e} out of range", lineno + 1));
+        }
+        colors[e] = Some(Color(c));
+    }
+    Ok(colors)
+}
+
+/// Dispatch the CLI.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    match command.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "color" => cmd_color(&args[1..]),
+        "strong-color" => cmd_strong_color(&args[1..]),
+        "matching" => cmd_matching(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let Some(family) = args.first() else {
+        return Err("gen needs a family".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let n: usize = flag(&flags, "n", 100)?;
+    let seed: u64 = flag(&flags, "seed", 0)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = match family.as_str() {
+        "er" => {
+            let d: f64 = flag(&flags, "avg-degree", 8.0)?;
+            gen::erdos_renyi_avg_degree(n, d, &mut rng)
+        }
+        "gnp" => {
+            let p: f64 = flag(&flags, "p", 0.05)?;
+            gen::erdos_renyi_gnp(n, p, &mut rng)
+        }
+        "scale-free" => {
+            let m: usize = flag(&flags, "edges-per-vertex", 2)?;
+            let power: f64 = flag(&flags, "power", 1.0)?;
+            gen::barabasi_albert(n, m, power, &mut rng)
+        }
+        "small-world" => {
+            let k: usize = flag(&flags, "k", 4)?;
+            let beta: f64 = flag(&flags, "beta", 0.3)?;
+            gen::watts_strogatz(n, k, beta, &mut rng)
+        }
+        "regular" => {
+            let d: usize = flag(&flags, "d", 4)?;
+            gen::random_regular(n, d, &mut rng)
+        }
+        "geometric" => {
+            let r: f64 = flag(&flags, "radius", 0.2)?;
+            gen::random_geometric(n, r, &mut rng)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "generated {family}: n = {}, m = {}, Δ = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+    write_or_print(flags.get("out"), &io::to_edge_list(&g))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("info needs a graph file".into());
+    };
+    let g = load_graph(path)?;
+    let stats = dima_graph::analysis::DegreeStats::of(&g);
+    let (components, _) = dima_graph::analysis::connected_components(&g);
+    println!("vertices:     {}", g.num_vertices());
+    println!("edges:        {}", g.num_edges());
+    println!("Δ (max deg):  {}", stats.max);
+    println!("δ (min deg):  {}", stats.min);
+    println!("mean degree:  {:.2} (σ = {:.2})", stats.mean, stats.stddev);
+    println!("components:   {components}");
+    println!(
+        "clustering:   {:.4}",
+        dima_graph::analysis::average_clustering(&g)
+    );
+    if let Some(alpha) = dima_graph::analysis::power_law_exponent(&g, 3) {
+        println!("tail exponent (d ≥ 3): {alpha:.2}");
+    }
+    Ok(())
+}
+
+fn cmd_color(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("color needs a graph file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let g = load_graph(path)?;
+    let cfg = run_config(&flags)?;
+    let r = color_edges(&g, &cfg).map_err(|e| e.to_string())?;
+    verify_edge_coloring(&g, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    eprintln!(
+        "colored with {} colors (Δ = {}) in {} computation rounds, {} messages",
+        r.colors_used, r.max_degree, r.compute_rounds, r.stats.messages_sent
+    );
+    write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
+}
+
+fn cmd_strong_color(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("strong-color needs a graph file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let g = load_graph(path)?;
+    let d = Digraph::symmetric_closure(&g);
+    let cfg = run_config(&flags)?;
+    let r = strong_color_digraph(&d, &cfg).map_err(|e| e.to_string())?;
+    verify_strong_coloring(&d, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    eprintln!(
+        "assigned {} channels to {} arcs (Δ = {}) in {} rounds, {} messages",
+        r.colors_used,
+        d.num_arcs(),
+        r.max_degree,
+        r.compute_rounds,
+        r.stats.messages_sent
+    );
+    write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
+}
+
+fn cmd_matching(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("matching needs a graph file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let g = load_graph(path)?;
+    let cfg = run_config(&flags)?;
+    let m = maximal_matching(&g, &cfg).map_err(|e| e.to_string())?;
+    dima_core::verify::verify_matching(&g, &m.pairs).map_err(|e| format!("internal: {e}"))?;
+    eprintln!(
+        "maximal matching: {} pairs in {} computation rounds, {} messages",
+        m.pairs.len(),
+        m.compute_rounds,
+        m.stats.messages_sent
+    );
+    let mut out = String::new();
+    for (u, v) in &m.pairs {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    write_or_print(flags.get("out"), &out)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let (Some(gpath), Some(cpath)) = (args.first(), args.get(1)) else {
+        return Err("verify needs a graph file and a coloring file".into());
+    };
+    let strong = args.iter().any(|a| a == "--strong");
+    let g = load_graph(gpath)?;
+    let text = std::fs::read_to_string(cpath).map_err(|e| format!("reading {cpath}: {e}"))?;
+    if strong {
+        let d = Digraph::symmetric_closure(&g);
+        let colors = coloring_from_text(&text, d.num_arcs())?;
+        verify_strong_coloring(&d, &colors).map_err(|e| e.to_string())?;
+        println!("OK: valid strong (Definition 2) coloring of the symmetric closure");
+    } else {
+        let colors = coloring_from_text(&text, g.num_edges())?;
+        verify_edge_coloring(&g, &colors).map_err(|e| e.to_string())?;
+        println!("OK: valid proper edge coloring");
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let Some(gpath) = args.first() else {
+        return Err("dot needs a graph file".into());
+    };
+    let g = load_graph(gpath)?;
+    let colors = match args.get(1) {
+        Some(cpath) if !cpath.starts_with("--") => {
+            let text =
+                std::fs::read_to_string(cpath).map_err(|e| format!("reading {cpath}: {e}"))?;
+            Some(coloring_from_text(&text, g.num_edges())?)
+        }
+        _ => None,
+    };
+    let dot = io::to_dot(&g, "g", |e| {
+        colors
+            .as_ref()
+            .and_then(|c| c[e.index()])
+            .map(|c| c.to_string())
+    });
+    print!("{dot}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dima_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = parse_flags(&s(&["--n", "10", "--seed", "3"])).unwrap();
+        assert_eq!(flag::<usize>(&f, "n", 0).unwrap(), 10);
+        assert_eq!(flag::<u64>(&f, "seed", 0).unwrap(), 3);
+        assert_eq!(flag::<u64>(&f, "missing", 9).unwrap(), 9);
+        assert!(parse_flags(&s(&["bare"])).is_err());
+        assert!(parse_flags(&s(&["--n"])).is_err());
+        assert!(flag::<usize>(&f, "n", 0).is_ok());
+        let f = parse_flags(&s(&["--n", "x"])).unwrap();
+        assert!(flag::<usize>(&f, "n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(dispatch(&s(&["bogus"])).is_err());
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn coloring_text_roundtrip() {
+        let colors = vec![Some(Color(2)), None, Some(Color(0))];
+        let text = coloring_to_text(&colors);
+        let back = coloring_from_text(&text, 3).unwrap();
+        assert_eq!(back, colors);
+        assert!(coloring_from_text("9 1\n", 3).is_err()); // out of range
+        assert!(coloring_from_text("x 1\n", 3).is_err());
+        assert!(coloring_from_text("0\n", 3).is_err());
+        assert!(coloring_from_text("# comment\n\n0 5\n", 1).unwrap()[0] == Some(Color(5)));
+    }
+
+    #[test]
+    fn end_to_end_gen_color_verify() {
+        let dir = tmpdir();
+        let gpath = dir.join("g.edges");
+        let cpath = dir.join("g.colors");
+        dispatch(&s(&[
+            "gen", "er", "--n", "40", "--avg-degree", "4", "--seed", "7", "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&["info", gpath.to_str().unwrap()])).unwrap();
+        dispatch(&s(&[
+            "color",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "1",
+            "--out",
+            cpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&["verify", gpath.to_str().unwrap(), cpath.to_str().unwrap()])).unwrap();
+        dispatch(&s(&["dot", gpath.to_str().unwrap(), cpath.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_strong_and_matching() {
+        let dir = tmpdir();
+        let gpath = dir.join("g2.edges");
+        let spath = dir.join("g2.channels");
+        dispatch(&s(&[
+            "gen", "small-world", "--n", "32", "--k", "4", "--beta", "0.2", "--seed", "5",
+            "--out", gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "strong-color",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "2",
+            "--width",
+            "4",
+            "--out",
+            spath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "verify",
+            gpath.to_str().unwrap(),
+            spath.to_str().unwrap(),
+            "--strong",
+        ]))
+        .unwrap();
+        dispatch(&s(&["matching", gpath.to_str().unwrap(), "--seed", "3"])).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn verify_rejects_bad_coloring() {
+        let dir = tmpdir();
+        let gpath = dir.join("g3.edges");
+        std::fs::write(&gpath, "n 3\n0 1\n1 2\n").unwrap();
+        let cpath = dir.join("g3.colors");
+        std::fs::write(&cpath, "0 0\n1 0\n").unwrap(); // adjacent same color
+        assert!(
+            dispatch(&s(&["verify", gpath.to_str().unwrap(), cpath.to_str().unwrap()])).is_err()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn gen_families_all_work() {
+        for fam in ["er", "gnp", "scale-free", "small-world", "regular", "geometric"] {
+            dispatch(&s(&["gen", fam, "--n", "20", "--d", "4", "--seed", "1"])).unwrap();
+        }
+        assert!(dispatch(&s(&["gen", "nope"])).is_err());
+    }
+}

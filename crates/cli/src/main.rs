@@ -1,0 +1,30 @@
+//! `dima` — command-line interface to the DiMa algorithms.
+//!
+//! ```text
+//! dima-cli gen er --n 200 --avg-degree 8 --seed 1 --out g.edges
+//! dima-cli info g.edges
+//! dima-cli color g.edges --seed 42 --out g.colors
+//! dima-cli strong-color g.edges --seed 42
+//! dima-cli matching g.edges --seed 42
+//! dima-cli verify g.edges g.colors
+//! ```
+//!
+//! Graphs travel as edge-list text (`dima_graph::io`); colorings as
+//! `edge_id color` lines. Every command prints the round/message
+//! statistics the paper reports.
+
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", cmd::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

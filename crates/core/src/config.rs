@@ -1,0 +1,188 @@
+//! Configuration shared by the DiMa protocols.
+//!
+//! The defaults reproduce the paper exactly; the non-default variants are
+//! the ablation knobs indexed in `DESIGN.md` (ABL1/ABL2) — every deviation
+//! from the paper is explicit configuration, never silent behaviour.
+
+use dima_sim::fault::FaultPlan;
+
+use crate::error::CoreError;
+
+/// How an inviter picks the color it proposes (paper line 1.11 picks the
+/// lowest color legal for both endpoints).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ColorPolicy {
+    /// The paper's rule: the lowest-indexed color used by neither
+    /// endpoint (as known from one-hop exchange).
+    #[default]
+    LowestIndex,
+    /// Ablation: a uniformly random legal color from the worst-case
+    /// palette `0..2Δ−1`. Degrades quality; used by ABL2 to show the
+    /// lowest-index rule is what keeps colors near Δ.
+    RandomLegal,
+}
+
+/// How a listener picks among stored invitations (paper line 1.21 picks
+/// uniformly at random).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ResponsePolicy {
+    /// The paper's rule: a uniformly random kept invitation.
+    #[default]
+    Random,
+    /// Ablation: the invitation from the lowest-id sender
+    /// (deterministic tie-break; slightly biases the matching).
+    FirstSender,
+    /// Ablation: the invitation proposing the lowest color.
+    LowestColor,
+}
+
+/// Which engine executes the protocol.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Deterministic single-threaded reference engine.
+    #[default]
+    Sequential,
+    /// Sharded multi-threaded engine; produces bit-identical results.
+    Parallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+/// Configuration for [`crate::color_edges`], [`crate::maximal_matching`]
+/// and [`crate::strong_color_digraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColoringConfig {
+    /// Master seed (all node RNGs derive from it deterministically).
+    pub seed: u64,
+    /// Probability of entering the `I` (invitor) state in the `C` state
+    /// coin toss. The paper uses a fair coin (0.5); ABL1 sweeps this.
+    pub invite_probability: f64,
+    /// Inviter color selection (Algorithm 1 / 2 proposal rule).
+    pub color_policy: ColorPolicy,
+    /// Listener invitation selection.
+    pub response_policy: ResponsePolicy,
+    /// Execution engine.
+    pub engine: Engine,
+    /// **DiMa2ED only**: how many candidate channels an invitation
+    /// carries (Procedure 2-a sends one, the default). A responder may
+    /// accept any proposed channel that is legal for it and free of
+    /// overheard collisions. Widths > 1 slash the retry rounds caused by
+    /// colors held two hops away (which one-hop knowledge cannot see) —
+    /// the ABL3 experiment shows width ≈ 4 recovers the paper's reported
+    /// ≈ 4Δ round constant.
+    pub proposal_width: usize,
+    /// Safety bound on *computation* rounds (each is 3 communication
+    /// rounds). `None` picks `64·Δ + 256`, far above the ~2Δ–4Δ typical
+    /// terminations, so hitting it signals a bug or adversarial input.
+    pub max_compute_rounds: Option<u64>,
+    /// Collect per-round statistics.
+    pub collect_round_stats: bool,
+    /// Message-loss injection (model-violation experiments only).
+    pub faults: FaultPlan,
+}
+
+impl Default for ColoringConfig {
+    fn default() -> Self {
+        ColoringConfig {
+            seed: 0,
+            invite_probability: 0.5,
+            color_policy: ColorPolicy::default(),
+            response_policy: ResponsePolicy::default(),
+            engine: Engine::default(),
+            proposal_width: 1,
+            max_compute_rounds: None,
+            collect_round_stats: false,
+            faults: FaultPlan::reliable(),
+        }
+    }
+}
+
+impl ColoringConfig {
+    /// The paper's configuration with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        ColoringConfig { seed, ..Default::default() }
+    }
+
+    /// Validate ranges; returns a [`CoreError::Config`] on nonsense.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&self.invite_probability)
+            || !self.invite_probability.is_finite()
+        {
+            return Err(CoreError::Config(format!(
+                "invite_probability = {} not in [0, 1]",
+                self.invite_probability
+            )));
+        }
+        if self.invite_probability == 0.0 || self.invite_probability == 1.0 {
+            return Err(CoreError::Config(
+                "invite_probability of 0 or 1 can never form a pair \
+                 (needs both invitors and listeners)"
+                    .into(),
+            ));
+        }
+        if let Engine::Parallel { threads } = self.engine {
+            if threads == 0 {
+                return Err(CoreError::Config("parallel engine needs >= 1 thread".into()));
+            }
+        }
+        if self.proposal_width == 0 {
+            return Err(CoreError::Config("proposal_width must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The computation-round budget for a graph of maximum degree `delta`.
+    pub fn compute_round_budget(&self, delta: usize) -> u64 {
+        self.max_compute_rounds.unwrap_or(64 * delta as u64 + 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = ColoringConfig::default();
+        assert_eq!(cfg.invite_probability, 0.5);
+        assert_eq!(cfg.color_policy, ColorPolicy::LowestIndex);
+        assert_eq!(cfg.response_policy, ResponsePolicy::Random);
+        assert_eq!(cfg.engine, Engine::Sequential);
+        assert_eq!(cfg.proposal_width, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn budget_scales_with_delta() {
+        let cfg = ColoringConfig::default();
+        assert_eq!(cfg.compute_round_budget(10), 896);
+        let cfg = ColoringConfig { max_compute_rounds: Some(50), ..Default::default() };
+        assert_eq!(cfg.compute_round_budget(10), 50);
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        for p in [-0.1, 1.5, f64::NAN, 0.0, 1.0] {
+            let cfg = ColoringConfig { invite_probability: p, ..Default::default() };
+            assert!(cfg.validate().is_err(), "p = {p}");
+        }
+        let cfg = ColoringConfig { invite_probability: 0.3, ..Default::default() };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_proposal_width_rejected() {
+        let cfg = ColoringConfig { proposal_width: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let cfg = ColoringConfig {
+            engine: Engine::Parallel { threads: 0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,637 @@
+//! **Algorithm 1 (DiMaEC)** — distributed matching-based edge coloring.
+//!
+//! A faithful implementation of the paper's Algorithm 1. Per computation
+//! round (three communication rounds):
+//!
+//! * **invite** — each active node first ingests the `Used` exchanges
+//!   broadcast at the end of the previous round (updating its per-neighbor
+//!   used-color knowledge, the paper's `dead`/`used_v` lists), then tosses
+//!   the `C`-state coin. An invitor picks a *random uncolored incident
+//!   edge* `(u, v)` and proposes the *lowest* color used by neither `u`
+//!   nor (to `u`'s knowledge) `v` (line 1.11), broadcasting the
+//!   invitation.
+//! * **respond** — a listener keeps the invitations addressed to it and
+//!   accepts one *uniformly at random* (line 1.21), echoing it back and
+//!   committing the color on its side.
+//! * **exchange** — the invitor commits on receipt of the echo; both
+//!   sides broadcast the newly used color (`E` state). A node whose every
+//!   incident edge is colored broadcasts its final exchange and enters
+//!   `D`.
+//!
+//! ## Why no re-validation is needed at accept time (Prop. 2)
+//!
+//! A listener accepts at most one invitation per computation round and
+//! cannot simultaneously be an invitor, so its used set grows by at most
+//! the accepted color per round; the invitor's knowledge of it — refreshed
+//! by the previous exchange — is therefore *exact* at proposal time, and
+//! the proposed color is legal for both sides at commit time. The fault
+//! injection tests show this breaks down exactly when the reliable-
+//! delivery assumption is violated.
+
+use dima_graph::{EdgeId, Graph, VertexId};
+use dima_sim::{
+    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx,
+    RunOutcome, RunStats, Topology,
+};
+use rand::rngs::SmallRng;
+
+use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
+use crate::error::CoreError;
+use crate::palette::{Color, ColorSet};
+
+/// Messages of Algorithm 1. All broadcast, per the paper; the `to` field
+/// addresses the intended recipient.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcMsg {
+    /// `I_u^v, c`: the sender proposes to color edge `(sender, to)` with
+    /// `color`.
+    Invite {
+        /// Intended recipient (the other endpoint).
+        to: VertexId,
+        /// Proposed color.
+        color: Color,
+    },
+    /// `R_u^v, c`: the sender accepts `to`'s invitation (ids reversed,
+    /// same color — "a duplicate of the invitation with the ids
+    /// reversed").
+    Accept {
+        /// The invitor being accepted.
+        to: VertexId,
+        /// The agreed color.
+        color: Color,
+    },
+    /// `E` state: the sender has newly used `color` on one of its edges.
+    Used {
+        /// The newly used color.
+        color: Color,
+    },
+}
+
+/// What the invitor proposed this computation round.
+#[derive(Copy, Clone, Debug)]
+struct Proposal {
+    /// Port (index into `neighbors`) of the invited neighbor.
+    port: usize,
+    color: Color,
+}
+
+/// Per-vertex automata state for Algorithm 1.
+#[derive(Debug)]
+pub struct EdgeColoringNode {
+    me: VertexId,
+    /// Sorted neighbor ids.
+    neighbors: Vec<VertexId>,
+    /// Edge id toward each neighbor (parallel to `neighbors`).
+    edge_ids: Vec<EdgeId>,
+    /// Color committed toward each neighbor, if any.
+    edge_color: Vec<Option<Color>>,
+    /// Ports of still-uncolored edges.
+    uncolored: Vec<usize>,
+    /// Colors this node has used (`used_u`).
+    used_self: ColorSet,
+    /// Colors each neighbor is known to have used (`used_v` learned via
+    /// the `E` exchange; the paper's `dead` bookkeeping).
+    used_nbr: Vec<ColorSet>,
+    /// Role this computation round.
+    role: Role,
+    proposal: Option<Proposal>,
+    /// Color newly committed this computation round (for the exchange
+    /// broadcast).
+    newly_used: Option<Color>,
+    invite_probability: f64,
+    color_policy: ColorPolicy,
+    response_policy: ResponsePolicy,
+    /// `2Δ−1`, the worst-case palette (only the RandomLegal ablation
+    /// samples from it; the default rule discovers its own bound).
+    palette_bound: u32,
+    /// Automata state after the last round (for state censuses).
+    state: &'static str,
+}
+
+impl EdgeColoringNode {
+    fn new(seed: &NodeSeed<'_>, g: &Graph, cfg: &ColoringConfig, palette_bound: u32) -> Self {
+        let edge_ids: Vec<EdgeId> = seed
+            .neighbors
+            .iter()
+            .map(|&w| g.edge_between(seed.node, w).expect("topology mirrors graph"))
+            .collect();
+        let degree = seed.neighbors.len();
+        EdgeColoringNode {
+            me: seed.node,
+            neighbors: seed.neighbors.to_vec(),
+            edge_ids,
+            edge_color: vec![None; degree],
+            uncolored: (0..degree).collect(),
+            used_self: ColorSet::new(),
+            used_nbr: vec![ColorSet::new(); degree],
+            role: Role::Listener,
+            proposal: None,
+            newly_used: None,
+            invite_probability: cfg.invite_probability,
+            color_policy: cfg.color_policy,
+            response_policy: cfg.response_policy,
+            palette_bound,
+            state: "C",
+        }
+    }
+
+    fn port_of(&self, v: VertexId) -> Option<usize> {
+        self.neighbors.binary_search(&v).ok()
+    }
+
+    /// Pick the color to propose for the edge toward `port`
+    /// (line 1.11: lowest available; or the RandomLegal ablation).
+    fn propose_color(&self, port: usize, rng: &mut SmallRng) -> Color {
+        match self.color_policy {
+            ColorPolicy::LowestIndex => {
+                self.used_self.first_absent_in_union(&self.used_nbr[port])
+            }
+            ColorPolicy::RandomLegal => {
+                // A legal color within the worst-case palette always
+                // exists: |used_self| + |used_nbr| <= 2Δ−2 < 2Δ−1.
+                let mut legal: Vec<Color> = Vec::new();
+                for c in 0..self.palette_bound {
+                    let c = Color(c);
+                    if !self.used_self.contains(c) && !self.used_nbr[port].contains(c) {
+                        legal.push(c);
+                    }
+                }
+                pick_uniform(rng, &legal)
+                    .copied()
+                    .unwrap_or_else(|| self.used_self.first_absent_in_union(&self.used_nbr[port]))
+            }
+        }
+    }
+
+    /// Commit `color` on the edge toward `port`.
+    fn commit(&mut self, port: usize, color: Color) {
+        debug_assert!(self.edge_color[port].is_none(), "edge colored twice");
+        self.edge_color[port] = Some(color);
+        self.uncolored.retain(|&p| p != port);
+        self.used_self.insert(color);
+        self.newly_used = Some(color);
+    }
+}
+
+impl Protocol for EdgeColoringNode {
+    type Msg = EcMsg;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, EcMsg>) -> NodeStatus {
+        match Phase::of_round(ctx.round()) {
+            Phase::InviteStep => {
+                // Ingest the previous round's `Used` exchanges.
+                for env in ctx.inbox() {
+                    if let EcMsg::Used { color } = env.msg {
+                        if let Some(p) = self.port_of(env.from) {
+                            self.used_nbr[p].insert(color);
+                        }
+                    }
+                }
+                if self.uncolored.is_empty() {
+                    // Only reachable by isolated vertices (degree 0) in
+                    // round 0: nodes with edges leave via the exchange
+                    // step.
+                    self.state = "D";
+                    return NodeStatus::Done;
+                }
+                self.proposal = None;
+                self.newly_used = None;
+                self.role = choose_role(ctx.rng(), self.invite_probability);
+                self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                if self.role == Role::Invitor {
+                    let &port = pick_uniform(ctx.rng(), &self.uncolored)
+                        .expect("active node has an uncolored edge");
+                    let color = self.propose_color(port, ctx.rng());
+                    self.proposal = Some(Proposal { port, color });
+                    ctx.broadcast(EcMsg::Invite { to: self.neighbors[port], color });
+                }
+                NodeStatus::Active
+            }
+            Phase::RespondStep => {
+                if self.role == Role::Listener {
+                    let me = self.me;
+                    // Keep invitations addressed to me (L state). The
+                    // port-uncolored guard is vacuous under reliable
+                    // delivery (nobody invites over a colored edge) but
+                    // keeps fault-injected desyncs from double-coloring.
+                    let kept: Vec<(VertexId, Color)> = ctx
+                        .inbox()
+                        .iter()
+                        .filter_map(|env| match env.msg {
+                            EcMsg::Invite { to, color } if to == me => {
+                                let port = self.port_of(env.from)?;
+                                self.edge_color[port].is_none().then_some((env.from, color))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    let chosen = match self.response_policy {
+                        ResponsePolicy::Random => pick_uniform(ctx.rng(), &kept).copied(),
+                        ResponsePolicy::FirstSender => kept.first().copied(),
+                        ResponsePolicy::LowestColor => {
+                            kept.iter().copied().min_by_key(|&(_, c)| c)
+                        }
+                    };
+                    if let Some((partner, color)) = chosen {
+                        ctx.broadcast(EcMsg::Accept { to: partner, color });
+                        let port = self.port_of(partner).expect("invitor is a neighbor");
+                        self.commit(port, color);
+                    }
+                }
+                self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                NodeStatus::Active
+            }
+            Phase::ExchangeStep => {
+                // W state: the invitor looks for the echo of its own
+                // invitation (reversed ids, same color).
+                if self.role == Role::Invitor {
+                    if let Some(Proposal { port, color }) = self.proposal {
+                        let partner = self.neighbors[port];
+                        let me = self.me;
+                        let accepted = ctx.inbox().iter().any(|env| {
+                            env.from == partner
+                                && matches!(
+                                    env.msg,
+                                    EcMsg::Accept { to, color: c } if to == me && c == color
+                                )
+                        });
+                        if accepted {
+                            self.commit(port, color);
+                        }
+                    }
+                }
+                // E state: broadcast the newly used color, if any.
+                if let Some(color) = self.newly_used {
+                    ctx.broadcast(EcMsg::Used { color });
+                }
+                if self.uncolored.is_empty() {
+                    self.state = "D";
+                    NodeStatus::Done
+                } else {
+                    self.state = "E";
+                    NodeStatus::Active
+                }
+            }
+        }
+    }
+}
+
+impl dima_sim::trace::StateLabel for EdgeColoringNode {
+    fn state_label(&self) -> &'static str {
+        self.state
+    }
+}
+
+/// The outcome of an edge-coloring run.
+#[derive(Clone, Debug)]
+pub struct EdgeColoringResult {
+    /// Color per edge (indexed by [`EdgeId`]), as committed by the lower
+    /// endpoint. `None` only if the run was corrupted by fault injection.
+    pub colors: Vec<Option<Color>>,
+    /// Number of distinct colors used.
+    pub colors_used: usize,
+    /// Largest color index used, if any edge was colored.
+    pub max_color: Option<Color>,
+    /// Computation rounds until the last node finished.
+    pub compute_rounds: u64,
+    /// Communication rounds (3 per computation round).
+    pub comm_rounds: u64,
+    /// Maximum degree Δ of the input (what the paper plots against).
+    pub max_degree: usize,
+    /// `true` iff both endpoints committed the same color on every edge
+    /// (always true under reliable delivery — Proposition 2).
+    pub endpoint_agreement: bool,
+    /// Simulator statistics (messages, deliveries, per-round breakdown).
+    pub stats: RunStats,
+}
+
+/// Run Algorithm 1 on `g` and additionally collect a per-communication-
+/// round census of automata states (sequential engine only — censuses
+/// are an observation tool, not a result).
+pub fn color_edges_with_census(
+    g: &Graph,
+    cfg: &ColoringConfig,
+) -> Result<(EdgeColoringResult, dima_sim::trace::StateCensus), CoreError> {
+    use dima_sim::trace::StateLabel;
+    cfg.validate()?;
+    let delta = g.max_degree();
+    let topo = Topology::from_graph(g);
+    let engine_cfg = EngineConfig {
+        seed: cfg.seed,
+        max_rounds: 3 * cfg.compute_round_budget(delta),
+        collect_round_stats: cfg.collect_round_stats,
+        validate_sends: true,
+        faults: cfg.faults.clone(),
+    };
+    let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
+    let mut census = dima_sim::trace::StateCensus::new();
+    let outcome = dima_sim::run_sequential_observed(
+        &topo,
+        &engine_cfg,
+        |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound),
+        |view| census.record(view.nodes.iter().map(|n| n.state_label())),
+    )?;
+    Ok((assemble_result(g, delta, outcome), census))
+}
+
+/// Run Algorithm 1 on `g`.
+///
+/// Returns the coloring plus the round/message statistics the paper's
+/// figures report. The coloring is *not* verified here — call
+/// [`crate::verify::verify_edge_coloring`] (the experiment binaries and
+/// tests always do).
+pub fn color_edges(g: &Graph, cfg: &ColoringConfig) -> Result<EdgeColoringResult, CoreError> {
+    cfg.validate()?;
+    let delta = g.max_degree();
+    let topo = Topology::from_graph(g);
+    let engine_cfg = EngineConfig {
+        seed: cfg.seed,
+        max_rounds: 3 * cfg.compute_round_budget(delta),
+        collect_round_stats: cfg.collect_round_stats,
+        validate_sends: true,
+        faults: cfg.faults.clone(),
+    };
+    let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
+    let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound);
+    let outcome: RunOutcome<EdgeColoringNode> = match cfg.engine {
+        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
+        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
+    };
+    Ok(assemble_result(g, delta, outcome))
+}
+
+/// Build the global result from per-node protocol states.
+fn assemble_result(
+    g: &Graph,
+    delta: usize,
+    outcome: RunOutcome<EdgeColoringNode>,
+) -> EdgeColoringResult {
+    // Assemble the global coloring from per-node views.
+    let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];
+    let mut agreement = true;
+    for node in &outcome.nodes {
+        for (port, &c) in node.edge_color.iter().enumerate() {
+            let e = node.edge_ids[port];
+            match (colors[e.index()], c) {
+                (None, c) => colors[e.index()] = c,
+                (Some(prev), Some(now)) => agreement &= prev == now,
+                (Some(_), None) => agreement = false,
+            }
+        }
+    }
+    // Under reliable delivery every edge is colored by both endpoints;
+    // recheck agreement in the other direction too (lower endpoint
+    // committed but upper did not).
+    if agreement {
+        for node in &outcome.nodes {
+            for (port, &c) in node.edge_color.iter().enumerate() {
+                if c.is_none() && colors[node.edge_ids[port].index()].is_some() {
+                    agreement = false;
+                }
+            }
+        }
+    }
+
+    let mut palette = ColorSet::new();
+    for c in colors.iter().flatten() {
+        palette.insert(*c);
+    }
+    let comm_rounds = outcome.stats.rounds;
+    EdgeColoringResult {
+        colors_used: palette.len(),
+        max_color: palette.max(),
+        colors,
+        compute_rounds: Phase::compute_rounds(comm_rounds),
+        comm_rounds,
+        max_degree: delta,
+        endpoint_agreement: agreement,
+        stats: outcome.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_edge_coloring;
+    use dima_graph::gen::{erdos_renyi_avg_degree, structured, watts_strogatz};
+    use dima_sim::fault::FaultPlan;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_good_coloring(g: &Graph, r: &EdgeColoringResult) {
+        assert!(r.endpoint_agreement);
+        verify_edge_coloring(g, &r.colors).unwrap();
+        let delta = g.max_degree();
+        if delta > 0 {
+            assert!(
+                r.colors_used <= 2 * delta - 1,
+                "{} colors > 2Δ−1 = {}",
+                r.colors_used,
+                2 * delta - 1
+            );
+        }
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = structured::path(2);
+        let r = color_edges(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert_eq!(r.colors, vec![Some(Color(0))]);
+        assert_eq!(r.colors_used, 1);
+        assert_good_coloring(&g, &r);
+    }
+
+    #[test]
+    fn edgeless_graphs() {
+        let g = Graph::empty(4);
+        let r = color_edges(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.colors_used, 0);
+        assert_eq!(r.max_color, None);
+        let g = Graph::empty(0);
+        let r = color_edges(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert_eq!(r.comm_rounds, 0);
+    }
+
+    #[test]
+    fn structured_families_color_correctly() {
+        for (name, g) in [
+            ("complete8", structured::complete(8)),
+            ("cycle9", structured::cycle(9)),
+            ("star12", structured::star(12)),
+            ("grid", structured::grid(5, 5)),
+            ("petersen", structured::petersen()),
+            ("bipartite", structured::complete_bipartite(4, 6)),
+            ("hypercube", structured::hypercube(4)),
+            ("tree", structured::balanced_binary_tree(5)),
+        ] {
+            let r = color_edges(&g, &ColoringConfig::seeded(11)).unwrap();
+            assert_good_coloring(&g, &r);
+            assert!(r.colors.iter().all(Option::is_some), "{name}: incomplete");
+        }
+    }
+
+    #[test]
+    fn star_uses_exactly_delta_colors() {
+        // Every edge shares the hub: χ' = Δ, and the lowest-index rule
+        // must discover exactly that.
+        let g = structured::star(9);
+        let r = color_edges(&g, &ColoringConfig::seeded(3)).unwrap();
+        assert_eq!(r.colors_used, 8);
+        assert_good_coloring(&g, &r);
+    }
+
+    #[test]
+    fn random_graphs_color_correctly() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for seed in 0..5 {
+            let g = erdos_renyi_avg_degree(120, 8.0, &mut rng).unwrap();
+            let r = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+            assert_good_coloring(&g, &r);
+        }
+        let g = watts_strogatz(64, 8, 0.3, &mut rng).unwrap();
+        let r = color_edges(&g, &ColoringConfig::seeded(23)).unwrap();
+        assert_good_coloring(&g, &r);
+    }
+
+    #[test]
+    fn typical_colors_near_delta_on_er() {
+        // Conjecture 2: Δ or Δ+1 in the typical run (Δ+2 rare).
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = erdos_renyi_avg_degree(200, 8.0, &mut rng).unwrap();
+        let r = color_edges(&g, &ColoringConfig::seeded(99)).unwrap();
+        assert_good_coloring(&g, &r);
+        assert!(
+            r.colors_used <= g.max_degree() + 2,
+            "colors {} vs Δ {}",
+            r.colors_used,
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn rounds_scale_with_delta_not_n() {
+        // The headline O(Δ) claim, coarse-grained: a big sparse cycle
+        // terminates in few rounds despite having many more nodes than a
+        // small dense clique.
+        let sparse_big = structured::cycle(400); // Δ = 2
+        let dense_small = structured::complete(24); // Δ = 23
+        let r1 = color_edges(&sparse_big, &ColoringConfig::seeded(7)).unwrap();
+        let r2 = color_edges(&dense_small, &ColoringConfig::seeded(7)).unwrap();
+        assert!(
+            r1.compute_rounds < r2.compute_rounds,
+            "cycle {} rounds vs clique {}",
+            r1.compute_rounds,
+            r2.compute_rounds
+        );
+        assert!(r1.compute_rounds < 60, "Δ=2 should finish fast, took {}", r1.compute_rounds);
+    }
+
+    #[test]
+    fn parallel_engine_bit_identical() {
+        let g = structured::grid(8, 8);
+        let cfg = ColoringConfig { collect_round_stats: true, ..ColoringConfig::seeded(31) };
+        let seq = color_edges(&g, &cfg).unwrap();
+        for threads in [2, 5] {
+            let par = color_edges(
+                &g,
+                &ColoringConfig { engine: Engine::Parallel { threads }, ..cfg.clone() },
+            )
+            .unwrap();
+            assert_eq!(seq.colors, par.colors, "threads={threads}");
+            assert_eq!(seq.comm_rounds, par.comm_rounds);
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn random_legal_policy_still_correct() {
+        let g = structured::complete(10);
+        let cfg = ColoringConfig {
+            color_policy: ColorPolicy::RandomLegal,
+            ..ColoringConfig::seeded(41)
+        };
+        let r = color_edges(&g, &cfg).unwrap();
+        assert_good_coloring(&g, &r);
+    }
+
+    #[test]
+    fn alternative_response_policies_still_correct() {
+        let g = structured::grid(4, 6);
+        for policy in [ResponsePolicy::FirstSender, ResponsePolicy::LowestColor] {
+            let cfg = ColoringConfig { response_policy: policy, ..ColoringConfig::seeded(43) };
+            let r = color_edges(&g, &cfg).unwrap();
+            assert_good_coloring(&g, &r);
+        }
+    }
+
+    #[test]
+    fn biased_coin_still_correct() {
+        let g = structured::petersen();
+        for p in [0.1, 0.3, 0.7, 0.9] {
+            let cfg = ColoringConfig { invite_probability: p, ..ColoringConfig::seeded(47) };
+            let r = color_edges(&g, &cfg).unwrap();
+            assert_good_coloring(&g, &r);
+        }
+    }
+
+    #[test]
+    fn message_loss_can_break_agreement() {
+        // Violating the model's reliable-delivery assumption must be
+        // *detected* (agreement flag or verification), demonstrating that
+        // Proposition 2 leans on the model. With heavy loss the run may
+        // also fail to terminate — both are acceptable detections.
+        let g = structured::complete(12);
+        let mut saw_detection = false;
+        for seed in 0..10 {
+            let cfg = ColoringConfig {
+                faults: FaultPlan::uniform(0.4),
+                max_compute_rounds: Some(400),
+                ..ColoringConfig::seeded(seed)
+            };
+            match color_edges(&g, &cfg) {
+                Ok(r) => {
+                    if !r.endpoint_agreement || verify_edge_coloring(&g, &r.colors).is_err() {
+                        saw_detection = true;
+                    }
+                }
+                Err(CoreError::Sim(_)) => saw_detection = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_detection, "40% loss should corrupt at least one of 10 runs");
+    }
+
+    #[test]
+    fn census_tracks_automata_states() {
+        let g = structured::grid(4, 4);
+        let (r, census) = color_edges_with_census(&g, &ColoringConfig::seeded(5)).unwrap();
+        assert_good_coloring(&g, &r);
+        assert_eq!(census.len() as u64, r.comm_rounds);
+        // Round 0 is the invite step: every node is I or L.
+        let n = g.num_vertices();
+        assert_eq!(census.count(0, "I") + census.count(0, "L"), n);
+        // Round 1 is the respond step: every node is W or R.
+        assert_eq!(census.count(1, "W") + census.count(1, "R"), n);
+        // Final round: everyone done.
+        let last = census.len() - 1;
+        assert!(census.count(last, "D") > 0);
+        // Census agrees with the plain runner on the result.
+        let plain = color_edges(&g, &ColoringConfig::seeded(5)).unwrap();
+        assert_eq!(plain.colors, r.colors);
+        assert!(!census.render().is_empty());
+    }
+
+    #[test]
+    fn round_budget_error_carries_context() {
+        let g = structured::complete(8);
+        let cfg = ColoringConfig { max_compute_rounds: Some(1), ..ColoringConfig::seeded(1) };
+        match color_edges(&g, &cfg) {
+            Err(CoreError::Sim(dima_sim::SimError::MaxRoundsExceeded { max_rounds, .. })) => {
+                assert_eq!(max_rounds, 3);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Errors for the DiMa algorithms.
+
+use std::fmt;
+
+use dima_graph::GraphError;
+use dima_sim::SimError;
+
+/// Errors surfaced by the algorithm runners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The simulator reported an error (typically the round budget —
+    /// the algorithms are probabilistic, so termination is enforced with
+    /// a generous bound rather than assumed).
+    Sim(SimError),
+    /// The input graph was invalid for the algorithm (e.g. DiMa2ED on a
+    /// non-symmetric digraph).
+    Graph(GraphError),
+    /// An invalid configuration value.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::VertexId;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(SimError::MaxRoundsExceeded { max_rounds: 5, still_active: 1 });
+        assert!(e.to_string().contains("simulation error"));
+        assert!(e.source().is_some());
+        let e = CoreError::from(GraphError::SelfLoop(VertexId(0)));
+        assert!(e.to_string().contains("graph error"));
+        let e = CoreError::Config("p out of range".into());
+        assert!(e.to_string().contains("configuration"));
+        assert!(e.source().is_none());
+    }
+}

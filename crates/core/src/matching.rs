@@ -1,0 +1,395 @@
+//! The matching-discovery protocol — the substrate framework of the
+//! paper's prior work (reference \[3\], Daigle & Prasad 2011) that both coloring
+//! algorithms extend.
+//!
+//! Every computation round, the automata pairs up a set of nodes such
+//! that the chosen edges form a matching. Iterating until every node is
+//! matched or has no unmatched neighbor yields a **maximal matching**
+//! (termination implies no edge joins two unmatched nodes).
+//!
+//! The paper's Proposition 1 argues each node pairs with probability
+//! ≥ ~1/4 per round; `dima-experiments`'s PROP1 binary measures this rate
+//! empirically from [`MatchingResult::pair_round`].
+
+use dima_graph::{Graph, VertexId};
+use dima_sim::{
+    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol,
+    RoundCtx, RunOutcome, RunStats, Topology,
+};
+
+use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::config::{ColoringConfig, Engine, ResponsePolicy};
+use crate::error::CoreError;
+
+/// Messages of the matching protocol. All are broadcast, as in the paper;
+/// the `to` field addresses the intended recipient and everyone else
+/// ignores the message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchMsg {
+    /// `I` state: sender proposes to match with `to`.
+    Invite {
+        /// Intended recipient.
+        to: VertexId,
+    },
+    /// `R` state: sender accepts `to`'s invitation.
+    Accept {
+        /// The invitor being accepted.
+        to: VertexId,
+    },
+    /// `E`-like announce: the sender is now matched and leaves the pool.
+    Matched,
+}
+
+/// Per-vertex automata state for matching discovery.
+#[derive(Debug)]
+pub struct MatchingNode {
+    me: VertexId,
+    /// Sorted neighbor ids.
+    neighbors: Vec<VertexId>,
+    /// Parallel to `neighbors`: still unmatched (as announced).
+    available: Vec<bool>,
+    /// Matched partner, once paired.
+    matched_with: Option<VertexId>,
+    /// Computation round (0-based) in which the pair formed.
+    matched_round: Option<u64>,
+    /// Role taken this computation round.
+    role: Role,
+    /// Neighbor invited this computation round (invitors only).
+    invited: Option<VertexId>,
+    invite_probability: f64,
+    response_policy: ResponsePolicy,
+    /// Automata state after the last round (for state censuses).
+    state: &'static str,
+}
+
+impl MatchingNode {
+    fn new(seed: &NodeSeed<'_>, cfg: &ColoringConfig) -> Self {
+        MatchingNode {
+            me: seed.node,
+            neighbors: seed.neighbors.to_vec(),
+            available: vec![true; seed.neighbors.len()],
+            matched_with: None,
+            matched_round: None,
+            role: Role::Listener,
+            invited: None,
+            invite_probability: cfg.invite_probability,
+            response_policy: cfg.response_policy,
+            state: "C",
+        }
+    }
+
+    fn port_of(&self, v: VertexId) -> Option<usize> {
+        self.neighbors.binary_search(&v).ok()
+    }
+
+    /// Neighbors still believed unmatched.
+    fn available_neighbors(&self) -> Vec<VertexId> {
+        self.neighbors
+            .iter()
+            .zip(&self.available)
+            .filter(|&(_, &a)| a)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+}
+
+impl Protocol for MatchingNode {
+    type Msg = MatchMsg;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, MatchMsg>) -> NodeStatus {
+        match Phase::of_round(ctx.round()) {
+            Phase::InviteStep => {
+                // Ingest `Matched` announcements from the previous
+                // exchange step.
+                for env in ctx.inbox() {
+                    if matches!(env.msg, MatchMsg::Matched) {
+                        if let Some(p) = self.port_of(env.from) {
+                            self.available[p] = false;
+                        }
+                    }
+                }
+                debug_assert!(self.matched_with.is_none(), "matched nodes have left");
+                let candidates = self.available_neighbors();
+                if candidates.is_empty() {
+                    // Every neighbor is matched: this node can never pair
+                    // again — it leaves unmatched (maximality preserved).
+                    self.state = "D";
+                    return NodeStatus::Done;
+                }
+                self.invited = None;
+                self.role = choose_role(ctx.rng(), self.invite_probability);
+                self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                if self.role == Role::Invitor {
+                    let &target =
+                        pick_uniform(ctx.rng(), &candidates).expect("candidates nonempty");
+                    self.invited = Some(target);
+                    ctx.broadcast(MatchMsg::Invite { to: target });
+                }
+                NodeStatus::Active
+            }
+            Phase::RespondStep => {
+                if self.role == Role::Listener {
+                    let me = self.me;
+                    let kept: Vec<VertexId> = ctx
+                        .inbox()
+                        .iter()
+                        .filter_map(|env| match env.msg {
+                            MatchMsg::Invite { to } if to == me => Some(env.from),
+                            _ => None,
+                        })
+                        .collect();
+                    let chosen = match self.response_policy {
+                        ResponsePolicy::Random => pick_uniform(ctx.rng(), &kept).copied(),
+                        // Inbox is sorted by sender id.
+                        ResponsePolicy::FirstSender | ResponsePolicy::LowestColor => {
+                            kept.first().copied()
+                        }
+                    };
+                    if let Some(partner) = chosen {
+                        ctx.broadcast(MatchMsg::Accept { to: partner });
+                        self.matched_with = Some(partner);
+                        self.matched_round = Some(ctx.round() / 3);
+                    }
+                }
+                self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                NodeStatus::Active
+            }
+            Phase::ExchangeStep => {
+                if self.role == Role::Invitor && self.matched_with.is_none() {
+                    let me = self.me;
+                    let accepted = ctx.inbox().iter().any(|env| {
+                        matches!(env.msg, MatchMsg::Accept { to } if to == me)
+                            && Some(env.from) == self.invited
+                    });
+                    if accepted {
+                        self.matched_with = self.invited;
+                        self.matched_round = Some(ctx.round() / 3);
+                    }
+                }
+                if self.matched_with.is_some() {
+                    ctx.broadcast(MatchMsg::Matched);
+                    self.state = "D";
+                    return NodeStatus::Done;
+                }
+                self.state = "U";
+                NodeStatus::Active
+            }
+        }
+    }
+}
+
+/// Construct a matching node directly, for custom runs through the
+/// simulator APIs (e.g. state censuses via
+/// [`dima_sim::run_sequential_observed`]); normal use goes through
+/// [`maximal_matching`].
+pub fn new_node_for_census(seed: &NodeSeed<'_>, cfg: &ColoringConfig) -> MatchingNode {
+    MatchingNode::new(seed, cfg)
+}
+
+impl dima_sim::trace::StateLabel for MatchingNode {
+    fn state_label(&self) -> &'static str {
+        self.state
+    }
+}
+
+/// The outcome of a maximal-matching run.
+#[derive(Clone, Debug)]
+pub struct MatchingResult {
+    /// Matched pairs `(u, v)` with `u < v`.
+    pub pairs: Vec<(VertexId, VertexId)>,
+    /// Computation round in which each pair formed (parallel to
+    /// [`MatchingResult::pairs`]).
+    pub pair_round: Vec<u64>,
+    /// Computation rounds until global termination.
+    pub compute_rounds: u64,
+    /// Communication rounds (3 per computation round).
+    pub comm_rounds: u64,
+    /// Simulator statistics.
+    pub stats: RunStats,
+    /// `true` iff both endpoints of every pair agree on the pairing
+    /// (always true under reliable delivery).
+    pub agreement: bool,
+}
+
+impl MatchingResult {
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Run the matching-discovery automata on `g` until every node is matched
+/// or isolated among unmatched nodes, returning a **maximal matching**.
+pub fn maximal_matching(g: &Graph, cfg: &ColoringConfig) -> Result<MatchingResult, CoreError> {
+    cfg.validate()?;
+    let topo = Topology::from_graph(g);
+    let engine_cfg = EngineConfig {
+        seed: cfg.seed,
+        max_rounds: 3 * cfg.compute_round_budget(g.max_degree()),
+        collect_round_stats: cfg.collect_round_stats,
+        validate_sends: true,
+        faults: cfg.faults.clone(),
+    };
+    let factory = |seed: NodeSeed<'_>| MatchingNode::new(&seed, cfg);
+    let outcome: RunOutcome<MatchingNode> = match cfg.engine {
+        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
+        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
+    };
+
+    let mut pairs = Vec::new();
+    let mut pair_round = Vec::new();
+    let mut agreement = true;
+    for node in &outcome.nodes {
+        if let Some(partner) = node.matched_with {
+            let reciprocal =
+                outcome.nodes[partner.index()].matched_with == Some(node.me);
+            agreement &= reciprocal;
+            if node.me < partner {
+                pairs.push((node.me, partner));
+                pair_round.push(node.matched_round.unwrap_or(0));
+            }
+        }
+    }
+    let comm_rounds = outcome.stats.rounds;
+    Ok(MatchingResult {
+        pairs,
+        pair_round,
+        compute_rounds: Phase::compute_rounds(comm_rounds),
+        comm_rounds,
+        stats: outcome.stats,
+        agreement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_matching;
+    use dima_graph::gen::structured;
+    use dima_graph::gen::{erdos_renyi_avg_degree, watts_strogatz};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check_maximal(g: &Graph, m: &MatchingResult) {
+        assert!(m.agreement);
+        verify_matching(g, &m.pairs).unwrap();
+        // Maximality: no edge joins two unmatched vertices.
+        let mut matched = vec![false; g.num_vertices()];
+        for &(u, v) in &m.pairs {
+            matched[u.index()] = true;
+            matched[v.index()] = true;
+        }
+        for (_, (u, v)) in g.edges() {
+            assert!(
+                matched[u.index()] || matched[v.index()],
+                "edge ({u},{v}) joins two unmatched vertices"
+            );
+        }
+    }
+
+    #[test]
+    fn single_edge_matches() {
+        let g = structured::path(2);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert_eq!(m.pairs, vec![(VertexId(0), VertexId(1))]);
+        assert_eq!(m.pair_round, vec![0]);
+        check_maximal(&g, &m);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::empty(5);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.compute_rounds, 1); // one round to notice isolation
+        let g = Graph::empty(0);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(1)).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.comm_rounds, 0);
+    }
+
+    #[test]
+    fn maximal_on_structured_families() {
+        for (name, g) in [
+            ("complete", structured::complete(9)),
+            ("cycle", structured::cycle(11)),
+            ("star", structured::star(8)),
+            ("grid", structured::grid(5, 6)),
+            ("petersen", structured::petersen()),
+            ("tree", structured::balanced_binary_tree(4)),
+        ] {
+            let m = maximal_matching(&g, &ColoringConfig::seeded(7)).unwrap();
+            check_maximal(&g, &m);
+            assert!(!m.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn maximal_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for seed in 0..5 {
+            let g = erdos_renyi_avg_degree(100, 6.0, &mut rng).unwrap();
+            let m = maximal_matching(&g, &ColoringConfig::seeded(seed)).unwrap();
+            check_maximal(&g, &m);
+        }
+        let g = watts_strogatz(64, 6, 0.2, &mut rng).unwrap();
+        let m = maximal_matching(&g, &ColoringConfig::seeded(9)).unwrap();
+        check_maximal(&g, &m);
+    }
+
+    #[test]
+    fn star_matches_exactly_one_pair() {
+        let g = structured::star(10);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(5)).unwrap();
+        assert_eq!(m.len(), 1);
+        let (u, _) = m.pairs[0];
+        assert_eq!(u, VertexId(0)); // hub is in every edge
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let g = structured::grid(7, 7);
+        let seq = maximal_matching(&g, &ColoringConfig::seeded(13)).unwrap();
+        let par = maximal_matching(
+            &g,
+            &ColoringConfig {
+                engine: Engine::Parallel { threads: 4 },
+                ..ColoringConfig::seeded(13)
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.pairs, par.pairs);
+        assert_eq!(seq.pair_round, par.pair_round);
+        assert_eq!(seq.comm_rounds, par.comm_rounds);
+        assert_eq!(seq.stats.messages_sent, par.stats.messages_sent);
+    }
+
+    #[test]
+    fn pair_rounds_are_within_run() {
+        let g = structured::complete(12);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(2)).unwrap();
+        for &r in &m.pair_round {
+            assert!(r < m.compute_rounds);
+        }
+    }
+
+    #[test]
+    fn rounds_stay_modest_on_complete_graph() {
+        // K16: Δ = 15; expect far fewer than the 64Δ+256 budget.
+        let g = structured::complete(16);
+        let m = maximal_matching(&g, &ColoringConfig::seeded(4)).unwrap();
+        assert!(m.compute_rounds < 200, "took {} rounds", m.compute_rounds);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let g = structured::path(3);
+        let cfg = ColoringConfig { invite_probability: 0.0, ..Default::default() };
+        assert!(matches!(maximal_matching(&g, &cfg), Err(CoreError::Config(_))));
+    }
+}

@@ -1,0 +1,256 @@
+//! Colors and growable color sets.
+//!
+//! Colors are dense small integers (the paper indexes its palette from the
+//! lowest color upward), so sets of colors are bitsets over 64-bit words.
+//! [`ColorSet`] grows on demand — the algorithms never need to fix a
+//! palette size in advance, and the `2Δ−1` bound emerges from the
+//! lowest-available selection rule rather than from truncation.
+
+use std::fmt;
+
+/// An edge color (equivalently: a channel or time slot). Colors are dense
+/// indices starting at 0; the paper's "color 1" is `Color(0)` here.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Color(pub u32);
+
+impl Color {
+    /// The color index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A growable set of colors, backed by a bitset.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct ColorSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ColorSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ColorSet::default()
+    }
+
+    /// An empty set with room for colors `0..capacity` without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ColorSet { words: Vec::with_capacity(capacity.div_ceil(64)), len: 0 }
+    }
+
+    /// Number of colors in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no colors are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, c: Color) -> bool {
+        let w = c.index() / 64;
+        w < self.words.len() && (self.words[w] >> (c.index() % 64)) & 1 == 1
+    }
+
+    /// Insert `c`; returns `true` if it was new.
+    pub fn insert(&mut self, c: Color) -> bool {
+        let w = c.index() / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (c.index() % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Remove `c`; returns `true` if it was present.
+    pub fn remove(&mut self, c: Color) -> bool {
+        let w = c.index() / 64;
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (c.index() % 64);
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// The lowest color **not** in the set — the paper's "first available
+    /// color" selection (Algorithm 1, line 1.11).
+    pub fn first_absent(&self) -> Color {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                return Color((i * 64 + w.trailing_ones() as usize) as u32);
+            }
+        }
+        Color((self.words.len() * 64) as u32)
+    }
+
+    /// The lowest color in **neither** set — the "lowest color legal for
+    /// both endpoints" rule: `live_u \ used_v` where both sides are
+    /// represented by their *used* sets.
+    pub fn first_absent_in_union(&self, other: &ColorSet) -> Color {
+        let max_words = self.words.len().max(other.words.len());
+        for i in 0..max_words {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let u = a | b;
+            if u != u64::MAX {
+                return Color((i * 64 + u.trailing_ones() as usize) as u32);
+            }
+        }
+        Color((max_words * 64) as u32)
+    }
+
+    /// The greatest color in the set, if any.
+    pub fn max(&self) -> Option<Color> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(Color((i * 64 + 63 - w.leading_zeros() as usize) as u32));
+            }
+        }
+        None
+    }
+
+    /// Iterate the colors in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Color> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(Color((i * 64 + bit) as u32))
+            })
+        })
+    }
+
+    /// Colors in `0..bound` **not** in the set, in increasing order
+    /// (used by the random-legal-color ablation policy).
+    pub fn absent_below(&self, bound: u32) -> Vec<Color> {
+        (0..bound).map(Color).filter(|&c| !self.contains(c)).collect()
+    }
+}
+
+impl fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Color> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> Self {
+        let mut s = ColorSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = ColorSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(Color(3)));
+        assert!(s.insert(Color(3)));
+        assert!(!s.insert(Color(3)));
+        assert!(s.contains(Color(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Color(3)));
+        assert!(!s.remove(Color(3)));
+        assert!(s.is_empty());
+        assert!(!s.remove(Color(1000))); // out of allocated range
+    }
+
+    #[test]
+    fn first_absent_walks_past_full_words() {
+        let mut s = ColorSet::new();
+        assert_eq!(s.first_absent(), Color(0));
+        for c in 0..130 {
+            s.insert(Color(c));
+        }
+        assert_eq!(s.first_absent(), Color(130));
+        s.remove(Color(64));
+        assert_eq!(s.first_absent(), Color(64));
+    }
+
+    #[test]
+    fn first_absent_in_union_interleaved() {
+        let a: ColorSet = [0u32, 2, 4].into_iter().map(Color).collect();
+        let b: ColorSet = [1u32, 3].into_iter().map(Color).collect();
+        assert_eq!(a.first_absent_in_union(&b), Color(5));
+        let empty = ColorSet::new();
+        assert_eq!(a.first_absent_in_union(&empty), Color(1));
+        assert_eq!(empty.first_absent_in_union(&empty), Color(0));
+        // Different word counts.
+        let big: ColorSet = [70u32].into_iter().map(Color).collect();
+        assert_eq!(a.first_absent_in_union(&big), Color(1));
+    }
+
+    #[test]
+    fn max_and_iter_ordering() {
+        let s: ColorSet = [9u32, 1, 200, 64].into_iter().map(Color).collect();
+        assert_eq!(s.max(), Some(Color(200)));
+        let order: Vec<u32> = s.iter().map(|c| c.0).collect();
+        assert_eq!(order, vec![1, 9, 64, 200]);
+        assert_eq!(ColorSet::new().max(), None);
+    }
+
+    #[test]
+    fn absent_below_lists_gaps() {
+        let s: ColorSet = [0u32, 2].into_iter().map(Color).collect();
+        let gaps: Vec<u32> = s.absent_below(5).iter().map(|c| c.0).collect();
+        assert_eq!(gaps, vec![1, 3, 4]);
+        assert!(s.absent_below(0).is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut s = ColorSet::with_capacity(256);
+        assert!(s.is_empty());
+        s.insert(Color(255));
+        assert!(s.contains(Color(255)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s: ColorSet = [2u32, 0].into_iter().map(Color).collect();
+        assert_eq!(format!("{s:?}"), "{c0, c2}");
+        assert_eq!(format!("{:?}", Color(7)), "c7");
+        assert_eq!(Color(7).to_string(), "7");
+    }
+}

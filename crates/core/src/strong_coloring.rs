@@ -1,0 +1,603 @@
+//! **Algorithm 2 (DiMa2ED)** — distributed matching-based distance-2 edge
+//! coloring of symmetric digraphs.
+//!
+//! The model for channel / time-slot assignment in ad-hoc radio networks:
+//! each directed link needs a channel distinct from every transmission
+//! whose sender lies in interference range of its receiver (the paper's
+//! Definition 2). The automata skeleton is Algorithm 1's, with two
+//! crucial additions from Procedures 2-a/b/c:
+//!
+//! * each node's *usable* palette excludes every color used within one
+//!   hop — its own colors plus everything its neighbors have announced
+//!   (`UpdateColors`), and
+//! * a responder in the `R` state filters the invitations addressed to it
+//!   against the colors proposed in **overheard** invitations addressed
+//!   to others (Procedure 2-b, line 8): because the digraph is symmetric,
+//!   every same-round Definition-2 conflict is overheard by at least one
+//!   of the two responders involved — that is exactly the paper's
+//!   Proposition 5, Case 2.
+//!
+//! One computation round colors at most one *out*-arc per invitor (and
+//! the corresponding in-arc at the responder); a node is done when all
+//! its out- **and** in-arcs are colored (paper line 2.28).
+
+use dima_graph::{ArcId, Digraph, VertexId};
+use dima_sim::{
+    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx,
+    RunOutcome, RunStats, Topology,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
+use crate::error::CoreError;
+use crate::palette::{Color, ColorSet};
+
+/// Messages of Algorithm 2. All broadcast — overhearing is what makes the
+/// same-round conflict detection of Procedure 2-b work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrongMsg {
+    /// Procedure 2-a's `⟨φ, v, u⟩`: sender proposes candidate channels
+    /// for the arc `sender → to`. The paper sends exactly one channel
+    /// (`proposal_width = 1`, the default); wider proposals are the ABL3
+    /// extension.
+    Invite {
+        /// Intended responder (head of the arc).
+        to: VertexId,
+        /// Proposed channels, lowest first.
+        colors: Vec<Color>,
+    },
+    /// Procedure 2-b's reply: sender (the responder) echoes the chosen
+    /// invitation back to invitor `to`.
+    Accept {
+        /// The invitor whose proposal is accepted.
+        to: VertexId,
+        /// The agreed channel.
+        color: Color,
+    },
+    /// `UpdateColors`: the sender has newly used `color`; neighbors must
+    /// remove it from their usable lists.
+    Used {
+        /// The newly used channel.
+        color: Color,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Proposal {
+    port: usize,
+    colors: Vec<Color>,
+}
+
+/// Per-vertex automata state for Algorithm 2.
+#[derive(Debug)]
+pub struct StrongColoringNode {
+    me: VertexId,
+    /// Sorted (underlying) neighbor ids.
+    neighbors: Vec<VertexId>,
+    /// Out-arc `me → neighbors[p]`.
+    out_arcs: Vec<ArcId>,
+    /// In-arc `neighbors[p] → me`.
+    in_arcs: Vec<ArcId>,
+    out_color: Vec<Option<Color>>,
+    in_color: Vec<Option<Color>>,
+    /// Ports with uncolored out-arcs (what this node can still invite
+    /// for).
+    uncolored_out: Vec<usize>,
+    /// In-arcs still uncolored (counted for termination).
+    uncolored_in: usize,
+    /// Colors unusable here: own used ∪ everything neighbors announced.
+    forbidden: ColorSet,
+    /// Per-port retry memory: colors this node proposed on the port while
+    /// the partner was a *silent listener* — i.e. the partner provably
+    /// received the invitation, was in the `L`/`R` states, and accepted
+    /// nothing, which (Procedure 2-b) means the color was unusable at the
+    /// partner or collided with an overheard proposal. One-hop knowledge
+    /// cannot reveal *which* colors a two-hops-away node holds, so
+    /// without this memory the lowest-available rule can re-propose the
+    /// same doomed color forever (a genuine livelock of the paper's
+    /// pseudocode as written; see `DESIGN.md`).
+    tried: Vec<ColorSet>,
+    role: Role,
+    proposal: Option<Proposal>,
+    /// Whether the current round partner was overheard inviting (set in
+    /// the wait step; an inviting partner was not listening, so a missing
+    /// reply says nothing about the proposed color).
+    partner_was_inviting: bool,
+    newly_used: Option<Color>,
+    invite_probability: f64,
+    color_policy: ColorPolicy,
+    response_policy: ResponsePolicy,
+    proposal_width: usize,
+    /// Automata state after the last round (for state censuses).
+    state: &'static str,
+}
+
+impl StrongColoringNode {
+    fn new(seed: &NodeSeed<'_>, d: &Digraph, cfg: &ColoringConfig) -> Self {
+        let me = seed.node;
+        let out_arcs: Vec<ArcId> = seed
+            .neighbors
+            .iter()
+            .map(|&w| d.arc_between(me, w).expect("digraph is symmetric"))
+            .collect();
+        let in_arcs: Vec<ArcId> = seed
+            .neighbors
+            .iter()
+            .map(|&w| d.arc_between(w, me).expect("digraph is symmetric"))
+            .collect();
+        let degree = seed.neighbors.len();
+        StrongColoringNode {
+            me,
+            neighbors: seed.neighbors.to_vec(),
+            out_arcs,
+            in_arcs,
+            out_color: vec![None; degree],
+            in_color: vec![None; degree],
+            uncolored_out: (0..degree).collect(),
+            uncolored_in: degree,
+            forbidden: ColorSet::new(),
+            tried: vec![ColorSet::new(); degree],
+            role: Role::Listener,
+            proposal: None,
+            partner_was_inviting: false,
+            newly_used: None,
+            invite_probability: cfg.invite_probability,
+            color_policy: cfg.color_policy,
+            response_policy: cfg.response_policy,
+            proposal_width: cfg.proposal_width,
+            state: "C",
+        }
+    }
+
+    fn port_of(&self, v: VertexId) -> Option<usize> {
+        self.neighbors.binary_search(&v).ok()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.uncolored_out.is_empty() && self.uncolored_in == 0
+    }
+
+    /// "Choose an open channel φ for v" (Procedure 2-a), generalised to
+    /// `proposal_width` candidates: the lowest colors neither forbidden
+    /// here nor already refused on this port (or random legal ones under
+    /// the ablation policy).
+    fn propose_colors(&self, port: usize, rng: &mut SmallRng) -> Vec<Color> {
+        let width = self.proposal_width.max(1);
+        match self.color_policy {
+            ColorPolicy::LowestIndex => {
+                let mut out = Vec::with_capacity(width);
+                let mut scratch = self.tried[port].clone();
+                for _ in 0..width {
+                    let c = self.forbidden.first_absent_in_union(&scratch);
+                    scratch.insert(c);
+                    out.push(c);
+                }
+                out
+            }
+            ColorPolicy::RandomLegal => {
+                let bound = self
+                    .forbidden
+                    .max()
+                    .into_iter()
+                    .chain(self.tried[port].max())
+                    .map(|c| c.0 + 1 + width as u32)
+                    .max()
+                    .unwrap_or(width as u32);
+                let mut legal: Vec<Color> = (0..bound)
+                    .map(Color)
+                    .filter(|&c| !self.forbidden.contains(c) && !self.tried[port].contains(c))
+                    .collect();
+                let mut out = Vec::with_capacity(width);
+                for _ in 0..width.min(legal.len().max(1)) {
+                    if legal.is_empty() {
+                        break;
+                    }
+                    let i = rng.random_range(0..legal.len());
+                    out.push(legal.swap_remove(i));
+                }
+                if out.is_empty() {
+                    out.push(self.forbidden.first_absent_in_union(&self.tried[port]));
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    fn use_color(&mut self, color: Color) {
+        self.forbidden.insert(color);
+        self.newly_used = Some(color);
+    }
+}
+
+impl Protocol for StrongColoringNode {
+    type Msg = StrongMsg;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, StrongMsg>) -> NodeStatus {
+        match Phase::of_round(ctx.round()) {
+            Phase::InviteStep => {
+                // `UpdateColors` ingestion from the previous exchange.
+                for env in ctx.inbox() {
+                    if let StrongMsg::Used { color } = env.msg {
+                        self.forbidden.insert(color);
+                    }
+                }
+                if self.is_finished() {
+                    // Only reachable by isolated vertices in round 0.
+                    self.state = "D";
+                    return NodeStatus::Done;
+                }
+                self.proposal = None;
+                self.partner_was_inviting = false;
+                self.newly_used = None;
+                // A node with nothing left to invite for still listens —
+                // its remaining in-arcs are colored by its neighbors'
+                // invitations.
+                self.role = if self.uncolored_out.is_empty() {
+                    Role::Listener
+                } else {
+                    choose_role(ctx.rng(), self.invite_probability)
+                };
+                if self.role == Role::Invitor {
+                    let &port = pick_uniform(ctx.rng(), &self.uncolored_out)
+                        .expect("invitor has an uncolored out-arc");
+                    let colors = self.propose_colors(port, ctx.rng());
+                    self.proposal = Some(Proposal { port, colors: colors.clone() });
+                    ctx.broadcast(StrongMsg::Invite { to: self.neighbors[port], colors });
+                }
+                self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                NodeStatus::Active
+            }
+            Phase::RespondStep => {
+                if self.role == Role::Invitor {
+                    // W state: while waiting, overhear whether the round
+                    // partner itself invited (then it was not listening
+                    // and a missing reply carries no color information).
+                    if let Some(Proposal { port, .. }) = &self.proposal {
+                        let partner = self.neighbors[*port];
+                        self.partner_was_inviting = ctx
+                            .inbox()
+                            .iter()
+                            .any(|env| {
+                                env.from == partner
+                                    && matches!(env.msg, StrongMsg::Invite { .. })
+                            });
+                    }
+                }
+                if self.role == Role::Listener {
+                    let me = self.me;
+                    // Procedure 2-b: split into mine[] and other[].
+                    let mut mine: Vec<(VertexId, &Vec<Color>)> = Vec::new();
+                    let mut other_colors = ColorSet::new();
+                    for env in ctx.inbox() {
+                        if let StrongMsg::Invite { to, colors } = &env.msg {
+                            if *to == me {
+                                mine.push((env.from, colors));
+                            } else {
+                                for &c in colors {
+                                    other_colors.insert(c);
+                                }
+                            }
+                        }
+                    }
+                    // For each invitation keep its lowest channel that is
+                    // usable here *and* free of overheard collisions
+                    // (line 2-b.8). The in-arc guard is vacuous under
+                    // reliable delivery; it keeps fault-injected desyncs
+                    // from double-coloring.
+                    let candidates: Vec<(VertexId, Color)> = mine
+                        .into_iter()
+                        .filter_map(|(from, colors)| {
+                            if !self.port_of(from).is_some_and(|p| self.in_color[p].is_none()) {
+                                return None;
+                            }
+                            colors
+                                .iter()
+                                .copied()
+                                .find(|&c| {
+                                    !self.forbidden.contains(c) && !other_colors.contains(c)
+                                })
+                                .map(|c| (from, c))
+                        })
+                        .collect();
+                    let chosen = match self.response_policy {
+                        ResponsePolicy::Random => pick_uniform(ctx.rng(), &candidates).copied(),
+                        ResponsePolicy::FirstSender => candidates.first().copied(),
+                        ResponsePolicy::LowestColor => {
+                            candidates.iter().copied().min_by_key(|&(_, c)| c)
+                        }
+                    };
+                    if let Some((partner, color)) = chosen {
+                        ctx.broadcast(StrongMsg::Accept { to: partner, color });
+                        // U_i: color the incoming arc from the round
+                        // partner.
+                        let port = self.port_of(partner).expect("invitor is a neighbor");
+                        debug_assert!(self.in_color[port].is_none());
+                        self.in_color[port] = Some(color);
+                        self.uncolored_in -= 1;
+                        self.use_color(color);
+                    }
+                }
+                self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                NodeStatus::Active
+            }
+            Phase::ExchangeStep => {
+                // U_o: the invitor looks for the echo of its proposal.
+                if self.role == Role::Invitor {
+                    if let Some(Proposal { port, colors }) = self.proposal.take() {
+                        let partner = self.neighbors[port];
+                        let me = self.me;
+                        let accepted = ctx.inbox().iter().find_map(|env| {
+                            if env.from != partner {
+                                return None;
+                            }
+                            match env.msg {
+                                StrongMsg::Accept { to, color: c }
+                                    if to == me && colors.contains(&c) =>
+                                {
+                                    Some(c)
+                                }
+                                _ => None,
+                            }
+                        });
+                        if let Some(color) = accepted {
+                            debug_assert!(self.out_color[port].is_none());
+                            self.out_color[port] = Some(color);
+                            self.uncolored_out.retain(|&p| p != port);
+                            self.use_color(color);
+                        } else {
+                            // No reply. If the partner was overheard
+                            // accepting someone else's invitation this
+                            // round, or was inviting itself, the failure
+                            // is pure contention — retry the same colors
+                            // later. If the partner was a *silent
+                            // listener*, Procedure 2-b rejected every
+                            // proposed channel at the partner (unusable
+                            // there, or overheard collisions): remember
+                            // them per port so the next proposal makes
+                            // progress.
+                            let partner_accepted_other = ctx.inbox().iter().any(|env| {
+                                env.from == partner
+                                    && matches!(env.msg, StrongMsg::Accept { to, .. } if to != me)
+                            });
+                            if !self.partner_was_inviting && !partner_accepted_other {
+                                for &c in &colors {
+                                    self.tried[port].insert(c);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(color) = self.newly_used {
+                    ctx.broadcast(StrongMsg::Used { color });
+                }
+                if self.is_finished() {
+                    self.state = "D";
+                    NodeStatus::Done
+                } else {
+                    self.state = "E";
+                    NodeStatus::Active
+                }
+            }
+        }
+    }
+}
+
+impl dima_sim::trace::StateLabel for StrongColoringNode {
+    fn state_label(&self) -> &'static str {
+        self.state
+    }
+}
+
+/// The outcome of a strong-coloring run.
+#[derive(Clone, Debug)]
+pub struct StrongColoringResult {
+    /// Channel per arc (indexed by [`ArcId`]), as committed by the tail.
+    pub colors: Vec<Option<Color>>,
+    /// Number of distinct channels used.
+    pub colors_used: usize,
+    /// Largest channel index used.
+    pub max_color: Option<Color>,
+    /// Computation rounds until the last node finished.
+    pub compute_rounds: u64,
+    /// Communication rounds (3 per computation round).
+    pub comm_rounds: u64,
+    /// Maximum degree Δ of the *underlying* graph (the paper's Δ).
+    pub max_degree: usize,
+    /// `true` iff tail and head committed the same channel on every arc.
+    pub endpoint_agreement: bool,
+    /// Simulator statistics.
+    pub stats: RunStats,
+}
+
+/// Run Algorithm 2 on the symmetric digraph `d`.
+///
+/// Returns [`CoreError::Graph`] if `d` is not symmetric — the paper's
+/// Proposition 5 (Case 2) relies on responders overhearing competing
+/// invitations through the reverse arcs.
+pub fn strong_color_digraph(
+    d: &Digraph,
+    cfg: &ColoringConfig,
+) -> Result<StrongColoringResult, CoreError> {
+    cfg.validate()?;
+    d.require_symmetric()?;
+    let delta = d.max_underlying_degree();
+    let topo = Topology::from_digraph(d);
+    let engine_cfg = EngineConfig {
+        seed: cfg.seed,
+        max_rounds: 3 * cfg.compute_round_budget(delta),
+        collect_round_stats: cfg.collect_round_stats,
+        validate_sends: true,
+        faults: cfg.faults.clone(),
+    };
+    let factory = |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, d, cfg);
+    let outcome: RunOutcome<StrongColoringNode> = match cfg.engine {
+        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
+        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
+    };
+
+    let mut colors: Vec<Option<Color>> = vec![None; d.num_arcs()];
+    let mut head_view: Vec<Option<Color>> = vec![None; d.num_arcs()];
+    for node in &outcome.nodes {
+        for (port, &c) in node.out_color.iter().enumerate() {
+            colors[node.out_arcs[port].index()] = c;
+        }
+        for (port, &c) in node.in_color.iter().enumerate() {
+            head_view[node.in_arcs[port].index()] = c;
+        }
+    }
+    let endpoint_agreement = colors == head_view;
+
+    let mut palette = ColorSet::new();
+    for c in colors.iter().flatten() {
+        palette.insert(*c);
+    }
+    let comm_rounds = outcome.stats.rounds;
+    Ok(StrongColoringResult {
+        colors_used: palette.len(),
+        max_color: palette.max(),
+        colors,
+        compute_rounds: Phase::compute_rounds(comm_rounds),
+        comm_rounds,
+        max_degree: delta,
+        endpoint_agreement,
+        stats: outcome.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_strong_coloring;
+    use dima_graph::gen::{erdos_renyi_avg_degree, structured};
+    use dima_graph::Graph;
+    use rand::rngs::SmallRng;
+use rand::Rng;
+    use rand::SeedableRng;
+
+    fn assert_good(d: &Digraph, r: &StrongColoringResult) {
+        assert!(r.endpoint_agreement, "tail/head disagree");
+        verify_strong_coloring(d, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn single_symmetric_edge() {
+        let g = structured::path(2);
+        let d = Digraph::symmetric_closure(&g);
+        let r = strong_color_digraph(&d, &ColoringConfig::seeded(1)).unwrap();
+        assert_good(&d, &r);
+        // The two directions conflict (reverse arcs): exactly 2 channels.
+        assert_eq!(r.colors_used, 2);
+    }
+
+    #[test]
+    fn rejects_asymmetric_digraph() {
+        let d = Digraph::from_arcs(2, [(VertexId(0), VertexId(1))]).unwrap();
+        let err = strong_color_digraph(&d, &ColoringConfig::seeded(1)).unwrap_err();
+        assert!(matches!(err, CoreError::Graph(_)));
+    }
+
+    #[test]
+    fn structured_families_color_correctly() {
+        for (name, g) in [
+            ("path5", structured::path(5)),
+            ("cycle6", structured::cycle(6)),
+            ("star7", structured::star(7)),
+            ("grid", structured::grid(4, 4)),
+            ("complete6", structured::complete(6)),
+            ("petersen", structured::petersen()),
+        ] {
+            let d = Digraph::symmetric_closure(&g);
+            let r = strong_color_digraph(&d, &ColoringConfig::seeded(5)).unwrap();
+            assert_good(&d, &r);
+            assert!(r.colors.iter().all(Option::is_some), "{name}: incomplete");
+        }
+    }
+
+    #[test]
+    fn random_er_digraphs_color_correctly() {
+        // The paper's §IV-D workload, scaled down for unit tests.
+        let mut rng = SmallRng::seed_from_u64(8);
+        for seed in 0..4 {
+            let g = erdos_renyi_avg_degree(60, 4.0, &mut rng).unwrap();
+            let d = Digraph::symmetric_closure(&g);
+            let r = strong_color_digraph(&d, &ColoringConfig::seeded(seed)).unwrap();
+            assert_good(&d, &r);
+        }
+    }
+
+    #[test]
+    fn empty_digraph() {
+        let d = Digraph::symmetric_closure(&Graph::empty(3));
+        let r = strong_color_digraph(&d, &ColoringConfig::seeded(1)).unwrap();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.colors_used, 0);
+    }
+
+    #[test]
+    fn parallel_engine_bit_identical() {
+        let g = structured::grid(5, 5);
+        let d = Digraph::symmetric_closure(&g);
+        let cfg = ColoringConfig::seeded(77);
+        let seq = strong_color_digraph(&d, &cfg).unwrap();
+        let par = strong_color_digraph(
+            &d,
+            &ColoringConfig { engine: Engine::Parallel { threads: 3 }, ..cfg },
+        )
+        .unwrap();
+        assert_eq!(seq.colors, par.colors);
+        assert_eq!(seq.comm_rounds, par.comm_rounds);
+        assert_eq!(seq.stats.messages_sent, par.stats.messages_sent);
+    }
+
+    #[test]
+    fn rounds_scale_with_delta_not_n() {
+        let sparse_big = Digraph::symmetric_closure(&structured::cycle(200)); // Δ = 2
+        let dense_small = Digraph::symmetric_closure(&structured::complete(12)); // Δ = 11
+        let r1 = strong_color_digraph(&sparse_big, &ColoringConfig::seeded(6)).unwrap();
+        let r2 = strong_color_digraph(&dense_small, &ColoringConfig::seeded(6)).unwrap();
+        assert!(
+            r1.compute_rounds < r2.compute_rounds,
+            "cycle {} vs clique {}",
+            r1.compute_rounds,
+            r2.compute_rounds
+        );
+    }
+
+    #[test]
+    fn ablation_policies_still_correct() {
+        let g = structured::grid(3, 4);
+        let d = Digraph::symmetric_closure(&g);
+        for policy in [ColorPolicy::RandomLegal] {
+            let cfg = ColoringConfig { color_policy: policy, ..ColoringConfig::seeded(3) };
+            let r = strong_color_digraph(&d, &cfg).unwrap();
+            assert_good(&d, &r);
+        }
+        for policy in [ResponsePolicy::FirstSender, ResponsePolicy::LowestColor] {
+            let cfg = ColoringConfig { response_policy: policy, ..ColoringConfig::seeded(4) };
+            let r = strong_color_digraph(&d, &cfg).unwrap();
+            assert_good(&d, &r);
+        }
+    }
+
+    #[test]
+    fn coloring_also_satisfies_cross_round_one_hop_exclusion() {
+        // Stronger-than-required sanity: by construction, a color used at
+        // a node is never reused by that node. Check per-node uniqueness
+        // over incident arcs' *own* commitments (tail for out, head for
+        // in) — the conservative palette rule implies it.
+        let g = structured::complete(7);
+        let d = Digraph::symmetric_closure(&g);
+        let r = strong_color_digraph(&d, &ColoringConfig::seeded(10)).unwrap();
+        assert_good(&d, &r);
+        for v in d.vertices() {
+            let mut seen = ColorSet::new();
+            for &(_, a) in d.out_neighbors(v).iter().chain(d.in_neighbors(v)) {
+                let c = r.colors[a.index()].unwrap();
+                assert!(seen.insert(c), "node {v} reuses color {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Independent verification of matchings and colorings.
+//!
+//! Every experiment binary and test verifies algorithm output with these
+//! direct neighborhood checks; the integration tests additionally
+//! cross-check them against the conflict-graph constructions in
+//! [`dima_graph::conflict`] (vertex-coloring view), so the two
+//! implementations of each constraint guard each other.
+
+use std::fmt;
+
+use dima_graph::{ArcId, Digraph, EdgeId, Graph, VertexId};
+
+use crate::palette::Color;
+
+/// A verification failure, carrying a concrete witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An edge/arc was left uncolored.
+    Uncolored {
+        /// Index of the uncolored edge or arc.
+        index: u32,
+    },
+    /// Two adjacent edges share a color.
+    AdjacentSameColor {
+        /// First edge.
+        e1: EdgeId,
+        /// Second edge.
+        e2: EdgeId,
+        /// The shared color.
+        color: Color,
+        /// The shared endpoint.
+        at: VertexId,
+    },
+    /// Two arcs in distance-2 conflict share a color.
+    StrongConflict {
+        /// First arc.
+        a1: ArcId,
+        /// Second arc.
+        a2: ArcId,
+        /// The shared color.
+        color: Color,
+    },
+    /// Two matching edges share an endpoint.
+    NotAMatching {
+        /// The vertex covered twice.
+        at: VertexId,
+    },
+    /// A matched pair is not an edge of the graph.
+    NotAnEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Uncolored { index } => write!(f, "edge/arc {index} is uncolored"),
+            Violation::AdjacentSameColor { e1, e2, color, at } => write!(
+                f,
+                "edges {e1:?} and {e2:?} both use color {color} at vertex {at}"
+            ),
+            Violation::StrongConflict { a1, a2, color } => write!(
+                f,
+                "arcs {a1:?} and {a2:?} are in distance-2 conflict but share color {color}"
+            ),
+            Violation::NotAMatching { at } => {
+                write!(f, "vertex {at} is covered by two matching edges")
+            }
+            Violation::NotAnEdge { u, v } => {
+                write!(f, "pair ({u}, {v}) is not an edge of the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Check that `colors` is a complete proper edge coloring of `g`:
+/// every edge colored, no two adjacent edges sharing a color.
+pub fn verify_edge_coloring(g: &Graph, colors: &[Option<Color>]) -> Result<(), Violation> {
+    assert_eq!(colors.len(), g.num_edges(), "color vector length mismatch");
+    for (e, _) in g.edges() {
+        if colors[e.index()].is_none() {
+            return Err(Violation::Uncolored { index: e.0 });
+        }
+    }
+    verify_partial_edge_coloring(g, colors)
+}
+
+/// Check properness only (uncolored edges allowed) — used on
+/// fault-corrupted runs and mid-run snapshots.
+pub fn verify_partial_edge_coloring(
+    g: &Graph,
+    colors: &[Option<Color>],
+) -> Result<(), Violation> {
+    assert_eq!(colors.len(), g.num_edges(), "color vector length mismatch");
+    for v in g.vertices() {
+        let inc = g.neighbors(v);
+        for i in 0..inc.len() {
+            let e1 = inc[i].1;
+            let Some(c1) = colors[e1.index()] else { continue };
+            for &(_, e2) in &inc[i + 1..] {
+                if colors[e2.index()] == Some(c1) {
+                    return Err(Violation::AdjacentSameColor { e1, e2, color: c1, at: v });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that `colors` is a complete strong (distance-2, Definition 2)
+/// edge coloring of the symmetric digraph `d`.
+///
+/// The conflict set of arc `e = (u → v)` is: the reverse arc, every arc
+/// entering `v`, and every arc leaving an in-neighbor of `v`
+/// (symmetrised). This scans neighborhoods directly; the test suite
+/// cross-checks it against
+/// [`dima_graph::conflict::digraph_strong_conflicts`].
+pub fn verify_strong_coloring(d: &Digraph, colors: &[Option<Color>]) -> Result<(), Violation> {
+    assert_eq!(colors.len(), d.num_arcs(), "color vector length mismatch");
+    for (a, _) in d.arcs() {
+        if colors[a.index()].is_none() {
+            return Err(Violation::Uncolored { index: a.0 });
+        }
+    }
+    verify_partial_strong_coloring(d, colors)
+}
+
+/// Properness of a partial strong coloring (uncolored arcs allowed).
+pub fn verify_partial_strong_coloring(
+    d: &Digraph,
+    colors: &[Option<Color>],
+) -> Result<(), Violation> {
+    assert_eq!(colors.len(), d.num_arcs(), "color vector length mismatch");
+    let conflict = |a1: ArcId, a2: ArcId| -> Option<Violation> {
+        if a1 == a2 {
+            return None;
+        }
+        let (c1, c2) = (colors[a1.index()]?, colors[a2.index()]?);
+        if c1 == c2 {
+            let (x, y) = if a1 < a2 { (a1, a2) } else { (a2, a1) };
+            Some(Violation::StrongConflict { a1: x, a2: y, color: c1 })
+        } else {
+            None
+        }
+    };
+    for (e, (u, v)) in d.arcs() {
+        // Reverse arc.
+        if let Some(r) = d.arc_between(v, u) {
+            if let Some(viol) = conflict(e, r) {
+                return Err(viol);
+            }
+        }
+        // Arcs entering v.
+        for &(_, f) in d.in_neighbors(v) {
+            if let Some(viol) = conflict(e, f) {
+                return Err(viol);
+            }
+        }
+        // Arcs leaving in-neighbors of v.
+        for &(w, _) in d.in_neighbors(v) {
+            for &(_, f) in d.out_neighbors(w) {
+                if let Some(viol) = conflict(e, f) {
+                    return Err(viol);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that `pairs` is a matching of `g`: every pair an edge, no vertex
+/// covered twice.
+pub fn verify_matching(g: &Graph, pairs: &[(VertexId, VertexId)]) -> Result<(), Violation> {
+    let mut covered = vec![false; g.num_vertices()];
+    for &(u, v) in pairs {
+        if g.edge_between(u, v).is_none() {
+            return Err(Violation::NotAnEdge { u, v });
+        }
+        for w in [u, v] {
+            if covered[w.index()] {
+                return Err(Violation::NotAMatching { at: w });
+            }
+            covered[w.index()] = true;
+        }
+    }
+    Ok(())
+}
+
+/// Count distinct colors in a coloring.
+pub fn count_colors(colors: &[Option<Color>]) -> usize {
+    let mut set = crate::palette::ColorSet::new();
+    for c in colors.iter().flatten() {
+        set.insert(*c);
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::structured;
+
+    fn c(i: u32) -> Option<Color> {
+        Some(Color(i))
+    }
+
+    #[test]
+    fn accepts_proper_coloring_of_path() {
+        let g = structured::path(4); // edges 0-1,1-2,2-3
+        assert!(verify_edge_coloring(&g, &[c(0), c(1), c(0)]).is_ok());
+    }
+
+    #[test]
+    fn rejects_adjacent_same_color() {
+        let g = structured::path(4);
+        let err = verify_edge_coloring(&g, &[c(0), c(0), c(1)]).unwrap_err();
+        match err {
+            Violation::AdjacentSameColor { color, at, .. } => {
+                assert_eq!(color, Color(0));
+                assert_eq!(at, VertexId(1));
+            }
+            other => panic!("wrong violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_uncolored_edge() {
+        let g = structured::path(3);
+        let err = verify_edge_coloring(&g, &[c(0), None]).unwrap_err();
+        assert_eq!(err, Violation::Uncolored { index: 1 });
+        // Partial check is fine with the same input.
+        assert!(verify_partial_edge_coloring(&g, &[c(0), None]).is_ok());
+    }
+
+    #[test]
+    fn partial_check_still_catches_conflicts() {
+        let g = structured::star(4);
+        let err = verify_partial_edge_coloring(&g, &[c(2), None, c(2)]).unwrap_err();
+        assert!(matches!(err, Violation::AdjacentSameColor { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let g = structured::path(3);
+        let _ = verify_edge_coloring(&g, &[c(0)]);
+    }
+
+    #[test]
+    fn strong_coloring_path_cases() {
+        // Symmetric P3: arcs 0:(0→1) 1:(1→0) 2:(1→2) 3:(2→1).
+        let g = structured::path(3);
+        let d = Digraph::symmetric_closure(&g);
+        // All distinct: fine.
+        assert!(verify_strong_coloring(&d, &[c(0), c(1), c(2), c(3)]).is_ok());
+        // Reverse arcs sharing a color: violation.
+        let err = verify_strong_coloring(&d, &[c(0), c(0), c(1), c(2)]).unwrap_err();
+        assert!(matches!(err, Violation::StrongConflict { .. }));
+        // Arcs into the same head sharing a color: violation.
+        let err = verify_strong_coloring(&d, &[c(0), c(1), c(2), c(0)]).unwrap_err();
+        assert!(matches!(err, Violation::StrongConflict { color: Color(0), .. }));
+        // (0→1) and (1→2) do NOT conflict under Definition 2 (see the
+        // conflict-graph tests): sharing a color is legal.
+        assert!(verify_strong_coloring(&d, &[c(0), c(1), c(0), c(2)]).is_ok());
+        // Missing arc color.
+        let err = verify_strong_coloring(&d, &[c(0), None, c(1), c(2)]).unwrap_err();
+        assert_eq!(err, Violation::Uncolored { index: 1 });
+    }
+
+    #[test]
+    fn strong_verifier_agrees_with_conflict_graph() {
+        // Brute-force cross-check on a small digraph: a coloring is
+        // accepted iff it is a proper vertex coloring of the conflict
+        // graph.
+        let g = structured::cycle(4);
+        let d = Digraph::symmetric_closure(&g);
+        let cg = dima_graph::conflict::digraph_strong_conflicts(&d);
+        // Try a handful of assignments with 3 colors over 8 arcs.
+        for trial in 0u64..200 {
+            let colors: Vec<Option<Color>> =
+                (0..d.num_arcs()).map(|i| c(((trial >> (i * 2)) % 3) as u32)).collect();
+            let direct = verify_strong_coloring(&d, &colors).is_ok();
+            let via_graph = cg.edges().all(|(_, (a, b))| {
+                colors[a.index() as usize] != colors[b.index() as usize]
+            });
+            assert_eq!(direct, via_graph, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn matching_checks() {
+        let g = structured::cycle(5);
+        assert!(verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))])
+            .is_ok());
+        let err = verify_matching(&g, &[(VertexId(0), VertexId(2))]).unwrap_err();
+        assert!(matches!(err, Violation::NotAnEdge { .. }));
+        let err =
+            verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+                .unwrap_err();
+        assert_eq!(err, Violation::NotAMatching { at: VertexId(1) });
+        assert!(verify_matching(&g, &[]).is_ok());
+    }
+
+    #[test]
+    fn count_colors_counts_distinct() {
+        assert_eq!(count_colors(&[c(0), c(2), c(0), None]), 2);
+        assert_eq!(count_colors(&[]), 0);
+    }
+
+    #[test]
+    fn violations_display() {
+        assert!(Violation::Uncolored { index: 3 }.to_string().contains("uncolored"));
+        let v = Violation::AdjacentSameColor {
+            e1: EdgeId(0),
+            e2: EdgeId(1),
+            color: Color(2),
+            at: VertexId(5),
+        };
+        assert!(v.to_string().contains("vertex 5"));
+        let v = Violation::StrongConflict { a1: ArcId(0), a2: ArcId(1), color: Color(0) };
+        assert!(v.to_string().contains("distance-2"));
+        assert!(Violation::NotAMatching { at: VertexId(1) }.to_string().contains("covered"));
+        assert!(Violation::NotAnEdge { u: VertexId(0), v: VertexId(9) }
+            .to_string()
+            .contains("not an edge"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Distributed 2-approximate vertex cover — the framework's original
+//! application.
+//!
+//! The paper's automata comes from the authors' 2011 vertex-cover work,
+//! and its conclusion argues the framework generalises ("based on our
+//! prior work on vertex cover..."). The classical reduction: take a
+//! **maximal matching** and put both endpoints of every matched edge in
+//! the cover. Maximality makes it a cover (an uncovered edge would join
+//! two unmatched vertices); disjointness of the pairs makes it at most
+//! twice any cover (every cover needs ≥ one endpoint per pair).
+//!
+//! Here the matching is discovered by the same distributed automata as
+//! the colorings, so the cover is computed in `O(Δ)` rounds with one-hop
+//! information, each node knowing locally whether it is in the cover.
+
+use dima_graph::{Graph, VertexId};
+
+use crate::config::ColoringConfig;
+use crate::error::CoreError;
+use crate::matching::{maximal_matching, MatchingResult};
+
+/// The outcome of a distributed vertex-cover run.
+#[derive(Clone, Debug)]
+pub struct VertexCoverResult {
+    /// `in_cover[v]` — whether vertex `v` ended in the cover.
+    pub in_cover: Vec<bool>,
+    /// Number of cover vertices (always `2 × matching size`).
+    pub size: usize,
+    /// The matching that induced the cover.
+    pub matching: MatchingResult,
+}
+
+impl VertexCoverResult {
+    /// The cover as a vertex list.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        self.in_cover
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+}
+
+/// Compute a 2-approximate vertex cover of `g` with the matching
+/// automata.
+pub fn vertex_cover(g: &Graph, cfg: &ColoringConfig) -> Result<VertexCoverResult, CoreError> {
+    let matching = maximal_matching(g, cfg)?;
+    let mut in_cover = vec![false; g.num_vertices()];
+    for &(u, v) in &matching.pairs {
+        in_cover[u.index()] = true;
+        in_cover[v.index()] = true;
+    }
+    let size = 2 * matching.pairs.len();
+    Ok(VertexCoverResult { in_cover, size, matching })
+}
+
+/// Check that `in_cover` covers every edge of `g`.
+pub fn verify_vertex_cover(g: &Graph, in_cover: &[bool]) -> Result<(), (VertexId, VertexId)> {
+    assert_eq!(in_cover.len(), g.num_vertices(), "cover vector length mismatch");
+    for (_, (u, v)) in g.edges() {
+        if !in_cover[u.index()] && !in_cover[v.index()] {
+            return Err((u, v));
+        }
+    }
+    Ok(())
+}
+
+/// Exact minimum vertex-cover size by exhaustive search — test oracle
+/// only, exponential in `n` (callers keep `n ≤ ~20`).
+pub fn brute_force_min_cover(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    assert!(n <= 24, "brute force limited to tiny graphs");
+    let edges: Vec<(u32, u32)> = g.edges().map(|(_, (u, v))| (u.0, v.0)).collect();
+    let mut best = n;
+    'outer: for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        for &(u, v) in &edges {
+            if mask & (1 << u) == 0 && mask & (1 << v) == 0 {
+                continue 'outer;
+            }
+        }
+        best = size;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::{erdos_renyi_avg_degree, structured};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph, seed: u64) -> VertexCoverResult {
+        let r = vertex_cover(g, &ColoringConfig::seeded(seed)).unwrap();
+        verify_vertex_cover(g, &r.in_cover).unwrap();
+        assert_eq!(r.size, r.vertices().len());
+        assert_eq!(r.size, 2 * r.matching.pairs.len());
+        r
+    }
+
+    #[test]
+    fn covers_structured_families() {
+        for g in [
+            structured::complete(8),
+            structured::cycle(9),
+            structured::star(10),
+            structured::grid(4, 5),
+            structured::petersen(),
+            structured::balanced_binary_tree(4),
+        ] {
+            check(&g, 3);
+        }
+    }
+
+    #[test]
+    fn two_approximation_against_brute_force() {
+        let fixtures = [
+            structured::path(7),
+            structured::cycle(8),
+            structured::star(9),
+            structured::petersen(),
+            structured::complete(6),
+            structured::grid(3, 4),
+        ];
+        for g in fixtures {
+            let opt = brute_force_min_cover(&g);
+            for seed in 0..3 {
+                let r = check(&g, seed);
+                assert!(
+                    r.size <= 2 * opt,
+                    "cover {} exceeds 2×OPT = {} on {} vertices",
+                    r.size,
+                    2 * opt,
+                    g.num_vertices()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_covered() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for seed in 0..4 {
+            let g = erdos_renyi_avg_degree(80, 5.0, &mut rng).unwrap();
+            check(&g, seed);
+        }
+    }
+
+    #[test]
+    fn star_cover_is_tiny() {
+        // One matched pair covers the whole star (hub + one leaf);
+        // OPT = 1, ratio exactly 2.
+        let g = structured::star(12);
+        let r = check(&g, 1);
+        assert_eq!(r.size, 2);
+        assert!(r.in_cover[0], "hub must be covered via its matched edge");
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_cover() {
+        let g = Graph::empty(5);
+        let r = check(&g, 1);
+        assert_eq!(r.size, 0);
+        assert!(verify_vertex_cover(&g, &r.in_cover).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_uncovered_edge() {
+        let g = structured::path(3);
+        let err = verify_vertex_cover(&g, &[false, false, true]).unwrap_err();
+        assert_eq!(err, (VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn brute_force_known_values() {
+        assert_eq!(brute_force_min_cover(&structured::star(9)), 1);
+        assert_eq!(brute_force_min_cover(&structured::path(5)), 2);
+        assert_eq!(brute_force_min_cover(&structured::cycle(6)), 3);
+        assert_eq!(brute_force_min_cover(&structured::complete(5)), 4);
+        assert_eq!(brute_force_min_cover(&structured::petersen()), 6);
+        assert_eq!(brute_force_min_cover(&Graph::empty(4)), 0);
+    }
+}

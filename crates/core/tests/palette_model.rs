@@ -1,0 +1,96 @@
+//! Model-based property test: `ColorSet` against `BTreeSet<u32>` under
+//! random operation sequences. The bitset is the hot data structure of
+//! every protocol, so its correctness is checked exhaustively rather
+//! than assumed.
+
+use std::collections::BTreeSet;
+
+use dima_core::palette::{Color, ColorSet};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Contains(u32),
+    FirstAbsent,
+    Max,
+    Len,
+    AbsentBelow(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..300).prop_map(Op::Insert),
+        (0u32..300).prop_map(Op::Remove),
+        (0u32..300).prop_map(Op::Contains),
+        Just(Op::FirstAbsent),
+        Just(Op::Max),
+        Just(Op::Len),
+        (0u32..80).prop_map(Op::AbsentBelow),
+    ]
+}
+
+fn model_first_absent(model: &BTreeSet<u32>) -> u32 {
+    (0..).find(|c| !model.contains(c)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn colorset_matches_btreeset_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut set = ColorSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(c) => {
+                    prop_assert_eq!(set.insert(Color(c)), model.insert(c));
+                }
+                Op::Remove(c) => {
+                    prop_assert_eq!(set.remove(Color(c)), model.remove(&c));
+                }
+                Op::Contains(c) => {
+                    prop_assert_eq!(set.contains(Color(c)), model.contains(&c));
+                }
+                Op::FirstAbsent => {
+                    prop_assert_eq!(set.first_absent().0, model_first_absent(&model));
+                }
+                Op::Max => {
+                    prop_assert_eq!(set.max().map(|c| c.0), model.last().copied());
+                }
+                Op::Len => {
+                    prop_assert_eq!(set.len(), model.len());
+                    prop_assert_eq!(set.is_empty(), model.is_empty());
+                }
+                Op::AbsentBelow(bound) => {
+                    let got: Vec<u32> = set.absent_below(bound).iter().map(|c| c.0).collect();
+                    let expect: Vec<u32> =
+                        (0..bound).filter(|c| !model.contains(c)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        // Final sweep: iteration order and content.
+        let got: Vec<u32> = set.iter().map(|c| c.0).collect();
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `first_absent_in_union` equals first-absent of the model union.
+    #[test]
+    fn union_first_absent_matches_model(
+        a in proptest::collection::btree_set(0u32..200, 0..60),
+        b in proptest::collection::btree_set(0u32..200, 0..60),
+    ) {
+        let sa: ColorSet = a.iter().map(|&c| Color(c)).collect();
+        let sb: ColorSet = b.iter().map(|&c| Color(c)).collect();
+        let union: BTreeSet<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(
+            sa.first_absent_in_union(&sb).0,
+            model_first_absent(&union)
+        );
+        // Symmetric.
+        prop_assert_eq!(sa.first_absent_in_union(&sb), sb.first_absent_in_union(&sa));
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation benchmarks (ABL1/ABL2): how the design knobs shift run time.
+//!
+//! The corresponding binaries report the *algorithmic* metrics (rounds,
+//! colors); this measures the simulation cost of each setting so the two
+//! views can be read side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dima_core::{color_edges, ColorPolicy, ColoringConfig, ResponsePolicy};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_coin_bias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl1_coin_bias");
+    group.sample_size(15);
+    let mut rng = SmallRng::seed_from_u64(48);
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 }
+        .sample(&mut rng)
+        .expect("valid family");
+    for p in [0.2f64, 0.5, 0.8] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ColoringConfig {
+                    invite_probability: p,
+                    ..ColoringConfig::seeded(seed)
+                };
+                black_box(color_edges(&g, &cfg).unwrap().compute_rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl2_policies");
+    group.sample_size(15);
+    let mut rng = SmallRng::seed_from_u64(49);
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 16.0 }
+        .sample(&mut rng)
+        .expect("valid family");
+    let configs = [
+        ("lowest_random", ColorPolicy::LowestIndex, ResponsePolicy::Random),
+        ("random_legal", ColorPolicy::RandomLegal, ResponsePolicy::Random),
+        ("lowest_firstsender", ColorPolicy::LowestIndex, ResponsePolicy::FirstSender),
+        ("lowest_lowestcolor", ColorPolicy::LowestIndex, ResponsePolicy::LowestColor),
+    ];
+    for (label, color_policy, response_policy) in configs {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ColoringConfig {
+                    color_policy,
+                    response_policy,
+                    ..ColoringConfig::seeded(seed)
+                };
+                black_box(color_edges(&g, &cfg).unwrap().colors_used)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coin_bias, bench_policies);
+criterion_main!(benches);

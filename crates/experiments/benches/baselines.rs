@@ -1,0 +1,53 @@
+//! DiMaEC vs the baselines on one Erdős–Rényi workload: wall-clock of a
+//! full run of each algorithm (quality comparisons live in the
+//! `compare_baselines` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dima_baselines::{
+    greedy_edge_coloring, misra_gries_edge_coloring, random_trial_coloring, EdgeOrder,
+};
+use dima_core::{color_edges, ColoringConfig};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_er_n200_d8");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(47);
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 }
+        .sample(&mut rng)
+        .expect("valid family");
+
+    group.bench_function("dimaec", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(color_edges(&g, &ColoringConfig::seeded(seed)).unwrap().colors_used)
+        })
+    });
+    group.bench_function("random_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                random_trial_coloring(&g, &ColoringConfig::seeded(seed)).unwrap().colors_used,
+            )
+        })
+    });
+    group.bench_function("greedy_first_fit", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(greedy_edge_coloring(&g, &EdgeOrder::Random { seed }))
+        })
+    });
+    group.bench_function("misra_gries", |b| {
+        b.iter(|| black_box(misra_gries_edge_coloring(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

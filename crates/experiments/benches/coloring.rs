@@ -1,0 +1,82 @@
+//! Benchmarks regenerating the workloads behind Figures 3–5: DiMaEC
+//! (Algorithm 1) on Erdős–Rényi, scale-free and small-world graphs.
+//!
+//! Criterion measures wall-clock per full coloring run (generation is
+//! outside the measured closure); the figure binaries report the paper's
+//! actual metrics (rounds, colors). Together they cover both "how fast is
+//! the simulation" and "what does the algorithm do".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dima_core::{color_edges, ColoringConfig};
+use dima_graph::gen::GraphFamily;
+use dima_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graph_of(family: &GraphFamily, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    family.sample(&mut rng).expect("valid family")
+}
+
+fn bench_fig3_erdos_renyi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dimaec_erdos_renyi");
+    group.sample_size(20);
+    for (n, d) in [(200usize, 4.0f64), (200, 8.0), (200, 16.0), (400, 8.0)] {
+        let g = graph_of(&GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d }, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = color_edges(g, &ColoringConfig::seeded(seed)).unwrap();
+                    black_box(r.colors_used)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig4_scale_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_dimaec_scale_free");
+    group.sample_size(20);
+    for (n, power) in [(100usize, 1.0f64), (400, 1.0), (400, 1.5)] {
+        let g = graph_of(&GraphFamily::ScaleFree { n, edges_per_vertex: 2, power }, 43);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_pow{power}")),
+            &g,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = color_edges(g, &ColoringConfig::seeded(seed)).unwrap();
+                    black_box(r.compute_rounds)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig5_small_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_dimaec_small_world");
+    group.sample_size(20);
+    for (n, k) in [(16usize, 4usize), (64, 16), (256, 64)] {
+        let g = graph_of(&GraphFamily::SmallWorld { n, k, beta: 0.3 }, 44);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = color_edges(g, &ColoringConfig::seeded(seed)).unwrap();
+                black_box(r.compute_rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_erdos_renyi, bench_fig4_scale_free, bench_fig5_small_world);
+criterion_main!(benches);

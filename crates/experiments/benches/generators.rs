@@ -1,0 +1,60 @@
+//! Throughput of the graph generators and verifiers — the substrate costs
+//! underneath every experiment (corpus generation dominates `--quick`
+//! runs; verification runs after every trial).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dima_core::verify::verify_edge_coloring;
+use dima_core::{color_edges, ColoringConfig};
+use dima_graph::gen;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_n1000");
+    group.sample_size(20);
+    group.bench_function("erdos_renyi_gnm_d8", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(gen::erdos_renyi_gnm(1000, 4000, &mut rng).unwrap()))
+    });
+    group.bench_function("erdos_renyi_gnp_d8", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(gen::erdos_renyi_gnp(1000, 0.008, &mut rng).unwrap()))
+    });
+    group.bench_function("barabasi_albert_m2", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(gen::barabasi_albert(1000, 2, 1.0, &mut rng).unwrap()))
+    });
+    group.bench_function("watts_strogatz_k8", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| black_box(gen::watts_strogatz(1000, 8, 0.3, &mut rng).unwrap()))
+    });
+    group.bench_function("random_regular_d8", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| black_box(gen::random_regular(1000, 8, &mut rng).unwrap()))
+    });
+    group.bench_function("random_geometric_r005", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        b.iter(|| black_box(gen::random_geometric(1000, 0.05, &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier");
+    group.sample_size(30);
+    for n in [200usize, 1000] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gen::erdos_renyi_avg_degree(n, 8.0, &mut rng).unwrap();
+        let r = color_edges(&g, &ColoringConfig::seeded(1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("verify_edge_coloring", n),
+            &(&g, &r.colors),
+            |b, (g, colors)| b.iter(|| black_box(verify_edge_coloring(g, colors).is_ok())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_verifier);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmark regenerating the Figure-6 workload: DiMa2ED (Algorithm 2) on
+//! symmetric directed Erdős–Rényi graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dima_core::{strong_color_digraph, ColoringConfig};
+use dima_graph::gen::GraphFamily;
+use dima_graph::Digraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig6_strong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dima2ed_directed_er");
+    group.sample_size(15);
+    for (n, d) in [(200usize, 4.0f64), (200, 8.0), (400, 4.0), (400, 8.0)] {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let g = GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d }
+            .sample(&mut rng)
+            .expect("valid family");
+        let dg = Digraph::symmetric_closure(&g);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &dg,
+            |b, dg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let r = strong_color_digraph(dg, &ColoringConfig::seeded(seed)).unwrap();
+                    black_box(r.compute_rounds)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_strong);
+criterion_main!(benches);

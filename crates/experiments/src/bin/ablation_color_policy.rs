@@ -1,0 +1,83 @@
+//! **ABL2** — lowest-index vs random-legal color proposals.
+//!
+//! The paper's line 1.11 proposes the *lowest* color legal for both
+//! endpoints; Proposition 3's `2Δ−1` bound and Conjecture 2's Δ/Δ+1
+//! typical case both hinge on it. This ablation replaces it with a
+//! uniformly random legal color from the worst-case `2Δ−1` palette and
+//! shows quality degrades while rounds stay put — i.e. the lowest-index
+//! rule is what keeps DiMaEC near the optimum.
+
+use dima_core::{ColorPolicy, ColoringConfig};
+use dima_experiments::corpus::trial_seed;
+use dima_experiments::table::{f2, Table};
+use dima_experiments::{csv, Aggregate, CommonArgs};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let trials = args.trials_or(30);
+    let families = [
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 },
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 16.0 },
+        GraphFamily::SmallWorld { n: 64, k: 16, beta: 0.3 },
+    ];
+    let policies = [("lowest-index", ColorPolicy::LowestIndex), ("random-legal", ColorPolicy::RandomLegal)];
+
+    println!("== ABL2: color-selection policy (Algorithm 1) ==\n");
+    let mut table =
+        Table::new(["family", "policy", "avg colors−Δ", "max colors−Δ", "avg rounds"]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (ci, fam) in families.iter().enumerate() {
+        for (name, policy) in &policies {
+            let mut excess = Vec::new();
+            let mut rounds = Vec::new();
+            for t in 0..trials {
+                let seed = trial_seed(args.seed, ci, t);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = fam.sample(&mut rng).expect("valid family");
+                let cfg = ColoringConfig {
+                    color_policy: *policy,
+                    engine: args.engine(),
+                    ..ColoringConfig::seeded(seed)
+                };
+                let r = dima_core::color_edges(&g, &cfg).expect("run failed");
+                dima_core::verify::verify_edge_coloring(&g, &r.colors)
+                    .expect("invalid coloring");
+                excess.push(r.colors_used as f64 - r.max_degree as f64);
+                rounds.push(r.compute_rounds as f64);
+            }
+            let ea = Aggregate::of(&excess);
+            let ra = Aggregate::of(&rounds);
+            table.row([
+                fam.label(),
+                (*name).to_string(),
+                f2(ea.mean),
+                format!("{}", ea.max as i64),
+                f2(ra.mean),
+            ]);
+            rows.push(vec![
+                fam.label(),
+                (*name).to_string(),
+                f2(ea.mean),
+                format!("{}", ea.max as i64),
+                f2(ra.mean),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expectation: random-legal uses markedly more colors than lowest-index at\n\
+         similar round counts — the paper's selection rule carries the quality.\n"
+    );
+    match csv::write_csv(
+        &args.out,
+        "ablation_color_policy.csv",
+        &["family", "policy", "avg_excess", "max_excess", "avg_rounds"],
+        &rows,
+    ) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+}

@@ -1,0 +1,79 @@
+//! DiMa's invitation automata vs Luby-style local-minima matching:
+//! rounds, messages and matching size on identical workloads.
+//!
+//! Both are maximal-matching protocols in the same synchronous model, so
+//! the numbers are directly comparable. The automata sends O(1) messages
+//! per node per round; the Luby protocol sends one message per live
+//! *edge* (owners) plus per-vertex minima.
+
+use dima_baselines::luby_matching;
+use dima_core::{maximal_matching, ColoringConfig};
+use dima_experiments::corpus::trial_seed;
+use dima_experiments::table::{f2, Table};
+use dima_experiments::{csv, Aggregate, CommonArgs};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let trials = args.trials_or(30);
+    let families = [
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 4.0 },
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 16.0 },
+        GraphFamily::ScaleFree { n: 200, edges_per_vertex: 2, power: 1.0 },
+        GraphFamily::SmallWorld { n: 128, k: 8, beta: 0.3 },
+    ];
+
+    println!("== matching: DiMa automata vs Luby local-minima ==\n");
+    let mut table =
+        Table::new(["family", "algo", "avg pairs", "avg rounds", "avg msgs"]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (ci, fam) in families.iter().enumerate() {
+        let mut dima = (Vec::new(), Vec::new(), Vec::new());
+        let mut luby = (Vec::new(), Vec::new(), Vec::new());
+        for t in 0..trials {
+            let seed = trial_seed(args.seed, ci, t);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = fam.sample(&mut rng).expect("valid family");
+            let cfg = ColoringConfig { engine: args.engine(), ..ColoringConfig::seeded(seed) };
+
+            let m = maximal_matching(&g, &cfg).expect("dima matching failed");
+            dima_core::verify::verify_matching(&g, &m.pairs).expect("invalid matching");
+            dima.0.push(m.pairs.len() as f64);
+            dima.1.push(m.compute_rounds as f64);
+            dima.2.push(m.stats.messages_sent as f64);
+
+            let m = luby_matching(&g, &cfg).expect("luby matching failed");
+            dima_core::verify::verify_matching(&g, &m.pairs).expect("invalid matching");
+            luby.0.push(m.pairs.len() as f64);
+            luby.1.push(m.compute_rounds as f64);
+            luby.2.push(m.stats.messages_sent as f64);
+        }
+        for (name, data) in [("DiMa automata", &dima), ("Luby local-min", &luby)] {
+            let row = vec![
+                fam.label(),
+                name.to_string(),
+                f2(Aggregate::of(&data.0).mean),
+                f2(Aggregate::of(&data.1).mean),
+                f2(Aggregate::of(&data.2).mean),
+            ];
+            table.row(row.clone());
+            rows.push(row);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expectation: similar matching sizes; Luby converges in fewer rounds on\n\
+         high-degree graphs, while DiMa sends fewer messages per round.\n"
+    );
+    match csv::write_csv(
+        &args.out,
+        "compare_matchings.csv",
+        &["family", "algo", "avg_pairs", "avg_rounds", "avg_msgs"],
+        &rows,
+    ) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+}

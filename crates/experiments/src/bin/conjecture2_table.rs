@@ -1,0 +1,44 @@
+//! **Conjecture 2 (§IV-A in-text)** — the color-count distribution over
+//! the Figure-3 corpus: how many runs used Δ, Δ+1, Δ+2, more.
+//!
+//! Paper: "Δ+2 colors were used in only 2 of the 300 runs, and in no run
+//! was the number of colors in excess of Δ+2."
+
+use dima_experiments::report::conjecture2_tally;
+use dima_experiments::run::run_edge_corpus;
+use dima_experiments::table::Table;
+use dima_experiments::{corpus, csv, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let configs = corpus::fig3(args.trials_or(50));
+    eprintln!("conjecture2: running the Figure-3 corpus (seed {})...", args.seed);
+    let trials = run_edge_corpus(&configs, args.seed, args.engine());
+
+    println!("== Conjecture 2: colors used relative to Δ (Erdős–Rényi corpus) ==\n");
+    let (total, d0, d1, d2, more) = conjecture2_tally(&trials);
+    let mut table = Table::new(["colors", "runs", "fraction"]);
+    let frac = |c: usize| format!("{:.1}%", 100.0 * c as f64 / total.max(1) as f64);
+    table
+        .row(["<= Δ".to_string(), d0.to_string(), frac(d0)])
+        .row(["Δ+1".to_string(), d1.to_string(), frac(d1)])
+        .row(["Δ+2".to_string(), d2.to_string(), frac(d2)])
+        .row(["> Δ+2".to_string(), more.to_string(), frac(more)]);
+    println!("{}", table.render());
+    println!("total runs: {total}");
+    println!("paper reference: Δ+2 in 2/300 runs, never more than Δ+2.\n");
+    if more > 0 {
+        println!("NOTE: {more} run(s) exceeded Δ+2 — record in EXPERIMENTS.md.");
+    }
+
+    let rows = vec![
+        vec!["<=delta".to_string(), d0.to_string()],
+        vec!["delta_plus_1".to_string(), d1.to_string()],
+        vec!["delta_plus_2".to_string(), d2.to_string()],
+        vec!["more".to_string(), more.to_string()],
+    ];
+    match csv::write_csv(&args.out, "conjecture2.csv", &["bucket", "runs"], &rows) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+}

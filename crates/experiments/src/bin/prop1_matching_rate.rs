@@ -1,0 +1,78 @@
+//! **Proposition 1** — the per-round pairing probability of the matching
+//! automata.
+//!
+//! The paper argues a node pairs with probability ≥ ~1/4 per computation
+//! round (1/4 as an invitee, plus up to 1/4 as a successful invitor, so
+//! between 1/4 and 1/2 overall). We measure it directly: run the matching
+//! protocol on Erdős–Rényi graphs and, for each computation round, count
+//! `pairs formed × 2 / nodes still eligible`.
+
+use dima_core::{maximal_matching, ColoringConfig};
+use dima_experiments::corpus::trial_seed;
+use dima_experiments::table::{f2, Table};
+use dima_experiments::{csv, Aggregate, CommonArgs};
+use dima_graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let trials = args.trials_or(50);
+    let families = [
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 4.0 },
+        GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 },
+        GraphFamily::ErdosRenyiAvgDegree { n: 400, avg_degree: 8.0 },
+        GraphFamily::Regular { n: 200, d: 8 },
+    ];
+
+    println!("== Proposition 1: per-round pairing rate of the matching automata ==\n");
+    let mut table =
+        Table::new(["family", "runs", "mean first-round rate", "min", "rounds (avg)"]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (ci, fam) in families.iter().enumerate() {
+        let mut first_round_rates = Vec::new();
+        let mut round_counts = Vec::new();
+        for t in 0..trials {
+            let seed = trial_seed(args.seed, ci, t);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = fam.sample(&mut rng).expect("valid family");
+            let cfg = ColoringConfig { engine: args.engine(), ..ColoringConfig::seeded(seed) };
+            let m = maximal_matching(&g, &cfg).expect("matching run failed");
+            assert!(m.agreement);
+            // Rate in round 0: every non-isolated node is eligible.
+            let eligible: usize = (0..g.num_vertices())
+                .filter(|&v| g.degree(dima_graph::VertexId(v as u32)) > 0)
+                .count();
+            let paired_round0 =
+                2 * m.pair_round.iter().filter(|&&r| r == 0).count();
+            if eligible > 0 {
+                first_round_rates.push(paired_round0 as f64 / eligible as f64);
+            }
+            round_counts.push(m.compute_rounds as f64);
+        }
+        let rate = Aggregate::of(&first_round_rates);
+        let rounds = Aggregate::of(&round_counts);
+        table.row([
+            fam.label(),
+            trials.to_string(),
+            f2(rate.mean),
+            f2(rate.min),
+            f2(rounds.mean),
+        ]);
+        rows.push(vec![fam.label(), f2(rate.mean), f2(rate.min), f2(rounds.mean)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper bound: pairing probability per node per round in [1/4, 1/2] —\n\
+         the measured first-round rate should sit comfortably above 0.25.\n"
+    );
+    match csv::write_csv(
+        &args.out,
+        "prop1_matching_rate.csv",
+        &["family", "mean_rate", "min_rate", "avg_rounds"],
+        &rows,
+    ) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's experimental corpora (§IV), parameterised exactly as
+//! published, with deterministic seeds.
+
+use dima_graph::gen::GraphFamily;
+
+/// One experimental configuration: a graph family and how many graphs to
+/// draw from it.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// The random-graph family and its parameters.
+    pub family: GraphFamily,
+    /// Number of independent graphs (the paper's "50 graphs were
+    /// generated for each size").
+    pub trials: usize,
+}
+
+/// §IV-A / Fig. 3: "Erdős–Rényi graphs … 200 or 400 nodes, and an average
+/// degree of either 4, 8, or 16. 50 graphs were generated for each size."
+pub fn fig3(trials: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    for &n in &[200usize, 400] {
+        for &d in &[4.0f64, 8.0, 16.0] {
+            out.push(Config {
+                family: GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d },
+                trials,
+            });
+        }
+    }
+    out
+}
+
+/// §IV-B / Fig. 4: "300 scale-free graphs … 100 or 400 nodes, with
+/// alterations in weighting to create increasingly disparate graphs."
+/// We sweep the preferential-attachment power over three settings per
+/// size (the "weighting"), 2 edges per new vertex.
+pub fn fig4(trials: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    for &n in &[100usize, 400] {
+        for &power in &[0.5f64, 1.0, 1.5] {
+            out.push(Config {
+                family: GraphFamily::ScaleFree { n, edges_per_vertex: 2, power },
+                trials,
+            });
+        }
+    }
+    out
+}
+
+/// §IV-C / Fig. 5: "300 small world graphs … 100 each with 16, 64, and
+/// 256 nodes, 50 sparse and 50 dense graphs per set." Sparse = ring
+/// degree 4; dense = ring degree ~n/4 (scaled to keep k < n), rewiring
+/// probability 0.3.
+pub fn fig5(trials: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    for &n in &[16usize, 64, 256] {
+        let sparse_k = 4;
+        let dense_k = (n / 4).max(6) & !1; // even, scales with n
+        for &k in &[sparse_k, dense_k] {
+            out.push(Config {
+                family: GraphFamily::SmallWorld { n, k, beta: 0.3 },
+                trials,
+            });
+        }
+    }
+    out
+}
+
+/// §IV-D / Fig. 6: "50 Erdős–Rényi graphs of 200 and 400 nodes … with an
+/// average degree of 4 and 8", turned into symmetric digraphs.
+pub fn fig6(trials: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    for &n in &[200usize, 400] {
+        for &d in &[4.0f64, 8.0] {
+            out.push(Config {
+                family: GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d },
+                trials,
+            });
+        }
+    }
+    out
+}
+
+/// Per-trial seed: decorrelates (config, trial) pairs from a base seed.
+pub fn trial_seed(base: u64, config_index: usize, trial: usize) -> u64 {
+    // splitmix-style mixing, kept here so corpora are reproducible from
+    // the published base seed alone.
+    let mut x = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(config_index as u64 + 1))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(trial as u64 + 1));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_paper_parameters() {
+        let c = fig3(50);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.iter().map(|c| c.trials).sum::<usize>(), 300);
+        assert!(matches!(
+            c[0].family,
+            GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree } if avg_degree == 4.0
+        ));
+    }
+
+    #[test]
+    fn fig4_covers_both_sizes_and_powers() {
+        let c = fig4(50);
+        assert_eq!(c.len(), 6);
+        let ns: Vec<usize> = c
+            .iter()
+            .filter_map(|c| match c.family {
+                GraphFamily::ScaleFree { n, .. } => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert!(ns.contains(&100) && ns.contains(&400));
+    }
+
+    #[test]
+    fn fig5_has_sparse_and_dense_per_size() {
+        let c = fig5(50);
+        assert_eq!(c.len(), 6);
+        for cfg in &c {
+            if let GraphFamily::SmallWorld { n, k, .. } = cfg.family {
+                assert!(k >= 4 && k < n, "k={k} n={n}");
+                assert_eq!(k % 2, 0);
+            } else {
+                panic!("wrong family");
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_matches_paper_parameters() {
+        let c = fig6(50);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn trial_seeds_decorrelate() {
+        let a = trial_seed(1, 0, 0);
+        let b = trial_seed(1, 0, 1);
+        let c = trial_seed(1, 1, 0);
+        let d = trial_seed(2, 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, trial_seed(1, 0, 0));
+    }
+}

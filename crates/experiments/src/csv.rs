@@ -1,0 +1,77 @@
+//! Minimal CSV output (hand-rolled: the sanctioned dependency list has no
+//! CSV crate, and the format we emit — numeric cells and simple labels —
+//! only needs quoting for commas/quotes/newlines).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Quote a cell if it contains a comma, quote or newline.
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Render rows as CSV text.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "csv row width mismatch");
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV to `dir/name`, creating `dir` if needed. Returns the path
+/// written. I/O errors are reported, not panicked, so experiment binaries
+/// can fall back to stdout-only output.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_csv(headers, rows).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cells_unquoted() {
+        let s = to_csv(&["a", "b"], &[vec!["1".into(), "2.5".into()]]);
+        assert_eq!(s, "a,b\n1,2.5\n");
+    }
+
+    #[test]
+    fn special_cells_quoted() {
+        let s = to_csv(&["label"], &[vec!["er(n=200,d=4)".into()], vec!["say \"hi\"".into()]]);
+        assert!(s.contains("\"er(n=200,d=4)\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        to_csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("dima_csv_test");
+        let p = write_csv(&dir, "t.csv", &["x"], &[vec!["1".into()]]).unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(back, "x\n1\n");
+        std::fs::remove_file(p).ok();
+    }
+}

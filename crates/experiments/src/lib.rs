@@ -1,0 +1,43 @@
+//! # dima-experiments — the harness that regenerates the paper's figures
+//!
+//! One binary per figure (see `src/bin/`), plus the in-text claims and our
+//! ablations. Every binary:
+//!
+//! 1. generates the paper's corpus with published seeds ([`corpus`]),
+//! 2. runs the algorithm under test, **verifying every output**,
+//! 3. prints an aligned table and an ASCII scatter of the figure's series
+//!    ([`table`], [`plot`]),
+//! 4. writes the raw per-trial rows as CSV into `results/` ([`csv`]).
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig3_erdos_renyi`   | Fig. 3 — Alg 1 on Erdős–Rényi graphs |
+//! | `fig4_scale_free`    | Fig. 4 — Alg 1 on scale-free graphs |
+//! | `fig5_small_world`   | Fig. 5 — Alg 1 on small-world graphs |
+//! | `fig6_strong_er`     | Fig. 6 — Alg 2 on directed Erdős–Rényi |
+//! | `conjecture2_table`  | §IV-A color-count distribution |
+//! | `prop1_matching_rate`| Prop. 1 per-round pairing probability |
+//! | `ablation_coin_bias` | ABL1 — invite-probability sweep |
+//! | `ablation_color_policy` | ABL2 — lowest-index vs random-legal |
+//! | `ablation_proposal_width` | ABL3 — DiMa2ED invitation width (explains the Fig. 6 round constant) |
+//! | `compare_baselines`  | DiMaEC vs greedy / Misra–Gries / random-trial |
+//! | `compare_matchings`  | DiMa matching automata vs Luby local-minima |
+//!
+//! Pass `--quick` to any binary for a reduced corpus (CI-sized),
+//! `--trials N` / `--seed S` to override, `--out DIR` for the CSV
+//! directory (default `results/`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod corpus;
+pub mod csv;
+pub mod plot;
+pub mod report;
+pub mod run;
+pub mod stats;
+pub mod table;
+
+pub use args::CommonArgs;
+pub use stats::Aggregate;

@@ -1,0 +1,124 @@
+//! ASCII scatter plots — the paper's figures, in a terminal.
+//!
+//! Each series gets a glyph; points landing on the same cell show the
+//! glyph of the last series plotted there. Axes are linear with labeled
+//! ranges, which is all the paper's "rounds vs Δ" figures need.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), glyph, points }
+    }
+}
+
+/// Render a scatter plot of `width × height` character cells (plus axes).
+pub fn scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(10);
+    let height = height.max(5);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Avoid zero spans.
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = s.glyph;
+        }
+    }
+    out.push_str(&format!("{y_label} (top = {y_max:.1}, bottom = {y_min:.1})\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(" {x_label}: {x_min:.1} .. {x_max:.1}\n"));
+    for s in series {
+        out.push_str(&format!(" {} = {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plot() {
+        let s = scatter("t", "x", "y", &[], 20, 8);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn plots_points_and_legend() {
+        let series = [
+            Series::new("a", '*', vec![(0.0, 0.0), (10.0, 10.0)]),
+            Series::new("b", 'o', vec![(5.0, 5.0)]),
+        ];
+        let s = scatter("title", "delta", "rounds", &series, 21, 11);
+        assert!(s.contains("title"));
+        assert!(s.contains("* = a"));
+        assert!(s.contains("o = b"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("delta: 0.0 .. 10.0"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let series = [Series::new("a", '*', vec![(3.0, 7.0), (3.0, 7.0)])];
+        let s = scatter("t", "x", "y", &series, 15, 6);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn corner_points_land_inside_grid() {
+        let series = [Series::new("a", '#', vec![(0.0, 0.0), (1.0, 1.0)])];
+        let s = scatter("t", "x", "y", &series, 10, 5);
+        // Top row contains the max point, bottom-most grid row the min.
+        let lines: Vec<&str> = s.lines().collect();
+        let first_grid = 2; // title + y label
+        assert!(lines[first_grid].contains('#'));
+        assert!(lines[first_grid + 4].contains('#'));
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared report rendering for the figure binaries: summary tables,
+//! Conjecture-2 tallies, and the rounds-vs-Δ scatter the paper plots.
+
+use crate::plot::{scatter, Series};
+use crate::run::{EdgeTrial, StrongTrial};
+use crate::stats::Aggregate;
+use crate::table::{f1, f2, Table};
+
+/// Per-family summary table for Algorithm-1 corpora.
+pub fn edge_summary_table(trials: &[EdgeTrial]) -> Table {
+    let mut table = Table::new([
+        "family",
+        "runs",
+        "avg Δ",
+        "avg colors",
+        "colors−Δ (avg)",
+        "max colors−Δ",
+        "avg rounds",
+        "rounds/Δ",
+        "avg msgs",
+    ]);
+    for label in labels(trials.iter().map(|t| t.label.clone())) {
+        let group: Vec<&EdgeTrial> = trials.iter().filter(|t| t.label == label).collect();
+        let delta = Aggregate::of(&group.iter().map(|t| t.delta as f64).collect::<Vec<_>>());
+        let colors =
+            Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
+        let excess = Aggregate::of(
+            &group.iter().map(|t| t.colors_used as f64 - t.delta as f64).collect::<Vec<_>>(),
+        );
+        let rounds =
+            Aggregate::of(&group.iter().map(|t| t.compute_rounds as f64).collect::<Vec<_>>());
+        let ratio = Aggregate::of(
+            &group
+                .iter()
+                .map(|t| t.compute_rounds as f64 / t.delta.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let msgs = Aggregate::of(&group.iter().map(|t| t.messages as f64).collect::<Vec<_>>());
+        table.row([
+            label,
+            group.len().to_string(),
+            f1(delta.mean),
+            f2(colors.mean),
+            f2(excess.mean),
+            format!("{}", excess.max as i64),
+            f1(rounds.mean),
+            f2(ratio.mean),
+            f1(msgs.mean),
+        ]);
+    }
+    table
+}
+
+/// Per-family summary table for Algorithm-2 corpora.
+pub fn strong_summary_table(trials: &[StrongTrial]) -> Table {
+    let mut table = Table::new([
+        "family",
+        "runs",
+        "avg Δ",
+        "avg channels",
+        "avg rounds",
+        "rounds/Δ",
+        "avg msgs",
+    ]);
+    for label in labels(trials.iter().map(|t| t.label.clone())) {
+        let group: Vec<&StrongTrial> = trials.iter().filter(|t| t.label == label).collect();
+        let delta = Aggregate::of(&group.iter().map(|t| t.delta as f64).collect::<Vec<_>>());
+        let chans =
+            Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
+        let rounds =
+            Aggregate::of(&group.iter().map(|t| t.compute_rounds as f64).collect::<Vec<_>>());
+        let ratio = Aggregate::of(
+            &group
+                .iter()
+                .map(|t| t.compute_rounds as f64 / t.delta.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let msgs = Aggregate::of(&group.iter().map(|t| t.messages as f64).collect::<Vec<_>>());
+        table.row([
+            label,
+            group.len().to_string(),
+            f1(delta.mean),
+            f2(chans.mean),
+            f1(rounds.mean),
+            f2(ratio.mean),
+            f1(msgs.mean),
+        ]);
+    }
+    table
+}
+
+/// The Conjecture-2 tally: how many runs used Δ, Δ+1, Δ+2, more.
+pub fn conjecture2_tally(trials: &[EdgeTrial]) -> (usize, usize, usize, usize, usize) {
+    let mut at_most_delta = 0;
+    let mut plus1 = 0;
+    let mut plus2 = 0;
+    let mut more = 0;
+    for t in trials {
+        match t.colors_used as i64 - t.delta as i64 {
+            i64::MIN..=0 => at_most_delta += 1,
+            1 => plus1 += 1,
+            2 => plus2 += 1,
+            _ => more += 1,
+        }
+    }
+    (trials.len(), at_most_delta, plus1, plus2, more)
+}
+
+/// Render the Conjecture-2 tally as text.
+pub fn conjecture2_text(trials: &[EdgeTrial]) -> String {
+    let (total, d0, d1, d2, more) = conjecture2_tally(trials);
+    format!(
+        "Conjecture 2 tally over {total} runs: ≤Δ: {d0}, Δ+1: {d1}, Δ+2: {d2}, >Δ+2: {more}\n\
+         (paper, §IV-A: \"Δ+2 colors were used in only 2 of the 300 runs, and in no run was\n\
+          the number of colors in excess of Δ+2\")"
+    )
+}
+
+/// The figures' scatter: computation rounds vs Δ, one series per vertex
+/// count (the paper's claim: linear in Δ, independent of n).
+pub fn rounds_vs_delta_plot(title: &str, points: &[(usize, usize, u64)]) -> String {
+    // points: (n, delta, rounds)
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut ns: Vec<usize> = points.iter().map(|&(n, _, _)| n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    let series: Vec<Series> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            Series::new(
+                format!("n = {n}"),
+                glyphs[i % glyphs.len()],
+                points
+                    .iter()
+                    .filter(|&&(pn, _, _)| pn == n)
+                    .map(|&(_, d, r)| (d as f64, r as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    scatter(title, "Δ (max degree)", "computation rounds", &series, 64, 18)
+}
+
+/// Unique labels in first-appearance order.
+fn labels(iter: impl Iterator<Item = String>) -> Vec<String> {
+    let mut seen = Vec::new();
+    for l in iter {
+        if !seen.contains(&l) {
+            seen.push(l);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(label: &str, n: usize, delta: usize, colors: usize, rounds: u64) -> EdgeTrial {
+        EdgeTrial {
+            label: label.into(),
+            n,
+            m: 0,
+            delta,
+            colors_used: colors,
+            compute_rounds: rounds,
+            comm_rounds: rounds * 3,
+            messages: 10,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn summary_table_groups_by_family() {
+        let trials = vec![
+            trial("a", 10, 4, 4, 8),
+            trial("a", 10, 4, 5, 10),
+            trial("b", 20, 8, 8, 16),
+        ];
+        let t = edge_summary_table(&trials);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn tally_buckets_correctly() {
+        let trials = vec![
+            trial("a", 10, 4, 4, 1),  // Δ
+            trial("a", 10, 4, 3, 1),  // < Δ
+            trial("a", 10, 4, 5, 1),  // Δ+1
+            trial("a", 10, 4, 6, 1),  // Δ+2
+            trial("a", 10, 4, 9, 1),  // > Δ+2
+        ];
+        assert_eq!(conjecture2_tally(&trials), (5, 2, 1, 1, 1));
+        let text = conjecture2_text(&trials);
+        assert!(text.contains("≤Δ: 2"));
+    }
+
+    #[test]
+    fn plot_has_series_per_n() {
+        let s = rounds_vs_delta_plot("t", &[(200, 4, 9), (400, 8, 17), (200, 8, 15)]);
+        assert!(s.contains("n = 200"));
+        assert!(s.contains("n = 400"));
+    }
+
+    #[test]
+    fn strong_table_renders() {
+        let trials = vec![StrongTrial {
+            label: "er".into(),
+            n: 10,
+            arcs: 40,
+            delta: 4,
+            colors_used: 12,
+            compute_rounds: 16,
+            comm_rounds: 48,
+            messages: 500,
+            seed: 1,
+        }];
+        let t = strong_summary_table(&trials);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("er"));
+    }
+}

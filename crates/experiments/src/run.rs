@@ -1,0 +1,205 @@
+//! Corpus runners: generate → run → **verify** → record.
+
+use dima_core::verify::{verify_edge_coloring, verify_strong_coloring};
+use dima_core::{color_edges, strong_color_digraph, ColoringConfig, Engine};
+use dima_graph::Digraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::corpus::{trial_seed, Config};
+
+/// One Algorithm-1 trial.
+#[derive(Clone, Debug)]
+pub struct EdgeTrial {
+    /// Family label (e.g. `er(n=200,d=8)`).
+    pub label: String,
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Maximum degree of the drawn graph.
+    pub delta: usize,
+    /// Distinct colors used.
+    pub colors_used: usize,
+    /// Computation rounds to completion.
+    pub compute_rounds: u64,
+    /// Communication rounds.
+    pub comm_rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Seed of this trial.
+    pub seed: u64,
+}
+
+impl EdgeTrial {
+    /// CSV row (matches [`EDGE_HEADERS`]).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.label.clone(),
+            self.n.to_string(),
+            self.m.to_string(),
+            self.delta.to_string(),
+            self.colors_used.to_string(),
+            self.compute_rounds.to_string(),
+            self.comm_rounds.to_string(),
+            self.messages.to_string(),
+            self.seed.to_string(),
+        ]
+    }
+}
+
+/// CSV headers for [`EdgeTrial::csv_row`].
+pub const EDGE_HEADERS: [&str; 9] =
+    ["family", "n", "m", "delta", "colors", "compute_rounds", "comm_rounds", "messages", "seed"];
+
+/// Run Algorithm 1 over a corpus. Every coloring is verified; a
+/// verification failure panics (it would falsify Proposition 2).
+pub fn run_edge_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> Vec<EdgeTrial> {
+    let mut out = Vec::new();
+    for (ci, cfg) in configs.iter().enumerate() {
+        for t in 0..cfg.trials {
+            let seed = trial_seed(base_seed, ci, t);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = cfg.family.sample(&mut rng).expect("corpus parameters are valid");
+            let run_cfg = ColoringConfig { engine, ..ColoringConfig::seeded(seed) };
+            let r = color_edges(&g, &run_cfg).expect("run failed");
+            assert!(r.endpoint_agreement, "endpoints disagree under reliable delivery");
+            verify_edge_coloring(&g, &r.colors).expect("invalid coloring (Prop. 2 violated!)");
+            out.push(EdgeTrial {
+                label: cfg.family.label(),
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                delta: r.max_degree,
+                colors_used: r.colors_used,
+                compute_rounds: r.compute_rounds,
+                comm_rounds: r.comm_rounds,
+                messages: r.stats.messages_sent,
+                seed,
+            });
+        }
+    }
+    out
+}
+
+/// One Algorithm-2 trial.
+#[derive(Clone, Debug)]
+pub struct StrongTrial {
+    /// Family label of the underlying graph.
+    pub label: String,
+    /// Vertices.
+    pub n: usize,
+    /// Arcs of the symmetric digraph (2 × edges).
+    pub arcs: usize,
+    /// Maximum degree of the underlying graph (the paper's Δ).
+    pub delta: usize,
+    /// Distinct channels used.
+    pub colors_used: usize,
+    /// Computation rounds to completion.
+    pub compute_rounds: u64,
+    /// Communication rounds.
+    pub comm_rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Seed of this trial.
+    pub seed: u64,
+}
+
+impl StrongTrial {
+    /// CSV row (matches [`STRONG_HEADERS`]).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.label.clone(),
+            self.n.to_string(),
+            self.arcs.to_string(),
+            self.delta.to_string(),
+            self.colors_used.to_string(),
+            self.compute_rounds.to_string(),
+            self.comm_rounds.to_string(),
+            self.messages.to_string(),
+            self.seed.to_string(),
+        ]
+    }
+}
+
+/// CSV headers for [`StrongTrial::csv_row`].
+pub const STRONG_HEADERS: [&str; 9] = [
+    "family",
+    "n",
+    "arcs",
+    "delta",
+    "channels",
+    "compute_rounds",
+    "comm_rounds",
+    "messages",
+    "seed",
+];
+
+/// Run Algorithm 2 over a corpus of underlying graphs (symmetric closures
+/// are taken per draw). Every coloring is verified against Definition 2.
+pub fn run_strong_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> Vec<StrongTrial> {
+    let mut out = Vec::new();
+    for (ci, cfg) in configs.iter().enumerate() {
+        for t in 0..cfg.trials {
+            let seed = trial_seed(base_seed, ci, t);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = cfg.family.sample(&mut rng).expect("corpus parameters are valid");
+            let d = Digraph::symmetric_closure(&g);
+            let run_cfg = ColoringConfig { engine, ..ColoringConfig::seeded(seed) };
+            let r = strong_color_digraph(&d, &run_cfg).expect("run failed");
+            assert!(r.endpoint_agreement, "endpoints disagree under reliable delivery");
+            verify_strong_coloring(&d, &r.colors)
+                .expect("invalid strong coloring (Prop. 5 violated!)");
+            out.push(StrongTrial {
+                label: cfg.family.label(),
+                n: g.num_vertices(),
+                arcs: d.num_arcs(),
+                delta: r.max_degree,
+                colors_used: r.colors_used,
+                compute_rounds: r.compute_rounds,
+                comm_rounds: r.comm_rounds,
+                messages: r.stats.messages_sent,
+                seed,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::GraphFamily;
+
+    #[test]
+    fn edge_corpus_runs_and_verifies() {
+        let configs = [Config {
+            family: GraphFamily::ErdosRenyiAvgDegree { n: 40, avg_degree: 4.0 },
+            trials: 2,
+        }];
+        let trials = run_edge_corpus(&configs, 7, Engine::Sequential);
+        assert_eq!(trials.len(), 2);
+        for t in &trials {
+            assert_eq!(t.n, 40);
+            assert!(t.delta > 0);
+            assert!(t.colors_used <= 2 * t.delta - 1);
+            assert_eq!(t.csv_row().len(), EDGE_HEADERS.len());
+        }
+        // Distinct seeds per trial.
+        assert_ne!(trials[0].seed, trials[1].seed);
+    }
+
+    #[test]
+    fn strong_corpus_runs_and_verifies() {
+        let configs = [Config {
+            family: GraphFamily::ErdosRenyiAvgDegree { n: 30, avg_degree: 4.0 },
+            trials: 2,
+        }];
+        let trials = run_strong_corpus(&configs, 7, Engine::Sequential);
+        assert_eq!(trials.len(), 2);
+        for t in &trials {
+            assert_eq!(t.arcs % 2, 0);
+            assert!(t.compute_rounds > 0);
+            assert_eq!(t.csv_row().len(), STRONG_HEADERS.len());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Aligned plain-text tables for terminal reports.
+
+/// A right-aligned plain-text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; panics if the cell count does not match the headers.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align everything; headers too.
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimals (table helper).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 1 decimal (table helper).
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["n", "rounds"]);
+        t.row(["200", "12.5"]).row(["40", "3.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("rounds"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment: the shorter "40" is padded.
+        assert!(lines[3].starts_with(" 40") || lines[3].starts_with("  40"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f1(2.71), "2.7");
+        assert_eq!(f2(3.0), "3.00");
+        assert_eq!(f1(10.0), "10.0");
+    }
+}

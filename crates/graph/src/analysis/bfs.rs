@@ -1,0 +1,94 @@
+//! Breadth-first search utilities.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Distance (in hops) from `src` to every vertex; unreachable vertices get
+/// `usize::MAX`.
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &(w, _) in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src` within its connected component (greatest finite
+/// BFS distance).
+pub fn eccentricity(g: &Graph, src: VertexId) -> usize {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// A lower bound on the diameter via the double-sweep heuristic: BFS from
+/// `start`, then BFS again from the farthest vertex found. Exact on trees.
+pub fn diameter_lower_bound(g: &Graph, start: VertexId) -> usize {
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != usize::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| VertexId(i as u32))
+        .unwrap_or(start);
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+
+    #[test]
+    fn path_distances() {
+        let g = structured::path(5);
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, VertexId(2)), 2);
+        assert_eq!(diameter_lower_bound(&g, VertexId(2)), 4);
+    }
+
+    #[test]
+    fn disconnected_marks_unreachable() {
+        let g = Graph::from_edges(4, [(VertexId(0), VertexId(1))]).unwrap();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(eccentricity(&g, VertexId(0)), 1);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = structured::cycle(8);
+        assert_eq!(diameter_lower_bound(&g, VertexId(0)), 4);
+        assert_eq!(eccentricity(&g, VertexId(0)), 4);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = structured::complete(6);
+        assert_eq!(diameter_lower_bound(&g, VertexId(3)), 1);
+    }
+
+    #[test]
+    fn singleton_vertex() {
+        let g = Graph::empty(1);
+        assert_eq!(bfs_distances(&g, VertexId(0)), vec![0]);
+        assert_eq!(eccentricity(&g, VertexId(0)), 0);
+        assert_eq!(diameter_lower_bound(&g, VertexId(0)), 0);
+    }
+}

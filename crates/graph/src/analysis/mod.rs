@@ -1,0 +1,70 @@
+//! Structural analysis: components, BFS, clustering, degree statistics.
+//!
+//! Experiments use these to validate generated corpora (e.g. that
+//! Watts–Strogatz graphs really are high-clustering/small-diameter) and to
+//! report the Δ that every figure plots against.
+
+mod bfs;
+mod clustering;
+mod degree;
+mod dsu;
+mod spectrum;
+
+pub use bfs::{bfs_distances, diameter_lower_bound, eccentricity};
+pub use clustering::{average_clustering, global_transitivity, local_clustering};
+pub use degree::{degree_histogram, DegreeStats};
+pub use dsu::DisjointSets;
+pub use spectrum::{degree_assortativity, power_law_exponent, triangle_count};
+
+use crate::graph::Graph;
+
+/// Label every vertex with a component id in `0..count`; returns
+/// `(count, labels)`. Runs union-find over the edge list.
+pub fn connected_components(g: &Graph) -> (usize, Vec<usize>) {
+    let mut dsu = DisjointSets::new(g.num_vertices());
+    for (_, (u, v)) in g.edges() {
+        dsu.union(u.index(), v.index());
+    }
+    dsu.component_labels()
+}
+
+/// `true` if the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    let (count, _) = connected_components(g);
+    count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let g = Graph::from_edges(
+            6,
+            [(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2)), (VertexId(3), VertexId(4))],
+        )
+        .unwrap();
+        let (count, labels) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[5]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_of_structured_families() {
+        assert!(is_connected(&structured::complete(5)));
+        assert!(is_connected(&structured::cycle(9)));
+        assert!(is_connected(&structured::grid(4, 4)));
+        assert!(is_connected(&structured::balanced_binary_tree(4)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+}

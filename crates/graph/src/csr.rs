@@ -1,0 +1,173 @@
+//! Compressed-sparse-row adjacency for cache-friendly hot loops.
+//!
+//! [`CsrGraph`] is a read-only view built from a [`Graph`]. It flattens the
+//! per-vertex adjacency vectors into two parallel arrays (`targets`,
+//! `edge_ids`) indexed by an `offsets` array, the classic CSR layout used
+//! throughout HPC graph processing. The simulator and the verifiers use it
+//! where they iterate neighborhoods millions of times.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// Compressed-sparse-row view of an undirected [`Graph`].
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[v] .. offsets[v+1]` indexes `targets`/`edge_ids` for `v`.
+    offsets: Vec<u32>,
+    /// Flattened neighbor lists, sorted per vertex.
+    targets: Vec<VertexId>,
+    /// Edge id for each entry of `targets`.
+    edge_ids: Vec<EdgeId>,
+    /// `(u, v)` per edge, canonical `u < v`.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Build the CSR view of `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * m);
+        let mut edge_ids = Vec::with_capacity(2 * m);
+        offsets.push(0u32);
+        for v in g.vertices() {
+            for &(w, e) in g.neighbors(v) {
+                targets.push(w);
+                edge_ids.push(e);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let endpoints = g.edges().map(|(_, uv)| uv).collect();
+        CsrGraph { offsets, targets, edge_ids, endpoints }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Neighbor vertices of `v` as a contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Edge ids incident to `v`, parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.edge_ids[lo..hi]
+    }
+
+    /// Endpoints of edge `e`, canonical order.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (a, b) = self.endpoints(e);
+        if v == a {
+            b
+        } else {
+            debug_assert_eq!(v, b, "vertex {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(
+            4,
+            [(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2)), (VertexId(2), VertexId(3))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_mirrors_graph_shape() {
+        let g = path4();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.max_degree(), 2);
+        for v in g.vertices() {
+            assert_eq!(c.degree(v), g.degree(v));
+            let from_g: Vec<VertexId> = g.neighbors(v).iter().map(|&(w, _)| w).collect();
+            assert_eq!(c.neighbors(v), from_g.as_slice());
+        }
+    }
+
+    #[test]
+    fn incident_edges_parallel_to_neighbors() {
+        let g = path4();
+        let c = CsrGraph::from(&g);
+        for v in g.vertices() {
+            let nbrs = c.neighbors(v);
+            let eids = c.incident_edges(v);
+            assert_eq!(nbrs.len(), eids.len());
+            for (w, e) in nbrs.iter().zip(eids) {
+                assert_eq!(c.other_endpoint(*e, v), *w);
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_agree_with_graph() {
+        let g = path4();
+        let c = CsrGraph::from(&g);
+        for (e, uv) in g.edges() {
+            assert_eq!(c.endpoints(e), uv);
+        }
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let g = Graph::empty(3);
+        let c = CsrGraph::from(&g);
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.neighbors(VertexId(1)), &[]);
+        assert_eq!(c.max_degree(), 0);
+    }
+}

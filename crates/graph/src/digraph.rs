@@ -1,0 +1,341 @@
+//! Directed graphs with arc identifiers; symmetric digraphs for DiMa2ED.
+//!
+//! The paper's second algorithm colors the arcs of a *symmetric* digraph
+//! (every arc `(u, v)` is paired with its reverse `(v, u)`), the standard
+//! model for bidirectional radio links where each direction needs its own
+//! channel/time slot. [`Digraph::symmetric_closure`] builds such a digraph
+//! from an undirected [`Graph`], which is exactly how the paper's §IV-D
+//! workloads ("directed Erdős–Rényi graphs") are obtained.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{ArcId, VertexId};
+
+/// An immutable simple directed graph.
+///
+/// Arcs are `ArcId(0) .. ArcId(k-1)` in insertion order. Self-loops and
+/// parallel arcs (same tail and head) are rejected; the pair
+/// `(u, v)`/`(v, u)` is allowed and is the defining feature of symmetric
+/// digraphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Digraph {
+    /// `out_adj[v]` lists `(head, arc)` sorted by head id.
+    out_adj: Vec<Vec<(VertexId, ArcId)>>,
+    /// `in_adj[v]` lists `(tail, arc)` sorted by tail id.
+    in_adj: Vec<Vec<(VertexId, ArcId)>>,
+    /// `arcs[a] = (tail, head)`.
+    arcs: Vec<(VertexId, VertexId)>,
+}
+
+impl Digraph {
+    /// Build a digraph from an arc list over `n` vertices.
+    pub fn from_arcs(
+        n: usize,
+        arcs: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<Self, GraphError> {
+        let mut b = DigraphBuilder::new(n);
+        for (u, v) in arcs {
+            b.add_arc(u, v);
+        }
+        b.build()
+    }
+
+    /// The symmetric closure of an undirected graph: each edge `(u, v)`
+    /// becomes the arc pair `(u → v)`, `(v → u)`.
+    ///
+    /// Arc ids are assigned so that edge `e` of `g` yields arcs
+    /// `ArcId(2e)` (`u → v`, canonical orientation) and `ArcId(2e + 1)`
+    /// (`v → u`).
+    pub fn symmetric_closure(g: &Graph) -> Self {
+        let mut b = DigraphBuilder::with_capacity(g.num_vertices(), 2 * g.num_edges());
+        for (_, (u, v)) in g.edges() {
+            b.add_arc(u, v);
+            b.add_arc(v, u);
+        }
+        b.build().expect("closure of a simple graph is a simple digraph")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.out_adj.len() as u32).map(VertexId)
+    }
+
+    /// Iterator over `(ArcId, (tail, head))`.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, (VertexId, VertexId))> + '_ {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, &th)| (ArcId(i as u32), th))
+    }
+
+    /// `(tail, head)` of arc `a`.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> (VertexId, VertexId) {
+        self.arcs[a.index()]
+    }
+
+    /// Out-neighbors of `v` as `(head, arc)` pairs sorted by head.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[(VertexId, ArcId)] {
+        &self.out_adj[v.index()]
+    }
+
+    /// In-neighbors of `v` as `(tail, arc)` pairs sorted by tail.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[(VertexId, ArcId)] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Maximum total degree. For a symmetric digraph this is `2Δ` of the
+    /// underlying graph; the paper's Δ refers to the *underlying* graph,
+    /// see [`Digraph::max_underlying_degree`].
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum out-degree; for symmetric digraphs this equals the
+    /// underlying undirected Δ.
+    pub fn max_underlying_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(VertexId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The arc `u → v`, if present. `O(log out-degree)`.
+    pub fn arc_between(&self, u: VertexId, v: VertexId) -> Option<ArcId> {
+        if u.index() >= self.out_adj.len() {
+            return None;
+        }
+        let list = &self.out_adj[u.index()];
+        list.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// The reverse of arc `a` (`v → u` for `a = u → v`), if present.
+    pub fn reverse_arc(&self, a: ArcId) -> Option<ArcId> {
+        let (u, v) = self.arc(a);
+        self.arc_between(v, u)
+    }
+
+    /// `true` if every arc has its reverse.
+    pub fn is_symmetric(&self) -> bool {
+        self.arcs().all(|(_, (u, v))| self.arc_between(v, u).is_some())
+    }
+
+    /// Error unless the digraph is symmetric; reports a witness arc.
+    pub fn require_symmetric(&self) -> Result<(), GraphError> {
+        for (_, (u, v)) in self.arcs() {
+            if self.arc_between(v, u).is_none() {
+                return Err(GraphError::NotSymmetric { from: u, to: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// The underlying undirected graph: one edge per unordered pair with
+    /// at least one arc.
+    pub fn underlying_graph(&self) -> Graph {
+        let mut pairs: Vec<(VertexId, VertexId)> = self
+            .arcs
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        Graph::from_edges(self.num_vertices(), pairs)
+            .expect("underlying graph of a simple digraph is simple")
+    }
+}
+
+/// Incremental, validating builder for [`Digraph`].
+#[derive(Clone, Debug, Default)]
+pub struct DigraphBuilder {
+    n: usize,
+    arcs: Vec<(VertexId, VertexId)>,
+}
+
+impl DigraphBuilder {
+    /// A builder for a digraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DigraphBuilder { n, arcs: Vec::new() }
+    }
+
+    /// A builder with pre-reserved capacity for `k` arcs.
+    pub fn with_capacity(n: usize, k: usize) -> Self {
+        DigraphBuilder { n, arcs: Vec::with_capacity(k) }
+    }
+
+    /// Queue the arc `u → v`. Validation happens at build time.
+    pub fn add_arc(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.arcs.push((u, v));
+        self
+    }
+
+    /// Validate and produce the immutable [`Digraph`].
+    pub fn build(self) -> Result<Digraph, GraphError> {
+        let n = self.n;
+        for &(u, v) in &self.arcs {
+            if u.index() >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: n });
+            }
+            if v.index() >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+        }
+        let mut sorted = self.arcs.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+        let mut out_adj: Vec<Vec<(VertexId, ArcId)>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<(VertexId, ArcId)>> = vec![Vec::new(); n];
+        for (i, &(u, v)) in self.arcs.iter().enumerate() {
+            let a = ArcId(i as u32);
+            out_adj[u.index()].push((v, a));
+            in_adj[v.index()].push((u, a));
+        }
+        for list in out_adj.iter_mut().chain(in_adj.iter_mut()) {
+            list.sort_unstable_by_key(|&(w, _)| w);
+        }
+        Ok(Digraph { out_adj, in_adj, arcs: self.arcs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn basic_digraph_queries() {
+        let d = Digraph::from_arcs(3, [(v(0), v(1)), (v(1), v(2)), (v(2), v(0))]).unwrap();
+        assert_eq!(d.num_vertices(), 3);
+        assert_eq!(d.num_arcs(), 3);
+        assert_eq!(d.out_degree(v(0)), 1);
+        assert_eq!(d.in_degree(v(0)), 1);
+        assert_eq!(d.degree(v(0)), 2);
+        assert_eq!(d.arc(ArcId(1)), (v(1), v(2)));
+        assert_eq!(d.arc_between(v(1), v(2)), Some(ArcId(1)));
+        assert_eq!(d.arc_between(v(2), v(1)), None);
+    }
+
+    #[test]
+    fn antiparallel_arcs_allowed_parallel_rejected() {
+        assert!(Digraph::from_arcs(2, [(v(0), v(1)), (v(1), v(0))]).is_ok());
+        let r = Digraph::from_arcs(2, [(v(0), v(1)), (v(0), v(1))]);
+        assert!(matches!(r.unwrap_err(), GraphError::DuplicateEdge(_, _)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let r = Digraph::from_arcs(2, [(v(1), v(1))]);
+        assert!(matches!(r.unwrap_err(), GraphError::SelfLoop(_)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let r = Digraph::from_arcs(2, [(v(0), v(9))]);
+        assert!(matches!(r.unwrap_err(), GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn symmetric_closure_pairs_arcs() {
+        let g = Graph::from_edges(3, [(v(0), v(1)), (v(1), v(2))]).unwrap();
+        let d = Digraph::symmetric_closure(&g);
+        assert_eq!(d.num_arcs(), 4);
+        assert!(d.is_symmetric());
+        assert!(d.require_symmetric().is_ok());
+        // Arc layout: edge e -> arcs 2e (u->v), 2e+1 (v->u).
+        assert_eq!(d.arc(ArcId(0)), (v(0), v(1)));
+        assert_eq!(d.arc(ArcId(1)), (v(1), v(0)));
+        assert_eq!(d.reverse_arc(ArcId(0)), Some(ArcId(1)));
+        assert_eq!(d.reverse_arc(ArcId(1)), Some(ArcId(0)));
+    }
+
+    #[test]
+    fn asymmetric_digraph_detected() {
+        let d = Digraph::from_arcs(2, [(v(0), v(1))]).unwrap();
+        assert!(!d.is_symmetric());
+        assert!(matches!(d.require_symmetric().unwrap_err(), GraphError::NotSymmetric { .. }));
+        assert_eq!(d.reverse_arc(ArcId(0)), None);
+    }
+
+    #[test]
+    fn underlying_graph_dedups_arc_pairs() {
+        let g = Graph::from_edges(4, [(v(0), v(1)), (v(1), v(2)), (v(2), v(3))]).unwrap();
+        let d = Digraph::symmetric_closure(&g);
+        let u = d.underlying_graph();
+        assert_eq!(u.num_edges(), 3);
+        assert_eq!(u.num_vertices(), 4);
+        for (_, (a, b)) in g.edges() {
+            assert!(u.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn max_underlying_degree_of_symmetric_closure() {
+        let g = Graph::from_edges(4, [(v(0), v(1)), (v(0), v(2)), (v(0), v(3))]).unwrap();
+        let d = Digraph::symmetric_closure(&g);
+        assert_eq!(d.max_underlying_degree(), 3);
+        assert_eq!(d.max_degree(), 6);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let d = Digraph::from_arcs(4, [(v(3), v(2)), (v(3), v(0)), (v(3), v(1))]).unwrap();
+        let heads: Vec<VertexId> = d.out_neighbors(v(3)).iter().map(|&(h, _)| h).collect();
+        assert_eq!(heads, vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn empty_digraph() {
+        let d = Digraph::from_arcs(0, []).unwrap();
+        assert_eq!(d.num_vertices(), 0);
+        assert_eq!(d.num_arcs(), 0);
+        assert_eq!(d.max_degree(), 0);
+        assert!(d.is_symmetric());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+use crate::ids::VertexId;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The number of vertices in the graph under construction.
+        num_vertices: usize,
+    },
+    /// A self-loop `(v, v)` was added; DiMa graphs are simple.
+    SelfLoop(VertexId),
+    /// The same undirected edge (or directed arc) was added twice.
+    DuplicateEdge(VertexId, VertexId),
+    /// A parse error in one of the text formats, with a line number
+    /// (1-based) and description.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An operation required a symmetric digraph but the digraph had an
+    /// arc without its reverse.
+    NotSymmetric {
+        /// Tail of the unpaired arc.
+        from: VertexId,
+        /// Head of the unpaired arc.
+        to: VertexId,
+    },
+    /// A generator was asked for an impossible parameter combination
+    /// (for example more edges than a simple graph can hold).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v}"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge ({u}, {v})")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::NotSymmetric { from, to } => write!(
+                f,
+                "digraph is not symmetric: arc ({from}, {to}) has no reverse"
+            ),
+            GraphError::InvalidParameter(msg) => {
+                write!(f, "invalid generator parameter: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(VertexId(3));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge(VertexId(1), VertexId(2));
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::VertexOutOfRange { vertex: VertexId(9), num_vertices: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = GraphError::NotSymmetric { from: VertexId(0), to: VertexId(1) };
+        assert!(e.to_string().contains("symmetric"));
+        let e = GraphError::InvalidParameter("p out of range".into());
+        assert!(e.to_string().contains("parameter"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::SelfLoop(VertexId(0)));
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Erdős–Rényi random graphs: `G(n, p)`, `G(n, m)` and the paper's
+//! "average degree" parameterisation.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use super::max_edges;
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Runs in `O(n + m)` expected time using geometric skipping (the
+/// Batagelj–Brandes technique) rather than tossing a coin per pair.
+pub fn erdos_renyi_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!("p = {p} not in [0, 1]")));
+    }
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(VertexId(u), VertexId(v));
+            }
+        }
+        return b.build();
+    }
+    // Walk the strictly-upper-triangular pair sequence with geometric jumps.
+    let lq = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.random::<f64>();
+        // skip = floor(ln(1-r) / ln(1-p))
+        w += 1 + ((1.0 - r).ln() / lq).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(VertexId(w as u32), VertexId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// `G(n, m)`: a graph drawn uniformly from all simple graphs with exactly
+/// `n` vertices and `m` edges.
+///
+/// Uses rejection sampling over unordered pairs; for the sparse regimes in
+/// the paper (`m ≪ n²/2`) this is effectively linear. For dense requests
+/// (`m > max/2`) it samples the complement instead so the rejection rate
+/// stays low.
+pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<Graph, GraphError> {
+    let cap = max_edges(n);
+    if m > cap {
+        return Err(GraphError::InvalidParameter(format!(
+            "m = {m} exceeds max {cap} for n = {n}"
+        )));
+    }
+    if m == 0 {
+        return GraphBuilder::new(n).build();
+    }
+    if m > cap / 2 {
+        // Sample the complement's edge set and invert.
+        let missing = sample_distinct_pairs(n, cap - m, rng);
+        let mut b = GraphBuilder::with_capacity(n, m);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if !missing.contains(&(u, v)) {
+                    b.add_edge(VertexId(u), VertexId(v));
+                }
+            }
+        }
+        return b.build();
+    }
+    // Sort so edge ids do not depend on HashSet iteration order (which is
+    // randomised per process); the edge *set* is already uniform.
+    let mut chosen: Vec<(u32, u32)> = sample_distinct_pairs(n, m, rng).into_iter().collect();
+    chosen.sort_unstable();
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for &(u, v) in &chosen {
+        b.add_edge(VertexId(u), VertexId(v));
+    }
+    b.build()
+}
+
+/// The paper's parameterisation (§IV-A): "graphs with 200 or 400 nodes and
+/// an average degree of 4, 8 or 16". Average degree `d` on `n` vertices
+/// means `m = round(n·d / 2)` edges; the graph is drawn `G(n, m)`.
+pub fn erdos_renyi_avg_degree(
+    n: usize,
+    avg_degree: f64,
+    rng: &mut impl Rng,
+) -> Result<Graph, GraphError> {
+    if avg_degree < 0.0 {
+        return Err(GraphError::InvalidParameter(format!("average degree {avg_degree} < 0")));
+    }
+    let m = (n as f64 * avg_degree / 2.0).round() as usize;
+    erdos_renyi_gnm(n, m, rng)
+}
+
+/// Sample `k` distinct unordered pairs `(u, v)`, `u < v`, uniformly.
+fn sample_distinct_pairs(n: usize, k: usize, rng: &mut impl Rng) -> HashSet<(u32, u32)> {
+    let mut set = HashSet::with_capacity(k);
+    let n = n as u32;
+    while set.len() < k {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let pair = if u < v { (u, v) } else { (v, u) };
+        set.insert(pair);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &(n, m) in &[(10, 0), (10, 5), (10, 45), (200, 400), (50, 600)] {
+            let g = erdos_renyi_gnm(n, m, &mut rng).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn gnm_dense_path_uses_complement() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(20, 180, &mut rng).unwrap(); // max = 190
+        assert_eq!(g.num_edges(), 180);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible_m() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(erdos_renyi_gnm(4, 7, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g0 = erdos_renyi_gnp(30, 0.0, &mut rng).unwrap();
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi_gnp(30, 1.0, &mut rng).unwrap();
+        assert_eq!(g1.num_edges(), 30 * 29 / 2);
+        assert!(erdos_renyi_gnp(10, 1.5, &mut rng).is_err());
+        assert!(erdos_renyi_gnp(10, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (n, p) = (400, 0.05);
+        let mut total = 0usize;
+        let trials = 20;
+        for _ in 0..trials {
+            total += erdos_renyi_gnp(n, p, &mut rng).unwrap().num_edges();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = p * (n * (n - 1) / 2) as f64; // 3990
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "mean {mean} too far from expected {expect}"
+        );
+    }
+
+    #[test]
+    fn avg_degree_matches_request() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for &(n, d) in &[(200usize, 4.0f64), (200, 8.0), (400, 16.0)] {
+            let g = erdos_renyi_avg_degree(n, d, &mut rng).unwrap();
+            assert!((g.avg_degree() - d).abs() < 0.02, "n={n} d={d} got {}", g.avg_degree());
+        }
+        assert!(erdos_renyi_avg_degree(10, -1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, &mut rng).unwrap().num_vertices(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).unwrap().num_edges(), 0);
+        assert_eq!(erdos_renyi_gnm(1, 0, &mut rng).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = erdos_renyi_gnm(100, 300, &mut SmallRng::seed_from_u64(42)).unwrap();
+        let g2 = erdos_renyi_gnm(100, 300, &mut SmallRng::seed_from_u64(42)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

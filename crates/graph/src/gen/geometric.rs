@@ -1,0 +1,145 @@
+//! Random geometric (unit-disk) graphs.
+//!
+//! Strong edge coloring is motivated by channel assignment in ad-hoc
+//! wireless networks (paper §I, citing Barrett et al. and Kanj et al. on
+//! unit-disk graphs). A random geometric graph places `n` radios uniformly
+//! in the unit square and links every pair within distance `radius` —
+//! exactly the unit-disk model. Used by examples and extension tests.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// Generate a random geometric graph: `n` points uniform in `[0,1]²`,
+/// edge iff Euclidean distance ≤ `radius`.
+///
+/// Uses a uniform grid bucketed at `radius` so expected running time is
+/// `O(n + m)` rather than `O(n²)`.
+pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Graph, GraphError> {
+    if !(0.0..=f64::sqrt(2.0)).contains(&radius) || !radius.is_finite() {
+        return Err(GraphError::InvalidParameter(format!(
+            "radius = {radius} not in [0, sqrt(2)]"
+        )));
+    }
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    Ok(geometric_from_points(&pts, radius))
+}
+
+/// Build the unit-disk graph of explicit points (also used by tests to
+/// pin down exact adjacency).
+pub(crate) fn geometric_from_points(pts: &[(f64, f64)], radius: f64) -> Graph {
+    let n = pts.len();
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    if n == 0 {
+        return b.build().unwrap();
+    }
+    // Grid of cells with side >= `radius` (hence `floor`), so any pair
+    // within range lies in the same or an adjacent cell. Capped by n to
+    // bound memory for tiny radii.
+    let ideal = if radius > 0.0 { (1.0 / radius).floor() } else { f64::INFINITY };
+    let cells_per_side = (ideal.min(n as f64).max(1.0)) as usize;
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells_per_side + cx].push(i as u32);
+    }
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells_per_side + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue; // handle each pair once
+                    }
+                    let q = pts[j];
+                    let (ddx, ddy) = (p.0 - q.0, p.1 - q.1);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        b.add_edge(VertexId(i as u32), VertexId(j as u32));
+                    }
+                }
+            }
+        }
+    }
+    b.build().expect("pairs are visited once; graph is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn explicit_points_exact_adjacency() {
+        let pts = [(0.1, 0.1), (0.15, 0.1), (0.9, 0.9), (0.1, 0.2)];
+        let g = geometric_from_points(&pts, 0.12);
+        // d(0,1)=0.05 <= 0.12; d(0,3)=0.1 <= 0.12; d(1,3)≈0.112 <= 0.12;
+        // vertex 2 is isolated.
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(3)));
+        assert!(g.has_edge(VertexId(1), VertexId(3)));
+        assert_eq!(g.degree(VertexId(2)), 0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn grid_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let pts: Vec<(f64, f64)> =
+            (0..150).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+        let radius = 0.17;
+        let fast = geometric_from_points(&pts, radius);
+        // Brute force.
+        let mut expect = 0usize;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                if dx * dx + dy * dy <= radius * radius {
+                    expect += 1;
+                    assert!(
+                        fast.has_edge(VertexId(i as u32), VertexId(j as u32)),
+                        "missing edge ({i},{j})"
+                    );
+                }
+            }
+        }
+        assert_eq!(fast.num_edges(), expect);
+    }
+
+    #[test]
+    fn radius_zero_and_full() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let g = random_geometric(30, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        let g = random_geometric(10, f64::sqrt(2.0), &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 45); // complete
+    }
+
+    #[test]
+    fn invalid_radius_rejected() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        assert!(random_geometric(10, -0.1, &mut rng).is_err());
+        assert!(random_geometric(10, 2.0, &mut rng).is_err());
+        assert!(random_geometric(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = geometric_from_points(&[], 0.3);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

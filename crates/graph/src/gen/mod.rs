@@ -1,0 +1,162 @@
+//! Random and structured graph generators.
+//!
+//! These cover every workload in the paper's evaluation (§IV):
+//!
+//! * [`erdos_renyi_gnm`] / [`erdos_renyi_gnp`] / [`erdos_renyi_avg_degree`]
+//!   — the §IV-A and §IV-D corpora ("Erdős–Rényi graphs with 200 or 400
+//!   nodes and an average degree of 4, 8 or 16").
+//! * [`barabasi_albert`] — the §IV-B scale-free corpus, with a tunable
+//!   preferential-attachment *power* implementing the paper's "alterations
+//!   in weighting to create increasingly disparate graphs".
+//! * [`watts_strogatz`] — the §IV-C small-world corpus (sparse and dense).
+//! * [`random_regular`], [`random_geometric`] — extra random families used
+//!   by tests, examples and ablations (random geometric graphs model the
+//!   unit-disk sensor networks that motivate strong edge coloring).
+//! * [`structured`] — deterministic fixtures (complete graphs, cycles,
+//!   paths, stars, grids, hypercubes, trees, bipartite graphs, Petersen).
+//!
+//! Every generator takes an explicit `&mut impl Rng`; experiments seed a
+//! `SmallRng` so corpora are reproducible from a published seed.
+
+mod erdos_renyi;
+mod geometric;
+mod regular;
+mod scale_free;
+mod small_world;
+pub mod structured;
+
+pub use erdos_renyi::{erdos_renyi_avg_degree, erdos_renyi_gnm, erdos_renyi_gnp};
+pub use geometric::random_geometric;
+pub use regular::random_regular;
+pub use scale_free::barabasi_albert;
+pub use small_world::watts_strogatz;
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Maximum number of edges a simple graph on `n` vertices can hold.
+pub fn max_edges(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// A named random-graph family with its parameters, for experiment specs
+/// and reporting. Calling [`GraphFamily::sample`] draws one graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphFamily {
+    /// `G(n, m)` with `m` chosen to hit the given average degree.
+    ErdosRenyiAvgDegree {
+        /// Number of vertices.
+        n: usize,
+        /// Target average degree (`m = round(n·d/2)`).
+        avg_degree: f64,
+    },
+    /// `G(n, p)`.
+    ErdosRenyiGnp {
+        /// Number of vertices.
+        n: usize,
+        /// Independent edge probability.
+        p: f64,
+    },
+    /// Barabási–Albert preferential attachment.
+    ScaleFree {
+        /// Number of vertices.
+        n: usize,
+        /// Edges added per new vertex.
+        edges_per_vertex: usize,
+        /// Preferential-attachment exponent (1.0 = classic BA; larger
+        /// values concentrate degree into fewer hubs — the paper's
+        /// "increasingly disparate" graphs).
+        power: f64,
+    },
+    /// Watts–Strogatz small world.
+    SmallWorld {
+        /// Number of vertices.
+        n: usize,
+        /// Each vertex starts connected to `k` nearest ring neighbors
+        /// (`k` even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Random `d`-regular graph (pairing model).
+    Regular {
+        /// Number of vertices.
+        n: usize,
+        /// Uniform degree (`n·d` must be even).
+        d: usize,
+    },
+    /// Random geometric (unit-disk) graph on the unit square.
+    Geometric {
+        /// Number of vertices.
+        n: usize,
+        /// Connection radius.
+        radius: f64,
+    },
+}
+
+impl GraphFamily {
+    /// Draw one graph from the family.
+    pub fn sample(&self, rng: &mut impl Rng) -> Result<Graph, crate::GraphError> {
+        match *self {
+            GraphFamily::ErdosRenyiAvgDegree { n, avg_degree } => {
+                erdos_renyi_avg_degree(n, avg_degree, rng)
+            }
+            GraphFamily::ErdosRenyiGnp { n, p } => erdos_renyi_gnp(n, p, rng),
+            GraphFamily::ScaleFree { n, edges_per_vertex, power } => {
+                barabasi_albert(n, edges_per_vertex, power, rng)
+            }
+            GraphFamily::SmallWorld { n, k, beta } => watts_strogatz(n, k, beta, rng),
+            GraphFamily::Regular { n, d } => random_regular(n, d, rng),
+            GraphFamily::Geometric { n, radius } => random_geometric(n, radius, rng),
+        }
+    }
+
+    /// A short label for tables and CSV headers, e.g. `er(n=200,d=8)`.
+    pub fn label(&self) -> String {
+        match *self {
+            GraphFamily::ErdosRenyiAvgDegree { n, avg_degree } => {
+                format!("er(n={n},d={avg_degree})")
+            }
+            GraphFamily::ErdosRenyiGnp { n, p } => format!("gnp(n={n},p={p})"),
+            GraphFamily::ScaleFree { n, edges_per_vertex, power } => {
+                format!("sf(n={n},m={edges_per_vertex},pow={power})")
+            }
+            GraphFamily::SmallWorld { n, k, beta } => format!("sw(n={n},k={k},beta={beta})"),
+            GraphFamily::Regular { n, d } => format!("reg(n={n},d={d})"),
+            GraphFamily::Geometric { n, radius } => format!("geo(n={n},r={radius})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_edges_formula() {
+        assert_eq!(max_edges(0), 0);
+        assert_eq!(max_edges(1), 0);
+        assert_eq!(max_edges(2), 1);
+        assert_eq!(max_edges(5), 10);
+    }
+
+    #[test]
+    fn family_sample_and_label() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let fams = [
+            GraphFamily::ErdosRenyiAvgDegree { n: 50, avg_degree: 4.0 },
+            GraphFamily::ErdosRenyiGnp { n: 50, p: 0.1 },
+            GraphFamily::ScaleFree { n: 50, edges_per_vertex: 2, power: 1.0 },
+            GraphFamily::SmallWorld { n: 50, k: 4, beta: 0.1 },
+            GraphFamily::Regular { n: 50, d: 4 },
+            GraphFamily::Geometric { n: 50, radius: 0.25 },
+        ];
+        for f in &fams {
+            let g = f.sample(&mut rng).unwrap();
+            assert_eq!(g.num_vertices(), 50, "family {}", f.label());
+            assert!(!f.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Barabási–Albert scale-free graphs with tunable attachment power.
+//!
+//! The paper's §IV-B corpus: "300 scale-free graphs were generated with
+//! either 100 or 400 nodes, with alterations in weighting to create
+//! increasingly disparate graphs". iGraph's `barabasi_game` exposes that
+//! weighting as the *power* of preferential attachment — the probability
+//! of attaching to vertex `v` is proportional to `degree(v)^power + a`.
+//! `power = 1` is classic BA; larger powers concentrate edges into fewer,
+//! higher-degree hubs ("more disparate"), raising Δ for the same `n`/`m`.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// Generate a Barabási–Albert graph on `n` vertices where every new vertex
+/// attaches `edges_per_vertex` edges to existing vertices with probability
+/// ∝ `degree^power + 1`.
+///
+/// * `n` must be at least `edges_per_vertex + 1`.
+/// * `edges_per_vertex ≥ 1`.
+/// * `power ≥ 0` (0 = uniform attachment, 1 = classic BA).
+///
+/// The seed graph is a star on the first `edges_per_vertex + 1` vertices,
+/// so the result is always connected. Parallel edges are avoided by
+/// re-sampling; the graph is simple.
+pub fn barabasi_albert(
+    n: usize,
+    edges_per_vertex: usize,
+    power: f64,
+    rng: &mut impl Rng,
+) -> Result<Graph, GraphError> {
+    let m0 = edges_per_vertex;
+    if m0 == 0 {
+        return Err(GraphError::InvalidParameter("edges_per_vertex must be >= 1".into()));
+    }
+    if n < m0 + 1 {
+        return Err(GraphError::InvalidParameter(format!(
+            "n = {n} must be at least edges_per_vertex + 1 = {}",
+            m0 + 1
+        )));
+    }
+    if power < 0.0 || !power.is_finite() {
+        return Err(GraphError::InvalidParameter(format!("power = {power} must be >= 0")));
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, m0 + (n - m0 - 1) * m0);
+    let mut degree = vec![0usize; n];
+    // Seed: star centred on vertex 0 over vertices 0..=m0.
+    for v in 1..=m0 {
+        b.add_edge(VertexId(0), VertexId(v as u32));
+        degree[0] += 1;
+        degree[v] += 1;
+    }
+
+    // Attachment weights: degree^power + 1 (the +1 keeps isolated-ish
+    // vertices reachable and matches iGraph's `zero.appeal = 1`).
+    let weight = |d: usize| -> f64 { (d as f64).powf(power) + 1.0 };
+
+    let mut picked: Vec<usize> = Vec::with_capacity(m0);
+    for new in (m0 + 1)..n {
+        picked.clear();
+        // Total weight over existing vertices 0..new.
+        let mut total: f64 = (0..new).map(|v| weight(degree[v])).sum();
+        // Sample m0 distinct targets by weight, without replacement:
+        // remove a chosen vertex's weight from the running total.
+        let mut removed = vec![false; new];
+        let picks = m0.min(new);
+        for _ in 0..picks {
+            let mut x = rng.random::<f64>() * total;
+            let mut chosen = usize::MAX;
+            for v in 0..new {
+                if removed[v] {
+                    continue;
+                }
+                let w = weight(degree[v]);
+                if x < w {
+                    chosen = v;
+                    break;
+                }
+                x -= w;
+            }
+            if chosen == usize::MAX {
+                // Floating-point underflow at the tail: take the last
+                // remaining vertex.
+                chosen = (0..new).rev().find(|&v| !removed[v]).expect("at least one candidate");
+            }
+            removed[chosen] = true;
+            total -= weight(degree[chosen]);
+            picked.push(chosen);
+        }
+        for &t in &picked {
+            b.add_edge(VertexId(new as u32), VertexId(t as u32));
+            degree[new] += 1;
+            degree[t] += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &(n, m) in &[(10usize, 1usize), (100, 2), (100, 3), (400, 2)] {
+            let g = barabasi_albert(n, m, 1.0, &mut rng).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), m + (n - m - 1) * m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = barabasi_albert(200, 2, 1.0, &mut rng).unwrap();
+        let (count, _) = crate::analysis::connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn higher_power_concentrates_degree() {
+        // Average Δ over several samples should grow with the power.
+        let trials = 10;
+        let avg_delta = |power: f64, seed: u64| -> f64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..trials)
+                .map(|_| barabasi_albert(300, 2, power, &mut rng).unwrap().max_degree() as f64)
+                .sum::<f64>()
+                / trials as f64
+        };
+        let low = avg_delta(0.5, 13);
+        let high = avg_delta(2.0, 13);
+        assert!(
+            high > low * 1.5,
+            "power 2.0 should produce much larger hubs: low={low} high={high}"
+        );
+    }
+
+    #[test]
+    fn power_zero_is_uniform_attachment() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = barabasi_albert(200, 2, 0.0, &mut rng).unwrap();
+        // Uniform attachment still yields a connected simple graph.
+        assert_eq!(g.num_edges(), 2 + 197 * 2);
+        let (count, _) = crate::analysis::connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        assert!(barabasi_albert(5, 0, 1.0, &mut rng).is_err());
+        assert!(barabasi_albert(2, 2, 1.0, &mut rng).is_err());
+        assert!(barabasi_albert(10, 2, -1.0, &mut rng).is_err());
+        assert!(barabasi_albert(10, 2, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn smallest_valid_instance() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let g = barabasi_albert(2, 1, 1.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = barabasi_albert(120, 2, 1.3, &mut SmallRng::seed_from_u64(99)).unwrap();
+        let b = barabasi_albert(120, 2, 1.3, &mut SmallRng::seed_from_u64(99)).unwrap();
+        assert_eq!(a, b);
+    }
+}

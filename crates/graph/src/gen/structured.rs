@@ -1,0 +1,202 @@
+//! Deterministic structured graph families.
+//!
+//! These serve as fixtures with known chromatic indices: `K_n` needs `n-1`
+//! colors when `n` is even and `n` when odd; even cycles need 2, odd
+//! cycles 3; stars and trees need exactly Δ; bipartite graphs need exactly
+//! Δ (König). They anchor the quality assertions in the test suites.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+    }
+    b.build().expect("complete graph is simple")
+}
+
+/// Cycle `C_n` (`n ≥ 3`); for `n < 3` returns a path instead of panicking.
+pub fn cycle(n: usize) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 0..n as u32 {
+        b.add_edge(VertexId(u), VertexId((u + 1) % n as u32));
+    }
+    b.build().expect("cycle is simple for n >= 3")
+}
+
+/// Path `P_n` on `n` vertices (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as u32 {
+        b.add_edge(VertexId(u - 1), VertexId(u));
+    }
+    b.build().expect("path is simple")
+}
+
+/// Star `K_{1,n-1}`: vertex 0 joined to all others.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge(VertexId(0), VertexId(v));
+    }
+    b.build().expect("star is simple")
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| VertexId((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("grid is simple")
+}
+
+/// `dim`-dimensional hypercube `Q_dim` on `2^dim` vertices.
+pub fn hypercube(dim: usize) -> Graph {
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim / 2);
+    for u in 0..n {
+        for bit in 0..dim {
+            let v = u ^ (1 << bit);
+            if v > u {
+                b.add_edge(VertexId(u as u32), VertexId(v as u32));
+            }
+        }
+    }
+    b.build().expect("hypercube is simple")
+}
+
+/// Complete bipartite graph `K_{a,b}` (left part `0..a`, right `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut gb = GraphBuilder::with_capacity(a + b, a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            gb.add_edge(VertexId(u), VertexId(a as u32 + v));
+        }
+    }
+    gb.build().expect("complete bipartite is simple")
+}
+
+/// Balanced binary tree of the given depth (depth 0 = single vertex).
+pub fn balanced_binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(VertexId(((v - 1) / 2) as u32), VertexId(v as u32));
+    }
+    b.build().expect("tree is simple")
+}
+
+/// The Petersen graph (3-regular, 10 vertices; chromatic index 4 — a
+/// class-2 graph, useful for exercising the Δ+1 cases).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::with_capacity(10, 15);
+    for u in 0..5u32 {
+        b.add_edge(VertexId(u), VertexId((u + 1) % 5)); // outer C5
+        b.add_edge(VertexId(5 + u), VertexId(5 + (u + 2) % 5)); // inner pentagram
+        b.add_edge(VertexId(u), VertexId(5 + u)); // spokes
+    }
+    b.build().expect("petersen is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(complete(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.max_degree(), 2);
+        // Degenerate sizes fall back to paths.
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn path_and_star_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(0).num_vertices(), 0);
+        let s = star(9);
+        assert_eq!(s.num_edges(), 8);
+        assert_eq!(s.max_degree(), 8);
+        assert_eq!(s.degree(VertexId(3)), 1);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // 17
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(grid(1, 5).num_edges(), 4);
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        let g = hypercube(4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 32);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(hypercube(0).num_vertices(), 1);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.max_degree(), 4);
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn tree_counts() {
+        let g = balanced_binary_tree(3);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(balanced_binary_tree(0).num_vertices(), 1);
+    }
+
+    #[test]
+    fn petersen_is_three_regular() {
+        let g = petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 3);
+        }
+        let (count, _) = crate::analysis::connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

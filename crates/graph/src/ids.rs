@@ -1,0 +1,107 @@
+//! Strongly-typed identifiers for vertices, undirected edges, and arcs.
+//!
+//! All identifiers are thin `u32` newtypes: the workloads in the paper are
+//! at most a few hundred vertices, but the simulator is regularly exercised
+//! on graphs with hundreds of thousands of edges, where halving the index
+//! width keeps adjacency structures inside the cache.
+
+use std::fmt;
+
+/// Identifier of a vertex. Vertices of a graph with `n` vertices are always
+/// `VertexId(0) .. VertexId(n-1)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an undirected edge. Edges of a graph with `m` edges are
+/// always `EdgeId(0) .. EdgeId(m-1)`, in insertion order.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a directed arc.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcId(pub u32);
+
+macro_rules! id_impls {
+    ($ty:ident, $tag:literal) => {
+        impl $ty {
+            /// The identifier as a `usize`, for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                assert!(i <= u32::MAX as usize, "id overflow");
+                $ty(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $ty {
+            fn from(v: u32) -> Self {
+                $ty(v)
+            }
+        }
+    };
+}
+
+id_impls!(VertexId, "v");
+id_impls!(EdgeId, "e");
+id_impls!(ArcId, "a");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(v.index(), 42);
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        let a = ArcId::from_index(9);
+        assert_eq!(a.index(), 9);
+    }
+
+    #[test]
+    fn debug_formats_with_tag() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", EdgeId(4)), "e4");
+        assert_eq!(format!("{:?}", ArcId(5)), "a5");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(VertexId(3).to_string(), "3");
+        assert_eq!(EdgeId(11).to_string(), "11");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+}

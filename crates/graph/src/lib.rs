@@ -1,0 +1,58 @@
+//! # dima-graph — graph substrate for the DiMa workspace
+//!
+//! This crate provides every graph facility the DiMa edge-coloring
+//! reproduction needs, implemented from scratch:
+//!
+//! * [`Graph`] — a simple undirected graph with stable vertex and edge
+//!   identifiers, adjacency-list storage and an immutable, validated
+//!   construction path through [`GraphBuilder`].
+//! * [`CsrGraph`] — a compressed-sparse-row view for cache-friendly
+//!   traversal in hot loops.
+//! * [`Digraph`] — a directed graph with arc identifiers, used by the
+//!   strong edge-coloring algorithm. Symmetric digraphs (every arc paired
+//!   with its reverse) are first-class: see [`Digraph::symmetric_closure`].
+//! * [`gen`] — random and structured graph generators covering all of the
+//!   paper's experimental workloads (Erdős–Rényi, Barabási–Albert
+//!   scale-free, Watts–Strogatz small-world) plus fixtures for testing.
+//! * [`analysis`] — degree statistics, connected components, BFS,
+//!   clustering coefficients.
+//! * [`io`] — plain-text edge-list parsing/serialisation and DOT export.
+//! * [`conflict`] — line graphs and strong (distance-2) conflict graphs,
+//!   used to verify edge colorings through the vertex-coloring lens.
+//!
+//! The crate has no dependencies besides `rand` (generators only) and uses
+//! no `unsafe`.
+//!
+//! ## Example
+//!
+//! ```
+//! use dima_graph::{Graph, GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(VertexId(0), VertexId(1));
+//! b.add_edge(VertexId(1), VertexId(2));
+//! b.add_edge(VertexId(2), VertexId(3));
+//! let g: Graph = b.build().unwrap();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.max_degree(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod conflict;
+pub mod csr;
+pub mod digraph;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod ids;
+pub mod io;
+
+pub use csr::CsrGraph;
+pub use digraph::{Digraph, DigraphBuilder};
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder};
+pub use ids::{ArcId, EdgeId, VertexId};

@@ -1,0 +1,418 @@
+//! The deterministic sequential engine — the reference implementation.
+//!
+//! Nodes are stepped in id order; messages produced in round `r` are
+//! delivered (sorted by sender id) at round `r+1`; the run ends when every
+//! node has reported [`NodeStatus::Done`] or the round budget is
+//! exhausted. Given the same topology, config and factory, two runs are
+//! bit-identical — and so is a [`crate::par::run_parallel`] run, which the
+//! test suites verify.
+
+use dima_graph::VertexId;
+
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
+use crate::rng::node_rng;
+use crate::stats::{RoundStats, RunStats};
+use crate::topology::Topology;
+
+/// Engine configuration shared by both engines.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Master seed; all node RNGs derive from it.
+    pub seed: u64,
+    /// Abort with [`SimError::MaxRoundsExceeded`] after this many
+    /// communication rounds.
+    pub max_rounds: u64,
+    /// Collect a per-round stats breakdown (small extra allocation).
+    pub collect_round_stats: bool,
+    /// Check that unicasts go to actual neighbors (the one-hop model);
+    /// costs a binary search per send.
+    pub validate_sends: bool,
+    /// Message-loss injection (defaults to reliable delivery).
+    pub faults: FaultPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0,
+            max_rounds: 1_000_000,
+            collect_round_stats: false,
+            validate_sends: true,
+            faults: FaultPlan::reliable(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> Self {
+        EngineConfig { seed, ..Default::default() }
+    }
+}
+
+/// The result of a completed run: each node's final protocol state plus
+/// the aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<P> {
+    /// Final protocol state per node, indexed by node id.
+    pub nodes: Vec<P>,
+    /// Aggregate run statistics.
+    pub stats: RunStats,
+}
+
+/// What an observer sees after each communication round.
+#[derive(Debug)]
+pub struct RoundView<'a, P> {
+    /// 0-based round just executed.
+    pub round: u64,
+    /// Every node's protocol state (including done nodes).
+    pub nodes: &'a [P],
+    /// Which nodes have finished (as of the end of this round).
+    pub done: &'a [bool],
+    /// This round's counters.
+    pub stats: RoundStats,
+}
+
+/// Run `factory`-created protocols on `topo` until all nodes are done.
+///
+/// The factory is called once per node, in node order, with the node's
+/// id and neighbor list.
+pub fn run_sequential<P, F>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    factory: F,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+{
+    run_sequential_observed(topo, cfg, factory, |_| {})
+}
+
+/// [`run_sequential`] with a per-round observer — the hook behind state
+/// censuses ([`crate::trace`]) and mid-run inspection in tests. The
+/// observer runs after each round's done-flags merge, i.e. it sees
+/// exactly the state the next round will start from.
+pub fn run_sequential_observed<P, F, O>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    mut factory: F,
+    mut observer: O,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+    O: FnMut(RoundView<'_, P>),
+{
+    let n = topo.num_nodes();
+    let mut protocols: Vec<P> = (0..n)
+        .map(|i| {
+            let node = VertexId(i as u32);
+            factory(NodeSeed { node, neighbors: topo.neighbors(node) })
+        })
+        .collect();
+    let mut rngs: Vec<_> = (0..n).map(|i| node_rng(cfg.seed, i as u32)).collect();
+    let mut done = vec![false; n];
+    let mut done_count = 0usize;
+
+    let mut cur: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    let mut next: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
+
+    let mut stats = RunStats {
+        per_round: cfg.collect_round_stats.then(Vec::new),
+        ..Default::default()
+    };
+
+    if n == 0 {
+        return Ok(RunOutcome { nodes: protocols, stats });
+    }
+
+    // Done-ness takes effect at round boundaries only (`newly_done` is
+    // merged after the node loop): whether a round-`r` delivery reaches a
+    // node must not depend on the order nodes are stepped in, or the
+    // parallel engine could not reproduce this engine's results.
+    let mut newly_done: Vec<usize> = Vec::new();
+    for round in 0..cfg.max_rounds {
+        let mut sent = 0u64;
+        let mut delivered = 0u64;
+        let mut active = 0usize;
+        newly_done.clear();
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            active += 1;
+            let node = VertexId(i as u32);
+            outbox.clear();
+            let status = {
+                let mut ctx = RoundCtx {
+                    node,
+                    round,
+                    neighbors: topo.neighbors(node),
+                    inbox: &cur[i],
+                    outbox: &mut outbox,
+                    rng: &mut rngs[i],
+                };
+                protocols[i].on_round(&mut ctx)
+            };
+            // Route this node's outbox.
+            for (k, (target, msg)) in outbox.drain(..).enumerate() {
+                sent += 1;
+                match target {
+                    Target::Unicast(to) => {
+                        if cfg.validate_sends && !topo.are_neighbors(node, to) {
+                            return Err(SimError::NotANeighbor { from: node, to });
+                        }
+                        if deliver(cfg, round, node, to, k, &done, &mut stats) {
+                            next[to.index()].push(Envelope { from: node, msg });
+                            delivered += 1;
+                        }
+                    }
+                    Target::Broadcast => {
+                        for &to in topo.neighbors(node) {
+                            if deliver(cfg, round, node, to, k, &done, &mut stats) {
+                                next[to.index()].push(Envelope { from: node, msg: msg.clone() });
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if status == NodeStatus::Done {
+                newly_done.push(i);
+            }
+        }
+        for &i in &newly_done {
+            done[i] = true;
+            done_count += 1;
+        }
+        let rs = RoundStats { round, active, done: done_count, sent, delivered };
+        stats.push_round(rs);
+        observer(RoundView { round, nodes: &protocols, done: &done, stats: rs });
+        if done_count == n {
+            return Ok(RunOutcome { nodes: protocols, stats });
+        }
+        std::mem::swap(&mut cur, &mut next);
+        for v in &mut next {
+            v.clear();
+        }
+    }
+    Err(SimError::MaxRoundsExceeded { max_rounds: cfg.max_rounds, still_active: n - done_count })
+}
+
+/// Decide whether a delivery happens (recipient alive, not dropped).
+#[inline]
+fn deliver(
+    cfg: &EngineConfig,
+    round: u64,
+    from: VertexId,
+    to: VertexId,
+    k: usize,
+    done: &[bool],
+    stats: &mut RunStats,
+) -> bool {
+    if done[to.index()] {
+        return false;
+    }
+    if cfg.faults.drops(cfg.seed, round, from.0, to.0, k as u32) {
+        stats.dropped += 1;
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::structured;
+    use dima_graph::Graph;
+
+    /// Flood: every node broadcasts its id once, collects neighbor ids,
+    /// and finishes when it has heard from every neighbor.
+    #[derive(Debug)]
+    struct Flood {
+        heard: Vec<VertexId>,
+        expected: usize,
+        sent: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, u32>) -> NodeStatus {
+            if !self.sent {
+                ctx.broadcast(ctx.node().0);
+                self.sent = true;
+            }
+            for env in ctx.inbox() {
+                self.heard.push(env.from);
+            }
+            if self.heard.len() >= self.expected {
+                NodeStatus::Done
+            } else {
+                NodeStatus::Active
+            }
+        }
+    }
+
+    fn flood_factory(seed: NodeSeed<'_>) -> Flood {
+        Flood { heard: Vec::new(), expected: seed.neighbors.len(), sent: false }
+    }
+
+    #[test]
+    fn flood_completes_in_two_rounds() {
+        let g = structured::cycle(8);
+        let topo = Topology::from_graph(&g);
+        let out = run_sequential(&topo, &EngineConfig::seeded(1), flood_factory).unwrap();
+        assert_eq!(out.stats.rounds, 2);
+        assert_eq!(out.stats.messages_sent, 8);
+        assert_eq!(out.stats.deliveries, 16);
+        for (i, node) in out.nodes.iter().enumerate() {
+            let mut heard = node.heard.clone();
+            heard.sort_unstable();
+            let expect: Vec<VertexId> = topo.neighbors(VertexId(i as u32)).to_vec();
+            assert_eq!(heard, expect);
+        }
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        let g = structured::star(6);
+        let topo = Topology::from_graph(&g);
+        let out = run_sequential(&topo, &EngineConfig::seeded(1), flood_factory).unwrap();
+        // Hub (node 0) heard all leaves, delivered in sender order.
+        let heard = &out.nodes[0].heard;
+        let mut sorted = heard.clone();
+        sorted.sort_unstable();
+        assert_eq!(heard, &sorted);
+    }
+
+    #[test]
+    fn empty_topology_finishes_immediately() {
+        let topo = Topology::from_graph(&Graph::empty(0));
+        let out = run_sequential(&topo, &EngineConfig::default(), flood_factory).unwrap();
+        assert_eq!(out.stats.rounds, 0);
+        assert!(out.nodes.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_finish_in_one_round() {
+        let topo = Topology::from_graph(&Graph::empty(4));
+        let out = run_sequential(&topo, &EngineConfig::default(), flood_factory).unwrap();
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(out.stats.messages_sent, 4); // broadcasts to nobody
+        assert_eq!(out.stats.deliveries, 0);
+    }
+
+    /// A protocol that never finishes.
+    #[derive(Debug)]
+    struct Forever;
+    impl Protocol for Forever {
+        type Msg = ();
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+            NodeStatus::Active
+        }
+    }
+
+    #[test]
+    fn round_budget_enforced() {
+        let topo = Topology::from_graph(&structured::path(3));
+        let cfg = EngineConfig { max_rounds: 10, ..Default::default() };
+        let err = run_sequential(&topo, &cfg, |_| Forever).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { max_rounds: 10, still_active: 3 });
+    }
+
+    /// A protocol that illegally unicasts to a fixed non-neighbor.
+    #[derive(Debug)]
+    struct BadSender;
+    impl Protocol for BadSender {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+            ctx.send(VertexId(2), ());
+            NodeStatus::Done
+        }
+    }
+
+    #[test]
+    fn unicast_to_non_neighbor_rejected() {
+        let topo = Topology::from_graph(&structured::path(3)); // 0-1-2
+        let err = run_sequential(&topo, &EngineConfig::default(), |_| BadSender).unwrap_err();
+        assert_eq!(err, SimError::NotANeighbor { from: VertexId(0), to: VertexId(2) });
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let topo = Topology::from_graph(&structured::path(3));
+        let cfg = EngineConfig { validate_sends: false, ..Default::default() };
+        // With validation off the bogus send is routed (still only to the
+        // inbox of node 2) and the run completes.
+        let out = run_sequential(&topo, &cfg, |_| BadSender).unwrap();
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    #[test]
+    fn per_round_stats_collected_when_asked() {
+        let topo = Topology::from_graph(&structured::cycle(4));
+        let cfg = EngineConfig { collect_round_stats: true, ..EngineConfig::seeded(3) };
+        let out = run_sequential(&topo, &cfg, flood_factory).unwrap();
+        let pr = out.stats.per_round.as_ref().unwrap();
+        assert_eq!(pr.len(), 2);
+        assert_eq!(pr[0].active, 4);
+        assert_eq!(pr[0].sent, 4);
+        assert_eq!(pr[1].done, 4);
+    }
+
+    #[test]
+    fn total_drop_blocks_flood() {
+        let topo = Topology::from_graph(&structured::cycle(4));
+        let cfg = EngineConfig {
+            faults: FaultPlan::uniform(1.0),
+            max_rounds: 20,
+            ..EngineConfig::seeded(3)
+        };
+        let err = run_sequential(&topo, &cfg, flood_factory).unwrap_err();
+        assert!(matches!(err, SimError::MaxRoundsExceeded { .. }));
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let topo = Topology::from_graph(&structured::cycle(10));
+        let a = run_sequential(&topo, &EngineConfig::seeded(9), flood_factory).unwrap();
+        let b = run_sequential(&topo, &EngineConfig::seeded(9), flood_factory).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn messages_to_done_nodes_are_discarded() {
+        // Node 0 finishes in round 0; others keep broadcasting to it.
+        #[derive(Debug)]
+        struct Spammer {
+            quit_early: bool,
+        }
+        impl Protocol for Spammer {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+                ctx.broadcast(());
+                if self.quit_early || ctx.round() >= 3 {
+                    NodeStatus::Done
+                } else {
+                    NodeStatus::Active
+                }
+            }
+        }
+        let topo = Topology::from_graph(&structured::complete(3));
+        let out = run_sequential(&topo, &EngineConfig::default(), |seed| Spammer {
+            quit_early: seed.node == VertexId(0),
+        })
+        .unwrap();
+        // Node 0 was stepped exactly once.
+        assert_eq!(out.stats.rounds, 4);
+        // Deliveries to node 0 after round 0 were suppressed:
+        // round 0: 3 broadcasts × 2 deliveries = 6.
+        // rounds 1..3: 2 broadcasts × 2 neighbors, but deliveries to node
+        // 0 suppressed => each sender reaches 1 live peer = 2 per round.
+        assert_eq!(out.stats.deliveries, 6 + 3 * 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic fault injection.
+//!
+//! The paper's correctness arguments (Propositions 2 and 5) lean on the
+//! reliable-delivery assumption of the message-passing model: "v must not
+//! receive the message, which is contrary to our model". Fault injection
+//! lets the test suite demonstrate that the assumption is load-bearing —
+//! with message loss, DiMa's two-sided edge commitment can desynchronise.
+//!
+//! Drop decisions are a **pure function** of
+//! `(seed, round, sender, receiver, k)` — no RNG stream — so they are
+//! identical no matter which engine runs the protocol or in which order
+//! threads deliver messages, and node RNG streams are unaffected by
+//! whether injection is enabled.
+
+use crate::rng::splitmix64;
+
+/// Message-loss configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that an individual delivery (one receiver of one
+    /// message) is silently dropped.
+    pub drop_probability: f64,
+    /// First round at which drops may occur (rounds before this are
+    /// reliable), letting tests corrupt a run mid-flight.
+    pub from_round: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never drops anything.
+    pub fn reliable() -> Self {
+        FaultPlan { drop_probability: 0.0, from_round: 0 }
+    }
+
+    /// Uniform drop probability from round 0.
+    pub fn uniform(p: f64) -> Self {
+        FaultPlan { drop_probability: p, from_round: 0 }
+    }
+
+    /// `true` if the plan can never drop a message.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_probability <= 0.0
+    }
+
+    /// Decide one delivery: message `k` of `sender`'s outbox this round,
+    /// delivered to `receiver`. Pure — identical across engines.
+    #[inline]
+    pub(crate) fn drops(&self, seed: u64, round: u64, sender: u32, receiver: u32, k: u32) -> bool {
+        if self.drop_probability <= 0.0 || round < self.from_round {
+            return false;
+        }
+        if self.drop_probability >= 1.0 {
+            return true;
+        }
+        let key = splitmix64(
+            splitmix64(seed ^ 0xFA_17_FA_17)
+                ^ splitmix64(round)
+                ^ splitmix64(((sender as u64) << 32) | receiver as u64)
+                ^ splitmix64(k as u64 + 0x1000),
+        );
+        // Map the hash to [0, 1) with 53 bits of precision and compare.
+        ((key >> 11) as f64 / (1u64 << 53) as f64) < self.drop_probability
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_never_drops() {
+        let plan = FaultPlan::reliable();
+        assert!(plan.is_reliable());
+        for r in 0..100 {
+            assert!(!plan.drops(1, r, 0, 1, 0));
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let plan = FaultPlan::uniform(1.0);
+        assert!(!plan.is_reliable());
+        for r in 0..100 {
+            assert!(plan.drops(1, r, 0, 1, 0));
+        }
+    }
+
+    #[test]
+    fn from_round_gates_drops() {
+        let plan = FaultPlan { drop_probability: 1.0, from_round: 5 };
+        for r in 0..5 {
+            assert!(!plan.drops(1, r, 0, 1, 0));
+        }
+        assert!(plan.drops(1, 5, 0, 1, 0));
+    }
+
+    #[test]
+    fn decision_is_pure() {
+        let plan = FaultPlan::uniform(0.5);
+        for r in 0..50 {
+            assert_eq!(plan.drops(9, r, 2, 3, 1), plan.drops(9, r, 2, 3, 1));
+        }
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let plan = FaultPlan::uniform(0.3);
+        let n = 20_000u32;
+        let dropped = (0..n).filter(|&k| plan.drops(2, 0, k % 97, k % 89, k)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plan = FaultPlan::uniform(0.5);
+        let a: Vec<bool> = (0..64).map(|k| plan.drops(1, 0, 0, 1, k)).collect();
+        let b: Vec<bool> = (0..64).map(|k| plan.drops(2, 0, 0, 1, k)).collect();
+        assert_ne!(a, b);
+    }
+}

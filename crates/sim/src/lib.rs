@@ -1,0 +1,49 @@
+//! # dima-sim — a synchronous message-passing network simulator
+//!
+//! The paper's model of computation (§I-C) makes exactly two assumptions:
+//!
+//! 1. communication rounds proceed **synchronously**, and
+//! 2. each node can communicate with each of its neighbors once per round,
+//!    **reliably**.
+//!
+//! This crate implements that model. Each vertex of a graph becomes a
+//! compute node running a [`Protocol`] — a state machine that is handed
+//! its inbox once per communication round and fills an outbox. Two engines
+//! execute protocols:
+//!
+//! * [`engine::run_sequential`] — a deterministic single-threaded engine,
+//!   the reference implementation used by experiments;
+//! * [`par::run_parallel`] — a multi-threaded engine (one worker per shard
+//!   of nodes, lockstep barriers between rounds) that produces
+//!   **bit-identical** results to the sequential engine, because all
+//!   randomness is drawn from per-node RNGs seeded only by
+//!   `(master seed, node id)` and inboxes are delivered in sender order.
+//!
+//! Instrumentation ([`stats`]) counts rounds, sends and deliveries —
+//! the quantities the paper's figures report; [`trace`] adds per-round
+//! automata-state censuses via an observer hook. [`fault`] can inject
+//! deterministic message loss to demonstrate that the algorithms' safety
+//! depends on the reliable-delivery assumption. [`wire`] provides a
+//! compact binary envelope encoding for protocols that want to measure
+//! bytes-on-the-wire rather than message counts.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod error;
+pub mod fault;
+pub mod par;
+pub mod protocol;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+pub mod wire;
+
+pub use engine::{run_sequential, run_sequential_observed, EngineConfig, RoundView, RunOutcome};
+pub use error::SimError;
+pub use par::run_parallel;
+pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx};
+pub use stats::{RoundStats, RunStats};
+pub use topology::Topology;

@@ -1,0 +1,416 @@
+//! The parallel engine: sharded workers in lockstep, bit-identical to the
+//! sequential engine.
+//!
+//! Nodes are partitioned into contiguous shards, one worker thread per
+//! shard. Each communication round proceeds in two barrier-separated
+//! phases:
+//!
+//! 1. **step & send** — every worker steps its live nodes in id order and
+//!    routes their outboxes into per-node mailboxes (a `parking_lot`
+//!    mutex per node; batches are grouped by recipient so each mailbox is
+//!    locked once per sender batch);
+//! 2. **collect** — after the barrier, every worker drains its own nodes'
+//!    mailboxes and **stably sorts each inbox by sender id**, which makes
+//!    delivery order — and therefore every downstream random choice —
+//!    independent of thread interleaving.
+//!
+//! Combined with per-node RNGs seeded only by `(master seed, node id)`
+//! (see [`crate::rng`]) and hash-based fault decisions, a parallel run is
+//! *bit-identical* to a sequential run with the same config: same final
+//! protocol states, same aggregate message counts, same round count. The
+//! property tests in `tests/engine_equivalence.rs` exercise exactly this.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use dima_graph::VertexId;
+use parking_lot::Mutex;
+
+use crate::engine::{EngineConfig, RunOutcome};
+use crate::error::SimError;
+use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
+use crate::rng::node_rng;
+use crate::stats::{RoundStats, RunStats};
+use crate::topology::Topology;
+
+/// Run `factory`-created protocols on `topo` using `threads` workers.
+///
+/// `factory` is invoked from worker threads (hence `Sync`); each node's
+/// instance is created by the worker that owns its shard.
+///
+/// With `threads == 1` this is still the threaded code path (useful for
+/// testing); for the plain single-threaded engine use
+/// [`crate::engine::run_sequential`].
+pub fn run_parallel<P, F>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    threads: usize,
+    factory: F,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    let n = topo.num_nodes();
+    let threads = threads.max(1).min(n.max(1));
+    if n == 0 {
+        return Ok(RunOutcome {
+            nodes: Vec::new(),
+            stats: RunStats {
+                per_round: cfg.collect_round_stats.then(Vec::new),
+                ..Default::default()
+            },
+        });
+    }
+
+    // Shard bounds: contiguous, near-equal.
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|t| {
+            let lo = t * n / threads;
+            let hi = (t + 1) * n / threads;
+            (lo, hi)
+        })
+        .collect();
+
+    // Shared state.
+    let mailboxes: Vec<Mutex<Vec<Envelope<P::Msg>>>> =
+        (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let done_flags: Vec<std::sync::atomic::AtomicBool> =
+        (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+    let total_done = AtomicUsize::new(0);
+    let round_sent = AtomicU64::new(0);
+    let round_delivered = AtomicU64::new(0);
+    let round_active = AtomicUsize::new(0);
+    let total_dropped = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    let error: Mutex<Option<SimError>> = Mutex::new(None);
+    let per_round: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
+    let finished_round = AtomicU64::new(0);
+
+    let worker = |tid: usize| -> Vec<P> {
+        let (lo, hi) = bounds[tid];
+        let mut protocols: Vec<P> = (lo..hi)
+            .map(|i| {
+                let node = VertexId(i as u32);
+                factory(NodeSeed { node, neighbors: topo.neighbors(node) })
+            })
+            .collect();
+        let mut rngs: Vec<_> = (lo..hi).map(|i| node_rng(cfg.seed, i as u32)).collect();
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); hi - lo];
+        let mut local_done = vec![false; hi - lo];
+        let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
+        // (recipient, envelope) batch, grouped by recipient before
+        // mailbox insertion.
+        let mut outgoing: Vec<(VertexId, Envelope<P::Msg>)> = Vec::new();
+
+        for round in 0..cfg.max_rounds {
+            // --- Phase 1: step own nodes, buffer outgoing messages. ---
+            let mut sent = 0u64;
+            let mut delivered = 0u64;
+            let mut active = 0usize;
+            let mut newly_done: Vec<usize> = Vec::new();
+            outgoing.clear();
+            for li in 0..(hi - lo) {
+                if local_done[li] {
+                    continue;
+                }
+                active += 1;
+                let node = VertexId((lo + li) as u32);
+                outbox.clear();
+                let status = {
+                    let mut ctx = RoundCtx {
+                        node,
+                        round,
+                        neighbors: topo.neighbors(node),
+                        inbox: &inboxes[li],
+                        outbox: &mut outbox,
+                        rng: &mut rngs[li],
+                    };
+                    protocols[li].on_round(&mut ctx)
+                };
+                for (k, (target, msg)) in outbox.drain(..).enumerate() {
+                    sent += 1;
+                    match target {
+                        Target::Unicast(to) => {
+                            if cfg.validate_sends && !topo.are_neighbors(node, to) {
+                                let mut e = error.lock();
+                                e.get_or_insert(SimError::NotANeighbor { from: node, to });
+                                drop(e);
+                                continue;
+                            }
+                            if !done_flags[to.index()].load(Ordering::Relaxed) {
+                                if cfg.faults.drops(cfg.seed, round, node.0, to.0, k as u32) {
+                                    total_dropped.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    outgoing.push((to, Envelope { from: node, msg }));
+                                    delivered += 1;
+                                }
+                            }
+                        }
+                        Target::Broadcast => {
+                            for &to in topo.neighbors(node) {
+                                if done_flags[to.index()].load(Ordering::Relaxed) {
+                                    continue;
+                                }
+                                if cfg.faults.drops(cfg.seed, round, node.0, to.0, k as u32) {
+                                    total_dropped.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                outgoing
+                                    .push((to, Envelope { from: node, msg: msg.clone() }));
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+                if status == NodeStatus::Done {
+                    newly_done.push(li);
+                }
+            }
+            // Deposit outgoing messages, one mailbox lock per recipient
+            // run (stable sort preserves this sender's message order).
+            outgoing.sort_by_key(|&(to, _)| to);
+            let mut idx = 0;
+            while idx < outgoing.len() {
+                let to = outgoing[idx].0;
+                let mut end = idx + 1;
+                while end < outgoing.len() && outgoing[end].0 == to {
+                    end += 1;
+                }
+                let mut mb = mailboxes[to.index()].lock();
+                mb.extend(outgoing[idx..end].iter().map(|(_, env)| env.clone()));
+                drop(mb);
+                idx = end;
+            }
+            round_sent.fetch_add(sent, Ordering::Relaxed);
+            round_delivered.fetch_add(delivered, Ordering::Relaxed);
+            round_active.fetch_add(active, Ordering::Relaxed);
+            if !newly_done.is_empty() {
+                total_done.fetch_add(newly_done.len(), Ordering::Relaxed);
+                for &li in &newly_done {
+                    local_done[li] = true;
+                }
+            }
+
+            // --- Barrier A: all sends for this round are deposited. ---
+            barrier.wait();
+
+            // Publish done flags only *after* the barrier: like the
+            // sequential engine, done-ness must take effect at round
+            // boundaries, or suppression of same-round deliveries would
+            // depend on thread interleaving. No worker reads the shared
+            // flags between barriers A and B.
+            for &li in &newly_done {
+                done_flags[lo + li].store(true, Ordering::Relaxed);
+            }
+
+            let done_now = total_done.load(Ordering::Relaxed);
+            if tid == 0 {
+                let rs = RoundStats {
+                    round,
+                    active: round_active.swap(0, Ordering::Relaxed),
+                    done: done_now,
+                    sent: round_sent.swap(0, Ordering::Relaxed),
+                    delivered: round_delivered.swap(0, Ordering::Relaxed),
+                };
+                let mut pr = per_round.lock();
+                pr.push(rs);
+                finished_round.store(round + 1, Ordering::Relaxed);
+            }
+
+            let abort = error.lock().is_some();
+
+            // --- Phase 2: collect own inboxes. This must happen while
+            //     deposits are quiescent — i.e. *between* the barriers:
+            //     every round-r deposit completed before barrier A, and
+            //     no round-(r+1) deposit starts until every worker passes
+            //     barrier B. Collecting after B would race with faster
+            //     workers already sending next-round messages. ---
+            if !abort && done_now != n {
+                for li in 0..(hi - lo) {
+                    inboxes[li].clear();
+                    if local_done[li] {
+                        continue;
+                    }
+                    let mut mb = mailboxes[lo + li].lock();
+                    std::mem::swap(&mut *mb, &mut inboxes[li]);
+                    drop(mb);
+                    // Deterministic delivery order: sender id, stable.
+                    inboxes[li].sort_by_key(|env| env.from);
+                }
+            }
+
+            barrier.wait(); // B
+            if abort || done_now == n {
+                return protocols;
+            }
+        }
+        protocols
+    };
+
+    // Run the workers and reassemble shard results in order.
+    let shard_results: Vec<Vec<P>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let worker = &worker;
+                s.spawn(move || worker(tid))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    if let Some(err) = error.into_inner() {
+        return Err(err);
+    }
+    let done_now = total_done.load(Ordering::Relaxed);
+    if done_now != n {
+        return Err(SimError::MaxRoundsExceeded {
+            max_rounds: cfg.max_rounds,
+            still_active: n - done_now,
+        });
+    }
+
+    let per_round = per_round.into_inner();
+    let mut stats = RunStats {
+        rounds: finished_round.load(Ordering::Relaxed),
+        dropped: total_dropped.load(Ordering::Relaxed),
+        ..Default::default()
+    };
+    for rs in &per_round {
+        stats.messages_sent += rs.sent;
+        stats.deliveries += rs.delivered;
+    }
+    stats.per_round = cfg.collect_round_stats.then_some(per_round);
+
+    let mut nodes = Vec::with_capacity(n);
+    for shard in shard_results {
+        nodes.extend(shard);
+    }
+    Ok(RunOutcome { nodes, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_sequential;
+    use dima_graph::gen::structured;
+    use dima_graph::Graph;
+
+    /// Flood protocol (same as the sequential engine's tests).
+    #[derive(Debug)]
+    struct Flood {
+        heard: Vec<VertexId>,
+        expected: usize,
+        sent: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, u32>) -> NodeStatus {
+            if !self.sent {
+                ctx.broadcast(ctx.node().0);
+                self.sent = true;
+            }
+            for env in ctx.inbox() {
+                self.heard.push(env.from);
+            }
+            if self.heard.len() >= self.expected {
+                NodeStatus::Done
+            } else {
+                NodeStatus::Active
+            }
+        }
+    }
+
+    fn flood_factory(seed: NodeSeed<'_>) -> Flood {
+        Flood { heard: Vec::new(), expected: seed.neighbors.len(), sent: false }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_flood() {
+        let g = structured::grid(6, 7);
+        let topo = Topology::from_graph(&g);
+        let cfg = EngineConfig { collect_round_stats: true, ..EngineConfig::seeded(11) };
+        let seq = run_sequential(&topo, &cfg, flood_factory).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = run_parallel(&topo, &cfg, threads, flood_factory).unwrap();
+            assert_eq!(par.stats, seq.stats, "threads = {threads}");
+            for (a, b) in par.nodes.iter().zip(&seq.nodes) {
+                assert_eq!(a.heard, b.heard);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_topology() {
+        let topo = Topology::from_graph(&Graph::empty(0));
+        let out = run_parallel(&topo, &EngineConfig::default(), 4, flood_factory).unwrap();
+        assert_eq!(out.stats.rounds, 0);
+        assert!(out.nodes.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let topo = Topology::from_graph(&structured::path(3));
+        let out = run_parallel(&topo, &EngineConfig::seeded(2), 64, flood_factory).unwrap();
+        assert_eq!(out.nodes.len(), 3);
+        assert_eq!(out.stats.rounds, 2);
+    }
+
+    #[derive(Debug)]
+    struct Forever;
+    impl Protocol for Forever {
+        type Msg = ();
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+            NodeStatus::Active
+        }
+    }
+
+    #[test]
+    fn round_budget_enforced() {
+        let topo = Topology::from_graph(&structured::path(4));
+        let cfg = EngineConfig { max_rounds: 5, ..Default::default() };
+        let err = run_parallel(&topo, &cfg, 2, |_| Forever).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { max_rounds: 5, still_active: 4 });
+    }
+
+    #[derive(Debug)]
+    struct BadSender;
+    impl Protocol for BadSender {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+            if ctx.node() == VertexId(0) {
+                ctx.send(VertexId(2), ());
+            }
+            NodeStatus::Done
+        }
+    }
+
+    #[test]
+    fn unicast_validation_propagates() {
+        let topo = Topology::from_graph(&structured::path(3));
+        let err = run_parallel(&topo, &EngineConfig::default(), 2, |_| BadSender).unwrap_err();
+        assert_eq!(err, SimError::NotANeighbor { from: VertexId(0), to: VertexId(2) });
+    }
+
+    #[test]
+    fn faulty_runs_match_sequential() {
+        let g = structured::grid(5, 5);
+        let topo = Topology::from_graph(&g);
+        let cfg = EngineConfig {
+            faults: crate::fault::FaultPlan::uniform(0.2),
+            max_rounds: 50,
+            collect_round_stats: true,
+            ..EngineConfig::seeded(21)
+        };
+        let seq = run_sequential(&topo, &cfg, flood_factory);
+        let par = run_parallel(&topo, &cfg, 3, flood_factory);
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.stats, b.stats);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("engines disagree: {a:?} vs {b:?}"),
+        }
+    }
+}

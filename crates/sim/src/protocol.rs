@@ -1,0 +1,157 @@
+//! The [`Protocol`] trait and the per-round context handed to nodes.
+//!
+//! A protocol is a pure state machine: once per communication round the
+//! engine calls [`Protocol::on_round`] with a [`RoundCtx`] that exposes
+//! the node's identity, its neighbor list, the inbox of messages sent to
+//! it in the previous round (sorted by sender id), a deterministic
+//! per-node RNG, and an outbox. The node returns [`NodeStatus::Done`]
+//! when it has finished for good; the engine then stops scheduling it.
+
+use dima_graph::VertexId;
+use rand::rngs::SmallRng;
+
+/// A message together with its sender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The node that sent the message.
+    pub from: VertexId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// What a node reports at the end of a round.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The node wants to keep participating.
+    Active,
+    /// The node has terminated; the engine will not schedule it again and
+    /// discards any further messages addressed to it.
+    Done,
+}
+
+/// Where an outgoing message goes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// One specific neighbor.
+    Unicast(VertexId),
+    /// Every neighbor (the paper's `Broadcast`).
+    Broadcast,
+}
+
+/// Initialization data handed to the protocol factory for each node.
+#[derive(Clone, Debug)]
+pub struct NodeSeed<'a> {
+    /// This node's id.
+    pub node: VertexId,
+    /// This node's neighbors, sorted by id.
+    pub neighbors: &'a [VertexId],
+}
+
+/// Per-round view of the world for one node.
+pub struct RoundCtx<'a, M> {
+    pub(crate) node: VertexId,
+    pub(crate) round: u64,
+    pub(crate) neighbors: &'a [VertexId],
+    pub(crate) inbox: &'a [Envelope<M>],
+    pub(crate) outbox: &'a mut Vec<(Target, M)>,
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl<'a, M> RoundCtx<'a, M> {
+    /// This node's id.
+    #[inline]
+    pub fn node(&self) -> VertexId {
+        self.node
+    }
+
+    /// The current communication round (0-based).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's neighbors, sorted by id.
+    #[inline]
+    pub fn neighbors(&self) -> &[VertexId] {
+        self.neighbors
+    }
+
+    /// Number of neighbors.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages delivered this round, sorted by sender id.
+    #[inline]
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// The node's deterministic RNG (seeded from the engine master seed
+    /// and the node id only, so both engines draw identical streams).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Send `msg` to a single neighbor. The engine validates that `to` is
+    /// in fact a neighbor (when configured to) — the model only allows
+    /// one-hop communication.
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outbox.push((Target::Unicast(to), msg));
+    }
+
+    /// Send `msg` to every neighbor (the paper's `Broadcast`).
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push((Target::Broadcast, msg));
+    }
+}
+
+/// A distributed algorithm, from one node's point of view.
+///
+/// The engines create one instance per vertex (via a factory closure),
+/// then call [`Protocol::on_round`] in lockstep until every node reports
+/// [`NodeStatus::Done`] or the round limit is hit.
+pub trait Protocol: Send {
+    /// The message type exchanged between nodes.
+    type Msg: Clone + Send + 'static;
+
+    /// Execute one communication round. Messages placed in the outbox are
+    /// delivered to their recipients at the *next* round (synchronous
+    /// model: everything sent in round `r` is readable in round `r+1`).
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_accessors_and_outbox() {
+        let neighbors = [VertexId(1), VertexId(2)];
+        let inbox = [Envelope { from: VertexId(1), msg: 7u32 }];
+        let mut outbox = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = RoundCtx {
+            node: VertexId(0),
+            round: 3,
+            neighbors: &neighbors,
+            inbox: &inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
+        assert_eq!(ctx.node(), VertexId(0));
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.inbox().len(), 1);
+        assert_eq!(ctx.inbox()[0].msg, 7);
+        ctx.send(VertexId(1), 10);
+        ctx.broadcast(20);
+        let _ = ctx.rng();
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[0], (Target::Unicast(VertexId(1)), 10));
+        assert_eq!(outbox[1], (Target::Broadcast, 20));
+    }
+}

@@ -1,0 +1,69 @@
+//! Run instrumentation: the quantities the paper's figures report.
+
+/// Per-communication-round counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// 0-based round index.
+    pub round: u64,
+    /// Nodes that executed this round.
+    pub active: usize,
+    /// Nodes done after this round (cumulative).
+    pub done: usize,
+    /// `send`/`broadcast` calls this round.
+    pub sent: u64,
+    /// Individual deliveries this round (a broadcast to `d` neighbors
+    /// counts `d`).
+    pub delivered: u64,
+}
+
+/// Aggregate counters for a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Communication rounds executed until the last node finished.
+    pub rounds: u64,
+    /// Total `send`/`broadcast` calls.
+    pub messages_sent: u64,
+    /// Total individual deliveries.
+    pub deliveries: u64,
+    /// Deliveries suppressed by fault injection.
+    pub dropped: u64,
+    /// Per-round breakdown (present iff the engine was configured to
+    /// collect it).
+    pub per_round: Option<Vec<RoundStats>>,
+}
+
+impl RunStats {
+    /// Record one round's counters.
+    pub(crate) fn push_round(&mut self, rs: RoundStats) {
+        self.rounds = rs.round + 1;
+        self.messages_sent += rs.sent;
+        self.deliveries += rs.delivered;
+        if let Some(v) = self.per_round.as_mut() {
+            v.push(rs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_round_accumulates() {
+        let mut s = RunStats { per_round: Some(Vec::new()), ..Default::default() };
+        s.push_round(RoundStats { round: 0, active: 5, done: 0, sent: 3, delivered: 6 });
+        s.push_round(RoundStats { round: 1, active: 5, done: 5, sent: 2, delivered: 4 });
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.deliveries, 10);
+        assert_eq!(s.per_round.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn per_round_collection_is_optional() {
+        let mut s = RunStats::default();
+        s.push_round(RoundStats { round: 0, active: 1, done: 1, sent: 1, delivered: 1 });
+        assert!(s.per_round.is_none());
+        assert_eq!(s.rounds, 1);
+    }
+}

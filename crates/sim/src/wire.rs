@@ -1,0 +1,213 @@
+//! Compact binary wire format for protocol messages.
+//!
+//! The simulator moves messages as in-memory values; real deployments
+//! (the paper's motivating ad-hoc networks) care about *bytes on the
+//! wire*. [`WireCodec`] defines a little-endian binary encoding, and
+//! [`encode_envelope`]/[`decode_envelope`] frame a message with its
+//! sender. Protocol crates implement `WireCodec` for their message enums
+//! so experiments can report byte volumes alongside message counts, and
+//! the round-trip property is part of their test suites.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dima_graph::VertexId;
+
+use crate::protocol::Envelope;
+
+/// A type with a self-describing little-endian binary encoding.
+pub trait WireCodec: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from the front of `buf`; `None` on underflow or
+    /// malformed input.
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+    /// Encoded size in bytes.
+    fn encoded_len(&self) -> usize;
+}
+
+macro_rules! int_codec {
+    ($ty:ty, $put:ident, $get:ident, $len:expr) => {
+        impl WireCodec for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut Bytes) -> Option<Self> {
+                if buf.remaining() < $len {
+                    return None;
+                }
+                Some(buf.$get())
+            }
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+        }
+    };
+}
+
+int_codec!(u8, put_u8, get_u8, 1);
+int_codec!(u16, put_u16_le, get_u16_le, 2);
+int_codec!(u32, put_u32_le, get_u32_le, 4);
+int_codec!(u64, put_u64_le, get_u64_le, 8);
+
+impl WireCodec for VertexId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u32::decode(buf).map(VertexId)
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(None),
+            1 => T::decode(buf).map(Some),
+            _ => None,
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireCodec::encoded_len)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(WireCodec::encoded_len).sum::<usize>()
+    }
+}
+
+/// Frame an envelope: sender id then payload.
+pub fn encode_envelope<M: WireCodec>(env: &Envelope<M>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + env.msg.encoded_len());
+    env.from.encode(&mut buf);
+    env.msg.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_envelope`]. Returns `None` on
+/// truncation or trailing garbage.
+pub fn decode_envelope<M: WireCodec>(bytes: Bytes) -> Option<Envelope<M>> {
+    let mut buf = bytes;
+    let from = VertexId::decode(&mut buf)?;
+    let msg = M::decode(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(Envelope { from, msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: WireCodec + Clone + PartialEq + std::fmt::Debug>(msg: M) {
+        let env = Envelope { from: VertexId(17), msg };
+        let bytes = encode_envelope(&env);
+        assert_eq!(bytes.len(), 4 + env.msg.encoded_len());
+        let back: Envelope<M> = decode_envelope(bytes).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0xABu8);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(0x0123_4567_89AB_CDEFu64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(VertexId(99));
+    }
+
+    #[test]
+    fn option_and_vec_roundtrips() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(7u32));
+        roundtrip(vec![1u16, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![Some(VertexId(1)), None]);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let env = Envelope { from: VertexId(1), msg: 0x1234_5678u32 };
+        let bytes = encode_envelope(&env);
+        for cut in 0..bytes.len() {
+            let trunc = bytes.slice(0..cut);
+            assert!(decode_envelope::<u32>(trunc).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let env = Envelope { from: VertexId(1), msg: 3u8 };
+        let mut raw = BytesMut::from(&encode_envelope(&env)[..]);
+        raw.put_u8(0xFF);
+        assert!(decode_envelope::<u8>(raw.freeze()).is_none());
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        let mut buf = BytesMut::new();
+        VertexId(0).encode(&mut buf);
+        buf.put_u8(2); // invalid bool
+        assert!(decode_envelope::<bool>(buf.freeze()).is_none());
+
+        let mut buf = BytesMut::new();
+        VertexId(0).encode(&mut buf);
+        buf.put_u8(9); // invalid Option tag
+        assert!(decode_envelope::<Option<u8>>(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        let values: Vec<Vec<u32>> = vec![vec![], vec![1], vec![1, 2, 3, 4]];
+        for v in values {
+            let mut buf = BytesMut::new();
+            v.encode(&mut buf);
+            assert_eq!(buf.len(), v.encoded_len());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Watch the paper's Figure-1 automata run: a per-round census of how
+//! the node population distributes over the states C/I/L/R/W/U/E/D while
+//! DiMaEC colors a graph.
+//!
+//! ```text
+//! cargo run --release --example automata_census
+//! ```
+
+use dima::core::{color_edges_with_census, ColoringConfig};
+use dima::graph::gen::erdos_renyi_avg_degree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let g = erdos_renyi_avg_degree(60, 6.0, &mut rng).expect("valid parameters");
+    println!(
+        "coloring an Erdős–Rényi graph: n = {}, m = {}, Δ = {}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+    let (result, census) =
+        color_edges_with_census(&g, &ColoringConfig::seeded(7)).expect("run failed");
+    dima::core::verify::verify_edge_coloring(&g, &result.colors).expect("proper coloring");
+
+    println!("automata state census (communication rounds; 3 per computation round):");
+    println!("{}", census.render());
+    println!(
+        "columns: I invitors / L listeners (invite step), W waiting / R responding\n\
+         (respond step), E exchanging, D done. Watch D grow by roughly a constant\n\
+         fraction per computation round — that is Proposition 1 in action.\n"
+    );
+    println!(
+        "result: {} colors in {} computation rounds",
+        result.colors_used, result.compute_rounds
+    );
+}

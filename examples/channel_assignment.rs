@@ -1,0 +1,65 @@
+//! Channel assignment in an ad-hoc radio network — the motivating
+//! application of the paper's Algorithm 2 (DiMa2ED).
+//!
+//! Radios are scattered in the unit square; two radios within range share
+//! a bidirectional link (a unit-disk graph). Each *direction* of each
+//! link needs a channel such that no receiver can hear two simultaneous
+//! transmissions on the same channel — exactly a strong (distance-2)
+//! directed edge coloring. DiMa2ED computes one with every radio using
+//! one-hop information only.
+//!
+//! ```text
+//! cargo run --release --example channel_assignment
+//! ```
+
+use dima::core::verify::verify_strong_coloring;
+use dima::core::{strong_color_digraph, ColoringConfig};
+use dima::graph::gen::random_geometric;
+use dima::graph::Digraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 40 radios, radio range 0.28 — dense enough to interfere.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let g = random_geometric(40, 0.28, &mut rng).expect("valid radius");
+    let network = Digraph::symmetric_closure(&g);
+    println!(
+        "radio network: {} radios, {} directed links, Δ = {}",
+        network.num_vertices(),
+        network.num_arcs(),
+        network.max_underlying_degree()
+    );
+
+    let result =
+        strong_color_digraph(&network, &ColoringConfig::seeded(2012)).expect("assignment failed");
+    verify_strong_coloring(&network, &result.colors)
+        .expect("no receiver hears two same-channel transmissions");
+
+    println!(
+        "assigned {} channels in {} computation rounds ({} messages)",
+        result.colors_used, result.compute_rounds, result.stats.messages_sent
+    );
+    println!(
+        "paper's shape check: rounds/Δ = {:.2} (the paper reports ≈ 4 for Algorithm 2)",
+        result.compute_rounds as f64 / result.max_degree.max(1) as f64
+    );
+
+    // Channel utilisation histogram.
+    let mut per_channel = std::collections::BTreeMap::<u32, usize>::new();
+    for c in result.colors.iter().flatten() {
+        *per_channel.entry(c.0).or_default() += 1;
+    }
+    println!("\nlinks per channel:");
+    for (chan, count) in &per_channel {
+        println!("  channel {chan:>3}: {}", "#".repeat(*count));
+    }
+
+    // A sample schedule entry for one radio.
+    if let Some(v) = network.vertices().max_by_key(|&v| network.out_degree(v)) {
+        println!("\nbusiest radio {v} transmit schedule:");
+        for &(to, arc) in network.out_neighbors(v) {
+            println!("  -> {to}: channel {}", result.colors[arc.index()].unwrap());
+        }
+    }
+}

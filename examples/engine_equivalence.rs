@@ -1,0 +1,54 @@
+//! The sequential and parallel engines are bit-identical — demonstrated
+//! live on a non-trivial workload, with timings.
+//!
+//! Determinism matters for a probabilistic algorithm's science: every
+//! number in EXPERIMENTS.md can be regenerated from a seed, regardless of
+//! the executing machine's core count.
+//!
+//! ```text
+//! cargo run --release --example engine_equivalence
+//! ```
+
+use dima::core::{color_edges, ColoringConfig, Engine};
+use dima::graph::gen::erdos_renyi_avg_degree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = erdos_renyi_avg_degree(5_000, 16.0, &mut rng).expect("valid parameters");
+    println!(
+        "workload: Erdős–Rényi, {} vertices, {} edges, Δ = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    let t0 = Instant::now();
+    let seq = color_edges(&g, &ColoringConfig::seeded(11)).expect("sequential run failed");
+    let t_seq = t0.elapsed();
+    println!(
+        "sequential: {} colors, {} rounds, {:?}",
+        seq.colors_used, seq.compute_rounds, t_seq
+    );
+
+    for threads in [2, 4, 8] {
+        let cfg = ColoringConfig {
+            engine: Engine::Parallel { threads },
+            ..ColoringConfig::seeded(11)
+        };
+        let t0 = Instant::now();
+        let par = color_edges(&g, &cfg).expect("parallel run failed");
+        let t_par = t0.elapsed();
+        assert_eq!(par.colors, seq.colors, "colorings must be bit-identical");
+        assert_eq!(par.comm_rounds, seq.comm_rounds);
+        assert_eq!(par.stats.messages_sent, seq.stats.messages_sent);
+        println!(
+            "parallel x{threads}: identical coloring, {:?} ({:.2}x vs sequential)",
+            t_par,
+            t_seq.as_secs_f64() / t_par.as_secs_f64()
+        );
+    }
+    println!("\nevery engine produced the exact same coloring from seed 11.");
+}

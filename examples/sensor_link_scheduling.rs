@@ -1,0 +1,59 @@
+//! TDMA link scheduling in a sensor network — the Gandham et al.
+//! motivation the paper cites for distributed edge coloring.
+//!
+//! An edge coloring of the communication graph is a collision-free TDMA
+//! schedule: links with the same color transmit in the same time slot,
+//! and no sensor is involved in two transmissions at once. The number of
+//! colors is the frame length, so quality (colors ≈ Δ) directly buys
+//! throughput. We compare DiMaEC's distributed schedule against the
+//! centralised optima (greedy and Misra–Gries).
+//!
+//! ```text
+//! cargo run --release --example sensor_link_scheduling
+//! ```
+
+use dima::baselines::{greedy_edge_coloring, misra_gries_edge_coloring, EdgeOrder};
+use dima::core::verify::{count_colors, verify_edge_coloring};
+use dima::core::{color_edges, ColoringConfig};
+use dima::graph::gen::random_geometric;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A field of 60 sensors with short radio range.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let field = random_geometric(60, 0.2, &mut rng).expect("valid radius");
+    println!(
+        "sensor field: {} sensors, {} links, Δ = {}",
+        field.num_vertices(),
+        field.num_edges(),
+        field.max_degree()
+    );
+
+    // Distributed schedule via DiMaEC.
+    let dima = color_edges(&field, &ColoringConfig::seeded(1)).expect("run failed");
+    verify_edge_coloring(&field, &dima.colors).expect("schedule is collision-free");
+
+    // Centralised yardsticks.
+    let greedy = greedy_edge_coloring(&field, &EdgeOrder::Random { seed: 1 });
+    verify_edge_coloring(&field, &greedy).expect("greedy is collision-free");
+    let mg = misra_gries_edge_coloring(&field);
+    verify_edge_coloring(&field, &mg).expect("misra-gries is collision-free");
+
+    println!("\nTDMA frame length (time slots):");
+    println!("  DiMaEC (distributed, {} rounds): {}", dima.compute_rounds, dima.colors_used);
+    println!("  greedy first-fit (centralised):  {}", count_colors(&greedy));
+    println!("  Misra–Gries Δ+1 (centralised):   {}", count_colors(&mg));
+    println!("  lower bound Δ:                   {}", field.max_degree());
+
+    // Print the slot schedule: which links fire in each slot.
+    println!("\nslot schedule (first 6 slots):");
+    let mut slots = std::collections::BTreeMap::<u32, Vec<String>>::new();
+    for (e, (u, v)) in field.edges() {
+        let c = dima.colors[e.index()].unwrap();
+        slots.entry(c.0).or_default().push(format!("{u}—{v}"));
+    }
+    for (slot, links) in slots.iter().take(6) {
+        println!("  slot {slot}: {} links  [{}]", links.len(), links.join(", "));
+    }
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate re-exporting the DiMa workspace.
+pub use dima_baselines as baselines;
+pub use dima_core as core;
+pub use dima_graph as graph;
+pub use dima_sim as sim;

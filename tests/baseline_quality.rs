@@ -1,0 +1,108 @@
+//! Quality comparisons across algorithms — the empirical content behind
+//! Conjecture 2: DiMaEC's palette tracks the centralised optimum.
+
+use dima::baselines::{
+    greedy_edge_coloring, misra_gries_edge_coloring, random_trial_coloring, EdgeOrder,
+};
+use dima::core::verify::{count_colors, verify_edge_coloring};
+use dima::core::{color_edges, ColoringConfig};
+use dima::graph::gen::GraphFamily;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn dimaec_tracks_misra_gries_on_er() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut total_gap = 0i64;
+    let trials = 10;
+    for seed in 0..trials {
+        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
+            .sample(&mut rng)
+            .unwrap();
+        let dima = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+        verify_edge_coloring(&g, &dima.colors).unwrap();
+        let mg = misra_gries_edge_coloring(&g);
+        verify_edge_coloring(&g, &mg).unwrap();
+        let gap = dima.colors_used as i64 - count_colors(&mg) as i64;
+        assert!(gap >= -1, "distributed should not beat Δ+1-optimal by more than rounding");
+        total_gap += gap;
+    }
+    // Average gap to the centralised Δ+1 algorithm stays tiny (≤ 2).
+    assert!(
+        total_gap <= 2 * trials as i64,
+        "average gap to Misra–Gries too large: {total_gap}/{trials}"
+    );
+}
+
+#[test]
+fn dimaec_beats_random_trial_on_colors() {
+    let mut rng = SmallRng::seed_from_u64(33);
+    let mut dima_total = 0usize;
+    let mut rt_total = 0usize;
+    for seed in 0..8 {
+        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
+            .sample(&mut rng)
+            .unwrap();
+        let cfg = ColoringConfig::seeded(seed);
+        let dima = color_edges(&g, &cfg).unwrap();
+        let rt = random_trial_coloring(&g, &cfg).unwrap();
+        verify_edge_coloring(&g, &dima.colors).unwrap();
+        verify_edge_coloring(&g, &rt.colors).unwrap();
+        dima_total += dima.colors_used;
+        rt_total += rt.colors_used;
+    }
+    assert!(
+        dima_total < rt_total,
+        "DiMaEC ({dima_total}) should use fewer total colors than random-trial ({rt_total})"
+    );
+}
+
+#[test]
+fn random_trial_converges_in_fewer_rounds() {
+    // The flip side: random-trial works on all edges at once, so it
+    // terminates in fewer computation rounds (at the price of colors).
+    let mut rng = SmallRng::seed_from_u64(35);
+    let mut dima_rounds = 0u64;
+    let mut rt_rounds = 0u64;
+    for seed in 0..8 {
+        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 12.0 }
+            .sample(&mut rng)
+            .unwrap();
+        let cfg = ColoringConfig::seeded(seed);
+        dima_rounds += color_edges(&g, &cfg).unwrap().compute_rounds;
+        rt_rounds += random_trial_coloring(&g, &cfg).unwrap().compute_rounds;
+    }
+    assert!(
+        rt_rounds < dima_rounds,
+        "random-trial ({rt_rounds}) should finish in fewer rounds than DiMaEC ({dima_rounds})"
+    );
+}
+
+#[test]
+fn greedy_orders_affect_quality_but_not_validity() {
+    let mut rng = SmallRng::seed_from_u64(37);
+    let g = GraphFamily::ScaleFree { n: 200, edges_per_vertex: 2, power: 1.5 }
+        .sample(&mut rng)
+        .unwrap();
+    let insertion = greedy_edge_coloring(&g, &EdgeOrder::Insertion);
+    let degree = greedy_edge_coloring(&g, &EdgeOrder::DegreeDescending);
+    verify_edge_coloring(&g, &insertion).unwrap();
+    verify_edge_coloring(&g, &degree).unwrap();
+    // Degree-descending front-loads the hub: it should never be worse on
+    // scale-free graphs by more than a whisker.
+    assert!(count_colors(&degree) <= count_colors(&insertion) + 1);
+}
+
+#[test]
+fn all_algorithms_agree_on_trivial_graphs() {
+    use dima::graph::gen::structured;
+    let g = structured::star(9); // χ' = Δ = 8 exactly, for every algorithm
+    let dima = color_edges(&g, &ColoringConfig::seeded(1)).unwrap();
+    let mg = misra_gries_edge_coloring(&g);
+    let greedy = greedy_edge_coloring(&g, &EdgeOrder::Insertion);
+    let rt = random_trial_coloring(&g, &ColoringConfig::seeded(1)).unwrap();
+    assert_eq!(dima.colors_used, 8);
+    assert_eq!(count_colors(&mg), 8);
+    assert_eq!(count_colors(&greedy), 8);
+    assert_eq!(rt.colors_used, 8);
+}

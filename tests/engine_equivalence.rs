@@ -1,0 +1,86 @@
+//! Property tests: the sequential and parallel engines are bit-identical
+//! for every protocol in the workspace, across random graphs, seeds and
+//! thread counts. This is the determinism guarantee the experiment
+//! methodology rests on.
+
+use dima::baselines::random_trial_coloring;
+use dima::core::{color_edges, maximal_matching, strong_color_digraph, ColoringConfig, Engine};
+use dima::graph::gen::erdos_renyi_gnm;
+use dima::graph::{Digraph, Graph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    // (n, edge-density proxy, generator seed)
+    (2usize..40, 0usize..60, any::<u64>()).prop_map(|(n, m_pct, seed)| {
+        let max = n * (n - 1) / 2;
+        let m = (max * m_pct / 100).min(max);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        erdos_renyi_gnm(n, m, &mut rng).expect("valid parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn edge_coloring_engines_agree(g in arb_graph(), seed in any::<u64>(), threads in 2usize..6) {
+        let seq = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+        let par = color_edges(
+            &g,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.comm_rounds, par.comm_rounds);
+        prop_assert_eq!(seq.stats.messages_sent, par.stats.messages_sent);
+        prop_assert_eq!(seq.stats.deliveries, par.stats.deliveries);
+    }
+
+    #[test]
+    fn matching_engines_agree(g in arb_graph(), seed in any::<u64>(), threads in 2usize..6) {
+        let seq = maximal_matching(&g, &ColoringConfig::seeded(seed)).unwrap();
+        let par = maximal_matching(
+            &g,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.pairs, &par.pairs);
+        prop_assert_eq!(&seq.pair_round, &par.pair_round);
+        prop_assert_eq!(seq.comm_rounds, par.comm_rounds);
+    }
+
+    #[test]
+    fn strong_coloring_engines_agree(g in arb_graph(), seed in any::<u64>(), threads in 2usize..6) {
+        let d = Digraph::symmetric_closure(&g);
+        let seq = strong_color_digraph(&d, &ColoringConfig::seeded(seed)).unwrap();
+        let par = strong_color_digraph(
+            &d,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.comm_rounds, par.comm_rounds);
+    }
+
+    #[test]
+    fn random_trial_engines_agree(g in arb_graph(), seed in any::<u64>(), threads in 2usize..6) {
+        let seq = random_trial_coloring(&g, &ColoringConfig::seeded(seed)).unwrap();
+        let par = random_trial_coloring(
+            &g,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.comm_rounds, par.comm_rounds);
+    }
+
+    #[test]
+    fn same_seed_same_result_repeated(g in arb_graph(), seed in any::<u64>()) {
+        let a = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+        let b = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+        prop_assert_eq!(a.colors, b.colors);
+        prop_assert_eq!(a.comm_rounds, b.comm_rounds);
+    }
+}

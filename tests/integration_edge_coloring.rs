@@ -1,0 +1,161 @@
+//! Cross-crate integration: DiMaEC (Algorithm 1) end-to-end over every
+//! generator family, with verification through two independent lenses —
+//! the direct neighborhood verifier and proper vertex coloring of the
+//! line graph.
+
+use dima::core::verify::{count_colors, verify_edge_coloring};
+use dima::core::{color_edges, ColoringConfig, Engine};
+use dima::graph::conflict::line_graph;
+use dima::graph::gen::{structured, GraphFamily};
+use dima::graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A coloring of g's edges is proper iff it is a proper vertex coloring
+/// of L(g).
+fn assert_proper_via_line_graph(g: &Graph, colors: &[Option<dima::core::Color>]) {
+    let l = line_graph(g);
+    for (_, (a, b)) in l.edges() {
+        assert_ne!(
+            colors[a.index()], colors[b.index()],
+            "line-graph vertices {a} and {b} (adjacent edges) share a color"
+        );
+    }
+}
+
+fn full_check(g: &Graph, seed: u64) -> dima::core::EdgeColoringResult {
+    let r = color_edges(g, &ColoringConfig::seeded(seed)).expect("run failed");
+    assert!(r.endpoint_agreement);
+    verify_edge_coloring(g, &r.colors).expect("direct verifier");
+    assert_proper_via_line_graph(g, &r.colors);
+    assert_eq!(count_colors(&r.colors), r.colors_used);
+    let delta = g.max_degree();
+    if delta > 0 {
+        assert!(r.colors_used <= 2 * delta - 1, "Proposition 3 bound violated");
+    }
+    r
+}
+
+#[test]
+fn every_random_family_end_to_end() {
+    let families = [
+        GraphFamily::ErdosRenyiAvgDegree { n: 120, avg_degree: 6.0 },
+        GraphFamily::ErdosRenyiGnp { n: 100, p: 0.08 },
+        GraphFamily::ScaleFree { n: 120, edges_per_vertex: 2, power: 1.2 },
+        GraphFamily::SmallWorld { n: 100, k: 6, beta: 0.3 },
+        GraphFamily::Regular { n: 90, d: 6 },
+        GraphFamily::Geometric { n: 100, radius: 0.15 },
+    ];
+    let mut rng = SmallRng::seed_from_u64(1);
+    for (i, fam) in families.iter().enumerate() {
+        let g = fam.sample(&mut rng).expect("valid family");
+        let r = full_check(&g, 100 + i as u64);
+        assert!(r.compute_rounds > 0 || g.num_edges() == 0, "{}", fam.label());
+    }
+}
+
+#[test]
+fn structured_fixtures_end_to_end() {
+    for g in [
+        structured::complete(12),
+        structured::cycle(15),
+        structured::star(15),
+        structured::grid(6, 7),
+        structured::hypercube(5),
+        structured::petersen(),
+        structured::complete_bipartite(5, 7),
+        structured::balanced_binary_tree(6),
+        structured::path(20),
+    ] {
+        full_check(&g, 7);
+    }
+}
+
+#[test]
+fn disconnected_graph_with_isolated_vertices() {
+    // Two triangles, a path, and isolated vertices.
+    let mut pairs = Vec::new();
+    for base in [0u32, 3] {
+        pairs.push((VertexId(base), VertexId(base + 1)));
+        pairs.push((VertexId(base + 1), VertexId(base + 2)));
+        pairs.push((VertexId(base), VertexId(base + 2)));
+    }
+    pairs.push((VertexId(6), VertexId(7)));
+    let g = Graph::from_edges(12, pairs).unwrap(); // vertices 8..12 isolated
+    let r = full_check(&g, 5);
+    assert!(r.colors.iter().all(Option::is_some));
+}
+
+#[test]
+fn conjecture2_holds_on_er_sample() {
+    // A smaller-scale version of the §IV-A claim: colors stay within Δ+2
+    // on Erdős–Rényi graphs (statistically; this sample uses fixed seeds
+    // and was verified to pass deterministically).
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut excess_counts = [0usize; 4];
+    for seed in 0..20 {
+        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
+            .sample(&mut rng)
+            .unwrap();
+        let r = full_check(&g, seed);
+        let excess = (r.colors_used as i64 - g.max_degree() as i64).max(0).min(3) as usize;
+        excess_counts[excess] += 1;
+    }
+    // Typical runs are Δ or Δ+1; allow rare Δ+2; Δ+3+ would falsify the
+    // paper's observation outright on this corpus.
+    assert_eq!(excess_counts[3], 0, "a run used more than Δ+2 colors: {excess_counts:?}");
+    assert!(
+        excess_counts[0] + excess_counts[1] >= 18,
+        "most runs should use at most Δ+1 colors: {excess_counts:?}"
+    );
+}
+
+#[test]
+fn rounds_track_delta_across_sizes() {
+    // The paper's headline: rounds grow with Δ, not with n. Compare the
+    // mean rounds of (n=100, Δ≈8) against (n=400, Δ≈8): they should be
+    // close; and (n=100, Δ≈16) should exceed both.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mean_rounds = |n: usize, d: f64, rng: &mut SmallRng| -> f64 {
+        let trials = 10;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let g = GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d }.sample(rng).unwrap();
+            let r = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
+            total += r.compute_rounds;
+        }
+        total as f64 / trials as f64
+    };
+    let small_d8 = mean_rounds(100, 8.0, &mut rng);
+    let large_d8 = mean_rounds(400, 8.0, &mut rng);
+    let small_d16 = mean_rounds(100, 16.0, &mut rng);
+    // Same Δ, 4x nodes: within 40% of each other.
+    let ratio = large_d8 / small_d8;
+    assert!((0.6..=1.6).contains(&ratio), "rounds should not scale with n: {small_d8} vs {large_d8}");
+    // Doubling Δ increases rounds substantially.
+    assert!(
+        small_d16 > small_d8 * 1.3,
+        "rounds should grow with Δ: d8 {small_d8} vs d16 {small_d16}"
+    );
+}
+
+#[test]
+fn parallel_engine_equivalent_on_integration_workload() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 }
+        .sample(&mut rng)
+        .unwrap();
+    let seq = color_edges(&g, &ColoringConfig::seeded(77)).unwrap();
+    let par = color_edges(
+        &g,
+        &ColoringConfig {
+            engine: Engine::Parallel { threads: 4 },
+            ..ColoringConfig::seeded(77)
+        },
+    )
+    .unwrap();
+    assert_eq!(seq.colors, par.colors);
+    assert_eq!(seq.comm_rounds, par.comm_rounds);
+    assert_eq!(seq.stats.messages_sent, par.stats.messages_sent);
+    assert_eq!(seq.stats.deliveries, par.stats.deliveries);
+}
