@@ -72,7 +72,7 @@ mod tests {
         let used = count_colors(&colors);
         let delta = g.max_degree();
         if delta > 0 {
-            assert!(used <= 2 * delta - 1, "{used} > 2Δ−1");
+            assert!(used < 2 * delta, "{used} > 2Δ−1");
         }
         used
     }

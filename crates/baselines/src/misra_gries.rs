@@ -50,11 +50,7 @@ impl Mg<'_> {
 
     /// The edge at `v` colored `c`, if any.
     fn edge_with_color(&self, v: VertexId, c: Color) -> Option<EdgeId> {
-        self.g
-            .neighbors(v)
-            .iter()
-            .map(|&(_, e)| e)
-            .find(|&e| self.colors[e.index()] == Some(c))
+        self.g.neighbors(v).iter().map(|&(_, e)| e).find(|&e| self.colors[e.index()] == Some(c))
     }
 
     /// Build a maximal fan of `u` starting at `f0`.
@@ -65,8 +61,7 @@ impl Mg<'_> {
         loop {
             let last = *fan.last().unwrap();
             let next = self.g.neighbors(u).iter().find(|&&(w, e)| {
-                !in_fan[w.index()]
-                    && self.colors[e.index()].is_some_and(|c| self.is_free(last, c))
+                !in_fan[w.index()] && self.colors[e.index()].is_some_and(|c| self.is_free(last, c))
             });
             match next {
                 Some(&(w, _)) => {
@@ -205,9 +200,7 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> Vec<Option<Color>> {
 mod tests {
     use super::*;
     use dima_core::verify::{count_colors, verify_edge_coloring};
-    use dima_graph::gen::{
-        barabasi_albert, erdos_renyi_avg_degree, structured, watts_strogatz,
-    };
+    use dima_graph::gen::{barabasi_albert, erdos_renyi_avg_degree, structured, watts_strogatz};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -215,11 +208,7 @@ mod tests {
         let colors = misra_gries_edge_coloring(g);
         verify_edge_coloring(g, &colors).unwrap();
         let used = count_colors(&colors);
-        assert!(
-            used <= g.max_degree() + 1,
-            "{used} colors exceeds Δ+1 = {}",
-            g.max_degree() + 1
-        );
+        assert!(used <= g.max_degree() + 1, "{used} colors exceeds Δ+1 = {}", g.max_degree() + 1);
         used
     }
 

@@ -148,10 +148,7 @@ impl Protocol for RandomTrialNode {
                         })
                         .collect();
                     debug_assert!(!legal.is_empty(), "2Δ palette always has a legal color");
-                    let color = legal[rand::Rng::random_range(
-                        ctx.rng(),
-                        0..legal.len(),
-                    )];
+                    let color = legal[rand::Rng::random_range(ctx.rng(), 0..legal.len())];
                     self.my_proposals.push((port, color));
                     self.incident_colors.push(color);
                     ctx.broadcast(RtMsg::Propose { to: self.neighbors[port], color });
@@ -173,9 +170,8 @@ impl Protocol for RandomTrialNode {
                 for &(from, color) in &addressed {
                     let legal = !self.used_self.contains(color);
                     let unique = self.color_multiplicity(color) == 1;
-                    let port_open = self
-                        .port_of(from)
-                        .is_some_and(|p| self.edge_color[p].is_none());
+                    let port_open =
+                        self.port_of(from).is_some_and(|p| self.edge_color[p].is_none());
                     if legal && unique && port_open {
                         ctx.broadcast(RtMsg::Grant { to: from, color });
                     }
@@ -195,9 +191,8 @@ impl Protocol for RandomTrialNode {
                     .collect();
                 let proposals = std::mem::take(&mut self.my_proposals);
                 for (port, color) in proposals {
-                    let granted = grants
-                        .iter()
-                        .any(|&(from, c)| from == self.neighbors[port] && c == color);
+                    let granted =
+                        grants.iter().any(|&(from, c)| from == self.neighbors[port] && c == color);
                     let unique_here = self.color_multiplicity(color) == 1;
                     if granted && unique_here {
                         self.commit(port, color);

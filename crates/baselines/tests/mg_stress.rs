@@ -18,9 +18,8 @@ fn check(g: &dima_graph::Graph) {
 fn er_medium_density_sweep() {
     let mut rng = SmallRng::seed_from_u64(31);
     for _ in 0..10 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }.sample(&mut rng).unwrap();
         check(&g);
     }
 }
@@ -30,9 +29,8 @@ fn er_density_ladder() {
     let mut rng = SmallRng::seed_from_u64(77);
     for d in [2.0, 6.0, 12.0, 20.0, 40.0] {
         for _ in 0..3 {
-            let g = GraphFamily::ErdosRenyiAvgDegree { n: 80, avg_degree: d }
-                .sample(&mut rng)
-                .unwrap();
+            let g =
+                GraphFamily::ErdosRenyiAvgDegree { n: 80, avg_degree: d }.sample(&mut rng).unwrap();
             check(&g);
         }
     }

@@ -3,12 +3,17 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use dima_core::verify::{verify_edge_coloring, verify_strong_coloring};
+use dima_core::verify::{
+    verify_edge_coloring, verify_residual_edge_coloring, verify_residual_matching,
+    verify_residual_strong_coloring, verify_strong_coloring,
+};
 use dima_core::{
-    color_edges, maximal_matching, strong_color_digraph, Color, ColoringConfig, Engine,
+    color_edges, maximal_matching, strong_color_digraph, Color, ColoringConfig, Engine, Transport,
 };
 use dima_graph::gen;
 use dima_graph::{io, Digraph, Graph};
+use dima_sim::fault::{FaultPlan, GilbertElliott};
+use dima_sim::RunStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -26,7 +31,15 @@ commands:
   strong-color <graph.edges> [--seed S] [--threads T] [--width K] [--out FILE]
   matching <graph.edges> [--seed S] [--threads T]
   verify <graph.edges> <coloring.colors> [--strong]
-  dot <graph.edges> [<coloring.colors>]";
+  dot <graph.edges> [<coloring.colors>]
+
+fault-injection flags (color | strong-color | matching):
+  --fault-loss P          drop each delivery with probability P
+  --fault-burst PG,PB     Gilbert-Elliott burst loss (Good/Bad loss rates)
+  --fault-crash F         crash-stop a fraction F of the nodes mid-run
+  --transport bare|reliable
+                          bare links (the paper's model) or the ARQ
+                          reliable-link layer; overhead reported per run";
 
 /// Parse `--key value` flags from `args` (after the positional prefix).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -53,15 +66,66 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
+fn fault_plan(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
+    let mut faults = FaultPlan::reliable();
+    faults.drop_probability = flag(flags, "fault-loss", 0.0)?;
+    if let Some(spec) = flags.get("fault-burst") {
+        let (good, bad) = spec
+            .split_once(',')
+            .ok_or_else(|| format!("--fault-burst wants 'PG,PB', got '{spec}'"))?;
+        let parse = |s: &str| {
+            s.trim().parse::<f64>().map_err(|_| format!("bad probability '{s}' in --fault-burst"))
+        };
+        faults.burst = Some(GilbertElliott::new(parse(good)?, parse(bad)?));
+    }
+    faults.crash_fraction = flag(flags, "fault-crash", 0.0)?;
+    for (name, p) in
+        [("fault-loss", faults.drop_probability), ("fault-crash", faults.crash_fraction)]
+    {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} = {p} not in [0, 1]"));
+        }
+    }
+    Ok(faults)
+}
+
 fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String> {
     let seed: u64 = flag(flags, "seed", 0)?;
     let threads: usize = flag(flags, "threads", 0)?;
     let width: usize = flag(flags, "width", 1)?;
+    let transport = match flags.get("transport").map(String::as_str) {
+        None | Some("bare") => Transport::Bare,
+        Some("reliable") => Transport::reliable(),
+        Some(other) => return Err(format!("--transport must be bare or reliable, got '{other}'")),
+    };
     Ok(ColoringConfig {
         engine: if threads == 0 { Engine::Sequential } else { Engine::Parallel { threads } },
         proposal_width: width,
+        faults: fault_plan(flags)?,
+        transport,
         ..ColoringConfig::seeded(seed)
     })
+}
+
+/// `true` once any fault/transport flag deviates from the paper's model —
+/// summaries then break out the transport's work.
+fn faulty(cfg: &ColoringConfig) -> bool {
+    cfg.faults != FaultPlan::reliable() || cfg.transport != Transport::Bare
+}
+
+/// One stderr line summarising what the faults did and what the ARQ layer
+/// spent repairing them.
+fn report_transport(stats: &RunStats, overhead_rounds: u64, alive: &[bool]) {
+    let survivors = alive.iter().filter(|&&a| a).count();
+    eprintln!(
+        "transport: {overhead_rounds} overhead rounds, {} dropped, {} corrupted, \
+         {} duplicated, {} crashed ({survivors}/{} nodes survive)",
+        stats.dropped,
+        stats.corrupted,
+        stats.duplicated,
+        stats.crashed,
+        alive.len(),
+    );
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -200,10 +264,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("δ (min deg):  {}", stats.min);
     println!("mean degree:  {:.2} (σ = {:.2})", stats.mean, stats.stddev);
     println!("components:   {components}");
-    println!(
-        "clustering:   {:.4}",
-        dima_graph::analysis::average_clustering(&g)
-    );
+    println!("clustering:   {:.4}", dima_graph::analysis::average_clustering(&g));
     if let Some(alpha) = dima_graph::analysis::power_law_exponent(&g, 3) {
         println!("tail exponent (d ≥ 3): {alpha:.2}");
     }
@@ -218,11 +279,24 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
     let r = color_edges(&g, &cfg).map_err(|e| e.to_string())?;
-    verify_edge_coloring(&g, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    if faulty(&cfg) {
+        if !r.endpoint_agreement {
+            return Err("run corrupted by injected faults: endpoints disagree on colors \
+                        (try --transport reliable)"
+                .into());
+        }
+        verify_residual_edge_coloring(&g, &r.colors, &r.alive)
+            .map_err(|e| format!("run corrupted by injected faults: {e}"))?;
+    } else {
+        verify_edge_coloring(&g, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    }
     eprintln!(
         "colored with {} colors (Δ = {}) in {} computation rounds, {} messages",
         r.colors_used, r.max_degree, r.compute_rounds, r.stats.messages_sent
     );
+    if faulty(&cfg) {
+        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive);
+    }
     write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
 }
 
@@ -235,7 +309,17 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
     let d = Digraph::symmetric_closure(&g);
     let cfg = run_config(&flags)?;
     let r = strong_color_digraph(&d, &cfg).map_err(|e| e.to_string())?;
-    verify_strong_coloring(&d, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    if faulty(&cfg) {
+        if !r.endpoint_agreement {
+            return Err("run corrupted by injected faults: endpoints disagree on channels \
+                        (try --transport reliable)"
+                .into());
+        }
+        verify_residual_strong_coloring(&d, &r.colors, &r.alive)
+            .map_err(|e| format!("run corrupted by injected faults: {e}"))?;
+    } else {
+        verify_strong_coloring(&d, &r.colors).map_err(|e| format!("internal: {e}"))?;
+    }
     eprintln!(
         "assigned {} channels to {} arcs (Δ = {}) in {} rounds, {} messages",
         r.colors_used,
@@ -244,6 +328,9 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
         r.compute_rounds,
         r.stats.messages_sent
     );
+    if faulty(&cfg) {
+        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive);
+    }
     write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
 }
 
@@ -255,13 +342,26 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
     let m = maximal_matching(&g, &cfg).map_err(|e| e.to_string())?;
-    dima_core::verify::verify_matching(&g, &m.pairs).map_err(|e| format!("internal: {e}"))?;
+    if faulty(&cfg) {
+        if !m.agreement {
+            return Err("run corrupted by injected faults: endpoints disagree on the \
+                        matching (try --transport reliable)"
+                .into());
+        }
+        verify_residual_matching(&g, &m.pairs, &m.alive)
+            .map_err(|e| format!("run corrupted by injected faults: {e}"))?;
+    } else {
+        dima_core::verify::verify_matching(&g, &m.pairs).map_err(|e| format!("internal: {e}"))?;
+    }
     eprintln!(
         "maximal matching: {} pairs in {} computation rounds, {} messages",
         m.pairs.len(),
         m.compute_rounds,
         m.stats.messages_sent
     );
+    if faulty(&cfg) {
+        report_transport(&m.stats, m.transport_overhead_rounds, &m.alive);
+    }
     let mut out = String::new();
     for (u, v) in &m.pairs {
         out.push_str(&format!("{u} {v}\n"));
@@ -302,12 +402,8 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         }
         _ => None,
     };
-    let dot = io::to_dot(&g, "g", |e| {
-        colors
-            .as_ref()
-            .and_then(|c| c[e.index()])
-            .map(|c| c.to_string())
-    });
+    let dot =
+        io::to_dot(&g, "g", |e| colors.as_ref().and_then(|c| c[e.index()]).map(|c| c.to_string()));
     print!("{dot}");
     Ok(())
 }
@@ -340,6 +436,83 @@ mod tests {
     }
 
     #[test]
+    fn fault_and_transport_flags_parse() {
+        let f = parse_flags(&s(&[
+            "--fault-loss",
+            "0.1",
+            "--fault-burst",
+            "0.02,0.7",
+            "--fault-crash",
+            "0.05",
+            "--transport",
+            "reliable",
+        ]))
+        .unwrap();
+        let cfg = run_config(&f).unwrap();
+        assert_eq!(cfg.faults.drop_probability, 0.1);
+        assert_eq!(cfg.faults.burst, Some(GilbertElliott::new(0.02, 0.7)));
+        assert_eq!(cfg.faults.crash_fraction, 0.05);
+        assert_eq!(cfg.transport, Transport::reliable());
+        assert!(faulty(&cfg));
+        assert!(!faulty(&run_config(&parse_flags(&[]).unwrap()).unwrap()));
+
+        for bad in [
+            &["--fault-loss", "1.5"][..],
+            &["--fault-burst", "0.5"],
+            &["--fault-burst", "x,y"],
+            &["--fault-crash", "-0.1"],
+            &["--transport", "carrier-pigeon"],
+        ] {
+            let f = parse_flags(&s(bad)).unwrap();
+            assert!(run_config(&f).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn end_to_end_lossy_run_with_reliable_transport() {
+        let dir = tmpdir();
+        let gpath = dir.join("g4.edges");
+        dispatch(&s(&[
+            "gen",
+            "er",
+            "--n",
+            "24",
+            "--avg-degree",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Lossy links behind the ARQ layer: the run must come out clean.
+        dispatch(&s(&[
+            "color",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "1",
+            "--fault-loss",
+            "0.15",
+            "--transport",
+            "reliable",
+        ]))
+        .unwrap();
+        // Crash faults degrade to a verified residual matching.
+        dispatch(&s(&[
+            "matching",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "2",
+            "--fault-crash",
+            "0.1",
+            "--transport",
+            "reliable",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn unknown_command_rejected() {
         assert!(dispatch(&s(&["bogus"])).is_err());
         assert!(dispatch(&[]).is_err());
@@ -364,7 +537,15 @@ mod tests {
         let gpath = dir.join("g.edges");
         let cpath = dir.join("g.colors");
         dispatch(&s(&[
-            "gen", "er", "--n", "40", "--avg-degree", "4", "--seed", "7", "--out",
+            "gen",
+            "er",
+            "--n",
+            "40",
+            "--avg-degree",
+            "4",
+            "--seed",
+            "7",
+            "--out",
             gpath.to_str().unwrap(),
         ]))
         .unwrap();
@@ -389,8 +570,18 @@ mod tests {
         let gpath = dir.join("g2.edges");
         let spath = dir.join("g2.channels");
         dispatch(&s(&[
-            "gen", "small-world", "--n", "32", "--k", "4", "--beta", "0.2", "--seed", "5",
-            "--out", gpath.to_str().unwrap(),
+            "gen",
+            "small-world",
+            "--n",
+            "32",
+            "--k",
+            "4",
+            "--beta",
+            "0.2",
+            "--seed",
+            "5",
+            "--out",
+            gpath.to_str().unwrap(),
         ]))
         .unwrap();
         dispatch(&s(&[
@@ -404,13 +595,8 @@ mod tests {
             spath.to_str().unwrap(),
         ]))
         .unwrap();
-        dispatch(&s(&[
-            "verify",
-            gpath.to_str().unwrap(),
-            spath.to_str().unwrap(),
-            "--strong",
-        ]))
-        .unwrap();
+        dispatch(&s(&["verify", gpath.to_str().unwrap(), spath.to_str().unwrap(), "--strong"]))
+            .unwrap();
         dispatch(&s(&["matching", gpath.to_str().unwrap(), "--seed", "3"])).unwrap();
         std::fs::remove_dir_all(dir).ok();
     }

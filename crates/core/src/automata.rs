@@ -133,9 +133,7 @@ mod tests {
     fn fair_coin_is_roughly_fair() {
         let mut rng = SmallRng::seed_from_u64(1);
         let n = 10_000;
-        let invitors = (0..n)
-            .filter(|_| choose_role(&mut rng, 0.5) == Role::Invitor)
-            .count();
+        let invitors = (0..n).filter(|_| choose_role(&mut rng, 0.5) == Role::Invitor).count();
         let rate = invitors as f64 / n as f64;
         assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
     }
@@ -144,9 +142,7 @@ mod tests {
     fn biased_coin_respects_probability() {
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 10_000;
-        let invitors = (0..n)
-            .filter(|_| choose_role(&mut rng, 0.2) == Role::Invitor)
-            .count();
+        let invitors = (0..n).filter(|_| choose_role(&mut rng, 0.2) == Role::Invitor).count();
         let rate = invitors as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
     }

@@ -5,6 +5,7 @@
 //! from the paper is explicit configuration, never silent behaviour.
 
 use dima_sim::fault::FaultPlan;
+use dima_sim::reliable::ArqConfig;
 
 use crate::error::CoreError;
 
@@ -49,6 +50,29 @@ pub enum Engine {
     },
 }
 
+/// How protocol messages travel between nodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Messages go straight onto the (possibly faulty) links — the
+    /// paper's model when the [`FaultPlan`] is reliable, and a
+    /// model-violation experiment otherwise.
+    #[default]
+    Bare,
+    /// Every link is wrapped in the reliable-delivery (ARQ) layer of
+    /// [`dima_sim::reliable`]: lossy links look perfect to the protocol,
+    /// at the cost of extra engine rounds (reported separately as
+    /// transport overhead), and crash-stopped peers are detected so the
+    /// protocol can terminate on the residual graph.
+    Reliable(ArqConfig),
+}
+
+impl Transport {
+    /// The [`Transport::Reliable`] variant with default ARQ tuning.
+    pub fn reliable() -> Self {
+        Transport::Reliable(ArqConfig::default())
+    }
+}
+
 /// Configuration for [`crate::color_edges`], [`crate::maximal_matching`]
 /// and [`crate::strong_color_digraph`].
 #[derive(Clone, Debug, PartialEq)]
@@ -80,6 +104,8 @@ pub struct ColoringConfig {
     pub collect_round_stats: bool,
     /// Message-loss injection (model-violation experiments only).
     pub faults: FaultPlan,
+    /// Link transport: bare (the default) or the reliable ARQ layer.
+    pub transport: Transport,
 }
 
 impl Default for ColoringConfig {
@@ -94,6 +120,7 @@ impl Default for ColoringConfig {
             max_compute_rounds: None,
             collect_round_stats: false,
             faults: FaultPlan::reliable(),
+            transport: Transport::default(),
         }
     }
 }
@@ -106,9 +133,7 @@ impl ColoringConfig {
 
     /// Validate ranges; returns a [`CoreError::Config`] on nonsense.
     pub fn validate(&self) -> Result<(), CoreError> {
-        if !(0.0..=1.0).contains(&self.invite_probability)
-            || !self.invite_probability.is_finite()
-        {
+        if !(0.0..=1.0).contains(&self.invite_probability) || !self.invite_probability.is_finite() {
             return Err(CoreError::Config(format!(
                 "invite_probability = {} not in [0, 1]",
                 self.invite_probability
@@ -128,6 +153,11 @@ impl ColoringConfig {
         }
         if self.proposal_width == 0 {
             return Err(CoreError::Config("proposal_width must be >= 1".into()));
+        }
+        if let Transport::Reliable(arq) = self.transport {
+            if arq.round_budget_factor == 0 {
+                return Err(CoreError::Config("ARQ round_budget_factor must be >= 1".into()));
+            }
         }
         Ok(())
     }
@@ -178,11 +208,18 @@ mod tests {
     }
 
     #[test]
+    fn transport_defaults_to_bare() {
+        assert_eq!(ColoringConfig::default().transport, Transport::Bare);
+        let cfg = ColoringConfig { transport: Transport::reliable(), ..Default::default() };
+        assert!(cfg.validate().is_ok());
+        let bad = ArqConfig { round_budget_factor: 0, ..ArqConfig::default() };
+        let cfg = ColoringConfig { transport: Transport::Reliable(bad), ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
     fn zero_threads_rejected() {
-        let cfg = ColoringConfig {
-            engine: Engine::Parallel { threads: 0 },
-            ..Default::default()
-        };
+        let cfg = ColoringConfig { engine: Engine::Parallel { threads: 0 }, ..Default::default() };
         assert!(cfg.validate().is_err());
     }
 }

@@ -28,17 +28,15 @@
 //! injection tests show this breaks down exactly when the reliable-
 //! delivery assumption is violated.
 
-use dima_graph::{EdgeId, Graph, VertexId};
-use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx,
-    RunOutcome, RunStats, Topology,
-};
+use dima_graph::{Graph, VertexId};
+use dima_sim::{EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
-use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
+use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
+use crate::runner::run_protocol;
 
 /// Messages of Algorithm 1. All broadcast, per the paper; the `to` field
 /// addresses the intended recipient.
@@ -82,8 +80,6 @@ pub struct EdgeColoringNode {
     me: VertexId,
     /// Sorted neighbor ids.
     neighbors: Vec<VertexId>,
-    /// Edge id toward each neighbor (parallel to `neighbors`).
-    edge_ids: Vec<EdgeId>,
     /// Color committed toward each neighbor, if any.
     edge_color: Vec<Option<Color>>,
     /// Ports of still-uncolored edges.
@@ -111,16 +107,14 @@ pub struct EdgeColoringNode {
 
 impl EdgeColoringNode {
     fn new(seed: &NodeSeed<'_>, g: &Graph, cfg: &ColoringConfig, palette_bound: u32) -> Self {
-        let edge_ids: Vec<EdgeId> = seed
-            .neighbors
-            .iter()
-            .map(|&w| g.edge_between(seed.node, w).expect("topology mirrors graph"))
-            .collect();
+        debug_assert!(
+            seed.neighbors.iter().all(|&w| g.edge_between(seed.node, w).is_some()),
+            "topology mirrors graph"
+        );
         let degree = seed.neighbors.len();
         EdgeColoringNode {
             me: seed.node,
             neighbors: seed.neighbors.to_vec(),
-            edge_ids,
             edge_color: vec![None; degree],
             uncolored: (0..degree).collect(),
             used_self: ColorSet::new(),
@@ -144,9 +138,7 @@ impl EdgeColoringNode {
     /// (line 1.11: lowest available; or the RandomLegal ablation).
     fn propose_color(&self, port: usize, rng: &mut SmallRng) -> Color {
         match self.color_policy {
-            ColorPolicy::LowestIndex => {
-                self.used_self.first_absent_in_union(&self.used_nbr[port])
-            }
+            ColorPolicy::LowestIndex => self.used_self.first_absent_in_union(&self.used_nbr[port]),
             ColorPolicy::RandomLegal => {
                 // A legal color within the worst-case palette always
                 // exists: |used_self| + |used_nbr| <= 2Δ−2 < 2Δ−1.
@@ -229,9 +221,7 @@ impl Protocol for EdgeColoringNode {
                     let chosen = match self.response_policy {
                         ResponsePolicy::Random => pick_uniform(ctx.rng(), &kept).copied(),
                         ResponsePolicy::FirstSender => kept.first().copied(),
-                        ResponsePolicy::LowestColor => {
-                            kept.iter().copied().min_by_key(|&(_, c)| c)
-                        }
+                        ResponsePolicy::LowestColor => kept.iter().copied().min_by_key(|&(_, c)| c),
                     };
                     if let Some((partner, color)) = chosen {
                         ctx.broadcast(EcMsg::Accept { to: partner, color });
@@ -275,6 +265,17 @@ impl Protocol for EdgeColoringNode {
             }
         }
     }
+
+    fn on_link_down(&mut self, neighbor: VertexId) {
+        // The edge toward the dead neighbor can never complete a
+        // handshake: write it off so the node can finish coloring the
+        // rest of its residual edges and terminate.
+        if let Some(p) = self.port_of(neighbor) {
+            if self.edge_color[p].is_none() {
+                self.uncolored.retain(|&q| q != p);
+            }
+        }
+    }
 }
 
 impl dima_sim::trace::StateLabel for EdgeColoringNode {
@@ -300,10 +301,20 @@ pub struct EdgeColoringResult {
     /// Maximum degree Δ of the input (what the paper plots against).
     pub max_degree: usize,
     /// `true` iff both endpoints committed the same color on every edge
-    /// (always true under reliable delivery — Proposition 2).
+    /// (always true under reliable delivery — Proposition 2). With crash
+    /// faults, checked between surviving endpoints only.
     pub endpoint_agreement: bool,
     /// Simulator statistics (messages, deliveries, per-round breakdown).
     pub stats: RunStats,
+    /// `alive[v]` iff node `v` was not crash-stopped by the fault plan.
+    /// Verify residual colorings (crashed runs) with
+    /// [`crate::verify::verify_residual_edge_coloring`].
+    pub alive: Vec<bool>,
+    /// Engine rounds spent by the reliable transport on retransmission
+    /// and synchronization, on top of
+    /// [`EdgeColoringResult::comm_rounds`] (0 under
+    /// [`crate::Transport::Bare`]).
+    pub transport_overhead_rounds: u64,
 }
 
 /// Run Algorithm 1 on `g` and additionally collect a per-communication-
@@ -315,6 +326,13 @@ pub fn color_edges_with_census(
 ) -> Result<(EdgeColoringResult, dima_sim::trace::StateCensus), CoreError> {
     use dima_sim::trace::StateLabel;
     cfg.validate()?;
+    if cfg.transport != Transport::Bare {
+        return Err(CoreError::Config(
+            "state censuses observe the bare transport only \
+             (the ARQ wrapper has no automata states)"
+                .into(),
+        ));
+    }
     let delta = g.max_degree();
     let topo = Topology::from_graph(g);
     let engine_cfg = EngineConfig {
@@ -332,7 +350,8 @@ pub fn color_edges_with_census(
         |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound),
         |view| census.record(view.nodes.iter().map(|n| n.state_label())),
     )?;
-    Ok((assemble_result(g, delta, outcome), census))
+    let result = assemble_result(g, delta, &outcome.nodes, outcome.stats, outcome.crashed, 0);
+    Ok((result, census))
 }
 
 /// Run Algorithm 1 on `g`.
@@ -345,59 +364,50 @@ pub fn color_edges(g: &Graph, cfg: &ColoringConfig) -> Result<EdgeColoringResult
     cfg.validate()?;
     let delta = g.max_degree();
     let topo = Topology::from_graph(g);
-    let engine_cfg = EngineConfig {
-        seed: cfg.seed,
-        max_rounds: 3 * cfg.compute_round_budget(delta),
-        collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
-        faults: cfg.faults.clone(),
-    };
+    let max_rounds = 3 * cfg.compute_round_budget(delta);
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
     let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound);
-    let outcome: RunOutcome<EdgeColoringNode> = match cfg.engine {
-        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
-        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
-    };
-    Ok(assemble_result(g, delta, outcome))
+    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    Ok(assemble_result(g, delta, &run.nodes, run.stats, run.crashed, run.transport_overhead_rounds))
 }
 
 /// Build the global result from per-node protocol states.
 fn assemble_result(
     g: &Graph,
     delta: usize,
-    outcome: RunOutcome<EdgeColoringNode>,
+    nodes: &[EdgeColoringNode],
+    stats: RunStats,
+    crashed: Vec<bool>,
+    transport_overhead_rounds: u64,
 ) -> EdgeColoringResult {
-    // Assemble the global coloring from per-node views.
+    // Assemble the global coloring from the endpoints' views. The
+    // residual coloring of a crashed run reflects what the *survivors*
+    // committed: a crashed endpoint's view is ignored (its partner may
+    // never have learned of a commitment the crasher made on its way
+    // down, so including it could fabricate conflicts).
     let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];
     let mut agreement = true;
-    for node in &outcome.nodes {
-        for (port, &c) in node.edge_color.iter().enumerate() {
-            let e = node.edge_ids[port];
-            match (colors[e.index()], c) {
-                (None, c) => colors[e.index()] = c,
-                (Some(prev), Some(now)) => agreement &= prev == now,
-                (Some(_), None) => agreement = false,
+    for (e, (u, v)) in g.edges() {
+        let nu = &nodes[u.index()];
+        let nv = &nodes[v.index()];
+        let cu = nu.port_of(v).and_then(|p| nu.edge_color[p]);
+        let cv = nv.port_of(u).and_then(|p| nv.edge_color[p]);
+        colors[e.index()] = match (!crashed[u.index()], !crashed[v.index()]) {
+            (true, true) => {
+                agreement &= cu == cv;
+                cu.or(cv)
             }
-        }
-    }
-    // Under reliable delivery every edge is colored by both endpoints;
-    // recheck agreement in the other direction too (lower endpoint
-    // committed but upper did not).
-    if agreement {
-        for node in &outcome.nodes {
-            for (port, &c) in node.edge_color.iter().enumerate() {
-                if c.is_none() && colors[node.edge_ids[port].index()].is_some() {
-                    agreement = false;
-                }
-            }
-        }
+            (true, false) => cu,
+            (false, true) => cv,
+            (false, false) => None,
+        };
     }
 
     let mut palette = ColorSet::new();
     for c in colors.iter().flatten() {
         palette.insert(*c);
     }
-    let comm_rounds = outcome.stats.rounds;
+    let comm_rounds = stats.rounds - transport_overhead_rounds;
     EdgeColoringResult {
         colors_used: palette.len(),
         max_color: palette.max(),
@@ -406,13 +416,16 @@ fn assemble_result(
         comm_rounds,
         max_degree: delta,
         endpoint_agreement: agreement,
-        stats: outcome.stats,
+        stats,
+        alive: crashed.iter().map(|&c| !c).collect(),
+        transport_overhead_rounds,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Engine;
     use crate::verify::verify_edge_coloring;
     use dima_graph::gen::{erdos_renyi_avg_degree, structured, watts_strogatz};
     use dima_sim::fault::FaultPlan;
@@ -425,7 +438,7 @@ mod tests {
         let delta = g.max_degree();
         if delta > 0 {
             assert!(
-                r.colors_used <= 2 * delta - 1,
+                r.colors_used < 2 * delta,
                 "{} colors > 2Δ−1 = {}",
                 r.colors_used,
                 2 * delta - 1
@@ -548,10 +561,8 @@ mod tests {
     #[test]
     fn random_legal_policy_still_correct() {
         let g = structured::complete(10);
-        let cfg = ColoringConfig {
-            color_policy: ColorPolicy::RandomLegal,
-            ..ColoringConfig::seeded(41)
-        };
+        let cfg =
+            ColoringConfig { color_policy: ColorPolicy::RandomLegal, ..ColoringConfig::seeded(41) };
         let r = color_edges(&g, &cfg).unwrap();
         assert_good_coloring(&g, &r);
     }
@@ -601,6 +612,63 @@ mod tests {
             }
         }
         assert!(saw_detection, "40% loss should corrupt at least one of 10 runs");
+    }
+
+    #[test]
+    fn reliable_transport_is_transparent_without_faults() {
+        let g = structured::grid(6, 6);
+        let bare = color_edges(&g, &ColoringConfig::seeded(61)).unwrap();
+        let arq = color_edges(
+            &g,
+            &ColoringConfig { transport: Transport::reliable(), ..ColoringConfig::seeded(61) },
+        )
+        .unwrap();
+        assert_eq!(bare.colors, arq.colors);
+        assert_eq!(bare.comm_rounds, arq.comm_rounds);
+        assert!(arq.transport_overhead_rounds <= 3, "{}", arq.transport_overhead_rounds);
+        assert_good_coloring(&g, &arq);
+    }
+
+    #[test]
+    fn reliable_transport_survives_loss_that_breaks_bare_runs() {
+        // The same loss rate that corrupts bare runs (see
+        // `message_loss_can_break_agreement`) is invisible through the
+        // ARQ layer: the run produces the exact coloring of a fault-free
+        // run, paying only transport rounds.
+        let g = structured::complete(9);
+        let bare = color_edges(&g, &ColoringConfig::seeded(53)).unwrap();
+        let cfg = ColoringConfig {
+            faults: FaultPlan::uniform(0.2),
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(53)
+        };
+        let r = color_edges(&g, &cfg).unwrap();
+        assert!(r.stats.dropped > 0, "the plan should actually drop messages");
+        assert!(r.endpoint_agreement);
+        assert_eq!(r.colors, bare.colors);
+        assert!(r.transport_overhead_rounds > 0);
+        assert_good_coloring(&g, &r);
+    }
+
+    #[test]
+    fn crashes_leave_proper_residual_coloring() {
+        let g = structured::complete(10);
+        let cfg = ColoringConfig {
+            faults: FaultPlan { crash_spread: 1, ..FaultPlan::crashing(0.3, 0) },
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(67)
+        };
+        let r = color_edges(&g, &cfg).unwrap();
+        assert!(r.alive.iter().any(|&a| !a), "the plan should crash someone");
+        assert!(r.endpoint_agreement);
+        crate::verify::verify_residual_edge_coloring(&g, &r.colors, &r.alive).unwrap();
+    }
+
+    #[test]
+    fn census_requires_bare_transport() {
+        let g = structured::path(3);
+        let cfg = ColoringConfig { transport: Transport::reliable(), ..ColoringConfig::seeded(1) };
+        assert!(matches!(color_edges_with_census(&g, &cfg), Err(CoreError::Config(_))));
     }
 
     #[test]

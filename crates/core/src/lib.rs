@@ -46,6 +46,7 @@ pub mod edge_coloring;
 pub mod error;
 pub mod matching;
 pub mod palette;
+mod runner;
 pub mod schedule;
 pub mod strong_coloring;
 pub mod strong_undirected;
@@ -53,7 +54,7 @@ pub mod verify;
 pub mod vertex_cover;
 pub mod wire;
 
-pub use config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
+pub use config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
 pub use edge_coloring::{color_edges, color_edges_with_census, EdgeColoringResult};
 pub use error::CoreError;
 pub use matching::{maximal_matching, MatchingResult};

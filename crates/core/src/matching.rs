@@ -12,14 +12,12 @@
 //! empirically from [`MatchingResult::pair_round`].
 
 use dima_graph::{Graph, VertexId};
-use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol,
-    RoundCtx, RunOutcome, RunStats, Topology,
-};
+use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
-use crate::config::{ColoringConfig, Engine, ResponsePolicy};
+use crate::config::{ColoringConfig, ResponsePolicy};
 use crate::error::CoreError;
+use crate::runner::run_protocol;
 
 /// Messages of the matching protocol. All are broadcast, as in the paper;
 /// the `to` field addresses the intended recipient and everyone else
@@ -84,12 +82,7 @@ impl MatchingNode {
 
     /// Neighbors still believed unmatched.
     fn available_neighbors(&self) -> Vec<VertexId> {
-        self.neighbors
-            .iter()
-            .zip(&self.available)
-            .filter(|&(_, &a)| a)
-            .map(|(&v, _)| v)
-            .collect()
+        self.neighbors.iter().zip(&self.available).filter(|&(_, &a)| a).map(|(&v, _)| v).collect()
     }
 }
 
@@ -176,6 +169,15 @@ impl Protocol for MatchingNode {
             }
         }
     }
+
+    fn on_link_down(&mut self, neighbor: VertexId) {
+        // The neighbor can never complete a handshake: treat it like a
+        // matched (unavailable) neighbor so this node can still conclude
+        // it is isolated among unmatched peers and terminate.
+        if let Some(p) = self.port_of(neighbor) {
+            self.available[p] = false;
+        }
+    }
 }
 
 /// Construct a matching node directly, for custom runs through the
@@ -207,8 +209,16 @@ pub struct MatchingResult {
     /// Simulator statistics.
     pub stats: RunStats,
     /// `true` iff both endpoints of every pair agree on the pairing
-    /// (always true under reliable delivery).
+    /// (always true under reliable delivery; with crash faults, checked
+    /// between surviving endpoints only).
     pub agreement: bool,
+    /// `alive[v]` iff node `v` was not crash-stopped by the fault plan.
+    pub alive: Vec<bool>,
+    /// Engine rounds spent by the reliable transport on retransmission
+    /// and synchronization, on top of [`MatchingResult::comm_rounds`]
+    /// (0 under [`crate::Transport::Bare`]). The raw engine round count
+    /// is `comm_rounds + transport_overhead_rounds` (= `stats.rounds`).
+    pub transport_overhead_rounds: u64,
 }
 
 impl MatchingResult {
@@ -228,50 +238,53 @@ impl MatchingResult {
 pub fn maximal_matching(g: &Graph, cfg: &ColoringConfig) -> Result<MatchingResult, CoreError> {
     cfg.validate()?;
     let topo = Topology::from_graph(g);
-    let engine_cfg = EngineConfig {
-        seed: cfg.seed,
-        max_rounds: 3 * cfg.compute_round_budget(g.max_degree()),
-        collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
-        faults: cfg.faults.clone(),
-    };
+    let max_rounds = 3 * cfg.compute_round_budget(g.max_degree());
     let factory = |seed: NodeSeed<'_>| MatchingNode::new(&seed, cfg);
-    let outcome: RunOutcome<MatchingNode> = match cfg.engine {
-        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
-        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
-    };
+    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    let alive = run.alive();
 
-    let mut pairs = Vec::new();
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
     let mut pair_round = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut agreement = true;
-    for node in &outcome.nodes {
+    for (node, &a) in run.nodes.iter().zip(&alive) {
         if let Some(partner) = node.matched_with {
-            let reciprocal =
-                outcome.nodes[partner.index()].matched_with == Some(node.me);
-            agreement &= reciprocal;
-            if node.me < partner {
-                pairs.push((node.me, partner));
+            // Endpoint agreement is only meaningful between survivors: a
+            // crashed partner may have stopped before echoing back.
+            if a && alive[partner.index()] {
+                agreement &= run.nodes[partner.index()].matched_with == Some(node.me);
+            }
+            // Record the pair from either endpoint's view (a crashed
+            // invitor may never have learned its invitation was accepted,
+            // but the accepting survivor has still left the pool).
+            let key = if node.me < partner { (node.me, partner) } else { (partner, node.me) };
+            if seen.insert(key) {
+                pairs.push(key);
                 pair_round.push(node.matched_round.unwrap_or(0));
             }
         }
     }
-    let comm_rounds = outcome.stats.rounds;
+    let comm_rounds = run.stats.rounds - run.transport_overhead_rounds;
     Ok(MatchingResult {
         pairs,
         pair_round,
         compute_rounds: Phase::compute_rounds(comm_rounds),
         comm_rounds,
-        stats: outcome.stats,
+        stats: run.stats,
         agreement,
+        alive,
+        transport_overhead_rounds: run.transport_overhead_rounds,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Engine, Transport};
     use crate::verify::verify_matching;
     use dima_graph::gen::structured;
     use dima_graph::gen::{erdos_renyi_avg_degree, watts_strogatz};
+    use dima_sim::fault::FaultPlan;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -384,6 +397,54 @@ mod tests {
         let g = structured::complete(16);
         let m = maximal_matching(&g, &ColoringConfig::seeded(4)).unwrap();
         assert!(m.compute_rounds < 200, "took {} rounds", m.compute_rounds);
+    }
+
+    #[test]
+    fn reliable_transport_is_transparent_without_faults() {
+        let g = structured::grid(5, 5);
+        let bare = maximal_matching(&g, &ColoringConfig::seeded(21)).unwrap();
+        let arq = maximal_matching(
+            &g,
+            &ColoringConfig { transport: Transport::reliable(), ..ColoringConfig::seeded(21) },
+        )
+        .unwrap();
+        // Same RNG streams, same inboxes: the identical matching, in the
+        // same number of protocol rounds.
+        assert_eq!(bare.pairs, arq.pairs);
+        assert_eq!(bare.pair_round, arq.pair_round);
+        assert_eq!(bare.comm_rounds, arq.comm_rounds);
+        assert!(arq.transport_overhead_rounds <= 3, "{}", arq.transport_overhead_rounds);
+        check_maximal(&g, &arq);
+    }
+
+    #[test]
+    fn reliable_transport_survives_loss() {
+        let g = structured::complete(10);
+        let bare = maximal_matching(&g, &ColoringConfig::seeded(29)).unwrap();
+        let cfg = ColoringConfig {
+            faults: FaultPlan::uniform(0.2),
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(29)
+        };
+        let m = maximal_matching(&g, &cfg).unwrap();
+        assert!(m.stats.dropped > 0, "the plan should actually drop messages");
+        assert_eq!(m.pairs, bare.pairs);
+        assert!(m.transport_overhead_rounds > 0);
+        check_maximal(&g, &m);
+    }
+
+    #[test]
+    fn crashes_leave_residual_maximal_matching() {
+        let g = structured::complete(14);
+        let cfg = ColoringConfig {
+            faults: FaultPlan { crash_spread: 1, ..FaultPlan::crashing(0.3, 0) },
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(33)
+        };
+        let m = maximal_matching(&g, &cfg).unwrap();
+        assert!(m.alive.iter().any(|&a| !a), "the plan should crash someone");
+        assert!(m.agreement);
+        crate::verify::verify_residual_matching(&g, &m.pairs, &m.alive).unwrap();
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Engine × transport dispatch shared by the protocol entry points.
+//!
+//! Every public algorithm ([`crate::maximal_matching`],
+//! [`crate::color_edges`], [`crate::strong_color_digraph`]) runs its
+//! per-vertex protocol through [`run_protocol`], which picks the engine
+//! ([`Engine::Sequential`] or [`Engine::Parallel`]) and, when
+//! [`Transport::Reliable`] is configured, wraps every node in the ARQ
+//! layer of [`dima_sim::reliable`] so lossy links look perfect to the
+//! protocol. The extra engine rounds the ARQ layer spends on
+//! retransmission and synchronization are reported as
+//! [`EngineRun::transport_overhead_rounds`] so experiments can separate
+//! algorithm cost from transport cost.
+
+use dima_sim::{
+    run_parallel, run_sequential, EngineConfig, NodeSeed, Protocol, ReliableNode, Topology,
+};
+
+use crate::config::{ColoringConfig, Engine, Transport};
+use crate::error::CoreError;
+
+/// What comes back from [`run_protocol`]: final protocol states plus the
+/// run metadata the result assemblers need.
+pub(crate) struct EngineRun<P> {
+    /// Final per-node protocol states (inner protocols — the ARQ wrapper,
+    /// if any, has been peeled off).
+    pub nodes: Vec<P>,
+    /// Simulator statistics. Under the reliable transport these count the
+    /// *engine's* rounds and messages — i.e. they include the ARQ
+    /// layer's retransmissions, acks and synchronization stalls.
+    pub stats: dima_sim::RunStats,
+    /// `crashed[v]` iff the fault plan crash-stopped node `v` mid-run.
+    pub crashed: Vec<bool>,
+    /// Engine rounds spent by the transport on top of the protocol's own
+    /// rounds (0 under [`Transport::Bare`]).
+    pub transport_overhead_rounds: u64,
+}
+
+impl<P> EngineRun<P> {
+    /// `alive[v]` iff node `v` ran to completion (was not crashed).
+    pub fn alive(&self) -> Vec<bool> {
+        self.crashed.iter().map(|&c| !c).collect()
+    }
+}
+
+/// Run `factory`'s protocol on `topo` under the engine and transport the
+/// config selects. `bare_max_rounds` is the round budget a bare run gets;
+/// the reliable transport scales it by [`ArqConfig::round_budget`] to
+/// cover retransmission stalls and link-death detection.
+///
+/// [`ArqConfig::round_budget`]: dima_sim::ArqConfig::round_budget
+pub(crate) fn run_protocol<P, F>(
+    topo: &Topology,
+    cfg: &ColoringConfig,
+    bare_max_rounds: u64,
+    factory: F,
+) -> Result<EngineRun<P>, CoreError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    match cfg.transport {
+        Transport::Bare => {
+            let engine_cfg = engine_config(cfg, bare_max_rounds);
+            let outcome = match cfg.engine {
+                Engine::Sequential => run_sequential(topo, &engine_cfg, factory)?,
+                Engine::Parallel { threads } => run_parallel(topo, &engine_cfg, threads, factory)?,
+            };
+            Ok(EngineRun {
+                nodes: outcome.nodes,
+                stats: outcome.stats,
+                crashed: outcome.crashed,
+                transport_overhead_rounds: 0,
+            })
+        }
+        Transport::Reliable(arq) => {
+            let engine_cfg = engine_config(cfg, arq.round_budget(bare_max_rounds));
+            let wrapped = ReliableNode::factory(arq, factory);
+            let outcome = match cfg.engine {
+                Engine::Sequential => run_sequential(topo, &engine_cfg, wrapped)?,
+                Engine::Parallel { threads } => run_parallel(topo, &engine_cfg, threads, wrapped)?,
+            };
+            // The protocol's own round count is the fastest node's inner
+            // progress: every non-crashed node reaches the same inner
+            // round count it would in a bare run on the residual graph.
+            let inner_rounds = outcome
+                .nodes
+                .iter()
+                .zip(&outcome.crashed)
+                .filter(|&(_, &c)| !c)
+                .map(|(n, _)| n.inner_rounds())
+                .max()
+                .unwrap_or(0);
+            Ok(EngineRun {
+                transport_overhead_rounds: outcome.stats.rounds.saturating_sub(inner_rounds),
+                nodes: outcome.nodes.into_iter().map(ReliableNode::into_inner).collect(),
+                stats: outcome.stats,
+                crashed: outcome.crashed,
+            })
+        }
+    }
+}
+
+fn engine_config(cfg: &ColoringConfig, max_rounds: u64) -> EngineConfig {
+    EngineConfig {
+        seed: cfg.seed,
+        max_rounds,
+        collect_round_stats: cfg.collect_round_stats,
+        validate_sends: true,
+        faults: cfg.faults.clone(),
+    }
+}

@@ -22,17 +22,15 @@
 //! its out- **and** in-arcs are colored (paper line 2.28).
 
 use dima_graph::{ArcId, Digraph, VertexId};
-use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx,
-    RunOutcome, RunStats, Topology,
-};
+use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
-use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
+use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
+use crate::runner::run_protocol;
 
 /// Messages of Algorithm 2. All broadcast — overhearing is what makes the
 /// same-round conflict detection of Procedure 2-b work.
@@ -87,6 +85,9 @@ pub struct StrongColoringNode {
     uncolored_out: Vec<usize>,
     /// In-arcs still uncolored (counted for termination).
     uncolored_in: usize,
+    /// Ports whose link was declared dead (peer presumed crashed); their
+    /// arcs are written off for termination purposes.
+    link_down: Vec<bool>,
     /// Colors unusable here: own used ∪ everything neighbors announced.
     forbidden: ColorSet,
     /// Per-port retry memory: colors this node proposed on the port while
@@ -137,6 +138,7 @@ impl StrongColoringNode {
             in_color: vec![None; degree],
             uncolored_out: (0..degree).collect(),
             uncolored_in: degree,
+            link_down: vec![false; degree],
             forbidden: ColorSet::new(),
             tried: vec![ColorSet::new(); degree],
             role: Role::Listener,
@@ -257,13 +259,9 @@ impl Protocol for StrongColoringNode {
                     // and a missing reply carries no color information).
                     if let Some(Proposal { port, .. }) = &self.proposal {
                         let partner = self.neighbors[*port];
-                        self.partner_was_inviting = ctx
-                            .inbox()
-                            .iter()
-                            .any(|env| {
-                                env.from == partner
-                                    && matches!(env.msg, StrongMsg::Invite { .. })
-                            });
+                        self.partner_was_inviting = ctx.inbox().iter().any(|env| {
+                            env.from == partner && matches!(env.msg, StrongMsg::Invite { .. })
+                        });
                     }
                 }
                 if self.role == Role::Listener {
@@ -290,15 +288,16 @@ impl Protocol for StrongColoringNode {
                     let candidates: Vec<(VertexId, Color)> = mine
                         .into_iter()
                         .filter_map(|(from, colors)| {
-                            if !self.port_of(from).is_some_and(|p| self.in_color[p].is_none()) {
+                            if !self
+                                .port_of(from)
+                                .is_some_and(|p| self.in_color[p].is_none() && !self.link_down[p])
+                            {
                                 return None;
                             }
                             colors
                                 .iter()
                                 .copied()
-                                .find(|&c| {
-                                    !self.forbidden.contains(c) && !other_colors.contains(c)
-                                })
+                                .find(|&c| !self.forbidden.contains(c) && !other_colors.contains(c))
                                 .map(|c| (from, c))
                         })
                         .collect();
@@ -383,6 +382,23 @@ impl Protocol for StrongColoringNode {
             }
         }
     }
+
+    fn on_link_down(&mut self, neighbor: VertexId) {
+        // Both arcs of the dead link can never complete a handshake:
+        // write them off so the node can finish its residual arcs and
+        // terminate (paper line 2.28 counts only colorable arcs).
+        let Some(p) = self.port_of(neighbor) else { return };
+        if self.link_down[p] {
+            return;
+        }
+        self.link_down[p] = true;
+        if self.out_color[p].is_none() {
+            self.uncolored_out.retain(|&q| q != p);
+        }
+        if self.in_color[p].is_none() {
+            self.uncolored_in -= 1;
+        }
+    }
 }
 
 impl dima_sim::trace::StateLabel for StrongColoringNode {
@@ -406,10 +422,20 @@ pub struct StrongColoringResult {
     pub comm_rounds: u64,
     /// Maximum degree Δ of the *underlying* graph (the paper's Δ).
     pub max_degree: usize,
-    /// `true` iff tail and head committed the same channel on every arc.
+    /// `true` iff tail and head committed the same channel on every arc
+    /// (with crash faults, checked between surviving endpoints only).
     pub endpoint_agreement: bool,
     /// Simulator statistics.
     pub stats: RunStats,
+    /// `alive[v]` iff node `v` was not crash-stopped by the fault plan.
+    /// Verify residual colorings (crashed runs) with
+    /// [`crate::verify::verify_residual_strong_coloring`].
+    pub alive: Vec<bool>,
+    /// Engine rounds spent by the reliable transport on retransmission
+    /// and synchronization, on top of
+    /// [`StrongColoringResult::comm_rounds`] (0 under
+    /// [`crate::Transport::Bare`]).
+    pub transport_overhead_rounds: u64,
 }
 
 /// Run Algorithm 2 on the symmetric digraph `d`.
@@ -425,36 +451,49 @@ pub fn strong_color_digraph(
     d.require_symmetric()?;
     let delta = d.max_underlying_degree();
     let topo = Topology::from_digraph(d);
-    let engine_cfg = EngineConfig {
-        seed: cfg.seed,
-        max_rounds: 3 * cfg.compute_round_budget(delta),
-        collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
-        faults: cfg.faults.clone(),
-    };
+    let max_rounds = 3 * cfg.compute_round_budget(delta);
     let factory = |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, d, cfg);
-    let outcome: RunOutcome<StrongColoringNode> = match cfg.engine {
-        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
-        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
-    };
+    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    let alive = run.alive();
 
-    let mut colors: Vec<Option<Color>> = vec![None; d.num_arcs()];
+    // Residual assembly: each arc takes its *tail's* committed channel
+    // when the tail survived, the head's view when only the head did.
+    // Tail/head agreement is meaningful between survivors only.
+    let mut tail_view: Vec<Option<Color>> = vec![None; d.num_arcs()];
     let mut head_view: Vec<Option<Color>> = vec![None; d.num_arcs()];
-    for node in &outcome.nodes {
+    for node in &run.nodes {
         for (port, &c) in node.out_color.iter().enumerate() {
-            colors[node.out_arcs[port].index()] = c;
+            tail_view[node.out_arcs[port].index()] = c;
         }
         for (port, &c) in node.in_color.iter().enumerate() {
             head_view[node.in_arcs[port].index()] = c;
         }
     }
-    let endpoint_agreement = colors == head_view;
+    let mut colors: Vec<Option<Color>> = vec![None; d.num_arcs()];
+    let mut endpoint_agreement = true;
+    for (a, (u, v)) in d.arcs() {
+        let (tail, head) = (tail_view[a.index()], head_view[a.index()]);
+        // Arcs touching a crashed node are *withdrawn*, even if a
+        // surviving endpoint had committed a channel: distance-2
+        // conflicts are policed by the crashed node's `UpdateColors`
+        // broadcasts, which died with it — a node two hops away may
+        // legitimately reuse the channel later. (Plain edge coloring
+        // keeps such colors: its constraints are all one-hop, enforced
+        // by a then-alive endpoint at commit time.)
+        colors[a.index()] = match (alive[u.index()], alive[v.index()]) {
+            (true, true) => {
+                endpoint_agreement &= tail == head;
+                tail.or(head)
+            }
+            _ => None,
+        };
+    }
 
     let mut palette = ColorSet::new();
     for c in colors.iter().flatten() {
         palette.insert(*c);
     }
-    let comm_rounds = outcome.stats.rounds;
+    let comm_rounds = run.stats.rounds - run.transport_overhead_rounds;
     Ok(StrongColoringResult {
         colors_used: palette.len(),
         max_color: palette.max(),
@@ -463,18 +502,21 @@ pub fn strong_color_digraph(
         comm_rounds,
         max_degree: delta,
         endpoint_agreement,
-        stats: outcome.stats,
+        stats: run.stats,
+        alive,
+        transport_overhead_rounds: run.transport_overhead_rounds,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Engine, Transport};
     use crate::verify::verify_strong_coloring;
     use dima_graph::gen::{erdos_renyi_avg_degree, structured};
     use dima_graph::Graph;
+    use dima_sim::fault::FaultPlan;
     use rand::rngs::SmallRng;
-use rand::Rng;
     use rand::SeedableRng;
 
     fn assert_good(d: &Digraph, r: &StrongColoringResult) {
@@ -570,7 +612,8 @@ use rand::Rng;
     fn ablation_policies_still_correct() {
         let g = structured::grid(3, 4);
         let d = Digraph::symmetric_closure(&g);
-        for policy in [ColorPolicy::RandomLegal] {
+        {
+            let policy = ColorPolicy::RandomLegal;
             let cfg = ColoringConfig { color_policy: policy, ..ColoringConfig::seeded(3) };
             let r = strong_color_digraph(&d, &cfg).unwrap();
             assert_good(&d, &r);
@@ -580,6 +623,54 @@ use rand::Rng;
             let r = strong_color_digraph(&d, &cfg).unwrap();
             assert_good(&d, &r);
         }
+    }
+
+    #[test]
+    fn reliable_transport_is_transparent_without_faults() {
+        let g = structured::grid(4, 4);
+        let d = Digraph::symmetric_closure(&g);
+        let bare = strong_color_digraph(&d, &ColoringConfig::seeded(71)).unwrap();
+        let arq = strong_color_digraph(
+            &d,
+            &ColoringConfig { transport: Transport::reliable(), ..ColoringConfig::seeded(71) },
+        )
+        .unwrap();
+        assert_eq!(bare.colors, arq.colors);
+        assert_eq!(bare.comm_rounds, arq.comm_rounds);
+        assert!(arq.transport_overhead_rounds <= 3, "{}", arq.transport_overhead_rounds);
+        assert_good(&d, &arq);
+    }
+
+    #[test]
+    fn reliable_transport_survives_loss() {
+        let g = structured::complete(7);
+        let d = Digraph::symmetric_closure(&g);
+        let bare = strong_color_digraph(&d, &ColoringConfig::seeded(73)).unwrap();
+        let cfg = ColoringConfig {
+            faults: FaultPlan::uniform(0.15),
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(73)
+        };
+        let r = strong_color_digraph(&d, &cfg).unwrap();
+        assert!(r.stats.dropped > 0, "the plan should actually drop messages");
+        assert_eq!(r.colors, bare.colors);
+        assert!(r.transport_overhead_rounds > 0);
+        assert_good(&d, &r);
+    }
+
+    #[test]
+    fn crashes_leave_proper_residual_strong_coloring() {
+        let g = structured::complete(9);
+        let d = Digraph::symmetric_closure(&g);
+        let cfg = ColoringConfig {
+            faults: FaultPlan { crash_spread: 1, ..FaultPlan::crashing(0.3, 0) },
+            transport: Transport::reliable(),
+            ..ColoringConfig::seeded(79)
+        };
+        let r = strong_color_digraph(&d, &cfg).unwrap();
+        assert!(r.alive.iter().any(|&a| !a), "the plan should crash someone");
+        assert!(r.endpoint_agreement);
+        crate::verify::verify_residual_strong_coloring(&d, &r.colors, &r.alive).unwrap();
     }
 
     #[test]

@@ -174,9 +174,7 @@ impl StrongUndirectedNode {
 
     fn propose_color(&self, port: usize, rng: &mut SmallRng) -> Color {
         match self.color_policy {
-            ColorPolicy::LowestIndex => {
-                self.forbidden.first_absent_in_union(&self.tried[port])
-            }
+            ColorPolicy::LowestIndex => self.forbidden.first_absent_in_union(&self.tried[port]),
             ColorPolicy::RandomLegal => {
                 let bound = self
                     .forbidden
@@ -277,9 +275,7 @@ impl Protocol for StrongUndirectedNode {
                         .filter(|&(from, c)| {
                             !self.forbidden.contains(c)
                                 && !other_colors.contains(c)
-                                && self
-                                    .port_of(from)
-                                    .is_some_and(|p| self.edge_color[p].is_none())
+                                && self.port_of(from).is_some_and(|p| self.edge_color[p].is_none())
                         })
                         .collect();
                     let chosen = match self.response_policy {
@@ -609,20 +605,10 @@ mod tests {
     fn verifier_rejects_distance2_conflict() {
         // P5: e0 and e2 are joined by e1 → same color must be rejected.
         let g = structured::path(5);
-        let colors = vec![
-            Some(Color(0)),
-            Some(Color(1)),
-            Some(Color(0)),
-            Some(Color(2)),
-        ];
+        let colors = vec![Some(Color(0)), Some(Color(1)), Some(Color(0)), Some(Color(2))];
         assert!(verify_strong_undirected(&g, &colors).is_err());
         // e0 and e3 are at distance 2 → sharing is fine.
-        let colors = vec![
-            Some(Color(0)),
-            Some(Color(1)),
-            Some(Color(2)),
-            Some(Color(0)),
-        ];
+        let colors = vec![Some(Color(0)), Some(Color(1)), Some(Color(2)), Some(Color(0))];
         assert!(verify_strong_undirected(&g, &colors).is_ok());
     }
 }

@@ -52,16 +52,23 @@ pub enum Violation {
         /// Second endpoint.
         v: VertexId,
     },
+    /// An edge joins two surviving unmatched vertices (the residual
+    /// matching is not maximal).
+    NotMaximal {
+        /// First unmatched endpoint.
+        u: VertexId,
+        /// Second unmatched endpoint.
+        v: VertexId,
+    },
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::Uncolored { index } => write!(f, "edge/arc {index} is uncolored"),
-            Violation::AdjacentSameColor { e1, e2, color, at } => write!(
-                f,
-                "edges {e1:?} and {e2:?} both use color {color} at vertex {at}"
-            ),
+            Violation::AdjacentSameColor { e1, e2, color, at } => {
+                write!(f, "edges {e1:?} and {e2:?} both use color {color} at vertex {at}")
+            }
             Violation::StrongConflict { a1, a2, color } => write!(
                 f,
                 "arcs {a1:?} and {a2:?} are in distance-2 conflict but share color {color}"
@@ -71,6 +78,9 @@ impl fmt::Display for Violation {
             }
             Violation::NotAnEdge { u, v } => {
                 write!(f, "pair ({u}, {v}) is not an edge of the graph")
+            }
+            Violation::NotMaximal { u, v } => {
+                write!(f, "edge ({u}, {v}) joins two surviving unmatched vertices")
             }
         }
     }
@@ -92,10 +102,7 @@ pub fn verify_edge_coloring(g: &Graph, colors: &[Option<Color>]) -> Result<(), V
 
 /// Check properness only (uncolored edges allowed) — used on
 /// fault-corrupted runs and mid-run snapshots.
-pub fn verify_partial_edge_coloring(
-    g: &Graph,
-    colors: &[Option<Color>],
-) -> Result<(), Violation> {
+pub fn verify_partial_edge_coloring(g: &Graph, colors: &[Option<Color>]) -> Result<(), Violation> {
     assert_eq!(colors.len(), g.num_edges(), "color vector length mismatch");
     for v in g.vertices() {
         let inc = g.neighbors(v);
@@ -168,6 +175,67 @@ pub fn verify_partial_strong_coloring(
                     return Err(viol);
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Check a **residual** edge coloring — the output of a run in which the
+/// nodes *not* marked in `alive` crash-stopped (see
+/// [`crate::Transport::Reliable`]). The coloring must be proper
+/// everywhere, and complete on every edge whose both endpoints survived;
+/// edges touching a crashed node may legitimately be uncolored.
+pub fn verify_residual_edge_coloring(
+    g: &Graph,
+    colors: &[Option<Color>],
+    alive: &[bool],
+) -> Result<(), Violation> {
+    assert_eq!(alive.len(), g.num_vertices(), "alive vector length mismatch");
+    assert_eq!(colors.len(), g.num_edges(), "color vector length mismatch");
+    for (e, (u, v)) in g.edges() {
+        if alive[u.index()] && alive[v.index()] && colors[e.index()].is_none() {
+            return Err(Violation::Uncolored { index: e.0 });
+        }
+    }
+    verify_partial_edge_coloring(g, colors)
+}
+
+/// Check a **residual** strong coloring: proper everywhere, complete on
+/// every arc whose both endpoints survived.
+pub fn verify_residual_strong_coloring(
+    d: &Digraph,
+    colors: &[Option<Color>],
+    alive: &[bool],
+) -> Result<(), Violation> {
+    assert_eq!(alive.len(), d.num_vertices(), "alive vector length mismatch");
+    assert_eq!(colors.len(), d.num_arcs(), "color vector length mismatch");
+    for (a, (u, v)) in d.arcs() {
+        if alive[u.index()] && alive[v.index()] && colors[a.index()].is_none() {
+            return Err(Violation::Uncolored { index: a.0 });
+        }
+    }
+    verify_partial_strong_coloring(d, colors)
+}
+
+/// Check a **residual** maximal matching: `pairs` must be a matching of
+/// `g`, and maximal among the survivors — no edge may join two alive,
+/// unmatched vertices (a vertex matched to a since-crashed partner counts
+/// as matched; it has left the pool for good).
+pub fn verify_residual_matching(
+    g: &Graph,
+    pairs: &[(VertexId, VertexId)],
+    alive: &[bool],
+) -> Result<(), Violation> {
+    assert_eq!(alive.len(), g.num_vertices(), "alive vector length mismatch");
+    verify_matching(g, pairs)?;
+    let mut covered = vec![false; g.num_vertices()];
+    for &(u, v) in pairs {
+        covered[u.index()] = true;
+        covered[v.index()] = true;
+    }
+    for (_, (u, v)) in g.edges() {
+        if alive[u.index()] && alive[v.index()] && !covered[u.index()] && !covered[v.index()] {
+            return Err(Violation::NotMaximal { u, v });
         }
     }
     Ok(())
@@ -285,9 +353,7 @@ mod tests {
             let colors: Vec<Option<Color>> =
                 (0..d.num_arcs()).map(|i| c(((trial >> (i * 2)) % 3) as u32)).collect();
             let direct = verify_strong_coloring(&d, &colors).is_ok();
-            let via_graph = cg.edges().all(|(_, (a, b))| {
-                colors[a.index() as usize] != colors[b.index() as usize]
-            });
+            let via_graph = cg.edges().all(|(_, (a, b))| colors[a.index()] != colors[b.index()]);
             assert_eq!(direct, via_graph, "trial {trial}");
         }
     }
@@ -295,15 +361,58 @@ mod tests {
     #[test]
     fn matching_checks() {
         let g = structured::cycle(5);
-        assert!(verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))])
-            .is_ok());
+        assert!(
+            verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]).is_ok()
+        );
         let err = verify_matching(&g, &[(VertexId(0), VertexId(2))]).unwrap_err();
         assert!(matches!(err, Violation::NotAnEdge { .. }));
-        let err =
-            verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
-                .unwrap_err();
+        let err = verify_matching(&g, &[(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+            .unwrap_err();
         assert_eq!(err, Violation::NotAMatching { at: VertexId(1) });
         assert!(verify_matching(&g, &[]).is_ok());
+    }
+
+    #[test]
+    fn residual_edge_coloring_checks() {
+        let g = structured::path(4); // edges 0-1, 1-2, 2-3
+        let alive = [true, true, true, false];
+        // Edge 2-3 touches the crashed vertex 3: may stay uncolored.
+        assert!(verify_residual_edge_coloring(&g, &[c(0), c(1), None], &alive).is_ok());
+        // Edge 0-1 joins two survivors: must be colored.
+        let err = verify_residual_edge_coloring(&g, &[None, c(1), None], &alive).unwrap_err();
+        assert_eq!(err, Violation::Uncolored { index: 0 });
+        // Properness still enforced even on crash-adjacent edges.
+        let err = verify_residual_edge_coloring(&g, &[c(0), c(1), c(1)], &alive).unwrap_err();
+        assert!(matches!(err, Violation::AdjacentSameColor { .. }));
+    }
+
+    #[test]
+    fn residual_strong_coloring_checks() {
+        let g = structured::path(3);
+        let d = Digraph::symmetric_closure(&g);
+        // Arcs 0:(0→1) 1:(1→0) 2:(1→2) 3:(2→1); vertex 2 crashed.
+        let alive = [true, true, false];
+        assert!(verify_residual_strong_coloring(&d, &[c(0), c(1), None, None], &alive).is_ok());
+        let err =
+            verify_residual_strong_coloring(&d, &[None, c(1), None, None], &alive).unwrap_err();
+        assert_eq!(err, Violation::Uncolored { index: 0 });
+        let err =
+            verify_residual_strong_coloring(&d, &[c(0), c(0), None, None], &alive).unwrap_err();
+        assert!(matches!(err, Violation::StrongConflict { .. }));
+    }
+
+    #[test]
+    fn residual_matching_checks() {
+        let g = structured::path(4); // edges 0-1, 1-2, 2-3
+                                     // 0-1 matched; 2 and 3 unmatched but 3 crashed: maximal residually.
+        let pairs = [(VertexId(0), VertexId(1))];
+        assert!(verify_residual_matching(&g, &pairs, &[true, true, true, false]).is_ok());
+        // With 3 alive too, edge 2-3 joins two alive unmatched vertices.
+        let err = verify_residual_matching(&g, &pairs, &[true, true, true, true]).unwrap_err();
+        assert_eq!(err, Violation::NotMaximal { u: VertexId(2), v: VertexId(3) });
+        // Matching validity still enforced.
+        let bad = [(VertexId(0), VertexId(2))];
+        assert!(verify_residual_matching(&g, &bad, &[true; 4]).is_err());
     }
 
     #[test]
@@ -328,5 +437,8 @@ mod tests {
         assert!(Violation::NotAnEdge { u: VertexId(0), v: VertexId(9) }
             .to_string()
             .contains("not an edge"));
+        assert!(Violation::NotMaximal { u: VertexId(2), v: VertexId(3) }
+            .to_string()
+            .contains("unmatched"));
     }
 }

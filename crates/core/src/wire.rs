@@ -10,8 +10,8 @@
 //! order, little-endian (see [`dima_sim::wire`]).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dima_sim::wire::WireCodec;
 use dima_graph::VertexId;
+use dima_sim::wire::WireCodec;
 
 use crate::edge_coloring::EcMsg;
 use crate::matching::MatchMsg;
@@ -129,9 +129,7 @@ impl WireCodec for StrongMsg {
                 to: VertexId::decode(buf)?,
                 colors: Vec::<Color>::decode(buf)?,
             }),
-            1 => {
-                Some(StrongMsg::Accept { to: VertexId::decode(buf)?, color: Color::decode(buf)? })
-            }
+            1 => Some(StrongMsg::Accept { to: VertexId::decode(buf)?, color: Color::decode(buf)? }),
             2 => Some(StrongMsg::Used { color: Color::decode(buf)? }),
             _ => None,
         }

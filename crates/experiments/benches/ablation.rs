@@ -23,10 +23,7 @@ fn bench_coin_bias(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let cfg = ColoringConfig {
-                    invite_probability: p,
-                    ..ColoringConfig::seeded(seed)
-                };
+                let cfg = ColoringConfig { invite_probability: p, ..ColoringConfig::seeded(seed) };
                 black_box(color_edges(&g, &cfg).unwrap().compute_rounds)
             })
         });

@@ -31,9 +31,7 @@ fn bench_baselines(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(
-                random_trial_coloring(&g, &ColoringConfig::seeded(seed)).unwrap().colors_used,
-            )
+            black_box(random_trial_coloring(&g, &ColoringConfig::seeded(seed)).unwrap().colors_used)
         })
     });
     group.bench_function("greedy_first_fit", |b| {
@@ -43,9 +41,7 @@ fn bench_baselines(c: &mut Criterion) {
             black_box(greedy_edge_coloring(&g, &EdgeOrder::Random { seed }))
         })
     });
-    group.bench_function("misra_gries", |b| {
-        b.iter(|| black_box(misra_gries_edge_coloring(&g)))
-    });
+    group.bench_function("misra_gries", |b| b.iter(|| black_box(misra_gries_edge_coloring(&g))));
     group.finish();
 }
 

@@ -24,18 +24,14 @@ fn bench_fig3_erdos_renyi(c: &mut Criterion) {
     group.sample_size(20);
     for (n, d) in [(200usize, 4.0f64), (200, 8.0), (200, 16.0), (400, 8.0)] {
         let g = graph_of(&GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d }, 42);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
-            &g,
-            |b, g| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let r = color_edges(g, &ColoringConfig::seeded(seed)).unwrap();
-                    black_box(r.colors_used)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{d}")), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = color_edges(g, &ColoringConfig::seeded(seed)).unwrap();
+                black_box(r.colors_used)
+            })
+        });
     }
     group.finish();
 }

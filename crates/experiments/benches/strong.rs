@@ -18,18 +18,14 @@ fn bench_fig6_strong(c: &mut Criterion) {
             .sample(&mut rng)
             .expect("valid family");
         let dg = Digraph::symmetric_closure(&g);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
-            &dg,
-            |b, dg| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let r = strong_color_digraph(dg, &ColoringConfig::seeded(seed)).unwrap();
-                    black_box(r.compute_rounds)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{d}")), &dg, |b, dg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = strong_color_digraph(dg, &ColoringConfig::seeded(seed)).unwrap();
+                black_box(r.compute_rounds)
+            })
+        });
     }
     group.finish();
 }

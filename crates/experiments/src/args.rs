@@ -45,8 +45,7 @@ impl CommonArgs {
                 "--quick" => out.quick = true,
                 "--trials" => {
                     let v = it.next().ok_or("--trials needs a value")?;
-                    out.trials =
-                        Some(v.parse().map_err(|_| format!("bad --trials value '{v}'"))?);
+                    out.trials = Some(v.parse().map_err(|_| format!("bad --trials value '{v}'"))?);
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
@@ -58,8 +57,7 @@ impl CommonArgs {
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
-                    out.threads =
-                        v.parse().map_err(|_| format!("bad --threads value '{v}'"))?;
+                    out.threads = v.parse().map_err(|_| format!("bad --threads value '{v}'"))?;
                 }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -124,8 +122,18 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--quick", "--trials", "7", "--seed", "9", "--out", "/tmp/x", "--threads", "4"])
-            .unwrap();
+        let a = parse(&[
+            "--quick",
+            "--trials",
+            "7",
+            "--seed",
+            "9",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert!(a.quick);
         assert_eq!(a.trials, Some(7));
         assert_eq!(a.seed, 9);

@@ -23,11 +23,11 @@ fn main() {
         GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 16.0 },
         GraphFamily::SmallWorld { n: 64, k: 16, beta: 0.3 },
     ];
-    let policies = [("lowest-index", ColorPolicy::LowestIndex), ("random-legal", ColorPolicy::RandomLegal)];
+    let policies =
+        [("lowest-index", ColorPolicy::LowestIndex), ("random-legal", ColorPolicy::RandomLegal)];
 
     println!("== ABL2: color-selection policy (Algorithm 1) ==\n");
-    let mut table =
-        Table::new(["family", "policy", "avg colors−Δ", "max colors−Δ", "avg rounds"]);
+    let mut table = Table::new(["family", "policy", "avg colors−Δ", "max colors−Δ", "avg rounds"]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (ci, fam) in families.iter().enumerate() {
         for (name, policy) in &policies {
@@ -43,8 +43,7 @@ fn main() {
                     ..ColoringConfig::seeded(seed)
                 };
                 let r = dima_core::color_edges(&g, &cfg).expect("run failed");
-                dima_core::verify::verify_edge_coloring(&g, &r.colors)
-                    .expect("invalid coloring");
+                dima_core::verify::verify_edge_coloring(&g, &r.colors).expect("invalid coloring");
                 excess.push(r.colors_used as f64 - r.max_degree as f64);
                 rounds.push(r.compute_rounds as f64);
             }

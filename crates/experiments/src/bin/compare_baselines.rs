@@ -27,13 +27,7 @@ fn main() {
     ];
 
     println!("== BASE: DiMaEC vs baselines (colors−Δ; rounds; messages) ==\n");
-    let mut table = Table::new([
-        "family",
-        "algo",
-        "avg colors−Δ",
-        "avg rounds",
-        "avg messages",
-    ]);
+    let mut table = Table::new(["family", "algo", "avg colors−Δ", "avg rounds", "avg messages"]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (ci, fam) in families.iter().enumerate() {
         // metric collectors: per algorithm (excess, rounds, messages)
@@ -68,7 +62,10 @@ fn main() {
             verify_edge_coloring(&g, &colors).expect("misra-gries invalid");
             mg_x.push(count_colors(&colors) as f64 - delta);
         }
-        let mut push = |algo: &str, excess: &Aggregate, rounds: Option<&Aggregate>, msgs: Option<&Aggregate>| {
+        let mut push = |algo: &str,
+                        excess: &Aggregate,
+                        rounds: Option<&Aggregate>,
+                        msgs: Option<&Aggregate>| {
             let row = vec![
                 fam.label(),
                 algo.to_string(),
@@ -79,8 +76,18 @@ fn main() {
             table.row(row.clone());
             rows.push(row);
         };
-        push("DiMaEC", &Aggregate::of(&dima.0), Some(&Aggregate::of(&dima.1)), Some(&Aggregate::of(&dima.2)));
-        push("random-trial", &Aggregate::of(&rt.0), Some(&Aggregate::of(&rt.1)), Some(&Aggregate::of(&rt.2)));
+        push(
+            "DiMaEC",
+            &Aggregate::of(&dima.0),
+            Some(&Aggregate::of(&dima.1)),
+            Some(&Aggregate::of(&dima.2)),
+        );
+        push(
+            "random-trial",
+            &Aggregate::of(&rt.0),
+            Some(&Aggregate::of(&rt.1)),
+            Some(&Aggregate::of(&rt.2)),
+        );
         push("greedy (seq)", &Aggregate::of(&greedy_x), None, None);
         push("Misra–Gries (seq)", &Aggregate::of(&mg_x), None, None);
     }

@@ -26,8 +26,7 @@ fn main() {
     ];
 
     println!("== matching: DiMa automata vs Luby local-minima ==\n");
-    let mut table =
-        Table::new(["family", "algo", "avg pairs", "avg rounds", "avg msgs"]);
+    let mut table = Table::new(["family", "algo", "avg pairs", "avg rounds", "avg msgs"]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (ci, fam) in families.iter().enumerate() {
         let mut dima = (Vec::new(), Vec::new(), Vec::new());

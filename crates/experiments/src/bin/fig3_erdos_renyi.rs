@@ -27,10 +27,7 @@ fn main() {
     println!("{}\n", conjecture2_text(&trials));
     let points: Vec<(usize, usize, u64)> =
         trials.iter().map(|t| (t.n, t.delta, t.compute_rounds)).collect();
-    println!(
-        "{}",
-        rounds_vs_delta_plot("Fig. 3 — computation rounds vs Δ (every trial)", &points)
-    );
+    println!("{}", rounds_vs_delta_plot("Fig. 3 — computation rounds vs Δ (every trial)", &points));
 
     let rows: Vec<Vec<String>> = trials.iter().map(|t| t.csv_row()).collect();
     match csv::write_csv(&args.out, "fig3_erdos_renyi.csv", &EDGE_HEADERS, &rows) {

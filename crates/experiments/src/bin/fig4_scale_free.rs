@@ -33,10 +33,7 @@ fn main() {
     );
     let points: Vec<(usize, usize, u64)> =
         trials.iter().map(|t| (t.n, t.delta, t.compute_rounds)).collect();
-    println!(
-        "{}",
-        rounds_vs_delta_plot("Fig. 4 — computation rounds vs Δ (every trial)", &points)
-    );
+    println!("{}", rounds_vs_delta_plot("Fig. 4 — computation rounds vs Δ (every trial)", &points));
 
     let rows: Vec<Vec<String>> = trials.iter().map(|t| t.csv_row()).collect();
     match csv::write_csv(&args.out, "fig4_scale_free.csv", &EDGE_HEADERS, &rows) {

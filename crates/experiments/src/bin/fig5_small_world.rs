@@ -29,10 +29,8 @@ fn main() {
 
     let worst_excess =
         trials.iter().map(|t| t.colors_used as i64 - t.delta as i64).max().unwrap_or(0);
-    let below_worst_case = trials
-        .iter()
-        .filter(|t| t.delta >= 1 && t.colors_used < 2 * t.delta - 1)
-        .count();
+    let below_worst_case =
+        trials.iter().filter(|t| t.delta >= 1 && t.colors_used < 2 * t.delta - 1).count();
     println!(
         "worst excess over Δ: +{worst_excess} (paper saw up to +5 on dense n=256); \
          runs strictly below 2Δ−1: {below_worst_case}/{}\n",
@@ -40,10 +38,7 @@ fn main() {
     );
     let points: Vec<(usize, usize, u64)> =
         trials.iter().map(|t| (t.n, t.delta, t.compute_rounds)).collect();
-    println!(
-        "{}",
-        rounds_vs_delta_plot("Fig. 5 — computation rounds vs Δ (every trial)", &points)
-    );
+    println!("{}", rounds_vs_delta_plot("Fig. 5 — computation rounds vs Δ (every trial)", &points));
 
     let rows: Vec<Vec<String>> = trials.iter().map(|t| t.csv_row()).collect();
     match csv::write_csv(&args.out, "fig5_small_world.csv", &EDGE_HEADERS, &rows) {

@@ -26,10 +26,7 @@ fn main() {
     println!("{}", strong_summary_table(&trials).render());
     let points: Vec<(usize, usize, u64)> =
         trials.iter().map(|t| (t.n, t.delta, t.compute_rounds)).collect();
-    println!(
-        "{}",
-        rounds_vs_delta_plot("Fig. 6 — computation rounds vs Δ (every trial)", &points)
-    );
+    println!("{}", rounds_vs_delta_plot("Fig. 6 — computation rounds vs Δ (every trial)", &points));
 
     let rows: Vec<Vec<String>> = trials.iter().map(|t| t.csv_row()).collect();
     match csv::write_csv(&args.out, "fig6_strong_er.csv", &STRONG_HEADERS, &rows) {

@@ -1,0 +1,77 @@
+//! **Loss sweep** — Algorithm 1 under uniform message loss, bare links
+//! vs the reliable (ARQ) transport.
+//!
+//! Beyond the paper: §II assumes reliable synchronous delivery. This
+//! experiment quantifies what that assumption is worth. At each loss
+//! rate both transports face the *same* graphs and the same fault
+//! pattern; bare links desynchronise or abort while the ARQ layer stays
+//! clean and pays a measured overhead in engine rounds (see
+//! `DESIGN.md`, "Beyond the paper: unreliable links and the ARQ
+//! layer").
+
+use dima_experiments::run::{run_loss_sweep, LossOutcome, LOSS_HEADERS};
+use dima_experiments::table::{f1, Table};
+use dima_experiments::{csv, CommonArgs};
+use dima_graph::gen::GraphFamily;
+
+const LOSSES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.3];
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let trials = args.trials_or(25);
+    let family = GraphFamily::ErdosRenyiAvgDegree { n: 100, avg_degree: 8.0 };
+    eprintln!(
+        "loss_sweep: {} loss rates x 2 transports x {trials} trials (seed {})...",
+        LOSSES.len(),
+        args.seed
+    );
+    let runs = run_loss_sweep(family, &LOSSES, trials, args.seed, args.engine());
+
+    println!("== Loss sweep: DiMaEC on ER(n=100, d=8), bare vs reliable transport ==\n");
+    let mut table = Table::new([
+        "loss",
+        "transport",
+        "clean",
+        "corrupt",
+        "abort",
+        "mean comm rounds",
+        "mean overhead rounds",
+        "mean dropped",
+    ]);
+    for &loss in &LOSSES {
+        for transport in ["bare", "reliable"] {
+            let cell: Vec<_> =
+                runs.iter().filter(|t| t.loss == loss && t.transport == transport).collect();
+            let count = |o: LossOutcome| cell.iter().filter(|t| t.outcome == o).count();
+            let clean: Vec<_> = cell.iter().filter(|t| t.outcome == LossOutcome::Clean).collect();
+            let mean = |f: &dyn Fn(&dima_experiments::run::LossTrial) -> u64| {
+                if clean.is_empty() {
+                    "-".to_string()
+                } else {
+                    f1(clean.iter().map(|t| f(t) as f64).sum::<f64>() / clean.len() as f64)
+                }
+            };
+            table.row([
+                format!("{loss}"),
+                transport.to_string(),
+                format!("{}/{}", count(LossOutcome::Clean), cell.len()),
+                count(LossOutcome::Corrupt).to_string(),
+                count(LossOutcome::Abort).to_string(),
+                mean(&|t| t.comm_rounds),
+                mean(&|t| t.overhead_rounds),
+                mean(&|t| t.dropped),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "(mean columns average the clean runs only; '-' means no run at that \
+         loss rate survived bare links)"
+    );
+
+    let rows: Vec<Vec<String>> = runs.iter().map(|t| t.csv_row()).collect();
+    match csv::write_csv(&args.out, "loss_sweep.csv", &LOSS_HEADERS, &rows) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+}

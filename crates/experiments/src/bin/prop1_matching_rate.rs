@@ -26,8 +26,7 @@ fn main() {
     ];
 
     println!("== Proposition 1: per-round pairing rate of the matching automata ==\n");
-    let mut table =
-        Table::new(["family", "runs", "mean first-round rate", "min", "rounds (avg)"]);
+    let mut table = Table::new(["family", "runs", "mean first-round rate", "min", "rounds (avg)"]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (ci, fam) in families.iter().enumerate() {
         let mut first_round_rates = Vec::new();
@@ -43,8 +42,7 @@ fn main() {
             let eligible: usize = (0..g.num_vertices())
                 .filter(|&v| g.degree(dima_graph::VertexId(v as u32)) > 0)
                 .count();
-            let paired_round0 =
-                2 * m.pair_round.iter().filter(|&&r| r == 0).count();
+            let paired_round0 = 2 * m.pair_round.iter().filter(|&&r| r == 0).count();
             if eligible > 0 {
                 first_round_rates.push(paired_round0 as f64 / eligible as f64);
             }
@@ -52,13 +50,7 @@ fn main() {
         }
         let rate = Aggregate::of(&first_round_rates);
         let rounds = Aggregate::of(&round_counts);
-        table.row([
-            fam.label(),
-            trials.to_string(),
-            f2(rate.mean),
-            f2(rate.min),
-            f2(rounds.mean),
-        ]);
+        table.row([fam.label(), trials.to_string(), f2(rate.mean), f2(rate.min), f2(rounds.mean)]);
         rows.push(vec![fam.label(), f2(rate.mean), f2(rate.min), f2(rounds.mean)]);
     }
     println!("{}", table.render());

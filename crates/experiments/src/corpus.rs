@@ -56,10 +56,7 @@ pub fn fig5(trials: usize) -> Vec<Config> {
         let sparse_k = 4;
         let dense_k = (n / 4).max(6) & !1; // even, scales with n
         for &k in &[sparse_k, dense_k] {
-            out.push(Config {
-                family: GraphFamily::SmallWorld { n, k, beta: 0.3 },
-                trials,
-            });
+            out.push(Config { family: GraphFamily::SmallWorld { n, k, beta: 0.3 }, trials });
         }
     }
     out

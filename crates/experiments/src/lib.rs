@@ -22,6 +22,7 @@
 //! | `ablation_proposal_width` | ABL3 — DiMa2ED invitation width (explains the Fig. 6 round constant) |
 //! | `compare_baselines`  | DiMaEC vs greedy / Misra–Gries / random-trial |
 //! | `compare_matchings`  | DiMa matching automata vs Luby local-minima |
+//! | `loss_sweep`         | beyond the paper — loss rates × {bare, reliable} transport |
 //!
 //! Pass `--quick` to any binary for a reduced corpus (CI-sized),
 //! `--trials N` / `--seed S` to override, `--out DIR` for the CSV

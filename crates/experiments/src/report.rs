@@ -22,8 +22,7 @@ pub fn edge_summary_table(trials: &[EdgeTrial]) -> Table {
     for label in labels(trials.iter().map(|t| t.label.clone())) {
         let group: Vec<&EdgeTrial> = trials.iter().filter(|t| t.label == label).collect();
         let delta = Aggregate::of(&group.iter().map(|t| t.delta as f64).collect::<Vec<_>>());
-        let colors =
-            Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
+        let colors = Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
         let excess = Aggregate::of(
             &group.iter().map(|t| t.colors_used as f64 - t.delta as f64).collect::<Vec<_>>(),
         );
@@ -65,8 +64,7 @@ pub fn strong_summary_table(trials: &[StrongTrial]) -> Table {
     for label in labels(trials.iter().map(|t| t.label.clone())) {
         let group: Vec<&StrongTrial> = trials.iter().filter(|t| t.label == label).collect();
         let delta = Aggregate::of(&group.iter().map(|t| t.delta as f64).collect::<Vec<_>>());
-        let chans =
-            Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
+        let chans = Aggregate::of(&group.iter().map(|t| t.colors_used as f64).collect::<Vec<_>>());
         let rounds =
             Aggregate::of(&group.iter().map(|t| t.compute_rounds as f64).collect::<Vec<_>>());
         let ratio = Aggregate::of(
@@ -173,11 +171,8 @@ mod tests {
 
     #[test]
     fn summary_table_groups_by_family() {
-        let trials = vec![
-            trial("a", 10, 4, 4, 8),
-            trial("a", 10, 4, 5, 10),
-            trial("b", 20, 8, 8, 16),
-        ];
+        let trials =
+            vec![trial("a", 10, 4, 4, 8), trial("a", 10, 4, 5, 10), trial("b", 20, 8, 8, 16)];
         let t = edge_summary_table(&trials);
         assert_eq!(t.len(), 2);
         let s = t.render();
@@ -187,11 +182,11 @@ mod tests {
     #[test]
     fn tally_buckets_correctly() {
         let trials = vec![
-            trial("a", 10, 4, 4, 1),  // Δ
-            trial("a", 10, 4, 3, 1),  // < Δ
-            trial("a", 10, 4, 5, 1),  // Δ+1
-            trial("a", 10, 4, 6, 1),  // Δ+2
-            trial("a", 10, 4, 9, 1),  // > Δ+2
+            trial("a", 10, 4, 4, 1), // Δ
+            trial("a", 10, 4, 3, 1), // < Δ
+            trial("a", 10, 4, 5, 1), // Δ+1
+            trial("a", 10, 4, 6, 1), // Δ+2
+            trial("a", 10, 4, 9, 1), // > Δ+2
         ];
         assert_eq!(conjecture2_tally(&trials), (5, 2, 1, 1, 1));
         let text = conjecture2_text(&trials);

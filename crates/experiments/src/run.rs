@@ -1,8 +1,10 @@
 //! Corpus runners: generate → run → **verify** → record.
 
 use dima_core::verify::{verify_edge_coloring, verify_strong_coloring};
-use dima_core::{color_edges, strong_color_digraph, ColoringConfig, Engine};
+use dima_core::{color_edges, strong_color_digraph, ColoringConfig, CoreError, Engine, Transport};
+use dima_graph::gen::GraphFamily;
 use dima_graph::Digraph;
+use dima_sim::fault::FaultPlan;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -165,6 +167,126 @@ pub fn run_strong_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> 
     out
 }
 
+/// How one fault-injected trial ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LossOutcome {
+    /// Terminated, endpoints agree, coloring verified.
+    Clean,
+    /// Terminated but desynchronised (disagreement or invalid coloring).
+    Corrupt,
+    /// Hit the round budget (loss starved the protocol of invitations).
+    Abort,
+}
+
+impl LossOutcome {
+    /// CSV / table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LossOutcome::Clean => "clean",
+            LossOutcome::Corrupt => "corrupt",
+            LossOutcome::Abort => "abort",
+        }
+    }
+}
+
+/// One Algorithm-1 trial under uniform message loss (the `loss_sweep`
+/// binary): bare links reproduce the model-violation failure modes, the
+/// reliable transport must stay clean and pay for it in overhead rounds.
+#[derive(Clone, Debug)]
+pub struct LossTrial {
+    /// `"bare"` or `"reliable"`.
+    pub transport: &'static str,
+    /// Per-delivery drop probability.
+    pub loss: f64,
+    /// Maximum degree of the drawn graph.
+    pub delta: usize,
+    /// How the trial ended.
+    pub outcome: LossOutcome,
+    /// Communication rounds of the protocol itself (0 on abort).
+    pub comm_rounds: u64,
+    /// Engine rounds the ARQ layer spent on retransmission and
+    /// synchronization (always 0 on bare links).
+    pub overhead_rounds: u64,
+    /// Deliveries suppressed by the fault plan.
+    pub dropped: u64,
+    /// Seed of this trial.
+    pub seed: u64,
+}
+
+impl LossTrial {
+    /// CSV row (matches [`LOSS_HEADERS`]).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.transport.to_string(),
+            format!("{}", self.loss),
+            self.delta.to_string(),
+            self.outcome.label().to_string(),
+            self.comm_rounds.to_string(),
+            self.overhead_rounds.to_string(),
+            self.dropped.to_string(),
+            self.seed.to_string(),
+        ]
+    }
+}
+
+/// CSV headers for [`LossTrial::csv_row`].
+pub const LOSS_HEADERS: [&str; 8] =
+    ["transport", "loss", "delta", "outcome", "comm_rounds", "overhead_rounds", "dropped", "seed"];
+
+/// Sweep Algorithm 1 over loss rates × {bare, reliable} transports on
+/// Erdős–Rényi graphs. Unlike the paper-corpus runners nothing panics on
+/// a bad outcome — failure *is* the measurement on bare links.
+pub fn run_loss_sweep(
+    family: GraphFamily,
+    losses: &[f64],
+    trials: usize,
+    base_seed: u64,
+    engine: Engine,
+) -> Vec<LossTrial> {
+    let mut out = Vec::new();
+    for (li, &loss) in losses.iter().enumerate() {
+        for (ti, transport) in [Transport::Bare, Transport::reliable()].into_iter().enumerate() {
+            let label = if ti == 0 { "bare" } else { "reliable" };
+            for t in 0..trials {
+                // Same seed for both transports at one loss rate: the
+                // pair faces the identical graph and fault pattern.
+                let seed = trial_seed(base_seed, li, t);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = family.sample(&mut rng).expect("corpus parameters are valid");
+                let run_cfg = ColoringConfig {
+                    engine,
+                    faults: FaultPlan::uniform(loss),
+                    transport,
+                    max_compute_rounds: Some(500),
+                    ..ColoringConfig::seeded(seed)
+                };
+                let (outcome, comm_rounds, overhead_rounds, dropped) =
+                    match color_edges(&g, &run_cfg) {
+                        Ok(r) => {
+                            let clean =
+                                r.endpoint_agreement && verify_edge_coloring(&g, &r.colors).is_ok();
+                            let o = if clean { LossOutcome::Clean } else { LossOutcome::Corrupt };
+                            (o, r.comm_rounds, r.transport_overhead_rounds, r.stats.dropped)
+                        }
+                        Err(CoreError::Sim(_)) => (LossOutcome::Abort, 0, 0, 0),
+                        Err(e) => panic!("unexpected error: {e}"),
+                    };
+                out.push(LossTrial {
+                    transport: label,
+                    loss,
+                    delta: g.max_degree(),
+                    outcome,
+                    comm_rounds,
+                    overhead_rounds,
+                    dropped,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,11 +303,32 @@ mod tests {
         for t in &trials {
             assert_eq!(t.n, 40);
             assert!(t.delta > 0);
-            assert!(t.colors_used <= 2 * t.delta - 1);
+            assert!(t.colors_used < 2 * t.delta);
             assert_eq!(t.csv_row().len(), EDGE_HEADERS.len());
         }
         // Distinct seeds per trial.
         assert_ne!(trials[0].seed, trials[1].seed);
+    }
+
+    #[test]
+    fn loss_sweep_runs_both_transports() {
+        let fam = GraphFamily::ErdosRenyiAvgDegree { n: 24, avg_degree: 4.0 };
+        let trials = run_loss_sweep(fam, &[0.0, 0.15], 2, 11, Engine::Sequential);
+        assert_eq!(trials.len(), 2 * 2 * 2);
+        for t in &trials {
+            assert_eq!(t.csv_row().len(), LOSS_HEADERS.len());
+            if t.loss == 0.0 {
+                assert_eq!(t.outcome, LossOutcome::Clean, "{}@{}", t.transport, t.loss);
+            }
+            if t.transport == "reliable" {
+                // The acceptance bar from the integration suite, in
+                // miniature: the ARQ layer never lets loss show through.
+                assert_eq!(t.outcome, LossOutcome::Clean, "seed {}", t.seed);
+            }
+            if t.transport == "bare" {
+                assert_eq!(t.overhead_rounds, 0);
+            }
+        }
     }
 
     #[test]

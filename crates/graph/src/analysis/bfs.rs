@@ -27,11 +27,7 @@ pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<usize> {
 /// Eccentricity of `src` within its connected component (greatest finite
 /// BFS distance).
 pub fn eccentricity(g: &Graph, src: VertexId) -> usize {
-    bfs_distances(g, src)
-        .into_iter()
-        .filter(|&d| d != usize::MAX)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, src).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
 }
 
 /// A lower bound on the diameter via the double-sweep heuristic: BFS from

@@ -11,11 +11,7 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        DisjointSets {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            sets: n,
-        }
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
     }
 
     /// Number of elements.
@@ -76,13 +72,13 @@ impl DisjointSets {
         let mut label = vec![usize::MAX; n];
         let mut next = 0usize;
         let mut out = vec![0usize; n];
-        for x in 0..n {
+        for (x, slot) in out.iter_mut().enumerate() {
             let r = self.find(x);
             if label[r] == usize::MAX {
                 label[r] = next;
                 next += 1;
             }
-            out[x] = label[r];
+            *slot = label[r];
         }
         (next, out)
     }

@@ -44,12 +44,8 @@ pub fn degree_assortativity(g: &Graph) -> f64 {
 /// `>= d_min`. Returns `None` if fewer than 10 vertices qualify.
 pub fn power_law_exponent(g: &Graph, d_min: usize) -> Option<f64> {
     let d_min = d_min.max(1);
-    let tail: Vec<f64> = g
-        .degree_sequence()
-        .into_iter()
-        .filter(|&d| d >= d_min)
-        .map(|d| d as f64)
-        .collect();
+    let tail: Vec<f64> =
+        g.degree_sequence().into_iter().filter(|&d| d >= d_min).map(|d| d as f64).collect();
     if tail.len() < 10 {
         return None;
     }

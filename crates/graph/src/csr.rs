@@ -62,10 +62,7 @@ impl CsrGraph {
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(VertexId(v as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices()).map(|v| self.degree(VertexId(v as u32))).max().unwrap_or(0)
     }
 
     /// Neighbor vertices of `v` as a contiguous slice.

@@ -74,10 +74,7 @@ impl Digraph {
 
     /// Iterator over `(ArcId, (tail, head))`.
     pub fn arcs(&self) -> impl Iterator<Item = (ArcId, (VertexId, VertexId))> + '_ {
-        self.arcs
-            .iter()
-            .enumerate()
-            .map(|(i, &th)| (ArcId(i as u32), th))
+        self.arcs.iter().enumerate().map(|(i, &th)| (ArcId(i as u32), th))
     }
 
     /// `(tail, head)` of arc `a`.
@@ -120,19 +117,13 @@ impl Digraph {
     /// underlying graph; the paper's Δ refers to the *underlying* graph,
     /// see [`Digraph::max_underlying_degree`].
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(VertexId(v as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices()).map(|v| self.degree(VertexId(v as u32))).max().unwrap_or(0)
     }
 
     /// Maximum out-degree; for symmetric digraphs this equals the
     /// underlying undirected Δ.
     pub fn max_underlying_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.out_degree(VertexId(v as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices()).map(|v| self.out_degree(VertexId(v as u32))).max().unwrap_or(0)
     }
 
     /// The arc `u → v`, if present. `O(log out-degree)`.
@@ -141,9 +132,7 @@ impl Digraph {
             return None;
         }
         let list = &self.out_adj[u.index()];
-        list.binary_search_by_key(&v, |&(w, _)| w)
-            .ok()
-            .map(|i| list[i].1)
+        list.binary_search_by_key(&v, |&(w, _)| w).ok().map(|i| list[i].1)
     }
 
     /// The reverse of arc `a` (`v → u` for `a = u → v`), if present.
@@ -170,11 +159,8 @@ impl Digraph {
     /// The underlying undirected graph: one edge per unordered pair with
     /// at least one arc.
     pub fn underlying_graph(&self) -> Graph {
-        let mut pairs: Vec<(VertexId, VertexId)> = self
-            .arcs
-            .iter()
-            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
-            .collect();
+        let mut pairs: Vec<(VertexId, VertexId)> =
+            self.arcs.iter().map(|&(u, v)| if u < v { (u, v) } else { (v, u) }).collect();
         pairs.sort_unstable();
         pairs.dedup();
         Graph::from_edges(self.num_vertices(), pairs)

@@ -42,10 +42,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
-                f,
-                "vertex {vertex} out of range for graph with {num_vertices} vertices"
-            ),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
             GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v}"),
             GraphError::DuplicateEdge(u, v) => {
                 write!(f, "duplicate edge ({u}, {v})")
@@ -53,10 +52,9 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
-            GraphError::NotSymmetric { from, to } => write!(
-                f,
-                "digraph is not symmetric: arc ({from}, {to}) has no reverse"
-            ),
+            GraphError::NotSymmetric { from, to } => {
+                write!(f, "digraph is not symmetric: arc ({from}, {to}) has no reverse")
+            }
             GraphError::InvalidParameter(msg) => {
                 write!(f, "invalid generator parameter: {msg}")
             }

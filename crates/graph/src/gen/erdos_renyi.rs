@@ -61,9 +61,7 @@ pub fn erdos_renyi_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph, Gr
 pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<Graph, GraphError> {
     let cap = max_edges(n);
     if m > cap {
-        return Err(GraphError::InvalidParameter(format!(
-            "m = {m} exceeds max {cap} for n = {n}"
-        )));
+        return Err(GraphError::InvalidParameter(format!("m = {m} exceeds max {cap} for n = {n}")));
     }
     if m == 0 {
         return GraphBuilder::new(n).build();

@@ -19,9 +19,7 @@ use crate::ids::VertexId;
 /// `O(n + m)` rather than `O(n²)`.
 pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Graph, GraphError> {
     if !(0.0..=f64::sqrt(2.0)).contains(&radius) || !radius.is_finite() {
-        return Err(GraphError::InvalidParameter(format!(
-            "radius = {radius} not in [0, sqrt(2)]"
-        )));
+        return Err(GraphError::InvalidParameter(format!("radius = {radius} not in [0, sqrt(2)]")));
     }
     let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
     Ok(geometric_from_points(&pts, radius))

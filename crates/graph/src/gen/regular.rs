@@ -22,7 +22,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Result<Graph, G
     if d >= n && !(n == 0 && d == 0) {
         return Err(GraphError::InvalidParameter(format!("d = {d} must be < n = {n}")));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(format!("n·d = {} must be even", n * d)));
     }
     if n == 0 || d == 0 {

@@ -29,7 +29,7 @@ pub fn watts_strogatz(
     beta: f64,
     rng: &mut impl Rng,
 ) -> Result<Graph, GraphError> {
-    if k % 2 != 0 {
+    if !k.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(format!("k = {k} must be even")));
     }
     if k < 2 || k >= n {
@@ -91,8 +91,8 @@ pub fn watts_strogatz(
     }
 
     let mut b = GraphBuilder::with_capacity(n, n * k / 2);
-    for u in 0..n {
-        for &v in &nbrs[u] {
+    for (u, adj) in nbrs.iter().enumerate() {
+        for &v in adj {
             if (v as usize) > u {
                 b.add_edge(VertexId(u as u32), VertexId(v));
             }
@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn edge_count_preserved_by_rewiring() {
         let mut rng = SmallRng::seed_from_u64(21);
-        for &(n, k, beta) in &[(16usize, 4usize, 0.0f64), (64, 4, 0.2), (256, 12, 0.5), (64, 16, 1.0)] {
+        for &(n, k, beta) in
+            &[(16usize, 4usize, 0.0f64), (64, 4, 0.2), (256, 12, 0.5), (64, 16, 1.0)]
+        {
             let g = watts_strogatz(n, k, beta, &mut rng).unwrap();
             assert_eq!(g.num_edges(), n * k / 2, "n={n} k={k} beta={beta}");
             assert_eq!(g.num_vertices(), n);

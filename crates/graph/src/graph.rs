@@ -66,10 +66,7 @@ impl Graph {
 
     /// Iterator over `(EdgeId, (u, v))` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, &uv)| (EdgeId(i as u32), uv))
+        self.edges.iter().enumerate().map(|(i, &uv)| (EdgeId(i as u32), uv))
     }
 
     /// Endpoints of edge `e`, canonical order (`u < v`).
@@ -146,9 +143,7 @@ impl Graph {
         }
         let (from, to) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
         let list = &self.adj[from.index()];
-        list.binary_search_by_key(&to, |&(w, _)| w)
-            .ok()
-            .map(|i| list[i].1)
+        list.binary_search_by_key(&to, |&(w, _)| w).ok().map(|i| list[i].1)
     }
 
     /// Ids of the edges incident to `v`.
@@ -273,8 +268,11 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        Graph::from_edges(3, [(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2)), (VertexId(0), VertexId(2))])
-            .unwrap()
+        Graph::from_edges(
+            3,
+            [(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2)), (VertexId(0), VertexId(2))],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -387,7 +385,8 @@ mod tests {
 
     #[test]
     fn edge_ids_follow_insertion_order() {
-        let g = Graph::from_edges(4, [(VertexId(2), VertexId(3)), (VertexId(0), VertexId(1))]).unwrap();
+        let g =
+            Graph::from_edges(4, [(VertexId(2), VertexId(3)), (VertexId(0), VertexId(1))]).unwrap();
         assert_eq!(g.endpoints(EdgeId(0)), (VertexId(2), VertexId(3)));
         assert_eq!(g.endpoints(EdgeId(1)), (VertexId(0), VertexId(1)));
     }
@@ -401,7 +400,8 @@ mod tests {
 
     #[test]
     fn degree_sequence_matches_degrees() {
-        let g = Graph::from_edges(4, [(VertexId(0), VertexId(1)), (VertexId(0), VertexId(2))]).unwrap();
+        let g =
+            Graph::from_edges(4, [(VertexId(0), VertexId(1)), (VertexId(0), VertexId(2))]).unwrap();
         assert_eq!(g.degree_sequence(), vec![2, 1, 1, 0]);
     }
 

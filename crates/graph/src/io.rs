@@ -75,7 +75,11 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
 /// Graphviz DOT representation of an undirected graph. `edge_label` may
 /// attach a label per edge (e.g. its color), or return `None` for no
 /// label.
-pub fn to_dot(g: &Graph, name: &str, edge_label: impl Fn(crate::ids::EdgeId) -> Option<String>) -> String {
+pub fn to_dot(
+    g: &Graph,
+    name: &str,
+    edge_label: impl Fn(crate::ids::EdgeId) -> Option<String>,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("graph {name} {{\n"));
     for v in g.vertices() {

@@ -60,6 +60,17 @@ pub struct RunOutcome<P> {
     pub nodes: Vec<P>,
     /// Aggregate run statistics.
     pub stats: RunStats,
+    /// Which nodes crash-stopped during the run (all `false` under a
+    /// crash-free [`FaultPlan`]). A crashed node's protocol state is
+    /// frozen at the moment of the crash.
+    pub crashed: Vec<bool>,
+}
+
+impl<P> RunOutcome<P> {
+    /// `true` for nodes that survived to the end of the run.
+    pub fn alive(&self) -> Vec<bool> {
+        self.crashed.iter().map(|&c| !c).collect()
+    }
 }
 
 /// What an observer sees after each communication round.
@@ -71,6 +82,8 @@ pub struct RoundView<'a, P> {
     pub nodes: &'a [P],
     /// Which nodes have finished (as of the end of this round).
     pub done: &'a [bool],
+    /// Which nodes have crash-stopped (as of the end of this round).
+    pub crashed: &'a [bool],
     /// This round's counters.
     pub stats: RoundStats,
 }
@@ -117,17 +130,22 @@ where
     let mut done = vec![false; n];
     let mut done_count = 0usize;
 
+    // Crash fates are pure functions of (seed, node): both engines agree
+    // on them without any shared state.
+    let crash_round: Vec<Option<u64>> =
+        (0..n).map(|i| cfg.faults.crashed_at(cfg.seed, i as u32)).collect();
+    let mut crashed = vec![false; n];
+    let mut crashed_count = 0usize;
+
     let mut cur: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
     let mut next: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
     let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
 
-    let mut stats = RunStats {
-        per_round: cfg.collect_round_stats.then(Vec::new),
-        ..Default::default()
-    };
+    let mut stats =
+        RunStats { per_round: cfg.collect_round_stats.then(Vec::new), ..Default::default() };
 
     if n == 0 {
-        return Ok(RunOutcome { nodes: protocols, stats });
+        return Ok(RunOutcome { nodes: protocols, stats, crashed });
     }
 
     // Done-ness takes effect at round boundaries only (`newly_done` is
@@ -141,7 +159,12 @@ where
         let mut active = 0usize;
         newly_done.clear();
         for i in 0..n {
-            if done[i] {
+            if done[i] || crashed[i] {
+                continue;
+            }
+            if crash_round[i].is_some_and(|cr| round >= cr) {
+                crashed[i] = true;
+                crashed_count += 1;
                 continue;
             }
             active += 1;
@@ -166,14 +189,18 @@ where
                         if cfg.validate_sends && !topo.are_neighbors(node, to) {
                             return Err(SimError::NotANeighbor { from: node, to });
                         }
-                        if deliver(cfg, round, node, to, k, &done, &mut stats) {
-                            next[to.index()].push(Envelope { from: node, msg });
+                        let copies =
+                            deliver(cfg, round, node, to, k, &done, &crash_round, &mut stats);
+                        for _ in 0..copies {
+                            next[to.index()].push(Envelope { from: node, msg: msg.clone() });
                             delivered += 1;
                         }
                     }
                     Target::Broadcast => {
                         for &to in topo.neighbors(node) {
-                            if deliver(cfg, round, node, to, k, &done, &mut stats) {
+                            let copies =
+                                deliver(cfg, round, node, to, k, &done, &crash_round, &mut stats);
+                            for _ in 0..copies {
                                 next[to.index()].push(Envelope { from: node, msg: msg.clone() });
                                 delivered += 1;
                             }
@@ -191,20 +218,26 @@ where
         }
         let rs = RoundStats { round, active, done: done_count, sent, delivered };
         stats.push_round(rs);
-        observer(RoundView { round, nodes: &protocols, done: &done, stats: rs });
-        if done_count == n {
-            return Ok(RunOutcome { nodes: protocols, stats });
+        observer(RoundView { round, nodes: &protocols, done: &done, crashed: &crashed, stats: rs });
+        if done_count + crashed_count == n {
+            stats.crashed = crashed_count;
+            return Ok(RunOutcome { nodes: protocols, stats, crashed });
         }
         std::mem::swap(&mut cur, &mut next);
         for v in &mut next {
             v.clear();
         }
     }
-    Err(SimError::MaxRoundsExceeded { max_rounds: cfg.max_rounds, still_active: n - done_count })
+    Err(SimError::MaxRoundsExceeded {
+        max_rounds: cfg.max_rounds,
+        still_active: n - done_count - crashed_count,
+    })
 }
 
-/// Decide whether a delivery happens (recipient alive, not dropped).
+/// Decide a delivery's fate: the number of copies (0, 1 or 2) that reach
+/// the recipient's next-round inbox, updating fault counters.
 #[inline]
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the fault-decision tuple
 fn deliver(
     cfg: &EngineConfig,
     round: u64,
@@ -212,16 +245,32 @@ fn deliver(
     to: VertexId,
     k: usize,
     done: &[bool],
+    crash_round: &[Option<u64>],
     stats: &mut RunStats,
-) -> bool {
+) -> u32 {
     if done[to.index()] {
-        return false;
+        return 0;
+    }
+    // A message sent at round `r` is read at round `r + 1`; if the
+    // receiver has crashed by then, the delivery silently evaporates
+    // (just like a delivery to a done node).
+    if crash_round[to.index()].is_some_and(|cr| round + 1 >= cr) {
+        return 0;
     }
     if cfg.faults.drops(cfg.seed, round, from.0, to.0, k as u32) {
         stats.dropped += 1;
-        return false;
+        return 0;
     }
-    true
+    if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k as u32) {
+        stats.corrupted += 1;
+        return 0;
+    }
+    if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k as u32) {
+        stats.duplicated += 1;
+        2
+    } else {
+        1
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +423,86 @@ mod tests {
         };
         let err = run_sequential(&topo, &cfg, flood_factory).unwrap_err();
         assert!(matches!(err, SimError::MaxRoundsExceeded { .. }));
+    }
+
+    #[test]
+    fn duplication_delivers_adjacent_copies() {
+        let topo = Topology::from_graph(&structured::cycle(4));
+        let cfg = EngineConfig {
+            faults: FaultPlan { duplicate_probability: 1.0, ..FaultPlan::reliable() },
+            ..EngineConfig::seeded(5)
+        };
+        let out = run_sequential(&topo, &cfg, flood_factory).unwrap();
+        // 4 broadcasts, 8 base deliveries, each duplicated.
+        assert_eq!(out.stats.rounds, 2);
+        assert_eq!(out.stats.messages_sent, 4);
+        assert_eq!(out.stats.deliveries, 16);
+        assert_eq!(out.stats.duplicated, 8);
+        // Each node heard each neighbor exactly twice, adjacently.
+        for node in &out.nodes {
+            assert_eq!(node.heard.len(), 4);
+            assert_eq!(node.heard[0], node.heard[1]);
+            assert_eq!(node.heard[2], node.heard[3]);
+        }
+    }
+
+    #[test]
+    fn corruption_is_counted_separately_from_drops() {
+        // Broadcast every round for six rounds under 50% corruption.
+        #[derive(Debug)]
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+                ctx.broadcast(());
+                if ctx.round() >= 5 {
+                    NodeStatus::Done
+                } else {
+                    NodeStatus::Active
+                }
+            }
+        }
+        let topo = Topology::from_graph(&structured::complete(5));
+        let cfg = EngineConfig {
+            faults: FaultPlan { corrupt_probability: 0.5, ..FaultPlan::reliable() },
+            ..EngineConfig::seeded(5)
+        };
+        let out = run_sequential(&topo, &cfg, |_| Chatter).unwrap();
+        assert!(out.stats.corrupted > 0);
+        assert_eq!(out.stats.dropped, 0);
+    }
+
+    #[test]
+    fn crashed_nodes_end_the_run_instead_of_hanging() {
+        // Forever never reports Done, but every node crashes, so the run
+        // terminates cleanly on the (empty) residual graph.
+        let topo = Topology::from_graph(&structured::path(4));
+        let cfg = EngineConfig {
+            faults: FaultPlan::crashing(1.0, 3),
+            max_rounds: 100,
+            ..EngineConfig::seeded(7)
+        };
+        let out = run_sequential(&topo, &cfg, |_| Forever).unwrap();
+        assert_eq!(out.stats.crashed, 4);
+        assert!(out.crashed.iter().all(|&c| c));
+        assert!(out.stats.rounds <= 3 + cfg.faults.crash_spread);
+    }
+
+    #[test]
+    fn deliveries_to_crashing_nodes_are_suppressed() {
+        // Both nodes crash at exactly round 1; everything sent at round 0
+        // would be read at round 1 and must evaporate.
+        let topo = Topology::from_graph(&structured::path(2));
+        let cfg = EngineConfig {
+            faults: FaultPlan { crash_spread: 1, ..FaultPlan::crashing(1.0, 1) },
+            ..EngineConfig::seeded(7)
+        };
+        let out = run_sequential(&topo, &cfg, flood_factory).unwrap();
+        assert_eq!(out.stats.deliveries, 0);
+        assert_eq!(out.stats.crashed, 2);
+        for node in &out.nodes {
+            assert!(node.heard.is_empty());
+        }
     }
 
     #[test]

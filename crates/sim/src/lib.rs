@@ -35,6 +35,7 @@ pub mod error;
 pub mod fault;
 pub mod par;
 pub mod protocol;
+pub mod reliable;
 pub mod rng;
 pub mod stats;
 pub mod topology;
@@ -45,5 +46,6 @@ pub use engine::{run_sequential, run_sequential_observed, EngineConfig, RoundVie
 pub use error::SimError;
 pub use par::run_parallel;
 pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx};
+pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};
 pub use topology::Topology;

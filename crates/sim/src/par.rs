@@ -20,7 +20,7 @@
 //! protocol states, same aggregate message counts, same round count. The
 //! property tests in `tests/engine_equivalence.rs` exercise exactly this.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use dima_graph::VertexId;
@@ -60,6 +60,7 @@ where
                 per_round: cfg.collect_round_stats.then(Vec::new),
                 ..Default::default()
             },
+            crashed: Vec::new(),
         });
     }
 
@@ -75,19 +76,25 @@ where
     // Shared state.
     let mailboxes: Vec<Mutex<Vec<Envelope<P::Msg>>>> =
         (0..n).map(|_| Mutex::new(Vec::new())).collect();
-    let done_flags: Vec<std::sync::atomic::AtomicBool> =
-        (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+    let done_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let total_done = AtomicUsize::new(0);
+    let total_crashed = AtomicUsize::new(0);
     let round_sent = AtomicU64::new(0);
     let round_delivered = AtomicU64::new(0);
     let round_active = AtomicUsize::new(0);
     let total_dropped = AtomicU64::new(0);
+    let total_corrupted = AtomicU64::new(0);
+    let total_duplicated = AtomicU64::new(0);
+    // Crash fates are pure functions of (seed, node); every worker can
+    // evaluate any node's fate without shared mutable state.
+    let crash_round: Vec<Option<u64>> =
+        (0..n).map(|i| cfg.faults.crashed_at(cfg.seed, i as u32)).collect();
     let barrier = Barrier::new(threads);
     let error: Mutex<Option<SimError>> = Mutex::new(None);
     let per_round: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
     let finished_round = AtomicU64::new(0);
 
-    let worker = |tid: usize| -> Vec<P> {
+    let worker = |tid: usize| -> (Vec<P>, Vec<bool>) {
         let (lo, hi) = bounds[tid];
         let mut protocols: Vec<P> = (lo..hi)
             .map(|i| {
@@ -98,6 +105,7 @@ where
         let mut rngs: Vec<_> = (lo..hi).map(|i| node_rng(cfg.seed, i as u32)).collect();
         let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); hi - lo];
         let mut local_done = vec![false; hi - lo];
+        let mut local_crashed = vec![false; hi - lo];
         let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
         // (recipient, envelope) batch, grouped by recipient before
         // mailbox insertion.
@@ -109,9 +117,15 @@ where
             let mut delivered = 0u64;
             let mut active = 0usize;
             let mut newly_done: Vec<usize> = Vec::new();
+            let mut newly_crashed = 0usize;
             outgoing.clear();
             for li in 0..(hi - lo) {
-                if local_done[li] {
+                if local_done[li] || local_crashed[li] {
+                    continue;
+                }
+                if crash_round[lo + li].is_some_and(|cr| round >= cr) {
+                    local_crashed[li] = true;
+                    newly_crashed += 1;
                     continue;
                 }
                 active += 1;
@@ -138,27 +152,41 @@ where
                                 drop(e);
                                 continue;
                             }
-                            if !done_flags[to.index()].load(Ordering::Relaxed) {
-                                if cfg.faults.drops(cfg.seed, round, node.0, to.0, k as u32) {
-                                    total_dropped.fetch_add(1, Ordering::Relaxed);
-                                } else {
-                                    outgoing.push((to, Envelope { from: node, msg }));
-                                    delivered += 1;
-                                }
+                            let copies = fate(
+                                cfg,
+                                round,
+                                node,
+                                to,
+                                k as u32,
+                                &done_flags,
+                                &crash_round,
+                                &total_dropped,
+                                &total_corrupted,
+                                &total_duplicated,
+                            );
+                            for _ in 0..copies {
+                                outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
+                                delivered += 1;
                             }
                         }
                         Target::Broadcast => {
                             for &to in topo.neighbors(node) {
-                                if done_flags[to.index()].load(Ordering::Relaxed) {
-                                    continue;
+                                let copies = fate(
+                                    cfg,
+                                    round,
+                                    node,
+                                    to,
+                                    k as u32,
+                                    &done_flags,
+                                    &crash_round,
+                                    &total_dropped,
+                                    &total_corrupted,
+                                    &total_duplicated,
+                                );
+                                for _ in 0..copies {
+                                    outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
+                                    delivered += 1;
                                 }
-                                if cfg.faults.drops(cfg.seed, round, node.0, to.0, k as u32) {
-                                    total_dropped.fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                                outgoing
-                                    .push((to, Envelope { from: node, msg: msg.clone() }));
-                                delivered += 1;
                             }
                         }
                     }
@@ -191,6 +219,9 @@ where
                     local_done[li] = true;
                 }
             }
+            if newly_crashed > 0 {
+                total_crashed.fetch_add(newly_crashed, Ordering::Relaxed);
+            }
 
             // --- Barrier A: all sends for this round are deposited. ---
             barrier.wait();
@@ -205,6 +236,7 @@ where
             }
 
             let done_now = total_done.load(Ordering::Relaxed);
+            let finished_now = done_now + total_crashed.load(Ordering::Relaxed);
             if tid == 0 {
                 let rs = RoundStats {
                     round,
@@ -226,10 +258,10 @@ where
             //     no round-(r+1) deposit starts until every worker passes
             //     barrier B. Collecting after B would race with faster
             //     workers already sending next-round messages. ---
-            if !abort && done_now != n {
+            if !abort && finished_now != n {
                 for li in 0..(hi - lo) {
                     inboxes[li].clear();
-                    if local_done[li] {
+                    if local_done[li] || local_crashed[li] {
                         continue;
                     }
                     let mut mb = mailboxes[lo + li].lock();
@@ -241,15 +273,15 @@ where
             }
 
             barrier.wait(); // B
-            if abort || done_now == n {
-                return protocols;
+            if abort || finished_now == n {
+                return (protocols, local_crashed);
             }
         }
-        protocols
+        (protocols, local_crashed)
     };
 
     // Run the workers and reassemble shard results in order.
-    let shard_results: Vec<Vec<P>> = std::thread::scope(|s| {
+    let shard_results: Vec<(Vec<P>, Vec<bool>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let worker = &worker;
@@ -263,10 +295,11 @@ where
         return Err(err);
     }
     let done_now = total_done.load(Ordering::Relaxed);
-    if done_now != n {
+    let crashed_now = total_crashed.load(Ordering::Relaxed);
+    if done_now + crashed_now != n {
         return Err(SimError::MaxRoundsExceeded {
             max_rounds: cfg.max_rounds,
-            still_active: n - done_now,
+            still_active: n - done_now - crashed_now,
         });
     }
 
@@ -274,6 +307,9 @@ where
     let mut stats = RunStats {
         rounds: finished_round.load(Ordering::Relaxed),
         dropped: total_dropped.load(Ordering::Relaxed),
+        corrupted: total_corrupted.load(Ordering::Relaxed),
+        duplicated: total_duplicated.load(Ordering::Relaxed),
+        crashed: crashed_now,
         ..Default::default()
     };
     for rs in &per_round {
@@ -283,10 +319,52 @@ where
     stats.per_round = cfg.collect_round_stats.then_some(per_round);
 
     let mut nodes = Vec::with_capacity(n);
-    for shard in shard_results {
-        nodes.extend(shard);
+    let mut crashed = Vec::with_capacity(n);
+    for (shard_nodes, shard_crashed) in shard_results {
+        nodes.extend(shard_nodes);
+        crashed.extend(shard_crashed);
     }
-    Ok(RunOutcome { nodes, stats })
+    Ok(RunOutcome { nodes, stats, crashed })
+}
+
+/// Decide a delivery's fate: the number of copies (0, 1 or 2) deposited
+/// for the recipient, updating the shared fault counters. Mirrors the
+/// sequential engine's `deliver` exactly — every decision is a pure hash,
+/// so both engines (and every thread count) agree.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn fate(
+    cfg: &EngineConfig,
+    round: u64,
+    from: VertexId,
+    to: VertexId,
+    k: u32,
+    done_flags: &[AtomicBool],
+    crash_round: &[Option<u64>],
+    dropped: &AtomicU64,
+    corrupted: &AtomicU64,
+    duplicated: &AtomicU64,
+) -> u32 {
+    if done_flags[to.index()].load(Ordering::Relaxed) {
+        return 0;
+    }
+    if crash_round[to.index()].is_some_and(|cr| round + 1 >= cr) {
+        return 0;
+    }
+    if cfg.faults.drops(cfg.seed, round, from.0, to.0, k) {
+        dropped.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
+    if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k) {
+        corrupted.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
+    if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k) {
+        duplicated.fetch_add(1, Ordering::Relaxed);
+        2
+    } else {
+        1
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +486,32 @@ mod tests {
         match (seq, par) {
             (Ok(a), Ok(b)) => {
                 assert_eq!(a.stats, b.stats);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("engines disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn crashing_runs_match_sequential() {
+        let g = structured::grid(5, 5);
+        let topo = Topology::from_graph(&g);
+        let cfg = EngineConfig {
+            faults: crate::fault::FaultPlan {
+                duplicate_probability: 0.1,
+                ..crate::fault::FaultPlan::crashing(0.3, 1)
+            },
+            max_rounds: 50,
+            collect_round_stats: true,
+            ..EngineConfig::seeded(33)
+        };
+        let seq = run_sequential(&topo, &cfg, flood_factory);
+        let par = run_parallel(&topo, &cfg, 4, flood_factory);
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.crashed, b.crashed);
+                assert!(a.stats.crashed > 0, "plan should actually crash someone");
             }
             (Err(a), Err(b)) => assert_eq!(a, b),
             (a, b) => panic!("engines disagree: {a:?} vs {b:?}"),

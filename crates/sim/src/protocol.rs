@@ -121,6 +121,15 @@ pub trait Protocol: Send {
     /// delivered to their recipients at the *next* round (synchronous
     /// model: everything sent in round `r` is readable in round `r+1`).
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus;
+
+    /// The link to `neighbor` has been declared dead (e.g. the ARQ layer
+    /// exhausted its retransmissions against a crashed peer). The protocol
+    /// should stop waiting on that neighbor so it can still terminate on
+    /// the residual graph. The default does nothing, which is correct for
+    /// protocols that never block on a specific peer.
+    fn on_link_down(&mut self, neighbor: VertexId) {
+        let _ = neighbor;
+    }
 }
 
 #[cfg(test)]

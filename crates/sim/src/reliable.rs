@@ -1,0 +1,669 @@
+//! A reliable-link (ARQ) layer: run any [`Protocol`] over lossy links as
+//! if the links were perfect.
+//!
+//! The paper assumes reliable synchronous message passing. The fault
+//! plans in [`crate::fault`] break that assumption; this module wins it
+//! back. [`ReliableNode`] wraps an inner protocol and is itself a
+//! [`Protocol`], so either engine can run it unchanged. Per neighbor it
+//! maintains a sequenced, cumulatively-acknowledged stream of *bundles* —
+//! one bundle per inner round per link, possibly empty — and retransmits
+//! unacknowledged bundles with a bounded, deterministic backoff.
+//!
+//! The wrapper doubles as an **α-synchronizer**: inner round `i` executes
+//! only once the bundle for inner round `i − 1` has arrived from every
+//! neighbor that can still send one. Under loss the engine's rounds
+//! outnumber the inner protocol's rounds; the difference is the
+//! *transport overhead* that experiment reports break out separately.
+//!
+//! Two properties make the wrapper transparent:
+//!
+//! - **Fault-free transparency.** With a reliable [`crate::fault::FaultPlan`]
+//!   every bundle arrives in one engine round, so inner round `i` runs at
+//!   engine round `i` with exactly the inbox the bare engine would have
+//!   delivered — and the wrapper draws nothing from the node RNG, so the
+//!   inner protocol's random choices are bit-identical to a bare run.
+//! - **Crash containment.** A neighbor that crash-stops never
+//!   acknowledges; after `max_retries` retransmissions the link is
+//!   declared dead, [`Protocol::on_link_down`] tells the inner protocol
+//!   to stop waiting for that peer, and the run terminates with a correct
+//!   result on the residual graph. A peer that acknowledges everything
+//!   and *then* crashes leaves nothing to retransmit, so a second
+//!   detector backs the first: a link we are blocked on that stays
+//!   completely silent past [`ArqConfig::death_timeout`] rounds is
+//!   declared dead too. The timeout is sized so a live peer that is
+//!   merely stalled (detecting its own dead neighbor) is never falsely
+//!   killed: any receipt — data or ack — resets it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dima_graph::VertexId;
+
+use crate::protocol::{NodeSeed, NodeStatus, Protocol, RoundCtx};
+
+/// Tuning for the ARQ layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Retransmissions of one bundle before the link is declared dead.
+    /// The default (16) makes false link death vanishingly unlikely at
+    /// loss rates up to ~0.5 while bounding how long a crashed peer can
+    /// stall the run.
+    pub max_retries: u32,
+    /// Rounds to wait for an acknowledgement before the first
+    /// retransmission (the backoff then grows linearly per attempt,
+    /// capped at 8 rounds). The default (2) is the fault-free round-trip
+    /// time, so a healthy link is never retransmitted to.
+    pub retransmit_after: u64,
+    /// Engine round budgets are scaled by this factor when a protocol
+    /// runs under the ARQ layer (see [`ArqConfig::round_budget`]).
+    pub round_budget_factor: u64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig { max_retries: 16, retransmit_after: 2, round_budget_factor: 12 }
+    }
+}
+
+impl ArqConfig {
+    /// Deterministic backoff: rounds to wait after transmission number
+    /// `attempts` before retransmitting.
+    fn backoff(&self, attempts: u32) -> u64 {
+        (self.retransmit_after + attempts as u64).min(8)
+    }
+
+    /// Scale a bare-engine round budget to cover retransmission stalls
+    /// and link-death detection.
+    pub fn round_budget(&self, bare: u64) -> u64 {
+        self.round_budget_factor * bare + 2 * self.death_timeout() + 16
+    }
+
+    /// Engine rounds a blocked link may stay completely silent before the
+    /// peer is presumed crashed. A live peer can legitimately go quiet
+    /// for one full retransmission-exhaustion episode (it is stalled
+    /// declaring *its* dead neighbor) plus propagation slack, so the
+    /// timeout is two episodes with headroom — late detection only costs
+    /// rounds, a false positive would wrongly shrink the residual graph.
+    pub fn death_timeout(&self) -> u64 {
+        let exhaust: u64 = (0..=self.max_retries).map(|a| self.backoff(a)).sum();
+        2 * exhaust + 8 * self.retransmit_after + 64
+    }
+}
+
+/// The ARQ layer's wire messages: sequenced data bundles and explicit
+/// acknowledgements. `ack` fields carry the next bundle round the sender
+/// expects (cumulative: everything below it has been received).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArqMsg<M> {
+    /// One inner round's messages on one link.
+    Data {
+        /// Inner round this bundle belongs to.
+        round: u32,
+        /// Piggybacked cumulative ack for the reverse direction.
+        ack: u32,
+        /// The inner messages (possibly none — empty bundles carry the
+        /// synchronization signal).
+        msgs: Vec<M>,
+        /// `true` on the sender's final bundle: its inner protocol
+        /// finished at `round` and will never send again.
+        fin: bool,
+    },
+    /// Standalone cumulative acknowledgement (sent when a data receipt
+    /// needs acknowledging but no bundle is going the other way).
+    Ack {
+        /// Next bundle round expected from the receiver of this ack.
+        ack: u32,
+    },
+}
+
+/// A queued outgoing bundle with its retransmission bookkeeping.
+#[derive(Debug)]
+struct Bundle<M> {
+    round: u32,
+    msgs: Vec<M>,
+    fin: bool,
+    /// Transmissions performed so far (0 = never sent).
+    attempts: u32,
+    /// Engine round of the most recent transmission.
+    last_sent: Option<u64>,
+}
+
+/// Per-neighbor link state.
+#[derive(Debug)]
+struct Link<M> {
+    peer: VertexId,
+    /// Unacknowledged outgoing bundles, oldest first.
+    outq: VecDeque<Bundle<M>>,
+    /// Received, not yet consumed bundles, by inner round.
+    recvq: BTreeMap<u32, Vec<M>>,
+    /// Every bundle round below this has been received (cumulative ack
+    /// we advertise).
+    recv_ceil: u32,
+    /// The peer's final inner round, once its `fin` bundle arrived.
+    peer_fin: Option<u32>,
+    /// Retransmissions exhausted or silence timeout hit — the peer is
+    /// presumed crashed.
+    dead: bool,
+    /// A data bundle arrived this engine round (triggers an ack).
+    got_data: bool,
+    /// A data bundle was (re)transmitted this engine round (carries the
+    /// piggybacked ack, so no standalone ack is needed).
+    sent_data: bool,
+    /// Anything at all arrived this engine round (resets `stall` — an
+    /// ack is as much proof of life as a bundle).
+    got_any: bool,
+    /// Consecutive engine rounds we have been blocked on this link with
+    /// total silence from the peer.
+    stall: u64,
+}
+
+impl<M> Link<M> {
+    fn new(peer: VertexId) -> Self {
+        Link {
+            peer,
+            outq: VecDeque::new(),
+            recvq: BTreeMap::new(),
+            recv_ceil: 0,
+            peer_fin: None,
+            dead: false,
+            got_data: false,
+            sent_data: false,
+            got_any: false,
+            stall: 0,
+        }
+    }
+
+    /// The peer's inner protocol finished and will neither send nor read
+    /// anything further on this link.
+    fn peer_finished(&self) -> bool {
+        self.peer_fin.is_some()
+    }
+
+    /// Drop every outgoing bundle acknowledged by `ack`.
+    fn absorb_ack(&mut self, ack: u32) {
+        while self.outq.front().is_some_and(|b| b.round < ack) {
+            self.outq.pop_front();
+        }
+    }
+
+    /// Store an arriving bundle (idempotent — duplication faults and
+    /// retransmissions collapse here).
+    fn absorb_data(&mut self, round: u32, msgs: Vec<M>, fin: bool) {
+        self.got_data = true;
+        if fin {
+            self.peer_fin = Some(round);
+        }
+        if round >= self.recv_ceil && !self.recvq.contains_key(&round) {
+            self.recvq.insert(round, msgs);
+            while self.recvq.contains_key(&self.recv_ceil) {
+                self.recv_ceil += 1;
+            }
+        }
+    }
+
+    /// Whether this link holds (or will never produce) the input bundle
+    /// for inner round `r`.
+    fn ready_for(&self, r: u64) -> bool {
+        if r == 0 || self.dead {
+            return true;
+        }
+        let need = r - 1;
+        if self.recv_ceil as u64 > need {
+            return true;
+        }
+        // A finished peer sends nothing beyond its fin bundle.
+        self.peer_fin.is_some_and(|f| (f as u64) < need)
+    }
+}
+
+/// Wraps an inner [`Protocol`] with the reliable-link layer. Create
+/// instances through [`ReliableNode::factory`].
+#[derive(Debug)]
+pub struct ReliableNode<P: Protocol> {
+    inner: P,
+    cfg: ArqConfig,
+    links: Vec<Link<P::Msg>>,
+    /// Next inner round to execute == inner rounds executed so far.
+    inner_round: u64,
+    inner_done: bool,
+}
+
+impl<P: Protocol> ReliableNode<P> {
+    /// Wrap a protocol factory: the returned closure builds a
+    /// [`ReliableNode`] around each node the inner factory creates. The
+    /// closure is `Fn` (and `Sync` when the inner factory is), so it
+    /// works with both engines.
+    pub fn factory<F>(cfg: ArqConfig, inner: F) -> impl Fn(NodeSeed<'_>) -> Self
+    where
+        F: Fn(NodeSeed<'_>) -> P,
+    {
+        move |seed| ReliableNode {
+            inner: inner(seed.clone()),
+            cfg,
+            links: seed.neighbors.iter().map(|&v| Link::new(v)).collect(),
+            inner_round: 0,
+            inner_done: false,
+        }
+    }
+
+    /// The wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwrap into the inner protocol state.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Inner protocol rounds executed — subtract from the engine's round
+    /// count to get the transport overhead.
+    pub fn inner_rounds(&self) -> u64 {
+        self.inner_round
+    }
+
+    /// Neighbors whose links were declared dead (presumed crashed).
+    pub fn dead_links(&self) -> Vec<VertexId> {
+        self.links.iter().filter(|l| l.dead).map(|l| l.peer).collect()
+    }
+
+    fn port_of(&self, to: VertexId) -> usize {
+        self.links
+            .binary_search_by_key(&to, |l| l.peer)
+            .unwrap_or_else(|_| panic!("inner protocol sent to non-neighbor {to:?}"))
+    }
+
+    /// Every link can supply (or will never supply) the bundle inner
+    /// round `self.inner_round` needs.
+    fn can_execute_inner(&self) -> bool {
+        !self.inner_done && self.links.iter().all(|l| l.ready_for(self.inner_round))
+    }
+}
+
+impl<P: Protocol> Protocol for ReliableNode<P> {
+    type Msg = ArqMsg<P::Msg>;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus {
+        let engine_round = ctx.round();
+
+        // --- Receive: absorb acks, bundles and fins. ---
+        for link in &mut self.links {
+            link.got_data = false;
+            link.sent_data = false;
+            link.got_any = false;
+        }
+        for port in 0..self.links.len() {
+            // Inbox is sorted by sender; collect this peer's envelopes.
+            let peer = self.links[port].peer;
+            for env in ctx.inbox().iter().filter(|e| e.from == peer) {
+                self.links[port].got_any = true;
+                match &env.msg {
+                    ArqMsg::Ack { ack } => self.links[port].absorb_ack(*ack),
+                    ArqMsg::Data { round, ack, msgs, fin } => {
+                        let link = &mut self.links[port];
+                        link.absorb_ack(*ack);
+                        let fresh_fin = *fin && link.peer_fin.is_none();
+                        link.absorb_data(*round, msgs.clone(), *fin);
+                        if fresh_fin {
+                            // The peer's inner protocol is done: whatever
+                            // we still had queued for it would be
+                            // discarded on arrival anyway (the bare model
+                            // drops deliveries to done nodes), so stop
+                            // retransmitting it.
+                            link.outq.clear();
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Synchronize: run the inner round if its inputs are here. ---
+        if self.can_execute_inner() {
+            let r = self.inner_round;
+            let mut inbox = Vec::new();
+            for link in &mut self.links {
+                if r > 0 {
+                    if let Some(msgs) = link.recvq.remove(&((r - 1) as u32)) {
+                        let peer = link.peer;
+                        inbox.extend(
+                            msgs.into_iter()
+                                .map(|msg| crate::protocol::Envelope { from: peer, msg }),
+                        );
+                    }
+                }
+            }
+            let mut inner_outbox = Vec::new();
+            let status = {
+                let mut inner_ctx = RoundCtx {
+                    node: ctx.node,
+                    round: r,
+                    neighbors: ctx.neighbors,
+                    inbox: &inbox,
+                    outbox: &mut inner_outbox,
+                    // The wrapper draws nothing from the RNG itself, so
+                    // the inner protocol sees the exact stream a bare run
+                    // would.
+                    rng: &mut *ctx.rng,
+                };
+                self.inner.on_round(&mut inner_ctx)
+            };
+            self.inner_done = status == NodeStatus::Done;
+            self.inner_round += 1;
+
+            // Partition the inner outbox into per-link bundles.
+            let mut bundles: Vec<Vec<P::Msg>> = vec![Vec::new(); self.links.len()];
+            for (target, msg) in inner_outbox {
+                match target {
+                    crate::protocol::Target::Unicast(to) => {
+                        bundles[self.port_of(to)].push(msg);
+                    }
+                    crate::protocol::Target::Broadcast => {
+                        for b in &mut bundles {
+                            b.push(msg.clone());
+                        }
+                    }
+                }
+            }
+            let fin = self.inner_done;
+            for (link, msgs) in self.links.iter_mut().zip(bundles) {
+                if link.dead || link.peer_finished() {
+                    continue;
+                }
+                link.outq.push_back(Bundle {
+                    round: r as u32,
+                    msgs,
+                    fin,
+                    attempts: 0,
+                    last_sent: None,
+                });
+            }
+        }
+
+        // --- Transmit: new bundles now, timed-out bundles with backoff;
+        //     exhausted or silent-past-timeout links are declared dead. ---
+        let cfg = self.cfg;
+        let (inner_round, inner_done) = (self.inner_round, self.inner_done);
+        let mut downed: Vec<VertexId> = Vec::new();
+        for link in &mut self.links {
+            if link.dead || link.peer_finished() {
+                continue;
+            }
+            let ack = link.recv_ceil;
+            let mut died = false;
+            for b in &mut link.outq {
+                let due = match b.last_sent {
+                    None => true,
+                    Some(t) => engine_round - t >= cfg.backoff(b.attempts),
+                };
+                if !due {
+                    continue;
+                }
+                if b.attempts > cfg.max_retries {
+                    died = true;
+                    break;
+                }
+                ctx.outbox.push((
+                    crate::protocol::Target::Unicast(link.peer),
+                    ArqMsg::Data { round: b.round, ack, msgs: b.msgs.clone(), fin: b.fin },
+                ));
+                b.attempts += 1;
+                b.last_sent = Some(engine_round);
+                link.sent_data = true;
+            }
+            // Second detector: a peer that acked everything and then
+            // crashed leaves the outq empty, so exhaustion above never
+            // fires — but a link we are blocked on cannot stay silent
+            // forever.
+            if link.got_any {
+                link.stall = 0;
+            } else if !inner_done && !link.ready_for(inner_round) {
+                link.stall += 1;
+                if link.stall > cfg.death_timeout() {
+                    died = true;
+                }
+            }
+            if died {
+                link.dead = true;
+                link.outq.clear();
+                downed.push(link.peer);
+            }
+        }
+        if !self.inner_done {
+            for peer in downed {
+                self.inner.on_link_down(peer);
+            }
+        }
+
+        // --- Acknowledge receipts that carried no piggybacked reply. ---
+        for link in &mut self.links {
+            if link.got_data && !link.sent_data && !link.dead {
+                ctx.outbox.push((
+                    crate::protocol::Target::Unicast(link.peer),
+                    ArqMsg::Ack { ack: link.recv_ceil },
+                ));
+            }
+        }
+
+        // --- Linger until every outgoing bundle is delivered or moot. ---
+        let settled = self.links.iter().all(|l| l.dead || l.peer_finished() || l.outq.is_empty());
+        if self.inner_done && settled {
+            NodeStatus::Done
+        } else {
+            NodeStatus::Active
+        }
+    }
+
+    fn on_link_down(&mut self, neighbor: VertexId) {
+        let port = self.port_of(neighbor);
+        self.links[port].dead = true;
+        self.links[port].outq.clear();
+        if !self.inner_done {
+            self.inner.on_link_down(neighbor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_sequential, EngineConfig};
+    use crate::fault::FaultPlan;
+    use crate::par::run_parallel;
+    use crate::topology::Topology;
+    use dima_graph::gen::structured;
+
+    /// Flood that tolerates dead links: every node broadcasts its id
+    /// once and finishes when it has heard from every *reachable*
+    /// neighbor.
+    #[derive(Debug)]
+    struct Flood {
+        heard: Vec<VertexId>,
+        expected: usize,
+        sent: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, u32>) -> NodeStatus {
+            if !self.sent {
+                ctx.broadcast(ctx.node().0);
+                self.sent = true;
+            }
+            for env in ctx.inbox() {
+                self.heard.push(env.from);
+            }
+            if self.heard.len() >= self.expected {
+                NodeStatus::Done
+            } else {
+                NodeStatus::Active
+            }
+        }
+        fn on_link_down(&mut self, neighbor: VertexId) {
+            // Stop waiting for (and discount anything heard from) the
+            // unreachable neighbor.
+            self.expected = self.expected.saturating_sub(1);
+            self.heard.retain(|&v| v != neighbor);
+        }
+    }
+
+    fn flood_factory(seed: NodeSeed<'_>) -> Flood {
+        Flood { heard: Vec::new(), expected: seed.neighbors.len(), sent: false }
+    }
+
+    fn wrapped_factory(cfg: ArqConfig) -> impl Fn(NodeSeed<'_>) -> ReliableNode<Flood> {
+        ReliableNode::factory(cfg, flood_factory)
+    }
+
+    #[test]
+    fn fault_free_run_is_transparent() {
+        let topo = Topology::from_graph(&structured::cycle(8));
+        let cfg = EngineConfig::seeded(5);
+        let bare = run_sequential(&topo, &cfg, flood_factory).unwrap();
+        let arq = run_sequential(&topo, &cfg, wrapped_factory(ArqConfig::default())).unwrap();
+        for (b, w) in bare.nodes.iter().zip(&arq.nodes) {
+            assert_eq!(b.heard, w.inner().heard);
+            // Inner rounds ran in lockstep with the bare engine.
+            assert_eq!(w.inner_rounds(), bare.stats.rounds);
+            assert!(w.dead_links().is_empty());
+        }
+        // Only the fin/ack linger separates the two runs.
+        let overhead = arq.stats.rounds - bare.stats.rounds;
+        assert!(overhead <= 3, "overhead {overhead}");
+    }
+
+    #[test]
+    fn survives_uniform_loss() {
+        let topo = Topology::from_graph(&structured::complete(8));
+        let reliable_cfg = EngineConfig::seeded(11);
+        let bare = run_sequential(&topo, &reliable_cfg, flood_factory).unwrap();
+        let cfg = EngineConfig {
+            faults: FaultPlan::uniform(0.25),
+            max_rounds: 500,
+            ..EngineConfig::seeded(11)
+        };
+        let arq = run_sequential(&topo, &cfg, wrapped_factory(ArqConfig::default())).unwrap();
+        assert!(arq.stats.dropped > 0, "the plan should actually drop messages");
+        for (b, w) in bare.nodes.iter().zip(&arq.nodes) {
+            let mut got = w.inner().heard.clone();
+            let mut want = b.heard.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn survives_burst_loss_and_duplication() {
+        let topo = Topology::from_graph(&structured::grid(4, 4));
+        let cfg = EngineConfig {
+            faults: FaultPlan { duplicate_probability: 0.2, ..FaultPlan::bursty(0.05, 0.9) },
+            max_rounds: 800,
+            ..EngineConfig::seeded(17)
+        };
+        let arq = run_sequential(&topo, &cfg, wrapped_factory(ArqConfig::default())).unwrap();
+        // Sequencing dedups the duplicates: every node heard each
+        // neighbor exactly once.
+        for (i, w) in arq.nodes.iter().enumerate() {
+            let mut heard = w.inner().heard.clone();
+            heard.sort_unstable();
+            let expect = topo.neighbors(VertexId(i as u32)).to_vec();
+            assert_eq!(heard, expect, "node {i}");
+        }
+    }
+
+    #[test]
+    fn crashed_peers_get_declared_dead_and_run_terminates() {
+        let topo = Topology::from_graph(&structured::complete(12));
+        let cfg = EngineConfig {
+            // Spread 1: the victims crash at round 0 sharp, before they
+            // can send anything — survivors must detect them by
+            // retransmission exhaustion alone.
+            faults: FaultPlan { crash_spread: 1, ..FaultPlan::crashing(0.4, 0) },
+            max_rounds: 2_000,
+            ..EngineConfig::seeded(23)
+        };
+        let arq = run_sequential(&topo, &cfg, wrapped_factory(ArqConfig::default())).unwrap();
+        assert!(arq.stats.crashed > 0, "the plan should actually crash someone");
+        for (i, w) in arq.nodes.iter().enumerate() {
+            if arq.crashed[i] {
+                continue;
+            }
+            // Every survivor heard from every surviving neighbor.
+            let mut heard = w.inner().heard.clone();
+            heard.sort_unstable();
+            let expect: Vec<VertexId> = topo
+                .neighbors(VertexId(i as u32))
+                .iter()
+                .copied()
+                .filter(|v| !arq.crashed[v.index()])
+                .collect();
+            assert_eq!(heard, expect, "node {i}");
+        }
+    }
+
+    /// Broadcasts for a fixed number of inner rounds — long enough that
+    /// mid-run crashes fell peers which already acknowledged earlier
+    /// bundles, the case retransmission exhaustion alone cannot detect
+    /// (nothing is left unacked, so only the silence timeout fires).
+    #[derive(Debug)]
+    struct Chatter {
+        rounds_left: u32,
+        heard: u64,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, u32>) -> NodeStatus {
+            self.heard += ctx.inbox().len() as u64;
+            if self.rounds_left == 0 {
+                return NodeStatus::Done;
+            }
+            self.rounds_left -= 1;
+            ctx.broadcast(ctx.node().0);
+            NodeStatus::Active
+        }
+    }
+
+    #[test]
+    fn mid_run_crashes_after_acks_still_terminate() {
+        let topo = Topology::from_graph(&structured::complete(8));
+        let cfg = EngineConfig {
+            faults: FaultPlan {
+                crash_fraction: 0.4,
+                crash_from_round: 5,
+                ..FaultPlan::uniform(0.1)
+            },
+            max_rounds: 5_000,
+            ..EngineConfig::seeded(41)
+        };
+        let factory = |_seed: NodeSeed<'_>| Chatter { rounds_left: 12, heard: 0 };
+        let run = run_sequential(&topo, &cfg, ReliableNode::factory(ArqConfig::default(), factory))
+            .unwrap();
+        assert!(run.stats.crashed > 0, "the plan should actually crash someone");
+        for (i, w) in run.nodes.iter().enumerate() {
+            if !run.crashed[i] {
+                assert_eq!(w.inner_rounds(), 13, "survivor {i} must finish all inner rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_arq_and_loss() {
+        let topo = Topology::from_graph(&structured::grid(5, 4));
+        let cfg = EngineConfig {
+            faults: FaultPlan::uniform(0.2),
+            max_rounds: 500,
+            collect_round_stats: true,
+            ..EngineConfig::seeded(31)
+        };
+        let seq = run_sequential(&topo, &cfg, wrapped_factory(ArqConfig::default())).unwrap();
+        for threads in [2, 4] {
+            let par =
+                run_parallel(&topo, &cfg, threads, wrapped_factory(ArqConfig::default())).unwrap();
+            assert_eq!(par.stats, seq.stats, "threads {threads}");
+            for (a, b) in par.nodes.iter().zip(&seq.nodes) {
+                assert_eq!(a.inner().heard, b.inner().heard);
+                assert_eq!(a.inner_rounds(), b.inner_rounds());
+            }
+        }
+    }
+}

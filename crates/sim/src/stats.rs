@@ -25,8 +25,15 @@ pub struct RunStats {
     pub messages_sent: u64,
     /// Total individual deliveries.
     pub deliveries: u64,
-    /// Deliveries suppressed by fault injection.
+    /// Deliveries suppressed by fault injection (silent loss).
     pub dropped: u64,
+    /// Deliveries discarded because they arrived corrupted (detected by
+    /// the checksummed wire envelope, hence counted apart from `dropped`).
+    pub corrupted: u64,
+    /// Extra deliveries injected by duplication faults.
+    pub duplicated: u64,
+    /// Nodes that crash-stopped during the run.
+    pub crashed: usize,
     /// Per-round breakdown (present iff the engine was configured to
     /// collect it).
     pub per_round: Option<Vec<RoundStats>>,

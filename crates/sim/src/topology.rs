@@ -57,10 +57,7 @@ impl Topology {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes())
-            .map(|v| self.degree(VertexId(v as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_nodes()).map(|v| self.degree(VertexId(v as u32))).max().unwrap_or(0)
     }
 
     /// `true` if `a` and `b` are neighbors. `O(log degree)`.

@@ -63,11 +63,7 @@ impl StateCensus {
 
     /// Count of nodes in `state` at `round` (0 if absent).
     pub fn count(&self, round: usize, state: &str) -> usize {
-        self.rounds
-            .get(round)
-            .and_then(|h| h.get(state))
-            .copied()
-            .unwrap_or(0)
+        self.rounds.get(round).and_then(|h| h.get(state)).copied().unwrap_or(0)
     }
 
     /// Render as an aligned table: one row per round, one column per

@@ -118,6 +118,95 @@ impl<T: WireCodec> WireCodec for Vec<T> {
     }
 }
 
+/// IEEE 802.3 CRC-32 lookup table (reflected polynomial `0xEDB88320`),
+/// built at compile time.
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `data` (the Ethernet/zip polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why a checksummed frame failed to decode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header demands.
+    Truncated,
+    /// The length field disagrees with the actual frame size.
+    LengthMismatch,
+    /// The CRC-32 over the payload did not match — the frame was
+    /// corrupted in flight (any single-bit flip lands here or in the two
+    /// errors above; it is never silently mis-decoded).
+    ChecksumMismatch,
+    /// Checksum fine but the payload is not a valid message encoding.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::LengthMismatch => write!(f, "frame length field mismatch"),
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::Malformed => write!(f, "frame payload malformed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frame an envelope for an unreliable link:
+/// `[payload_len: u32 LE][payload][crc32(payload): u32 LE]`, where the
+/// payload is the [`encode_envelope`] encoding. Bit flips anywhere in the
+/// frame are detected by [`decode_frame`].
+pub fn encode_frame<M: WireCodec>(env: &Envelope<M>) -> Bytes {
+    let payload = encode_envelope(env);
+    let mut buf = BytesMut::with_capacity(payload.len() + 8);
+    (payload.len() as u32).encode(&mut buf);
+    buf.put_slice(&payload);
+    buf.put_u32_le(crc32(&payload));
+    buf.freeze()
+}
+
+/// Decode and verify a frame produced by [`encode_frame`].
+pub fn decode_frame<M: WireCodec>(bytes: Bytes) -> Result<Envelope<M>, FrameError> {
+    let mut buf = bytes;
+    if buf.remaining() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() != len + 4 {
+        return Err(FrameError::LengthMismatch);
+    }
+    let payload = buf.slice(0..len);
+    buf.advance(len);
+    let expect = buf.get_u32_le();
+    if crc32(&payload) != expect {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    decode_envelope(payload).ok_or(FrameError::Malformed)
+}
+
 /// Frame an envelope: sender id then payload.
 pub fn encode_envelope<M: WireCodec>(env: &Envelope<M>) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + env.msg.encoded_len());
@@ -199,6 +288,46 @@ mod tests {
         VertexId(0).encode(&mut buf);
         buf.put_u8(9); // invalid Option tag
         assert!(decode_envelope::<Option<u8>>(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let env = Envelope { from: VertexId(3), msg: vec![Some(7u32), None, Some(9)] };
+        let frame = encode_frame(&env);
+        let back: Envelope<Vec<Option<u32>>> = decode_frame(frame).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let env = Envelope { from: VertexId(21), msg: vec![0xDEAD_BEEFu32, 7, 0] };
+        let frame = encode_frame(&env);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.to_vec();
+                flipped[byte] ^= 1 << bit;
+                let res = decode_frame::<Vec<u32>>(Bytes::from(flipped));
+                assert!(res.is_err(), "flip at byte {byte} bit {bit} was not detected");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_truncation_and_length_lies_rejected() {
+        let env = Envelope { from: VertexId(1), msg: 5u64 };
+        let frame = encode_frame(&env);
+        assert_eq!(decode_frame::<u64>(frame.slice(0..4)), Err(FrameError::Truncated));
+        assert_eq!(
+            decode_frame::<u64>(frame.slice(0..frame.len() - 1)),
+            Err(FrameError::LengthMismatch)
+        );
     }
 
     #[test]

@@ -28,16 +28,11 @@ fn main() {
     let t0 = Instant::now();
     let seq = color_edges(&g, &ColoringConfig::seeded(11)).expect("sequential run failed");
     let t_seq = t0.elapsed();
-    println!(
-        "sequential: {} colors, {} rounds, {:?}",
-        seq.colors_used, seq.compute_rounds, t_seq
-    );
+    println!("sequential: {} colors, {} rounds, {:?}", seq.colors_used, seq.compute_rounds, t_seq);
 
     for threads in [2, 4, 8] {
-        let cfg = ColoringConfig {
-            engine: Engine::Parallel { threads },
-            ..ColoringConfig::seeded(11)
-        };
+        let cfg =
+            ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(11) };
         let t0 = Instant::now();
         let par = color_edges(&g, &cfg).expect("parallel run failed");
         let t_par = t0.elapsed();

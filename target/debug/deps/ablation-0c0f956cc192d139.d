@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-0c0f956cc192d139.d: crates/experiments/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-0c0f956cc192d139.rmeta: crates/experiments/benches/ablation.rs Cargo.toml
+
+crates/experiments/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coin_bias-57338fb3341b93d5.d: crates/experiments/src/bin/ablation_coin_bias.rs
+
+/root/repo/target/debug/deps/ablation_coin_bias-57338fb3341b93d5: crates/experiments/src/bin/ablation_coin_bias.rs
+
+crates/experiments/src/bin/ablation_coin_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coin_bias-b31ab66ee656d722.d: crates/experiments/src/bin/ablation_coin_bias.rs
+
+/root/repo/target/debug/deps/ablation_coin_bias-b31ab66ee656d722: crates/experiments/src/bin/ablation_coin_bias.rs
+
+crates/experiments/src/bin/ablation_coin_bias.rs:

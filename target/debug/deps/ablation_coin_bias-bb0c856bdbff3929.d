@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coin_bias-bb0c856bdbff3929.d: crates/experiments/src/bin/ablation_coin_bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coin_bias-bb0c856bdbff3929.rmeta: crates/experiments/src/bin/ablation_coin_bias.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_coin_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_color_policy-78854141a9e8739d.d: crates/experiments/src/bin/ablation_color_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_color_policy-78854141a9e8739d.rmeta: crates/experiments/src/bin/ablation_color_policy.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_color_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

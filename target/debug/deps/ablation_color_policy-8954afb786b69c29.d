@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_color_policy-8954afb786b69c29.d: crates/experiments/src/bin/ablation_color_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_color_policy-8954afb786b69c29.rmeta: crates/experiments/src/bin/ablation_color_policy.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_color_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

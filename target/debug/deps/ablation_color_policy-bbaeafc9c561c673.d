@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_color_policy-bbaeafc9c561c673.d: crates/experiments/src/bin/ablation_color_policy.rs
+
+/root/repo/target/debug/deps/ablation_color_policy-bbaeafc9c561c673: crates/experiments/src/bin/ablation_color_policy.rs
+
+crates/experiments/src/bin/ablation_color_policy.rs:

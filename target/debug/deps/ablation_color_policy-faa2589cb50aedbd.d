@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_color_policy-faa2589cb50aedbd.d: crates/experiments/src/bin/ablation_color_policy.rs
+
+/root/repo/target/debug/deps/ablation_color_policy-faa2589cb50aedbd: crates/experiments/src/bin/ablation_color_policy.rs
+
+crates/experiments/src/bin/ablation_color_policy.rs:

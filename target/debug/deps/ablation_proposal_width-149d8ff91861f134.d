@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proposal_width-149d8ff91861f134.d: crates/experiments/src/bin/ablation_proposal_width.rs
+
+/root/repo/target/debug/deps/ablation_proposal_width-149d8ff91861f134: crates/experiments/src/bin/ablation_proposal_width.rs
+
+crates/experiments/src/bin/ablation_proposal_width.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_proposal_width-540f064ab9ef1567.d: crates/experiments/src/bin/ablation_proposal_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_proposal_width-540f064ab9ef1567.rmeta: crates/experiments/src/bin/ablation_proposal_width.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_proposal_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

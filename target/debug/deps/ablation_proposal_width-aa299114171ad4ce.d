@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proposal_width-aa299114171ad4ce.d: crates/experiments/src/bin/ablation_proposal_width.rs
+
+/root/repo/target/debug/deps/ablation_proposal_width-aa299114171ad4ce: crates/experiments/src/bin/ablation_proposal_width.rs
+
+crates/experiments/src/bin/ablation_proposal_width.rs:

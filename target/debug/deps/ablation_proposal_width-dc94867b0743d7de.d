@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_proposal_width-dc94867b0743d7de.d: crates/experiments/src/bin/ablation_proposal_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_proposal_width-dc94867b0743d7de.rmeta: crates/experiments/src/bin/ablation_proposal_width.rs Cargo.toml
+
+crates/experiments/src/bin/ablation_proposal_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

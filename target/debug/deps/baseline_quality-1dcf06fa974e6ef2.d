@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_quality-1dcf06fa974e6ef2.d: tests/baseline_quality.rs
+
+/root/repo/target/debug/deps/baseline_quality-1dcf06fa974e6ef2: tests/baseline_quality.rs
+
+tests/baseline_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_quality-310dadcbdd5600c1.d: tests/baseline_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_quality-310dadcbdd5600c1.rmeta: tests/baseline_quality.rs Cargo.toml
+
+tests/baseline_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

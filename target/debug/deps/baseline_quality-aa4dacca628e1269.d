@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_quality-aa4dacca628e1269.d: tests/baseline_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_quality-aa4dacca628e1269.rmeta: tests/baseline_quality.rs Cargo.toml
+
+tests/baseline_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

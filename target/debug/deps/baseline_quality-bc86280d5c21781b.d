@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_quality-bc86280d5c21781b.d: tests/baseline_quality.rs
+
+/root/repo/target/debug/deps/baseline_quality-bc86280d5c21781b: tests/baseline_quality.rs
+
+tests/baseline_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-360f6560ab123a31.d: crates/experiments/benches/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-360f6560ab123a31.rmeta: crates/experiments/benches/baselines.rs Cargo.toml
+
+crates/experiments/benches/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coloring-e84e465bcd617422.d: crates/experiments/benches/coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoloring-e84e465bcd617422.rmeta: crates/experiments/benches/coloring.rs Cargo.toml
+
+crates/experiments/benches/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

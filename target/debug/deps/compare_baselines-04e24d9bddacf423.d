@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_baselines-04e24d9bddacf423.d: crates/experiments/src/bin/compare_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_baselines-04e24d9bddacf423.rmeta: crates/experiments/src/bin/compare_baselines.rs Cargo.toml
+
+crates/experiments/src/bin/compare_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_baselines-05964559347953c2.d: crates/experiments/src/bin/compare_baselines.rs
+
+/root/repo/target/debug/deps/compare_baselines-05964559347953c2: crates/experiments/src/bin/compare_baselines.rs
+
+crates/experiments/src/bin/compare_baselines.rs:

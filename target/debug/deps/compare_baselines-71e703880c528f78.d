@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_baselines-71e703880c528f78.d: crates/experiments/src/bin/compare_baselines.rs
+
+/root/repo/target/debug/deps/compare_baselines-71e703880c528f78: crates/experiments/src/bin/compare_baselines.rs
+
+crates/experiments/src/bin/compare_baselines.rs:

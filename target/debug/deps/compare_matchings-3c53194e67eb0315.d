@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_matchings-3c53194e67eb0315.d: crates/experiments/src/bin/compare_matchings.rs
+
+/root/repo/target/debug/deps/compare_matchings-3c53194e67eb0315: crates/experiments/src/bin/compare_matchings.rs
+
+crates/experiments/src/bin/compare_matchings.rs:

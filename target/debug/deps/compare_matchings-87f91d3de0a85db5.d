@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_matchings-87f91d3de0a85db5.d: crates/experiments/src/bin/compare_matchings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_matchings-87f91d3de0a85db5.rmeta: crates/experiments/src/bin/compare_matchings.rs Cargo.toml
+
+crates/experiments/src/bin/compare_matchings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_matchings-d8baea823e2a71ed.d: crates/experiments/src/bin/compare_matchings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_matchings-d8baea823e2a71ed.rmeta: crates/experiments/src/bin/compare_matchings.rs Cargo.toml
+
+crates/experiments/src/bin/compare_matchings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_matchings-eafae869650f306c.d: crates/experiments/src/bin/compare_matchings.rs
+
+/root/repo/target/debug/deps/compare_matchings-eafae869650f306c: crates/experiments/src/bin/compare_matchings.rs
+
+crates/experiments/src/bin/compare_matchings.rs:

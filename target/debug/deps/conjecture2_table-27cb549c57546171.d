@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture2_table-27cb549c57546171.d: crates/experiments/src/bin/conjecture2_table.rs
+
+/root/repo/target/debug/deps/conjecture2_table-27cb549c57546171: crates/experiments/src/bin/conjecture2_table.rs
+
+crates/experiments/src/bin/conjecture2_table.rs:

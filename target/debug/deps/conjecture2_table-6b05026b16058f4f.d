@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture2_table-6b05026b16058f4f.d: crates/experiments/src/bin/conjecture2_table.rs
+
+/root/repo/target/debug/deps/conjecture2_table-6b05026b16058f4f: crates/experiments/src/bin/conjecture2_table.rs
+
+crates/experiments/src/bin/conjecture2_table.rs:

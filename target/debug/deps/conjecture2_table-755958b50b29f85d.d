@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conjecture2_table-755958b50b29f85d.d: crates/experiments/src/bin/conjecture2_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconjecture2_table-755958b50b29f85d.rmeta: crates/experiments/src/bin/conjecture2_table.rs Cargo.toml
+
+crates/experiments/src/bin/conjecture2_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

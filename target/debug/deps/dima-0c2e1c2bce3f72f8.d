@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dima-0c2e1c2bce3f72f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdima-0c2e1c2bce3f72f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdima-0c2e1c2bce3f72f8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dima-5a3d8d62ca1c38af.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima-5a3d8d62ca1c38af.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dima-72ceddccbc3cc3f6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima-72ceddccbc3cc3f6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dima-aec50d643a80f27a.d: src/lib.rs
+
+/root/repo/target/debug/deps/dima-aec50d643a80f27a: src/lib.rs
+
+src/lib.rs:

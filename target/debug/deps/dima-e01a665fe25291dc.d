@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dima-e01a665fe25291dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/dima-e01a665fe25291dc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dima_baselines-036ae75d2c2a9fbc.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_baselines-036ae75d2c2a9fbc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby_matching.rs:
+crates/baselines/src/misra_gries.rs:
+crates/baselines/src/random_trial.rs:
+crates/baselines/src/strong_greedy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

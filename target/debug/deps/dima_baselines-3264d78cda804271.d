@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dima_baselines-3264d78cda804271.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+/root/repo/target/debug/deps/libdima_baselines-3264d78cda804271.rlib: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+/root/repo/target/debug/deps/libdima_baselines-3264d78cda804271.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby_matching.rs:
+crates/baselines/src/misra_gries.rs:
+crates/baselines/src/random_trial.rs:
+crates/baselines/src/strong_greedy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dima_baselines-e739975a1895121d.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+/root/repo/target/debug/deps/dima_baselines-e739975a1895121d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby_matching.rs:
+crates/baselines/src/misra_gries.rs:
+crates/baselines/src/random_trial.rs:
+crates/baselines/src/strong_greedy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dima_cli-36a2fe9553b057fe.d: crates/cli/src/main.rs crates/cli/src/cmd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_cli-36a2fe9553b057fe.rmeta: crates/cli/src/main.rs crates/cli/src/cmd.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/cmd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dima_cli-7e44ceededd9cba7.d: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+/root/repo/target/debug/deps/dima_cli-7e44ceededd9cba7: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cmd.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dima_cli-c242c1483347378a.d: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+/root/repo/target/debug/deps/dima_cli-c242c1483347378a: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cmd.rs:

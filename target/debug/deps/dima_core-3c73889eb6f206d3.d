@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dima_core-3c73889eb6f206d3.d: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_core-3c73889eb6f206d3.rmeta: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/automata.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_coloring.rs:
+crates/core/src/error.rs:
+crates/core/src/matching.rs:
+crates/core/src/palette.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedule.rs:
+crates/core/src/strong_coloring.rs:
+crates/core/src/strong_undirected.rs:
+crates/core/src/verify.rs:
+crates/core/src/vertex_cover.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dima_core-84a4bb5bbf58c9a1.d: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libdima_core-84a4bb5bbf58c9a1.rlib: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libdima_core-84a4bb5bbf58c9a1.rmeta: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/automata.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_coloring.rs:
+crates/core/src/error.rs:
+crates/core/src/matching.rs:
+crates/core/src/palette.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedule.rs:
+crates/core/src/strong_coloring.rs:
+crates/core/src/strong_undirected.rs:
+crates/core/src/verify.rs:
+crates/core/src/vertex_cover.rs:
+crates/core/src/wire.rs:

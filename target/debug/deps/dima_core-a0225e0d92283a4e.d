@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dima_core-a0225e0d92283a4e.d: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/dima_core-a0225e0d92283a4e: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/automata.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_coloring.rs:
+crates/core/src/error.rs:
+crates/core/src/matching.rs:
+crates/core/src/palette.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedule.rs:
+crates/core/src/strong_coloring.rs:
+crates/core/src/strong_undirected.rs:
+crates/core/src/verify.rs:
+crates/core/src/vertex_cover.rs:
+crates/core/src/wire.rs:

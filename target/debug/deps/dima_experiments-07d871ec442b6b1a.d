@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dima_experiments-07d871ec442b6b1a.d: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_experiments-07d871ec442b6b1a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/args.rs:
+crates/experiments/src/corpus.rs:
+crates/experiments/src/csv.rs:
+crates/experiments/src/plot.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/run.rs:
+crates/experiments/src/stats.rs:
+crates/experiments/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

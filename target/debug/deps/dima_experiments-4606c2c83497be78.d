@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dima_experiments-4606c2c83497be78.d: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libdima_experiments-4606c2c83497be78.rlib: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libdima_experiments-4606c2c83497be78.rmeta: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/args.rs:
+crates/experiments/src/corpus.rs:
+crates/experiments/src/csv.rs:
+crates/experiments/src/plot.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/run.rs:
+crates/experiments/src/stats.rs:
+crates/experiments/src/table.rs:

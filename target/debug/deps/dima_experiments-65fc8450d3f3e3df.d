@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dima_experiments-65fc8450d3f3e3df.d: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/dima_experiments-65fc8450d3f3e3df: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/args.rs:
+crates/experiments/src/corpus.rs:
+crates/experiments/src/csv.rs:
+crates/experiments/src/plot.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/run.rs:
+crates/experiments/src/stats.rs:
+crates/experiments/src/table.rs:

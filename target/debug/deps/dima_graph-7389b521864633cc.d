@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/dima_graph-7389b521864633cc.d: crates/graph/src/lib.rs crates/graph/src/analysis/mod.rs crates/graph/src/analysis/bfs.rs crates/graph/src/analysis/clustering.rs crates/graph/src/analysis/degree.rs crates/graph/src/analysis/dsu.rs crates/graph/src/analysis/spectrum.rs crates/graph/src/conflict.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/error.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/erdos_renyi.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/regular.rs crates/graph/src/gen/scale_free.rs crates/graph/src/gen/small_world.rs crates/graph/src/gen/structured.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_graph-7389b521864633cc.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis/mod.rs crates/graph/src/analysis/bfs.rs crates/graph/src/analysis/clustering.rs crates/graph/src/analysis/degree.rs crates/graph/src/analysis/dsu.rs crates/graph/src/analysis/spectrum.rs crates/graph/src/conflict.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/error.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/erdos_renyi.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/regular.rs crates/graph/src/gen/scale_free.rs crates/graph/src/gen/small_world.rs crates/graph/src/gen/structured.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/io.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis/mod.rs:
+crates/graph/src/analysis/bfs.rs:
+crates/graph/src/analysis/clustering.rs:
+crates/graph/src/analysis/degree.rs:
+crates/graph/src/analysis/dsu.rs:
+crates/graph/src/analysis/spectrum.rs:
+crates/graph/src/conflict.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/error.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/erdos_renyi.rs:
+crates/graph/src/gen/geometric.rs:
+crates/graph/src/gen/regular.rs:
+crates/graph/src/gen/scale_free.rs:
+crates/graph/src/gen/small_world.rs:
+crates/graph/src/gen/structured.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

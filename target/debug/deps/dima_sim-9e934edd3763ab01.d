@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dima_sim-9e934edd3763ab01.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+/root/repo/target/debug/deps/libdima_sim-9e934edd3763ab01.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+/root/repo/target/debug/deps/libdima_sim-9e934edd3763ab01.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/par.rs:
+crates/sim/src/protocol.rs:
+crates/sim/src/reliable.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/wire.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dima_sim-b12aa800c27c0852.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdima_sim-b12aa800c27c0852.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/par.rs:
+crates/sim/src/protocol.rs:
+crates/sim/src/reliable.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-1bbbc62ee81cd34e.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-1bbbc62ee81cd34e: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

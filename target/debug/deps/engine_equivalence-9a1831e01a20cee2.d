@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-9a1831e01a20cee2.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-9a1831e01a20cee2: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

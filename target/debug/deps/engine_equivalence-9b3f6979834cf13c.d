@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-9b3f6979834cf13c.d: tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-9b3f6979834cf13c.rmeta: tests/engine_equivalence.rs Cargo.toml
+
+tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-4eabc6fe1730648c.d: crates/experiments/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-4eabc6fe1730648c.rmeta: crates/experiments/benches/engines.rs Cargo.toml
+
+crates/experiments/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

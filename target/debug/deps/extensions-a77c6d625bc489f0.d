@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-a77c6d625bc489f0.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-a77c6d625bc489f0.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

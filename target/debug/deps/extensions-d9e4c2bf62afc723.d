@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d9e4c2bf62afc723.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d9e4c2bf62afc723: tests/extensions.rs
+
+tests/extensions.rs:

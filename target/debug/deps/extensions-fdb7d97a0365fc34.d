@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-fdb7d97a0365fc34.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-fdb7d97a0365fc34: tests/extensions.rs
+
+tests/extensions.rs:

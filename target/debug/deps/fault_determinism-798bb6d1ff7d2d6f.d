@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_determinism-798bb6d1ff7d2d6f.d: tests/fault_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_determinism-798bb6d1ff7d2d6f.rmeta: tests/fault_determinism.rs Cargo.toml
+
+tests/fault_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

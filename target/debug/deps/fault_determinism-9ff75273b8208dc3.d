@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-9ff75273b8208dc3.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-9ff75273b8208dc3: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-76550d882dffb9a1.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-76550d882dffb9a1: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-8b3b6357b3e4ef5d.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-8b3b6357b3e4ef5d.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-ff886ebe83d186e9.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-ff886ebe83d186e9: tests/fault_injection.rs
+
+tests/fault_injection.rs:

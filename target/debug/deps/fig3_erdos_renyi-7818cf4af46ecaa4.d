@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_erdos_renyi-7818cf4af46ecaa4.d: crates/experiments/src/bin/fig3_erdos_renyi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_erdos_renyi-7818cf4af46ecaa4.rmeta: crates/experiments/src/bin/fig3_erdos_renyi.rs Cargo.toml
+
+crates/experiments/src/bin/fig3_erdos_renyi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

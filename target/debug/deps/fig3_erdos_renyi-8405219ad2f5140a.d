@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_erdos_renyi-8405219ad2f5140a.d: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+/root/repo/target/debug/deps/fig3_erdos_renyi-8405219ad2f5140a: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+crates/experiments/src/bin/fig3_erdos_renyi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_erdos_renyi-bf59cbc5fdb1e274.d: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+/root/repo/target/debug/deps/fig3_erdos_renyi-bf59cbc5fdb1e274: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+crates/experiments/src/bin/fig3_erdos_renyi.rs:

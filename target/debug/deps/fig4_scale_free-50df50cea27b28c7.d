@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_scale_free-50df50cea27b28c7.d: crates/experiments/src/bin/fig4_scale_free.rs
+
+/root/repo/target/debug/deps/fig4_scale_free-50df50cea27b28c7: crates/experiments/src/bin/fig4_scale_free.rs
+
+crates/experiments/src/bin/fig4_scale_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_scale_free-7355d3d81f26f3c2.d: crates/experiments/src/bin/fig4_scale_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_scale_free-7355d3d81f26f3c2.rmeta: crates/experiments/src/bin/fig4_scale_free.rs Cargo.toml
+
+crates/experiments/src/bin/fig4_scale_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_scale_free-cb89fa6c3ad0cdad.d: crates/experiments/src/bin/fig4_scale_free.rs
+
+/root/repo/target/debug/deps/fig4_scale_free-cb89fa6c3ad0cdad: crates/experiments/src/bin/fig4_scale_free.rs
+
+crates/experiments/src/bin/fig4_scale_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_scale_free-e2dd94d900354800.d: crates/experiments/src/bin/fig4_scale_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_scale_free-e2dd94d900354800.rmeta: crates/experiments/src/bin/fig4_scale_free.rs Cargo.toml
+
+crates/experiments/src/bin/fig4_scale_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

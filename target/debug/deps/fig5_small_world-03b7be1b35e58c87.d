@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_small_world-03b7be1b35e58c87.d: crates/experiments/src/bin/fig5_small_world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_small_world-03b7be1b35e58c87.rmeta: crates/experiments/src/bin/fig5_small_world.rs Cargo.toml
+
+crates/experiments/src/bin/fig5_small_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_small_world-77aac9009c25da5d.d: crates/experiments/src/bin/fig5_small_world.rs
+
+/root/repo/target/debug/deps/fig5_small_world-77aac9009c25da5d: crates/experiments/src/bin/fig5_small_world.rs
+
+crates/experiments/src/bin/fig5_small_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_small_world-781da3de7f33e62b.d: crates/experiments/src/bin/fig5_small_world.rs
+
+/root/repo/target/debug/deps/fig5_small_world-781da3de7f33e62b: crates/experiments/src/bin/fig5_small_world.rs
+
+crates/experiments/src/bin/fig5_small_world.rs:

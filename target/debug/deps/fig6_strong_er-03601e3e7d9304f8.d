@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_strong_er-03601e3e7d9304f8.d: crates/experiments/src/bin/fig6_strong_er.rs
+
+/root/repo/target/debug/deps/fig6_strong_er-03601e3e7d9304f8: crates/experiments/src/bin/fig6_strong_er.rs
+
+crates/experiments/src/bin/fig6_strong_er.rs:

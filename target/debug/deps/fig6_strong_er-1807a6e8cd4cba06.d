@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_strong_er-1807a6e8cd4cba06.d: crates/experiments/src/bin/fig6_strong_er.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_strong_er-1807a6e8cd4cba06.rmeta: crates/experiments/src/bin/fig6_strong_er.rs Cargo.toml
+
+crates/experiments/src/bin/fig6_strong_er.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_strong_er-a3150693c5ca57cf.d: crates/experiments/src/bin/fig6_strong_er.rs
+
+/root/repo/target/debug/deps/fig6_strong_er-a3150693c5ca57cf: crates/experiments/src/bin/fig6_strong_er.rs
+
+crates/experiments/src/bin/fig6_strong_er.rs:

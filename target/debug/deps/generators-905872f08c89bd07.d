@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generators-905872f08c89bd07.d: crates/experiments/benches/generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerators-905872f08c89bd07.rmeta: crates/experiments/benches/generators.rs Cargo.toml
+
+crates/experiments/benches/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_edge_coloring-1a01b1373d721119.d: tests/integration_edge_coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_edge_coloring-1a01b1373d721119.rmeta: tests/integration_edge_coloring.rs Cargo.toml
+
+tests/integration_edge_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_edge_coloring-1e26dc37d6dba3f2.d: tests/integration_edge_coloring.rs
+
+/root/repo/target/debug/deps/integration_edge_coloring-1e26dc37d6dba3f2: tests/integration_edge_coloring.rs
+
+tests/integration_edge_coloring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_edge_coloring-d21ef4621240d4b2.d: tests/integration_edge_coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_edge_coloring-d21ef4621240d4b2.rmeta: tests/integration_edge_coloring.rs Cargo.toml
+
+tests/integration_edge_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

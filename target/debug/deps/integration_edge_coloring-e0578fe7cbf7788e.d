@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_edge_coloring-e0578fe7cbf7788e.d: tests/integration_edge_coloring.rs
+
+/root/repo/target/debug/deps/integration_edge_coloring-e0578fe7cbf7788e: tests/integration_edge_coloring.rs
+
+tests/integration_edge_coloring.rs:

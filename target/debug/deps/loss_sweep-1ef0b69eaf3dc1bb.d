@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loss_sweep-1ef0b69eaf3dc1bb.d: crates/experiments/src/bin/loss_sweep.rs
+
+/root/repo/target/debug/deps/loss_sweep-1ef0b69eaf3dc1bb: crates/experiments/src/bin/loss_sweep.rs
+
+crates/experiments/src/bin/loss_sweep.rs:

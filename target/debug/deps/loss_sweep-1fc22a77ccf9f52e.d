@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loss_sweep-1fc22a77ccf9f52e.d: crates/experiments/src/bin/loss_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloss_sweep-1fc22a77ccf9f52e.rmeta: crates/experiments/src/bin/loss_sweep.rs Cargo.toml
+
+crates/experiments/src/bin/loss_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

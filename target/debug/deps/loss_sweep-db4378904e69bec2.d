@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loss_sweep-db4378904e69bec2.d: crates/experiments/src/bin/loss_sweep.rs
+
+/root/repo/target/debug/deps/loss_sweep-db4378904e69bec2: crates/experiments/src/bin/loss_sweep.rs
+
+crates/experiments/src/bin/loss_sweep.rs:

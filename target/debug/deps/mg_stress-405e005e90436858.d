@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mg_stress-405e005e90436858.d: crates/baselines/tests/mg_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmg_stress-405e005e90436858.rmeta: crates/baselines/tests/mg_stress.rs Cargo.toml
+
+crates/baselines/tests/mg_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mg_stress-791adc97f17fa859.d: crates/baselines/tests/mg_stress.rs
+
+/root/repo/target/debug/deps/mg_stress-791adc97f17fa859: crates/baselines/tests/mg_stress.rs
+
+crates/baselines/tests/mg_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/palette_model-559f95492a870e5b.d: crates/core/tests/palette_model.rs
+
+/root/repo/target/debug/deps/palette_model-559f95492a870e5b: crates/core/tests/palette_model.rs
+
+crates/core/tests/palette_model.rs:

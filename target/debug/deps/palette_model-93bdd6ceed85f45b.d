@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/palette_model-93bdd6ceed85f45b.d: crates/core/tests/palette_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpalette_model-93bdd6ceed85f45b.rmeta: crates/core/tests/palette_model.rs Cargo.toml
+
+crates/core/tests/palette_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

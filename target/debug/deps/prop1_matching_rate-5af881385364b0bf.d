@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop1_matching_rate-5af881385364b0bf.d: crates/experiments/src/bin/prop1_matching_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop1_matching_rate-5af881385364b0bf.rmeta: crates/experiments/src/bin/prop1_matching_rate.rs Cargo.toml
+
+crates/experiments/src/bin/prop1_matching_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

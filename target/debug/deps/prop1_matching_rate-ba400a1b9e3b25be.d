@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop1_matching_rate-ba400a1b9e3b25be.d: crates/experiments/src/bin/prop1_matching_rate.rs
+
+/root/repo/target/debug/deps/prop1_matching_rate-ba400a1b9e3b25be: crates/experiments/src/bin/prop1_matching_rate.rs
+
+crates/experiments/src/bin/prop1_matching_rate.rs:

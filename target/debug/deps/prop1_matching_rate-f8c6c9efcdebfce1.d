@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop1_matching_rate-f8c6c9efcdebfce1.d: crates/experiments/src/bin/prop1_matching_rate.rs
+
+/root/repo/target/debug/deps/prop1_matching_rate-f8c6c9efcdebfce1: crates/experiments/src/bin/prop1_matching_rate.rs
+
+crates/experiments/src/bin/prop1_matching_rate.rs:

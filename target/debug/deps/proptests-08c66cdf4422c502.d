@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-08c66cdf4422c502.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-08c66cdf4422c502: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2e668fa0d818f13c.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2e668fa0d818f13c: tests/proptests.rs
+
+tests/proptests.rs:

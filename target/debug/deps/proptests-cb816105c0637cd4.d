@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cb816105c0637cd4.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cb816105c0637cd4: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

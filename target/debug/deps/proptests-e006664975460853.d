@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e006664975460853.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e006664975460853.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f52088fb595c07d2.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f52088fb595c07d2.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-1ef103b934e5026e.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-1ef103b934e5026e.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-1ef103b934e5026e.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:

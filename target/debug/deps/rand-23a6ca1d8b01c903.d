@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-23a6ca1d8b01c903.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-23a6ca1d8b01c903: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:

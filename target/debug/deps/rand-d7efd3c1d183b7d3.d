@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-d7efd3c1d183b7d3.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d7efd3c1d183b7d3.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

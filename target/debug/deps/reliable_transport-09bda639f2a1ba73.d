@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliable_transport-09bda639f2a1ba73.d: tests/reliable_transport.rs
+
+/root/repo/target/debug/deps/reliable_transport-09bda639f2a1ba73: tests/reliable_transport.rs
+
+tests/reliable_transport.rs:

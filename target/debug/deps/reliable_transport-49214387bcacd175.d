@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reliable_transport-49214387bcacd175.d: tests/reliable_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliable_transport-49214387bcacd175.rmeta: tests/reliable_transport.rs Cargo.toml
+
+tests/reliable_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

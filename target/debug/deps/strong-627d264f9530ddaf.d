@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strong-627d264f9530ddaf.d: crates/experiments/benches/strong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrong-627d264f9530ddaf.rmeta: crates/experiments/benches/strong.rs Cargo.toml
+
+crates/experiments/benches/strong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

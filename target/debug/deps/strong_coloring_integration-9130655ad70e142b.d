@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strong_coloring_integration-9130655ad70e142b.d: tests/strong_coloring_integration.rs
+
+/root/repo/target/debug/deps/strong_coloring_integration-9130655ad70e142b: tests/strong_coloring_integration.rs
+
+tests/strong_coloring_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strong_coloring_integration-a852ca270dc038ab.d: tests/strong_coloring_integration.rs
+
+/root/repo/target/debug/deps/strong_coloring_integration-a852ca270dc038ab: tests/strong_coloring_integration.rs
+
+tests/strong_coloring_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strong_coloring_integration-de4c89708fcad6f7.d: tests/strong_coloring_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrong_coloring_integration-de4c89708fcad6f7.rmeta: tests/strong_coloring_integration.rs Cargo.toml
+
+tests/strong_coloring_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strong_coloring_integration-e55dbf2fce0fb688.d: tests/strong_coloring_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrong_coloring_integration-e55dbf2fce0fb688.rmeta: tests/strong_coloring_integration.rs Cargo.toml
+
+tests/strong_coloring_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_frames-1b9b2e46880f37c5.d: tests/wire_frames.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_frames-1b9b2e46880f37c5.rmeta: tests/wire_frames.rs Cargo.toml
+
+tests/wire_frames.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_frames-e6c0392a090bd46e.d: tests/wire_frames.rs
+
+/root/repo/target/debug/deps/wire_frames-e6c0392a090bd46e: tests/wire_frames.rs
+
+tests/wire_frames.rs:

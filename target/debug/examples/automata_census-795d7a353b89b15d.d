@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/automata_census-795d7a353b89b15d.d: examples/automata_census.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautomata_census-795d7a353b89b15d.rmeta: examples/automata_census.rs Cargo.toml
+
+examples/automata_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

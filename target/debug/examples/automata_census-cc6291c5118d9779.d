@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/automata_census-cc6291c5118d9779.d: examples/automata_census.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautomata_census-cc6291c5118d9779.rmeta: examples/automata_census.rs Cargo.toml
+
+examples/automata_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

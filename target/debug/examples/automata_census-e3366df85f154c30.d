@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/automata_census-e3366df85f154c30.d: examples/automata_census.rs
+
+/root/repo/target/debug/examples/automata_census-e3366df85f154c30: examples/automata_census.rs
+
+examples/automata_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/automata_census-eaba56df738175d3.d: examples/automata_census.rs
+
+/root/repo/target/debug/examples/automata_census-eaba56df738175d3: examples/automata_census.rs
+
+examples/automata_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/channel_assignment-00ead5848edac64f.d: examples/channel_assignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchannel_assignment-00ead5848edac64f.rmeta: examples/channel_assignment.rs Cargo.toml
+
+examples/channel_assignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_assignment-35ef043850eb0b60.d: examples/channel_assignment.rs
+
+/root/repo/target/debug/examples/channel_assignment-35ef043850eb0b60: examples/channel_assignment.rs
+
+examples/channel_assignment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_assignment-5ff8d8013d6ab996.d: examples/channel_assignment.rs
+
+/root/repo/target/debug/examples/channel_assignment-5ff8d8013d6ab996: examples/channel_assignment.rs
+
+examples/channel_assignment.rs:

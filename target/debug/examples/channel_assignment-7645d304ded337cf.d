@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/channel_assignment-7645d304ded337cf.d: examples/channel_assignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchannel_assignment-7645d304ded337cf.rmeta: examples/channel_assignment.rs Cargo.toml
+
+examples/channel_assignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

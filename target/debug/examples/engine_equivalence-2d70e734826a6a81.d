@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_equivalence-2d70e734826a6a81.d: examples/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_equivalence-2d70e734826a6a81.rmeta: examples/engine_equivalence.rs Cargo.toml
+
+examples/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

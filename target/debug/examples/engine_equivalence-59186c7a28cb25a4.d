@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_equivalence-59186c7a28cb25a4.d: examples/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_equivalence-59186c7a28cb25a4.rmeta: examples/engine_equivalence.rs Cargo.toml
+
+examples/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_equivalence-e248cb170add0060.d: examples/engine_equivalence.rs
+
+/root/repo/target/debug/examples/engine_equivalence-e248cb170add0060: examples/engine_equivalence.rs
+
+examples/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_equivalence-ebaa0ec6d1dd304a.d: examples/engine_equivalence.rs
+
+/root/repo/target/debug/examples/engine_equivalence-ebaa0ec6d1dd304a: examples/engine_equivalence.rs
+
+examples/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-34bc3f2b25a633b3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-34bc3f2b25a633b3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ec50bf71c4a2dee2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ec50bf71c4a2dee2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_link_scheduling-5ceaff26054e465d.d: examples/sensor_link_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_link_scheduling-5ceaff26054e465d.rmeta: examples/sensor_link_scheduling.rs Cargo.toml
+
+examples/sensor_link_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

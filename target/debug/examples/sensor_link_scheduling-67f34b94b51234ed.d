@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_link_scheduling-67f34b94b51234ed.d: examples/sensor_link_scheduling.rs
+
+/root/repo/target/debug/examples/sensor_link_scheduling-67f34b94b51234ed: examples/sensor_link_scheduling.rs
+
+examples/sensor_link_scheduling.rs:

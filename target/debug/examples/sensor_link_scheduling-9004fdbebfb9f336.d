@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_link_scheduling-9004fdbebfb9f336.d: examples/sensor_link_scheduling.rs
+
+/root/repo/target/debug/examples/sensor_link_scheduling-9004fdbebfb9f336: examples/sensor_link_scheduling.rs
+
+examples/sensor_link_scheduling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_link_scheduling-a705070913954e01.d: examples/sensor_link_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_link_scheduling-a705070913954e01.rmeta: examples/sensor_link_scheduling.rs Cargo.toml
+
+examples/sensor_link_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vertex_cover-20d076af90c7157d.d: examples/vertex_cover.rs
+
+/root/repo/target/debug/examples/vertex_cover-20d076af90c7157d: examples/vertex_cover.rs
+
+examples/vertex_cover.rs:

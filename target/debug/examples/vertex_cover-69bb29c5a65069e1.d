@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vertex_cover-69bb29c5a65069e1.d: examples/vertex_cover.rs
+
+/root/repo/target/debug/examples/vertex_cover-69bb29c5a65069e1: examples/vertex_cover.rs
+
+examples/vertex_cover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vertex_cover-d8a6c5c299500341.d: examples/vertex_cover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvertex_cover-d8a6c5c299500341.rmeta: examples/vertex_cover.rs Cargo.toml
+
+examples/vertex_cover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vertex_cover-e36624ae4e332376.d: examples/vertex_cover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvertex_cover-e36624ae4e332376.rmeta: examples/vertex_cover.rs Cargo.toml
+
+examples/vertex_cover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

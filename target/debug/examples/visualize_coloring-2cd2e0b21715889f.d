@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/visualize_coloring-2cd2e0b21715889f.d: examples/visualize_coloring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvisualize_coloring-2cd2e0b21715889f.rmeta: examples/visualize_coloring.rs Cargo.toml
+
+examples/visualize_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/visualize_coloring-377080818d8e18bd.d: examples/visualize_coloring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvisualize_coloring-377080818d8e18bd.rmeta: examples/visualize_coloring.rs Cargo.toml
+
+examples/visualize_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualize_coloring-5c8978ed02ca3384.d: examples/visualize_coloring.rs
+
+/root/repo/target/debug/examples/visualize_coloring-5c8978ed02ca3384: examples/visualize_coloring.rs
+
+examples/visualize_coloring.rs:

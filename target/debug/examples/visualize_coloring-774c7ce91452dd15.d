@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualize_coloring-774c7ce91452dd15.d: examples/visualize_coloring.rs
+
+/root/repo/target/debug/examples/visualize_coloring-774c7ce91452dd15: examples/visualize_coloring.rs
+
+examples/visualize_coloring.rs:

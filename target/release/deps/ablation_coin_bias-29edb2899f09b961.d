@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_coin_bias-29edb2899f09b961.d: crates/experiments/src/bin/ablation_coin_bias.rs
+
+/root/repo/target/release/deps/ablation_coin_bias-29edb2899f09b961: crates/experiments/src/bin/ablation_coin_bias.rs
+
+crates/experiments/src/bin/ablation_coin_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_color_policy-5be2630d34e5c430.d: crates/experiments/src/bin/ablation_color_policy.rs
+
+/root/repo/target/release/deps/ablation_color_policy-5be2630d34e5c430: crates/experiments/src/bin/ablation_color_policy.rs
+
+crates/experiments/src/bin/ablation_color_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_proposal_width-7d43281959c9915d.d: crates/experiments/src/bin/ablation_proposal_width.rs
+
+/root/repo/target/release/deps/ablation_proposal_width-7d43281959c9915d: crates/experiments/src/bin/ablation_proposal_width.rs
+
+crates/experiments/src/bin/ablation_proposal_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare_baselines-88789dd87b28d05d.d: crates/experiments/src/bin/compare_baselines.rs
+
+/root/repo/target/release/deps/compare_baselines-88789dd87b28d05d: crates/experiments/src/bin/compare_baselines.rs
+
+crates/experiments/src/bin/compare_baselines.rs:

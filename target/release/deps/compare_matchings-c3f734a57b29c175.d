@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare_matchings-c3f734a57b29c175.d: crates/experiments/src/bin/compare_matchings.rs
+
+/root/repo/target/release/deps/compare_matchings-c3f734a57b29c175: crates/experiments/src/bin/compare_matchings.rs
+
+crates/experiments/src/bin/compare_matchings.rs:

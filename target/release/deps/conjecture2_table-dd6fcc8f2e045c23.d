@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conjecture2_table-dd6fcc8f2e045c23.d: crates/experiments/src/bin/conjecture2_table.rs
+
+/root/repo/target/release/deps/conjecture2_table-dd6fcc8f2e045c23: crates/experiments/src/bin/conjecture2_table.rs
+
+crates/experiments/src/bin/conjecture2_table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dima-5a15b9fd70ed6c5e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdima-5a15b9fd70ed6c5e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdima-5a15b9fd70ed6c5e.rmeta: src/lib.rs
+
+src/lib.rs:

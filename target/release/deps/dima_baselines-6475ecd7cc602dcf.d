@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dima_baselines-6475ecd7cc602dcf.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+/root/repo/target/release/deps/libdima_baselines-6475ecd7cc602dcf.rlib: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+/root/repo/target/release/deps/libdima_baselines-6475ecd7cc602dcf.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/luby_matching.rs crates/baselines/src/misra_gries.rs crates/baselines/src/random_trial.rs crates/baselines/src/strong_greedy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/luby_matching.rs:
+crates/baselines/src/misra_gries.rs:
+crates/baselines/src/random_trial.rs:
+crates/baselines/src/strong_greedy.rs:

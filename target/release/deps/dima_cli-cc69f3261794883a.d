@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/dima_cli-cc69f3261794883a.d: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+/root/repo/target/release/deps/dima_cli-cc69f3261794883a: crates/cli/src/main.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cmd.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dima_core-cc373690c4218756.d: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libdima_core-cc373690c4218756.rlib: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libdima_core-cc373690c4218756.rmeta: crates/core/src/lib.rs crates/core/src/automata.rs crates/core/src/config.rs crates/core/src/edge_coloring.rs crates/core/src/error.rs crates/core/src/matching.rs crates/core/src/palette.rs crates/core/src/runner.rs crates/core/src/schedule.rs crates/core/src/strong_coloring.rs crates/core/src/strong_undirected.rs crates/core/src/verify.rs crates/core/src/vertex_cover.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/automata.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_coloring.rs:
+crates/core/src/error.rs:
+crates/core/src/matching.rs:
+crates/core/src/palette.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedule.rs:
+crates/core/src/strong_coloring.rs:
+crates/core/src/strong_undirected.rs:
+crates/core/src/verify.rs:
+crates/core/src/vertex_cover.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dima_experiments-4c8e4e38b9e63a51.d: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libdima_experiments-4c8e4e38b9e63a51.rlib: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libdima_experiments-4c8e4e38b9e63a51.rmeta: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/corpus.rs crates/experiments/src/csv.rs crates/experiments/src/plot.rs crates/experiments/src/report.rs crates/experiments/src/run.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/args.rs:
+crates/experiments/src/corpus.rs:
+crates/experiments/src/csv.rs:
+crates/experiments/src/plot.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/run.rs:
+crates/experiments/src/stats.rs:
+crates/experiments/src/table.rs:

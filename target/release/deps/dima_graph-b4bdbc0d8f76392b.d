@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/dima_graph-b4bdbc0d8f76392b.d: crates/graph/src/lib.rs crates/graph/src/analysis/mod.rs crates/graph/src/analysis/bfs.rs crates/graph/src/analysis/clustering.rs crates/graph/src/analysis/degree.rs crates/graph/src/analysis/dsu.rs crates/graph/src/analysis/spectrum.rs crates/graph/src/conflict.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/error.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/erdos_renyi.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/regular.rs crates/graph/src/gen/scale_free.rs crates/graph/src/gen/small_world.rs crates/graph/src/gen/structured.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/io.rs
+
+/root/repo/target/release/deps/libdima_graph-b4bdbc0d8f76392b.rlib: crates/graph/src/lib.rs crates/graph/src/analysis/mod.rs crates/graph/src/analysis/bfs.rs crates/graph/src/analysis/clustering.rs crates/graph/src/analysis/degree.rs crates/graph/src/analysis/dsu.rs crates/graph/src/analysis/spectrum.rs crates/graph/src/conflict.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/error.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/erdos_renyi.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/regular.rs crates/graph/src/gen/scale_free.rs crates/graph/src/gen/small_world.rs crates/graph/src/gen/structured.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/io.rs
+
+/root/repo/target/release/deps/libdima_graph-b4bdbc0d8f76392b.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis/mod.rs crates/graph/src/analysis/bfs.rs crates/graph/src/analysis/clustering.rs crates/graph/src/analysis/degree.rs crates/graph/src/analysis/dsu.rs crates/graph/src/analysis/spectrum.rs crates/graph/src/conflict.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/error.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/erdos_renyi.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/regular.rs crates/graph/src/gen/scale_free.rs crates/graph/src/gen/small_world.rs crates/graph/src/gen/structured.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/io.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis/mod.rs:
+crates/graph/src/analysis/bfs.rs:
+crates/graph/src/analysis/clustering.rs:
+crates/graph/src/analysis/degree.rs:
+crates/graph/src/analysis/dsu.rs:
+crates/graph/src/analysis/spectrum.rs:
+crates/graph/src/conflict.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/error.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/erdos_renyi.rs:
+crates/graph/src/gen/geometric.rs:
+crates/graph/src/gen/regular.rs:
+crates/graph/src/gen/scale_free.rs:
+crates/graph/src/gen/small_world.rs:
+crates/graph/src/gen/structured.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/io.rs:

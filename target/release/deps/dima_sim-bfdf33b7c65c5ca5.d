@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dima_sim-bfdf33b7c65c5ca5.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+/root/repo/target/release/deps/libdima_sim-bfdf33b7c65c5ca5.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+/root/repo/target/release/deps/libdima_sim-bfdf33b7c65c5ca5.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/par.rs crates/sim/src/protocol.rs crates/sim/src/reliable.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/topology.rs crates/sim/src/trace.rs crates/sim/src/wire.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/par.rs:
+crates/sim/src/protocol.rs:
+crates/sim/src/reliable.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_erdos_renyi-bf557656c9b0d460.d: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+/root/repo/target/release/deps/fig3_erdos_renyi-bf557656c9b0d460: crates/experiments/src/bin/fig3_erdos_renyi.rs
+
+crates/experiments/src/bin/fig3_erdos_renyi.rs:

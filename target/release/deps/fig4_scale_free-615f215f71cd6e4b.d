@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_scale_free-615f215f71cd6e4b.d: crates/experiments/src/bin/fig4_scale_free.rs
+
+/root/repo/target/release/deps/fig4_scale_free-615f215f71cd6e4b: crates/experiments/src/bin/fig4_scale_free.rs
+
+crates/experiments/src/bin/fig4_scale_free.rs:

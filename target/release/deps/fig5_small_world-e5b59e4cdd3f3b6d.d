@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_small_world-e5b59e4cdd3f3b6d.d: crates/experiments/src/bin/fig5_small_world.rs
+
+/root/repo/target/release/deps/fig5_small_world-e5b59e4cdd3f3b6d: crates/experiments/src/bin/fig5_small_world.rs
+
+crates/experiments/src/bin/fig5_small_world.rs:

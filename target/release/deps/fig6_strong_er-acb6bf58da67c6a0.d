@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_strong_er-acb6bf58da67c6a0.d: crates/experiments/src/bin/fig6_strong_er.rs
+
+/root/repo/target/release/deps/fig6_strong_er-acb6bf58da67c6a0: crates/experiments/src/bin/fig6_strong_er.rs
+
+crates/experiments/src/bin/fig6_strong_er.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loss_sweep-95e3a49c7dc8623b.d: crates/experiments/src/bin/loss_sweep.rs
+
+/root/repo/target/release/deps/loss_sweep-95e3a49c7dc8623b: crates/experiments/src/bin/loss_sweep.rs
+
+crates/experiments/src/bin/loss_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop1_matching_rate-976151446e32242a.d: crates/experiments/src/bin/prop1_matching_rate.rs
+
+/root/repo/target/release/deps/prop1_matching_rate-976151446e32242a: crates/experiments/src/bin/prop1_matching_rate.rs
+
+crates/experiments/src/bin/prop1_matching_rate.rs:

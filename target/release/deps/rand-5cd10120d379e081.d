@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-5cd10120d379e081.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-5cd10120d379e081.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-5cd10120d379e081.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:

@@ -16,9 +16,8 @@ fn dimaec_tracks_misra_gries_on_er() {
     let mut total_gap = 0i64;
     let trials = 10;
     for seed in 0..trials {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }.sample(&mut rng).unwrap();
         let dima = color_edges(&g, &ColoringConfig::seeded(seed)).unwrap();
         verify_edge_coloring(&g, &dima.colors).unwrap();
         let mg = misra_gries_edge_coloring(&g);
@@ -40,9 +39,8 @@ fn dimaec_beats_random_trial_on_colors() {
     let mut dima_total = 0usize;
     let mut rt_total = 0usize;
     for seed in 0..8 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 8.0 }.sample(&mut rng).unwrap();
         let cfg = ColoringConfig::seeded(seed);
         let dima = color_edges(&g, &cfg).unwrap();
         let rt = random_trial_coloring(&g, &cfg).unwrap();
@@ -65,9 +63,8 @@ fn random_trial_converges_in_fewer_rounds() {
     let mut dima_rounds = 0u64;
     let mut rt_rounds = 0u64;
     for seed in 0..8 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 12.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 150, avg_degree: 12.0 }.sample(&mut rng).unwrap();
         let cfg = ColoringConfig::seeded(seed);
         dima_rounds += color_edges(&g, &cfg).unwrap().compute_rounds;
         rt_rounds += random_trial_coloring(&g, &cfg).unwrap().compute_rounds;

@@ -7,8 +7,8 @@ use dima::core::schedule::{
     verify_half_duplex, verify_interference_free, ArcSchedule, EdgeSchedule,
 };
 use dima::core::strong_undirected::{strong_color_graph, verify_strong_undirected};
-use dima::core::vertex_cover::{brute_force_min_cover, verify_vertex_cover};
 use dima::core::verify::count_colors;
+use dima::core::vertex_cover::{brute_force_min_cover, verify_vertex_cover};
 use dima::core::{color_edges, strong_color_digraph, vertex_cover, ColoringConfig};
 use dima::graph::gen::GraphFamily;
 use dima::graph::Digraph;
@@ -20,9 +20,8 @@ fn vertex_cover_two_approx_on_random_graphs() {
     // Small random graphs where the brute-force optimum is computable.
     let mut rng = SmallRng::seed_from_u64(41);
     for seed in 0..6 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 14, avg_degree: 3.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 14, avg_degree: 3.0 }.sample(&mut rng).unwrap();
         let r = vertex_cover(&g, &ColoringConfig::seeded(seed)).unwrap();
         verify_vertex_cover(&g, &r.in_cover).unwrap();
         let opt = brute_force_min_cover(&g);
@@ -34,9 +33,8 @@ fn vertex_cover_two_approx_on_random_graphs() {
 fn undirected_strong_coloring_vs_greedy_yardstick() {
     let mut rng = SmallRng::seed_from_u64(43);
     for seed in 0..3 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 50, avg_degree: 4.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 50, avg_degree: 4.0 }.sample(&mut rng).unwrap();
         let dist = strong_color_graph(&g, &ColoringConfig::seeded(seed)).unwrap();
         assert!(dist.endpoint_agreement);
         verify_strong_undirected(&g, &dist.colors).unwrap();
@@ -72,9 +70,8 @@ fn dima2ed_schedules_are_interference_free() {
     // and still always satisfied by DiMa2ED's conservative palette.
     let mut rng = SmallRng::seed_from_u64(47);
     for seed in 0..3 {
-        let g = GraphFamily::ErdosRenyiAvgDegree { n: 40, avg_degree: 4.0 }
-            .sample(&mut rng)
-            .unwrap();
+        let g =
+            GraphFamily::ErdosRenyiAvgDegree { n: 40, avg_degree: 4.0 }.sample(&mut rng).unwrap();
         let d = Digraph::symmetric_closure(&g);
         let r = strong_color_digraph(&d, &ColoringConfig::seeded(seed)).unwrap();
         let sched = ArcSchedule::from_coloring(&r.colors);
@@ -87,9 +84,7 @@ fn proposal_width_speeds_up_strong_coloring() {
     // ABL3's headline, as a regression test: width 4 must beat width 1
     // on rounds while staying correct.
     let mut rng = SmallRng::seed_from_u64(49);
-    let g = GraphFamily::ErdosRenyiAvgDegree { n: 80, avg_degree: 6.0 }
-        .sample(&mut rng)
-        .unwrap();
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 80, avg_degree: 6.0 }.sample(&mut rng).unwrap();
     let d = Digraph::symmetric_closure(&g);
     let mut narrow_total = 0u64;
     let mut wide_total = 0u64;
@@ -134,9 +129,9 @@ fn worst_case_bound_never_reached_experimentally() {
 fn state_labels_work_for_all_automata_protocols() {
     // The matching and strong-coloring protocols also report their Fig-1
     // states; drive them through the observer hook directly.
+    use dima::graph::gen::structured;
     use dima::sim::trace::{StateCensus, StateLabel};
     use dima::sim::{run_sequential_observed, EngineConfig, Topology};
-    use dima::graph::gen::structured;
 
     let g = structured::cycle(8);
     let topo = Topology::from_graph(&g);

@@ -90,7 +90,11 @@ fn loss_starting_mid_run_corrupts_late_edges_only() {
     // non-termination rather than inventing colors.
     let g = structured::complete(12);
     let cfg = ColoringConfig {
-        faults: FaultPlan { drop_probability: 1.0, from_round: 18 }, // 6 compute rounds
+        faults: FaultPlan {
+            drop_probability: 1.0,
+            from_round: 18, // 6 compute rounds
+            ..FaultPlan::reliable()
+        },
         max_compute_rounds: Some(100),
         ..ColoringConfig::seeded(3)
     };

@@ -34,7 +34,7 @@ proptest! {
         prop_assert!(verify_edge_coloring(&g, &r.colors).is_ok());
         let delta = g.max_degree();
         if delta > 0 {
-            prop_assert!(r.colors_used <= 2 * delta - 1);
+            prop_assert!(r.colors_used < 2 * delta);
         }
     }
 
@@ -79,7 +79,7 @@ proptest! {
         prop_assert!(verify_edge_coloring(&g, &colors).is_ok());
         let delta = g.max_degree();
         if delta > 0 {
-            prop_assert!(count_colors(&colors) <= 2 * delta - 1);
+            prop_assert!(count_colors(&colors) < 2 * delta);
         }
     }
 
@@ -106,7 +106,7 @@ proptest! {
         prop_assert!(verify_edge_coloring(&g, &r.colors).is_ok());
         let delta = g.max_degree();
         if delta > 0 {
-            prop_assert!(r.colors_used <= 2 * delta - 1);
+            prop_assert!(r.colors_used < 2 * delta);
         }
     }
 }

@@ -16,7 +16,8 @@ fn assert_proper_via_conflict_graph(d: &Digraph, colors: &[Option<dima::core::Co
     let cg = digraph_strong_conflicts(d);
     for (_, (a, b)) in cg.edges() {
         assert_ne!(
-            colors[a.index()], colors[b.index()],
+            colors[a.index()],
+            colors[b.index()],
             "conflicting arcs {a} and {b} share a channel"
         );
     }
@@ -68,9 +69,7 @@ fn dima2ed_quality_is_comparable_to_greedy() {
     // Distributed one-hop coloring cannot beat centralised greedy on the
     // full conflict graph, but it should stay within a small factor.
     let mut rng = SmallRng::seed_from_u64(4);
-    let g = GraphFamily::ErdosRenyiAvgDegree { n: 100, avg_degree: 6.0 }
-        .sample(&mut rng)
-        .unwrap();
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 100, avg_degree: 6.0 }.sample(&mut rng).unwrap();
     let d = Digraph::symmetric_closure(&g);
     let dist = full_check(&d, 9);
     let greedy = strong_greedy_coloring(&d);
@@ -92,9 +91,8 @@ fn rounds_track_delta_not_n() {
         for seed in 0..trials {
             let g = GraphFamily::ErdosRenyiAvgDegree { n, avg_degree: d }.sample(rng).unwrap();
             let dg = Digraph::symmetric_closure(&g);
-            total += strong_color_digraph(&dg, &ColoringConfig::seeded(seed))
-                .unwrap()
-                .compute_rounds;
+            total +=
+                strong_color_digraph(&dg, &ColoringConfig::seeded(seed)).unwrap().compute_rounds;
         }
         total as f64 / trials as f64
     };
@@ -109,17 +107,12 @@ fn rounds_track_delta_not_n() {
 #[test]
 fn parallel_engine_equivalent() {
     let mut rng = SmallRng::seed_from_u64(8);
-    let g = GraphFamily::ErdosRenyiAvgDegree { n: 120, avg_degree: 6.0 }
-        .sample(&mut rng)
-        .unwrap();
+    let g = GraphFamily::ErdosRenyiAvgDegree { n: 120, avg_degree: 6.0 }.sample(&mut rng).unwrap();
     let d = Digraph::symmetric_closure(&g);
     let seq = strong_color_digraph(&d, &ColoringConfig::seeded(21)).unwrap();
     let par = strong_color_digraph(
         &d,
-        &ColoringConfig {
-            engine: Engine::Parallel { threads: 3 },
-            ..ColoringConfig::seeded(21)
-        },
+        &ColoringConfig { engine: Engine::Parallel { threads: 3 }, ..ColoringConfig::seeded(21) },
     )
     .unwrap();
     assert_eq!(seq.colors, par.colors);
@@ -130,9 +123,11 @@ fn parallel_engine_equivalent() {
 fn asymmetric_input_is_rejected() {
     let d = Digraph::from_arcs(
         3,
-        [(dima::graph::VertexId(0), dima::graph::VertexId(1)),
-         (dima::graph::VertexId(1), dima::graph::VertexId(0)),
-         (dima::graph::VertexId(1), dima::graph::VertexId(2))],
+        [
+            (dima::graph::VertexId(0), dima::graph::VertexId(1)),
+            (dima::graph::VertexId(1), dima::graph::VertexId(0)),
+            (dima::graph::VertexId(1), dima::graph::VertexId(2)),
+        ],
     )
     .unwrap();
     assert!(strong_color_digraph(&d, &ColoringConfig::seeded(1)).is_err());

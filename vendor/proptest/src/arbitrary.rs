@@ -1,0 +1,46 @@
+//! The `any::<T>()` strategy over types with a canonical distribution.
+
+use core::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" distribution.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}

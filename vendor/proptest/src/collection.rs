@@ -1,0 +1,101 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use core::ops::Range;
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate vectors of elements from `element` with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`
+/// (duplicates may make the realised set smaller).
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate ordered sets of elements from `element`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+        let target = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        let mut set = BTreeSet::new();
+        // Bounded attempts: element domains smaller than `target` must not
+        // loop forever.
+        for _ in 0..target.saturating_mul(4) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = vec(0u32..5, 1..4);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_bounded_and_sorted() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = btree_set(0u32..10, 0..8);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 8);
+            assert!(set.iter().all(|&x| x < 10));
+        }
+    }
+}

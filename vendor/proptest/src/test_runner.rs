@@ -1,0 +1,101 @@
+//! The case runner and its configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Fixed base seed: runs are fully deterministic, so a failing case index
+/// identifies the exact input.
+const RUNNER_SEED: u64 = 0x5EED_1E57_CA5E_0001;
+
+/// Drives a strategy through a test closure for the configured number of
+/// cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Build a runner with a deterministic RNG.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: SmallRng::seed_from_u64(RUNNER_SEED) }
+    }
+
+    /// Run `test` on `config.cases` generated inputs; the first failure
+    /// aborts with its case index.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Result<(), String> {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            if let Err(e) = test(value) {
+                return Err(format!(
+                    "proptest failed at case {case} of {} (seed {RUNNER_SEED:#x}): {e}",
+                    self.config.cases
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_cases_and_reports_failure() {
+        let mut runner = TestRunner::new(ProptestConfig { cases: 10, ..ProptestConfig::default() });
+        let mut seen = 0;
+        runner
+            .run(&(0u32..5), |v| {
+                assert!(v < 5);
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, 10);
+
+        let mut runner = TestRunner::new(ProptestConfig { cases: 10, ..ProptestConfig::default() });
+        let err = runner.run(&(0u32..5), |_| Err(TestCaseError::fail("boom"))).unwrap_err();
+        assert!(err.contains("boom") && err.contains("case 0"));
+    }
+}
