@@ -8,7 +8,8 @@ use dima_core::verify::{
     verify_residual_strong_coloring, verify_strong_coloring,
 };
 use dima_core::{
-    color_edges, maximal_matching, strong_color_digraph, Color, ColoringConfig, Engine, Transport,
+    color_edges, color_edges_churn, maximal_matching, strong_color_churn, strong_color_digraph,
+    ChurnKinds, ChurnPlan, ChurnSchedule, Color, ColoringConfig, Engine, Transport,
 };
 use dima_graph::gen;
 use dima_graph::{io, Digraph, Graph};
@@ -30,6 +31,13 @@ commands:
   color <graph.edges> [--seed S] [--threads T] [--out FILE]
   strong-color <graph.edges> [--seed S] [--threads T] [--width K] [--out FILE]
   matching <graph.edges> [--seed S] [--threads T]
+      churn flags (color | strong-color): inject topology churn mid-run
+      and repair incrementally; output and verification use the final
+      (post-churn) graph
+        --churn-rate P      expected events per batch as a fraction of n
+        --churn-kinds K     all | links | comma list of
+                            link-up,link-down,node-join,node-leave
+        --churn-seed S      schedule seed (default: the run's --seed)
   verify <graph.edges> <coloring.colors> [--strong]
   dot <graph.edges> [<coloring.colors>]
 
@@ -105,6 +113,71 @@ fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String>
         transport,
         ..ColoringConfig::seeded(seed)
     })
+}
+
+/// Assemble a churn plan from `--churn-*` flags; `None` when churn is off
+/// (`--churn-rate` absent or 0).
+fn churn_plan(flags: &HashMap<String, String>) -> Result<Option<ChurnPlan>, String> {
+    let rate: f64 = flag(flags, "churn-rate", 0.0)?;
+    if rate == 0.0 {
+        if flags.contains_key("churn-kinds") || flags.contains_key("churn-seed") {
+            return Err("--churn-kinds / --churn-seed need --churn-rate > 0".into());
+        }
+        return Ok(None);
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--churn-rate = {rate} not in [0, 1]"));
+    }
+    let run_seed: u64 = flag(flags, "seed", 0)?;
+    let schedule_seed: u64 = flag(flags, "churn-seed", run_seed)?;
+    let kinds = match flags.get("churn-kinds").map(String::as_str) {
+        None | Some("all") => ChurnKinds::all(),
+        Some("links") => ChurnKinds::links_only(),
+        Some(spec) => {
+            let mut kinds = ChurnKinds {
+                link_up: false,
+                link_down: false,
+                node_join: false,
+                node_leave: false,
+            };
+            for tok in spec.split(',') {
+                match tok.trim() {
+                    "link-up" => kinds.link_up = true,
+                    "link-down" => kinds.link_down = true,
+                    "node-join" => kinds.node_join = true,
+                    "node-leave" => kinds.node_leave = true,
+                    other => {
+                        return Err(format!(
+                            "unknown churn kind '{other}' (expected all, links, or a comma \
+                             list of link-up, link-down, node-join, node-leave)"
+                        ))
+                    }
+                }
+            }
+            kinds
+        }
+    };
+    Ok(Some(ChurnPlan { kinds, ..ChurnPlan::new(schedule_seed, rate) }))
+}
+
+/// One stderr line summarising the schedule and the per-batch repairs.
+fn report_churn(schedule: &ChurnSchedule, batches: &[dima_core::BatchReport]) {
+    let repaired: Vec<u64> = batches.iter().filter_map(|b| b.repair_rounds).collect();
+    let mean = if repaired.is_empty() {
+        "-".to_string()
+    } else {
+        format!("{:.1}", repaired.iter().sum::<u64>() as f64 / repaired.len() as f64)
+    };
+    eprintln!(
+        "churn: {} batches, {} events, {} edges dirtied; {}/{} windows quiesced \
+         (mean {} repair rounds)",
+        schedule.len(),
+        schedule.total_events(),
+        batches.iter().map(|b| b.dirty_edges).sum::<usize>(),
+        repaired.len(),
+        batches.len(),
+        mean,
+    );
 }
 
 /// `true` once any fault/transport flag deviates from the paper's model —
@@ -278,6 +351,36 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
+    if let Some(plan) = churn_plan(&flags)? {
+        let schedule = ChurnSchedule::generate(&g, &plan);
+        let r = color_edges_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
+        if !r.coloring.endpoint_agreement {
+            return Err("run corrupted by injected faults: endpoints disagree on colors".into());
+        }
+        // Verification targets the final (post-churn) graph; under crash
+        // faults only the residual among survivors is promised.
+        verify_residual_edge_coloring(&r.final_graph, &r.coloring.colors, &r.coloring.alive)
+            .map_err(|e| format!("repair failed on the final graph: {e}"))?;
+        report_churn(&schedule, &r.batches);
+        eprintln!(
+            "colored final graph (n = {}, m = {}) with {} colors (Δ = {}) in {} \
+             computation rounds, {} messages",
+            r.final_graph.num_vertices(),
+            r.final_graph.num_edges(),
+            r.coloring.colors_used,
+            r.coloring.max_degree,
+            r.coloring.compute_rounds,
+            r.coloring.stats.messages_sent
+        );
+        if faulty(&cfg) {
+            report_transport(
+                &r.coloring.stats,
+                r.coloring.transport_overhead_rounds,
+                &r.coloring.alive,
+            );
+        }
+        return write_or_print(flags.get("out"), &coloring_to_text(&r.coloring.colors));
+    }
     let r = color_edges(&g, &cfg).map_err(|e| e.to_string())?;
     if faulty(&cfg) {
         if !r.endpoint_agreement {
@@ -308,6 +411,33 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let d = Digraph::symmetric_closure(&g);
     let cfg = run_config(&flags)?;
+    if let Some(plan) = churn_plan(&flags)? {
+        let schedule = ChurnSchedule::generate(&g, &plan);
+        let r = strong_color_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
+        if !r.coloring.endpoint_agreement {
+            return Err("run corrupted by injected faults: endpoints disagree on channels".into());
+        }
+        verify_residual_strong_coloring(&r.final_digraph, &r.coloring.colors, &r.coloring.alive)
+            .map_err(|e| format!("repair failed on the final graph: {e}"))?;
+        report_churn(&schedule, &r.batches);
+        eprintln!(
+            "assigned {} channels to {} arcs of the final graph (Δ = {}) in {} rounds, \
+             {} messages",
+            r.coloring.colors_used,
+            r.final_digraph.num_arcs(),
+            r.coloring.max_degree,
+            r.coloring.compute_rounds,
+            r.coloring.stats.messages_sent
+        );
+        if faulty(&cfg) {
+            report_transport(
+                &r.coloring.stats,
+                r.coloring.transport_overhead_rounds,
+                &r.coloring.alive,
+            );
+        }
+        return write_or_print(flags.get("out"), &coloring_to_text(&r.coloring.colors));
+    }
     let r = strong_color_digraph(&d, &cfg).map_err(|e| e.to_string())?;
     if faulty(&cfg) {
         if !r.endpoint_agreement {
@@ -509,6 +639,105 @@ mod tests {
             "reliable",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn churn_flags_parse() {
+        assert!(churn_plan(&parse_flags(&[]).unwrap()).unwrap().is_none());
+        let f = parse_flags(&s(&["--churn-rate", "0.2", "--churn-seed", "7"])).unwrap();
+        let plan = churn_plan(&f).unwrap().unwrap();
+        assert_eq!(plan.rate, 0.2);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.kinds, ChurnKinds::all());
+        // The schedule seed defaults to the run seed.
+        let f = parse_flags(&s(&["--churn-rate", "0.2", "--seed", "9"])).unwrap();
+        assert_eq!(churn_plan(&f).unwrap().unwrap().seed, 9);
+        let f = parse_flags(&s(&["--churn-rate", "0.1", "--churn-kinds", "links"])).unwrap();
+        assert_eq!(churn_plan(&f).unwrap().unwrap().kinds, ChurnKinds::links_only());
+        let f = parse_flags(&s(&["--churn-rate", "0.1", "--churn-kinds", "link-down,node-leave"]))
+            .unwrap();
+        let kinds = churn_plan(&f).unwrap().unwrap().kinds;
+        assert!(kinds.link_down && kinds.node_leave && !kinds.link_up && !kinds.node_join);
+
+        for bad in [
+            &["--churn-rate", "1.5"][..],
+            &["--churn-rate", "0.1", "--churn-kinds", "meteor-strike"],
+            &["--churn-kinds", "links"], // churn flags without a rate
+            &["--churn-seed", "3"],
+        ] {
+            let f = parse_flags(&s(bad)).unwrap();
+            assert!(churn_plan(&f).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn end_to_end_churn_color_and_strong() {
+        let dir = tmpdir();
+        let gpath = dir.join("g5.edges");
+        dispatch(&s(&[
+            "gen",
+            "er",
+            "--n",
+            "30",
+            "--avg-degree",
+            "4",
+            "--seed",
+            "11",
+            "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Output and verification run against the final (post-churn)
+        // graph inside cmd_color / cmd_strong_color.
+        dispatch(&s(&[
+            "color",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "1",
+            "--churn-rate",
+            "0.2",
+            "--churn-seed",
+            "4",
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "strong-color",
+            gpath.to_str().unwrap(),
+            "--seed",
+            "2",
+            "--churn-rate",
+            "0.15",
+            "--churn-kinds",
+            "links",
+        ]))
+        .unwrap();
+        // Churn composes with message loss on bare links, but a dropped
+        // repair message is gone for good, so either a verified repaired
+        // coloring or a detected failure (starved node, corrupt result)
+        // is a legitimate outcome.
+        if let Err(e) = dispatch(&s(&[
+            "color",
+            gpath.to_str().unwrap(),
+            "--churn-rate",
+            "0.1",
+            "--fault-loss",
+            "0.01",
+        ])) {
+            assert!(
+                e.contains("simulation error") || e.contains("corrupted") || e.contains("failed"),
+                "unexpected error class: {e}"
+            );
+        }
+        assert!(dispatch(&s(&[
+            "color",
+            gpath.to_str().unwrap(),
+            "--churn-rate",
+            "0.1",
+            "--transport",
+            "reliable",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

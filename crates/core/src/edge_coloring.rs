@@ -27,16 +27,36 @@
 //! the proposed color is legal for both sides at commit time. The fault
 //! injection tests show this breaks down exactly when the reliable-
 //! delivery assumption is violated.
+//!
+//! ## Incremental repair under churn
+//!
+//! [`color_edges_churn`] runs the same automata under a
+//! [`dima_sim::churn::ChurnSchedule`]: when a batch mutates the topology,
+//! each affected node remaps its per-port state to the new neighbor list
+//! in `Protocol::on_topology_change`, prunes its palette to exactly the
+//! colors on its *surviving* edges, and re-enters `C` if any port became
+//! uncolored — while untouched nodes stay parked in `D`. Two additions
+//! keep repairs sound where Proposition 2's exact-knowledge argument no
+//! longer applies (a brand-new link starts with no knowledge of the
+//! peer):
+//!
+//! * a node greets each new neighbor with a [`EcMsg::Hello`] carrying its
+//!   used colors, priming the peer's `used_v` knowledge, and
+//! * a responder re-validates invitations against its own used set — a
+//!   statically vacuous check that rejects proposals made before the
+//!   hello landed.
 
 use dima_graph::{Graph, VertexId};
+use dima_sim::churn::{ChurnSchedule, NeighborhoodChange};
 use dima_sim::{EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::churn::{batch_reports, ChurnColoringResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
-use crate::runner::run_protocol;
+use crate::runner::{run_protocol, run_protocol_churn};
 
 /// Messages of Algorithm 1. All broadcast, per the paper; the `to` field
 /// addresses the intended recipient.
@@ -63,6 +83,13 @@ pub enum EcMsg {
     Used {
         /// The newly used color.
         color: Color,
+    },
+    /// Churn repair: the sender greets a brand-new neighbor with its full
+    /// used-color set, priming the `used_v` knowledge that static runs
+    /// accumulate through the `Used` exchange. Never sent without churn.
+    Hello {
+        /// Every color the sender has committed so far, ascending.
+        used: Vec<Color>,
     },
 }
 
@@ -101,16 +128,15 @@ pub struct EdgeColoringNode {
     /// `2Δ−1`, the worst-case palette (only the RandomLegal ablation
     /// samples from it; the default rule discovers its own bound).
     palette_bound: u32,
+    /// Neighbors gained through churn that still owe a [`EcMsg::Hello`]
+    /// greeting (flushed at the top of the next round this node runs).
+    pending_hello: Vec<VertexId>,
     /// Automata state after the last round (for state censuses).
     state: &'static str,
 }
 
 impl EdgeColoringNode {
-    fn new(seed: &NodeSeed<'_>, g: &Graph, cfg: &ColoringConfig, palette_bound: u32) -> Self {
-        debug_assert!(
-            seed.neighbors.iter().all(|&w| g.edge_between(seed.node, w).is_some()),
-            "topology mirrors graph"
-        );
+    fn new(seed: &NodeSeed<'_>, cfg: &ColoringConfig, palette_bound: u32) -> Self {
         let degree = seed.neighbors.len();
         EdgeColoringNode {
             me: seed.node,
@@ -126,6 +152,7 @@ impl EdgeColoringNode {
             color_policy: cfg.color_policy,
             response_policy: cfg.response_policy,
             palette_bound,
+            pending_hello: Vec::new(),
             state: "C",
         }
     }
@@ -170,20 +197,42 @@ impl Protocol for EdgeColoringNode {
     type Msg = EcMsg;
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, EcMsg>) -> NodeStatus {
-        match Phase::of_round(ctx.round()) {
-            Phase::InviteStep => {
-                // Ingest the previous round's `Used` exchanges.
-                for env in ctx.inbox() {
-                    if let EcMsg::Used { color } = env.msg {
-                        if let Some(p) = self.port_of(env.from) {
-                            self.used_nbr[p].insert(color);
-                        }
+        // Repair prelude. Under churn, `Used` exchanges (flushed by
+        // parking nodes) and `Hello` greetings can land at *any* phase,
+        // not just the invite step — ingest them before the phase logic.
+        // Static runs only ever see `Used` here and only at the invite
+        // step, so the paper's schedule is unchanged.
+        for env in ctx.inbox() {
+            let Some(p) = self.port_of(env.from) else { continue };
+            match &env.msg {
+                EcMsg::Used { color } => {
+                    self.used_nbr[p].insert(*color);
+                }
+                EcMsg::Hello { used } => {
+                    for &c in used {
+                        self.used_nbr[p].insert(c);
                     }
                 }
+                _ => {}
+            }
+        }
+        // Greet neighbors gained through churn (re-checking that they
+        // were not lost again by a later batch before this node ran).
+        for w in std::mem::take(&mut self.pending_hello) {
+            if self.port_of(w).is_some() {
+                ctx.send(w, EcMsg::Hello { used: self.used_self.iter().collect() });
+            }
+        }
+        match Phase::of_round(ctx.round()) {
+            Phase::InviteStep => {
                 if self.uncolored.is_empty() {
-                    // Only reachable by isolated vertices (degree 0) in
-                    // round 0: nodes with edges leave via the exchange
-                    // step.
+                    // Reached by isolated vertices in round 0 and by nodes
+                    // whose last uncolored ports were removed by churn: in
+                    // the latter case a final commit may still await its
+                    // exchange — flush it so neighbors learn the color.
+                    if let Some(color) = self.newly_used.take() {
+                        ctx.broadcast(EcMsg::Used { color });
+                    }
                     self.state = "D";
                     return NodeStatus::Done;
                 }
@@ -192,8 +241,14 @@ impl Protocol for EdgeColoringNode {
                 self.role = choose_role(ctx.rng(), self.invite_probability);
                 self.state = if self.role == Role::Invitor { "I" } else { "L" };
                 if self.role == Role::Invitor {
-                    let &port = pick_uniform(ctx.rng(), &self.uncolored)
-                        .expect("active node has an uncolored edge");
+                    // The uncolored list is non-empty here today, but
+                    // degrade to listening rather than panic if a future
+                    // edit breaks that invariant.
+                    let Some(&port) = pick_uniform(ctx.rng(), &self.uncolored) else {
+                        self.role = Role::Listener;
+                        self.state = "L";
+                        return NodeStatus::Active;
+                    };
                     let color = self.propose_color(port, ctx.rng());
                     self.proposal = Some(Proposal { port, color });
                     ctx.broadcast(EcMsg::Invite { to: self.neighbors[port], color });
@@ -207,13 +262,17 @@ impl Protocol for EdgeColoringNode {
                     // port-uncolored guard is vacuous under reliable
                     // delivery (nobody invites over a colored edge) but
                     // keeps fault-injected desyncs from double-coloring.
-                    let kept: Vec<(VertexId, Color)> = ctx
+                    // The used-self guard is likewise vacuous statically
+                    // (Proposition 2) but rejects proposals made over a
+                    // churn-fresh link before the hello landed.
+                    let kept: Vec<(VertexId, usize, Color)> = ctx
                         .inbox()
                         .iter()
                         .filter_map(|env| match env.msg {
                             EcMsg::Invite { to, color } if to == me => {
                                 let port = self.port_of(env.from)?;
-                                self.edge_color[port].is_none().then_some((env.from, color))
+                                (self.edge_color[port].is_none() && !self.used_self.contains(color))
+                                    .then_some((env.from, port, color))
                             }
                             _ => None,
                         })
@@ -221,11 +280,12 @@ impl Protocol for EdgeColoringNode {
                     let chosen = match self.response_policy {
                         ResponsePolicy::Random => pick_uniform(ctx.rng(), &kept).copied(),
                         ResponsePolicy::FirstSender => kept.first().copied(),
-                        ResponsePolicy::LowestColor => kept.iter().copied().min_by_key(|&(_, c)| c),
+                        ResponsePolicy::LowestColor => {
+                            kept.iter().copied().min_by_key(|&(_, _, c)| c)
+                        }
                     };
-                    if let Some((partner, color)) = chosen {
+                    if let Some((partner, port, color)) = chosen {
                         ctx.broadcast(EcMsg::Accept { to: partner, color });
-                        let port = self.port_of(partner).expect("invitor is a neighbor");
                         self.commit(port, color);
                     }
                 }
@@ -252,7 +312,7 @@ impl Protocol for EdgeColoringNode {
                     }
                 }
                 // E state: broadcast the newly used color, if any.
-                if let Some(color) = self.newly_used {
+                if let Some(color) = self.newly_used.take() {
                     ctx.broadcast(EcMsg::Used { color });
                 }
                 if self.uncolored.is_empty() {
@@ -274,6 +334,66 @@ impl Protocol for EdgeColoringNode {
             if self.edge_color[p].is_none() {
                 self.uncolored.retain(|&q| q != p);
             }
+        }
+    }
+
+    fn on_topology_change(
+        &mut self,
+        seed: NodeSeed<'_>,
+        change: &NeighborhoodChange,
+    ) -> NodeStatus {
+        let was_parked = self.state == "D";
+        let new_neighbors = seed.neighbors.to_vec();
+        // Remap per-port state onto the new neighbor list: surviving
+        // ports keep their color and accumulated neighbor knowledge, new
+        // ports start blank.
+        let mut edge_color = vec![None; new_neighbors.len()];
+        let mut used_nbr = vec![ColorSet::new(); new_neighbors.len()];
+        for (np, &w) in new_neighbors.iter().enumerate() {
+            if let Some(op) = self.port_of(w) {
+                edge_color[np] = self.edge_color[op];
+                used_nbr[np] = std::mem::take(&mut self.used_nbr[op]);
+            }
+        }
+        // A pending proposal follows its neighbor to the new port index.
+        // Dropping a still-valid one would desync a mid-handshake pair —
+        // the listener may already have committed — so it dies only with
+        // its edge.
+        self.proposal = self.proposal.and_then(|p| {
+            let w = self.neighbors[p.port];
+            new_neighbors.binary_search(&w).ok().map(|np| Proposal { port: np, color: p.color })
+        });
+        self.neighbors = new_neighbors;
+        self.edge_color = edge_color;
+        self.used_nbr = used_nbr;
+        self.uncolored =
+            (0..self.neighbors.len()).filter(|&p| self.edge_color[p].is_none()).collect();
+        // Palette pruning: recompute the used set from the surviving
+        // edges only, releasing the colors of removed edges for reuse. A
+        // commit pending its exchange sits in `edge_color` already, so it
+        // is retained iff its edge survived.
+        self.used_self = self.edge_color.iter().flatten().copied().collect();
+        // Churn can raise the local degree past the original Δ; keep the
+        // RandomLegal ablation's palette wide enough to stay legal.
+        self.palette_bound =
+            self.palette_bound.max((2 * self.neighbors.len()).saturating_sub(1).max(1) as u32);
+        self.pending_hello.extend(change.added.iter().copied());
+        if was_parked {
+            // A re-entering node resumes from a clean C state.
+            self.role = Role::Listener;
+            self.proposal = None;
+        }
+        if !self.uncolored.is_empty() {
+            self.state = "C";
+            NodeStatus::Active
+        } else if self.newly_used.is_some() || !self.pending_hello.is_empty() {
+            // Nothing left to color, but a final commit still owes its
+            // exchange (or a greeting is queued): stay up one more round
+            // to flush it, then park via the invite-step early return.
+            NodeStatus::Active
+        } else {
+            self.state = "D";
+            NodeStatus::Done
         }
     }
 }
@@ -347,7 +467,7 @@ pub fn color_edges_with_census(
     let outcome = dima_sim::run_sequential_observed(
         &topo,
         &engine_cfg,
-        |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound),
+        |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound),
         |view| census.record(view.nodes.iter().map(|n| n.state_label())),
     )?;
     let result = assemble_result(g, delta, &outcome.nodes, outcome.stats, outcome.crashed, 0);
@@ -366,9 +486,40 @@ pub fn color_edges(g: &Graph, cfg: &ColoringConfig) -> Result<EdgeColoringResult
     let topo = Topology::from_graph(g);
     let max_rounds = 3 * cfg.compute_round_budget(delta);
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
-    let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, g, cfg, palette_bound);
+    let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
     let run = run_protocol(&topo, cfg, max_rounds, factory)?;
     Ok(assemble_result(g, delta, &run.nodes, run.stats, run.crashed, run.transport_overhead_rounds))
+}
+
+/// Run Algorithm 1 on `g0` under a churn schedule: the coloring is
+/// repaired incrementally after each topology batch rather than restarted
+/// (see the module docs). The result's coloring is assembled against the
+/// schedule's **final** graph; verify it there.
+///
+/// Churn runs use the bare transport only — the ARQ layer binds sequence
+/// numbers to a static neighbor set. Message-loss and crash faults
+/// compose freely.
+pub fn color_edges_churn(
+    g0: &Graph,
+    schedule: &ChurnSchedule,
+    cfg: &ColoringConfig,
+) -> Result<ChurnColoringResult, CoreError> {
+    cfg.validate()?;
+    let final_graph = schedule.final_graph().cloned().unwrap_or_else(|| g0.clone());
+    // Δ may grow mid-run: budget rounds and the ablation palette against
+    // the largest degree the schedule ever produces.
+    let delta = g0.max_degree().max(schedule.max_degree());
+    let topo = Topology::from_graph(g0);
+    // Round budget: the last batch gets a full static budget after it
+    // fires; earlier repairs run inside the inter-batch gaps.
+    let budget = 3 * cfg.compute_round_budget(delta);
+    let max_rounds = schedule.last_round().map_or(budget, |lr| lr + budget);
+    let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
+    let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
+    let run = run_protocol_churn(&topo, cfg, max_rounds, schedule, factory)?;
+    let batches = batch_reports(schedule, &run.stats);
+    let coloring = assemble_result(&final_graph, delta, &run.nodes, run.stats, run.crashed, 0);
+    Ok(ChurnColoringResult { coloring, final_graph, batches })
 }
 
 /// Build the global result from per-node protocol states.

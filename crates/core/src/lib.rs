@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod automata;
+pub mod churn;
 pub mod config;
 pub mod edge_coloring;
 pub mod error;
@@ -54,11 +55,16 @@ pub mod verify;
 pub mod vertex_cover;
 pub mod wire;
 
+pub use churn::{
+    BatchReport, ChurnColoringResult, ChurnKinds, ChurnPlan, ChurnSchedule, ChurnStrongResult,
+};
 pub use config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
-pub use edge_coloring::{color_edges, color_edges_with_census, EdgeColoringResult};
+pub use edge_coloring::{
+    color_edges, color_edges_churn, color_edges_with_census, EdgeColoringResult,
+};
 pub use error::CoreError;
 pub use matching::{maximal_matching, MatchingResult};
 pub use palette::{Color, ColorSet};
-pub use strong_coloring::{strong_color_digraph, StrongColoringResult};
+pub use strong_coloring::{strong_color_churn, strong_color_digraph, StrongColoringResult};
 pub use strong_undirected::{strong_color_graph, StrongUndirectedResult};
 pub use vertex_cover::{vertex_cover, VertexCoverResult};

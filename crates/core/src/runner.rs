@@ -11,8 +11,10 @@
 //! [`EngineRun::transport_overhead_rounds`] so experiments can separate
 //! algorithm cost from transport cost.
 
+use dima_sim::churn::ChurnSchedule;
 use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, Protocol, ReliableNode, Topology,
+    run_parallel, run_parallel_churn, run_sequential, run_sequential_churn, EngineConfig, NodeSeed,
+    Protocol, ReliableNode, Topology,
 };
 
 use crate::config::{ColoringConfig, Engine, Transport};
@@ -98,6 +100,44 @@ where
             })
         }
     }
+}
+
+/// [`run_protocol`] under a churn schedule. Bare transport only: the ARQ
+/// layer binds its sequence numbers and liveness probes to a static
+/// neighbor set (message-loss and crash faults compose fine). Always
+/// collects per-round stats — [`crate::churn::BatchReport`]s need them to
+/// locate quiescence.
+pub(crate) fn run_protocol_churn<P, F>(
+    topo: &Topology,
+    cfg: &ColoringConfig,
+    max_rounds: u64,
+    schedule: &ChurnSchedule,
+    factory: F,
+) -> Result<EngineRun<P>, CoreError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    if cfg.transport != Transport::Bare {
+        return Err(CoreError::Config(
+            "churn runs require the bare transport: the ARQ layer assumes a static \
+             neighbor set (compose churn with message-loss faults directly instead)"
+                .into(),
+        ));
+    }
+    let engine_cfg = EngineConfig { collect_round_stats: true, ..engine_config(cfg, max_rounds) };
+    let outcome = match cfg.engine {
+        Engine::Sequential => run_sequential_churn(topo, &engine_cfg, schedule, factory)?,
+        Engine::Parallel { threads } => {
+            run_parallel_churn(topo, &engine_cfg, threads, schedule, factory)?
+        }
+    };
+    Ok(EngineRun {
+        nodes: outcome.nodes,
+        stats: outcome.stats,
+        crashed: outcome.crashed,
+        transport_overhead_rounds: 0,
+    })
 }
 
 fn engine_config(cfg: &ColoringConfig, max_rounds: u64) -> EngineConfig {

@@ -21,16 +21,18 @@
 //! the corresponding in-arc at the responder); a node is done when all
 //! its out- **and** in-arcs are colored (paper line 2.28).
 
-use dima_graph::{ArcId, Digraph, VertexId};
+use dima_graph::{ArcId, Digraph, Graph, VertexId};
+use dima_sim::churn::{ChurnSchedule, NeighborhoodChange};
 use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::churn::{batch_reports, ChurnStrongResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
-use crate::runner::run_protocol;
+use crate::runner::{run_protocol, run_protocol_churn};
 
 /// Messages of Algorithm 2. All broadcast — overhearing is what makes the
 /// same-round conflict detection of Procedure 2-b work.
@@ -60,12 +62,56 @@ pub enum StrongMsg {
         /// The newly used channel.
         color: Color,
     },
+    /// Churn repair: the sender announces every channel committed on its
+    /// incident arcs — the batched form of the `UpdateColors`
+    /// announcements the receiver missed while the link did not exist
+    /// (new neighbors) or while it was parked (stale wake-ups, which set
+    /// `reply`). Split by direction because for adjacent nodes the
+    /// Definition-2 conflicts between committed channels are exactly
+    /// *my out vs your in* and *my in vs your out*. Never sent without
+    /// churn.
+    Hello {
+        /// Channels on the sender's out-arcs (tail side), ascending.
+        out_used: Vec<Color>,
+        /// Channels on the sender's in-arcs (head side), ascending.
+        in_used: Vec<Color>,
+        /// Ask the receiver to greet back: set by a node waking from the
+        /// parked state, whose one-hop color knowledge went stale while
+        /// it was dropping mail.
+        reply: bool,
+    },
+    /// Churn repair: the sender has released the listed channels on the
+    /// arcs it shares with the receiver. A churn-fresh link can put
+    /// channels *committed before the link existed* into a Definition-2
+    /// conflict; the smaller-id endpoint of the new link resolves it by
+    /// uncoloring its clashing arcs and telling each affected partner to
+    /// uncolor the matching side, after which the normal handshake
+    /// recolors them. Never sent without churn.
+    Release {
+        /// Channels released on the sender ↔ receiver arc pair.
+        colors: Vec<Color>,
+    },
 }
 
 #[derive(Clone, Debug)]
 struct Proposal {
     port: usize,
     colors: Vec<Color>,
+}
+
+/// An active conflict watch on one churn-fresh neighbor (see
+/// `StrongColoringNode::release_watch`).
+#[derive(Clone, Debug)]
+struct ReleaseWatch {
+    /// The new neighbor being policed.
+    peer: VertexId,
+    /// Rounds of watching left; the entry dies at 0.
+    rounds_left: u32,
+    /// Every channel the peer has announced (Hello or `UpdateColors`)
+    /// while watched — checked against this node's own commits, including
+    /// commits that land *after* the announcement (an invitor never
+    /// re-checks its proposal against fresh announcements).
+    announced: ColorSet,
 }
 
 /// Per-vertex automata state for Algorithm 2.
@@ -111,23 +157,47 @@ pub struct StrongColoringNode {
     color_policy: ColorPolicy,
     response_policy: ResponsePolicy,
     proposal_width: usize,
+    /// Neighbors that still owe a [`StrongMsg::Hello`] greeting, with the
+    /// reply-wanted flag (set when this node woke from the parked state
+    /// and must refresh its knowledge of the peer's channels).
+    pending_hello: Vec<(VertexId, bool)>,
+    /// Rounds left in which this node must not *invite*: set on waking
+    /// from the parked state, long enough for the refresh Hello round
+    /// trip — proposals made from stale one-hop knowledge could commit a
+    /// channel a neighbor took while this node was dropping mail.
+    refresh: u32,
+    /// Churn-fresh neighbors this node polices for Definition-2 clashes
+    /// against its own committed channels (the smaller-id endpoint of
+    /// each new link only). The watch covers the window in which the new
+    /// neighbor can still announce channels chosen before it learned this
+    /// node's — afterwards both sides' `forbidden` sets and the
+    /// Proposition-5 overhearing argument make fresh clashes impossible.
+    release_watch: Vec<ReleaseWatch>,
+    /// Rounds a finished node stays up (as a silent listener) after a
+    /// churn batch gave it new links: its `release_watch` entries only
+    /// tick while it is stepped, and a watched peer's `UpdateColors` is
+    /// not wake-class — parking early would blind the watch. Decremented
+    /// at the park gates, 0 in static runs.
+    vigil: u32,
     /// Automata state after the last round (for state censuses).
     state: &'static str,
 }
 
+/// Placeholder arc id for ports created by churn: the stored arc ids
+/// index the *initial* digraph and only serve the static assembly path
+/// ([`strong_color_digraph`]); churn runs assemble via ports against the
+/// final digraph and never read them.
+const NO_ARC: ArcId = ArcId(u32::MAX);
+
 impl StrongColoringNode {
     fn new(seed: &NodeSeed<'_>, d: &Digraph, cfg: &ColoringConfig) -> Self {
         let me = seed.node;
-        let out_arcs: Vec<ArcId> = seed
-            .neighbors
-            .iter()
-            .map(|&w| d.arc_between(me, w).expect("digraph is symmetric"))
-            .collect();
-        let in_arcs: Vec<ArcId> = seed
-            .neighbors
-            .iter()
-            .map(|&w| d.arc_between(w, me).expect("digraph is symmetric"))
-            .collect();
+        // Ports without an arc in `d` can only come from churn (a join
+        // node attached to post-batch links): map them to the sentinel.
+        let out_arcs: Vec<ArcId> =
+            seed.neighbors.iter().map(|&w| d.arc_between(me, w).unwrap_or(NO_ARC)).collect();
+        let in_arcs: Vec<ArcId> =
+            seed.neighbors.iter().map(|&w| d.arc_between(w, me).unwrap_or(NO_ARC)).collect();
         let degree = seed.neighbors.len();
         StrongColoringNode {
             me,
@@ -149,6 +219,10 @@ impl StrongColoringNode {
             color_policy: cfg.color_policy,
             response_policy: cfg.response_policy,
             proposal_width: cfg.proposal_width,
+            pending_hello: Vec::new(),
+            refresh: 0,
+            release_watch: Vec::new(),
+            vigil: 0,
             state: "C",
         }
     }
@@ -159,6 +233,72 @@ impl StrongColoringNode {
 
     fn is_finished(&self) -> bool {
         self.uncolored_out.is_empty() && self.uncolored_in == 0
+    }
+
+    /// Channels committed on this node's own arcs, split tail/head side —
+    /// the payload of a [`StrongMsg::Hello`] greeting.
+    fn own_used_split(&self) -> (Vec<Color>, Vec<Color>) {
+        let out: ColorSet = self.out_color.iter().flatten().copied().collect();
+        let inc: ColorSet = self.in_color.iter().flatten().copied().collect();
+        (out.iter().collect(), inc.iter().collect())
+    }
+
+    /// Record channels a watched churn-fresh neighbor announced; `true`
+    /// iff `v` is currently watched (the caller then clash-scans).
+    fn note_announcement(&mut self, v: VertexId, colors: &[Color]) -> bool {
+        let mut watched = false;
+        for w in self.release_watch.iter_mut().filter(|w| w.peer == v) {
+            for &c in colors {
+                w.announced.insert(c);
+            }
+            watched = true;
+        }
+        watched
+    }
+
+    /// Whether any watched churn-fresh neighbor has announced `color`.
+    fn watched_clash(&self, color: Color) -> bool {
+        self.release_watch.iter().any(|w| w.announced.contains(color))
+    }
+
+    /// Release own committed channels that clash with a neighbor's
+    /// announcement: out-arc channels in `out_clash`, in-arc channels in
+    /// `in_clash`. For adjacent nodes, *my out vs your in* and *my in vs
+    /// your out* pairs are Definition-2 conflicts unconditionally, so a
+    /// hit here is a real violation; releasing the arc — and telling its
+    /// partner via [`StrongMsg::Release`] — lets the normal handshake
+    /// recolor it. Released channels stay in `forbidden`, so they cannot
+    /// be re-picked into the same clash.
+    fn release_conflicts(
+        &mut self,
+        out_clash: &ColorSet,
+        in_clash: &ColorSet,
+        notes: &mut Vec<(usize, Vec<Color>)>,
+    ) {
+        for p in 0..self.neighbors.len() {
+            let mut freed: Vec<Color> = Vec::new();
+            if let Some(c) = self.out_color[p] {
+                if out_clash.contains(c) {
+                    self.out_color[p] = None;
+                    if !self.link_down[p] {
+                        self.uncolored_out.push(p);
+                    }
+                    freed.push(c);
+                }
+            }
+            if let Some(c) = self.in_color[p] {
+                if in_clash.contains(c) {
+                    self.in_color[p] = None;
+                    if !self.link_down[p] {
+                        self.uncolored_in += 1;
+                    }
+                    freed.push(c);
+                }
+            }
+            if !freed.is_empty() {
+                notes.push((p, freed));
+            }
+        }
     }
 
     /// "Choose an open channel φ for v" (Procedure 2-a), generalised to
@@ -218,16 +358,143 @@ impl Protocol for StrongColoringNode {
     type Msg = StrongMsg;
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, StrongMsg>) -> NodeStatus {
-        match Phase::of_round(ctx.round()) {
-            Phase::InviteStep => {
-                // `UpdateColors` ingestion from the previous exchange.
-                for env in ctx.inbox() {
-                    if let StrongMsg::Used { color } = env.msg {
-                        self.forbidden.insert(color);
+        // Repair prelude (see the edge-coloring twin): under churn,
+        // `UpdateColors` flushes and `Hello` greetings can land at any
+        // phase — ingest them before the phase logic. Static runs only
+        // see `Used` here, at the invite step, so the paper's schedule is
+        // unchanged.
+        let was_finished = self.is_finished();
+        let mut release_notes: Vec<(usize, Vec<Color>)> = Vec::new();
+        let mut clashes: Vec<(ColorSet, ColorSet)> = Vec::new();
+        let mut greet_back: Vec<VertexId> = Vec::new();
+        for env in ctx.inbox() {
+            match &env.msg {
+                StrongMsg::Used { color } => {
+                    self.forbidden.insert(*color);
+                    if self.note_announcement(env.from, std::slice::from_ref(color)) {
+                        // A channel announced by a churn-fresh neighbor
+                        // may clash with channels committed here before
+                        // the link existed. The `Used` message does not
+                        // say which side committed, so clash both ways —
+                        // unless the announcement is the sender's side of
+                        // an arc *we share* (its commit for our own
+                        // handshake): an arc never clashes with itself.
+                        let shared = self.port_of(env.from).is_some_and(|p| {
+                            self.out_color[p] == Some(*color) || self.in_color[p] == Some(*color)
+                        });
+                        if !shared {
+                            let c: ColorSet = [*color].into_iter().collect();
+                            clashes.push((c.clone(), c));
+                        }
                     }
                 }
+                StrongMsg::Hello { out_used, in_used, reply } => {
+                    for &c in out_used.iter().chain(in_used) {
+                        self.forbidden.insert(c);
+                    }
+                    let mut all = out_used.clone();
+                    all.extend_from_slice(in_used);
+                    self.note_announcement(env.from, &all);
+                    // My out vs their in and my in vs their out are
+                    // unconditional Definition-2 conflicts between
+                    // adjacent nodes: any hit is a real violation (a
+                    // channel committed while this link was missing or
+                    // while one side was parked) and must be released.
+                    // The arcs *shared* with the sender appear on both
+                    // sides of the comparison under their agreed channel
+                    // — an arc is not in conflict with itself, so drop
+                    // those channels from the clash sets (per-node
+                    // channel uniqueness makes the removal exact).
+                    let mut out_clash: ColorSet = in_used.iter().copied().collect();
+                    let mut in_clash: ColorSet = out_used.iter().copied().collect();
+                    if let Some(p) = self.port_of(env.from) {
+                        if let Some(c) = self.out_color[p] {
+                            out_clash.remove(c);
+                        }
+                        if let Some(c) = self.in_color[p] {
+                            in_clash.remove(c);
+                        }
+                    }
+                    clashes.push((out_clash, in_clash));
+                    if *reply {
+                        greet_back.push(env.from);
+                    }
+                }
+                StrongMsg::Release { colors } => {
+                    // A partner released its side of our shared arcs:
+                    // uncolor the matching side here and let the normal
+                    // handshake recolor it.
+                    if let Some(p) = self.port_of(env.from) {
+                        for &c in colors {
+                            if self.out_color[p] == Some(c) {
+                                self.out_color[p] = None;
+                                if !self.link_down[p] {
+                                    self.uncolored_out.push(p);
+                                }
+                            }
+                            if self.in_color[p] == Some(c) {
+                                self.in_color[p] = None;
+                                if !self.link_down[p] {
+                                    self.uncolored_in += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pending_hello.extend(greet_back.into_iter().map(|w| (w, false)));
+        for (out_clash, in_clash) in clashes {
+            self.release_conflicts(&out_clash, &in_clash, &mut release_notes);
+        }
+        for (p, colors) in release_notes {
+            ctx.send(self.neighbors[p], StrongMsg::Release { colors });
+        }
+        if was_finished && !self.is_finished() {
+            // A Release (or clash) just re-opened arcs on a finished node
+            // — possibly one that a wake-class message pulled out of the
+            // parked state, where it was dropping every `UpdateColors`
+            // broadcast. Before recoloring, refresh one-hop knowledge the
+            // same way a batch wake-up does: re-greet every neighbor
+            // asking for their channels back, and stand down from any
+            // role until the replies are in.
+            self.refresh = 3;
+            self.role = Role::Listener;
+            self.proposal = None;
+            self.state = "C";
+            self.pending_hello = self.neighbors.iter().map(|&w| (w, true)).collect();
+        }
+        self.release_watch.retain_mut(|w| {
+            w.rounds_left -= 1;
+            w.rounds_left > 0
+        });
+        self.refresh = self.refresh.saturating_sub(1);
+        for (w, reply) in std::mem::take(&mut self.pending_hello) {
+            if self.port_of(w).is_some() {
+                let (out_used, in_used) = self.own_used_split();
+                ctx.send(w, StrongMsg::Hello { out_used, in_used, reply });
+            }
+        }
+        match Phase::of_round(ctx.round()) {
+            Phase::InviteStep => {
                 if self.is_finished() {
-                    // Only reachable by isolated vertices in round 0.
+                    // Reached by isolated vertices in round 0 and by nodes
+                    // whose last uncolored arcs were removed by churn: a
+                    // commit may still await its `UpdateColors` — flush it.
+                    if let Some(color) = self.newly_used.take() {
+                        ctx.broadcast(StrongMsg::Used { color });
+                    }
+                    if self.vigil > 0 {
+                        // Churn recently touched this neighborhood: stay
+                        // up as a silent listener so a partner's Release
+                        // can still reach us (parked nodes drop mail).
+                        self.vigil -= 1;
+                        self.role = Role::Listener;
+                        self.proposal = None;
+                        self.state = "L";
+                        return NodeStatus::Active;
+                    }
                     self.state = "D";
                     return NodeStatus::Done;
                 }
@@ -236,15 +503,23 @@ impl Protocol for StrongColoringNode {
                 self.newly_used = None;
                 // A node with nothing left to invite for still listens —
                 // its remaining in-arcs are colored by its neighbors'
-                // invitations.
-                self.role = if self.uncolored_out.is_empty() {
+                // invitations. A node still refreshing stale knowledge
+                // after waking from the parked state must not invite yet
+                // (it could propose a channel a neighbor took while this
+                // node was dropping mail); `refresh` is 0 in static runs.
+                self.role = if self.uncolored_out.is_empty() || self.refresh > 0 {
                     Role::Listener
                 } else {
                     choose_role(ctx.rng(), self.invite_probability)
                 };
                 if self.role == Role::Invitor {
-                    let &port = pick_uniform(ctx.rng(), &self.uncolored_out)
-                        .expect("invitor has an uncolored out-arc");
+                    // Non-empty by the role choice above; degrade to
+                    // listening rather than panic if that ever breaks.
+                    let Some(&port) = pick_uniform(ctx.rng(), &self.uncolored_out) else {
+                        self.role = Role::Listener;
+                        self.state = "L";
+                        return NodeStatus::Active;
+                    };
                     let colors = self.propose_colors(port, ctx.rng());
                     self.proposal = Some(Proposal { port, colors: colors.clone() });
                     ctx.broadcast(StrongMsg::Invite { to: self.neighbors[port], colors });
@@ -264,7 +539,12 @@ impl Protocol for StrongColoringNode {
                         });
                     }
                 }
-                if self.role == Role::Listener {
+                if self.role == Role::Listener && self.refresh == 0 {
+                    // (A node still refreshing stale knowledge must not
+                    // *accept* either: a responder commits on the spot,
+                    // and its `forbidden` may be missing channels that
+                    // neighbors took while it was parked. 0 in static
+                    // runs, so the paper's responder is unchanged.)
                     let me = self.me;
                     // Procedure 2-b: split into mine[] and other[].
                     let mut mine: Vec<(VertexId, &Vec<Color>)> = Vec::new();
@@ -285,34 +565,30 @@ impl Protocol for StrongColoringNode {
                     // (line 2-b.8). The in-arc guard is vacuous under
                     // reliable delivery; it keeps fault-injected desyncs
                     // from double-coloring.
-                    let candidates: Vec<(VertexId, Color)> = mine
+                    let candidates: Vec<(VertexId, usize, Color)> = mine
                         .into_iter()
                         .filter_map(|(from, colors)| {
-                            if !self
+                            let port = self
                                 .port_of(from)
-                                .is_some_and(|p| self.in_color[p].is_none() && !self.link_down[p])
-                            {
-                                return None;
-                            }
+                                .filter(|&p| self.in_color[p].is_none() && !self.link_down[p])?;
                             colors
                                 .iter()
                                 .copied()
                                 .find(|&c| !self.forbidden.contains(c) && !other_colors.contains(c))
-                                .map(|c| (from, c))
+                                .map(|c| (from, port, c))
                         })
                         .collect();
                     let chosen = match self.response_policy {
                         ResponsePolicy::Random => pick_uniform(ctx.rng(), &candidates).copied(),
                         ResponsePolicy::FirstSender => candidates.first().copied(),
                         ResponsePolicy::LowestColor => {
-                            candidates.iter().copied().min_by_key(|&(_, c)| c)
+                            candidates.iter().copied().min_by_key(|&(_, _, c)| c)
                         }
                     };
-                    if let Some((partner, color)) = chosen {
+                    if let Some((partner, port, color)) = chosen {
                         ctx.broadcast(StrongMsg::Accept { to: partner, color });
                         // U_i: color the incoming arc from the round
                         // partner.
-                        let port = self.port_of(partner).expect("invitor is a neighbor");
                         debug_assert!(self.in_color[port].is_none());
                         self.in_color[port] = Some(color);
                         self.uncolored_in -= 1;
@@ -346,6 +622,20 @@ impl Protocol for StrongColoringNode {
                             self.out_color[port] = Some(color);
                             self.uncolored_out.retain(|&p| p != port);
                             self.use_color(color);
+                            if self.watched_clash(color) {
+                                // The proposal predates a churn-fresh
+                                // neighbor's announcement of this channel
+                                // (an invitor never re-checks). The
+                                // responder has already committed, so
+                                // honor the handshake symmetrically:
+                                // commit, then release both sides for
+                                // recoloring. The channel stays in
+                                // `forbidden`, so it cannot be re-picked
+                                // into the same clash.
+                                self.out_color[port] = None;
+                                self.uncolored_out.push(port);
+                                ctx.send(partner, StrongMsg::Release { colors: vec![color] });
+                            }
                         } else {
                             // No reply. If the partner was overheard
                             // accepting someone else's invitation this
@@ -369,18 +659,34 @@ impl Protocol for StrongColoringNode {
                         }
                     }
                 }
-                if let Some(color) = self.newly_used {
+                if let Some(color) = self.newly_used.take() {
                     ctx.broadcast(StrongMsg::Used { color });
                 }
                 if self.is_finished() {
-                    self.state = "D";
-                    NodeStatus::Done
+                    if self.vigil > 0 {
+                        self.vigil -= 1;
+                        self.state = "E";
+                        NodeStatus::Active
+                    } else {
+                        self.state = "D";
+                        NodeStatus::Done
+                    }
                 } else {
                     self.state = "E";
                     NodeStatus::Active
                 }
             }
         }
+    }
+
+    fn wakes(msg: &StrongMsg) -> bool {
+        // Repair traffic that *must* reach parked nodes: an uncolor
+        // request re-opens committed arcs on the receiver, and a
+        // reply-requesting greeting is how a stale wake-up rebuilds its
+        // one-hop knowledge — both are meaningless if the (parked,
+        // mail-dropping) partner never hears them. Neither is ever sent
+        // in a static run, so static termination semantics are untouched.
+        matches!(msg, StrongMsg::Release { .. } | StrongMsg::Hello { reply: true, .. })
     }
 
     fn on_link_down(&mut self, neighbor: VertexId) {
@@ -397,6 +703,107 @@ impl Protocol for StrongColoringNode {
         }
         if self.in_color[p].is_none() {
             self.uncolored_in -= 1;
+        }
+    }
+
+    fn on_topology_change(
+        &mut self,
+        seed: NodeSeed<'_>,
+        change: &NeighborhoodChange,
+    ) -> NodeStatus {
+        let was_parked = self.state == "D";
+        let new_neighbors = seed.neighbors.to_vec();
+        let n_new = new_neighbors.len();
+        // Remap per-port state; churn-created ports get sentinel arc ids
+        // (never read — churn assembly goes via ports).
+        let mut out_arcs = vec![NO_ARC; n_new];
+        let mut in_arcs = vec![NO_ARC; n_new];
+        let mut out_color = vec![None; n_new];
+        let mut in_color = vec![None; n_new];
+        let mut link_down = vec![false; n_new];
+        let mut tried = vec![ColorSet::new(); n_new];
+        for (np, &w) in new_neighbors.iter().enumerate() {
+            if let Some(op) = self.port_of(w) {
+                out_arcs[np] = self.out_arcs[op];
+                in_arcs[np] = self.in_arcs[op];
+                out_color[np] = self.out_color[op];
+                in_color[np] = self.in_color[op];
+                link_down[np] = self.link_down[op];
+                tried[np] = std::mem::take(&mut self.tried[op]);
+            }
+        }
+        // A pending proposal follows its neighbor to the new port index;
+        // it dies only with its arc (see the edge-coloring twin).
+        self.proposal = self.proposal.take().and_then(|p| {
+            let w = self.neighbors[p.port];
+            new_neighbors.binary_search(&w).ok().map(|np| Proposal { port: np, colors: p.colors })
+        });
+        self.neighbors = new_neighbors;
+        self.out_arcs = out_arcs;
+        self.in_arcs = in_arcs;
+        self.out_color = out_color;
+        self.in_color = in_color;
+        self.link_down = link_down;
+        self.tried = tried;
+        self.uncolored_out =
+            (0..n_new).filter(|&p| self.out_color[p].is_none() && !self.link_down[p]).collect();
+        self.uncolored_in =
+            (0..n_new).filter(|&p| self.in_color[p].is_none() && !self.link_down[p]).count();
+        // `forbidden` is kept as-is: it over-approximates the distance-2
+        // constraint after removals (releasing a neighbor's colors would
+        // need the two-hop knowledge the model denies us), which is safe —
+        // it can only inflate the palette, never break Definition 2.
+        if was_parked && !self.is_finished() {
+            // Parked nodes drop mail: every `UpdateColors` broadcast
+            // while this node was done is lost, so its one-hop knowledge
+            // may be stale. Since the batch re-opened arcs here, re-greet
+            // *every* neighbor asking for their current channels back,
+            // and hold off inviting (`refresh`) until the replies are in.
+            // (A still-finished wake-up skips this: if a Release later
+            // re-opens one of its arcs, the wake path in the round
+            // prelude runs the same refresh then.)
+            self.refresh = 3;
+            self.pending_hello = self.neighbors.iter().map(|&w| (w, true)).collect();
+        } else if !was_parked {
+            self.pending_hello.extend(change.added.iter().map(|&w| (w, false)));
+        }
+        // The smaller-id endpoint of each new link polices Definition-2
+        // clashes between channels committed before the link existed (the
+        // larger side's are all announced through Hello / in-flight
+        // `UpdateColors` within this window — see the prelude).
+        for &w in &change.added {
+            if self.me < w {
+                self.release_watch.push(ReleaseWatch {
+                    peer: w,
+                    rounds_left: 5,
+                    announced: ColorSet::new(),
+                });
+            }
+        }
+        // A watcher must stay up through its whole watch window — the
+        // watched peer's `UpdateColors` broadcasts are not wake-class
+        // (the engines cannot know who watches whom), so a parked
+        // watcher would miss the clash it exists to catch. 8 engine
+        // rounds (two per park gate) comfortably outlast the 5-round
+        // watch plus a Release round trip. Nodes without new links don't
+        // watch and need no vigil: wake-class messages reach them parked.
+        if !change.added.is_empty() {
+            self.vigil = 8;
+        }
+        if was_parked {
+            self.role = Role::Listener;
+            self.proposal = None;
+        }
+        if !self.is_finished() {
+            self.state = "C";
+            NodeStatus::Active
+        } else if self.newly_used.is_some() || !self.pending_hello.is_empty() || self.vigil > 0 {
+            // Stay up to flush pending `UpdateColors` / greetings and to
+            // keep vigil; the park gates re-park the node afterwards.
+            NodeStatus::Active
+        } else {
+            self.state = "D";
+            NodeStatus::Done
         }
     }
 }
@@ -506,6 +913,71 @@ pub fn strong_color_digraph(
         alive,
         transport_overhead_rounds: run.transport_overhead_rounds,
     })
+}
+
+/// Run Algorithm 2 on the symmetric closure of `g0` under a churn
+/// schedule, repairing the channel assignment incrementally after each
+/// batch (see [`crate::edge_coloring::color_edges_churn`] — the repair
+/// machinery is the same; this variant additionally re-announces used
+/// channels over churn-fresh links via [`StrongMsg::Hello`]).
+///
+/// The result is indexed by the arcs of the **final** graph's symmetric
+/// closure; verify it there. Bare transport only.
+pub fn strong_color_churn(
+    g0: &Graph,
+    schedule: &ChurnSchedule,
+    cfg: &ColoringConfig,
+) -> Result<ChurnStrongResult, CoreError> {
+    cfg.validate()?;
+    let d0 = Digraph::symmetric_closure(g0);
+    let final_graph = schedule.final_graph().cloned().unwrap_or_else(|| g0.clone());
+    let final_digraph = Digraph::symmetric_closure(&final_graph);
+    let delta = g0.max_degree().max(schedule.max_degree());
+    let topo = Topology::from_graph(g0);
+    let budget = 3 * cfg.compute_round_budget(delta);
+    let max_rounds = schedule.last_round().map_or(budget, |lr| lr + budget);
+    let factory = |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, &d0, cfg);
+    let run = run_protocol_churn(&topo, cfg, max_rounds, schedule, factory)?;
+    let batches = batch_reports(schedule, &run.stats);
+    let alive = run.alive();
+
+    // Assemble via ports against the final digraph: the arc ids stored in
+    // the nodes index the *initial* digraph and go stale under churn.
+    // Crash withdrawal matches the static path (see above).
+    let mut colors: Vec<Option<Color>> = vec![None; final_digraph.num_arcs()];
+    let mut endpoint_agreement = true;
+    for (a, (u, v)) in final_digraph.arcs() {
+        let nu = &run.nodes[u.index()];
+        let nv = &run.nodes[v.index()];
+        let tail = nu.port_of(v).and_then(|p| nu.out_color[p]);
+        let head = nv.port_of(u).and_then(|p| nv.in_color[p]);
+        colors[a.index()] = match (alive[u.index()], alive[v.index()]) {
+            (true, true) => {
+                endpoint_agreement &= tail == head;
+                tail.or(head)
+            }
+            _ => None,
+        };
+    }
+
+    let mut palette = ColorSet::new();
+    for c in colors.iter().flatten() {
+        palette.insert(*c);
+    }
+    let comm_rounds = run.stats.rounds;
+    let coloring = StrongColoringResult {
+        colors_used: palette.len(),
+        max_color: palette.max(),
+        colors,
+        compute_rounds: Phase::compute_rounds(comm_rounds),
+        comm_rounds,
+        max_degree: delta,
+        endpoint_agreement,
+        stats: run.stats,
+        alive,
+        transport_overhead_rounds: 0,
+    };
+    Ok(ChurnStrongResult { coloring, final_graph, final_digraph, batches })
 }
 
 #[cfg(test)]

@@ -80,6 +80,10 @@ impl WireCodec for EcMsg {
                 buf.put_u8(2);
                 color.encode(buf);
             }
+            EcMsg::Hello { used } => {
+                buf.put_u8(3);
+                used.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
@@ -90,6 +94,7 @@ impl WireCodec for EcMsg {
             0 => Some(EcMsg::Invite { to: VertexId::decode(buf)?, color: Color::decode(buf)? }),
             1 => Some(EcMsg::Accept { to: VertexId::decode(buf)?, color: Color::decode(buf)? }),
             2 => Some(EcMsg::Used { color: Color::decode(buf)? }),
+            3 => Some(EcMsg::Hello { used: Vec::<Color>::decode(buf)? }),
             _ => None,
         }
     }
@@ -97,6 +102,7 @@ impl WireCodec for EcMsg {
         match self {
             EcMsg::Invite { .. } | EcMsg::Accept { .. } => 9,
             EcMsg::Used { .. } => 5,
+            EcMsg::Hello { used } => 1 + used.encoded_len(),
         }
     }
 }
@@ -118,6 +124,16 @@ impl WireCodec for StrongMsg {
                 buf.put_u8(2);
                 color.encode(buf);
             }
+            StrongMsg::Hello { out_used, in_used, reply } => {
+                buf.put_u8(3);
+                out_used.encode(buf);
+                in_used.encode(buf);
+                buf.put_u8(u8::from(*reply));
+            }
+            StrongMsg::Release { colors } => {
+                buf.put_u8(4);
+                colors.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
@@ -131,6 +147,17 @@ impl WireCodec for StrongMsg {
             }),
             1 => Some(StrongMsg::Accept { to: VertexId::decode(buf)?, color: Color::decode(buf)? }),
             2 => Some(StrongMsg::Used { color: Color::decode(buf)? }),
+            3 => {
+                let out_used = Vec::<Color>::decode(buf)?;
+                let in_used = Vec::<Color>::decode(buf)?;
+                let reply = match buf.has_remaining().then(|| buf.get_u8())? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                Some(StrongMsg::Hello { out_used, in_used, reply })
+            }
+            4 => Some(StrongMsg::Release { colors: Vec::<Color>::decode(buf)? }),
             _ => None,
         }
     }
@@ -139,6 +166,10 @@ impl WireCodec for StrongMsg {
             StrongMsg::Invite { colors, .. } => 5 + colors.encoded_len(),
             StrongMsg::Accept { .. } => 9,
             StrongMsg::Used { .. } => 5,
+            StrongMsg::Hello { out_used, in_used, .. } => {
+                2 + out_used.encoded_len() + in_used.encoded_len()
+            }
+            StrongMsg::Release { colors } => 1 + colors.encoded_len(),
         }
     }
 }
@@ -169,6 +200,8 @@ mod tests {
         roundtrip(EcMsg::Invite { to: VertexId(3), color: Color(5) });
         roundtrip(EcMsg::Accept { to: VertexId(9), color: Color(0) });
         roundtrip(EcMsg::Used { color: Color(1234) });
+        roundtrip(EcMsg::Hello { used: vec![] });
+        roundtrip(EcMsg::Hello { used: vec![Color(0), Color(7)] });
     }
 
     #[test]
@@ -178,6 +211,14 @@ mod tests {
         roundtrip(StrongMsg::Invite { to: VertexId(3), colors: vec![] });
         roundtrip(StrongMsg::Accept { to: VertexId(9), color: Color(2) });
         roundtrip(StrongMsg::Used { color: Color(42) });
+        roundtrip(StrongMsg::Hello { out_used: vec![Color(3)], in_used: vec![], reply: false });
+        roundtrip(StrongMsg::Hello {
+            out_used: vec![],
+            in_used: vec![Color(0), Color(9)],
+            reply: true,
+        });
+        roundtrip(StrongMsg::Release { colors: vec![] });
+        roundtrip(StrongMsg::Release { colors: vec![Color(1), Color(6)] });
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | `compare_baselines`  | DiMaEC vs greedy / Misra–Gries / random-trial |
 //! | `compare_matchings`  | DiMa matching automata vs Luby local-minima |
 //! | `loss_sweep`         | beyond the paper — loss rates × {bare, reliable} transport |
+//! | `churn_sweep`        | beyond the paper — topology churn rates × incremental repair |
 //!
 //! Pass `--quick` to any binary for a reduced corpus (CI-sized),
 //! `--trials N` / `--seed S` to override, `--out DIR` for the CSV

@@ -1,0 +1,312 @@
+//! A mutable undirected graph with incremental degree/Δ tracking.
+//!
+//! [`Graph`] is deliberately immutable: every static experiment colors a
+//! frozen topology. The churn subsystem needs the opposite — a graph that
+//! absorbs `LinkUp` / `LinkDown` / `NodeJoin` / `NodeLeave` events one at
+//! a time while keeping the maximum degree Δ available in O(1), so a
+//! schedule compiler can bound palette sizes and round budgets without
+//! rescanning the graph after every event.
+//!
+//! [`DynGraph`] keeps sorted neighbor lists (insertion/removal is a
+//! binary search plus a `Vec` shift — fine at the scales the simulator
+//! runs at), an alive flag per vertex, and a degree histogram over the
+//! alive vertices from which Δ is maintained incrementally. At any point
+//! [`DynGraph::snapshot`] freezes the current topology into a validated
+//! [`Graph`] for the engines to run on.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// A mutable simple undirected graph over a fixed vertex universe
+/// `0..n`, with O(1) maximum-degree queries.
+///
+/// Vertices are never destroyed, only marked dead ([`Self::remove_vertex`])
+/// and possibly revived later ([`Self::restore_vertex`]) — this matches
+/// the churn model, where a node that leaves the network keeps its
+/// identity and may rejoin. Dead vertices have no incident edges and do
+/// not participate in the degree histogram.
+#[derive(Clone, Debug)]
+pub struct DynGraph {
+    /// Sorted live-neighbor list per vertex (empty for dead vertices).
+    adj: Vec<Vec<VertexId>>,
+    /// Alive flag per vertex.
+    alive: Vec<bool>,
+    /// Number of live edges.
+    num_edges: usize,
+    /// `degree_hist[d]` = number of *alive* vertices with degree `d`.
+    degree_hist: Vec<usize>,
+    /// Current maximum degree over alive vertices (0 if none).
+    max_degree: usize,
+}
+
+impl DynGraph {
+    /// A dynamic copy of `g` with every vertex alive.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let adj: Vec<Vec<VertexId>> = (0..n)
+            .map(|i| g.neighbors(VertexId(i as u32)).iter().map(|&(w, _)| w).collect())
+            .collect();
+        let mut degree_hist = vec![0usize; g.max_degree() + 1];
+        for nbrs in &adj {
+            degree_hist[nbrs.len()] += 1;
+        }
+        DynGraph {
+            num_edges: g.num_edges(),
+            max_degree: g.max_degree(),
+            alive: vec![true; n],
+            adj,
+            degree_hist,
+        }
+    }
+
+    /// An edgeless dynamic graph on `n` alive vertices.
+    pub fn empty(n: usize) -> Self {
+        DynGraph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            num_edges: 0,
+            degree_hist: vec![n],
+            max_degree: 0,
+        }
+    }
+
+    /// Number of vertices in the universe (alive or dead).
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether `v` is currently alive.
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Number of currently alive vertices.
+    pub fn num_alive(&self) -> usize {
+        self.degree_hist.iter().sum()
+    }
+
+    /// Degree of `v` (0 for dead vertices).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Current maximum degree Δ over alive vertices, maintained
+    /// incrementally — O(1).
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The sorted live neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v.index()]
+    }
+
+    /// Whether the live edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Take a vertex's degree from `old` to `new` in the histogram,
+    /// keeping `max_degree` consistent.
+    fn retally(&mut self, old: usize, new: usize) {
+        self.degree_hist[old] -= 1;
+        if new >= self.degree_hist.len() {
+            self.degree_hist.resize(new + 1, 0);
+        }
+        self.degree_hist[new] += 1;
+        if new > self.max_degree {
+            self.max_degree = new;
+        } else if old == self.max_degree {
+            while self.max_degree > 0 && self.degree_hist[self.max_degree] == 0 {
+                self.max_degree -= 1;
+            }
+        }
+    }
+
+    /// Insert the edge `{u, v}`. Returns `false` (and changes nothing) if
+    /// the edge already exists, `u == v`, or either endpoint is dead.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.alive[u.index()] || !self.alive[v.index()] {
+            return false;
+        }
+        let Err(pos_u) = self.adj[u.index()].binary_search(&v) else {
+            return false;
+        };
+        let pos_v = self.adj[v.index()].binary_search(&u).unwrap_err();
+        self.adj[u.index()].insert(pos_u, v);
+        self.adj[v.index()].insert(pos_v, u);
+        self.num_edges += 1;
+        let (du, dv) = (self.adj[u.index()].len(), self.adj[v.index()].len());
+        self.retally(du - 1, du);
+        self.retally(dv - 1, dv);
+        true
+    }
+
+    /// Remove the edge `{u, v}`. Returns `false` if it does not exist.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Ok(pos_u) = self.adj[u.index()].binary_search(&v) else {
+            return false;
+        };
+        let pos_v = self.adj[v.index()].binary_search(&u).expect("adjacency is symmetric");
+        self.adj[u.index()].remove(pos_u);
+        self.adj[v.index()].remove(pos_v);
+        self.num_edges -= 1;
+        let (du, dv) = (self.adj[u.index()].len(), self.adj[v.index()].len());
+        self.retally(du + 1, du);
+        self.retally(dv + 1, dv);
+        true
+    }
+
+    /// Mark `v` dead, removing all its incident edges. Returns the
+    /// neighbors it was detached from (empty if `v` was already dead).
+    pub fn remove_vertex(&mut self, v: VertexId) -> Vec<VertexId> {
+        if !self.alive[v.index()] {
+            return Vec::new();
+        }
+        let dropped = std::mem::take(&mut self.adj[v.index()]);
+        for &w in &dropped {
+            let pos = self.adj[w.index()].binary_search(&v).expect("adjacency is symmetric");
+            self.adj[w.index()].remove(pos);
+            let dw = self.adj[w.index()].len();
+            self.retally(dw + 1, dw);
+        }
+        self.num_edges -= dropped.len();
+        // Remove v itself from the histogram.
+        self.degree_hist[dropped.len()] -= 1;
+        if dropped.len() == self.max_degree {
+            while self.max_degree > 0 && self.degree_hist[self.max_degree] == 0 {
+                self.max_degree -= 1;
+            }
+        }
+        self.alive[v.index()] = false;
+        dropped
+    }
+
+    /// Revive a dead vertex with no edges. Returns `false` if `v` was
+    /// already alive.
+    pub fn restore_vertex(&mut self, v: VertexId) -> bool {
+        if self.alive[v.index()] {
+            return false;
+        }
+        self.alive[v.index()] = true;
+        self.degree_hist[0] += 1;
+        true
+    }
+
+    /// Freeze the current live topology into an immutable [`Graph`] over
+    /// the full vertex universe (dead vertices become isolated).
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.num_vertices(), self.num_edges);
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            let u = VertexId(i as u32);
+            for &w in nbrs {
+                if u < w {
+                    b.add_edge(u, w);
+                }
+            }
+        }
+        b.build().expect("DynGraph maintains a simple graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn insert_and_remove_track_degrees() {
+        let mut g = DynGraph::empty(4);
+        assert!(g.insert_edge(v(0), v(1)));
+        assert!(g.insert_edge(v(0), v(2)));
+        assert!(g.insert_edge(v(0), v(3)));
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.insert_edge(v(1), v(0)), "duplicate edge rejected");
+        assert!(!g.insert_edge(v(2), v(2)), "self-loop rejected");
+        assert!(g.remove_edge(v(0), v(2)));
+        assert_eq!(g.max_degree(), 2);
+        assert!(!g.remove_edge(v(0), v(2)), "double removal rejected");
+        assert_eq!(g.neighbors(v(0)), &[v(1), v(3)]);
+    }
+
+    #[test]
+    fn vertex_death_and_revival() {
+        let mut g = DynGraph::empty(4);
+        g.insert_edge(v(0), v(1));
+        g.insert_edge(v(1), v(2));
+        g.insert_edge(v(1), v(3));
+        let dropped = g.remove_vertex(v(1));
+        assert_eq!(dropped, vec![v(0), v(2), v(3)]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_alive(v(1)));
+        assert!(g.remove_vertex(v(1)).is_empty(), "already dead");
+        assert!(!g.insert_edge(v(0), v(1)), "edges to dead vertices rejected");
+        assert!(g.restore_vertex(v(1)));
+        assert!(!g.restore_vertex(v(1)), "already alive");
+        assert_eq!(g.degree(v(1)), 0);
+        assert!(g.insert_edge(v(0), v(1)));
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let base = crate::gen::structured::grid(3, 4);
+        let dynamic = DynGraph::from_graph(&base);
+        let snap = dynamic.snapshot();
+        assert_eq!(snap.num_vertices(), base.num_vertices());
+        assert_eq!(snap.num_edges(), base.num_edges());
+        for (_, (a, b)) in base.edges() {
+            assert!(snap.has_edge(a, b));
+        }
+    }
+
+    /// Randomized consistency check: after any op sequence, the
+    /// incremental Δ and edge count agree with a from-scratch recount.
+    #[test]
+    fn randomized_ops_agree_with_recount() {
+        let mut rng = SmallRng::seed_from_u64(2012);
+        let n = 12u32;
+        let mut g = DynGraph::empty(n as usize);
+        for _ in 0..2000 {
+            let a = v(rng.random_range(0..n));
+            let b = v(rng.random_range(0..n));
+            match rng.random_range(0..10) {
+                0..4 => {
+                    g.insert_edge(a, b);
+                }
+                4..7 => {
+                    g.remove_edge(a, b);
+                }
+                7..8 => {
+                    g.remove_vertex(a);
+                }
+                _ => {
+                    g.restore_vertex(a);
+                }
+            }
+            let true_max = (0..n).map(|i| g.degree(v(i))).max().unwrap();
+            assert_eq!(g.max_degree(), true_max);
+            let true_edges: usize = (0..n).map(|i| g.degree(v(i))).sum::<usize>() / 2;
+            assert_eq!(g.num_edges(), true_edges);
+            let alive = (0..n).filter(|&i| g.is_alive(v(i))).count();
+            assert_eq!(g.num_alive(), alive);
+            for i in 0..n {
+                if !g.is_alive(v(i)) {
+                    assert_eq!(g.degree(v(i)), 0, "dead vertices keep no edges");
+                }
+            }
+        }
+    }
+}

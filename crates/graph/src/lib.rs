@@ -11,6 +11,8 @@
 //! * [`Digraph`] — a directed graph with arc identifiers, used by the
 //!   strong edge-coloring algorithm. Symmetric digraphs (every arc paired
 //!   with its reverse) are first-class: see [`Digraph::symmetric_closure`].
+//! * [`DynGraph`] — a mutable graph with incremental degree/Δ tracking,
+//!   the substrate for churn (dynamic-topology) schedules.
 //! * [`gen`] — random and structured graph generators covering all of the
 //!   paper's experimental workloads (Erdős–Rényi, Barabási–Albert
 //!   scale-free, Watts–Strogatz small-world) plus fixtures for testing.
@@ -45,6 +47,7 @@ pub mod analysis;
 pub mod conflict;
 pub mod csr;
 pub mod digraph;
+pub mod dyn_graph;
 pub mod error;
 pub mod gen;
 pub mod graph;
@@ -53,6 +56,7 @@ pub mod io;
 
 pub use csr::CsrGraph;
 pub use digraph::{Digraph, DigraphBuilder};
+pub use dyn_graph::DynGraph;
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};
 pub use ids::{ArcId, EdgeId, VertexId};

@@ -1,0 +1,531 @@
+//! Deterministic topology-churn schedules: `LinkUp` / `LinkDown` /
+//! `NodeJoin` / `NodeLeave` events injected between communication rounds.
+//!
+//! The paper motivates DiMa with channel assignment in ad-hoc wireless
+//! networks — a setting where the graph does not stand still. This module
+//! supplies the *event* side of the dynamic-topology subsystem: a
+//! [`ChurnPlan`] describes how much churn to inject and of which kinds,
+//! and [`ChurnSchedule::generate`] expands it — purely from the plan's own
+//! seed — into a sequence of [`ChurnBatch`]es, each pinned to a specific
+//! communication round.
+//!
+//! Every batch is **precompiled**: it carries the post-mutation [`Graph`]
+//! and [`Topology`] snapshot plus the net per-node neighborhood diffs
+//! ([`NeighborhoodChange`]) against the previous snapshot. Both engines
+//! apply a batch by indexing this shared immutable data at the top of the
+//! batch's round, before any node is stepped — which is what keeps the
+//! sequential and parallel engines bit-identical under churn: there is no
+//! engine-side randomness or order-dependence in the mutation path at
+//! all. Churn composes freely with the [`crate::fault`] layer; fault
+//! decisions remain pure hashes of `(seed, round, edge, k)`.
+//!
+//! A schedule generated with a given `(graph, plan)` is deterministic,
+//! and [`ChurnSchedule::truncated`] prefixes agree batch-for-batch with
+//! the full schedule — tests exploit this to verify the coloring at
+//! quiescence after *every* batch by re-running each prefix.
+
+use dima_graph::{DynGraph, Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::Topology;
+
+/// One primitive topology mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A new link appears between two alive nodes (endpoints ordered).
+    LinkUp(VertexId, VertexId),
+    /// An existing link disappears (endpoints ordered).
+    LinkDown(VertexId, VertexId),
+    /// A departed node rejoins the network (its attachments are recorded
+    /// as separate [`ChurnEvent::LinkUp`] events in the same batch).
+    NodeJoin(VertexId),
+    /// A node leaves the network, dropping all its links.
+    NodeLeave(VertexId),
+}
+
+/// Which event kinds a plan may generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnKinds {
+    /// Allow `LinkUp` events.
+    pub link_up: bool,
+    /// Allow `LinkDown` events.
+    pub link_down: bool,
+    /// Allow `NodeJoin` events (only fire once some node has left).
+    pub node_join: bool,
+    /// Allow `NodeLeave` events.
+    pub node_leave: bool,
+}
+
+impl ChurnKinds {
+    /// All four kinds enabled.
+    pub fn all() -> Self {
+        ChurnKinds { link_up: true, link_down: true, node_join: true, node_leave: true }
+    }
+
+    /// Only link-level events (the node set stays fixed).
+    pub fn links_only() -> Self {
+        ChurnKinds { link_up: true, link_down: true, node_join: false, node_leave: false }
+    }
+
+    /// True if no kind is enabled.
+    pub fn is_empty(&self) -> bool {
+        !(self.link_up || self.link_down || self.node_join || self.node_leave)
+    }
+}
+
+impl Default for ChurnKinds {
+    fn default() -> Self {
+        ChurnKinds::all()
+    }
+}
+
+impl std::str::FromStr for ChurnKinds {
+    type Err = String;
+
+    /// Parse a comma-separated kind list: `up`, `down`, `join`, `leave`,
+    /// or the shorthands `all` and `links`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "all" => return Ok(ChurnKinds::all()),
+            "links" => return Ok(ChurnKinds::links_only()),
+            _ => {}
+        }
+        let mut kinds =
+            ChurnKinds { link_up: false, link_down: false, node_join: false, node_leave: false };
+        for part in s.split(',') {
+            match part.trim() {
+                "up" => kinds.link_up = true,
+                "down" => kinds.link_down = true,
+                "join" => kinds.node_join = true,
+                "leave" => kinds.node_leave = true,
+                other => return Err(format!("unknown churn kind `{other}`")),
+            }
+        }
+        if kinds.is_empty() {
+            return Err("empty churn kind list".to_string());
+        }
+        Ok(kinds)
+    }
+}
+
+/// A declarative description of how much churn to inject.
+#[derive(Clone, Debug)]
+pub struct ChurnPlan {
+    /// Seed for the schedule's own RNG — independent of the engine seed,
+    /// so the same churn can be replayed under different protocol runs.
+    pub seed: u64,
+    /// Expected events per batch as a fraction of the node count
+    /// (`rate * n`, rounded, min 1). `0.0` yields an empty schedule.
+    pub rate: f64,
+    /// Which event kinds to generate.
+    pub kinds: ChurnKinds,
+    /// Number of mutation batches.
+    pub batches: usize,
+    /// Communication round of the first batch.
+    pub first_round: u64,
+    /// Rounds between consecutive batches (≥ 1).
+    pub every: u64,
+}
+
+impl ChurnPlan {
+    /// A plan with the given seed and rate; 4 batches, first at round 30,
+    /// one every 30 communication rounds (10 computation rounds), all
+    /// kinds enabled.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        ChurnPlan { seed, rate, kinds: ChurnKinds::all(), batches: 4, first_round: 30, every: 30 }
+    }
+}
+
+/// The net effect of one batch on a single surviving node's neighborhood.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NeighborhoodChange {
+    /// Neighbors gained (sorted). For a node that just (re)joined, this
+    /// is its entire new neighbor list.
+    pub added: Vec<VertexId>,
+    /// Neighbors lost (sorted) — includes neighbors that left.
+    pub removed: Vec<VertexId>,
+}
+
+/// One precompiled mutation batch, applied by the engines at the top of
+/// round [`ChurnBatch::round`], before any node is stepped.
+#[derive(Clone, Debug)]
+pub struct ChurnBatch {
+    /// The communication round this batch fires at.
+    pub round: u64,
+    /// The primitive events this batch was generated from (for reporting;
+    /// the engines only consume the compiled fields below).
+    pub events: Vec<ChurnEvent>,
+    /// The topology *after* this batch.
+    pub graph: Graph,
+    /// CSR form of [`ChurnBatch::graph`] for the engines.
+    pub topo: Topology,
+    /// Nodes that (re)joined in this batch (dead → alive), sorted. The
+    /// engines recreate their protocol instances via the factory; each
+    /// join node also carries a [`ChurnBatch::changes`] entry listing its
+    /// full new neighbor list as `added`.
+    pub joins: Vec<VertexId>,
+    /// Nodes that left in this batch (alive → dead), sorted. The engines
+    /// park them as done.
+    pub leaves: Vec<VertexId>,
+    /// Per-node net neighborhood diffs for surviving nodes (sorted by
+    /// node id); delivered through `Protocol::on_topology_change`.
+    /// Untouched nodes stay parked — repair traffic reaches them through
+    /// wake-class messages (`Protocol::wakes`), not through the batch.
+    pub changes: Vec<(VertexId, NeighborhoodChange)>,
+}
+
+impl ChurnBatch {
+    /// Number of edges touched by this batch's net diff (an edge counted
+    /// once even though it appears in both endpoints' changes).
+    pub fn dirty_edges(&self) -> usize {
+        let mut dirty = 0usize;
+        for (v, change) in &self.changes {
+            for &w in change.added.iter().chain(&change.removed) {
+                // Count each undirected pair once; pairs where the other
+                // endpoint has no change entry (it left/joined) are
+                // attributed to the surviving side when `v > w` fails to
+                // find a counterpart — so count (v, w) iff v < w or w has
+                // no change entry of its own.
+                if *v < w || self.changes.binary_search_by_key(&w, |(u, _)| *u).is_err() {
+                    dirty += 1;
+                }
+            }
+        }
+        dirty
+    }
+}
+
+/// A compiled, deterministic sequence of churn batches with strictly
+/// increasing rounds.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    batches: Vec<ChurnBatch>,
+}
+
+impl ChurnSchedule {
+    /// The empty schedule — running under it is exactly a static run.
+    pub fn empty() -> Self {
+        ChurnSchedule { batches: Vec::new() }
+    }
+
+    /// The compiled batches, in firing order.
+    pub fn batches(&self) -> &[ChurnBatch] {
+        &self.batches
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True if there are no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total primitive events across all batches.
+    pub fn total_events(&self) -> usize {
+        self.batches.iter().map(|b| b.events.len()).sum()
+    }
+
+    /// Round of the last batch, if any.
+    pub fn last_round(&self) -> Option<u64> {
+        self.batches.last().map(|b| b.round)
+    }
+
+    /// The topology after the final batch (`None` for an empty schedule,
+    /// where the initial graph is also the final one).
+    pub fn final_graph(&self) -> Option<&Graph> {
+        self.batches.last().map(|b| &b.graph)
+    }
+
+    /// Maximum degree over all post-batch snapshots.
+    pub fn max_degree(&self) -> usize {
+        self.batches.iter().map(|b| b.graph.max_degree()).max().unwrap_or(0)
+    }
+
+    /// The prefix schedule consisting of the first `k` batches. Because
+    /// generation is sequential in batch order, `generate(g, plan)`
+    /// truncated to `k` equals `generate(g, {plan with batches: k})`.
+    pub fn truncated(&self, k: usize) -> Self {
+        ChurnSchedule { batches: self.batches[..k.min(self.batches.len())].to_vec() }
+    }
+
+    /// Expand `plan` into a concrete batch sequence starting from `g0`.
+    ///
+    /// Deterministic in `(g0, plan)`. Events that cannot be realised
+    /// (e.g. a `NodeJoin` while every node is alive, or a `LinkDown` on
+    /// an edgeless graph) are skipped, so a batch may carry fewer events
+    /// than the rate implies — or even none, in which case it is still
+    /// emitted with an empty diff.
+    pub fn generate(g0: &Graph, plan: &ChurnPlan) -> Self {
+        assert!(plan.every >= 1, "batches must fire on distinct rounds");
+        let n = g0.num_vertices();
+        if n == 0 || plan.batches == 0 || plan.rate <= 0.0 || plan.kinds.is_empty() {
+            return ChurnSchedule::empty();
+        }
+        let per_batch = ((plan.rate * n as f64).round() as usize).max(1);
+        let mut kind_pool: Vec<u8> = Vec::new();
+        if plan.kinds.link_up {
+            kind_pool.push(0);
+        }
+        if plan.kinds.link_down {
+            kind_pool.push(1);
+        }
+        if plan.kinds.node_join {
+            kind_pool.push(2);
+        }
+        if plan.kinds.node_leave {
+            kind_pool.push(3);
+        }
+
+        let mut rng = SmallRng::seed_from_u64(plan.seed);
+        let mut dg = DynGraph::from_graph(g0);
+        let mut prev = dg.clone();
+        let mut batches = Vec::with_capacity(plan.batches);
+        for b in 0..plan.batches {
+            let round = plan.first_round + b as u64 * plan.every;
+            let mut events = Vec::new();
+            for _ in 0..per_batch {
+                match kind_pool[rng.random_range(0..kind_pool.len())] {
+                    0 => gen_link_up(&mut rng, &mut dg, &mut events),
+                    1 => gen_link_down(&mut rng, &mut dg, &mut events),
+                    2 => gen_node_join(&mut rng, &mut dg, &mut events),
+                    _ => gen_node_leave(&mut rng, &mut dg, &mut events),
+                }
+            }
+            let (joins, leaves, changes) = diff(&prev, &dg);
+            let graph = dg.snapshot();
+            let topo = Topology::from_graph(&graph);
+            batches.push(ChurnBatch { round, events, graph, topo, joins, leaves, changes });
+            prev = dg.clone();
+        }
+        ChurnSchedule { batches }
+    }
+}
+
+/// Attempts per event before giving up on finding a legal mutation.
+const TRIES: usize = 24;
+
+fn rand_vertex(rng: &mut SmallRng, n: usize) -> VertexId {
+    VertexId(rng.random_range(0..n as u32))
+}
+
+fn gen_link_up(rng: &mut SmallRng, dg: &mut DynGraph, events: &mut Vec<ChurnEvent>) {
+    for _ in 0..TRIES {
+        let u = rand_vertex(rng, dg.num_vertices());
+        let w = rand_vertex(rng, dg.num_vertices());
+        if dg.insert_edge(u, w) {
+            events.push(ChurnEvent::LinkUp(u.min(w), u.max(w)));
+            return;
+        }
+    }
+}
+
+fn gen_link_down(rng: &mut SmallRng, dg: &mut DynGraph, events: &mut Vec<ChurnEvent>) {
+    for _ in 0..TRIES {
+        let u = rand_vertex(rng, dg.num_vertices());
+        let deg = dg.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let w = dg.neighbors(u)[rng.random_range(0..deg)];
+        dg.remove_edge(u, w);
+        events.push(ChurnEvent::LinkDown(u.min(w), u.max(w)));
+        return;
+    }
+}
+
+fn gen_node_join(rng: &mut SmallRng, dg: &mut DynGraph, events: &mut Vec<ChurnEvent>) {
+    let dead: Vec<VertexId> =
+        (0..dg.num_vertices() as u32).map(VertexId).filter(|&v| !dg.is_alive(v)).collect();
+    if dead.is_empty() {
+        return;
+    }
+    let v = dead[rng.random_range(0..dead.len())];
+    dg.restore_vertex(v);
+    events.push(ChurnEvent::NodeJoin(v));
+    // Attach the newcomer to a few alive peers so it has work to do.
+    let want = rng.random_range(1..=3u32);
+    for _ in 0..want {
+        for _ in 0..TRIES {
+            let w = rand_vertex(rng, dg.num_vertices());
+            if dg.insert_edge(v, w) {
+                events.push(ChurnEvent::LinkUp(v.min(w), v.max(w)));
+                break;
+            }
+        }
+    }
+}
+
+fn gen_node_leave(rng: &mut SmallRng, dg: &mut DynGraph, events: &mut Vec<ChurnEvent>) {
+    // Keep at least two nodes alive so the run stays interesting.
+    if dg.num_alive() <= 2 {
+        return;
+    }
+    for _ in 0..TRIES {
+        let v = rand_vertex(rng, dg.num_vertices());
+        if dg.is_alive(v) {
+            dg.remove_vertex(v);
+            events.push(ChurnEvent::NodeLeave(v));
+            return;
+        }
+    }
+}
+
+/// Net-diff two consecutive topology states into the engine-facing batch
+/// fields: `(joins, leaves, changes)`, each sorted by node id.
+fn diff(
+    prev: &DynGraph,
+    now: &DynGraph,
+) -> (Vec<VertexId>, Vec<VertexId>, Vec<(VertexId, NeighborhoodChange)>) {
+    let mut joins = Vec::new();
+    let mut leaves = Vec::new();
+    let mut changes = Vec::new();
+    for i in 0..prev.num_vertices() as u32 {
+        let v = VertexId(i);
+        match (prev.is_alive(v), now.is_alive(v)) {
+            (true, false) => leaves.push(v),
+            (false, true) => {
+                joins.push(v);
+                // A join node's change entry carries its full neighbor
+                // list so the recreated protocol can greet everyone.
+                changes.push((
+                    v,
+                    NeighborhoodChange { added: now.neighbors(v).to_vec(), removed: Vec::new() },
+                ));
+            }
+            (true, true) => {
+                let added = set_minus(now.neighbors(v), prev.neighbors(v));
+                let removed = set_minus(prev.neighbors(v), now.neighbors(v));
+                if !added.is_empty() || !removed.is_empty() {
+                    changes.push((v, NeighborhoodChange { added, removed }));
+                }
+            }
+            (false, false) => {}
+        }
+    }
+    (joins, leaves, changes)
+}
+
+/// Elements of sorted slice `a` not present in sorted slice `b`.
+fn set_minus(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::{erdos_renyi_gnm, structured};
+
+    fn er(n: usize, m: usize, seed: u64) -> Graph {
+        erdos_renyi_gnm(n, m, &mut SmallRng::seed_from_u64(seed)).expect("valid parameters")
+    }
+
+    fn plan(seed: u64, rate: f64) -> ChurnPlan {
+        ChurnPlan::new(seed, rate)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = er(30, 60, 7);
+        let a = ChurnSchedule::generate(&g, &plan(5, 0.2));
+        let b = ChurnSchedule::generate(&g, &plan(5, 0.2));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.batches().iter().zip(b.batches()) {
+            assert_eq!(x.round, y.round);
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.joins, y.joins);
+            assert_eq!(x.leaves, y.leaves);
+            assert_eq!(x.changes, y.changes);
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_prefix_of_generation() {
+        let g = er(24, 50, 9);
+        let full = ChurnSchedule::generate(&g, &ChurnPlan { batches: 6, ..plan(11, 0.3) });
+        for k in 0..=6 {
+            let direct = ChurnSchedule::generate(&g, &ChurnPlan { batches: k, ..plan(11, 0.3) });
+            let trunc = full.truncated(k);
+            assert_eq!(direct.len(), trunc.len());
+            for (x, y) in direct.batches().iter().zip(trunc.batches()) {
+                assert_eq!(x.events, y.events);
+                assert_eq!(x.changes, y.changes);
+            }
+        }
+    }
+
+    #[test]
+    fn diffs_are_consistent_with_snapshots() {
+        let g = er(40, 90, 3);
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan { batches: 5, ..plan(17, 0.25) });
+        assert_eq!(schedule.len(), 5);
+        let mut prev = g.clone();
+        for batch in schedule.batches() {
+            // Every change entry matches the snapshot pair.
+            for (v, change) in &batch.changes {
+                for &w in &change.added {
+                    assert!(batch.graph.has_edge(*v, w), "added edge must exist after");
+                }
+                for &w in &change.removed {
+                    assert!(!batch.graph.has_edge(*v, w), "removed edge must be gone");
+                    assert!(prev.has_edge(*v, w), "removed edge existed before");
+                }
+            }
+            // Leave nodes are isolated afterwards; joins have the degree
+            // their change entry promises.
+            for &v in &batch.leaves {
+                assert_eq!(batch.graph.degree(v), 0);
+            }
+            for &v in &batch.joins {
+                let (_, change) =
+                    batch.changes.iter().find(|(u, _)| u == &v).expect("join has a change entry");
+                assert_eq!(batch.graph.degree(v), change.added.len());
+            }
+            prev = batch.graph.clone();
+        }
+    }
+
+    #[test]
+    fn rounds_strictly_increase_and_respect_plan() {
+        let g = structured::cycle(10);
+        let p = ChurnPlan { batches: 4, first_round: 9, every: 6, ..plan(1, 0.5) };
+        let schedule = ChurnSchedule::generate(&g, &p);
+        let rounds: Vec<u64> = schedule.batches().iter().map(|b| b.round).collect();
+        assert_eq!(rounds, vec![9, 15, 21, 27]);
+        assert_eq!(schedule.last_round(), Some(27));
+    }
+
+    #[test]
+    fn links_only_keeps_node_set_fixed() {
+        let g = er(20, 40, 5);
+        let p = ChurnPlan { kinds: ChurnKinds::links_only(), batches: 6, ..plan(23, 0.4) };
+        let schedule = ChurnSchedule::generate(&g, &p);
+        for batch in schedule.batches() {
+            assert!(batch.joins.is_empty());
+            assert!(batch.leaves.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_plans_yield_empty_schedules() {
+        let g = structured::path(5);
+        assert!(ChurnSchedule::generate(&g, &plan(1, 0.0)).is_empty());
+        assert!(ChurnSchedule::generate(&g, &ChurnPlan { batches: 0, ..plan(1, 0.5) }).is_empty());
+        assert!(ChurnSchedule::generate(&Graph::empty(0), &plan(1, 0.5)).is_empty());
+        assert!(ChurnSchedule::empty().final_graph().is_none());
+    }
+
+    #[test]
+    fn kind_parsing() {
+        use std::str::FromStr;
+        assert_eq!(ChurnKinds::from_str("all").unwrap(), ChurnKinds::all());
+        assert_eq!(ChurnKinds::from_str("links").unwrap(), ChurnKinds::links_only());
+        let updown = ChurnKinds::from_str("up,down").unwrap();
+        assert!(updown.link_up && updown.link_down && !updown.node_join && !updown.node_leave);
+        assert!(ChurnKinds::from_str("up,bogus").is_err());
+        assert!(ChurnKinds::from_str("").is_err());
+    }
+}

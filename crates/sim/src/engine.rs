@@ -9,6 +9,7 @@
 
 use dima_graph::VertexId;
 
+use crate::churn::ChurnSchedule;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
@@ -104,6 +105,21 @@ where
     run_sequential_observed(topo, cfg, factory, |_| {})
 }
 
+/// [`run_sequential`] under a topology-churn schedule (see
+/// [`run_sequential_churn_observed`] for the batch semantics).
+pub fn run_sequential_churn<P, F>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    schedule: &ChurnSchedule,
+    factory: F,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+{
+    run_sequential_churn_observed(topo, cfg, schedule, factory, |_| {})
+}
+
 /// [`run_sequential`] with a per-round observer — the hook behind state
 /// censuses ([`crate::trace`]) and mid-run inspection in tests. The
 /// observer runs after each round's done-flags merge, i.e. it sees
@@ -111,6 +127,33 @@ where
 pub fn run_sequential_observed<P, F, O>(
     topo: &Topology,
     cfg: &EngineConfig,
+    factory: F,
+    observer: O,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+    O: FnMut(RoundView<'_, P>),
+{
+    run_sequential_churn_observed(topo, cfg, &ChurnSchedule::empty(), factory, observer)
+}
+
+/// [`run_sequential_observed`] under a topology-churn schedule.
+///
+/// Each [`crate::churn::ChurnBatch`] is applied at the top of its round,
+/// before any node is stepped: leavers are parked as done with their
+/// inboxes cleared, joiners get a *fresh* protocol instance from the
+/// factory (but keep their RNG stream — node randomness is a function of
+/// `(seed, node id)` alone, in both engines), and every surviving node
+/// with a neighborhood diff is told through
+/// [`Protocol::on_topology_change`], whose return value replaces its done
+/// flag. The run ends when every node is done *and* the schedule is
+/// exhausted — parked nodes idle through quiescent stretches between
+/// batches.
+pub fn run_sequential_churn_observed<P, F, O>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    schedule: &ChurnSchedule,
     mut factory: F,
     mut observer: O,
 ) -> Result<RunOutcome<P>, SimError>
@@ -151,13 +194,72 @@ where
     // Done-ness takes effect at round boundaries only (`newly_done` is
     // merged after the node loop): whether a round-`r` delivery reaches a
     // node must not depend on the order nodes are stepped in, or the
-    // parallel engine could not reproduce this engine's results.
+    // parallel engine could not reproduce this engine's results. The same
+    // holds for wake-ups (`woken`): a parked node that receives a
+    // wake-class message ([`Protocol::wakes`]) this round re-enters at
+    // the next round boundary, with the message in its inbox.
     let mut newly_done: Vec<usize> = Vec::new();
+    let mut woken: Vec<usize> = Vec::new();
+    // The topology in force; batches swap it for their snapshot.
+    let mut topo = topo;
+    let mut next_batch = 0usize;
     for round in 0..cfg.max_rounds {
+        if let Some(batch) = schedule.batches().get(next_batch) {
+            if batch.round == round {
+                for &v in &batch.leaves {
+                    let i = v.index();
+                    if crashed[i] {
+                        continue;
+                    }
+                    if !done[i] {
+                        done[i] = true;
+                        done_count += 1;
+                    }
+                    cur[i].clear();
+                }
+                for &v in &batch.joins {
+                    let i = v.index();
+                    if crashed[i] {
+                        continue;
+                    }
+                    protocols[i] =
+                        factory(NodeSeed { node: v, neighbors: batch.topo.neighbors(v) });
+                    if done[i] {
+                        done[i] = false;
+                        done_count -= 1;
+                    }
+                    cur[i].clear();
+                }
+                for (v, change) in &batch.changes {
+                    let i = v.index();
+                    if crashed[i] {
+                        continue;
+                    }
+                    let status = protocols[i].on_topology_change(
+                        NodeSeed { node: *v, neighbors: batch.topo.neighbors(*v) },
+                        change,
+                    );
+                    match status {
+                        NodeStatus::Active if done[i] => {
+                            done[i] = false;
+                            done_count -= 1;
+                        }
+                        NodeStatus::Done if !done[i] => {
+                            done[i] = true;
+                            done_count += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                topo = &batch.topo;
+                next_batch += 1;
+            }
+        }
         let mut sent = 0u64;
         let mut delivered = 0u64;
         let mut active = 0usize;
         newly_done.clear();
+        woken.clear();
         for i in 0..n {
             if done[i] || crashed[i] {
                 continue;
@@ -189,17 +291,43 @@ where
                         if cfg.validate_sends && !topo.are_neighbors(node, to) {
                             return Err(SimError::NotANeighbor { from: node, to });
                         }
-                        let copies =
-                            deliver(cfg, round, node, to, k, &done, &crash_round, &mut stats);
+                        let wakes = P::wakes(&msg);
+                        let copies = deliver(
+                            cfg,
+                            round,
+                            node,
+                            to,
+                            k,
+                            &done,
+                            wakes,
+                            &crash_round,
+                            &mut stats,
+                        );
+                        if copies > 0 && done[to.index()] {
+                            woken.push(to.index());
+                        }
                         for _ in 0..copies {
                             next[to.index()].push(Envelope { from: node, msg: msg.clone() });
                             delivered += 1;
                         }
                     }
                     Target::Broadcast => {
+                        let wakes = P::wakes(&msg);
                         for &to in topo.neighbors(node) {
-                            let copies =
-                                deliver(cfg, round, node, to, k, &done, &crash_round, &mut stats);
+                            let copies = deliver(
+                                cfg,
+                                round,
+                                node,
+                                to,
+                                k,
+                                &done,
+                                wakes,
+                                &crash_round,
+                                &mut stats,
+                            );
+                            if copies > 0 && done[to.index()] {
+                                woken.push(to.index());
+                            }
                             for _ in 0..copies {
                                 next[to.index()].push(Envelope { from: node, msg: msg.clone() });
                                 delivered += 1;
@@ -216,11 +344,22 @@ where
             done[i] = true;
             done_count += 1;
         }
+        // A node cannot be both newly done and woken in one round: wake
+        // deliveries only target nodes whose done flag was set when the
+        // round began, and such nodes are never stepped.
+        for &i in &woken {
+            if done[i] {
+                done[i] = false;
+                done_count -= 1;
+            }
+        }
         let rs = RoundStats { round, active, done: done_count, sent, delivered };
         stats.push_round(rs);
         observer(RoundView { round, nodes: &protocols, done: &done, crashed: &crashed, stats: rs });
-        if done_count + crashed_count == n {
+        if done_count + crashed_count == n && next_batch == schedule.len() {
             stats.crashed = crashed_count;
+            stats.churn_batches = schedule.len() as u64;
+            stats.churn_events = schedule.total_events() as u64;
             return Ok(RunOutcome { nodes: protocols, stats, crashed });
         }
         std::mem::swap(&mut cur, &mut next);
@@ -235,9 +374,11 @@ where
 }
 
 /// Decide a delivery's fate: the number of copies (0, 1 or 2) that reach
-/// the recipient's next-round inbox, updating fault counters.
+/// the recipient's next-round inbox, updating fault counters. `wakes`
+/// carries [`Protocol::wakes`] for the message: a wake-class delivery
+/// goes through to a done node (the caller then re-enters the node).
 #[inline]
-#[allow(clippy::too_many_arguments)] // one call site; mirrors the fault-decision tuple
+#[allow(clippy::too_many_arguments)] // two call sites; mirrors the fault-decision tuple
 fn deliver(
     cfg: &EngineConfig,
     round: u64,
@@ -245,10 +386,11 @@ fn deliver(
     to: VertexId,
     k: usize,
     done: &[bool],
+    wakes: bool,
     crash_round: &[Option<u64>],
     stats: &mut RunStats,
 ) -> u32 {
-    if done[to.index()] {
+    if done[to.index()] && !wakes {
         return 0;
     }
     // A message sent at round `r` is read at round `r + 1`; if the

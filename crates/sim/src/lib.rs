@@ -25,11 +25,16 @@
 //! deterministic message loss to demonstrate that the algorithms' safety
 //! depends on the reliable-delivery assumption. [`wire`] provides a
 //! compact binary envelope encoding for protocols that want to measure
-//! bytes-on-the-wire rather than message counts.
+//! bytes-on-the-wire rather than message counts. [`churn`] compiles
+//! deterministic topology-mutation schedules (`LinkUp` / `LinkDown` /
+//! `NodeJoin` / `NodeLeave`) that both engines apply mid-run — still
+//! bit-identically — so protocols can repair their state incrementally
+//! instead of restarting.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -42,9 +47,13 @@ pub mod topology;
 pub mod trace;
 pub mod wire;
 
-pub use engine::{run_sequential, run_sequential_observed, EngineConfig, RoundView, RunOutcome};
+pub use churn::{ChurnBatch, ChurnEvent, ChurnKinds, ChurnPlan, ChurnSchedule, NeighborhoodChange};
+pub use engine::{
+    run_sequential, run_sequential_churn, run_sequential_churn_observed, run_sequential_observed,
+    EngineConfig, RoundView, RunOutcome,
+};
 pub use error::SimError;
-pub use par::run_parallel;
+pub use par::{run_parallel, run_parallel_churn};
 pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx};
 pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};

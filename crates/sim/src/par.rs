@@ -26,6 +26,7 @@ use std::sync::Barrier;
 use dima_graph::VertexId;
 use parking_lot::Mutex;
 
+use crate::churn::ChurnSchedule;
 use crate::engine::{EngineConfig, RunOutcome};
 use crate::error::SimError;
 use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
@@ -45,6 +46,29 @@ pub fn run_parallel<P, F>(
     topo: &Topology,
     cfg: &EngineConfig,
     threads: usize,
+    factory: F,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    run_parallel_churn(topo, cfg, threads, &ChurnSchedule::empty(), factory)
+}
+
+/// [`run_parallel`] under a topology-churn schedule, bit-identical to
+/// [`crate::engine::run_sequential_churn`].
+///
+/// Batches are precompiled data (see [`crate::churn`]), so every worker
+/// independently agrees on *when* a batch fires; each worker applies the
+/// slice of the batch that falls in its shard, then an extra barrier
+/// makes the new done flags and topology visible before any node is
+/// stepped. The run ends when every node is done *and* the schedule is
+/// exhausted.
+pub fn run_parallel_churn<P, F>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    threads: usize,
+    schedule: &ChurnSchedule,
     factory: F,
 ) -> Result<RunOutcome<P>, SimError>
 where
@@ -77,6 +101,11 @@ where
     let mailboxes: Vec<Mutex<Vec<Envelope<P::Msg>>>> =
         (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let done_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    // Wake-ups pending for the round boundary ([`Protocol::wakes`]): set
+    // by the *sender's* worker in phase 1 (first setter also adjusts
+    // `total_done`, so every worker agrees on the termination test after
+    // barrier A), consumed by the *owner's* worker between the barriers.
+    let woken_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let total_done = AtomicUsize::new(0);
     let total_crashed = AtomicUsize::new(0);
     let round_sent = AtomicU64::new(0);
@@ -93,6 +122,7 @@ where
     let error: Mutex<Option<SimError>> = Mutex::new(None);
     let per_round: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
     let finished_round = AtomicU64::new(0);
+    let batches_applied = AtomicUsize::new(0);
 
     let worker = |tid: usize| -> (Vec<P>, Vec<bool>) {
         let (lo, hi) = bounds[tid];
@@ -111,7 +141,93 @@ where
         // mailbox insertion.
         let mut outgoing: Vec<(VertexId, Envelope<P::Msg>)> = Vec::new();
 
+        // The topology in force; batches swap it for their snapshot.
+        let mut topo_now = topo;
+        let mut next_batch = 0usize;
         for round in 0..cfg.max_rounds {
+            // --- Churn batch (if one fires this round): every worker
+            //     evaluates the same schedule, so they all agree on
+            //     whether this block (and its barrier) runs. Each worker
+            //     applies the slice of the batch in its own shard; the
+            //     barrier then makes the new done flags and topology
+            //     visible before any node is stepped or any fate() reads
+            //     the flags. ---
+            if let Some(batch) = schedule.batches().get(next_batch) {
+                if batch.round == round {
+                    for &v in &batch.leaves {
+                        let i = v.index();
+                        if i < lo || i >= hi {
+                            continue;
+                        }
+                        let li = i - lo;
+                        if local_crashed[li] {
+                            continue;
+                        }
+                        if !local_done[li] {
+                            local_done[li] = true;
+                            done_flags[i].store(true, Ordering::Relaxed);
+                            total_done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        inboxes[li].clear();
+                    }
+                    for &v in &batch.joins {
+                        let i = v.index();
+                        if i < lo || i >= hi {
+                            continue;
+                        }
+                        let li = i - lo;
+                        if local_crashed[li] {
+                            continue;
+                        }
+                        protocols[li] =
+                            factory(NodeSeed { node: v, neighbors: batch.topo.neighbors(v) });
+                        if local_done[li] {
+                            local_done[li] = false;
+                            done_flags[i].store(false, Ordering::Relaxed);
+                            total_done.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        inboxes[li].clear();
+                        // Deliveries deposited in the round the node
+                        // parked were never collected (phase 2 skips done
+                        // nodes); the sequential engine's swap/clear
+                        // cycle discarded them, so drain them here too.
+                        mailboxes[i].lock().clear();
+                    }
+                    for (v, change) in &batch.changes {
+                        let i = v.index();
+                        if i < lo || i >= hi {
+                            continue;
+                        }
+                        let li = i - lo;
+                        if local_crashed[li] {
+                            continue;
+                        }
+                        let status = protocols[li].on_topology_change(
+                            NodeSeed { node: *v, neighbors: batch.topo.neighbors(*v) },
+                            change,
+                        );
+                        match status {
+                            NodeStatus::Active if local_done[li] => {
+                                local_done[li] = false;
+                                done_flags[i].store(false, Ordering::Relaxed);
+                                total_done.fetch_sub(1, Ordering::Relaxed);
+                            }
+                            NodeStatus::Done if !local_done[li] => {
+                                local_done[li] = true;
+                                done_flags[i].store(true, Ordering::Relaxed);
+                                total_done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                    }
+                    topo_now = &batch.topo;
+                    next_batch += 1;
+                    if tid == 0 {
+                        batches_applied.store(next_batch, Ordering::Relaxed);
+                    }
+                    barrier.wait();
+                }
+            }
             // --- Phase 1: step own nodes, buffer outgoing messages. ---
             let mut sent = 0u64;
             let mut delivered = 0u64;
@@ -135,7 +251,7 @@ where
                     let mut ctx = RoundCtx {
                         node,
                         round,
-                        neighbors: topo.neighbors(node),
+                        neighbors: topo_now.neighbors(node),
                         inbox: &inboxes[li],
                         outbox: &mut outbox,
                         rng: &mut rngs[li],
@@ -144,9 +260,21 @@ where
                 };
                 for (k, (target, msg)) in outbox.drain(..).enumerate() {
                     sent += 1;
+                    let wakes = P::wakes(&msg);
+                    // First waker of a parked node adjusts the shared
+                    // done count immediately (still phase 1), so every
+                    // worker sees the same count at the termination test;
+                    // the owner's worker applies the flag after barrier A.
+                    let wake = |to: VertexId| {
+                        if done_flags[to.index()].load(Ordering::Relaxed)
+                            && !woken_flags[to.index()].swap(true, Ordering::Relaxed)
+                        {
+                            total_done.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    };
                     match target {
                         Target::Unicast(to) => {
-                            if cfg.validate_sends && !topo.are_neighbors(node, to) {
+                            if cfg.validate_sends && !topo_now.are_neighbors(node, to) {
                                 let mut e = error.lock();
                                 e.get_or_insert(SimError::NotANeighbor { from: node, to });
                                 drop(e);
@@ -159,18 +287,22 @@ where
                                 to,
                                 k as u32,
                                 &done_flags,
+                                wakes,
                                 &crash_round,
                                 &total_dropped,
                                 &total_corrupted,
                                 &total_duplicated,
                             );
+                            if copies > 0 {
+                                wake(to);
+                            }
                             for _ in 0..copies {
                                 outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
                                 delivered += 1;
                             }
                         }
                         Target::Broadcast => {
-                            for &to in topo.neighbors(node) {
+                            for &to in topo_now.neighbors(node) {
                                 let copies = fate(
                                     cfg,
                                     round,
@@ -178,11 +310,15 @@ where
                                     to,
                                     k as u32,
                                     &done_flags,
+                                    wakes,
                                     &crash_round,
                                     &total_dropped,
                                     &total_corrupted,
                                     &total_duplicated,
                                 );
+                                if copies > 0 {
+                                    wake(to);
+                                }
                                 for _ in 0..copies {
                                     outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
                                     delivered += 1;
@@ -234,6 +370,16 @@ where
             for &li in &newly_done {
                 done_flags[lo + li].store(true, Ordering::Relaxed);
             }
+            // Apply pending wake-ups in this worker's shard: the node
+            // must be live again before phase 2 or its mailbox (holding
+            // the wake-class message) would be skipped. `total_done` was
+            // already adjusted by the waking sender in phase 1.
+            for li in 0..(hi - lo) {
+                if woken_flags[lo + li].swap(false, Ordering::Relaxed) && local_done[li] {
+                    local_done[li] = false;
+                    done_flags[lo + li].store(false, Ordering::Relaxed);
+                }
+            }
 
             let done_now = total_done.load(Ordering::Relaxed);
             let finished_now = done_now + total_crashed.load(Ordering::Relaxed);
@@ -251,6 +397,10 @@ where
             }
 
             let abort = error.lock().is_some();
+            // A run with batches still pending keeps going even when
+            // every node is momentarily done — parked nodes idle until
+            // the next batch wakes someone.
+            let terminal = abort || (finished_now == n && next_batch == schedule.len());
 
             // --- Phase 2: collect own inboxes. This must happen while
             //     deposits are quiescent — i.e. *between* the barriers:
@@ -258,7 +408,7 @@ where
             //     no round-(r+1) deposit starts until every worker passes
             //     barrier B. Collecting after B would race with faster
             //     workers already sending next-round messages. ---
-            if !abort && finished_now != n {
+            if !terminal {
                 for li in 0..(hi - lo) {
                     inboxes[li].clear();
                     if local_done[li] || local_crashed[li] {
@@ -273,7 +423,7 @@ where
             }
 
             barrier.wait(); // B
-            if abort || finished_now == n {
+            if terminal {
                 return (protocols, local_crashed);
             }
         }
@@ -296,7 +446,7 @@ where
     }
     let done_now = total_done.load(Ordering::Relaxed);
     let crashed_now = total_crashed.load(Ordering::Relaxed);
-    if done_now + crashed_now != n {
+    if done_now + crashed_now != n || batches_applied.load(Ordering::Relaxed) != schedule.len() {
         return Err(SimError::MaxRoundsExceeded {
             max_rounds: cfg.max_rounds,
             still_active: n - done_now - crashed_now,
@@ -310,6 +460,8 @@ where
         corrupted: total_corrupted.load(Ordering::Relaxed),
         duplicated: total_duplicated.load(Ordering::Relaxed),
         crashed: crashed_now,
+        churn_batches: schedule.len() as u64,
+        churn_events: schedule.total_events() as u64,
         ..Default::default()
     };
     for rs in &per_round {
@@ -340,12 +492,13 @@ fn fate(
     to: VertexId,
     k: u32,
     done_flags: &[AtomicBool],
+    wakes: bool,
     crash_round: &[Option<u64>],
     dropped: &AtomicU64,
     corrupted: &AtomicU64,
     duplicated: &AtomicU64,
 ) -> u32 {
-    if done_flags[to.index()].load(Ordering::Relaxed) {
+    if done_flags[to.index()].load(Ordering::Relaxed) && !wakes {
         return 0;
     }
     if crash_round[to.index()].is_some_and(|cr| round + 1 >= cr) {

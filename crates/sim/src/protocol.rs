@@ -10,6 +10,8 @@
 use dima_graph::VertexId;
 use rand::rngs::SmallRng;
 
+use crate::churn::NeighborhoodChange;
+
 /// A message together with its sender.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope<M> {
@@ -129,6 +131,42 @@ pub trait Protocol: Send {
     /// protocols that never block on a specific peer.
     fn on_link_down(&mut self, neighbor: VertexId) {
         let _ = neighbor;
+    }
+
+    /// Whether `msg` is a *wake-class* message: delivered to a parked
+    /// (done) node, it re-enters the node into the run instead of being
+    /// discarded, and the node reads it the next round. Everything else
+    /// sent to a done node still evaporates. The decision must be a pure
+    /// function of the message — the engines consult it while routing,
+    /// where the receiver's state is not accessible — and it is subject
+    /// to the fault layer like any other delivery (a dropped wake-up
+    /// wakes nobody). The default wakes on nothing, which keeps every
+    /// static protocol's termination semantics unchanged; churn-repair
+    /// protocols override it for the messages that must reach parked
+    /// nodes (e.g. an uncolor request for a committed edge).
+    fn wakes(msg: &Self::Msg) -> bool {
+        let _ = msg;
+        false
+    }
+
+    /// A churn batch changed this node's neighborhood (see
+    /// [`crate::churn`]). `seed` carries the node's *new* neighbor list;
+    /// `change` the net diff against the old one. Called by the
+    /// churn-aware engines at the top of the batch's round, before any
+    /// node is stepped. The returned status replaces the node's done
+    /// flag: `Active` re-enters a parked node into the run, `Done` parks
+    /// it (e.g. when every remaining port is already colored).
+    ///
+    /// The default keeps the node `Active` and ignores the diff — enough
+    /// for stateless protocols, wrong for anything that caches per-port
+    /// state (which must remap it here).
+    fn on_topology_change(
+        &mut self,
+        seed: NodeSeed<'_>,
+        change: &NeighborhoodChange,
+    ) -> NodeStatus {
+        let _ = (seed, change);
+        NodeStatus::Active
     }
 }
 

@@ -34,6 +34,10 @@ pub struct RunStats {
     pub duplicated: u64,
     /// Nodes that crash-stopped during the run.
     pub crashed: usize,
+    /// Churn batches applied during the run (0 for static runs).
+    pub churn_batches: u64,
+    /// Primitive churn events across the applied batches.
+    pub churn_events: u64,
     /// Per-round breakdown (present iff the engine was configured to
     /// collect it).
     pub per_round: Option<Vec<RoundStats>>,

@@ -4,7 +4,10 @@
 //! methodology rests on.
 
 use dima::baselines::random_trial_coloring;
-use dima::core::{color_edges, maximal_matching, strong_color_digraph, ColoringConfig, Engine};
+use dima::core::{
+    color_edges, color_edges_churn, maximal_matching, strong_color_churn, strong_color_digraph,
+    ChurnPlan, ChurnSchedule, ColoringConfig, Engine,
+};
 use dima::graph::gen::erdos_renyi_gnm;
 use dima::graph::{Digraph, Graph};
 use proptest::prelude::*;
@@ -74,6 +77,49 @@ proptest! {
         .unwrap();
         prop_assert_eq!(&seq.colors, &par.colors);
         prop_assert_eq!(seq.comm_rounds, par.comm_rounds);
+    }
+
+    #[test]
+    fn churn_edge_coloring_engines_agree(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        churn_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan::new(churn_seed, 0.2));
+        let seq = color_edges_churn(&g, &schedule, &ColoringConfig::seeded(seed)).unwrap();
+        let par = color_edges_churn(
+            &g,
+            &schedule,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.coloring.colors, &par.coloring.colors);
+        prop_assert_eq!(seq.coloring.comm_rounds, par.coloring.comm_rounds);
+        prop_assert_eq!(seq.coloring.stats.messages_sent, par.coloring.stats.messages_sent);
+        prop_assert_eq!(seq.coloring.stats.deliveries, par.coloring.stats.deliveries);
+        prop_assert_eq!(&seq.batches, &par.batches);
+    }
+
+    #[test]
+    fn churn_strong_coloring_engines_agree(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        churn_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan::new(churn_seed, 0.2));
+        let seq = strong_color_churn(&g, &schedule, &ColoringConfig::seeded(seed)).unwrap();
+        let par = strong_color_churn(
+            &g,
+            &schedule,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .unwrap();
+        prop_assert_eq!(&seq.coloring.colors, &par.coloring.colors);
+        prop_assert_eq!(seq.coloring.comm_rounds, par.coloring.comm_rounds);
+        prop_assert_eq!(seq.coloring.stats.messages_sent, par.coloring.stats.messages_sent);
+        prop_assert_eq!(&seq.batches, &par.batches);
     }
 
     #[test]
