@@ -86,7 +86,7 @@ impl Protocol for LubyNode {
             // Draw and broadcast edge values.
             Phase::InviteStep => {
                 for env in ctx.inbox() {
-                    if matches!(env.msg, LubyMsg::Matched) {
+                    if matches!(*env.msg(), LubyMsg::Matched) {
                         if let Some(p) = self.port_of(env.from) {
                             self.available[p] = false;
                         }
@@ -111,7 +111,7 @@ impl Protocol for LubyNode {
             Phase::RespondStep => {
                 let me = self.me;
                 for env in ctx.inbox() {
-                    if let LubyMsg::Value { to, value } = env.msg {
+                    if let LubyMsg::Value { to, value } = *env.msg() {
                         if to == me {
                             if let Some(p) = self.port_of(env.from) {
                                 if self.available[p] {
@@ -141,7 +141,7 @@ impl Protocol for LubyNode {
                 if let Some(partner) = self.my_min {
                     let reciprocated = ctx.inbox().iter().any(|env| {
                         env.from == partner
-                            && matches!(env.msg, LubyMsg::Min { partner: p } if p == self.me)
+                            && matches!(*env.msg(), LubyMsg::Min { partner: p } if p == self.me)
                     });
                     if reciprocated {
                         self.matched_with = Some(partner);
@@ -184,7 +184,7 @@ pub fn luby_matching(g: &Graph, cfg: &ColoringConfig) -> Result<LubyMatchingResu
         seed: cfg.seed,
         max_rounds: 3 * cfg.compute_round_budget(g.max_degree()),
         collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
+        validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
     };
     let factory = |seed: NodeSeed<'_>| LubyNode::new(&seed);

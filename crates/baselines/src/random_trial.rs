@@ -123,7 +123,7 @@ impl Protocol for RandomTrialNode {
             // Propose.
             Phase::InviteStep => {
                 for env in ctx.inbox() {
-                    if let RtMsg::Commit { other, color } = env.msg {
+                    if let RtMsg::Commit { other, color } = *env.msg() {
                         if let Some(p) = self.port_of(env.from) {
                             self.used_nbr[p].insert(color);
                             if other == self.me && self.edge_color[p].is_none() {
@@ -161,7 +161,7 @@ impl Protocol for RandomTrialNode {
                 let addressed: Vec<(VertexId, Color)> = ctx
                     .inbox()
                     .iter()
-                    .filter_map(|env| match env.msg {
+                    .filter_map(|env| match *env.msg() {
                         RtMsg::Propose { to, color } if to == me => Some((env.from, color)),
                         _ => None,
                     })
@@ -184,7 +184,7 @@ impl Protocol for RandomTrialNode {
                 let grants: Vec<(VertexId, Color)> = ctx
                     .inbox()
                     .iter()
-                    .filter_map(|env| match env.msg {
+                    .filter_map(|env| match *env.msg() {
                         RtMsg::Grant { to, color } if to == me => Some((env.from, color)),
                         _ => None,
                     })
@@ -244,7 +244,7 @@ pub fn random_trial_coloring(
         seed: cfg.seed,
         max_rounds: 3 * cfg.compute_round_budget(delta),
         collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
+        validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
     };
     let factory = |seed: NodeSeed<'_>| RandomTrialNode::new(&seed, g, palette);

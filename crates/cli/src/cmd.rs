@@ -111,8 +111,19 @@ fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String>
         proposal_width: width,
         faults: fault_plan(flags)?,
         transport,
-        ..ColoringConfig::seeded(seed)
+        // CLI runs are measurements: skip the engine's per-delivery
+        // debugging check (the test suites keep it on).
+        ..ColoringConfig::for_measurement(seed)
     })
+}
+
+/// One stderr line recording engine options that change what a timing
+/// means (currently just the send-validation choice).
+fn report_run_options(cfg: &ColoringConfig) {
+    eprintln!(
+        "engine: send validation {} (off is the measurement default; results are identical)",
+        if cfg.validate_sends { "on" } else { "off" },
+    );
 }
 
 /// Assemble a churn plan from `--churn-*` flags; `None` when churn is off
@@ -351,6 +362,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
+    report_run_options(&cfg);
     if let Some(plan) = churn_plan(&flags)? {
         let schedule = ChurnSchedule::generate(&g, &plan);
         let r = color_edges_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
@@ -411,6 +423,7 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let d = Digraph::symmetric_closure(&g);
     let cfg = run_config(&flags)?;
+    report_run_options(&cfg);
     if let Some(plan) = churn_plan(&flags)? {
         let schedule = ChurnSchedule::generate(&g, &plan);
         let r = strong_color_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
@@ -471,6 +484,7 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
+    report_run_options(&cfg);
     let m = maximal_matching(&g, &cfg).map_err(|e| e.to_string())?;
     if faulty(&cfg) {
         if !m.agreement {

@@ -106,6 +106,24 @@ pub fn pick_uniform<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> Option<&'a T> 
     }
 }
 
+/// Pick a uniformly random element of `items` without collecting it: one
+/// counting pass, then (if nonempty) one selection pass over a clone.
+/// Draws from `rng` exactly as [`pick_uniform`] does on the collected
+/// slice — one `random_range(0..len)` when nonempty, nothing when empty —
+/// so swapping between the two cannot perturb a seeded run.
+#[inline]
+pub fn pick_uniform_iter<T, I>(rng: &mut SmallRng, mut items: I) -> Option<T>
+where
+    I: Iterator<Item = T> + Clone,
+{
+    let n = items.clone().count();
+    if n == 0 {
+        None
+    } else {
+        items.nth(rng.random_range(0..n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,14 @@ pub struct ColoringConfig {
     pub max_compute_rounds: Option<u64>,
     /// Collect per-round statistics.
     pub collect_round_stats: bool,
+    /// Validate every `send` against the one-hop model (a binary search
+    /// per delivery). A debugging assertion, not a correctness need: the
+    /// protocols only address neighbors handed to them by the engine.
+    /// Defaults to `true` so the library and its tests keep the check;
+    /// measurement entry points ([`ColoringConfig::for_measurement`],
+    /// the experiment binaries, the CLI) turn it off and say so in their
+    /// run reports.
+    pub validate_sends: bool,
     /// Message-loss injection (model-violation experiments only).
     pub faults: FaultPlan,
     /// Link transport: bare (the default) or the reliable ARQ layer.
@@ -119,6 +127,7 @@ impl Default for ColoringConfig {
             proposal_width: 1,
             max_compute_rounds: None,
             collect_round_stats: false,
+            validate_sends: true,
             faults: FaultPlan::reliable(),
             transport: Transport::default(),
         }
@@ -129,6 +138,14 @@ impl ColoringConfig {
     /// The paper's configuration with the given seed.
     pub fn seeded(seed: u64) -> Self {
         ColoringConfig { seed, ..Default::default() }
+    }
+
+    /// [`ColoringConfig::seeded`] with per-delivery send validation off —
+    /// the configuration experiments and CLI runs start from, so release
+    /// measurements don't pay for a debugging assertion. Results are
+    /// bit-identical either way; only wall-clock differs.
+    pub fn for_measurement(seed: u64) -> Self {
+        ColoringConfig { validate_sends: false, ..ColoringConfig::seeded(seed) }
     }
 
     /// Validate ranges; returns a [`CoreError::Config`] on nonsense.
@@ -180,7 +197,17 @@ mod tests {
         assert_eq!(cfg.response_policy, ResponsePolicy::Random);
         assert_eq!(cfg.engine, Engine::Sequential);
         assert_eq!(cfg.proposal_width, 1);
+        assert!(cfg.validate_sends, "library default keeps the debugging check on");
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn measurement_config_disables_send_validation() {
+        let cfg = ColoringConfig::for_measurement(7);
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.validate_sends);
+        // Everything else matches the paper configuration.
+        assert_eq!(ColoringConfig { validate_sends: true, ..cfg }, ColoringConfig::seeded(7));
     }
 
     #[test]

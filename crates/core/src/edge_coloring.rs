@@ -51,7 +51,7 @@ use dima_sim::churn::{ChurnSchedule, NeighborhoodChange};
 use dima_sim::{EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 
-use crate::automata::{choose_role, pick_uniform, Phase, Role};
+use crate::automata::{choose_role, pick_uniform, pick_uniform_iter, Phase, Role};
 use crate::churn::{batch_reports, ChurnColoringResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
@@ -169,15 +169,11 @@ impl EdgeColoringNode {
             ColorPolicy::RandomLegal => {
                 // A legal color within the worst-case palette always
                 // exists: |used_self| + |used_nbr| <= 2Δ−2 < 2Δ−1.
-                let mut legal: Vec<Color> = Vec::new();
-                for c in 0..self.palette_bound {
-                    let c = Color(c);
-                    if !self.used_self.contains(c) && !self.used_nbr[port].contains(c) {
-                        legal.push(c);
-                    }
-                }
-                pick_uniform(rng, &legal)
-                    .copied()
+                let legal = self
+                    .used_self
+                    .absent_below(self.palette_bound)
+                    .filter(|&c| !self.used_nbr[port].contains(c));
+                pick_uniform_iter(rng, legal)
                     .unwrap_or_else(|| self.used_self.first_absent_in_union(&self.used_nbr[port]))
             }
         }
@@ -204,7 +200,7 @@ impl Protocol for EdgeColoringNode {
         // step, so the paper's schedule is unchanged.
         for env in ctx.inbox() {
             let Some(p) = self.port_of(env.from) else { continue };
-            match &env.msg {
+            match env.msg() {
                 EcMsg::Used { color } => {
                     self.used_nbr[p].insert(*color);
                 }
@@ -268,7 +264,7 @@ impl Protocol for EdgeColoringNode {
                     let kept: Vec<(VertexId, usize, Color)> = ctx
                         .inbox()
                         .iter()
-                        .filter_map(|env| match env.msg {
+                        .filter_map(|env| match *env.msg() {
                             EcMsg::Invite { to, color } if to == me => {
                                 let port = self.port_of(env.from)?;
                                 (self.edge_color[port].is_none() && !self.used_self.contains(color))
@@ -302,7 +298,7 @@ impl Protocol for EdgeColoringNode {
                         let accepted = ctx.inbox().iter().any(|env| {
                             env.from == partner
                                 && matches!(
-                                    env.msg,
+                                    *env.msg(),
                                     EcMsg::Accept { to, color: c } if to == me && c == color
                                 )
                         });
@@ -459,7 +455,7 @@ pub fn color_edges_with_census(
         seed: cfg.seed,
         max_rounds: 3 * cfg.compute_round_budget(delta),
         collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
+        validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
     };
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;

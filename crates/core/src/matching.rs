@@ -95,7 +95,7 @@ impl Protocol for MatchingNode {
                 // Ingest `Matched` announcements from the previous
                 // exchange step.
                 for env in ctx.inbox() {
-                    if matches!(env.msg, MatchMsg::Matched) {
+                    if matches!(*env.msg(), MatchMsg::Matched) {
                         if let Some(p) = self.port_of(env.from) {
                             self.available[p] = false;
                         }
@@ -126,7 +126,7 @@ impl Protocol for MatchingNode {
                     let kept: Vec<VertexId> = ctx
                         .inbox()
                         .iter()
-                        .filter_map(|env| match env.msg {
+                        .filter_map(|env| match *env.msg() {
                             MatchMsg::Invite { to } if to == me => Some(env.from),
                             _ => None,
                         })
@@ -151,7 +151,7 @@ impl Protocol for MatchingNode {
                 if self.role == Role::Invitor && self.matched_with.is_none() {
                     let me = self.me;
                     let accepted = ctx.inbox().iter().any(|env| {
-                        matches!(env.msg, MatchMsg::Accept { to } if to == me)
+                        matches!(*env.msg(), MatchMsg::Accept { to } if to == me)
                             && Some(env.from) == self.invited
                     });
                     if accepted {

@@ -154,9 +154,27 @@ impl ColorSet {
     }
 
     /// Colors in `0..bound` **not** in the set, in increasing order
-    /// (used by the random-legal-color ablation policy).
-    pub fn absent_below(&self, bound: u32) -> Vec<Color> {
-        (0..bound).map(Color).filter(|&c| !self.contains(c)).collect()
+    /// (used by the random-legal-color ablation policy). Allocation-free:
+    /// the policies call this inside their per-round proposal loop, so it
+    /// walks the complemented bitset words lazily instead of materializing
+    /// a `Vec`. The iterator is `Clone`, which lets callers make a
+    /// counting pass and a selection pass over the same gaps.
+    pub fn absent_below(&self, bound: u32) -> impl Iterator<Item = Color> + Clone + '_ {
+        let nwords = bound.div_ceil(64) as usize;
+        (0..nwords).flat_map(move |i| {
+            let mut absent = !self.words.get(i).copied().unwrap_or(0);
+            if i == nwords - 1 && !bound.is_multiple_of(64) {
+                absent &= (1u64 << (bound % 64)) - 1;
+            }
+            std::iter::from_fn(move || {
+                if absent == 0 {
+                    return None;
+                }
+                let bit = absent.trailing_zeros() as usize;
+                absent &= absent - 1;
+                Some(Color((i * 64 + bit) as u32))
+            })
+        })
     }
 }
 
@@ -232,9 +250,26 @@ mod tests {
     #[test]
     fn absent_below_lists_gaps() {
         let s: ColorSet = [0u32, 2].into_iter().map(Color).collect();
-        let gaps: Vec<u32> = s.absent_below(5).iter().map(|c| c.0).collect();
+        let gaps: Vec<u32> = s.absent_below(5).map(|c| c.0).collect();
         assert_eq!(gaps, vec![1, 3, 4]);
-        assert!(s.absent_below(0).is_empty());
+        assert_eq!(s.absent_below(0).count(), 0);
+    }
+
+    #[test]
+    fn absent_below_word_boundaries() {
+        // Bounds at, below, and past the 64-bit word edge; sparse set far
+        // beyond the bound must not leak colors >= bound.
+        let s: ColorSet = [0u32, 63, 64, 127, 200].into_iter().map(Color).collect();
+        let below_64: Vec<u32> = s.absent_below(64).map(|c| c.0).collect();
+        assert_eq!(below_64, (1..63).collect::<Vec<u32>>());
+        let below_65: Vec<u32> = s.absent_below(65).map(|c| c.0).collect();
+        assert_eq!(below_65, (1..63).collect::<Vec<u32>>());
+        let empty = ColorSet::new();
+        assert_eq!(empty.absent_below(130).count(), 130);
+        assert_eq!(s.absent_below(300).count(), 300 - 5);
+        // Two passes over a clone see the same gaps.
+        let it = s.absent_below(70);
+        assert_eq!(it.clone().count(), it.count());
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn engine_config(cfg: &ColoringConfig, max_rounds: u64) -> EngineConfig {
         seed: cfg.seed,
         max_rounds,
         collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
+        validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
     }
 }

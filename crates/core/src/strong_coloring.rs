@@ -327,9 +327,14 @@ impl StrongColoringNode {
                     .map(|c| c.0 + 1 + width as u32)
                     .max()
                     .unwrap_or(width as u32);
-                let mut legal: Vec<Color> = (0..bound)
-                    .map(Color)
-                    .filter(|&c| !self.forbidden.contains(c) && !self.tried[port].contains(c))
+                // Sampling without replacement below needs positional
+                // `swap_remove`, so this path keeps one scratch `Vec` —
+                // filled from the lazy gap iterator rather than a probe
+                // per candidate color.
+                let mut legal: Vec<Color> = self
+                    .forbidden
+                    .absent_below(bound)
+                    .filter(|&c| !self.tried[port].contains(c))
                     .collect();
                 let mut out = Vec::with_capacity(width);
                 for _ in 0..width.min(legal.len().max(1)) {
@@ -368,7 +373,7 @@ impl Protocol for StrongColoringNode {
         let mut clashes: Vec<(ColorSet, ColorSet)> = Vec::new();
         let mut greet_back: Vec<VertexId> = Vec::new();
         for env in ctx.inbox() {
-            match &env.msg {
+            match env.msg() {
                 StrongMsg::Used { color } => {
                     self.forbidden.insert(*color);
                     if self.note_announcement(env.from, std::slice::from_ref(color)) {
@@ -535,7 +540,7 @@ impl Protocol for StrongColoringNode {
                     if let Some(Proposal { port, .. }) = &self.proposal {
                         let partner = self.neighbors[*port];
                         self.partner_was_inviting = ctx.inbox().iter().any(|env| {
-                            env.from == partner && matches!(env.msg, StrongMsg::Invite { .. })
+                            env.from == partner && matches!(*env.msg(), StrongMsg::Invite { .. })
                         });
                     }
                 }
@@ -550,7 +555,7 @@ impl Protocol for StrongColoringNode {
                     let mut mine: Vec<(VertexId, &Vec<Color>)> = Vec::new();
                     let mut other_colors = ColorSet::new();
                     for env in ctx.inbox() {
-                        if let StrongMsg::Invite { to, colors } = &env.msg {
+                        if let StrongMsg::Invite { to, colors } = env.msg() {
                             if *to == me {
                                 mine.push((env.from, colors));
                             } else {
@@ -608,7 +613,7 @@ impl Protocol for StrongColoringNode {
                             if env.from != partner {
                                 return None;
                             }
-                            match env.msg {
+                            match *env.msg() {
                                 StrongMsg::Accept { to, color: c }
                                     if to == me && colors.contains(&c) =>
                                 {
@@ -649,7 +654,7 @@ impl Protocol for StrongColoringNode {
                             // progress.
                             let partner_accepted_other = ctx.inbox().iter().any(|env| {
                                 env.from == partner
-                                    && matches!(env.msg, StrongMsg::Accept { to, .. } if to != me)
+                                    && matches!(*env.msg(), StrongMsg::Accept { to, .. } if to != me)
                             });
                             if !self.partner_was_inviting && !partner_accepted_other {
                                 for &c in &colors {

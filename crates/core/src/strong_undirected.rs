@@ -35,7 +35,7 @@ use dima_sim::{
 };
 use rand::rngs::SmallRng;
 
-use crate::automata::{choose_role, pick_uniform, Role};
+use crate::automata::{choose_role, pick_uniform, pick_uniform_iter, Role};
 use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
@@ -184,12 +184,9 @@ impl StrongUndirectedNode {
                     .map(|c| c.0 + 2)
                     .max()
                     .unwrap_or(1);
-                let legal: Vec<Color> = (0..bound)
-                    .map(Color)
-                    .filter(|&c| !self.forbidden.contains(c) && !self.tried[port].contains(c))
-                    .collect();
-                pick_uniform(rng, &legal)
-                    .copied()
+                let legal =
+                    self.forbidden.absent_below(bound).filter(|&c| !self.tried[port].contains(c));
+                pick_uniform_iter(rng, legal)
                     .unwrap_or_else(|| self.forbidden.first_absent_in_union(&self.tried[port]))
             }
         }
@@ -213,7 +210,7 @@ impl Protocol for StrongUndirectedNode {
                 // Ingest `Used`/`Committed` announcements (both tell the
                 // neighborhood a color is taken nearby).
                 for env in ctx.inbox() {
-                    match env.msg {
+                    match *env.msg() {
                         SuMsg::Used { color } | SuMsg::Committed { color, .. } => {
                             self.forbidden.insert(color);
                         }
@@ -247,7 +244,7 @@ impl Protocol for StrongUndirectedNode {
                     if let Some(Proposal { port, color }) = self.proposal {
                         let partner = self.neighbors[port];
                         for env in ctx.inbox() {
-                            if let SuMsg::Invite { color: c, .. } = env.msg {
+                            if let SuMsg::Invite { color: c, .. } = *env.msg() {
                                 if env.from == partner {
                                     self.partner_was_inviting = true;
                                 }
@@ -262,7 +259,7 @@ impl Protocol for StrongUndirectedNode {
                     let mut mine: Vec<(VertexId, Color)> = Vec::new();
                     let mut other_colors = ColorSet::new();
                     for env in ctx.inbox() {
-                        if let SuMsg::Invite { to, color } = env.msg {
+                        if let SuMsg::Invite { to, color } = *env.msg() {
                             if to == me {
                                 mine.push((env.from, color));
                             } else {
@@ -300,7 +297,7 @@ impl Protocol for StrongUndirectedNode {
                         let me = self.me;
                         let mut accepted_mine = false;
                         for env in ctx.inbox() {
-                            if let SuMsg::Accept { to, color: c } = env.msg {
+                            if let SuMsg::Accept { to, color: c } = *env.msg() {
                                 if env.from == partner {
                                     self.partner_accepted_any = true;
                                     if to == me && c == color {
@@ -318,7 +315,7 @@ impl Protocol for StrongUndirectedNode {
                     // tentatively accepting the same color wins.
                     let me = self.me;
                     self.lost_tiebreak = ctx.inbox().iter().any(|env| {
-                        matches!(env.msg, SuMsg::Accept { color: c, .. } if c == color)
+                        matches!(*env.msg(), SuMsg::Accept { color: c, .. } if c == color)
                             && env.from < me
                     });
                 }
@@ -332,7 +329,7 @@ impl Protocol for StrongUndirectedNode {
                         let proceed = ctx.inbox().iter().any(|env| {
                             env.from == partner
                                 && matches!(
-                                    env.msg,
+                                    *env.msg(),
                                     SuMsg::Proceed { to, color: c } if to == me && c == color
                                 )
                         });
@@ -350,7 +347,7 @@ impl Protocol for StrongUndirectedNode {
                 // set now — waiting for the next invite phase would lose
                 // them, since inboxes are not persisted across rounds.
                 for env in ctx.inbox() {
-                    if let SuMsg::Committed { color, .. } = env.msg {
+                    if let SuMsg::Committed { color, .. } = *env.msg() {
                         self.forbidden.insert(color);
                     }
                 }
@@ -361,7 +358,7 @@ impl Protocol for StrongUndirectedNode {
                         let committed = ctx.inbox().iter().any(|env| {
                             env.from == partner
                                 && matches!(
-                                    env.msg,
+                                    *env.msg(),
                                     SuMsg::Committed { to, color: c } if to == me && c == color
                                 )
                         });
@@ -423,7 +420,7 @@ pub fn strong_color_graph(
         // usual budget.
         max_rounds: 5 * 2 * cfg.compute_round_budget(delta),
         collect_round_stats: cfg.collect_round_stats,
-        validate_sends: true,
+        validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
     };
     let factory = |seed: NodeSeed<'_>| StrongUndirectedNode::new(&seed, g, cfg);

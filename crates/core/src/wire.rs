@@ -257,7 +257,7 @@ mod tests {
         // color = 9 bytes — worth stating for radio budgets.
         let msg = EcMsg::Invite { to: VertexId(1), color: Color(2) };
         assert_eq!(msg.encoded_len(), 9);
-        let env = dima_sim::Envelope { from: VertexId(0), msg };
+        let env = dima_sim::Envelope::new(VertexId(0), msg);
         let framed = dima_sim::wire::encode_envelope(&env);
         assert_eq!(framed.len(), 13);
     }

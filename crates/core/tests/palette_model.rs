@@ -64,7 +64,7 @@ proptest! {
                     prop_assert_eq!(set.is_empty(), model.is_empty());
                 }
                 Op::AbsentBelow(bound) => {
-                    let got: Vec<u32> = set.absent_below(bound).iter().map(|c| c.0).collect();
+                    let got: Vec<u32> = set.absent_below(bound).map(|c| c.0).collect();
                     let expect: Vec<u32> =
                         (0..bound).filter(|c| !model.contains(c)).collect();
                     prop_assert_eq!(got, expect);

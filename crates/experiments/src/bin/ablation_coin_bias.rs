@@ -16,6 +16,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = CommonArgs::from_env();
+    eprintln!("{}", dima_experiments::run::send_validation_note());
     let trials = args.trials_or(30);
     let family = GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 };
     let biases = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
@@ -33,7 +34,7 @@ fn main() {
             let cfg = ColoringConfig {
                 invite_probability: p,
                 engine: args.engine(),
-                ..ColoringConfig::seeded(seed)
+                ..ColoringConfig::for_measurement(seed)
             };
             let r = dima_core::color_edges(&g, &cfg).expect("run failed");
             dima_core::verify::verify_edge_coloring(&g, &r.colors).expect("invalid coloring");

@@ -17,6 +17,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = CommonArgs::from_env();
+    eprintln!("{}", dima_experiments::run::send_validation_note());
     let trials = args.trials_or(30);
     let families = [
         GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 8.0 },
@@ -40,7 +41,7 @@ fn main() {
                 let cfg = ColoringConfig {
                     color_policy: *policy,
                     engine: args.engine(),
-                    ..ColoringConfig::seeded(seed)
+                    ..ColoringConfig::for_measurement(seed)
                 };
                 let r = dima_core::color_edges(&g, &cfg).expect("run failed");
                 dima_core::verify::verify_edge_coloring(&g, &r.colors).expect("invalid coloring");

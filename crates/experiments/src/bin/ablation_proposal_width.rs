@@ -23,6 +23,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = CommonArgs::from_env();
+    eprintln!("{}", dima_experiments::run::send_validation_note());
     let trials = args.trials_or(25);
     let families = [
         GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 4.0 },
@@ -48,7 +49,7 @@ fn main() {
                 let cfg = ColoringConfig {
                     proposal_width: width,
                     engine: args.engine(),
-                    ..ColoringConfig::seeded(seed)
+                    ..ColoringConfig::for_measurement(seed)
                 };
                 let r = strong_color_digraph(&d, &cfg).expect("run failed");
                 dima_core::verify::verify_strong_coloring(&d, &r.colors)

@@ -1,0 +1,355 @@
+//! Headless engine benchmark: the repo's perf trajectory starts here.
+//!
+//! Runs the criterion `engines` scenarios (and a broadcast-heavy gossip
+//! scenario that stresses the message plane directly) without the
+//! criterion harness, so CI and the BENCH_*.json trajectory can record
+//! wall-clock numbers from a plain `cargo run --release`. Output is a
+//! single JSON document; pass `--before <path>` (a previous run of this
+//! bin) to embed that snapshot and per-scenario speedup ratios.
+//!
+//! ```text
+//! bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH]
+//! ```
+
+use dima_core::{color_edges, ColoringConfig, Engine, Transport};
+use dima_graph::gen::GraphFamily;
+use dima_graph::Graph;
+use dima_sim::fault::FaultPlan;
+use dima_sim::{
+    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared,
+    Topology,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured scenario: name plus wall-clock stats over `reps` runs.
+struct Measurement {
+    name: &'static str,
+    reps: usize,
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+fn measure(name: &'static str, reps: usize, mut run: impl FnMut(u64)) -> Measurement {
+    run(0); // warm-up rep (page in the graph, size allocator pools)
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        run(rep as u64 + 1);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for &t in &times {
+        min = min.min(t);
+        max = max.max(t);
+        sum += t;
+    }
+    let m = Measurement { name, reps, mean_ms: sum / reps as f64, min_ms: min, max_ms: max };
+    eprintln!(
+        "  {:<24} mean {:9.3} ms  (min {:.3}, max {:.3}, reps {})",
+        m.name, m.mean_ms, m.min_ms, m.max_ms, m.reps
+    );
+    m
+}
+
+/// Broadcast-heavy protocol: every node floods a fixed-size `Vec<u64>`
+/// payload to all neighbors each round and folds the inbox into a digest.
+/// On a dense graph this is the message plane's worst case — one logical
+/// broadcast fans out to `d` envelopes per node per round — so the
+/// payload rides in a [`Shared`] handle: the fan-out clones are refcount
+/// bumps on one allocation instead of `d` deep copies.
+struct Gossip {
+    rounds: u64,
+    payload: Shared<Vec<u64>>,
+    digest: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Shared<Vec<u64>>;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus {
+        for env in ctx.inbox() {
+            self.digest = self.digest.wrapping_add(env.msg().iter().sum::<u64>());
+        }
+        if ctx.round() >= self.rounds {
+            return NodeStatus::Done;
+        }
+        ctx.broadcast(self.payload.clone());
+        NodeStatus::Active
+    }
+}
+
+/// Small-payload variant of [`Gossip`]: a bare `u64` per broadcast, the
+/// same message shape as the coloring protocols (cheap-to-copy enums).
+/// Stresses the plane's per-delivery overhead rather than payload
+/// cloning.
+struct SmallGossip {
+    rounds: u64,
+    digest: u64,
+}
+
+impl Protocol for SmallGossip {
+    type Msg = u64;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus {
+        for env in ctx.inbox() {
+            self.digest = self.digest.wrapping_add(*env.msg());
+        }
+        if ctx.round() >= self.rounds {
+            return NodeStatus::Done;
+        }
+        ctx.broadcast(self.digest ^ ctx.node().0 as u64);
+        NodeStatus::Active
+    }
+}
+
+fn small_gossip_scenario(
+    name: &'static str,
+    topo: &Topology,
+    rounds: u64,
+    engine_threads: Option<usize>,
+    reps: usize,
+) -> Measurement {
+    measure(name, reps, |rep| {
+        let cfg =
+            EngineConfig { seed: 0x5AA + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
+        let factory = |seed: NodeSeed<'_>| SmallGossip { rounds, digest: seed.node.0 as u64 };
+        let outcome = match engine_threads {
+            None => run_sequential(topo, &cfg, factory).expect("gossip run"),
+            Some(t) => run_parallel(topo, &cfg, t, factory).expect("gossip run"),
+        };
+        black_box(outcome.nodes.iter().map(|n| n.digest).fold(0u64, u64::wrapping_add));
+    })
+}
+
+fn er_avg(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    GraphFamily::ErdosRenyiAvgDegree { n, avg_degree }
+        .sample(&mut SmallRng::seed_from_u64(seed))
+        .expect("valid family")
+}
+
+fn gossip_scenario(
+    name: &'static str,
+    topo: &Topology,
+    rounds: u64,
+    payload_len: usize,
+    engine_threads: Option<usize>,
+    reps: usize,
+) -> Measurement {
+    measure(name, reps, |rep| {
+        let cfg =
+            EngineConfig { seed: 0xB0A5 + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
+        let factory = |seed: NodeSeed<'_>| Gossip {
+            rounds,
+            payload: Shared::new((0..payload_len as u64).map(|i| i ^ seed.node.0 as u64).collect()),
+            digest: 0,
+        };
+        let outcome = match engine_threads {
+            None => run_sequential(topo, &cfg, factory).expect("gossip run"),
+            Some(t) => run_parallel(topo, &cfg, t, factory).expect("gossip run"),
+        };
+        black_box(outcome.nodes.iter().map(|n| n.digest).fold(0u64, u64::wrapping_add));
+    })
+}
+
+fn coloring_scenario(
+    name: &'static str,
+    g: &Graph,
+    engine: Engine,
+    transport: Transport,
+    faults: FaultPlan,
+    reps: usize,
+) -> Measurement {
+    measure(name, reps, |rep| {
+        let cfg = ColoringConfig {
+            engine,
+            transport,
+            faults: faults.clone(),
+            ..ColoringConfig::seeded(0xC01 + rep)
+        };
+        let r = color_edges(g, &cfg).expect("coloring run");
+        black_box(r.colors_used);
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn scenarios_json(ms: &[Measurement]) -> String {
+    let rows: Vec<String> = ms
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\":\"{}\",\"reps\":{},\"mean_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}}}",
+                m.name, m.reps, m.mean_ms, m.min_ms, m.max_ms
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Minimal scanner for this bin's own compact output: pulls
+/// `(name, mean_ms)` pairs out of the `"scenarios":[...]` array. Not a
+/// general JSON parser — it only needs to read what `scenarios_json`
+/// wrote.
+fn parse_before(text: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find("\"scenarios\":[") else { return Vec::new() };
+    let body = &text[start + "\"scenarios\":[".len()..];
+    let Some(end) = body.find(']') else { return Vec::new() };
+    let body = &body[..end];
+    let mut out = Vec::new();
+    for row in body.split("{\"name\":\"").skip(1) {
+        let Some(name_end) = row.find('"') else { continue };
+        let name = row[..name_end].to_string();
+        let Some(mean_at) = row.find("\"mean_ms\":") else { continue };
+        let rest = &row[mean_at + "\"mean_ms\":".len()..];
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(mean) = num.parse::<f64>() {
+            out.push((name, mean));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut label = String::from("snapshot");
+    let mut before_path: Option<String> = None;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--label" => label = args.next().expect("--label needs a name"),
+            "--before" => before_path = Some(args.next().expect("--before needs a path")),
+            "--only" => only = Some(args.next().expect("--only needs a scenario name substring")),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH] [--only SUBSTRING]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("bench_baseline: label={label} quick={quick}");
+
+    // Engine scenarios mirror `crates/experiments/benches/engines.rs`
+    // (ER n=2000, avg degree 16); the gossip pair is the broadcast-heavy
+    // dense-graph workload where payload cloning dominates.
+    let (color_n, color_avg, reps) = if quick { (400, 12.0, 2) } else { (2000, 16.0, 5) };
+    let (dense_n, dense_avg, dense_rounds, payload_len) =
+        if quick { (250, 24.0, 6, 32) } else { (1200, 64.0, 24, 64) };
+
+    let g = er_avg(color_n, color_avg, 46);
+    let dense = er_avg(dense_n, dense_avg, 47);
+    let dense_topo = Topology::from_graph(&dense);
+
+    let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
+    let mut results = Vec::new();
+    if want("color_seq") {
+        results.push(coloring_scenario(
+            "color_seq",
+            &g,
+            Engine::Sequential,
+            Transport::Bare,
+            FaultPlan::reliable(),
+            reps,
+        ));
+    }
+    if want("color_par4") {
+        results.push(coloring_scenario(
+            "color_par4",
+            &g,
+            Engine::Parallel { threads: 4 },
+            Transport::Bare,
+            FaultPlan::reliable(),
+            reps,
+        ));
+    }
+    if want("dense_broadcast_seq") {
+        results.push(gossip_scenario(
+            "dense_broadcast_seq",
+            &dense_topo,
+            dense_rounds,
+            payload_len,
+            None,
+            reps,
+        ));
+    }
+    if want("dense_broadcast_par4") {
+        results.push(gossip_scenario(
+            "dense_broadcast_par4",
+            &dense_topo,
+            dense_rounds,
+            payload_len,
+            Some(4),
+            reps,
+        ));
+    }
+    if want("small_broadcast_seq") {
+        results.push(small_gossip_scenario(
+            "small_broadcast_seq",
+            &dense_topo,
+            dense_rounds * 4,
+            None,
+            reps,
+        ));
+    }
+    if want("small_broadcast_par4") {
+        results.push(small_gossip_scenario(
+            "small_broadcast_par4",
+            &dense_topo,
+            dense_rounds * 4,
+            Some(4),
+            reps,
+        ));
+    }
+    if want("reliable_loss_seq") {
+        results.push(coloring_scenario(
+            "reliable_loss_seq",
+            &g,
+            Engine::Sequential,
+            Transport::reliable(),
+            FaultPlan::uniform(0.02),
+            reps,
+        ));
+    }
+    assert!(!results.is_empty(), "--only matched no scenario");
+
+    let mut doc = String::from("{\n");
+    doc.push_str("\"schema\":\"dima-bench-v1\",\n");
+    doc.push_str(&format!("\"label\":\"{}\",\n", json_escape(&label)));
+    doc.push_str(&format!("\"quick\":{quick},\n"));
+    doc.push_str(&format!("\"scenarios\":{}", scenarios_json(&results)));
+    if let Some(path) = &before_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--before {path}: {e}"));
+        let before = parse_before(&text);
+        assert!(!before.is_empty(), "--before {path}: no scenarios found");
+        let rows: Vec<String> = before
+            .iter()
+            .map(|(n, m)| format!("{{\"name\":\"{}\",\"mean_ms\":{:.3}}}", json_escape(n), m))
+            .collect();
+        doc.push_str(&format!(",\n\"before\":[{}]", rows.join(",")));
+        let mut speedups = Vec::new();
+        for (name, before_mean) in &before {
+            if let Some(after) = results.iter().find(|m| m.name == name) {
+                speedups.push(format!(
+                    "{{\"name\":\"{}\",\"ratio\":{:.3}}}",
+                    json_escape(name),
+                    before_mean / after.mean_ms
+                ));
+            }
+        }
+        doc.push_str(&format!(",\n\"speedup\":[{}]", speedups.join(",")));
+    }
+    doc.push_str("\n}\n");
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = CommonArgs::from_env();
+    eprintln!("{}", dima_experiments::run::send_validation_note());
     let trials = args.trials_or(30);
     let families = [
         GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 4.0 },
@@ -40,7 +41,8 @@ fn main() {
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = fam.sample(&mut rng).expect("valid family");
             let delta = g.max_degree() as f64;
-            let cfg = ColoringConfig { engine: args.engine(), ..ColoringConfig::seeded(seed) };
+            let cfg =
+                ColoringConfig { engine: args.engine(), ..ColoringConfig::for_measurement(seed) };
 
             let r = dima_core::color_edges(&g, &cfg).expect("dima failed");
             verify_edge_coloring(&g, &r.colors).expect("dima invalid");

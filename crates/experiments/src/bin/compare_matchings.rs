@@ -17,6 +17,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = CommonArgs::from_env();
+    eprintln!("{}", dima_experiments::run::send_validation_note());
     let trials = args.trials_or(30);
     let families = [
         GraphFamily::ErdosRenyiAvgDegree { n: 200, avg_degree: 4.0 },
@@ -35,7 +36,8 @@ fn main() {
             let seed = trial_seed(args.seed, ci, t);
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = fam.sample(&mut rng).expect("valid family");
-            let cfg = ColoringConfig { engine: args.engine(), ..ColoringConfig::seeded(seed) };
+            let cfg =
+                ColoringConfig { engine: args.engine(), ..ColoringConfig::for_measurement(seed) };
 
             let m = maximal_matching(&g, &cfg).expect("dima matching failed");
             dima_core::verify::verify_matching(&g, &m.pairs).expect("invalid matching");

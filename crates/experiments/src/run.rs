@@ -13,6 +13,15 @@ use rand::SeedableRng;
 
 use crate::corpus::{trial_seed, Config};
 
+/// One run-report line recording that measurement runs skip the engine's
+/// per-delivery send validation (a debugging binary search the protocols
+/// never trip; tests keep it on). Every corpus runner logs it once so no
+/// report silently mixes checked and unchecked timings.
+pub fn send_validation_note() -> &'static str {
+    "send validation: off (measurement default via ColoringConfig::for_measurement; \
+     tests keep the per-delivery check on)"
+}
+
 /// One Algorithm-1 trial.
 #[derive(Clone, Debug)]
 pub struct EdgeTrial {
@@ -60,13 +69,14 @@ pub const EDGE_HEADERS: [&str; 9] =
 /// Run Algorithm 1 over a corpus. Every coloring is verified; a
 /// verification failure panics (it would falsify Proposition 2).
 pub fn run_edge_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> Vec<EdgeTrial> {
+    eprintln!("{}", send_validation_note());
     let mut out = Vec::new();
     for (ci, cfg) in configs.iter().enumerate() {
         for t in 0..cfg.trials {
             let seed = trial_seed(base_seed, ci, t);
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = cfg.family.sample(&mut rng).expect("corpus parameters are valid");
-            let run_cfg = ColoringConfig { engine, ..ColoringConfig::seeded(seed) };
+            let run_cfg = ColoringConfig { engine, ..ColoringConfig::for_measurement(seed) };
             let r = color_edges(&g, &run_cfg).expect("run failed");
             assert!(r.endpoint_agreement, "endpoints disagree under reliable delivery");
             verify_edge_coloring(&g, &r.colors).expect("invalid coloring (Prop. 2 violated!)");
@@ -142,6 +152,7 @@ pub const STRONG_HEADERS: [&str; 9] = [
 /// Run Algorithm 2 over a corpus of underlying graphs (symmetric closures
 /// are taken per draw). Every coloring is verified against Definition 2.
 pub fn run_strong_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> Vec<StrongTrial> {
+    eprintln!("{}", send_validation_note());
     let mut out = Vec::new();
     for (ci, cfg) in configs.iter().enumerate() {
         for t in 0..cfg.trials {
@@ -149,7 +160,7 @@ pub fn run_strong_corpus(configs: &[Config], base_seed: u64, engine: Engine) -> 
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = cfg.family.sample(&mut rng).expect("corpus parameters are valid");
             let d = Digraph::symmetric_closure(&g);
-            let run_cfg = ColoringConfig { engine, ..ColoringConfig::seeded(seed) };
+            let run_cfg = ColoringConfig { engine, ..ColoringConfig::for_measurement(seed) };
             let r = strong_color_digraph(&d, &run_cfg).expect("run failed");
             assert!(r.endpoint_agreement, "endpoints disagree under reliable delivery");
             verify_strong_coloring(&d, &r.colors)
@@ -246,6 +257,7 @@ pub fn run_loss_sweep(
     base_seed: u64,
     engine: Engine,
 ) -> Vec<LossTrial> {
+    eprintln!("{}", send_validation_note());
     let mut out = Vec::new();
     for (li, &loss) in losses.iter().enumerate() {
         for (ti, transport) in [Transport::Bare, Transport::reliable()].into_iter().enumerate() {
@@ -261,7 +273,7 @@ pub fn run_loss_sweep(
                     faults: FaultPlan::uniform(loss),
                     transport,
                     max_compute_rounds: Some(500),
-                    ..ColoringConfig::seeded(seed)
+                    ..ColoringConfig::for_measurement(seed)
                 };
                 let (outcome, comm_rounds, overhead_rounds, dropped) =
                     match color_edges(&g, &run_cfg) {
@@ -371,6 +383,7 @@ pub fn run_churn_sweep(
     base_seed: u64,
     engine: Engine,
 ) -> Vec<ChurnTrial> {
+    eprintln!("{}", send_validation_note());
     let mut out = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
         for t in 0..trials {
@@ -379,7 +392,7 @@ pub fn run_churn_sweep(
             let g0 = family.sample(&mut rng).expect("corpus parameters are valid");
             let plan = ChurnPlan::new(seed ^ 0x5eed_c4a2, rate);
             let schedule = ChurnSchedule::generate(&g0, &plan);
-            let cfg = ColoringConfig { engine, ..ColoringConfig::seeded(seed) };
+            let cfg = ColoringConfig { engine, ..ColoringConfig::for_measurement(seed) };
             let r = color_edges_churn(&g0, &schedule, &cfg).expect("churn run terminates");
             verify_edge_coloring(&r.final_graph, &r.coloring.colors)
                 .unwrap_or_else(|v| panic!("seed {seed}, rate {rate}: {v}"));

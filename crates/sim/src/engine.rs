@@ -180,8 +180,19 @@ where
     let mut crashed = vec![false; n];
     let mut crashed_count = 0usize;
 
-    let mut cur: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-    let mut next: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    // The message plane: two per-node mailbox arrays alternate roles each
+    // round — nodes read this round's inboxes as slices of `cur` while
+    // next round's deliveries accumulate in `next`; the round boundary
+    // clears `cur` (keeping every mailbox's capacity) and swaps the
+    // buffers, so no envelope is ever moved twice. Stepping nodes in id
+    // order means each mailbox fills already sorted by sender — the
+    // documented delivery order — with no sorting anywhere.
+    let mut cur: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut next: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    // Nodes whose arena slice a churn batch invalidated this round
+    // (leavers park with a cleared inbox, joiners start fresh).
+    let mut suppress = vec![false; n];
+    let mut suppressed_now: Vec<usize> = Vec::new();
     let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
 
     let mut stats =
@@ -203,7 +214,10 @@ where
     // The topology in force; batches swap it for their snapshot.
     let mut topo = topo;
     let mut next_batch = 0usize;
-    for round in 0..cfg.max_rounds {
+    let mut round: u64 = 0;
+    let mut executed: u64 = 0;
+    while executed < cfg.max_rounds {
+        executed += 1;
         if let Some(batch) = schedule.batches().get(next_batch) {
             if batch.round == round {
                 for &v in &batch.leaves {
@@ -215,7 +229,10 @@ where
                         done[i] = true;
                         done_count += 1;
                     }
-                    cur[i].clear();
+                    if !suppress[i] {
+                        suppress[i] = true;
+                        suppressed_now.push(i);
+                    }
                 }
                 for &v in &batch.joins {
                     let i = v.index();
@@ -228,7 +245,10 @@ where
                         done[i] = false;
                         done_count -= 1;
                     }
-                    cur[i].clear();
+                    if !suppress[i] {
+                        suppress[i] = true;
+                        suppressed_now.push(i);
+                    }
                 }
                 for (v, change) in &batch.changes {
                     let i = v.index();
@@ -272,18 +292,22 @@ where
             active += 1;
             let node = VertexId(i as u32);
             outbox.clear();
+            let inbox: &[Envelope<P::Msg>] = if suppress[i] { &[] } else { &cur[i] };
             let status = {
                 let mut ctx = RoundCtx {
                     node,
                     round,
                     neighbors: topo.neighbors(node),
-                    inbox: &cur[i],
+                    inbox,
                     outbox: &mut outbox,
                     rng: &mut rngs[i],
                 };
                 protocols[i].on_round(&mut ctx)
             };
-            // Route this node's outbox.
+            // Route this node's outbox: a unicast payload moves straight
+            // into its envelope, a broadcast payload is cloned once per
+            // recipient — a refcount bump when the protocol wraps heavy
+            // payloads in [`crate::Shared`].
             for (k, (target, msg)) in outbox.drain(..).enumerate() {
                 sent += 1;
                 match target {
@@ -306,9 +330,12 @@ where
                         if copies > 0 && done[to.index()] {
                             woken.push(to.index());
                         }
-                        for _ in 0..copies {
-                            next[to.index()].push(Envelope { from: node, msg: msg.clone() });
-                            delivered += 1;
+                        delivered += u64::from(copies);
+                        if copies == 2 {
+                            next[to.index()].push(Envelope::new(node, msg.clone()));
+                        }
+                        if copies > 0 {
+                            next[to.index()].push(Envelope::new(node, msg));
                         }
                     }
                     Target::Broadcast => {
@@ -328,9 +355,9 @@ where
                             if copies > 0 && done[to.index()] {
                                 woken.push(to.index());
                             }
+                            delivered += u64::from(copies);
                             for _ in 0..copies {
-                                next[to.index()].push(Envelope { from: node, msg: msg.clone() });
-                                delivered += 1;
+                                next[to.index()].push(Envelope::new(node, msg.clone()));
                             }
                         }
                     }
@@ -340,6 +367,10 @@ where
                 newly_done.push(i);
             }
         }
+        for &i in &suppressed_now {
+            suppress[i] = false;
+        }
+        suppressed_now.clear();
         for &i in &newly_done {
             done[i] = true;
             done_count += 1;
@@ -362,10 +393,29 @@ where
             stats.churn_events = schedule.total_events() as u64;
             return Ok(RunOutcome { nodes: protocols, stats, crashed });
         }
-        std::mem::swap(&mut cur, &mut next);
-        for v in &mut next {
-            v.clear();
+        // Flip the double buffer: the consumed mailboxes are cleared
+        // (keeping their capacity) and become next round's staging.
+        for mailbox in cur.iter_mut() {
+            mailbox.clear();
         }
+        std::mem::swap(&mut cur, &mut next);
+        // Idle-round fast-forward: this round was fully quiescent (no
+        // node stepped, so nothing is in flight) yet every node is parked
+        // waiting for a future churn batch. Its `active == 0` stats row
+        // above is the quiescence marker batch reports key off; jump
+        // straight to the batch round instead of spinning the gap one
+        // empty round at a time. The decision is a pure function of state
+        // both engines share, so they jump identically.
+        let idle_jump: Option<u64> = (active == 0 && done_count + crashed_count == n)
+            .then(|| schedule.batches().get(next_batch).map(|b| b.round))
+            .flatten();
+        round = match idle_jump {
+            Some(b) if b > round + 1 => {
+                stats.idle_rounds_skipped += b - round - 1;
+                b
+            }
+            _ => round + 1,
+        };
     }
     Err(SimError::MaxRoundsExceeded {
         max_rounds: cfg.max_rounds,

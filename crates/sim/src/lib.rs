@@ -47,6 +47,9 @@ pub mod topology;
 pub mod trace;
 pub mod wire;
 
+#[cfg(test)]
+mod plane_proptests;
+
 pub use churn::{ChurnBatch, ChurnEvent, ChurnKinds, ChurnPlan, ChurnSchedule, NeighborhoodChange};
 pub use engine::{
     run_sequential, run_sequential_churn, run_sequential_churn_observed, run_sequential_observed,
@@ -54,7 +57,7 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use par::{run_parallel, run_parallel_churn};
-pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx};
+pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared};
 pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};
 pub use topology::Topology;

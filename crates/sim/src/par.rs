@@ -5,14 +5,20 @@
 //! shard. Each communication round proceeds in two barrier-separated
 //! phases:
 //!
-//! 1. **step & send** — every worker steps its live nodes in id order and
-//!    routes their outboxes into per-node mailboxes (a `parking_lot`
-//!    mutex per node; batches are grouped by recipient so each mailbox is
-//!    locked once per sender batch);
-//! 2. **collect** — after the barrier, every worker drains its own nodes'
-//!    mailboxes and **stably sorts each inbox by sender id**, which makes
-//!    delivery order — and therefore every downstream random choice —
-//!    independent of thread interleaving.
+//! 1. **step & send** — every worker steps its live nodes in id order,
+//!    staging each delivery into a per-destination-shard vector, then
+//!    swaps each vector whole into one slot of a `threads × threads`
+//!    mailbox matrix (each slot is written by exactly one sender worker
+//!    per round, so its mutex is never contended);
+//! 2. **collect** — after the barrier, every worker drains the `threads`
+//!    slots addressed to it, in sender-shard order, scattering messages
+//!    into per-node buckets and bulk-moving the buckets into a flat
+//!    per-shard inbox arena (CSR offsets, one slice per node). Shards
+//!    are contiguous and ascending and each slot holds its senders'
+//!    messages in sender-id order, so the buckets fill in exactly the
+//!    documented sorted-by-sender delivery order — no sort anywhere —
+//!    which makes delivery order, and therefore every downstream random
+//!    choice, independent of thread interleaving.
 //!
 //! Combined with per-node RNGs seeded only by `(master seed, node id)`
 //! (see [`crate::rng`]) and hash-based fault decisions, a parallel run is
@@ -33,6 +39,10 @@ use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target
 use crate::rng::node_rng;
 use crate::stats::{RoundStats, RunStats};
 use crate::topology::Topology;
+
+/// One slot of the mailbox matrix: the `(recipient, envelope)` run one
+/// sender shard produced for one receiver shard this round.
+type MailboxSlot<M> = Mutex<Vec<(VertexId, Envelope<M>)>>;
 
 /// Run `factory`-created protocols on `topo` using `threads` workers.
 ///
@@ -96,10 +106,20 @@ where
             (lo, hi)
         })
         .collect();
+    // Owning shard per node, so routing a delivery is one table lookup.
+    let shard_of: Vec<u32> = {
+        let mut v = vec![0u32; n];
+        for (t, &(lo, hi)) in bounds.iter().enumerate() {
+            v[lo..hi].fill(t as u32);
+        }
+        v
+    };
 
-    // Shared state.
-    let mailboxes: Vec<Mutex<Vec<Envelope<P::Msg>>>> =
-        (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    // Shared state. `slots[sender_tid * threads + recv_tid]` holds the
+    // `(recipient, envelope)` run sender_tid produced for recv_tid's
+    // shard this round; every slot is drained every round.
+    let slots: Vec<MailboxSlot<P::Msg>> =
+        (0..threads * threads).map(|_| Mutex::new(Vec::new())).collect();
     let done_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     // Wake-ups pending for the round boundary ([`Protocol::wakes`]): set
     // by the *sender's* worker in phase 1 (first setter also adjusts
@@ -110,7 +130,11 @@ where
     let total_crashed = AtomicUsize::new(0);
     let round_sent = AtomicU64::new(0);
     let round_delivered = AtomicU64::new(0);
-    let round_active = AtomicUsize::new(0);
+    // Cumulative across rounds (never reset): every worker reads it in
+    // the stable window between the barriers and diffs against its own
+    // previous reading to learn this round's active count — a reset
+    // would race with the next round's adds.
+    let cum_active = AtomicUsize::new(0);
     let total_dropped = AtomicU64::new(0);
     let total_corrupted = AtomicU64::new(0);
     let total_duplicated = AtomicU64::new(0);
@@ -123,6 +147,7 @@ where
     let per_round: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
     let finished_round = AtomicU64::new(0);
     let batches_applied = AtomicUsize::new(0);
+    let idle_skipped = AtomicU64::new(0);
 
     let worker = |tid: usize| -> (Vec<P>, Vec<bool>) {
         let (lo, hi) = bounds[tid];
@@ -133,18 +158,36 @@ where
             })
             .collect();
         let mut rngs: Vec<_> = (lo..hi).map(|i| node_rng(cfg.seed, i as u32)).collect();
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); hi - lo];
+        // This shard's inboxes as a flat arena: node `lo + li` reads the
+        // slice `inbox_data[inbox_off[li]..inbox_off[li + 1]]`.
+        let mut inbox_data: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut inbox_off: Vec<u32> = vec![0; hi - lo + 1];
         let mut local_done = vec![false; hi - lo];
         let mut local_crashed = vec![false; hi - lo];
         let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
-        // (recipient, envelope) batch, grouped by recipient before
-        // mailbox insertion.
-        let mut outgoing: Vec<(VertexId, Envelope<P::Msg>)> = Vec::new();
+        // Outgoing deliveries, staged per destination shard; each vector
+        // is swapped whole into its mailbox-matrix slot at deposit time.
+        let mut out_shard: Vec<Vec<(VertexId, Envelope<P::Msg>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        // Per-sender-shard staging for the collect scatter; the emptied
+        // vectors go back into the slots so capacity is reused.
+        let mut collected: Vec<Vec<(VertexId, Envelope<P::Msg>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        // Per-node staging for next round's inboxes: each bucket fills
+        // sorted by sender, then is bulk-moved into the arena.
+        let mut buckets: Vec<Vec<Envelope<P::Msg>>> = (0..hi - lo).map(|_| Vec::new()).collect();
+        // Nodes whose arena slice a churn batch invalidated this round.
+        let mut suppress = vec![false; hi - lo];
+        let mut suppressed_now: Vec<usize> = Vec::new();
 
         // The topology in force; batches swap it for their snapshot.
         let mut topo_now = topo;
         let mut next_batch = 0usize;
-        for round in 0..cfg.max_rounds {
+        let mut prev_cum_active = 0usize;
+        let mut round: u64 = 0;
+        let mut executed: u64 = 0;
+        while executed < cfg.max_rounds {
+            executed += 1;
             // --- Churn batch (if one fires this round): every worker
             //     evaluates the same schedule, so they all agree on
             //     whether this block (and its barrier) runs. Each worker
@@ -168,7 +211,10 @@ where
                             done_flags[i].store(true, Ordering::Relaxed);
                             total_done.fetch_add(1, Ordering::Relaxed);
                         }
-                        inboxes[li].clear();
+                        if !suppress[li] {
+                            suppress[li] = true;
+                            suppressed_now.push(li);
+                        }
                     }
                     for &v in &batch.joins {
                         let i = v.index();
@@ -186,12 +232,10 @@ where
                             done_flags[i].store(false, Ordering::Relaxed);
                             total_done.fetch_sub(1, Ordering::Relaxed);
                         }
-                        inboxes[li].clear();
-                        // Deliveries deposited in the round the node
-                        // parked were never collected (phase 2 skips done
-                        // nodes); the sequential engine's swap/clear
-                        // cycle discarded them, so drain them here too.
-                        mailboxes[i].lock().clear();
+                        if !suppress[li] {
+                            suppress[li] = true;
+                            suppressed_now.push(li);
+                        }
                     }
                     for (v, change) in &batch.changes {
                         let i = v.index();
@@ -234,7 +278,6 @@ where
             let mut active = 0usize;
             let mut newly_done: Vec<usize> = Vec::new();
             let mut newly_crashed = 0usize;
-            outgoing.clear();
             for li in 0..(hi - lo) {
                 if local_done[li] || local_crashed[li] {
                     continue;
@@ -247,12 +290,17 @@ where
                 active += 1;
                 let node = VertexId((lo + li) as u32);
                 outbox.clear();
+                let inbox: &[Envelope<P::Msg>] = if suppress[li] {
+                    &[]
+                } else {
+                    &inbox_data[inbox_off[li] as usize..inbox_off[li + 1] as usize]
+                };
                 let status = {
                     let mut ctx = RoundCtx {
                         node,
                         round,
                         neighbors: topo_now.neighbors(node),
-                        inbox: &inboxes[li],
+                        inbox,
                         outbox: &mut outbox,
                         rng: &mut rngs[li],
                     };
@@ -296,9 +344,14 @@ where
                             if copies > 0 {
                                 wake(to);
                             }
-                            for _ in 0..copies {
-                                outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
-                                delivered += 1;
+                            delivered += u64::from(copies);
+                            if copies == 2 {
+                                out_shard[shard_of[to.index()] as usize]
+                                    .push((to, Envelope::new(node, msg.clone())));
+                            }
+                            if copies > 0 {
+                                out_shard[shard_of[to.index()] as usize]
+                                    .push((to, Envelope::new(node, msg)));
                             }
                         }
                         Target::Broadcast => {
@@ -319,9 +372,10 @@ where
                                 if copies > 0 {
                                     wake(to);
                                 }
+                                delivered += u64::from(copies);
                                 for _ in 0..copies {
-                                    outgoing.push((to, Envelope { from: node, msg: msg.clone() }));
-                                    delivered += 1;
+                                    out_shard[shard_of[to.index()] as usize]
+                                        .push((to, Envelope::new(node, msg.clone())));
                                 }
                             }
                         }
@@ -331,24 +385,26 @@ where
                     newly_done.push(li);
                 }
             }
-            // Deposit outgoing messages, one mailbox lock per recipient
-            // run (stable sort preserves this sender's message order).
-            outgoing.sort_by_key(|&(to, _)| to);
-            let mut idx = 0;
-            while idx < outgoing.len() {
-                let to = outgoing[idx].0;
-                let mut end = idx + 1;
-                while end < outgoing.len() && outgoing[end].0 == to {
-                    end += 1;
+            for &li in &suppressed_now {
+                suppress[li] = false;
+            }
+            suppressed_now.clear();
+            // Deposit outgoing messages: each destination shard's staging
+            // vector (already in this shard's sender-id order) is swapped
+            // whole into its slot of the mailbox matrix — one uncontended
+            // lock per destination shard, no sorting, no per-message
+            // copies. The swap hands back the slot's emptied vector, so
+            // capacity circulates between sender and receiver.
+            for (t, staged) in out_shard.iter_mut().enumerate() {
+                if staged.is_empty() {
+                    continue;
                 }
-                let mut mb = mailboxes[to.index()].lock();
-                mb.extend(outgoing[idx..end].iter().map(|(_, env)| env.clone()));
-                drop(mb);
-                idx = end;
+                let mut slot = slots[tid * threads + t].lock();
+                std::mem::swap(&mut *slot, staged);
             }
             round_sent.fetch_add(sent, Ordering::Relaxed);
             round_delivered.fetch_add(delivered, Ordering::Relaxed);
-            round_active.fetch_add(active, Ordering::Relaxed);
+            cum_active.fetch_add(active, Ordering::Relaxed);
             if !newly_done.is_empty() {
                 total_done.fetch_add(newly_done.len(), Ordering::Relaxed);
                 for &li in &newly_done {
@@ -383,10 +439,16 @@ where
 
             let done_now = total_done.load(Ordering::Relaxed);
             let finished_now = done_now + total_crashed.load(Ordering::Relaxed);
+            // This round's global active count, by diffing the cumulative
+            // counter (stable in this window) — every worker, not just
+            // tid 0, needs it for the fast-forward decision below.
+            let cum = cum_active.load(Ordering::Relaxed);
+            let active_now = cum - prev_cum_active;
+            prev_cum_active = cum;
             if tid == 0 {
                 let rs = RoundStats {
                     round,
-                    active: round_active.swap(0, Ordering::Relaxed),
+                    active: active_now,
                     done: done_now,
                     sent: round_sent.swap(0, Ordering::Relaxed),
                     delivered: round_delivered.swap(0, Ordering::Relaxed),
@@ -401,6 +463,15 @@ where
             // every node is momentarily done — parked nodes idle until
             // the next batch wakes someone.
             let terminal = abort || (finished_now == n && next_batch == schedule.len());
+            // Idle-round fast-forward, mirroring the sequential engine:
+            // this round was fully quiescent (nothing is in flight) yet
+            // every node is parked waiting for a future batch, so jump
+            // straight to the batch round after barrier B. Every input is
+            // stable in this window and identical across workers, so they
+            // all compute the same jump.
+            let idle_jump: Option<u64> = (active_now == 0 && finished_now == n)
+                .then(|| schedule.batches().get(next_batch).map(|b| b.round))
+                .flatten();
 
             // --- Phase 2: collect own inboxes. This must happen while
             //     deposits are quiescent — i.e. *between* the barriers:
@@ -409,16 +480,42 @@ where
             //     barrier B. Collecting after B would race with faster
             //     workers already sending next-round messages. ---
             if !terminal {
-                for li in 0..(hi - lo) {
-                    inboxes[li].clear();
-                    if local_done[li] || local_crashed[li] {
-                        continue;
+                for (w, dst) in collected.iter_mut().enumerate() {
+                    let mut slot = slots[w * threads + tid].lock();
+                    std::mem::swap(&mut *slot, dst);
+                }
+                // Scatter the per-sender-shard runs into per-node
+                // buckets, walking sender shards in ascending order.
+                // Each run holds its senders' messages in sender-id
+                // order, so every bucket fills in exactly the documented
+                // sorted-by-sender delivery order — no sort. Deliveries
+                // to nodes that parked or crashed this round are dropped
+                // here, matching the sequential engine's arena rebuild
+                // (which never carries messages across more than one
+                // boundary).
+                for run in collected.iter_mut() {
+                    for (to, env) in run.drain(..) {
+                        let li = to.index() - lo;
+                        if !(local_done[li] || local_crashed[li]) {
+                            buckets[li].push(env);
+                        }
                     }
-                    let mut mb = mailboxes[lo + li].lock();
-                    std::mem::swap(&mut *mb, &mut inboxes[li]);
-                    drop(mb);
-                    // Deterministic delivery order: sender id, stable.
-                    inboxes[li].sort_by_key(|env| env.from);
+                }
+                // Bulk-move the buckets into the flat arena (`append`
+                // keeps each bucket's capacity for the next round).
+                inbox_data.clear();
+                let mut off = 0u32;
+                for (li, bucket) in buckets.iter_mut().enumerate() {
+                    inbox_off[li] = off;
+                    off += bucket.len() as u32;
+                    inbox_data.append(bucket);
+                }
+                inbox_off[hi - lo] = off;
+                // Hand the emptied vectors back so senders reuse their
+                // capacity next round.
+                for (w, dst) in collected.iter_mut().enumerate() {
+                    let mut slot = slots[w * threads + tid].lock();
+                    std::mem::swap(&mut *slot, dst);
                 }
             }
 
@@ -426,6 +523,15 @@ where
             if terminal {
                 return (protocols, local_crashed);
             }
+            round = match idle_jump {
+                Some(b) if b > round + 1 => {
+                    if tid == 0 {
+                        idle_skipped.fetch_add(b - round - 1, Ordering::Relaxed);
+                    }
+                    b
+                }
+                _ => round + 1,
+            };
         }
         (protocols, local_crashed)
     };
@@ -459,6 +565,7 @@ where
         dropped: total_dropped.load(Ordering::Relaxed),
         corrupted: total_corrupted.load(Ordering::Relaxed),
         duplicated: total_duplicated.load(Ordering::Relaxed),
+        idle_rounds_skipped: idle_skipped.load(Ordering::Relaxed),
         crashed: crashed_now,
         churn_batches: schedule.len() as u64,
         churn_events: schedule.total_events() as u64,

@@ -7,18 +7,120 @@
 //! per-node RNG, and an outbox. The node returns [`NodeStatus::Done`]
 //! when it has finished for good; the engine then stops scheduling it.
 
+use std::sync::Arc;
+
 use dima_graph::VertexId;
 use rand::rngs::SmallRng;
 
 use crate::churn::NeighborhoodChange;
 
 /// A message together with its sender.
+///
+/// The layout is deliberately flat — one `VertexId` plus the payload
+/// value, nothing else — because envelopes are the unit the message
+/// plane moves by the million: any per-envelope tag or indirection shows
+/// up directly in engine throughput. Broadcast fan-out clones the
+/// payload once per recipient; to make that clone a refcount bump
+/// instead of a deep copy, wrap heavy payloads in [`Shared`] (or use
+/// [`bytes::Bytes`] for wire buffers).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope<M> {
     /// The node that sent the message.
     pub from: VertexId,
+    payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// A message from `from` carrying `msg`.
+    #[inline]
+    pub fn new(from: VertexId, msg: M) -> Self {
+        Envelope { from, payload: msg }
+    }
+
     /// The payload.
-    pub msg: M,
+    #[inline]
+    pub fn msg(&self) -> &M {
+        &self.payload
+    }
+
+    /// Take the payload out of the envelope.
+    #[inline]
+    pub fn into_msg(self) -> M {
+        self.payload
+    }
+}
+
+/// A cheaply-clonable handle for heavy message payloads.
+///
+/// The message plane clones a payload once per recipient when a
+/// broadcast fans out to `d` neighbors (and once per retransmission
+/// under the reliable transport). For small value-like messages — the
+/// coloring protocols' enums — that clone is a register copy and any
+/// cleverness costs more than it saves; measurements drove the plain
+/// [`Envelope`] layout above. For payloads that own heap memory
+/// (buffers, tables, batched state), wrap them in `Shared` and every
+/// plane clone becomes an atomic refcount bump on **one** allocation:
+///
+/// ```
+/// use dima_sim::Shared;
+/// #
+/// # struct P;
+/// # impl dima_sim::Protocol for P {
+/// type Msg = Shared<Vec<u64>>;
+/// #     fn on_round(&mut self, ctx: &mut dima_sim::RoundCtx<'_, Self::Msg>)
+/// #         -> dima_sim::NodeStatus { dima_sim::NodeStatus::Done }
+/// # }
+/// ```
+///
+/// `Shared` derefs to `T`, so receivers read through it transparently;
+/// equality compares the pointed-to value. It is immutable by design —
+/// messages are values, and the same allocation may be visible to many
+/// recipients across worker threads.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Arc<T>);
+
+impl<T> Shared<T> {
+    /// Wrap `value` in one refcounted allocation.
+    #[inline]
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(value))
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::ops::Deref for Shared<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> From<T> for Shared<T> {
+    #[inline]
+    fn from(value: T) -> Self {
+        Shared::new(value)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl<T: Eq> Eq for Shared<T> {}
+
+impl<T: std::hash::Hash> std::hash::Hash for Shared<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
 }
 
 /// What a node reports at the end of a round.
@@ -116,8 +218,10 @@ impl<'a, M> RoundCtx<'a, M> {
 /// then call [`Protocol::on_round`] in lockstep until every node reports
 /// [`NodeStatus::Done`] or the round limit is hit.
 pub trait Protocol: Send {
-    /// The message type exchanged between nodes.
-    type Msg: Clone + Send + 'static;
+    /// The message type exchanged between nodes. `Sync` because a
+    /// broadcast payload is shared (not copied) across all recipient
+    /// envelopes, which the parallel engine reads from several threads.
+    type Msg: Clone + Send + Sync + 'static;
 
     /// Execute one communication round. Messages placed in the outbox are
     /// delivered to their recipients at the *next* round (synchronous
@@ -178,7 +282,7 @@ mod tests {
     #[test]
     fn ctx_accessors_and_outbox() {
         let neighbors = [VertexId(1), VertexId(2)];
-        let inbox = [Envelope { from: VertexId(1), msg: 7u32 }];
+        let inbox = [Envelope::new(VertexId(1), 7u32)];
         let mut outbox = Vec::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut ctx = RoundCtx {
@@ -193,7 +297,7 @@ mod tests {
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.degree(), 2);
         assert_eq!(ctx.inbox().len(), 1);
-        assert_eq!(ctx.inbox()[0].msg, 7);
+        assert_eq!(*ctx.inbox()[0].msg(), 7);
         ctx.send(VertexId(1), 10);
         ctx.broadcast(20);
         let _ = ctx.rng();

@@ -296,7 +296,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
             let peer = self.links[port].peer;
             for env in ctx.inbox().iter().filter(|e| e.from == peer) {
                 self.links[port].got_any = true;
-                match &env.msg {
+                match env.msg() {
                     ArqMsg::Ack { ack } => self.links[port].absorb_ack(*ack),
                     ArqMsg::Data { round, ack, msgs, fin } => {
                         let link = &mut self.links[port];
@@ -325,8 +325,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     if let Some(msgs) = link.recvq.remove(&((r - 1) as u32)) {
                         let peer = link.peer;
                         inbox.extend(
-                            msgs.into_iter()
-                                .map(|msg| crate::protocol::Envelope { from: peer, msg }),
+                            msgs.into_iter().map(|msg| crate::protocol::Envelope::new(peer, msg)),
                         );
                     }
                 }

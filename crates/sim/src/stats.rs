@@ -34,6 +34,12 @@ pub struct RunStats {
     pub duplicated: u64,
     /// Nodes that crash-stopped during the run.
     pub crashed: usize,
+    /// Quiescent rounds the engines fast-forwarded over instead of
+    /// executing (every node parked, next churn batch still in the
+    /// future). These rounds appear in no per-round breakdown and do not
+    /// count against the round budget; `rounds` still reports the
+    /// absolute round clock.
+    pub idle_rounds_skipped: u64,
     /// Churn batches applied during the run (0 for static runs).
     pub churn_batches: u64,
     /// Primitive churn events across the applied batches.

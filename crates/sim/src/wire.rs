@@ -209,9 +209,9 @@ pub fn decode_frame<M: WireCodec>(bytes: Bytes) -> Result<Envelope<M>, FrameErro
 
 /// Frame an envelope: sender id then payload.
 pub fn encode_envelope<M: WireCodec>(env: &Envelope<M>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + env.msg.encoded_len());
+    let mut buf = BytesMut::with_capacity(4 + env.msg().encoded_len());
     env.from.encode(&mut buf);
-    env.msg.encode(&mut buf);
+    env.msg().encode(&mut buf);
     buf.freeze()
 }
 
@@ -224,7 +224,7 @@ pub fn decode_envelope<M: WireCodec>(bytes: Bytes) -> Option<Envelope<M>> {
     if buf.has_remaining() {
         return None;
     }
-    Some(Envelope { from, msg })
+    Some(Envelope::new(from, msg))
 }
 
 #[cfg(test)]
@@ -232,9 +232,9 @@ mod tests {
     use super::*;
 
     fn roundtrip<M: WireCodec + Clone + PartialEq + std::fmt::Debug>(msg: M) {
-        let env = Envelope { from: VertexId(17), msg };
+        let env = Envelope::new(VertexId(17), msg);
         let bytes = encode_envelope(&env);
-        assert_eq!(bytes.len(), 4 + env.msg.encoded_len());
+        assert_eq!(bytes.len(), 4 + env.msg().encoded_len());
         let back: Envelope<M> = decode_envelope(bytes).unwrap();
         assert_eq!(back, env);
     }
@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn truncated_input_rejected() {
-        let env = Envelope { from: VertexId(1), msg: 0x1234_5678u32 };
+        let env = Envelope::new(VertexId(1), 0x1234_5678u32);
         let bytes = encode_envelope(&env);
         for cut in 0..bytes.len() {
             let trunc = bytes.slice(0..cut);
@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let env = Envelope { from: VertexId(1), msg: 3u8 };
+        let env = Envelope::new(VertexId(1), 3u8);
         let mut raw = BytesMut::from(&encode_envelope(&env)[..]);
         raw.put_u8(0xFF);
         assert!(decode_envelope::<u8>(raw.freeze()).is_none());
@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn frame_roundtrips() {
-        let env = Envelope { from: VertexId(3), msg: vec![Some(7u32), None, Some(9)] };
+        let env = Envelope::new(VertexId(3), vec![Some(7u32), None, Some(9)]);
         let frame = encode_frame(&env);
         let back: Envelope<Vec<Option<u32>>> = decode_frame(frame).unwrap();
         assert_eq!(back, env);
@@ -307,7 +307,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_detected() {
-        let env = Envelope { from: VertexId(21), msg: vec![0xDEAD_BEEFu32, 7, 0] };
+        let env = Envelope::new(VertexId(21), vec![0xDEAD_BEEFu32, 7, 0]);
         let frame = encode_frame(&env);
         for byte in 0..frame.len() {
             for bit in 0..8 {
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn frame_truncation_and_length_lies_rejected() {
-        let env = Envelope { from: VertexId(1), msg: 5u64 };
+        let env = Envelope::new(VertexId(1), 5u64);
         let frame = encode_frame(&env);
         assert_eq!(decode_frame::<u64>(frame.slice(0..4)), Err(FrameError::Truncated));
         assert_eq!(

@@ -48,7 +48,7 @@ fn check_frame<M>(from: u32, msg: M) -> Result<(), proptest::test_runner::TestCa
 where
     M: WireCodec + Clone + PartialEq + std::fmt::Debug,
 {
-    let env = Envelope { from: VertexId(from), msg };
+    let env = Envelope::new(VertexId(from), msg);
     let frame = encode_frame(&env);
     let back = decode_frame::<M>(frame.clone());
     prop_assert!(back.as_ref().is_ok_and(|b| *b == env), "roundtrip failed");
