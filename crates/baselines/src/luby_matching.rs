@@ -186,6 +186,7 @@ pub fn luby_matching(g: &Graph, cfg: &ColoringConfig) -> Result<LubyMatchingResu
         collect_round_stats: cfg.collect_round_stats,
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
+        profile: cfg.profile,
     };
     let factory = |seed: NodeSeed<'_>| LubyNode::new(&seed);
     let outcome: RunOutcome<LubyNode> = match cfg.engine {

@@ -246,6 +246,7 @@ pub fn random_trial_coloring(
         collect_round_stats: cfg.collect_round_stats,
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
+        profile: cfg.profile,
     };
     let factory = |seed: NodeSeed<'_>| RandomTrialNode::new(&seed, g, palette);
     let outcome: RunOutcome<RandomTrialNode> = match cfg.engine {

@@ -1,19 +1,27 @@
 //! Command parsing and execution for the `dima` CLI.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dima_core::verify::{
     verify_edge_coloring, verify_residual_edge_coloring, verify_residual_matching,
     verify_residual_strong_coloring, verify_strong_coloring,
 };
 use dima_core::{
-    color_edges, color_edges_churn, maximal_matching, strong_color_churn, strong_color_digraph,
-    ChurnKinds, ChurnPlan, ChurnSchedule, Color, ColoringConfig, Engine, Transport,
+    color_edges, color_edges_churn, color_edges_churn_traced, color_edges_traced, maximal_matching,
+    maximal_matching_traced, strong_color_churn, strong_color_churn_traced, strong_color_digraph,
+    strong_color_digraph_traced, ChurnKinds, ChurnPlan, ChurnSchedule, Color, ColoringConfig,
+    Engine, Transport,
 };
 use dima_graph::gen;
 use dima_graph::{io, Digraph, Graph};
 use dima_sim::fault::{FaultPlan, GilbertElliott};
+use dima_sim::telemetry::{
+    read, Event, KindTotals, PaletteAction, RunTotals, StateTimeline, TraceMeta, TraceWriter,
+    Tracer, TransportTally, STATES,
+};
 use dima_sim::RunStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -40,6 +48,16 @@ commands:
         --churn-seed S      schedule seed (default: the run's --seed)
   verify <graph.edges> <coloring.colors> [--strong]
   dot <graph.edges> [<coloring.colors>]
+  trace record <graph.edges> --trace out.jsonl
+               [--workload color|strong-color|matching] [run flags]
+      run a workload purely to record its trace (no coloring output)
+  trace summarize <trace.jsonl> [--top K] [--every N]
+      round-by-round state census, matching progress vs the paper's
+      Property 1, color histogram, top-K slowest nodes, run totals
+  trace diff <a.jsonl> <b.jsonl>
+      compare two traces event by event and localize the first
+      divergent round (engine identity is ignored, so identical-seed
+      sequential vs parallel runs must diff empty)
 
 fault-injection flags (color | strong-color | matching):
   --fault-loss P          drop each delivery with probability P
@@ -47,7 +65,13 @@ fault-injection flags (color | strong-color | matching):
   --fault-crash F         crash-stop a fraction F of the nodes mid-run
   --transport bare|reliable
                           bare links (the paper's model) or the ARQ
-                          reliable-link layer; overhead reported per run";
+                          reliable-link layer; overhead reported per run
+
+trace flags (color | strong-color | matching | trace record):
+  --trace FILE            stream a structured JSONL trace of the run
+  --trace-sample N        keep node events only for nodes with id % N == 0
+                          (bounds trace size and the parallel engine's
+                          deterministic-merge cost)";
 
 /// Parse `--key value` flags from `args` (after the positional prefix).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -197,19 +221,191 @@ fn faulty(cfg: &ColoringConfig) -> bool {
     cfg.faults != FaultPlan::reliable() || cfg.transport != Transport::Bare
 }
 
-/// One stderr line summarising what the faults did and what the ARQ layer
-/// spent repairing them.
-fn report_transport(stats: &RunStats, overhead_rounds: u64, alive: &[bool]) {
+/// `--trace` / `--trace-sample` options of a run command.
+struct TraceFlags {
+    path: Option<String>,
+    sample: u32,
+}
+
+fn trace_flags(flags: &HashMap<String, String>) -> Result<TraceFlags, String> {
+    let sample: u32 = flag(flags, "trace-sample", 0)?;
+    let path = flags.get("trace").cloned();
+    if path.is_none() && flags.contains_key("trace-sample") {
+        return Err("--trace-sample needs --trace".into());
+    }
+    Ok(TraceFlags { path, sample })
+}
+
+/// Printed at most once per process: an unsampled trace under the
+/// parallel engine has a real deterministic-merge cost.
+static MERGE_COST_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// The CLI's composite tracer: an optional [`TransportTally`] feeding
+/// the transport report (attached whenever faults or a non-bare
+/// transport are in play) plus an optional JSONL [`TraceWriter`]
+/// (attached by `--trace`). Plain runs get no tracer at all — they go
+/// through the no-op path, where the telemetry plane monomorphizes
+/// away.
+struct CliTrace {
+    tally: Option<TransportTally>,
+    writer: Option<TraceWriter<Box<dyn Write + Send + Sync>>>,
+    path: String,
+}
+
+impl Tracer for CliTrace {
+    fn emit(&mut self, ev: Event) {
+        if let Some(t) = self.tally.as_mut() {
+            t.emit(ev);
+        }
+        if let Some(w) = self.writer.as_mut() {
+            w.emit(ev);
+        }
+    }
+
+    fn sample(&self, node: u32) -> bool {
+        // The tally needs every node's ARQ events; the writer re-filters
+        // sampled-out nodes in its own `emit`.
+        self.tally.is_some() || self.writer.as_ref().is_some_and(|w| w.sample(node))
+    }
+}
+
+impl CliTrace {
+    /// Assemble the run's tracer; `None` when nothing observes.
+    fn create(
+        tf: &TraceFlags,
+        cfg: &ColoringConfig,
+        workload: &str,
+        graph: &str,
+        nodes: usize,
+    ) -> Result<Option<CliTrace>, String> {
+        let tally = faulty(cfg).then(TransportTally::default);
+        let writer = match &tf.path {
+            None => None,
+            Some(path) => {
+                let (engine, threads) = match cfg.engine {
+                    Engine::Sequential => ("seq", 1),
+                    Engine::Parallel { threads } => ("par", threads as u32),
+                };
+                if threads > 1 && tf.sample <= 1 && !MERGE_COST_WARNED.swap(true, Ordering::Relaxed)
+                {
+                    eprintln!(
+                        "warning: --trace under the parallel engine buffers every event per \
+                         worker and merges the buffers into the canonical deterministic order; \
+                         on large runs that merge dominates the run. Bound it with \
+                         --trace-sample N (keeps node events for node ids divisible by N). \
+                         This warning prints once."
+                    );
+                }
+                let file =
+                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                let sink: Box<dyn Write + Send + Sync> = Box::new(std::io::BufWriter::new(file));
+                let meta = TraceMeta {
+                    workload: workload.into(),
+                    graph: graph.into(),
+                    seed: cfg.seed,
+                    nodes: nodes as u64,
+                    engine: engine.into(),
+                    threads,
+                    sample: tf.sample,
+                };
+                Some(TraceWriter::new(sink, &meta))
+            }
+        };
+        Ok((tally.is_some() || writer.is_some()).then_some(CliTrace {
+            tally,
+            writer,
+            path: tf.path.clone().unwrap_or_default(),
+        }))
+    }
+
+    /// Close the JSONL stream (footer + flush) and hand back the tally
+    /// for the transport report.
+    fn finish(self, stats: &RunStats) -> Result<Option<TransportTally>, String> {
+        if let Some(w) = self.writer {
+            let events = w.events_written();
+            w.finish(&run_totals(stats))
+                .map_err(|e| format!("writing trace {}: {e}", self.path))?;
+            eprintln!("trace: {events} events -> {}", self.path);
+        }
+        Ok(self.tally)
+    }
+}
+
+/// The JSONL footer totals for a finished run.
+fn run_totals(stats: &RunStats) -> RunTotals {
+    RunTotals {
+        rounds: stats.rounds,
+        messages_sent: stats.messages_sent,
+        deliveries: stats.deliveries,
+        dropped: stats.dropped,
+        corrupted: stats.corrupted,
+        duplicated: stats.duplicated,
+        crashed: stats.crashed as u64,
+        idle_rounds_skipped: stats.idle_rounds_skipped,
+        churn_batches: stats.churn_batches,
+        churn_events: stats.churn_events,
+    }
+}
+
+/// `", N idle rounds skipped"` when the engines fast-forwarded over
+/// quiescent rounds, empty otherwise — appended to every run report.
+fn idle_note(stats: &RunStats) -> String {
+    if stats.idle_rounds_skipped > 0 {
+        format!(", {} idle rounds skipped", stats.idle_rounds_skipped)
+    } else {
+        String::new()
+    }
+}
+
+/// Stderr lines summarising what the faults did and what the ARQ layer
+/// spent repairing them. Message fates come from the telemetry plane's
+/// per-kind counters (so the report can break them out by kind); only
+/// the crash count still comes from [`RunStats`], since crashing is a
+/// node fate, not a message fate.
+fn report_transport(
+    stats: &RunStats,
+    overhead_rounds: u64,
+    alive: &[bool],
+    tally: &TransportTally,
+) {
     let survivors = alive.iter().filter(|&&a| a).count();
+    let mut total = KindTotals::default();
+    let mut kinds = Vec::new();
+    for (kind, t) in &tally.kinds {
+        total.sent += t.sent;
+        total.delivered += t.delivered;
+        total.dropped += t.dropped;
+        total.corrupted += t.corrupted;
+        total.duplicated += t.duplicated;
+        kinds.push(format!("{kind} {}/{}", t.delivered, t.sent));
+    }
     eprintln!(
         "transport: {overhead_rounds} overhead rounds, {} dropped, {} corrupted, \
-         {} duplicated, {} crashed ({survivors}/{} nodes survive)",
-        stats.dropped,
-        stats.corrupted,
-        stats.duplicated,
+         {} duplicated, {} crashed ({survivors}/{} nodes survive); delivered/sent \
+         by kind: {}",
+        total.dropped,
+        total.corrupted,
+        total.duplicated,
         stats.crashed,
         alive.len(),
+        if kinds.is_empty() { "none".to_string() } else { kinds.join(", ") },
     );
+    if tally.retransmits > 0 || tally.links_down() > 0 {
+        let parts: Vec<String> = tally
+            .by_link_class()
+            .iter()
+            .filter(|(_, t)| t.links > 0)
+            .map(|(c, t)| {
+                format!("{}: {} retransmits on {} links", c.name(), t.retransmits, t.links)
+            })
+            .collect();
+        eprintln!(
+            "arq: {} retransmits, {} directed links died ({})",
+            tally.retransmits,
+            tally.links_down(),
+            parts.join(", "),
+        );
+    }
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -280,6 +476,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "matching" => cmd_matching(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -363,9 +560,19 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
     report_run_options(&cfg);
+    let tf = trace_flags(&flags)?;
     if let Some(plan) = churn_plan(&flags)? {
         let schedule = ChurnSchedule::generate(&g, &plan);
-        let r = color_edges_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
+        let mut trace = CliTrace::create(&tf, &cfg, "color", path, g.num_vertices())?;
+        let r = match trace.as_mut() {
+            None => color_edges_churn(&g, &schedule, &cfg),
+            Some(t) => color_edges_churn_traced(&g, &schedule, &cfg, t),
+        }
+        .map_err(|e| e.to_string())?;
+        let tally = match trace {
+            Some(t) => t.finish(&r.coloring.stats)?,
+            None => None,
+        };
         if !r.coloring.endpoint_agreement {
             return Err("run corrupted by injected faults: endpoints disagree on colors".into());
         }
@@ -376,24 +583,35 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         report_churn(&schedule, &r.batches);
         eprintln!(
             "colored final graph (n = {}, m = {}) with {} colors (Δ = {}) in {} \
-             computation rounds, {} messages",
+             computation rounds, {} messages{}",
             r.final_graph.num_vertices(),
             r.final_graph.num_edges(),
             r.coloring.colors_used,
             r.coloring.max_degree,
             r.coloring.compute_rounds,
-            r.coloring.stats.messages_sent
+            r.coloring.stats.messages_sent,
+            idle_note(&r.coloring.stats),
         );
-        if faulty(&cfg) {
+        if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
                 r.coloring.transport_overhead_rounds,
                 &r.coloring.alive,
+                tally,
             );
         }
         return write_or_print(flags.get("out"), &coloring_to_text(&r.coloring.colors));
     }
-    let r = color_edges(&g, &cfg).map_err(|e| e.to_string())?;
+    let mut trace = CliTrace::create(&tf, &cfg, "color", path, g.num_vertices())?;
+    let r = match trace.as_mut() {
+        None => color_edges(&g, &cfg),
+        Some(t) => color_edges_traced(&g, &cfg, t),
+    }
+    .map_err(|e| e.to_string())?;
+    let tally = match trace {
+        Some(t) => t.finish(&r.stats)?,
+        None => None,
+    };
     if faulty(&cfg) {
         if !r.endpoint_agreement {
             return Err("run corrupted by injected faults: endpoints disagree on colors \
@@ -406,11 +624,15 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         verify_edge_coloring(&g, &r.colors).map_err(|e| format!("internal: {e}"))?;
     }
     eprintln!(
-        "colored with {} colors (Δ = {}) in {} computation rounds, {} messages",
-        r.colors_used, r.max_degree, r.compute_rounds, r.stats.messages_sent
+        "colored with {} colors (Δ = {}) in {} computation rounds, {} messages{}",
+        r.colors_used,
+        r.max_degree,
+        r.compute_rounds,
+        r.stats.messages_sent,
+        idle_note(&r.stats),
     );
-    if faulty(&cfg) {
-        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive);
+    if let Some(tally) = &tally {
+        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
     write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
 }
@@ -424,9 +646,19 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
     let d = Digraph::symmetric_closure(&g);
     let cfg = run_config(&flags)?;
     report_run_options(&cfg);
+    let tf = trace_flags(&flags)?;
     if let Some(plan) = churn_plan(&flags)? {
         let schedule = ChurnSchedule::generate(&g, &plan);
-        let r = strong_color_churn(&g, &schedule, &cfg).map_err(|e| e.to_string())?;
+        let mut trace = CliTrace::create(&tf, &cfg, "strong-color", path, g.num_vertices())?;
+        let r = match trace.as_mut() {
+            None => strong_color_churn(&g, &schedule, &cfg),
+            Some(t) => strong_color_churn_traced(&g, &schedule, &cfg, t),
+        }
+        .map_err(|e| e.to_string())?;
+        let tally = match trace {
+            Some(t) => t.finish(&r.coloring.stats)?,
+            None => None,
+        };
         if !r.coloring.endpoint_agreement {
             return Err("run corrupted by injected faults: endpoints disagree on channels".into());
         }
@@ -435,23 +667,34 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
         report_churn(&schedule, &r.batches);
         eprintln!(
             "assigned {} channels to {} arcs of the final graph (Δ = {}) in {} rounds, \
-             {} messages",
+             {} messages{}",
             r.coloring.colors_used,
             r.final_digraph.num_arcs(),
             r.coloring.max_degree,
             r.coloring.compute_rounds,
-            r.coloring.stats.messages_sent
+            r.coloring.stats.messages_sent,
+            idle_note(&r.coloring.stats),
         );
-        if faulty(&cfg) {
+        if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
                 r.coloring.transport_overhead_rounds,
                 &r.coloring.alive,
+                tally,
             );
         }
         return write_or_print(flags.get("out"), &coloring_to_text(&r.coloring.colors));
     }
-    let r = strong_color_digraph(&d, &cfg).map_err(|e| e.to_string())?;
+    let mut trace = CliTrace::create(&tf, &cfg, "strong-color", path, g.num_vertices())?;
+    let r = match trace.as_mut() {
+        None => strong_color_digraph(&d, &cfg),
+        Some(t) => strong_color_digraph_traced(&d, &cfg, t),
+    }
+    .map_err(|e| e.to_string())?;
+    let tally = match trace {
+        Some(t) => t.finish(&r.stats)?,
+        None => None,
+    };
     if faulty(&cfg) {
         if !r.endpoint_agreement {
             return Err("run corrupted by injected faults: endpoints disagree on channels \
@@ -464,15 +707,16 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
         verify_strong_coloring(&d, &r.colors).map_err(|e| format!("internal: {e}"))?;
     }
     eprintln!(
-        "assigned {} channels to {} arcs (Δ = {}) in {} rounds, {} messages",
+        "assigned {} channels to {} arcs (Δ = {}) in {} rounds, {} messages{}",
         r.colors_used,
         d.num_arcs(),
         r.max_degree,
         r.compute_rounds,
-        r.stats.messages_sent
+        r.stats.messages_sent,
+        idle_note(&r.stats),
     );
-    if faulty(&cfg) {
-        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive);
+    if let Some(tally) = &tally {
+        report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
     write_or_print(flags.get("out"), &coloring_to_text(&r.colors))
 }
@@ -485,7 +729,17 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let cfg = run_config(&flags)?;
     report_run_options(&cfg);
-    let m = maximal_matching(&g, &cfg).map_err(|e| e.to_string())?;
+    let tf = trace_flags(&flags)?;
+    let mut trace = CliTrace::create(&tf, &cfg, "matching", path, g.num_vertices())?;
+    let m = match trace.as_mut() {
+        None => maximal_matching(&g, &cfg),
+        Some(t) => maximal_matching_traced(&g, &cfg, t),
+    }
+    .map_err(|e| e.to_string())?;
+    let tally = match trace {
+        Some(t) => t.finish(&m.stats)?,
+        None => None,
+    };
     if faulty(&cfg) {
         if !m.agreement {
             return Err("run corrupted by injected faults: endpoints disagree on the \
@@ -498,13 +752,14 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
         dima_core::verify::verify_matching(&g, &m.pairs).map_err(|e| format!("internal: {e}"))?;
     }
     eprintln!(
-        "maximal matching: {} pairs in {} computation rounds, {} messages",
+        "maximal matching: {} pairs in {} computation rounds, {} messages{}",
         m.pairs.len(),
         m.compute_rounds,
-        m.stats.messages_sent
+        m.stats.messages_sent,
+        idle_note(&m.stats),
     );
-    if faulty(&cfg) {
-        report_transport(&m.stats, m.transport_overhead_rounds, &m.alive);
+    if let Some(tally) = &tally {
+        report_transport(&m.stats, m.transport_overhead_rounds, &m.alive, tally);
     }
     let mut out = String::new();
     for (u, v) in &m.pairs {
@@ -550,6 +805,458 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         io::to_dot(&g, "g", |e| colors.as_ref().and_then(|c| c[e.index()]).map(|c| c.to_string()));
     print!("{dot}");
     Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("trace needs a subcommand: record | summarize | diff".into());
+    };
+    match sub.as_str() {
+        "record" => cmd_trace_record(&args[1..]),
+        "summarize" => cmd_trace_summarize(&args[1..]),
+        "diff" => cmd_trace_diff(&args[1..]),
+        other => Err(format!("unknown trace subcommand '{other}'")),
+    }
+}
+
+/// `trace record` — run a workload purely to produce its JSONL trace.
+/// Unlike the workload commands it writes no coloring and skips output
+/// verification: lossy or budget-exhausted runs are exactly the runs
+/// one wants a trace of.
+fn cmd_trace_record(args: &[String]) -> Result<(), String> {
+    let Some(gpath) = args.first() else {
+        return Err("trace record needs a graph file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    if !flags.contains_key("trace") {
+        return Err("trace record needs --trace FILE (the JSONL output)".into());
+    }
+    if flags.contains_key("churn-rate") {
+        return Err("trace record covers static runs; for churn runs pass --trace to 'color' or \
+             'strong-color' directly"
+            .into());
+    }
+    let tf = trace_flags(&flags)?;
+    let g = load_graph(gpath)?;
+    let cfg = run_config(&flags)?;
+    report_run_options(&cfg);
+    let workload = flags.get("workload").map(String::as_str).unwrap_or("color");
+    let mut trace = CliTrace::create(&tf, &cfg, workload, gpath, g.num_vertices())?
+        .expect("--trace always yields a live tracer");
+    let (stats, overhead, alive) = match workload {
+        "color" => {
+            let r = color_edges_traced(&g, &cfg, &mut trace).map_err(|e| e.to_string())?;
+            eprintln!(
+                "colored with {} colors (Δ = {}) in {} computation rounds, {} messages{}",
+                r.colors_used,
+                r.max_degree,
+                r.compute_rounds,
+                r.stats.messages_sent,
+                idle_note(&r.stats),
+            );
+            (r.stats, r.transport_overhead_rounds, r.alive)
+        }
+        "strong-color" => {
+            let d = Digraph::symmetric_closure(&g);
+            let r = strong_color_digraph_traced(&d, &cfg, &mut trace).map_err(|e| e.to_string())?;
+            eprintln!(
+                "assigned {} channels to {} arcs (Δ = {}) in {} rounds, {} messages{}",
+                r.colors_used,
+                d.num_arcs(),
+                r.max_degree,
+                r.compute_rounds,
+                r.stats.messages_sent,
+                idle_note(&r.stats),
+            );
+            (r.stats, r.transport_overhead_rounds, r.alive)
+        }
+        "matching" => {
+            let m = maximal_matching_traced(&g, &cfg, &mut trace).map_err(|e| e.to_string())?;
+            eprintln!(
+                "maximal matching: {} pairs in {} computation rounds, {} messages{}",
+                m.pairs.len(),
+                m.compute_rounds,
+                m.stats.messages_sent,
+                idle_note(&m.stats),
+            );
+            (m.stats, m.transport_overhead_rounds, m.alive)
+        }
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (expected color, strong-color, or matching)"
+            ))
+        }
+    };
+    let tally = trace.finish(&stats)?;
+    if let Some(tally) = &tally {
+        report_transport(&stats, overhead, &alive, tally);
+    }
+    Ok(())
+}
+
+/// One parsed trace file: raw lines paired with their parsed records,
+/// header guaranteed first.
+struct TraceFile {
+    raw: Vec<String>,
+    recs: Vec<read::Record>,
+}
+
+fn load_trace(path: &str) -> Result<TraceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut raw = Vec::new();
+    let mut recs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = read::parse_line(line)
+            .ok_or_else(|| format!("{path}:{}: unparseable trace line", i + 1))?;
+        raw.push(line.to_string());
+        recs.push(rec);
+    }
+    if recs.first().and_then(read::Record::tag) != Some("header") {
+        return Err(format!("{path}: not a dima trace (no header line)"));
+    }
+    Ok(TraceFile { raw, recs })
+}
+
+/// Map a parsed state label back onto the canonical `'static` labels
+/// ([`STATES`]); unknown labels land in the catch-all slot.
+fn intern_label(label: &str) -> &'static str {
+    STATES.iter().find(|s| **s == label).copied().unwrap_or("?")
+}
+
+fn parse_palette_action(name: &str) -> Option<PaletteAction> {
+    Some(match name {
+        "proposed" => PaletteAction::Proposed,
+        "committed" => PaletteAction::Committed,
+        "released" => PaletteAction::Released,
+        "conflicted" => PaletteAction::Conflicted,
+        _ => return None,
+    })
+}
+
+/// Everything `trace summarize` derives from one trace file.
+struct TraceSummary {
+    header: read::Record,
+    timeline: StateTimeline,
+    /// Newly committed pairs per *computation* round (3 communication
+    /// rounds each), counted once per edge at the smaller endpoint.
+    pairs_per_compute_round: Vec<u64>,
+    kinds: BTreeMap<String, KindTotals>,
+    retransmits: u64,
+    link_deaths: u64,
+    churn_batches: u64,
+    footer: Option<read::Record>,
+    /// Event lines (header/footer excluded).
+    events: u64,
+}
+
+fn summarize_trace(tf: &TraceFile) -> Result<TraceSummary, String> {
+    let header = tf.recs[0].clone();
+    let nodes = header.num("nodes").unwrap_or(0) as usize;
+    let mut s = TraceSummary {
+        header,
+        timeline: StateTimeline::new(nodes),
+        pairs_per_compute_round: Vec::new(),
+        kinds: BTreeMap::new(),
+        retransmits: 0,
+        link_deaths: 0,
+        churn_batches: 0,
+        footer: None,
+        events: 0,
+    };
+    for rec in &tf.recs[1..] {
+        match rec.tag() {
+            Some("state") => {
+                if let (Some(round), Some(node), Some(label)) =
+                    (rec.num("round"), rec.num("node"), rec.str("label"))
+                {
+                    s.timeline.emit(Event::State {
+                        round,
+                        node: node as u32,
+                        label: intern_label(label),
+                        reason: "",
+                    });
+                }
+            }
+            Some("palette") => {
+                if let (Some(round), Some(node), Some(action), Some(color), Some(peer)) = (
+                    rec.num("round"),
+                    rec.num("node"),
+                    rec.str("action").and_then(parse_palette_action),
+                    rec.num("color"),
+                    rec.num("peer"),
+                ) {
+                    if action == PaletteAction::Committed && node < peer {
+                        let idx = (round / 3) as usize;
+                        if s.pairs_per_compute_round.len() <= idx {
+                            s.pairs_per_compute_round.resize(idx + 1, 0);
+                        }
+                        s.pairs_per_compute_round[idx] += 1;
+                    }
+                    s.timeline.emit(Event::Palette {
+                        round,
+                        node: node as u32,
+                        action,
+                        color: color as u32,
+                        peer: peer as u32,
+                    });
+                }
+            }
+            Some("arq") => match rec.str("kind") {
+                Some("retransmit") => s.retransmits += 1,
+                Some(k) if k.starts_with("link-down") => s.link_deaths += 1,
+                _ => {}
+            },
+            Some("msgkind") => {
+                if let Some(kind) = rec.str("kind") {
+                    let t = s.kinds.entry(kind.to_string()).or_default();
+                    t.sent += rec.num("sent").unwrap_or(0);
+                    t.delivered += rec.num("delivered").unwrap_or(0);
+                    t.dropped += rec.num("dropped").unwrap_or(0);
+                    t.corrupted += rec.num("corrupted").unwrap_or(0);
+                    t.duplicated += rec.num("duplicated").unwrap_or(0);
+                }
+            }
+            Some("round") => {
+                if let Some(round) = rec.num("round") {
+                    s.timeline.emit(Event::Round {
+                        round,
+                        active: rec.num("active").unwrap_or(0),
+                        done: rec.num("done").unwrap_or(0),
+                        sent: rec.num("sent").unwrap_or(0),
+                        delivered: rec.num("delivered").unwrap_or(0),
+                    });
+                }
+            }
+            Some("churn") => s.churn_batches += 1,
+            Some("footer") => {
+                s.footer = Some(rec.clone());
+                continue;
+            }
+            Some("header") => {
+                return Err("second header line mid-file (concatenated traces?)".into())
+            }
+            _ => {}
+        }
+        s.events += 1;
+    }
+    Ok(s)
+}
+
+/// Render a [`TraceSummary`] for the terminal. `top` bounds the
+/// slowest-node list; `every` prints every Nth census row (0 = pick a
+/// stride that keeps the table under ~40 rows).
+fn render_summary(s: &TraceSummary, top: usize, every: usize) -> String {
+    let mut out = String::new();
+    let h = &s.header;
+    let sample = h.num("sample").unwrap_or(0);
+    out.push_str(&format!(
+        "trace: {} on {} (seed {}, {} nodes, engine {}x{}, sample {})\n",
+        h.str("workload").unwrap_or("?"),
+        h.str("graph").unwrap_or("?"),
+        h.num("seed").unwrap_or(0),
+        h.num("nodes").unwrap_or(0),
+        h.str("engine").unwrap_or("?"),
+        h.num("threads").unwrap_or(0),
+        if sample > 1 { format!("1/{sample}") } else { "off".to_string() },
+    ));
+    if sample > 1 {
+        out.push_str(
+            "note: node events are sampled — censuses, pair counts and slowest-node ranks \
+             cover the sampled nodes only (unsampled nodes appear parked in state C)\n",
+        );
+    }
+
+    let rounds = s.timeline.rounds();
+    if rounds.is_empty() {
+        out.push_str("no round footers in trace\n");
+    } else {
+        let stride = if every > 0 { every } else { rounds.len().div_ceil(40).max(1) };
+        out.push_str("round | census                          | pairs colored | active/done\n");
+        for (i, snap) in rounds.iter().enumerate() {
+            if i % stride != 0 && i + 1 != rounds.len() {
+                continue;
+            }
+            let census: Vec<String> = snap.states().map(|(l, c)| format!("{l}:{c}")).collect();
+            out.push_str(&format!(
+                "{:>5} | {:<31} | {:>5} {:>7} | {}/{}\n",
+                snap.round,
+                census.join(" "),
+                snap.matched_pairs,
+                snap.colored_edges,
+                snap.active,
+                snap.done,
+            ));
+        }
+    }
+
+    // Progress vs the paper's Property 1: the automata discovers a
+    // matching every computation round (3 communication rounds) while
+    // uncolored work remains.
+    let last_productive =
+        s.pairs_per_compute_round.iter().rposition(|&p| p > 0).map(|i| i + 1).unwrap_or(0);
+    if last_productive > 0 {
+        let window = &s.pairs_per_compute_round[..last_productive];
+        let productive = window.iter().filter(|&&p| p > 0).count();
+        let total: u64 = window.iter().sum();
+        let max = window.iter().copied().max().unwrap_or(0);
+        out.push_str(&format!(
+            "Property 1 (a matching forms every computation round while work remains): \
+             {productive}/{last_productive} productive compute rounds ({:.0}%); pairs per \
+             round mean {:.2}, max {max}; last pair in compute round {}\n",
+            100.0 * productive as f64 / last_productive as f64,
+            total as f64 / last_productive as f64,
+            last_productive - 1,
+        ));
+    } else {
+        out.push_str("Property 1: no pair commits in trace\n");
+    }
+
+    if s.timeline.colors_used() > 0 {
+        let hist: Vec<String> =
+            s.timeline.color_histogram().map(|(c, n)| format!("{c}:{n}")).collect();
+        let shown = hist.len().min(24);
+        out.push_str(&format!(
+            "colors: {} used, {} edges colored, {} conflicts; histogram: {}{}\n",
+            s.timeline.colors_used(),
+            s.timeline.colored_edges(),
+            s.timeline.conflicts,
+            hist[..shown].join(" "),
+            if hist.len() > shown { " …" } else { "" },
+        ));
+    }
+
+    // Under sampling, unsampled nodes never transition and would crowd
+    // the ranking as eternally-"C" stragglers; rank sampled nodes only.
+    let mut slow = s.timeline.slowest_nodes(usize::MAX);
+    if sample > 1 {
+        slow.retain(|&(v, _, _)| u64::from(v) % sample == 0);
+    }
+    slow.truncate(top);
+    if !slow.is_empty() {
+        let rows: Vec<String> =
+            slow.iter().map(|&(v, r, l)| format!("{v} ({l} since round {r})")).collect();
+        out.push_str(&format!("slowest nodes (top {}): {}\n", rows.len(), rows.join(", ")));
+    }
+
+    if !s.kinds.is_empty() {
+        let rows: Vec<String> =
+            s.kinds.iter().map(|(k, t)| format!("{k} {}/{}", t.delivered, t.sent)).collect();
+        out.push_str(&format!("message kinds (delivered/sent): {}\n", rows.join(", ")));
+    }
+    if s.retransmits > 0 || s.link_deaths > 0 {
+        out.push_str(&format!(
+            "arq: {} retransmits, {} link deaths\n",
+            s.retransmits, s.link_deaths
+        ));
+    }
+
+    match &s.footer {
+        Some(f) => out.push_str(&format!(
+            "totals: {} rounds, {} sent, {} delivered, {} dropped, {} corrupted, \
+             {} duplicated, {} crashed, {} idle rounds skipped, churn {} batches / {} events \
+             ({} trace events)\n",
+            f.num("rounds").unwrap_or(0),
+            f.num("messages_sent").unwrap_or(0),
+            f.num("deliveries").unwrap_or(0),
+            f.num("dropped").unwrap_or(0),
+            f.num("corrupted").unwrap_or(0),
+            f.num("duplicated").unwrap_or(0),
+            f.num("crashed").unwrap_or(0),
+            f.num("idle_rounds_skipped").unwrap_or(0),
+            f.num("churn_batches").unwrap_or(0),
+            f.num("churn_events").unwrap_or(0),
+            s.events,
+        )),
+        None => out.push_str(&format!(
+            "no footer (truncated trace — run died mid-flight?); {} trace events\n",
+            s.events
+        )),
+    }
+    out
+}
+
+fn cmd_trace_summarize(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("trace summarize needs a trace file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let top: usize = flag(&flags, "top", 5)?;
+    let every: usize = flag(&flags, "every", 0)?;
+    let tf = load_trace(path)?;
+    let summary = summarize_trace(&tf)?;
+    print!("{}", render_summary(&summary, top, every));
+    Ok(())
+}
+
+/// `trace diff` — lockstep comparison of two traces. Engine identity
+/// (`engine`, `threads`) is ignored in the header so the tool's main
+/// use — checking that a sequential and a parallel run of the same
+/// seed emit identical streams — reports a clean diff.
+fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
+    let (Some(apath), Some(bpath)) = (args.first(), args.get(1)) else {
+        return Err("trace diff needs two trace files".into());
+    };
+    let a = load_trace(apath)?;
+    let b = load_trace(bpath)?;
+    if a.recs[0].num("sample") != b.recs[0].num("sample") {
+        return Err(format!(
+            "traces are not comparable: sampling differs ({} vs {})",
+            a.recs[0].num("sample").unwrap_or(0),
+            b.recs[0].num("sample").unwrap_or(0),
+        ));
+    }
+    let mut diffs = 0u64;
+    let mut shown = 0;
+    let mut first_round: Option<u64> = None;
+    let norm = |r: &read::Record| r.clone().without(&["engine", "threads"]);
+    if norm(&a.recs[0]) != norm(&b.recs[0]) {
+        diffs += 1;
+        shown += 1;
+        eprintln!("headers differ (beyond engine identity):\n  a: {}\n  b: {}", a.raw[0], b.raw[0]);
+    }
+    let n = a.recs.len().min(b.recs.len());
+    for i in 1..n {
+        if a.recs[i] != b.recs[i] {
+            let round = a.recs[i].num("round").or_else(|| b.recs[i].num("round"));
+            if first_round.is_none() {
+                first_round = round.or(Some(0));
+            }
+            diffs += 1;
+            if shown < 5 {
+                shown += 1;
+                eprintln!(
+                    "line {}: round {}:\n  a: {}\n  b: {}",
+                    i + 1,
+                    round.map_or("?".to_string(), |r| r.to_string()),
+                    a.raw[i],
+                    b.raw[i],
+                );
+            }
+        }
+    }
+    diffs += (a.recs.len().abs_diff(b.recs.len())) as u64;
+    if diffs == 0 {
+        println!(
+            "traces identical: {} lines (engines {}x{} vs {}x{})",
+            a.recs.len(),
+            a.recs[0].str("engine").unwrap_or("?"),
+            a.recs[0].num("threads").unwrap_or(0),
+            b.recs[0].str("engine").unwrap_or("?"),
+            b.recs[0].num("threads").unwrap_or(0),
+        );
+        return Ok(());
+    }
+    if a.recs.len() != b.recs.len() {
+        eprintln!("lengths differ: a has {} lines, b has {} lines", a.recs.len(), b.recs.len());
+    }
+    Err(format!(
+        "traces diverge: {} differing lines, first at round {}",
+        diffs,
+        first_round.map_or("-".to_string(), |r| r.to_string()),
+    ))
 }
 
 #[cfg(test)]
@@ -863,5 +1570,169 @@ mod tests {
             dispatch(&s(&["gen", fam, "--n", "20", "--d", "4", "--seed", "1"])).unwrap();
         }
         assert!(dispatch(&s(&["gen", "nope"])).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let f = parse_flags(&s(&["--trace", "out.jsonl", "--trace-sample", "8"])).unwrap();
+        let tf = trace_flags(&f).unwrap();
+        assert_eq!(tf.path.as_deref(), Some("out.jsonl"));
+        assert_eq!(tf.sample, 8);
+        let tf = trace_flags(&parse_flags(&[]).unwrap()).unwrap();
+        assert!(tf.path.is_none());
+        let f = parse_flags(&s(&["--trace-sample", "8"])).unwrap();
+        assert!(trace_flags(&f).is_err(), "--trace-sample without --trace must be rejected");
+    }
+
+    #[test]
+    fn trace_record_summarize_diff_roundtrip() {
+        let dir = tmpdir();
+        let gpath = dir.join("gt.edges");
+        dispatch(&s(&[
+            "gen",
+            "er",
+            "--n",
+            "40",
+            "--avg-degree",
+            "4",
+            "--seed",
+            "13",
+            "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let g = gpath.to_str().unwrap();
+        let seq = dir.join("seq.jsonl");
+        let par = dir.join("par.jsonl");
+        let other = dir.join("other.jsonl");
+        let rec = |args: &[&str]| {
+            let mut full = vec!["trace", "record", g];
+            full.extend_from_slice(args);
+            dispatch(&s(&full))
+        };
+        rec(&["--workload", "color", "--seed", "5", "--trace", seq.to_str().unwrap()]).unwrap();
+        rec(&[
+            "--workload",
+            "color",
+            "--seed",
+            "5",
+            "--threads",
+            "3",
+            "--trace",
+            par.to_str().unwrap(),
+        ])
+        .unwrap();
+        rec(&["--workload", "color", "--seed", "6", "--trace", other.to_str().unwrap()]).unwrap();
+        // The other workloads record too.
+        let m = dir.join("m.jsonl");
+        rec(&["--workload", "matching", "--seed", "1", "--trace", m.to_str().unwrap()]).unwrap();
+        rec(&["--workload", "strong-color", "--seed", "1", "--trace", m.to_str().unwrap()])
+            .unwrap();
+        // And a faulty run attaches the tally alongside the writer.
+        rec(&[
+            "--seed",
+            "2",
+            "--fault-loss",
+            "0.05",
+            "--transport",
+            "reliable",
+            "--trace",
+            m.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        dispatch(&s(&["trace", "summarize", seq.to_str().unwrap(), "--top", "3"])).unwrap();
+        // Identical file: clean diff. Sequential vs parallel of the same
+        // seed: clean diff (engine identity is ignored, the event stream
+        // is deterministic). Different seed: divergence, reported as Err.
+        dispatch(&s(&["trace", "diff", seq.to_str().unwrap(), seq.to_str().unwrap()])).unwrap();
+        dispatch(&s(&["trace", "diff", seq.to_str().unwrap(), par.to_str().unwrap()])).unwrap();
+        assert!(dispatch(&s(&["trace", "diff", seq.to_str().unwrap(), other.to_str().unwrap()]))
+            .is_err());
+
+        // Bad invocations.
+        assert!(rec(&[]).is_err(), "record without --trace");
+        assert!(
+            rec(&["--trace", m.to_str().unwrap(), "--churn-rate", "0.1"]).is_err(),
+            "record rejects churn"
+        );
+        assert!(
+            rec(&["--trace", m.to_str().unwrap(), "--workload", "bogus"]).is_err(),
+            "unknown workload"
+        );
+        assert!(dispatch(&s(&["trace", "bogus"])).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_totals_match_run_stats() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = gen::erdos_renyi_avg_degree(48, 5.0, &mut rng).unwrap();
+        let cfg = run_config(&parse_flags(&s(&["--seed", "7"])).unwrap()).unwrap();
+        let mut buf = Vec::new();
+        let meta = TraceMeta {
+            workload: "color".into(),
+            graph: "mem".into(),
+            seed: cfg.seed,
+            nodes: g.num_vertices() as u64,
+            engine: "seq".into(),
+            threads: 1,
+            sample: 0,
+        };
+        let mut w = TraceWriter::new(&mut buf, &meta);
+        let r = color_edges_traced(&g, &cfg, &mut w).unwrap();
+        w.finish(&run_totals(&r.stats)).unwrap();
+
+        let text = String::from_utf8(buf).unwrap();
+        let tf = TraceFile {
+            raw: text.lines().map(str::to_string).collect(),
+            recs: text.lines().map(|l| read::parse_line(l).unwrap()).collect(),
+        };
+        let sum = summarize_trace(&tf).unwrap();
+        let f = sum.footer.as_ref().expect("complete trace has a footer");
+        assert_eq!(f.num("rounds"), Some(r.stats.rounds));
+        assert_eq!(f.num("messages_sent"), Some(r.stats.messages_sent));
+        assert_eq!(f.num("deliveries"), Some(r.stats.deliveries));
+        assert_eq!(f.num("idle_rounds_skipped"), Some(r.stats.idle_rounds_skipped));
+        // The timeline reconstructed from the trace agrees with the run.
+        assert_eq!(sum.timeline.colors_used(), r.colors_used);
+        let colored = r.colors.iter().filter(|c| c.is_some()).count() as u64;
+        assert_eq!(sum.timeline.colored_edges(), colored);
+        assert_eq!(sum.pairs_per_compute_round.iter().sum::<u64>(), sum.timeline.matched_pairs(),);
+        assert!(!sum.timeline.rounds().is_empty());
+        let rendered = render_summary(&sum, 5, 0);
+        assert!(rendered.contains("Property 1"));
+        assert!(rendered.contains("totals:"));
+    }
+
+    #[test]
+    fn transport_tally_matches_stats() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gen::erdos_renyi_avg_degree(36, 4.0, &mut rng).unwrap();
+        let cfg = run_config(
+            &parse_flags(&s(&["--seed", "3", "--fault-loss", "0.1", "--transport", "reliable"]))
+                .unwrap(),
+        )
+        .unwrap();
+        let mut tally = TransportTally::default();
+        let r = color_edges_traced(&g, &cfg, &mut tally).unwrap();
+        let mut total = KindTotals::default();
+        for t in tally.kinds.values() {
+            total.sent += t.sent;
+            total.delivered += t.delivered;
+            total.dropped += t.dropped;
+            total.corrupted += t.corrupted;
+            total.duplicated += t.duplicated;
+        }
+        assert_eq!(total.sent, r.stats.messages_sent);
+        assert_eq!(total.delivered, r.stats.deliveries);
+        assert_eq!(total.dropped, r.stats.dropped);
+        assert!(tally.kinds.contains_key("arq-data"), "ARQ data frames observed");
+        assert!(tally.kinds.contains_key("arq-ack"), "ARQ acks observed");
+        assert!(tally.retransmits > 0, "a 10% lossy run must retransmit");
     }
 }

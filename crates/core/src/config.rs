@@ -114,6 +114,10 @@ pub struct ColoringConfig {
     pub faults: FaultPlan,
     /// Link transport: bare (the default) or the reliable ARQ layer.
     pub transport: Transport,
+    /// Measure wall-clock time per engine stage into
+    /// [`dima_sim::RunStats::phase_nanos`]. Off by default so run
+    /// statistics stay bit-comparable across engines and runs.
+    pub profile: bool,
 }
 
 impl Default for ColoringConfig {
@@ -130,6 +134,7 @@ impl Default for ColoringConfig {
             validate_sends: true,
             faults: FaultPlan::reliable(),
             transport: Transport::default(),
+            profile: false,
         }
     }
 }

@@ -48,6 +48,7 @@
 
 use dima_graph::{Graph, VertexId};
 use dima_sim::churn::{ChurnSchedule, NeighborhoodChange};
+use dima_sim::telemetry::{NoopTracer, PaletteAction, StateTimeline, Tracer};
 use dima_sim::{EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 
@@ -56,7 +57,7 @@ use crate::churn::{batch_reports, ChurnColoringResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
-use crate::runner::{run_protocol, run_protocol_churn};
+use crate::runner::{run_protocol_churn_traced, run_protocol_traced};
 
 /// Messages of Algorithm 1. All broadcast, per the paper; the `to` field
 /// addresses the intended recipient.
@@ -131,6 +132,12 @@ pub struct EdgeColoringNode {
     /// Neighbors gained through churn that still owe a [`EcMsg::Hello`]
     /// greeting (flushed at the top of the next round this node runs).
     pending_hello: Vec<VertexId>,
+    /// Colors released by churn's palette pruning, awaiting a telemetry
+    /// [`PaletteAction::Released`] event ([`Protocol::on_topology_change`]
+    /// has no tracing context, so they are flushed at the top of the next
+    /// round this node runs; drained unconditionally so the buffer never
+    /// grows when tracing is off).
+    pending_released: Vec<(Color, VertexId)>,
     /// Automata state after the last round (for state censuses).
     state: &'static str,
 }
@@ -153,6 +160,7 @@ impl EdgeColoringNode {
             response_policy: cfg.response_policy,
             palette_bound,
             pending_hello: Vec::new(),
+            pending_released: Vec::new(),
             state: "C",
         }
     }
@@ -192,6 +200,15 @@ impl EdgeColoringNode {
 impl Protocol for EdgeColoringNode {
     type Msg = EcMsg;
 
+    fn kind_of(msg: &EcMsg) -> &'static str {
+        match msg {
+            EcMsg::Invite { .. } => "invite",
+            EcMsg::Accept { .. } => "accept",
+            EcMsg::Used { .. } => "used",
+            EcMsg::Hello { .. } => "hello",
+        }
+    }
+
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, EcMsg>) -> NodeStatus {
         // Repair prelude. Under churn, `Used` exchanges (flushed by
         // parking nodes) and `Hello` greetings can land at *any* phase,
@@ -219,6 +236,9 @@ impl Protocol for EdgeColoringNode {
                 ctx.send(w, EcMsg::Hello { used: self.used_self.iter().collect() });
             }
         }
+        for (color, peer) in std::mem::take(&mut self.pending_released) {
+            ctx.trace_palette(PaletteAction::Released, color.0, peer);
+        }
         match Phase::of_round(ctx.round()) {
             Phase::InviteStep => {
                 if self.uncolored.is_empty() {
@@ -230,12 +250,14 @@ impl Protocol for EdgeColoringNode {
                         ctx.broadcast(EcMsg::Used { color });
                     }
                     self.state = "D";
+                    ctx.trace_state("D", "all-colored");
                     return NodeStatus::Done;
                 }
                 self.proposal = None;
                 self.newly_used = None;
                 self.role = choose_role(ctx.rng(), self.invite_probability);
                 self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                ctx.trace_state(self.state, "coin");
                 if self.role == Role::Invitor {
                     // The uncolored list is non-empty here today, but
                     // degrade to listening rather than panic if a future
@@ -243,15 +265,34 @@ impl Protocol for EdgeColoringNode {
                     let Some(&port) = pick_uniform(ctx.rng(), &self.uncolored) else {
                         self.role = Role::Listener;
                         self.state = "L";
+                        ctx.trace_state("L", "no-edge");
                         return NodeStatus::Active;
                     };
                     let color = self.propose_color(port, ctx.rng());
                     self.proposal = Some(Proposal { port, color });
+                    ctx.trace_palette(PaletteAction::Proposed, color.0, self.neighbors[port]);
                     ctx.broadcast(EcMsg::Invite { to: self.neighbors[port], color });
                 }
                 NodeStatus::Active
             }
             Phase::RespondStep => {
+                // Telemetry: every invitation addressed to me that does
+                // not end in the commit below is a palette conflict (the
+                // invitor retries next computation round). Collected only
+                // when a live trace handle is attached.
+                let mut offered: Vec<(VertexId, Color)> = Vec::new();
+                if ctx.trace_on() {
+                    let me = self.me;
+                    offered = ctx
+                        .inbox()
+                        .iter()
+                        .filter_map(|env| match *env.msg() {
+                            EcMsg::Invite { to, color } if to == me => Some((env.from, color)),
+                            _ => None,
+                        })
+                        .collect();
+                }
+                let mut accepted: Option<(VertexId, Color)> = None;
                 if self.role == Role::Listener {
                     let me = self.me;
                     // Keep invitations addressed to me (L state). The
@@ -283,9 +324,17 @@ impl Protocol for EdgeColoringNode {
                     if let Some((partner, port, color)) = chosen {
                         ctx.broadcast(EcMsg::Accept { to: partner, color });
                         self.commit(port, color);
+                        ctx.trace_palette(PaletteAction::Committed, color.0, partner);
+                        accepted = Some((partner, color));
+                    }
+                }
+                for (from, color) in offered {
+                    if accepted != Some((from, color)) {
+                        ctx.trace_palette(PaletteAction::Conflicted, color.0, from);
                     }
                 }
                 self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                ctx.trace_state(self.state, "await");
                 NodeStatus::Active
             }
             Phase::ExchangeStep => {
@@ -304,6 +353,7 @@ impl Protocol for EdgeColoringNode {
                         });
                         if accepted {
                             self.commit(port, color);
+                            ctx.trace_palette(PaletteAction::Committed, color.0, partner);
                         }
                     }
                 }
@@ -313,9 +363,11 @@ impl Protocol for EdgeColoringNode {
                 }
                 if self.uncolored.is_empty() {
                     self.state = "D";
+                    ctx.trace_state("D", "all-colored");
                     NodeStatus::Done
                 } else {
                     self.state = "E";
+                    ctx.trace_state("E", "exchange");
                     NodeStatus::Active
                 }
             }
@@ -340,6 +392,16 @@ impl Protocol for EdgeColoringNode {
     ) -> NodeStatus {
         let was_parked = self.state == "D";
         let new_neighbors = seed.neighbors.to_vec();
+        // Colors on removed edges leave the palette below ("pruning");
+        // queue the telemetry release events now, while the old port map
+        // still resolves the departed neighbors.
+        for &w in &change.removed {
+            if let Some(op) = self.port_of(w) {
+                if let Some(c) = self.edge_color[op] {
+                    self.pending_released.push((c, w));
+                }
+            }
+        }
         // Remap per-port state onto the new neighbor list: surviving
         // ports keep their color and accumulated neighbor knowledge, new
         // ports start blank.
@@ -436,11 +498,15 @@ pub struct EdgeColoringResult {
 /// Run Algorithm 1 on `g` and additionally collect a per-communication-
 /// round census of automata states (sequential engine only — censuses
 /// are an observation tool, not a result).
+///
+/// Built on the telemetry plane: the run is traced into a
+/// [`StateTimeline`] whose per-round snapshots are folded into the
+/// rendered [`StateCensus`](dima_sim::trace::StateCensus) shape the
+/// experiment binaries consume.
 pub fn color_edges_with_census(
     g: &Graph,
     cfg: &ColoringConfig,
 ) -> Result<(EdgeColoringResult, dima_sim::trace::StateCensus), CoreError> {
-    use dima_sim::trace::StateLabel;
     cfg.validate()?;
     if cfg.transport != Transport::Bare {
         return Err(CoreError::Config(
@@ -457,15 +523,20 @@ pub fn color_edges_with_census(
         collect_round_stats: cfg.collect_round_stats,
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
+        profile: cfg.profile,
     };
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
-    let mut census = dima_sim::trace::StateCensus::new();
-    let outcome = dima_sim::run_sequential_observed(
+    let mut timeline = StateTimeline::new(g.num_vertices());
+    let outcome = dima_sim::run_sequential_traced(
         &topo,
         &engine_cfg,
         |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound),
-        |view| census.record(view.nodes.iter().map(|n| n.state_label())),
+        &mut timeline,
     )?;
+    let mut census = dima_sim::trace::StateCensus::new();
+    for snap in timeline.rounds() {
+        census.record(snap.labels());
+    }
     let result = assemble_result(g, delta, &outcome.nodes, outcome.stats, outcome.crashed, 0);
     Ok((result, census))
 }
@@ -477,13 +548,26 @@ pub fn color_edges_with_census(
 /// [`crate::verify::verify_edge_coloring`] (the experiment binaries and
 /// tests always do).
 pub fn color_edges(g: &Graph, cfg: &ColoringConfig) -> Result<EdgeColoringResult, CoreError> {
+    color_edges_traced(g, cfg, &mut NoopTracer)
+}
+
+/// [`color_edges`] with the run's telemetry events fed to `tracer`
+/// (state transitions, palette negotiation, per-kind message counters,
+/// round footers — see [`dima_sim::telemetry`]). With [`NoopTracer`]
+/// this *is* [`color_edges`]: every tracing branch folds away at
+/// monomorphization.
+pub fn color_edges_traced<T: Tracer + Sync>(
+    g: &Graph,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<EdgeColoringResult, CoreError> {
     cfg.validate()?;
     let delta = g.max_degree();
     let topo = Topology::from_graph(g);
     let max_rounds = 3 * cfg.compute_round_budget(delta);
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
     let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
-    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    let run = run_protocol_traced(&topo, cfg, max_rounds, factory, tracer)?;
     Ok(assemble_result(g, delta, &run.nodes, run.stats, run.crashed, run.transport_overhead_rounds))
 }
 
@@ -500,6 +584,21 @@ pub fn color_edges_churn(
     schedule: &ChurnSchedule,
     cfg: &ColoringConfig,
 ) -> Result<ChurnColoringResult, CoreError> {
+    color_edges_churn_traced(g0, schedule, cfg, &mut NoopTracer)
+}
+
+/// [`color_edges_churn`] with telemetry fed to `tracer`. Beyond the
+/// static-run events, churn runs emit [`Event::Churn`] headers per batch
+/// and [`PaletteAction::Released`] for every color the repair pruned off
+/// a removed edge.
+///
+/// [`Event::Churn`]: dima_sim::telemetry::Event::Churn
+pub fn color_edges_churn_traced<T: Tracer + Sync>(
+    g0: &Graph,
+    schedule: &ChurnSchedule,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<ChurnColoringResult, CoreError> {
     cfg.validate()?;
     let final_graph = schedule.final_graph().cloned().unwrap_or_else(|| g0.clone());
     // Δ may grow mid-run: budget rounds and the ablation palette against
@@ -512,7 +611,7 @@ pub fn color_edges_churn(
     let max_rounds = schedule.last_round().map_or(budget, |lr| lr + budget);
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
     let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
-    let run = run_protocol_churn(&topo, cfg, max_rounds, schedule, factory)?;
+    let run = run_protocol_churn_traced(&topo, cfg, max_rounds, schedule, factory, tracer)?;
     let batches = batch_reports(schedule, &run.stats);
     let coloring = assemble_result(&final_graph, delta, &run.nodes, run.stats, run.crashed, 0);
     Ok(ChurnColoringResult { coloring, final_graph, batches })

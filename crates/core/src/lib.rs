@@ -60,11 +60,17 @@ pub use churn::{
 };
 pub use config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
 pub use edge_coloring::{
-    color_edges, color_edges_churn, color_edges_with_census, EdgeColoringResult,
+    color_edges, color_edges_churn, color_edges_churn_traced, color_edges_traced,
+    color_edges_with_census, EdgeColoringResult,
 };
 pub use error::CoreError;
-pub use matching::{maximal_matching, MatchingResult};
+pub use matching::{maximal_matching, maximal_matching_traced, MatchingResult};
 pub use palette::{Color, ColorSet};
-pub use strong_coloring::{strong_color_churn, strong_color_digraph, StrongColoringResult};
-pub use strong_undirected::{strong_color_graph, StrongUndirectedResult};
-pub use vertex_cover::{vertex_cover, VertexCoverResult};
+pub use strong_coloring::{
+    strong_color_churn, strong_color_churn_traced, strong_color_digraph,
+    strong_color_digraph_traced, StrongColoringResult,
+};
+pub use strong_undirected::{
+    strong_color_graph, strong_color_graph_traced, StrongUndirectedResult,
+};
+pub use vertex_cover::{vertex_cover, vertex_cover_traced, VertexCoverResult};

@@ -12,12 +12,13 @@
 //! empirically from [`MatchingResult::pair_round`].
 
 use dima_graph::{Graph, VertexId};
+use dima_sim::telemetry::{NoopTracer, PaletteAction, Tracer};
 use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 
 use crate::automata::{choose_role, pick_uniform, Phase, Role};
 use crate::config::{ColoringConfig, ResponsePolicy};
 use crate::error::CoreError;
-use crate::runner::run_protocol;
+use crate::runner::run_protocol_traced;
 
 /// Messages of the matching protocol. All are broadcast, as in the paper;
 /// the `to` field addresses the intended recipient and everyone else
@@ -89,6 +90,14 @@ impl MatchingNode {
 impl Protocol for MatchingNode {
     type Msg = MatchMsg;
 
+    fn kind_of(msg: &MatchMsg) -> &'static str {
+        match msg {
+            MatchMsg::Invite { .. } => "invite",
+            MatchMsg::Accept { .. } => "accept",
+            MatchMsg::Matched => "matched",
+        }
+    }
+
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, MatchMsg>) -> NodeStatus {
         match Phase::of_round(ctx.round()) {
             Phase::InviteStep => {
@@ -107,15 +116,18 @@ impl Protocol for MatchingNode {
                     // Every neighbor is matched: this node can never pair
                     // again — it leaves unmatched (maximality preserved).
                     self.state = "D";
+                    ctx.trace_state("D", "isolated");
                     return NodeStatus::Done;
                 }
                 self.invited = None;
                 self.role = choose_role(ctx.rng(), self.invite_probability);
                 self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                ctx.trace_state(self.state, "coin");
                 if self.role == Role::Invitor {
                     let &target =
                         pick_uniform(ctx.rng(), &candidates).expect("candidates nonempty");
                     self.invited = Some(target);
+                    ctx.trace_palette(PaletteAction::Proposed, 0, target);
                     ctx.broadcast(MatchMsg::Invite { to: target });
                 }
                 NodeStatus::Active
@@ -142,9 +154,11 @@ impl Protocol for MatchingNode {
                         ctx.broadcast(MatchMsg::Accept { to: partner });
                         self.matched_with = Some(partner);
                         self.matched_round = Some(ctx.round() / 3);
+                        ctx.trace_palette(PaletteAction::Committed, 0, partner);
                     }
                 }
                 self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                ctx.trace_state(self.state, "await");
                 NodeStatus::Active
             }
             Phase::ExchangeStep => {
@@ -157,14 +171,19 @@ impl Protocol for MatchingNode {
                     if accepted {
                         self.matched_with = self.invited;
                         self.matched_round = Some(ctx.round() / 3);
+                        if let Some(partner) = self.matched_with {
+                            ctx.trace_palette(PaletteAction::Committed, 0, partner);
+                        }
                     }
                 }
                 if self.matched_with.is_some() {
                     ctx.broadcast(MatchMsg::Matched);
                     self.state = "D";
+                    ctx.trace_state("D", "paired");
                     return NodeStatus::Done;
                 }
                 self.state = "U";
+                ctx.trace_state("U", "unpaired");
                 NodeStatus::Active
             }
         }
@@ -236,11 +255,22 @@ impl MatchingResult {
 /// Run the matching-discovery automata on `g` until every node is matched
 /// or isolated among unmatched nodes, returning a **maximal matching**.
 pub fn maximal_matching(g: &Graph, cfg: &ColoringConfig) -> Result<MatchingResult, CoreError> {
+    maximal_matching_traced(g, cfg, &mut NoopTracer)
+}
+
+/// [`maximal_matching`] feeding structured telemetry events to `tracer`
+/// (see [`dima_sim::telemetry`]). With [`NoopTracer`] this *is*
+/// [`maximal_matching`]: the tracing branches compile away.
+pub fn maximal_matching_traced<T: Tracer + Sync>(
+    g: &Graph,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<MatchingResult, CoreError> {
     cfg.validate()?;
     let topo = Topology::from_graph(g);
     let max_rounds = 3 * cfg.compute_round_budget(g.max_degree());
     let factory = |seed: NodeSeed<'_>| MatchingNode::new(&seed, cfg);
-    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    let run = run_protocol_traced(&topo, cfg, max_rounds, factory, tracer)?;
     let alive = run.alive();
 
     let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();

@@ -12,9 +12,10 @@
 //! algorithm cost from transport cost.
 
 use dima_sim::churn::ChurnSchedule;
+use dima_sim::telemetry::Tracer;
 use dima_sim::{
-    run_parallel, run_parallel_churn, run_sequential, run_sequential_churn, EngineConfig, NodeSeed,
-    Protocol, ReliableNode, Topology,
+    run_parallel_churn_traced, run_parallel_traced, run_sequential_churn_traced,
+    run_sequential_traced, EngineConfig, NodeSeed, Protocol, ReliableNode, Topology,
 };
 
 use crate::config::{ColoringConfig, Engine, Transport};
@@ -45,27 +46,36 @@ impl<P> EngineRun<P> {
 }
 
 /// Run `factory`'s protocol on `topo` under the engine and transport the
-/// config selects. `bare_max_rounds` is the round budget a bare run gets;
-/// the reliable transport scales it by [`ArqConfig::round_budget`] to
-/// cover retransmission stalls and link-death detection.
+/// config selects, feeding telemetry events to `tracer` (callers pass
+/// [`NoopTracer`](dima_sim::telemetry::NoopTracer) when untraced — the
+/// tracing branches monomorphize away,
+/// so the untraced call costs nothing; the equivalence proptests in
+/// `tests/telemetry_equivalence.rs` pin that down). `bare_max_rounds` is
+/// the round budget a bare run gets; the reliable transport scales it by
+/// [`ArqConfig::round_budget`] to cover retransmission stalls and
+/// link-death detection.
 ///
 /// [`ArqConfig::round_budget`]: dima_sim::ArqConfig::round_budget
-pub(crate) fn run_protocol<P, F>(
+pub(crate) fn run_protocol_traced<P, F, T>(
     topo: &Topology,
     cfg: &ColoringConfig,
     bare_max_rounds: u64,
     factory: F,
+    tracer: &mut T,
 ) -> Result<EngineRun<P>, CoreError>
 where
     P: Protocol,
     F: Fn(NodeSeed<'_>) -> P + Sync,
+    T: Tracer + Sync,
 {
     match cfg.transport {
         Transport::Bare => {
             let engine_cfg = engine_config(cfg, bare_max_rounds);
             let outcome = match cfg.engine {
-                Engine::Sequential => run_sequential(topo, &engine_cfg, factory)?,
-                Engine::Parallel { threads } => run_parallel(topo, &engine_cfg, threads, factory)?,
+                Engine::Sequential => run_sequential_traced(topo, &engine_cfg, factory, tracer)?,
+                Engine::Parallel { threads } => {
+                    run_parallel_traced(topo, &engine_cfg, threads, factory, tracer)?
+                }
             };
             Ok(EngineRun {
                 nodes: outcome.nodes,
@@ -78,8 +88,10 @@ where
             let engine_cfg = engine_config(cfg, arq.round_budget(bare_max_rounds));
             let wrapped = ReliableNode::factory(arq, factory);
             let outcome = match cfg.engine {
-                Engine::Sequential => run_sequential(topo, &engine_cfg, wrapped)?,
-                Engine::Parallel { threads } => run_parallel(topo, &engine_cfg, threads, wrapped)?,
+                Engine::Sequential => run_sequential_traced(topo, &engine_cfg, wrapped, tracer)?,
+                Engine::Parallel { threads } => {
+                    run_parallel_traced(topo, &engine_cfg, threads, wrapped, tracer)?
+                }
             };
             // The protocol's own round count is the fastest node's inner
             // progress: every non-crashed node reaches the same inner
@@ -102,21 +114,23 @@ where
     }
 }
 
-/// [`run_protocol`] under a churn schedule. Bare transport only: the ARQ
-/// layer binds its sequence numbers and liveness probes to a static
-/// neighbor set (message-loss and crash faults compose fine). Always
-/// collects per-round stats — [`crate::churn::BatchReport`]s need them to
-/// locate quiescence.
-pub(crate) fn run_protocol_churn<P, F>(
+/// [`run_protocol_traced`] under a churn schedule. Bare transport only:
+/// the ARQ layer binds its sequence numbers and liveness probes to a
+/// static neighbor set (message-loss and crash faults compose fine).
+/// Always collects per-round stats — [`crate::churn::BatchReport`]s need
+/// them to locate quiescence.
+pub(crate) fn run_protocol_churn_traced<P, F, T>(
     topo: &Topology,
     cfg: &ColoringConfig,
     max_rounds: u64,
     schedule: &ChurnSchedule,
     factory: F,
+    tracer: &mut T,
 ) -> Result<EngineRun<P>, CoreError>
 where
     P: Protocol,
     F: Fn(NodeSeed<'_>) -> P + Sync,
+    T: Tracer + Sync,
 {
     if cfg.transport != Transport::Bare {
         return Err(CoreError::Config(
@@ -127,9 +141,11 @@ where
     }
     let engine_cfg = EngineConfig { collect_round_stats: true, ..engine_config(cfg, max_rounds) };
     let outcome = match cfg.engine {
-        Engine::Sequential => run_sequential_churn(topo, &engine_cfg, schedule, factory)?,
+        Engine::Sequential => {
+            run_sequential_churn_traced(topo, &engine_cfg, schedule, factory, tracer)?
+        }
         Engine::Parallel { threads } => {
-            run_parallel_churn(topo, &engine_cfg, threads, schedule, factory)?
+            run_parallel_churn_traced(topo, &engine_cfg, threads, schedule, factory, tracer)?
         }
     };
     Ok(EngineRun {
@@ -147,5 +163,6 @@ fn engine_config(cfg: &ColoringConfig, max_rounds: u64) -> EngineConfig {
         collect_round_stats: cfg.collect_round_stats,
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
+        profile: cfg.profile,
     }
 }

@@ -23,6 +23,7 @@
 
 use dima_graph::{ArcId, Digraph, Graph, VertexId};
 use dima_sim::churn::{ChurnSchedule, NeighborhoodChange};
+use dima_sim::telemetry::{NoopTracer, PaletteAction, Tracer};
 use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, RunStats, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -32,7 +33,7 @@ use crate::churn::{batch_reports, ChurnStrongResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy};
 use crate::error::CoreError;
 use crate::palette::{Color, ColorSet};
-use crate::runner::{run_protocol, run_protocol_churn};
+use crate::runner::{run_protocol_churn_traced, run_protocol_traced};
 
 /// Messages of Algorithm 2. All broadcast — overhearing is what makes the
 /// same-round conflict detection of Procedure 2-b work.
@@ -362,6 +363,16 @@ impl StrongColoringNode {
 impl Protocol for StrongColoringNode {
     type Msg = StrongMsg;
 
+    fn kind_of(msg: &StrongMsg) -> &'static str {
+        match msg {
+            StrongMsg::Invite { .. } => "invite",
+            StrongMsg::Accept { .. } => "accept",
+            StrongMsg::Used { .. } => "used",
+            StrongMsg::Hello { .. } => "hello",
+            StrongMsg::Release { .. } => "release",
+        }
+    }
+
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, StrongMsg>) -> NodeStatus {
         // Repair prelude (see the edge-coloring twin): under churn,
         // `UpdateColors` flushes and `Hello` greetings can land at any
@@ -372,6 +383,9 @@ impl Protocol for StrongColoringNode {
         let mut release_notes: Vec<(usize, Vec<Color>)> = Vec::new();
         let mut clashes: Vec<(ColorSet, ColorSet)> = Vec::new();
         let mut greet_back: Vec<VertexId> = Vec::new();
+        // Channels uncolored on a partner's request (telemetry only; the
+        // inbox borrow forbids emitting inside the loop).
+        let mut partner_released: Vec<(Color, VertexId)> = Vec::new();
         for env in ctx.inbox() {
             match env.msg() {
                 StrongMsg::Used { color } => {
@@ -436,12 +450,14 @@ impl Protocol for StrongColoringNode {
                                 if !self.link_down[p] {
                                     self.uncolored_out.push(p);
                                 }
+                                partner_released.push((c, env.from));
                             }
                             if self.in_color[p] == Some(c) {
                                 self.in_color[p] = None;
                                 if !self.link_down[p] {
                                     self.uncolored_in += 1;
                                 }
+                                partner_released.push((c, env.from));
                             }
                         }
                     }
@@ -453,7 +469,13 @@ impl Protocol for StrongColoringNode {
         for (out_clash, in_clash) in clashes {
             self.release_conflicts(&out_clash, &in_clash, &mut release_notes);
         }
+        for (c, w) in partner_released {
+            ctx.trace_palette(PaletteAction::Released, c.0, w);
+        }
         for (p, colors) in release_notes {
+            for &c in &colors {
+                ctx.trace_palette(PaletteAction::Released, c.0, self.neighbors[p]);
+            }
             ctx.send(self.neighbors[p], StrongMsg::Release { colors });
         }
         if was_finished && !self.is_finished() {
@@ -498,9 +520,11 @@ impl Protocol for StrongColoringNode {
                         self.role = Role::Listener;
                         self.proposal = None;
                         self.state = "L";
+                        ctx.trace_state("L", "vigil");
                         return NodeStatus::Active;
                     }
                     self.state = "D";
+                    ctx.trace_state("D", "all-colored");
                     return NodeStatus::Done;
                 }
                 self.proposal = None;
@@ -523,13 +547,18 @@ impl Protocol for StrongColoringNode {
                     let Some(&port) = pick_uniform(ctx.rng(), &self.uncolored_out) else {
                         self.role = Role::Listener;
                         self.state = "L";
+                        ctx.trace_state("L", "no-edge");
                         return NodeStatus::Active;
                     };
                     let colors = self.propose_colors(port, ctx.rng());
                     self.proposal = Some(Proposal { port, colors: colors.clone() });
+                    for &c in &colors {
+                        ctx.trace_palette(PaletteAction::Proposed, c.0, self.neighbors[port]);
+                    }
                     ctx.broadcast(StrongMsg::Invite { to: self.neighbors[port], colors });
                 }
                 self.state = if self.role == Role::Invitor { "I" } else { "L" };
+                ctx.trace_state(self.state, "coin");
                 NodeStatus::Active
             }
             Phase::RespondStep => {
@@ -598,9 +627,11 @@ impl Protocol for StrongColoringNode {
                         self.in_color[port] = Some(color);
                         self.uncolored_in -= 1;
                         self.use_color(color);
+                        ctx.trace_palette(PaletteAction::Committed, color.0, partner);
                     }
                 }
                 self.state = if self.role == Role::Invitor { "W" } else { "R" };
+                ctx.trace_state(self.state, "await");
                 NodeStatus::Active
             }
             Phase::ExchangeStep => {
@@ -627,6 +658,7 @@ impl Protocol for StrongColoringNode {
                             self.out_color[port] = Some(color);
                             self.uncolored_out.retain(|&p| p != port);
                             self.use_color(color);
+                            ctx.trace_palette(PaletteAction::Committed, color.0, partner);
                             if self.watched_clash(color) {
                                 // The proposal predates a churn-fresh
                                 // neighbor's announcement of this channel
@@ -639,9 +671,15 @@ impl Protocol for StrongColoringNode {
                                 // into the same clash.
                                 self.out_color[port] = None;
                                 self.uncolored_out.push(port);
+                                ctx.trace_palette(PaletteAction::Released, color.0, partner);
                                 ctx.send(partner, StrongMsg::Release { colors: vec![color] });
                             }
                         } else {
+                            // The proposal died this round, whatever the
+                            // cause (contention or rejection).
+                            for &c in &colors {
+                                ctx.trace_palette(PaletteAction::Conflicted, c.0, partner);
+                            }
                             // No reply. If the partner was overheard
                             // accepting someone else's invitation this
                             // round, or was inviting itself, the failure
@@ -671,13 +709,16 @@ impl Protocol for StrongColoringNode {
                     if self.vigil > 0 {
                         self.vigil -= 1;
                         self.state = "E";
+                        ctx.trace_state("E", "vigil");
                         NodeStatus::Active
                     } else {
                         self.state = "D";
+                        ctx.trace_state("D", "all-colored");
                         NodeStatus::Done
                     }
                 } else {
                     self.state = "E";
+                    ctx.trace_state("E", "exchange");
                     NodeStatus::Active
                 }
             }
@@ -859,13 +900,24 @@ pub fn strong_color_digraph(
     d: &Digraph,
     cfg: &ColoringConfig,
 ) -> Result<StrongColoringResult, CoreError> {
+    strong_color_digraph_traced(d, cfg, &mut NoopTracer)
+}
+
+/// [`strong_color_digraph`] with telemetry fed to `tracer` (see
+/// [`dima_sim::telemetry`]). With [`NoopTracer`] the tracing branches
+/// monomorphize away and this *is* [`strong_color_digraph`].
+pub fn strong_color_digraph_traced<T: Tracer + Sync>(
+    d: &Digraph,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<StrongColoringResult, CoreError> {
     cfg.validate()?;
     d.require_symmetric()?;
     let delta = d.max_underlying_degree();
     let topo = Topology::from_digraph(d);
     let max_rounds = 3 * cfg.compute_round_budget(delta);
     let factory = |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, d, cfg);
-    let run = run_protocol(&topo, cfg, max_rounds, factory)?;
+    let run = run_protocol_traced(&topo, cfg, max_rounds, factory, tracer)?;
     let alive = run.alive();
 
     // Residual assembly: each arc takes its *tail's* committed channel
@@ -933,6 +985,18 @@ pub fn strong_color_churn(
     schedule: &ChurnSchedule,
     cfg: &ColoringConfig,
 ) -> Result<ChurnStrongResult, CoreError> {
+    strong_color_churn_traced(g0, schedule, cfg, &mut NoopTracer)
+}
+
+/// [`strong_color_churn`] with telemetry fed to `tracer`. Beyond the
+/// static-run events, churn runs emit churn batch headers and
+/// [`PaletteAction::Released`] for every channel the repair uncolored.
+pub fn strong_color_churn_traced<T: Tracer + Sync>(
+    g0: &Graph,
+    schedule: &ChurnSchedule,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<ChurnStrongResult, CoreError> {
     cfg.validate()?;
     let d0 = Digraph::symmetric_closure(g0);
     let final_graph = schedule.final_graph().cloned().unwrap_or_else(|| g0.clone());
@@ -942,7 +1006,7 @@ pub fn strong_color_churn(
     let budget = 3 * cfg.compute_round_budget(delta);
     let max_rounds = schedule.last_round().map_or(budget, |lr| lr + budget);
     let factory = |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, &d0, cfg);
-    let run = run_protocol_churn(&topo, cfg, max_rounds, schedule, factory)?;
+    let run = run_protocol_churn_traced(&topo, cfg, max_rounds, schedule, factory, tracer)?;
     let batches = batch_reports(schedule, &run.stats);
     let alive = run.alive();
 

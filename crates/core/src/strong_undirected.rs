@@ -29,9 +29,10 @@
 //! for the same livelock reason.
 
 use dima_graph::{EdgeId, Graph, VertexId};
+use dima_sim::telemetry::{NoopTracer, PaletteAction, Tracer};
 use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx,
-    RunOutcome, RunStats, Topology,
+    run_parallel_traced, run_sequential_traced, EngineConfig, NodeSeed, NodeStatus, Protocol,
+    RoundCtx, RunOutcome, RunStats, Topology,
 };
 use rand::rngs::SmallRng;
 
@@ -204,6 +205,16 @@ impl StrongUndirectedNode {
 impl Protocol for StrongUndirectedNode {
     type Msg = SuMsg;
 
+    fn kind_of(msg: &SuMsg) -> &'static str {
+        match msg {
+            SuMsg::Invite { .. } => "invite",
+            SuMsg::Accept { .. } => "accept",
+            SuMsg::Proceed { .. } => "proceed",
+            SuMsg::Committed { .. } => "committed",
+            SuMsg::Used { .. } => "used",
+        }
+    }
+
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, SuMsg>) -> NodeStatus {
         match Phase5::of_round(ctx.round()) {
             Phase5::Invite => {
@@ -218,6 +229,7 @@ impl Protocol for StrongUndirectedNode {
                     }
                 }
                 if self.uncolored.is_empty() {
+                    ctx.trace_state("D", "all-colored");
                     return NodeStatus::Done;
                 }
                 self.proposal = None;
@@ -228,11 +240,13 @@ impl Protocol for StrongUndirectedNode {
                 self.lost_tiebreak = false;
                 self.newly_used = None;
                 self.role = choose_role(ctx.rng(), self.invite_probability);
+                ctx.trace_state(if self.role == Role::Invitor { "I" } else { "L" }, "coin");
                 if self.role == Role::Invitor {
                     let &port = pick_uniform(ctx.rng(), &self.uncolored)
                         .expect("invitor has an uncolored edge");
                     let color = self.propose_color(port, ctx.rng());
                     self.proposal = Some(Proposal { port, color });
+                    ctx.trace_palette(PaletteAction::Proposed, color.0, self.neighbors[port]);
                     ctx.broadcast(SuMsg::Invite { to: self.neighbors[port], color });
                 }
                 NodeStatus::Active
@@ -288,6 +302,7 @@ impl Protocol for StrongUndirectedNode {
                         ctx.broadcast(SuMsg::Accept { to: partner, color });
                     }
                 }
+                ctx.trace_state(if self.role == Role::Invitor { "W" } else { "R" }, "await");
                 NodeStatus::Active
             }
             Phase5::Proceed => {
@@ -335,7 +350,13 @@ impl Protocol for StrongUndirectedNode {
                         });
                         if proceed && !self.lost_tiebreak {
                             self.commit(port, color);
+                            ctx.trace_palette(PaletteAction::Committed, color.0, partner);
                             ctx.broadcast(SuMsg::Committed { to: partner, color });
+                        } else {
+                            // The tentative acceptance died (lost the
+                            // tie-break, or the invitor overheard a rival
+                            // and went silent).
+                            ctx.trace_palette(PaletteAction::Conflicted, color.0, partner);
                         }
                     }
                 }
@@ -364,21 +385,27 @@ impl Protocol for StrongUndirectedNode {
                         });
                         if committed {
                             self.commit(port, color);
+                            ctx.trace_palette(PaletteAction::Committed, color.0, partner);
                             ctx.broadcast(SuMsg::Used { color });
-                        } else if !self.partner_was_inviting
-                            && !self.partner_accepted_any
-                            && !self.rival_seen
-                        {
-                            // Silent listener ⇒ the color was unusable at
-                            // the partner (or collided in its airspace):
-                            // remember it for this port.
-                            self.tried[port].insert(color);
+                        } else {
+                            ctx.trace_palette(PaletteAction::Conflicted, color.0, partner);
+                            if !self.partner_was_inviting
+                                && !self.partner_accepted_any
+                                && !self.rival_seen
+                            {
+                                // Silent listener ⇒ the color was unusable
+                                // at the partner (or collided in its
+                                // airspace): remember it for this port.
+                                self.tried[port].insert(color);
+                            }
                         }
                     }
                 }
                 if self.uncolored.is_empty() {
+                    ctx.trace_state("D", "all-colored");
                     NodeStatus::Done
                 } else {
+                    ctx.trace_state("E", "exchange");
                     NodeStatus::Active
                 }
             }
@@ -410,6 +437,17 @@ pub fn strong_color_graph(
     g: &Graph,
     cfg: &ColoringConfig,
 ) -> Result<StrongUndirectedResult, CoreError> {
+    strong_color_graph_traced(g, cfg, &mut NoopTracer)
+}
+
+/// [`strong_color_graph`] with telemetry fed to `tracer` (see
+/// [`dima_sim::telemetry`]). With [`NoopTracer`] the tracing branches
+/// monomorphize away and this *is* [`strong_color_graph`].
+pub fn strong_color_graph_traced<T: Tracer + Sync>(
+    g: &Graph,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<StrongUndirectedResult, CoreError> {
     cfg.validate()?;
     let delta = g.max_degree();
     let topo = Topology::from_graph(g);
@@ -422,11 +460,14 @@ pub fn strong_color_graph(
         collect_round_stats: cfg.collect_round_stats,
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
+        profile: cfg.profile,
     };
     let factory = |seed: NodeSeed<'_>| StrongUndirectedNode::new(&seed, g, cfg);
     let outcome: RunOutcome<StrongUndirectedNode> = match cfg.engine {
-        Engine::Sequential => run_sequential(&topo, &engine_cfg, factory)?,
-        Engine::Parallel { threads } => run_parallel(&topo, &engine_cfg, threads, factory)?,
+        Engine::Sequential => run_sequential_traced(&topo, &engine_cfg, factory, tracer)?,
+        Engine::Parallel { threads } => {
+            run_parallel_traced(&topo, &engine_cfg, threads, factory, tracer)?
+        }
     };
 
     let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];

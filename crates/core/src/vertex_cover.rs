@@ -14,10 +14,11 @@
 //! information, each node knowing locally whether it is in the cover.
 
 use dima_graph::{Graph, VertexId};
+use dima_sim::telemetry::{NoopTracer, Tracer};
 
 use crate::config::ColoringConfig;
 use crate::error::CoreError;
-use crate::matching::{maximal_matching, MatchingResult};
+use crate::matching::{maximal_matching_traced, MatchingResult};
 
 /// The outcome of a distributed vertex-cover run.
 #[derive(Clone, Debug)]
@@ -45,7 +46,17 @@ impl VertexCoverResult {
 /// Compute a 2-approximate vertex cover of `g` with the matching
 /// automata.
 pub fn vertex_cover(g: &Graph, cfg: &ColoringConfig) -> Result<VertexCoverResult, CoreError> {
-    let matching = maximal_matching(g, cfg)?;
+    vertex_cover_traced(g, cfg, &mut NoopTracer)
+}
+
+/// [`vertex_cover`] with the underlying matching run's telemetry fed to
+/// `tracer` (see [`dima_sim::telemetry`]).
+pub fn vertex_cover_traced<T: Tracer + Sync>(
+    g: &Graph,
+    cfg: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<VertexCoverResult, CoreError> {
+    let matching = maximal_matching_traced(g, cfg, tracer)?;
     let mut in_cover = vec![false; g.num_vertices()];
     for &(u, v) in &matching.pairs {
         in_cover[u.index()] = true;

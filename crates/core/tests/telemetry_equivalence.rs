@@ -1,0 +1,161 @@
+//! Telemetry must be a pure observer: attaching a tracer — no-op or
+//! buffering — cannot change a single bit of any run's results. These
+//! property tests pin that across the three protocols, both engines,
+//! fault plans and churn schedules, and additionally pin the engine
+//! independence of the event stream itself (a parallel run replays the
+//! sequential emission order event for event).
+
+use dima_core::{
+    color_edges, color_edges_churn, color_edges_churn_traced, color_edges_traced, maximal_matching,
+    maximal_matching_traced, strong_color_digraph, strong_color_digraph_traced, ChurnPlan,
+    ChurnSchedule, ColoringConfig, Engine,
+};
+use dima_graph::gen::erdos_renyi_avg_degree;
+use dima_graph::{Digraph, Graph};
+use dima_sim::fault::FaultPlan;
+use dima_sim::telemetry::{BufferTracer, NoopTracer};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, 1u64..200, 10u32..45).prop_map(|(n, gseed, avg10)| {
+        let mut rng = SmallRng::seed_from_u64(gseed);
+        let avg = (f64::from(avg10) / 10.0).min(0.8 * (n - 1) as f64);
+        erdos_renyi_avg_degree(n, avg, &mut rng).unwrap()
+    })
+}
+
+fn arb_cfg() -> impl Strategy<Value = ColoringConfig> {
+    (1u64..500, prop_oneof![Just(1usize), Just(2), Just(3)], any::<bool>(), 0u8..3).prop_map(
+        |(seed, threads, parallel, faults)| ColoringConfig {
+            engine: if parallel { Engine::Parallel { threads } } else { Engine::Sequential },
+            collect_round_stats: true,
+            faults: match faults {
+                0 => FaultPlan::reliable(),
+                1 => FaultPlan::uniform(0.05),
+                _ => FaultPlan { duplicate_probability: 0.05, ..FaultPlan::uniform(0.1) },
+            },
+            // Lossy runs may legitimately hit the budget; keep it small so
+            // the error path is exercised quickly instead of spinning.
+            max_compute_rounds: Some(300),
+            ..ColoringConfig::seeded(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Plain, no-op-traced and buffer-traced edge-coloring runs are
+    /// bit-identical in results; the sequential and parallel engines
+    /// emit identical event streams.
+    #[test]
+    fn edge_coloring_unchanged_by_tracing(g in arb_graph(), cfg in arb_cfg()) {
+        let plain = color_edges(&g, &cfg);
+        let nooped = color_edges_traced(&g, &cfg, &mut NoopTracer);
+        let mut buf = BufferTracer::default();
+        let buffered = color_edges_traced(&g, &cfg, &mut buf);
+        match (plain, nooped, buffered) {
+            (Ok(p), Ok(n), Ok(b)) => {
+                prop_assert_eq!(&p.colors, &n.colors);
+                prop_assert_eq!(&p.colors, &b.colors);
+                prop_assert_eq!(&p.stats, &n.stats);
+                prop_assert_eq!(&p.stats, &b.stats);
+                prop_assert_eq!(p.comm_rounds, b.comm_rounds);
+                prop_assert_eq!(p.endpoint_agreement, b.endpoint_agreement);
+                // The event stream is engine-independent: rerun traced on
+                // the other engine and compare event for event.
+                let other = ColoringConfig {
+                    engine: match cfg.engine {
+                        Engine::Sequential => Engine::Parallel { threads: 2 },
+                        Engine::Parallel { .. } => Engine::Sequential,
+                    },
+                    ..cfg.clone()
+                };
+                let mut buf2 = BufferTracer::default();
+                let crossed = color_edges_traced(&g, &other, &mut buf2);
+                prop_assert!(crossed.is_ok());
+                prop_assert_eq!(buf.events, buf2.events);
+            }
+            // A lossy run may fail (budget exhausted); it must fail the
+            // same way regardless of observation.
+            (p, n, b) => {
+                prop_assert!(p.is_err());
+                prop_assert!(n.is_err());
+                prop_assert!(b.is_err());
+            }
+        }
+    }
+
+    /// Same purity for the matching protocol.
+    #[test]
+    fn matching_unchanged_by_tracing(g in arb_graph(), cfg in arb_cfg()) {
+        let plain = maximal_matching(&g, &cfg);
+        let mut buf = BufferTracer::default();
+        let traced = maximal_matching_traced(&g, &cfg, &mut buf);
+        match (plain, traced) {
+            (Ok(p), Ok(t)) => {
+                prop_assert_eq!(&p.pairs, &t.pairs);
+                prop_assert_eq!(&p.pair_round, &t.pair_round);
+                prop_assert_eq!(&p.stats, &t.stats);
+                prop_assert!(!buf.events.is_empty());
+            }
+            (p, t) => {
+                prop_assert!(p.is_err());
+                prop_assert!(t.is_err());
+            }
+        }
+    }
+
+    /// Same purity for Algorithm 2 on the symmetric closure.
+    #[test]
+    fn strong_coloring_unchanged_by_tracing(g in arb_graph(), cfg in arb_cfg()) {
+        let d = Digraph::symmetric_closure(&g);
+        let plain = strong_color_digraph(&d, &cfg);
+        let mut buf = BufferTracer::default();
+        let traced = strong_color_digraph_traced(&d, &cfg, &mut buf);
+        match (plain, traced) {
+            (Ok(p), Ok(t)) => {
+                prop_assert_eq!(&p.colors, &t.colors);
+                prop_assert_eq!(&p.stats, &t.stats);
+            }
+            (p, t) => {
+                prop_assert!(p.is_err());
+                prop_assert!(t.is_err());
+            }
+        }
+    }
+
+    /// Same purity under a churn schedule (bare transport, both engines),
+    /// including engine independence of the churn-annotated stream.
+    #[test]
+    fn churn_run_unchanged_by_tracing(
+        g in arb_graph(),
+        seed in 1u64..300,
+        churn_seed in 1u64..300,
+        parallel in any::<bool>(),
+    ) {
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan::new(churn_seed, 0.25));
+        let cfg = ColoringConfig {
+            engine: if parallel { Engine::Parallel { threads: 3 } } else { Engine::Sequential },
+            collect_round_stats: true,
+            ..ColoringConfig::seeded(seed)
+        };
+        let plain = color_edges_churn(&g, &schedule, &cfg).unwrap();
+        let mut buf = BufferTracer::default();
+        let traced = color_edges_churn_traced(&g, &schedule, &cfg, &mut buf).unwrap();
+        prop_assert_eq!(&plain.coloring.colors, &traced.coloring.colors);
+        prop_assert_eq!(&plain.coloring.stats, &traced.coloring.stats);
+        let other = ColoringConfig {
+            engine: match cfg.engine {
+                Engine::Sequential => Engine::Parallel { threads: 2 },
+                Engine::Parallel { .. } => Engine::Sequential,
+            },
+            ..cfg
+        };
+        let mut buf2 = BufferTracer::default();
+        color_edges_churn_traced(&g, &schedule, &other, &mut buf2).unwrap();
+        prop_assert_eq!(buf.events, buf2.events);
+    }
+}

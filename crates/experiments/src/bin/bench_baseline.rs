@@ -15,9 +15,10 @@ use dima_core::{color_edges, ColoringConfig, Engine, Transport};
 use dima_graph::gen::GraphFamily;
 use dima_graph::Graph;
 use dima_sim::fault::FaultPlan;
+use dima_sim::telemetry::{TraceMeta, TraceWriter};
 use dima_sim::{
-    run_parallel, run_sequential, EngineConfig, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared,
-    Topology,
+    run_parallel, run_sequential, run_sequential_traced, EngineConfig, NodeSeed, NodeStatus,
+    Protocol, RoundCtx, Shared, Topology,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -155,6 +156,43 @@ fn gossip_scenario(
     })
 }
 
+/// [`gossip_scenario`] with a 1-in-`sample` JSONL trace attached,
+/// streaming into `io::sink()` so the measurement isolates the
+/// telemetry plane's CPU cost (event construction, sampling filter,
+/// serialization) from disk throughput. Paired with
+/// `dense_broadcast_seq` to pin the sampled-tracing overhead budget.
+fn gossip_traced_scenario(
+    name: &'static str,
+    topo: &Topology,
+    rounds: u64,
+    payload_len: usize,
+    sample: u32,
+    reps: usize,
+) -> Measurement {
+    measure(name, reps, |rep| {
+        let cfg =
+            EngineConfig { seed: 0xB0A5 + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
+        let factory = |seed: NodeSeed<'_>| Gossip {
+            rounds,
+            payload: Shared::new((0..payload_len as u64).map(|i| i ^ seed.node.0 as u64).collect()),
+            digest: 0,
+        };
+        let meta = TraceMeta {
+            workload: "dense-broadcast".into(),
+            graph: "bench".into(),
+            seed: cfg.seed,
+            nodes: topo.num_nodes() as u64,
+            engine: "seq".into(),
+            threads: 1,
+            sample,
+        };
+        let mut w = TraceWriter::new(std::io::sink(), &meta);
+        let outcome = run_sequential_traced(topo, &cfg, factory, &mut w).expect("gossip run");
+        black_box(w.events_written());
+        black_box(outcome.nodes.iter().map(|n| n.digest).fold(0u64, u64::wrapping_add));
+    })
+}
+
 fn coloring_scenario(
     name: &'static str,
     g: &Graph,
@@ -283,6 +321,16 @@ fn main() {
             reps,
         ));
     }
+    if want("dense_broadcast_traced_seq") {
+        results.push(gossip_traced_scenario(
+            "dense_broadcast_traced_seq",
+            &dense_topo,
+            dense_rounds,
+            payload_len,
+            16,
+            reps,
+        ));
+    }
     if want("dense_broadcast_par4") {
         results.push(gossip_scenario(
             "dense_broadcast_par4",
@@ -328,6 +376,28 @@ fn main() {
     doc.push_str(&format!("\"label\":\"{}\",\n", json_escape(&label)));
     doc.push_str(&format!("\"quick\":{quick},\n"));
     doc.push_str(&format!("\"scenarios\":{}", scenarios_json(&results)));
+    // Sampled-tracing overhead budget: the traced dense-broadcast run
+    // may cost at most 5% over its untraced twin.
+    let base = results.iter().find(|m| m.name == "dense_broadcast_seq");
+    let traced = results.iter().find(|m| m.name == "dense_broadcast_traced_seq");
+    if let (Some(base), Some(traced)) = (base, traced) {
+        let ratio = traced.mean_ms / base.mean_ms;
+        doc.push_str(&format!(
+            ",\n\"trace_overhead\":{{\"base\":\"{}\",\"traced\":\"{}\",\"sample\":16,\"ratio\":{:.3}}}",
+            base.name, traced.name, ratio
+        ));
+        if ratio > 1.05 {
+            eprintln!(
+                "warning: sampled tracing overhead {:.1}% exceeds the 5% budget \
+                 ({:.3} ms traced vs {:.3} ms base)",
+                (ratio - 1.0) * 100.0,
+                traced.mean_ms,
+                base.mean_ms
+            );
+        } else {
+            eprintln!("trace overhead: {:+.1}% (1/16 sampling, budget 5%)", (ratio - 1.0) * 100.0);
+        }
+    }
     if let Some(path) = &before_path {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--before {path}: {e}"));
         let before = parse_before(&text);

@@ -8,6 +8,7 @@
 //! test suites verify.
 
 use dima_graph::VertexId;
+use dima_telemetry::{Event, KindTable, KindTotals, NoopTracer, ProfileScope, TraceHandle, Tracer};
 
 use crate::churn::ChurnSchedule;
 use crate::error::SimError;
@@ -32,6 +33,10 @@ pub struct EngineConfig {
     pub validate_sends: bool,
     /// Message-loss injection (defaults to reliable delivery).
     pub faults: FaultPlan,
+    /// Measure wall-clock time per engine stage into
+    /// [`RunStats::phase_nanos`]. Off by default so run statistics stay
+    /// bit-comparable across engines and runs.
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +47,7 @@ impl Default for EngineConfig {
             collect_round_stats: false,
             validate_sends: true,
             faults: FaultPlan::reliable(),
+            profile: false,
         }
     }
 }
@@ -154,13 +160,80 @@ pub fn run_sequential_churn_observed<P, F, O>(
     topo: &Topology,
     cfg: &EngineConfig,
     schedule: &ChurnSchedule,
-    mut factory: F,
-    mut observer: O,
+    factory: F,
+    observer: O,
 ) -> Result<RunOutcome<P>, SimError>
 where
     P: Protocol,
     F: FnMut(NodeSeed<'_>) -> P,
     O: FnMut(RoundView<'_, P>),
+{
+    run_sequential_churn_observed_traced(topo, cfg, schedule, factory, observer, &mut NoopTracer)
+}
+
+/// [`run_sequential`] feeding telemetry events to `tracer` (see
+/// [`dima_telemetry`]). With [`NoopTracer`] this is exactly
+/// [`run_sequential`]: the tracing branches test an associated constant
+/// and monomorphize away.
+pub fn run_sequential_traced<P, F, T>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    factory: F,
+    tracer: &mut T,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+    T: Tracer,
+{
+    run_sequential_churn_observed_traced(
+        topo,
+        cfg,
+        &ChurnSchedule::empty(),
+        factory,
+        |_| {},
+        tracer,
+    )
+}
+
+/// [`run_sequential_traced`] under a topology-churn schedule.
+pub fn run_sequential_churn_traced<P, F, T>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    schedule: &ChurnSchedule,
+    factory: F,
+    tracer: &mut T,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+    T: Tracer,
+{
+    run_sequential_churn_observed_traced(topo, cfg, schedule, factory, |_| {}, tracer)
+}
+
+/// The fully-general sequential entry point: churn schedule + per-round
+/// observer + telemetry tracer. Every other `run_sequential*` wrapper
+/// delegates here.
+///
+/// Telemetry events are emitted in the canonical deterministic order
+/// (see [`dima_telemetry::event`]): per round, the churn batch summary,
+/// node events in node-id order, per-message-kind counters in kind-name
+/// order, then the round footer. The parallel engine reproduces this
+/// exact sequence.
+pub fn run_sequential_churn_observed_traced<P, F, O, T>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    schedule: &ChurnSchedule,
+    mut factory: F,
+    mut observer: O,
+    tracer: &mut T,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(NodeSeed<'_>) -> P,
+    O: FnMut(RoundView<'_, P>),
+    T: Tracer,
 {
     let n = topo.num_nodes();
     let mut protocols: Vec<P> = (0..n)
@@ -197,6 +270,10 @@ where
 
     let mut stats =
         RunStats { per_round: cfg.collect_round_stats.then(Vec::new), ..Default::default() };
+    // Per-message-kind counters, maintained only when a real tracer is
+    // attached (`T::ENABLED` is a compile-time constant: with the
+    // default no-op tracer every telemetry branch below folds away).
+    let mut kinds: Option<KindTable> = T::ENABLED.then(KindTable::new);
 
     if n == 0 {
         return Ok(RunOutcome { nodes: protocols, stats, crashed });
@@ -218,8 +295,17 @@ where
     let mut executed: u64 = 0;
     while executed < cfg.max_rounds {
         executed += 1;
+        let churn_scope = ProfileScope::start(cfg.profile);
         if let Some(batch) = schedule.batches().get(next_batch) {
             if batch.round == round {
+                if T::ENABLED {
+                    tracer.emit(Event::Churn {
+                        round,
+                        joins: batch.joins.len() as u32,
+                        leaves: batch.leaves.len() as u32,
+                        changes: batch.changes.len() as u32,
+                    });
+                }
                 for &v in &batch.leaves {
                     let i = v.index();
                     if crashed[i] {
@@ -275,6 +361,8 @@ where
                 next_batch += 1;
             }
         }
+        churn_scope.stop_into(&mut stats.phase_nanos.churn);
+        let step_scope = ProfileScope::start(cfg.profile);
         let mut sent = 0u64;
         let mut delivered = 0u64;
         let mut active = 0usize;
@@ -294,6 +382,11 @@ where
             outbox.clear();
             let inbox: &[Envelope<P::Msg>] = if suppress[i] { &[] } else { &cur[i] };
             let status = {
+                let trace = if T::ENABLED && tracer.sample(i as u32) {
+                    TraceHandle::to(&mut *tracer)
+                } else {
+                    TraceHandle::none()
+                };
                 let mut ctx = RoundCtx {
                     node,
                     round,
@@ -301,6 +394,7 @@ where
                     inbox,
                     outbox: &mut outbox,
                     rng: &mut rngs[i],
+                    trace,
                 };
                 protocols[i].on_round(&mut ctx)
             };
@@ -310,6 +404,8 @@ where
             // payloads in [`crate::Shared`].
             for (k, (target, msg)) in outbox.drain(..).enumerate() {
                 sent += 1;
+                let mut kind_row: Option<&mut KindTotals> =
+                    kinds.as_mut().map(|t| t.row(P::kind_of(&msg)));
                 match target {
                     Target::Unicast(to) => {
                         if cfg.validate_sends && !topo.are_neighbors(node, to) {
@@ -326,6 +422,7 @@ where
                             wakes,
                             &crash_round,
                             &mut stats,
+                            kind_row,
                         );
                         if copies > 0 && done[to.index()] {
                             woken.push(to.index());
@@ -351,6 +448,7 @@ where
                                 wakes,
                                 &crash_round,
                                 &mut stats,
+                                kind_row.as_deref_mut(),
                             );
                             if copies > 0 && done[to.index()] {
                                 woken.push(to.index());
@@ -384,6 +482,19 @@ where
                 done_count -= 1;
             }
         }
+        step_scope.stop_into(&mut stats.phase_nanos.step);
+        if let Some(kinds) = kinds.as_mut() {
+            kinds.flush(round, |ev| tracer.emit(ev));
+        }
+        if T::ENABLED {
+            tracer.emit(Event::Round {
+                round,
+                active: active as u64,
+                done: done_count as u64,
+                sent,
+                delivered,
+            });
+        }
         let rs = RoundStats { round, active, done: done_count, sent, delivered };
         stats.push_round(rs);
         observer(RoundView { round, nodes: &protocols, done: &done, crashed: &crashed, stats: rs });
@@ -395,10 +506,12 @@ where
         }
         // Flip the double buffer: the consumed mailboxes are cleared
         // (keeping their capacity) and become next round's staging.
+        let collect_scope = ProfileScope::start(cfg.profile);
         for mailbox in cur.iter_mut() {
             mailbox.clear();
         }
         std::mem::swap(&mut cur, &mut next);
+        collect_scope.stop_into(&mut stats.phase_nanos.collect);
         // Idle-round fast-forward: this round was fully quiescent (no
         // node stepped, so nothing is in flight) yet every node is parked
         // waiting for a future churn batch. Its `active == 0` stats row
@@ -439,7 +552,11 @@ fn deliver(
     wakes: bool,
     crash_round: &[Option<u64>],
     stats: &mut RunStats,
+    mut kind: Option<&mut KindTotals>,
 ) -> u32 {
+    if let Some(kr) = kind.as_deref_mut() {
+        kr.sent += 1;
+    }
     if done[to.index()] && !wakes {
         return 0;
     }
@@ -451,18 +568,31 @@ fn deliver(
     }
     if cfg.faults.drops(cfg.seed, round, from.0, to.0, k as u32) {
         stats.dropped += 1;
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.dropped += 1;
+        }
         return 0;
     }
     if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k as u32) {
         stats.corrupted += 1;
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.corrupted += 1;
+        }
         return 0;
     }
-    if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k as u32) {
+    let copies = if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k as u32) {
         stats.duplicated += 1;
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.duplicated += 1;
+        }
         2
     } else {
         1
+    };
+    if let Some(kr) = kind {
+        kr.delivered += u64::from(copies);
     }
+    copies
 }
 
 #[cfg(test)]

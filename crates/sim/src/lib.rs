@@ -30,6 +30,14 @@
 //! `NodeJoin` / `NodeLeave`) that both engines apply mid-run — still
 //! bit-identically — so protocols can repair their state incrementally
 //! instead of restarting.
+//!
+//! The telemetry plane ([`dima_telemetry`], re-exported as
+//! [`telemetry`]) adds structured per-round tracing: both engines have
+//! `*_traced` variants taking a [`telemetry::Tracer`], and with the
+//! default [`telemetry::NoopTracer`] every tracing branch folds away at
+//! monomorphization — the traced entry points *are* the plain ones.
+//! Event streams are deterministic and engine-independent: a parallel
+//! run replays, event for event, the sequence a sequential run emits.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,13 +58,16 @@ pub mod wire;
 #[cfg(test)]
 mod plane_proptests;
 
+pub use dima_telemetry as telemetry;
+
 pub use churn::{ChurnBatch, ChurnEvent, ChurnKinds, ChurnPlan, ChurnSchedule, NeighborhoodChange};
 pub use engine::{
-    run_sequential, run_sequential_churn, run_sequential_churn_observed, run_sequential_observed,
-    EngineConfig, RoundView, RunOutcome,
+    run_sequential, run_sequential_churn, run_sequential_churn_observed,
+    run_sequential_churn_traced, run_sequential_observed, run_sequential_traced, EngineConfig,
+    RoundView, RunOutcome,
 };
 pub use error::SimError;
-pub use par::{run_parallel, run_parallel_churn};
+pub use par::{run_parallel, run_parallel_churn, run_parallel_churn_traced, run_parallel_traced};
 pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared};
 pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};

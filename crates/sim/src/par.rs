@@ -30,6 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use dima_graph::VertexId;
+use dima_telemetry::{
+    merge_shards, Event, EventSink, KindTable, KindTotals, NoopTracer, PhaseNanos, ProfileScope,
+    ShardBuf, Stamped, TraceHandle, Tracer,
+};
 use parking_lot::Mutex;
 
 use crate::churn::ChurnSchedule;
@@ -43,6 +47,10 @@ use crate::topology::Topology;
 /// One slot of the mailbox matrix: the `(recipient, envelope)` run one
 /// sender shard produced for one receiver shard this round.
 type MailboxSlot<M> = Mutex<Vec<(VertexId, Envelope<M>)>>;
+
+/// What one worker hands back: its shard's final protocols, crash fates,
+/// buffered trace events and phase timings.
+type ShardOut<P> = (Vec<P>, Vec<bool>, Vec<Stamped>, PhaseNanos);
 
 /// Run `factory`-created protocols on `topo` using `threads` workers.
 ///
@@ -65,6 +73,29 @@ where
     run_parallel_churn(topo, cfg, threads, &ChurnSchedule::empty(), factory)
 }
 
+/// [`run_parallel`] feeding telemetry events to `tracer`.
+///
+/// Workers buffer events per shard, stamped with the engine round and
+/// node id; after the join the buffers are merged into the canonical
+/// deterministic order ([`dima_telemetry::merge_shards`]) and replayed
+/// into `tracer` — so an identically-seeded sequential run produces the
+/// *same event sequence*, which `tests/trace_plane.rs` asserts. The
+/// tracer needs `Sync` because workers consult its sampling predicate.
+pub fn run_parallel_traced<P, F, T>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    threads: usize,
+    factory: F,
+    tracer: &mut T,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+    T: Tracer + Sync,
+{
+    run_parallel_churn_traced(topo, cfg, threads, &ChurnSchedule::empty(), factory, tracer)
+}
+
 /// [`run_parallel`] under a topology-churn schedule, bit-identical to
 /// [`crate::engine::run_sequential_churn`].
 ///
@@ -84,6 +115,23 @@ pub fn run_parallel_churn<P, F>(
 where
     P: Protocol,
     F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    run_parallel_churn_traced(topo, cfg, threads, schedule, factory, &mut NoopTracer)
+}
+
+/// [`run_parallel_traced`] under a topology-churn schedule.
+pub fn run_parallel_churn_traced<P, F, T>(
+    topo: &Topology,
+    cfg: &EngineConfig,
+    threads: usize,
+    schedule: &ChurnSchedule,
+    factory: F,
+    tracer: &mut T,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+    T: Tracer + Sync,
 {
     let n = topo.num_nodes();
     let threads = threads.max(1).min(n.max(1));
@@ -149,7 +197,7 @@ where
     let batches_applied = AtomicUsize::new(0);
     let idle_skipped = AtomicU64::new(0);
 
-    let worker = |tid: usize| -> (Vec<P>, Vec<bool>) {
+    let worker = |tid: usize| -> ShardOut<P> {
         let (lo, hi) = bounds[tid];
         let mut protocols: Vec<P> = (lo..hi)
             .map(|i| {
@@ -179,6 +227,13 @@ where
         // Nodes whose arena slice a churn batch invalidated this round.
         let mut suppress = vec![false; hi - lo];
         let mut suppressed_now: Vec<usize> = Vec::new();
+        // Telemetry: this worker's stamped event buffer (merged across
+        // workers after the join) and its partial per-kind counters
+        // (summed during the merge). Both stay empty under [`NoopTracer`]
+        // — `T::ENABLED` is a compile-time constant.
+        let mut shard = ShardBuf::default();
+        let mut kinds: Option<KindTable> = T::ENABLED.then(KindTable::new);
+        let mut phases = PhaseNanos::default();
 
         // The topology in force; batches swap it for their snapshot.
         let mut topo_now = topo;
@@ -188,6 +243,7 @@ where
         let mut executed: u64 = 0;
         while executed < cfg.max_rounds {
             executed += 1;
+            let churn_scope = ProfileScope::start(cfg.profile);
             // --- Churn batch (if one fires this round): every worker
             //     evaluates the same schedule, so they all agree on
             //     whether this block (and its barrier) runs. Each worker
@@ -197,6 +253,16 @@ where
             //     the flags. ---
             if let Some(batch) = schedule.batches().get(next_batch) {
                 if batch.round == round {
+                    if T::ENABLED && tid == 0 {
+                        shard.round = round;
+                        shard.node = 0;
+                        shard.sink(Event::Churn {
+                            round,
+                            joins: batch.joins.len() as u32,
+                            leaves: batch.leaves.len() as u32,
+                            changes: batch.changes.len() as u32,
+                        });
+                    }
                     for &v in &batch.leaves {
                         let i = v.index();
                         if i < lo || i >= hi {
@@ -272,7 +338,9 @@ where
                     barrier.wait();
                 }
             }
+            churn_scope.stop_into(&mut phases.churn);
             // --- Phase 1: step own nodes, buffer outgoing messages. ---
+            let step_scope = ProfileScope::start(cfg.profile);
             let mut sent = 0u64;
             let mut delivered = 0u64;
             let mut active = 0usize;
@@ -296,6 +364,13 @@ where
                     &inbox_data[inbox_off[li] as usize..inbox_off[li + 1] as usize]
                 };
                 let status = {
+                    let trace = if T::ENABLED && tracer.sample(node.0) {
+                        shard.round = round;
+                        shard.node = node.0;
+                        TraceHandle::to(&mut shard)
+                    } else {
+                        TraceHandle::none()
+                    };
                     let mut ctx = RoundCtx {
                         node,
                         round,
@@ -303,11 +378,14 @@ where
                         inbox,
                         outbox: &mut outbox,
                         rng: &mut rngs[li],
+                        trace,
                     };
                     protocols[li].on_round(&mut ctx)
                 };
                 for (k, (target, msg)) in outbox.drain(..).enumerate() {
                     sent += 1;
+                    let mut kind_row: Option<&mut KindTotals> =
+                        kinds.as_mut().map(|t| t.row(P::kind_of(&msg)));
                     let wakes = P::wakes(&msg);
                     // First waker of a parked node adjusts the shared
                     // done count immediately (still phase 1), so every
@@ -340,6 +418,7 @@ where
                                 &total_dropped,
                                 &total_corrupted,
                                 &total_duplicated,
+                                kind_row,
                             );
                             if copies > 0 {
                                 wake(to);
@@ -368,6 +447,7 @@ where
                                     &total_dropped,
                                     &total_corrupted,
                                     &total_duplicated,
+                                    kind_row.as_deref_mut(),
                                 );
                                 if copies > 0 {
                                     wake(to);
@@ -389,6 +469,17 @@ where
                 suppress[li] = false;
             }
             suppressed_now.clear();
+            step_scope.stop_into(&mut phases.step);
+            // Flush this worker's partial per-kind counters into the
+            // shard buffer; the post-join merge sums partial rows with
+            // equal (round, kind) across workers into the sequential
+            // engine's single row.
+            if let Some(k) = kinds.as_mut() {
+                shard.round = round;
+                shard.node = 0;
+                k.flush(round, |ev| shard.sink(ev));
+            }
+            let route_scope = ProfileScope::start(cfg.profile);
             // Deposit outgoing messages: each destination shard's staging
             // vector (already in this shard's sender-id order) is swapped
             // whole into its slot of the mailbox matrix — one uncontended
@@ -402,6 +493,7 @@ where
                 let mut slot = slots[tid * threads + t].lock();
                 std::mem::swap(&mut *slot, staged);
             }
+            route_scope.stop_into(&mut phases.route);
             round_sent.fetch_add(sent, Ordering::Relaxed);
             round_delivered.fetch_add(delivered, Ordering::Relaxed);
             cum_active.fetch_add(active, Ordering::Relaxed);
@@ -453,6 +545,17 @@ where
                     sent: round_sent.swap(0, Ordering::Relaxed),
                     delivered: round_delivered.swap(0, Ordering::Relaxed),
                 };
+                if T::ENABLED {
+                    shard.round = round;
+                    shard.node = 0;
+                    shard.sink(Event::Round {
+                        round,
+                        active: rs.active as u64,
+                        done: rs.done as u64,
+                        sent: rs.sent,
+                        delivered: rs.delivered,
+                    });
+                }
                 let mut pr = per_round.lock();
                 pr.push(rs);
                 finished_round.store(round + 1, Ordering::Relaxed);
@@ -479,6 +582,7 @@ where
             //     no round-(r+1) deposit starts until every worker passes
             //     barrier B. Collecting after B would race with faster
             //     workers already sending next-round messages. ---
+            let collect_scope = ProfileScope::start(cfg.profile);
             if !terminal {
                 for (w, dst) in collected.iter_mut().enumerate() {
                     let mut slot = slots[w * threads + tid].lock();
@@ -519,9 +623,11 @@ where
                 }
             }
 
+            collect_scope.stop_into(&mut phases.collect);
+
             barrier.wait(); // B
             if terminal {
-                return (protocols, local_crashed);
+                return (protocols, local_crashed, shard.events, phases);
             }
             round = match idle_jump {
                 Some(b) if b > round + 1 => {
@@ -533,11 +639,11 @@ where
                 _ => round + 1,
             };
         }
-        (protocols, local_crashed)
+        (protocols, local_crashed, shard.events, phases)
     };
 
     // Run the workers and reassemble shard results in order.
-    let shard_results: Vec<(Vec<P>, Vec<bool>)> = std::thread::scope(|s| {
+    let shard_results: Vec<ShardOut<P>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let worker = &worker;
@@ -579,9 +685,19 @@ where
 
     let mut nodes = Vec::with_capacity(n);
     let mut crashed = Vec::with_capacity(n);
-    for (shard_nodes, shard_crashed) in shard_results {
+    let mut event_shards: Vec<Vec<Stamped>> = Vec::with_capacity(threads);
+    for (shard_nodes, shard_crashed, shard_events, shard_phases) in shard_results {
         nodes.extend(shard_nodes);
         crashed.extend(shard_crashed);
+        event_shards.push(shard_events);
+        stats.phase_nanos.add(shard_phases);
+    }
+    // Replay the buffered events into the tracer in the canonical order
+    // — identical, event for event, to what a sequential run emits.
+    if T::ENABLED {
+        for ev in merge_shards(event_shards) {
+            tracer.emit(ev);
+        }
     }
     Ok(RunOutcome { nodes, stats, crashed })
 }
@@ -604,7 +720,11 @@ fn fate(
     dropped: &AtomicU64,
     corrupted: &AtomicU64,
     duplicated: &AtomicU64,
+    mut kind: Option<&mut KindTotals>,
 ) -> u32 {
+    if let Some(kr) = kind.as_deref_mut() {
+        kr.sent += 1;
+    }
     if done_flags[to.index()].load(Ordering::Relaxed) && !wakes {
         return 0;
     }
@@ -613,18 +733,31 @@ fn fate(
     }
     if cfg.faults.drops(cfg.seed, round, from.0, to.0, k) {
         dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.dropped += 1;
+        }
         return 0;
     }
     if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k) {
         corrupted.fetch_add(1, Ordering::Relaxed);
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.corrupted += 1;
+        }
         return 0;
     }
-    if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k) {
+    let copies = if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k) {
         duplicated.fetch_add(1, Ordering::Relaxed);
+        if let Some(kr) = kind.as_deref_mut() {
+            kr.duplicated += 1;
+        }
         2
     } else {
         1
+    };
+    if let Some(kr) = kind {
+        kr.delivered += u64::from(copies);
     }
+    copies
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use dima_graph::VertexId;
+use dima_telemetry::{ArqEventKind, Event, PaletteAction, TraceHandle};
 use rand::rngs::SmallRng;
 
 use crate::churn::NeighborhoodChange;
@@ -159,6 +160,9 @@ pub struct RoundCtx<'a, M> {
     pub(crate) inbox: &'a [Envelope<M>],
     pub(crate) outbox: &'a mut Vec<(Target, M)>,
     pub(crate) rng: &'a mut SmallRng,
+    /// Telemetry sink for this node this round. Dead (one branch per
+    /// emission) when tracing is off or the node is sampled out.
+    pub(crate) trace: TraceHandle<'a>,
 }
 
 impl<'a, M> RoundCtx<'a, M> {
@@ -209,6 +213,46 @@ impl<'a, M> RoundCtx<'a, M> {
     /// Send `msg` to every neighbor (the paper's `Broadcast`).
     pub fn broadcast(&mut self, msg: M) {
         self.outbox.push((Target::Broadcast, msg));
+    }
+
+    /// Whether telemetry emissions from this node currently go anywhere.
+    /// Protocols can test this before assembling expensive event
+    /// arguments; the emit helpers below already no-op when it is
+    /// `false`.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.trace.on()
+    }
+
+    /// Emit an automata state transition for this node (see
+    /// [`Event::State`]). `label` is the state entered, `reason` a short
+    /// static explanation of why.
+    #[inline]
+    pub fn trace_state(&mut self, label: &'static str, reason: &'static str) {
+        if self.trace.on() {
+            let (round, node) = (self.round, self.node.0);
+            self.trace.emit(Event::State { round, node, label, reason });
+        }
+    }
+
+    /// Emit a palette negotiation event for this node (see
+    /// [`Event::Palette`]).
+    #[inline]
+    pub fn trace_palette(&mut self, action: PaletteAction, color: u32, peer: VertexId) {
+        if self.trace.on() {
+            let (round, node) = (self.round, self.node.0);
+            self.trace.emit(Event::Palette { round, node, action, color, peer: peer.0 });
+        }
+    }
+
+    /// Emit a reliable-transport link event for this node (see
+    /// [`Event::Arq`]).
+    #[inline]
+    pub fn trace_arq(&mut self, kind: ArqEventKind, peer: VertexId) {
+        if self.trace.on() {
+            let (round, node) = (self.round, self.node.0);
+            self.trace.emit(Event::Arq { round, node, kind, peer: peer.0 });
+        }
     }
 }
 
@@ -272,6 +316,15 @@ pub trait Protocol: Send {
         let _ = (seed, change);
         NodeStatus::Active
     }
+
+    /// A short static name classifying `msg` for the telemetry plane's
+    /// per-kind message counters (e.g. `"invite"`, `"accept"`). Must be
+    /// a pure function of the message. Only consulted when tracing is
+    /// enabled; the default lumps everything under `"msg"`.
+    fn kind_of(msg: &Self::Msg) -> &'static str {
+        let _ = msg;
+        "msg"
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +345,7 @@ mod tests {
             inbox: &inbox,
             outbox: &mut outbox,
             rng: &mut rng,
+            trace: TraceHandle::none(),
         };
         assert_eq!(ctx.node(), VertexId(0));
         assert_eq!(ctx.round(), 3);

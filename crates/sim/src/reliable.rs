@@ -37,6 +37,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use dima_graph::VertexId;
+use dima_telemetry::ArqEventKind;
 
 use crate::protocol::{NodeSeed, NodeStatus, Protocol, RoundCtx};
 
@@ -282,6 +283,13 @@ impl<P: Protocol> ReliableNode<P> {
 impl<P: Protocol> Protocol for ReliableNode<P> {
     type Msg = ArqMsg<P::Msg>;
 
+    fn kind_of(msg: &Self::Msg) -> &'static str {
+        match msg {
+            ArqMsg::Data { .. } => "arq-data",
+            ArqMsg::Ack { .. } => "arq-ack",
+        }
+    }
+
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> NodeStatus {
         let engine_round = ctx.round();
 
@@ -342,6 +350,11 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     // the inner protocol sees the exact stream a bare run
                     // would.
                     rng: &mut *ctx.rng,
+                    // Inner telemetry flows through the outer handle; the
+                    // inner ctx carries the *inner* round, so the
+                    // protocol's events are stamped with the round its
+                    // logic actually observed.
+                    trace: ctx.trace.reborrow(),
                 };
                 self.inner.on_round(&mut inner_ctx)
             };
@@ -387,7 +400,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                 continue;
             }
             let ack = link.recv_ceil;
-            let mut died = false;
+            let mut died: Option<ArqEventKind> = None;
             for b in &mut link.outq {
                 let due = match b.last_sent {
                     None => true,
@@ -397,8 +410,12 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     continue;
                 }
                 if b.attempts > cfg.max_retries {
-                    died = true;
+                    died = Some(ArqEventKind::LinkDownExhausted);
                     break;
+                }
+                if b.attempts > 0 {
+                    // A re-send, not the bundle's first transmission.
+                    ctx.trace_arq(ArqEventKind::Retransmit, link.peer);
                 }
                 ctx.outbox.push((
                     crate::protocol::Target::Unicast(link.peer),
@@ -417,10 +434,11 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
             } else if !inner_done && !link.ready_for(inner_round) {
                 link.stall += 1;
                 if link.stall > cfg.death_timeout() {
-                    died = true;
+                    died = Some(ArqEventKind::LinkDownSilent);
                 }
             }
-            if died {
+            if let Some(kind) = died {
+                ctx.trace_arq(kind, link.peer);
                 link.dead = true;
                 link.outq.clear();
                 downed.push(link.peer);

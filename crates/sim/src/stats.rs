@@ -1,5 +1,7 @@
 //! Run instrumentation: the quantities the paper's figures report.
 
+use dima_telemetry::PhaseNanos;
+
 /// Per-communication-round counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
@@ -44,6 +46,10 @@ pub struct RunStats {
     pub churn_batches: u64,
     /// Primitive churn events across the applied batches.
     pub churn_events: u64,
+    /// Wall-clock nanoseconds per engine stage. All-zero unless the run
+    /// was profiled ([`crate::EngineConfig::profile`]), so run
+    /// statistics stay comparable across engines with `==`.
+    pub phase_nanos: PhaseNanos,
     /// Per-round breakdown (present iff the engine was configured to
     /// collect it).
     pub per_round: Option<Vec<RoundStats>>,

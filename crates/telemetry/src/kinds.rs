@@ -1,0 +1,110 @@
+//! Per-message-kind counter rows, accumulated by the engines while a
+//! round executes and flushed as [`crate::Event::MsgKind`] rows at the
+//! round boundary.
+
+use crate::event::Event;
+
+/// Counter totals for one message kind (within a round for the engine
+/// tables, or across a run for aggregating sinks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindTotals {
+    /// Messages sent (one per recipient for broadcasts).
+    pub sent: u64,
+    /// Copies delivered.
+    pub delivered: u64,
+    /// Copies dropped by the fault plan.
+    pub dropped: u64,
+    /// Copies corrupted in flight by the fault plan.
+    pub corrupted: u64,
+    /// Extra copies injected by the fault plan.
+    pub duplicated: u64,
+}
+
+/// A tiny per-round table of kind → totals. Protocols declare a handful
+/// of kinds at most, so lookup is a linear scan; rows are created on
+/// first use and reused (zeroed) across rounds to avoid reallocation.
+#[derive(Clone, Debug, Default)]
+pub struct KindTable {
+    rows: Vec<(&'static str, KindTotals)>,
+}
+
+impl KindTable {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The (mutable) totals row for `kind`, created zeroed on first use.
+    pub fn row(&mut self, kind: &'static str) -> &mut KindTotals {
+        // `position` + index instead of `iter_mut().find` keeps the
+        // borrow checker happy across the push in the miss path.
+        match self.rows.iter().position(|(k, _)| *k == kind) {
+            Some(i) => &mut self.rows[i].1,
+            None => {
+                self.rows.push((kind, KindTotals::default()));
+                &mut self.rows.last_mut().unwrap().1
+            }
+        }
+    }
+
+    /// Flush non-empty rows as [`Event::MsgKind`] events for `round`,
+    /// sorted by kind name (the canonical order), then zero the rows.
+    pub fn flush(&mut self, round: u64, mut emit: impl FnMut(Event)) {
+        self.rows.sort_by_key(|(k, _)| *k);
+        for (kind, t) in &mut self.rows {
+            if *t != KindTotals::default() {
+                emit(Event::MsgKind {
+                    round,
+                    kind,
+                    sent: t.sent,
+                    delivered: t.delivered,
+                    dropped: t.dropped,
+                    corrupted: t.corrupted,
+                    duplicated: t.duplicated,
+                });
+                *t = KindTotals::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate_and_flush_sorted_then_reset() {
+        let mut t = KindTable::new();
+        t.row("invite").sent += 2;
+        t.row("accept").sent += 1;
+        t.row("invite").delivered += 2;
+        let mut out = Vec::new();
+        t.flush(7, |ev| out.push(ev));
+        assert_eq!(
+            out,
+            vec![
+                Event::MsgKind {
+                    round: 7,
+                    kind: "accept",
+                    sent: 1,
+                    delivered: 0,
+                    dropped: 0,
+                    corrupted: 0,
+                    duplicated: 0,
+                },
+                Event::MsgKind {
+                    round: 7,
+                    kind: "invite",
+                    sent: 2,
+                    delivered: 2,
+                    dropped: 0,
+                    corrupted: 0,
+                    duplicated: 0,
+                },
+            ]
+        );
+        let mut again = Vec::new();
+        t.flush(8, |ev| again.push(ev));
+        assert!(again.is_empty(), "rows are zeroed after a flush");
+    }
+}

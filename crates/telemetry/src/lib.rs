@@ -1,0 +1,44 @@
+//! Zero-cost-when-off structured telemetry for the DiMa simulator and
+//! protocols.
+//!
+//! The plane has three layers:
+//!
+//! * **Events** ([`Event`]) — small `Copy` records of automata state
+//!   transitions, palette negotiation steps, ARQ link events, churn
+//!   batches, per-message-kind counters, and round footers.
+//! * **Tracers** ([`Tracer`]) — consumers of the event stream. The
+//!   default [`NoopTracer`] carries `ENABLED = false`, which the
+//!   engines test as a compile-time constant: with it, the whole plane
+//!   monomorphizes away. Production sinks are the bounded-memory
+//!   [`StateTimeline`] aggregator and the streaming JSONL
+//!   [`TraceWriter`]; [`BufferTracer`] captures raw events for tests,
+//!   [`TransportTally`] aggregates the transport counters behind CLI
+//!   reports, and [`Tee`] composes two sinks.
+//! * **Determinism** — both engines emit the same event sequence for
+//!   the same seed. The parallel engine buffers per-worker
+//!   ([`ShardBuf`]) and normalizes with [`merge_shards`]; the canonical
+//!   order is defined in [`event`].
+//!
+//! This crate is dependency-free and knows nothing about graphs or
+//! protocols: nodes are `u32` ids, states are `&'static str` labels.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod kinds;
+pub mod profile;
+pub mod read;
+pub mod timeline;
+pub mod tracer;
+pub mod writer;
+
+pub use event::{merge_shards, ArqEventKind, Event, PaletteAction, Stamped};
+pub use kinds::{KindTable, KindTotals};
+pub use profile::{PhaseNanos, ProfileScope};
+pub use timeline::{RoundSnapshot, StateTimeline, STATES};
+pub use tracer::{
+    BufferTracer, EventSink, LinkClass, LinkClassTotals, NoopTracer, ShardBuf, Tee, TraceHandle,
+    Tracer, TransportTally,
+};
+pub use writer::{json_escape, RunTotals, TraceMeta, TraceWriter, SCHEMA_VERSION};

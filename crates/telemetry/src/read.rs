@@ -1,0 +1,232 @@
+//! Minimal reader for the JSONL trace format.
+//!
+//! Parses exactly the dialect [`crate::writer`] produces — flat objects
+//! whose values are unsigned integers, strings, or booleans — which is
+//! all `dima trace summarize`/`diff` need. Not a general JSON parser.
+
+/// A parsed scalar value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// String (escapes resolved).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// One parsed trace line: field name → value, in file order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Record {
+    /// The fields, in the order they appeared.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Value of field `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Unsigned value of field `key`.
+    pub fn num(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value of field `key`.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The record's `type` tag (`header`, `state`, `round`, …).
+    pub fn tag(&self) -> Option<&str> {
+        self.str("type")
+    }
+
+    /// Drop the named fields (used by `trace diff` to ignore
+    /// fields that legitimately differ between comparable runs).
+    pub fn without(mut self, keys: &[&str]) -> Record {
+        self.fields.retain(|(k, _)| !keys.iter().any(|d| d == k));
+        self
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-join multi-byte UTF-8 sequences.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.bytes.get(start..start + len)?;
+                    self.pos = start + len;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            b'"' => self.string().map(Value::Str),
+            b't' => {
+                self.expect_word("true")?;
+                Some(Value::Bool(true))
+            }
+            b'f' => {
+                self.expect_word("false")?;
+                Some(Value::Bool(false))
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok().map(Value::U64)
+            }
+            _ => None,
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Option<()> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(w.as_bytes()) {
+            self.pos += w.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+/// Parse one trace line. Returns `None` on anything that is not a flat
+/// object of scalar values.
+pub fn parse_line(line: &str) -> Option<Record> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.eat(b'{')?;
+    let mut rec = Record::default();
+    if p.peek() == Some(b'}') {
+        p.eat(b'}')?;
+        return Some(rec);
+    }
+    loop {
+        let key = p.string()?;
+        p.eat(b':')?;
+        let val = p.value()?;
+        rec.fields.push((key, val));
+        match p.peek()? {
+            b',' => {
+                p.eat(b',')?;
+            }
+            b'}' => {
+                p.eat(b'}')?;
+                p.skip_ws();
+                return (p.pos == p.bytes.len()).then_some(rec);
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::json_escape;
+
+    #[test]
+    fn parses_writer_dialect() {
+        let rec =
+            parse_line("{\"type\":\"state\",\"round\":3,\"node\":12,\"label\":\"I\"}").unwrap();
+        assert_eq!(rec.tag(), Some("state"));
+        assert_eq!(rec.num("round"), Some(3));
+        assert_eq!(rec.num("node"), Some(12));
+        assert_eq!(rec.str("label"), Some("I"));
+        assert_eq!(rec.get("missing"), None);
+    }
+
+    #[test]
+    fn roundtrips_escapes() {
+        let original = "a\"b\\c\nd\tü";
+        let line = format!("{{\"s\":\"{}\"}}", json_escape(original));
+        let rec = parse_line(&line).unwrap();
+        assert_eq!(rec.str("s"), Some(original));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_nested_objects() {
+        assert!(parse_line("{\"a\":1} extra").is_none());
+        assert!(parse_line("{\"a\":{\"b\":1}}").is_none());
+        assert!(parse_line("not json").is_none());
+    }
+
+    #[test]
+    fn without_drops_fields() {
+        let rec = parse_line("{\"type\":\"header\",\"engine\":\"seq\",\"seed\":1}").unwrap();
+        let slim = rec.without(&["engine"]);
+        assert_eq!(slim.get("engine"), None);
+        assert_eq!(slim.num("seed"), Some(1));
+    }
+}
