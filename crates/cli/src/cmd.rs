@@ -58,6 +58,17 @@ commands:
       compare two traces event by event and localize the first
       divergent round (engine identity is ignored, so identical-seed
       sequential vs parallel runs must diff empty)
+  serve <graph.edges> [--seed S] [--protocol ec|strong] [--width K]
+        [--watchdog T] [--state-dir DIR] [--snapshot-every N]
+        [--queue CAP] [--queue-policy block|shed]
+        [--slo-out FILE] [--label L] [--chaos-kill-at LABEL[:N]]
+      long-running coloring service: reads JSONL topology events
+      ({\"ev\":\"link-up\",\"u\":0,\"v\":5}, link-down, join, leave) and
+      commands ({\"cmd\":\"status\"|\"color\"|\"palette\"|\"hash\"|
+      \"snapshot\"|\"recolor\"|\"shutdown\"}) on stdin, repairs the
+      coloring incrementally, and answers on stdout; with --state-dir
+      it checkpoints CRC-guarded snapshots + a write-ahead journal and
+      restores bit-identically after a crash
 
 fault-injection flags (color | strong-color | matching):
   --fault-loss P          drop each delivery with probability P
@@ -74,7 +85,7 @@ trace flags (color | strong-color | matching | trace record):
                           deterministic-merge cost)";
 
 /// Parse `--key value` flags from `args` (after the positional prefix).
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+pub(crate) fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,7 +98,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn flag<T: std::str::FromStr>(
+pub(crate) fn flag<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
@@ -106,7 +117,14 @@ fn fault_plan(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
             .split_once(',')
             .ok_or_else(|| format!("--fault-burst wants 'PG,PB', got '{spec}'"))?;
         let parse = |s: &str| {
-            s.trim().parse::<f64>().map_err(|_| format!("bad probability '{s}' in --fault-burst"))
+            let p = s
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad probability '{s}' in --fault-burst"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("--fault-burst probability {p} not in [0, 1]"));
+            }
+            Ok(p)
         };
         faults.burst = Some(GilbertElliott::new(parse(good)?, parse(bad)?));
     }
@@ -124,6 +142,9 @@ fn fault_plan(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
 fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String> {
     let seed: u64 = flag(flags, "seed", 0)?;
     let threads: usize = flag(flags, "threads", 0)?;
+    if threads == 0 && flags.contains_key("threads") {
+        return Err("--threads must be >= 1 (omit the flag for the sequential engine)".into());
+    }
     let width: usize = flag(flags, "width", 1)?;
     let transport = match flags.get("transport").map(String::as_str) {
         None | Some("bare") => Transport::Bare,
@@ -222,6 +243,7 @@ fn faulty(cfg: &ColoringConfig) -> bool {
 }
 
 /// `--trace` / `--trace-sample` options of a run command.
+#[derive(Debug)]
 struct TraceFlags {
     path: Option<String>,
     sample: u32,
@@ -229,6 +251,9 @@ struct TraceFlags {
 
 fn trace_flags(flags: &HashMap<String, String>) -> Result<TraceFlags, String> {
     let sample: u32 = flag(flags, "trace-sample", 0)?;
+    if sample == 0 && flags.contains_key("trace-sample") {
+        return Err("--trace-sample must be >= 1 (omit the flag to trace every node)".into());
+    }
     let path = flags.get("trace").cloned();
     if path.is_none() && flags.contains_key("trace-sample") {
         return Err("--trace-sample needs --trace".into());
@@ -408,7 +433,7 @@ fn report_transport(
     }
 }
 
-fn load_graph(path: &str) -> Result<Graph, String> {
+pub(crate) fn load_graph(path: &str) -> Result<Graph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     io::from_edge_list(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
@@ -477,6 +502,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "serve" => crate::serve::cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -1582,6 +1608,31 @@ mod tests {
         assert!(tf.path.is_none());
         let f = parse_flags(&s(&["--trace-sample", "8"])).unwrap();
         assert!(trace_flags(&f).is_err(), "--trace-sample without --trace must be rejected");
+    }
+
+    #[test]
+    fn nonsense_flag_values_are_rejected_with_clear_errors() {
+        // An explicit --threads 0 is a contradiction (0 means "flag
+        // absent" internally); the user must drop the flag instead.
+        let f = parse_flags(&s(&["--threads", "0"])).unwrap();
+        let err = run_config(&f).unwrap_err();
+        assert!(err.contains("--threads"), "unhelpful error: {err}");
+        assert!(run_config(&parse_flags(&s(&["--threads", "2"])).unwrap()).is_ok());
+        assert!(run_config(&parse_flags(&[]).unwrap()).is_ok(), "omitting --threads stays fine");
+
+        // Same for an explicit --trace-sample 0.
+        let f = parse_flags(&s(&["--trace", "t.jsonl", "--trace-sample", "0"])).unwrap();
+        let err = trace_flags(&f).unwrap_err();
+        assert!(err.contains("--trace-sample"), "unhelpful error: {err}");
+
+        // Burst probabilities outside [0, 1] must be caught before the
+        // Gilbert-Elliott chain is built.
+        for spec in ["1.5,0.2", "0.2,-0.1", "2,2"] {
+            let f = parse_flags(&s(&["--fault-burst", spec])).unwrap();
+            let err = fault_plan(&f).unwrap_err();
+            assert!(err.contains("[0, 1]"), "unhelpful error for '{spec}': {err}");
+        }
+        assert!(fault_plan(&parse_flags(&s(&["--fault-burst", "0.02,0.7"])).unwrap()).is_ok());
     }
 
     #[test]

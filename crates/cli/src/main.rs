@@ -16,6 +16,7 @@
 use std::process::ExitCode;
 
 mod cmd;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,665 @@
+//! `dima-cli serve` — the long-running coloring service.
+//!
+//! Reads JSONL topology events and commands from stdin, applies them to
+//! a live [`ColoringService`], and answers queries on stdout while the
+//! repair automata run. State is crash-safe when `--state-dir` is set:
+//! CRC-guarded snapshots are written atomically (temp file + rename)
+//! and a write-ahead journal covers the tail between snapshots; on
+//! start, an existing snapshot (plus journal) is restored to a
+//! bit-identical coloring. `--chaos-kill-at` arms the deterministic
+//! chaos harness: the process hard-exits at a labeled persistence stage
+//! so the recovery tests can prove every interleaving safe.
+//!
+//! ## stdin protocol (one flat-JSON object per line)
+//!
+//! Events: `{"ev":"link-up","u":0,"v":5}`, `{"ev":"link-down",...}`,
+//! `{"ev":"join","node":3}`, `{"ev":"leave","node":3}`.
+//! Commands: `{"cmd":"status"}`, `{"cmd":"color","u":0,"v":5}`,
+//! `{"cmd":"palette","node":3}`, `{"cmd":"hash"}`,
+//! `{"cmd":"snapshot"}`, `{"cmd":"recolor"}`, `{"cmd":"shutdown"}`.
+//!
+//! Replies are flat JSON on stdout. Colors in replies are offset by
+//! one (`0` means uncolored) so the encoding stays unsigned. Rejected
+//! events and malformed lines produce `{"type":"error",...}` replies
+//! and never poison the service.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dima_core::{ColoringService, ServeProtocol, ServiceConfig, Tick};
+use dima_graph::VertexId;
+use dima_sim::telemetry::read::{parse_line, Record};
+use dima_sim::telemetry::slo::{BatchSample, SloRecorder};
+use dima_sim::telemetry::writer::json_escape;
+use dima_sim::ChurnEvent;
+
+/// Ticks executed per main-loop spin before the queue is polled again —
+/// keeps queries responsive during long repairs.
+const TICKS_PER_SPIN: u64 = 64;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGINT = 2, SIGTERM = 15: flip the shutdown flag (async-signal
+    // safe) and let the main loop run the graceful path.
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// `--chaos-kill-at LABEL[:N]`: hard-exit (code 137, like a kill) at
+/// the Nth occurrence of the labeled persistence stage.
+struct Chaos {
+    label: Option<String>,
+    at: u64,
+    seen: HashMap<&'static str, u64>,
+}
+
+/// The labeled kill points, in pipeline order.
+pub const KILL_POINTS: &[&str] = &[
+    "journal-pre-commit",
+    "journal-post-commit",
+    "snapshot-pre-write",
+    "snapshot-pre-rename",
+    "snapshot-post-rename",
+];
+
+impl Chaos {
+    fn parse(spec: Option<&String>) -> Result<Chaos, String> {
+        let Some(spec) = spec else {
+            return Ok(Chaos { label: None, at: 1, seen: HashMap::new() });
+        };
+        let (label, at) = match spec.split_once(':') {
+            Some((l, n)) => {
+                let at: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad occurrence count in --chaos-kill-at '{spec}'"))?;
+                (l, at.max(1))
+            }
+            None => (spec.as_str(), 1),
+        };
+        if !KILL_POINTS.contains(&label) {
+            return Err(format!(
+                "unknown kill point '{label}' (expected one of {})",
+                KILL_POINTS.join(", ")
+            ));
+        }
+        Ok(Chaos { label: Some(label.to_string()), at, seen: HashMap::new() })
+    }
+
+    fn hit(&mut self, label: &'static str) {
+        let Some(want) = &self.label else { return };
+        if want != label {
+            return;
+        }
+        let count = self.seen.entry(label).or_insert(0);
+        *count += 1;
+        if *count >= self.at {
+            eprintln!("chaos: killing at {label} (occurrence {})", *count);
+            std::process::exit(137);
+        }
+    }
+}
+
+/// Persistent-state file layout under `--state-dir`.
+struct StateDir {
+    snapshot: PathBuf,
+    journal: PathBuf,
+    journal_file: Option<fs::File>,
+}
+
+impl StateDir {
+    fn new(dir: &str) -> Result<StateDir, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let dir = Path::new(dir);
+        Ok(StateDir {
+            snapshot: dir.join("snapshot.dima"),
+            journal: dir.join("journal.jsonl"),
+            journal_file: None,
+        })
+    }
+
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        if self.journal_file.is_none() {
+            self.journal_file = Some(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.journal)
+                    .map_err(|e| format!("opening journal: {e}"))?,
+            );
+        }
+        self.journal_file
+            .as_mut()
+            .expect("just opened")
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("appending journal: {e}"))
+    }
+
+    /// Atomically replace the journal with exactly the still-staged
+    /// events (called right after a snapshot lands).
+    fn rotate(&mut self, staged: &[ChurnEvent]) -> Result<(), String> {
+        self.journal_file = None;
+        let mut text = String::new();
+        for ev in staged {
+            text.push_str(&ColoringService::journal_event_line(ev));
+        }
+        let tmp = self.journal.with_extension("jsonl.tmp");
+        fs::write(&tmp, text).map_err(|e| format!("writing journal: {e}"))?;
+        fs::rename(&tmp, &self.journal).map_err(|e| format!("rotating journal: {e}"))
+    }
+}
+
+enum Msg {
+    Event(ChurnEvent),
+    Cmd(Record),
+    Malformed(String),
+    Eof,
+}
+
+fn parse_event(rec: &Record) -> Result<ChurnEvent, String> {
+    let vertex = |key: &str| -> Result<VertexId, String> {
+        let n = rec.num(key).ok_or_else(|| format!("event missing numeric '{key}'"))?;
+        if n > u32::MAX as u64 {
+            return Err(format!("vertex id {n} out of range"));
+        }
+        Ok(VertexId(n as u32))
+    };
+    match rec.str("ev") {
+        Some("link-up") => Ok(ChurnEvent::LinkUp(vertex("u")?, vertex("v")?)),
+        Some("link-down") => Ok(ChurnEvent::LinkDown(vertex("u")?, vertex("v")?)),
+        Some("join") => Ok(ChurnEvent::NodeJoin(vertex("node")?)),
+        Some("leave") => Ok(ChurnEvent::NodeLeave(vertex("node")?)),
+        Some(other) => Err(format!("unknown event kind '{other}'")),
+        None => Err("event line missing 'ev'".into()),
+    }
+}
+
+struct Reply;
+
+impl Reply {
+    fn line(text: String) {
+        let mut out = std::io::stdout().lock();
+        let _ = out.write_all(text.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+
+    fn error(context: &str, message: &str) {
+        Self::line(format!(
+            "{{\"type\":\"error\",\"where\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(context),
+            json_escape(message)
+        ));
+    }
+}
+
+fn color_code(c: Option<dima_core::Color>) -> u64 {
+    c.map_or(0, |c| u64::from(c.0) + 1)
+}
+
+/// Entry point for `dima-cli serve`.
+pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let Some(graph_path) = args.first() else {
+        return Err("serve needs a graph".into());
+    };
+    let flags = crate::cmd::parse_flags(&args[1..])?;
+    let seed: u64 = crate::cmd::flag(&flags, "seed", 0)?;
+    let width: usize = crate::cmd::flag(&flags, "width", 1)?;
+    let watchdog: u64 = crate::cmd::flag(&flags, "watchdog", 512)?;
+    let snapshot_every: u64 = crate::cmd::flag(&flags, "snapshot-every", 8)?;
+    let queue_cap: usize = crate::cmd::flag(&flags, "queue", 1024)?;
+    if queue_cap == 0 {
+        return Err("--queue must be >= 1".into());
+    }
+    let shed = match flags.get("queue-policy").map(String::as_str) {
+        None | Some("block") => false,
+        Some("shed") => true,
+        Some(other) => return Err(format!("--queue-policy must be block or shed, got '{other}'")),
+    };
+    let protocol: ServeProtocol = match flags.get("protocol") {
+        None => ServeProtocol::EdgeColoring,
+        Some(p) => p.parse()?,
+    };
+    let slo_out = flags.get("slo-out").cloned();
+    let label = flags.get("label").cloned().unwrap_or_else(|| "serve".into());
+    let mut chaos = Chaos::parse(flags.get("chaos-kill-at"))?;
+    let mut state = match flags.get("state-dir") {
+        Some(dir) => Some(StateDir::new(dir)?),
+        None => None,
+    };
+
+    let mut cfg = ServiceConfig::new(protocol, seed);
+    cfg.coloring.proposal_width = width;
+    cfg.watchdog_ticks = watchdog;
+
+    let mut slo = SloRecorder::new();
+    let mut svc = match &state {
+        Some(s) if s.snapshot.exists() => {
+            let snap =
+                fs::read_to_string(&s.snapshot).map_err(|e| format!("reading snapshot: {e}"))?;
+            let journal = match fs::read_to_string(&s.journal) {
+                Ok(t) => Some(t),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => return Err(format!("reading journal: {e}")),
+            };
+            let (svc, report) = ColoringService::restore(&snap, journal.as_deref())
+                .map_err(|e| format!("restoring {}: {e}", s.snapshot.display()))?;
+            eprintln!(
+                "serve: restored {} snapshot entries + {} journal entries, {} restaged{}",
+                report.snapshot_entries,
+                report.tail_entries,
+                report.staged,
+                if report.torn_tail { " (torn journal tail)" } else { "" }
+            );
+            svc
+        }
+        _ => {
+            let g = crate::cmd::load_graph(graph_path)?;
+            let mut svc = ColoringService::new(&g, cfg.clone()).map_err(|e| e.to_string())?;
+            svc.run_to_quiescence(svc.tick_budget()).map_err(|e| e.to_string())?;
+            svc
+        }
+    };
+    // Replayed repairs are not live SLO samples.
+    svc.take_reports();
+    // Re-anchor the on-disk state to "now": one snapshot, fresh journal.
+    if let Some(s) = state.as_mut() {
+        write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+    }
+    eprintln!(
+        "serve: {} protocol, {} nodes, round {}, watchdog {} ticks, queue {} ({})",
+        svc.config().protocol,
+        svc.status().nodes,
+        svc.round(),
+        watchdog,
+        queue_cap,
+        if shed { "shed" } else { "block" }
+    );
+
+    install_signal_handlers();
+
+    let depth = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = mpsc::sync_channel::<Msg>(queue_cap);
+    let shed_count = Arc::new(AtomicU64::new(0));
+    let hwm = Arc::new(AtomicU64::new(0));
+    {
+        let depth = Arc::clone(&depth);
+        let shed_count = Arc::clone(&shed_count);
+        let hwm = Arc::clone(&hwm);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                let line = line.trim().to_string();
+                if line.is_empty() {
+                    continue;
+                }
+                let msg = match parse_line(&line) {
+                    Some(rec) if rec.get("ev").is_some() => match parse_event(&rec) {
+                        Ok(ev) => Msg::Event(ev),
+                        Err(e) => Msg::Malformed(e),
+                    },
+                    Some(rec) if rec.get("cmd").is_some() => Msg::Cmd(rec),
+                    _ => Msg::Malformed(format!("unparseable line '{line}'")),
+                };
+                // Count the message before sending it — the service
+                // decrements on receive, so the increment must already
+                // be visible by then.
+                let is_event = matches!(msg, Msg::Event(_));
+                let d = depth.fetch_add(1, Ordering::SeqCst) + 1;
+                hwm.fetch_max(d, Ordering::SeqCst);
+                if shed && is_event {
+                    match tx.try_send(msg) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(_)) => {
+                            depth.fetch_sub(1, Ordering::SeqCst);
+                            shed_count.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    }
+                } else {
+                    // Backpressure: block until the service drains.
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            }
+            depth.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Msg::Eof);
+        });
+    }
+
+    let mut eof = false;
+    let mut repair_started: Option<(u64, Instant)> = None;
+    let mut last_snapshot_batch = svc.batches_committed();
+    'main: loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("serve: signal received, shutting down");
+            break;
+        }
+        // Drain whatever is queued without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    depth.fetch_sub(1, Ordering::SeqCst);
+                    match handle_msg(msg, &mut svc, state.as_mut(), &mut chaos, &mut slo)? {
+                        Handled::Continue => {}
+                        Handled::Eof => eof = true,
+                        Handled::Shutdown => break 'main,
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        // Commit staged events the moment the service is settled.
+        maybe_commit(&mut svc, state.as_mut(), &mut chaos)?;
+        if !svc.is_settled() {
+            for _ in 0..TICKS_PER_SPIN {
+                match svc.tick().map_err(|e| e.to_string())? {
+                    Tick::Idle => break,
+                    Tick::Round { applied, quiesced, escalated, .. } => {
+                        if let Some(seq) = applied {
+                            repair_started = Some((seq, Instant::now()));
+                        }
+                        if let Some(round) = escalated {
+                            slo.escalation();
+                            if let Some(s) = state.as_mut() {
+                                s.append(&ColoringService::journal_recolor_line(
+                                    svc.history_len(),
+                                    round,
+                                ))?;
+                            }
+                        }
+                        if quiesced {
+                            break;
+                        }
+                    }
+                }
+            }
+            drain_reports(&mut svc, &mut repair_started, &mut slo);
+            // Periodic checkpoint at quiescent batch boundaries.
+            if svc.is_settled()
+                && snapshot_every > 0
+                && svc.batches_committed() >= last_snapshot_batch + snapshot_every
+            {
+                if let Some(s) = state.as_mut() {
+                    write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+                }
+                last_snapshot_batch = svc.batches_committed();
+            }
+        } else if eof && svc.staged() == 0 {
+            break;
+        } else {
+            // Idle: wait for traffic.
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(msg) => {
+                    depth.fetch_sub(1, Ordering::SeqCst);
+                    match handle_msg(msg, &mut svc, state.as_mut(), &mut chaos, &mut slo)? {
+                        Handled::Continue => {}
+                        Handled::Eof => eof = true,
+                        Handled::Shutdown => break 'main,
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => eof = true,
+            }
+        }
+        slo.queue_depth(hwm.load(Ordering::SeqCst));
+    }
+
+    // Graceful shutdown: finish the repair in flight, commit and repair
+    // any staged remainder, then flush a final snapshot and the SLO
+    // report.
+    svc.run_to_quiescence(svc.tick_budget()).map_err(|e| e.to_string())?;
+    if svc.staged() > 0 {
+        maybe_commit(&mut svc, state.as_mut(), &mut chaos)?;
+        let t0 = Instant::now();
+        svc.run_to_quiescence(svc.tick_budget()).map_err(|e| e.to_string())?;
+        if let Some((seq, _)) = svc.history().iter().rev().find_map(|e| match e {
+            dima_core::HistoryEntry::Batch { seq, round, .. } => Some((*seq, *round)),
+            _ => None,
+        }) {
+            repair_started = Some((seq, t0));
+        }
+        drain_reports(&mut svc, &mut repair_started, &mut slo);
+    }
+    if let Some(s) = state.as_mut() {
+        write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+    }
+    for _ in 0..shed_count.load(Ordering::SeqCst) {
+        slo.shed();
+    }
+    slo.queue_depth(hwm.load(Ordering::SeqCst));
+    let report = slo.report();
+    eprint!("{}", report.to_text());
+    if let Some(path) = slo_out {
+        fs::write(&path, report.to_jsonl(&label)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let status = svc.status();
+    eprintln!(
+        "serve: final hash {:#018x}, {} colors, round {}",
+        status.hash, status.colors_used, status.round
+    );
+    Ok(())
+}
+
+enum Handled {
+    Continue,
+    Eof,
+    Shutdown,
+}
+
+fn handle_msg(
+    msg: Msg,
+    svc: &mut ColoringService,
+    state: Option<&mut StateDir>,
+    chaos: &mut Chaos,
+    slo: &mut SloRecorder,
+) -> Result<Handled, String> {
+    match msg {
+        Msg::Eof => Ok(Handled::Eof),
+        Msg::Malformed(e) => {
+            slo.malformed();
+            Reply::error("parse", &e);
+            Ok(Handled::Continue)
+        }
+        Msg::Event(ev) => {
+            match svc.stage(ev) {
+                Ok(()) => {
+                    if let Some(s) = state {
+                        s.append(&ColoringService::journal_event_line(&ev))?;
+                    }
+                }
+                Err(e) => {
+                    slo.rejected();
+                    Reply::error("event", &e.to_string());
+                }
+            }
+            Ok(Handled::Continue)
+        }
+        Msg::Cmd(rec) => handle_cmd(&rec, svc, state, chaos, slo),
+    }
+}
+
+fn handle_cmd(
+    rec: &Record,
+    svc: &mut ColoringService,
+    state: Option<&mut StateDir>,
+    chaos: &mut Chaos,
+    slo: &mut SloRecorder,
+) -> Result<Handled, String> {
+    match rec.str("cmd") {
+        Some("status") => {
+            let st = svc.status();
+            Reply::line(format!(
+                "{{\"type\":\"status\",\"round\":{},\"settled\":{},\"nodes\":{},\
+                 \"alive\":{},\"staged\":{},\"batches\":{},\"escalations\":{},\
+                 \"colors_used\":{},\"hash\":{}}}",
+                st.round,
+                u64::from(st.settled),
+                st.nodes,
+                st.alive,
+                st.staged,
+                st.batches,
+                st.escalations,
+                st.colors_used,
+                st.hash
+            ));
+        }
+        Some("color") => {
+            let (Some(u), Some(v)) = (rec.num("u"), rec.num("v")) else {
+                Reply::error("cmd", "color needs numeric u and v");
+                return Ok(Handled::Continue);
+            };
+            if u > u32::MAX as u64 || v > u32::MAX as u64 {
+                Reply::error("cmd", "vertex id out of range");
+                return Ok(Handled::Continue);
+            }
+            match svc.edge_color(VertexId(u as u32), VertexId(v as u32)) {
+                Ok((f, r)) => Reply::line(format!(
+                    "{{\"type\":\"color\",\"u\":{u},\"v\":{v},\"forward\":{},\"reverse\":{}}}",
+                    color_code(f),
+                    color_code(r)
+                )),
+                Err(e) => Reply::error("cmd", &e.to_string()),
+            }
+        }
+        Some("palette") => {
+            let Some(node) = rec.num("node") else {
+                Reply::error("cmd", "palette needs a numeric node");
+                return Ok(Handled::Continue);
+            };
+            if node > u32::MAX as u64 {
+                Reply::error("cmd", "vertex id out of range");
+                return Ok(Handled::Continue);
+            }
+            match svc.node_palette(VertexId(node as u32)) {
+                Ok(colors) => {
+                    let list: Vec<String> = colors.iter().map(|c| c.0.to_string()).collect();
+                    Reply::line(format!(
+                        "{{\"type\":\"palette\",\"node\":{node},\"count\":{},\"colors\":\"{}\"}}",
+                        list.len(),
+                        list.join(",")
+                    ));
+                }
+                Err(e) => Reply::error("cmd", &e.to_string()),
+            }
+        }
+        Some("hash") => {
+            Reply::line(format!("{{\"type\":\"hash\",\"value\":{}}}", svc.coloring_hash()));
+        }
+        Some("snapshot") => match state {
+            Some(s) => {
+                write_snapshot(svc, s, chaos, slo)?;
+                Reply::line(format!(
+                    "{{\"type\":\"snapshot\",\"path\":\"{}\",\"batches\":{}}}",
+                    json_escape(&s.snapshot.display().to_string()),
+                    svc.batches_committed()
+                ));
+            }
+            None => Reply::error("cmd", "snapshots need --state-dir"),
+        },
+        Some("recolor") => {
+            let round = svc.force_recolor();
+            slo.escalation();
+            if let Some(s) = state {
+                s.append(&ColoringService::journal_recolor_line(svc.history_len(), round))?;
+            }
+            Reply::line(format!("{{\"type\":\"recolor\",\"round\":{round}}}"));
+        }
+        Some("shutdown") => {
+            Reply::line("{\"type\":\"bye\"}".into());
+            return Ok(Handled::Shutdown);
+        }
+        Some(other) => Reply::error("cmd", &format!("unknown command '{other}'")),
+        None => Reply::error("cmd", "command line missing 'cmd'"),
+    }
+    Ok(Handled::Continue)
+}
+
+/// Journal the commit marker (write-ahead), then commit in memory. The
+/// marker is flushed before the commit so every crash interleaving
+/// recovers: a marker without its commit replays to the same
+/// deterministic round, a commit without its marker is re-derived from
+/// the journaled events.
+fn maybe_commit(
+    svc: &mut ColoringService,
+    state: Option<&mut StateDir>,
+    chaos: &mut Chaos,
+) -> Result<(), String> {
+    let Some((seq, round)) = svc.next_commit() else {
+        return Ok(());
+    };
+    if let Some(s) = state {
+        chaos.hit("journal-pre-commit");
+        s.append(&ColoringService::journal_commit_line(svc.history_len() + 1, seq, round))?;
+        chaos.hit("journal-post-commit");
+    }
+    svc.commit();
+    Ok(())
+}
+
+fn drain_reports(
+    svc: &mut ColoringService,
+    repair_started: &mut Option<(u64, Instant)>,
+    slo: &mut SloRecorder,
+) {
+    for r in svc.take_reports() {
+        let wall_ms = match repair_started.take_if(|(seq, _)| *seq == r.seq) {
+            Some((_, t0)) => t0.elapsed().as_secs_f64() * 1e3,
+            None => 0.0,
+        };
+        slo.batch(BatchSample {
+            seq: r.seq,
+            events: r.events as u64,
+            repair_rounds: r.repair_rounds,
+            wall_ms,
+            colors_changed: r.colors_changed,
+        });
+    }
+}
+
+/// Write the snapshot atomically (temp + rename) and rotate the journal
+/// down to the still-staged events. The chaos kill points bracket each
+/// stage.
+fn write_snapshot(
+    svc: &ColoringService,
+    state: &mut StateDir,
+    chaos: &mut Chaos,
+    slo: &mut SloRecorder,
+) -> Result<(), String> {
+    let text = svc.snapshot_text();
+    chaos.hit("snapshot-pre-write");
+    let tmp = state.snapshot.with_extension("dima.tmp");
+    fs::write(&tmp, &text).map_err(|e| format!("writing snapshot: {e}"))?;
+    chaos.hit("snapshot-pre-rename");
+    fs::rename(&tmp, &state.snapshot).map_err(|e| format!("publishing snapshot: {e}"))?;
+    chaos.hit("snapshot-post-rename");
+    state.rotate(svc.staged_events())?;
+    slo.snapshot();
+    Ok(())
+}

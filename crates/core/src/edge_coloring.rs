@@ -143,7 +143,7 @@ pub struct EdgeColoringNode {
 }
 
 impl EdgeColoringNode {
-    fn new(seed: &NodeSeed<'_>, cfg: &ColoringConfig, palette_bound: u32) -> Self {
+    pub(crate) fn new(seed: &NodeSeed<'_>, cfg: &ColoringConfig, palette_bound: u32) -> Self {
         let degree = seed.neighbors.len();
         EdgeColoringNode {
             me: seed.node,
@@ -167,6 +167,18 @@ impl EdgeColoringNode {
 
     fn port_of(&self, v: VertexId) -> Option<usize> {
         self.neighbors.binary_search(&v).ok()
+    }
+
+    /// The color this node has committed on its edge toward `v`, if any
+    /// — the query side of the long-running service.
+    pub(crate) fn color_toward(&self, v: VertexId) -> Option<Color> {
+        self.port_of(v).and_then(|p| self.edge_color[p])
+    }
+
+    /// Every color committed on this node's surviving edges, ascending.
+    pub(crate) fn palette(&self) -> Vec<Color> {
+        let set: ColorSet = self.edge_color.iter().flatten().copied().collect();
+        set.iter().collect()
     }
 
     /// Pick the color to propose for the edge toward `port`

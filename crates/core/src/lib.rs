@@ -49,6 +49,7 @@ pub mod matching;
 pub mod palette;
 mod runner;
 pub mod schedule;
+pub mod service;
 pub mod strong_coloring;
 pub mod strong_undirected;
 pub mod verify;
@@ -66,6 +67,10 @@ pub use edge_coloring::{
 pub use error::CoreError;
 pub use matching::{maximal_matching, maximal_matching_traced, MatchingResult};
 pub use palette::{Color, ColorSet};
+pub use service::{
+    hash_coloring, ColoredEdge, ColoringService, HistoryEntry, RestoreReport, ServeBatchReport,
+    ServeProtocol, ServiceConfig, ServiceError, ServiceStatus, Tick,
+};
 pub use strong_coloring::{
     strong_color_churn, strong_color_churn_traced, strong_color_digraph,
     strong_color_digraph_traced, StrongColoringResult,

@@ -1,0 +1,1699 @@
+//! Long-running coloring service: the engine behind `dima serve`.
+//!
+//! A [`ColoringService`] owns a live coloring of a mutating graph. Churn
+//! events are *staged* through the validating [`EventFeed`], *committed*
+//! as a batch whenever the repair automata are quiescent, and repaired
+//! incrementally by ticking the round [`Stepper`] — the service never
+//! blocks a query on a repair in flight.
+//!
+//! # Determinism and crash safety
+//!
+//! The service commits a staged batch only at quiescence, so the round
+//! at which each batch lands is a pure function of the event sequence —
+//! not of wall-clock arrival times. That makes the whole trajectory
+//! replayable: a snapshot records nothing but the initial graph and the
+//! *history* (committed batches and recolor escalations, each pinned to
+//! its round), and [`ColoringService::restore`] re-executes that history
+//! through the very same tick loop to a bit-identical coloring. A
+//! crash-recovery journal of the same line format covers the tail since
+//! the last snapshot; its markers carry a history index so a stale
+//! (unrotated) journal deduplicates cleanly against the snapshot.
+//!
+//! Snapshots are flat JSONL guarded by a CRC-32 trailer: truncation and
+//! corruption are detected and reported as structured
+//! [`ServiceError`]s, never a panic.
+//!
+//! # Watchdog
+//!
+//! A convergence watchdog counts consecutive non-quiescent ticks in
+//! which the progress high-water mark (committed color slots plus done
+//! nodes) fails to rise; after [`ServiceConfig::watchdog_ticks`] of
+//! those it escalates to a full recolor via [`Stepper::restart`]. Each
+//! consecutive escalation doubles the stall threshold, so even a
+//! hair-trigger watchdog cannot livelock a legitimate repair.
+//! Escalations are recorded in the history (RNG streams continue
+//! across a restart, so replaying the recorded escalation round
+//! reproduces the live trajectory exactly; during replay the watchdog
+//! itself is disarmed).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dima_graph::{Digraph, Graph, VertexId};
+use dima_sim::fault::FaultPlan;
+use dima_sim::telemetry::read::{parse_line, Record};
+use dima_sim::telemetry::NoopTracer;
+use dima_sim::wire::crc32;
+use dima_sim::{
+    ChurnBatch, ChurnEvent, ChurnSchedule, EngineConfig, EventFeed, FeedError, NodeSeed, SimError,
+    Stepper, Topology,
+};
+
+use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
+use crate::edge_coloring::EdgeColoringNode;
+use crate::error::CoreError;
+use crate::palette::Color;
+use crate::runner::run_protocol_churn_traced;
+use crate::strong_coloring::StrongColoringNode;
+
+/// Snapshot format version accepted by [`ColoringService::restore`].
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Which repair protocol a service runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeProtocol {
+    /// DiMaEC proper edge coloring (Algorithm 1).
+    EdgeColoring,
+    /// DiMa2ED strong edge coloring of the symmetric closure
+    /// (Algorithm 2).
+    StrongColoring,
+}
+
+impl ServeProtocol {
+    /// Stable wire name (`ec` / `strong`), used in snapshots and CLI
+    /// flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeProtocol::EdgeColoring => "ec",
+            ServeProtocol::StrongColoring => "strong",
+        }
+    }
+}
+
+impl fmt::Display for ServeProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ServeProtocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "ec" | "color" => Ok(ServeProtocol::EdgeColoring),
+            "strong" | "strong-color" => Ok(ServeProtocol::StrongColoring),
+            other => Err(format!("unknown protocol '{other}' (expected 'ec' or 'strong')")),
+        }
+    }
+}
+
+/// Configuration for a [`ColoringService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Repair protocol.
+    pub protocol: ServeProtocol,
+    /// Coloring parameters. The service requires the sequential engine,
+    /// the bare transport and a reliable fault plan (quiescence must
+    /// mean "every node is done", and snapshots must replay).
+    pub coloring: ColoringConfig,
+    /// Consecutive stalled ticks (no rise of the progress high-water
+    /// mark — committed color slots plus done nodes — while not
+    /// quiescent) before the watchdog escalates to a full recolor. The
+    /// threshold doubles after each consecutive escalation so a small
+    /// value cannot livelock. `0` disables the watchdog.
+    pub watchdog_ticks: u64,
+}
+
+impl ServiceConfig {
+    /// Service defaults for `protocol` under master seed `seed`:
+    /// measurement-profile coloring config (no send validation), no
+    /// per-round stat collection (the service runs unbounded), watchdog
+    /// at 512 ticks.
+    pub fn new(protocol: ServeProtocol, seed: u64) -> Self {
+        ServiceConfig {
+            protocol,
+            coloring: ColoringConfig {
+                collect_round_stats: false,
+                ..ColoringConfig::for_measurement(seed)
+            },
+            watchdog_ticks: 512,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServiceError> {
+        self.coloring.validate().map_err(|e| ServiceError::Config(e.to_string()))?;
+        if self.coloring.engine != Engine::Sequential {
+            return Err(ServiceError::Config(
+                "the service requires the sequential engine (use recompute() for a parallel \
+                 cross-check)"
+                    .into(),
+            ));
+        }
+        if self.coloring.transport != Transport::Bare {
+            return Err(ServiceError::Config("the service requires the bare transport".into()));
+        }
+        if !self.coloring.faults.is_reliable() {
+            return Err(ServiceError::Config(
+                "the service requires a reliable fault plan: quiescence detection and snapshot \
+                 replay assume no injected loss or crashes"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A structured service failure. Every invalid input — malformed event,
+/// corrupt snapshot, inconsistent history — surfaces as one of these;
+/// the service never panics on untrusted data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Invalid service configuration.
+    Config(String),
+    /// A staged event was rejected by topology validation.
+    Feed(FeedError),
+    /// A query named a vertex outside the graph.
+    NoSuchNode {
+        /// The offending vertex.
+        node: VertexId,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A query named an edge absent from the current topology.
+    NoSuchEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+    /// A snapshot failed structural parsing.
+    Snapshot {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A snapshot's CRC-32 trailer did not match its body (truncation
+    /// or corruption).
+    CrcMismatch {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC computed over the body.
+        actual: u32,
+    },
+    /// Replaying a recorded history diverged from the recorded rounds —
+    /// the snapshot does not describe this build's trajectory.
+    Replay(String),
+    /// A repair failed to quiesce within the tick budget.
+    Budget {
+        /// Ticks executed before giving up.
+        ticks: u64,
+    },
+    /// The underlying simulator rejected a round.
+    Sim(SimError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config(m) => write!(f, "invalid service config: {m}"),
+            ServiceError::Feed(e) => write!(f, "rejected event: {e}"),
+            ServiceError::NoSuchNode { node, num_vertices } => {
+                write!(f, "no such node {node}: graph has {num_vertices} vertices")
+            }
+            ServiceError::NoSuchEdge { u, v } => {
+                write!(f, "no edge {u}-{v} in the current topology")
+            }
+            ServiceError::Snapshot { line, message } => {
+                write!(f, "bad snapshot (line {line}): {message}")
+            }
+            ServiceError::CrcMismatch { expected, actual } => write!(
+                f,
+                "snapshot CRC mismatch: trailer says {expected:#010x}, body hashes to \
+                 {actual:#010x} (truncated or corrupted file)"
+            ),
+            ServiceError::Replay(m) => write!(f, "history replay diverged: {m}"),
+            ServiceError::Budget { ticks } => {
+                write!(f, "repair failed to quiesce within {ticks} ticks")
+            }
+            ServiceError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<FeedError> for ServiceError {
+    fn from(e: FeedError) -> Self {
+        ServiceError::Feed(e)
+    }
+}
+
+impl From<SimError> for ServiceError {
+    fn from(e: SimError) -> Self {
+        ServiceError::Sim(e)
+    }
+}
+
+/// One entry of the service's replayable history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryEntry {
+    /// A churn batch committed at `round`.
+    Batch {
+        /// 1-based commit sequence number.
+        seq: u64,
+        /// Round the batch was committed (and applied) at.
+        round: u64,
+        /// The events, in staging order.
+        events: Vec<ChurnEvent>,
+    },
+    /// A watchdog (or operator) escalation to a full recolor at
+    /// `round`.
+    Recolor {
+        /// Round the restart took effect at.
+        round: u64,
+    },
+}
+
+impl HistoryEntry {
+    fn round(&self) -> u64 {
+        match self {
+            HistoryEntry::Batch { round, .. } | HistoryEntry::Recolor { round } => *round,
+        }
+    }
+}
+
+/// What one [`ColoringService::tick`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tick {
+    /// Quiescent with no batch pending — no round was executed.
+    Idle,
+    /// One communication round executed.
+    Round {
+        /// 0-based index of the executed round.
+        round: u64,
+        /// Nodes still repairing after the round.
+        active: usize,
+        /// Commit sequence number of the batch applied this round, if
+        /// any.
+        applied: Option<u64>,
+        /// Whether the service reached quiescence on this round.
+        quiesced: bool,
+        /// Round recorded for a watchdog escalation fired by this tick,
+        /// if one was.
+        escalated: Option<u64>,
+    },
+}
+
+/// Per-batch repair accounting, drained via
+/// [`ColoringService::take_reports`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeBatchReport {
+    /// Commit sequence number.
+    pub seq: u64,
+    /// Round the batch was applied at.
+    pub round: u64,
+    /// Events in the batch.
+    pub events: usize,
+    /// Rounds from application to quiescence (≥ 1).
+    pub repair_rounds: u64,
+    /// Edges whose color assignment after repair differs from before
+    /// the batch (new edges count once they are colored; removed edges
+    /// are not counted) — the churn-amplification numerator.
+    pub colors_changed: u64,
+}
+
+/// A service liveness/convergence summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceStatus {
+    /// Current round clock.
+    pub round: u64,
+    /// Quiescent with no batch pending.
+    pub settled: bool,
+    /// Vertex-slot count of the graph.
+    pub nodes: usize,
+    /// Nodes currently alive (per the feed's staged view).
+    pub alive: usize,
+    /// Staged, uncommitted events.
+    pub staged: usize,
+    /// Batches committed so far.
+    pub batches: u64,
+    /// Recolor escalations so far.
+    pub escalations: u64,
+    /// Distinct colors in the current coloring.
+    pub colors_used: usize,
+    /// [`hash_coloring`] of the current coloring.
+    pub hash: u64,
+}
+
+/// What [`ColoringService::restore`] replayed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// History entries replayed from the snapshot itself.
+    pub snapshot_entries: u64,
+    /// History entries recovered from the journal tail.
+    pub tail_entries: u64,
+    /// Journal events re-staged (accepted but uncommitted at the
+    /// crash).
+    pub staged: u64,
+    /// The journal ended mid-line (torn write) — everything before the
+    /// tear was recovered.
+    pub torn_tail: bool,
+}
+
+/// One edge of a coloring, endpoints normalized `u < v`.
+///
+/// For [`ServeProtocol::EdgeColoring`], `forward` and `reverse` are the
+/// two endpoints' views of the single edge color (equal once repair has
+/// quiesced). For [`ServeProtocol::StrongColoring`] they are the
+/// `u → v` and `v → u` arc colors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColoredEdge {
+    /// Lower endpoint.
+    pub u: VertexId,
+    /// Higher endpoint.
+    pub v: VertexId,
+    /// Color of the `u → v` slot.
+    pub forward: Option<Color>,
+    /// Color of the `v → u` slot.
+    pub reverse: Option<Color>,
+}
+
+/// FNV-1a over a coloring — the bit-identity fingerprint used by
+/// snapshot self-checks, the chaos harness and the serve CLI.
+pub fn hash_coloring(edges: &[ColoredEdge]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for e in edges {
+        for x in [
+            u64::from(e.u.0) + 1,
+            u64::from(e.v.0) + 1,
+            e.forward.map_or(0, |c| u64::from(c.0) + 1),
+            e.reverse.map_or(0, |c| u64::from(c.0) + 1),
+        ] {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+type EcFactory = Box<dyn FnMut(NodeSeed<'_>) -> EdgeColoringNode + Send>;
+type StrongFactory = Box<dyn FnMut(NodeSeed<'_>) -> StrongColoringNode + Send>;
+
+enum Inner {
+    Ec(Stepper<EdgeColoringNode, EcFactory>),
+    Strong(Stepper<StrongColoringNode, StrongFactory>),
+}
+
+impl Inner {
+    fn round(&self) -> u64 {
+        match self {
+            Inner::Ec(s) => s.round(),
+            Inner::Strong(s) => s.round(),
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        match self {
+            Inner::Ec(s) => s.is_quiescent(),
+            Inner::Strong(s) => s.is_quiescent(),
+        }
+    }
+
+    fn still_active(&self) -> usize {
+        match self {
+            Inner::Ec(s) => s.still_active(),
+            Inner::Strong(s) => s.still_active(),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        match self {
+            Inner::Ec(s) => s.num_nodes(),
+            Inner::Strong(s) => s.num_nodes(),
+        }
+    }
+
+    fn topology(&self) -> &Topology {
+        match self {
+            Inner::Ec(s) => s.topology(),
+            Inner::Strong(s) => s.topology(),
+        }
+    }
+
+    fn tick(&mut self, batch: Option<&ChurnBatch>) -> Result<dima_sim::RoundStats, SimError> {
+        match self {
+            Inner::Ec(s) => s.tick(batch, &mut NoopTracer),
+            Inner::Strong(s) => s.tick(batch, &mut NoopTracer),
+        }
+    }
+
+    fn restart(&mut self) {
+        match self {
+            Inner::Ec(s) => s.restart(),
+            Inner::Strong(s) => s.restart(),
+        }
+    }
+
+    fn edge_slots(&self, u: VertexId, v: VertexId) -> (Option<Color>, Option<Color>) {
+        match self {
+            Inner::Ec(s) => {
+                let nodes = s.nodes();
+                (nodes[u.0 as usize].color_toward(v), nodes[v.0 as usize].color_toward(u))
+            }
+            Inner::Strong(s) => {
+                let nodes = s.nodes();
+                (nodes[u.0 as usize].out_color_toward(v), nodes[v.0 as usize].out_color_toward(u))
+            }
+        }
+    }
+
+    fn palette(&self, v: VertexId) -> Vec<Color> {
+        match self {
+            Inner::Ec(s) => s.nodes()[v.0 as usize].palette(),
+            Inner::Strong(s) => s.nodes()[v.0 as usize].palette(),
+        }
+    }
+}
+
+struct OpenBatch {
+    seq: u64,
+    round: u64,
+    events: usize,
+    pre: HashMap<(u32, u32), (Option<Color>, Option<Color>)>,
+}
+
+/// A live, crash-recoverable coloring of a mutating graph. See the
+/// [module docs](self) for the execution and recovery model.
+pub struct ColoringService {
+    cfg: ServiceConfig,
+    g0: Graph,
+    d0: Option<Digraph>,
+    palette_bound0: u32,
+    feed: EventFeed,
+    inner: Inner,
+    pending: Option<ChurnBatch>,
+    pending_seq: u64,
+    history: Vec<HistoryEntry>,
+    batches_committed: u64,
+    escalations: u64,
+    watchdog_armed: bool,
+    stall_ticks: u64,
+    progress_hwm: u64,
+    backoff: u32,
+    open_batch: Option<OpenBatch>,
+    reports: Vec<ServeBatchReport>,
+}
+
+impl ColoringService {
+    /// Start a fresh service over `g0`. The initial coloring has not
+    /// run yet — call [`ColoringService::run_to_quiescence`] (or tick)
+    /// to converge it.
+    pub fn new(g0: &Graph, cfg: ServiceConfig) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        let delta = g0.max_degree();
+        let palette_bound0 = ((2 * delta).saturating_sub(1)).max(1) as u32;
+        let engine_cfg = EngineConfig {
+            seed: cfg.coloring.seed,
+            max_rounds: u64::MAX,
+            collect_round_stats: false,
+            validate_sends: cfg.coloring.validate_sends,
+            faults: FaultPlan::reliable(),
+            profile: false,
+        };
+        let topo = Topology::from_graph(g0);
+        let mut d0 = None;
+        let inner = match cfg.protocol {
+            ServeProtocol::EdgeColoring => {
+                let ccfg = cfg.coloring.clone();
+                let factory: EcFactory = Box::new(move |seed: NodeSeed<'_>| {
+                    EdgeColoringNode::new(&seed, &ccfg, palette_bound0)
+                });
+                Inner::Ec(Stepper::new(&topo, &engine_cfg, factory))
+            }
+            ServeProtocol::StrongColoring => {
+                let d = Digraph::symmetric_closure(g0);
+                d0 = Some(d.clone());
+                let ccfg = cfg.coloring.clone();
+                let factory: StrongFactory =
+                    Box::new(move |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, &d, &ccfg));
+                Inner::Strong(Stepper::new(&topo, &engine_cfg, factory))
+            }
+        };
+        Ok(ColoringService {
+            cfg,
+            g0: g0.clone(),
+            d0,
+            palette_bound0,
+            feed: EventFeed::new(g0),
+            inner,
+            pending: None,
+            pending_seq: 0,
+            history: Vec::new(),
+            batches_committed: 0,
+            escalations: 0,
+            watchdog_armed: true,
+            stall_ticks: 0,
+            progress_hwm: 0,
+            backoff: 0,
+            open_batch: None,
+            reports: Vec::new(),
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Current round clock.
+    pub fn round(&self) -> u64 {
+        self.inner.round()
+    }
+
+    /// Quiescent with no committed batch awaiting application — the
+    /// state in which the next staged batch may commit.
+    pub fn is_settled(&self) -> bool {
+        self.pending.is_none() && self.inner.is_quiescent()
+    }
+
+    /// Staged, uncommitted events.
+    pub fn staged(&self) -> usize {
+        self.feed.staged()
+    }
+
+    /// The staged, uncommitted events in staging order — what a journal
+    /// rotation must carry over.
+    pub fn staged_events(&self) -> &[ChurnEvent] {
+        self.feed.staged_events()
+    }
+
+    /// Committed batches so far.
+    pub fn batches_committed(&self) -> u64 {
+        self.batches_committed
+    }
+
+    /// Recolor escalations so far.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// The replayable history (committed batches and escalations).
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// Number of history entries — the `h` index the next journal
+    /// marker should carry is `history_len() + 1`.
+    pub fn history_len(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// Validate and stage one churn event for the next batch. Rejected
+    /// events leave the service untouched.
+    pub fn stage(&mut self, ev: ChurnEvent) -> Result<(), ServiceError> {
+        self.feed.stage(ev).map_err(ServiceError::Feed)
+    }
+
+    /// `(seq, round)` the staged events would commit as right now, or
+    /// `None` if there is nothing staged or a repair is still running.
+    pub fn next_commit(&self) -> Option<(u64, u64)> {
+        (self.is_settled() && self.feed.staged() > 0)
+            .then(|| (self.batches_committed + 1, self.inner.round()))
+    }
+
+    /// Commit the staged events as one batch, to be applied on the next
+    /// tick. Returns the commit `(seq, round)`, or `None` when
+    /// [`ColoringService::next_commit`] is `None`.
+    pub fn commit(&mut self) -> Option<(u64, u64)> {
+        let (seq, round) = self.next_commit()?;
+        let batch = self.feed.commit(round).expect("staged() > 0 implies a batch");
+        self.history.push(HistoryEntry::Batch { seq, round, events: batch.events.clone() });
+        self.pending = Some(batch);
+        self.pending_seq = seq;
+        self.batches_committed = seq;
+        Some((seq, round))
+    }
+
+    /// Escalate to a full recolor now: every surviving node restarts
+    /// the protocol on the current topology. Recorded in the history
+    /// (journal it with [`ColoringService::journal_recolor_line`]).
+    /// Returns the recorded round.
+    pub fn force_recolor(&mut self) -> u64 {
+        self.escalate()
+    }
+
+    fn escalate(&mut self) -> u64 {
+        let round = self.inner.round();
+        self.inner.restart();
+        self.history.push(HistoryEntry::Recolor { round });
+        self.escalations += 1;
+        self.stall_ticks = 0;
+        self.progress_hwm = 0;
+        self.backoff = self.backoff.saturating_add(1);
+        round
+    }
+
+    /// Committed color slots plus done nodes — the watchdog's progress
+    /// metric. A healthy repair raises it every few ticks; a genuinely
+    /// wedged one cannot.
+    fn progress_metric(&self, done: usize) -> u64 {
+        let slots =
+            self.coloring_map().values().flat_map(|&(a, b)| [a, b]).filter(Option::is_some).count();
+        slots as u64 + done as u64
+    }
+
+    /// Execute one communication round, applying a pending batch first
+    /// if one was committed. Idle (quiescent, nothing pending) ticks
+    /// execute nothing and consume no randomness.
+    pub fn tick(&mut self) -> Result<Tick, ServiceError> {
+        if self.pending.is_none() && self.inner.is_quiescent() {
+            return Ok(Tick::Idle);
+        }
+        let applied = self.pending.take();
+        let applied_seq = applied.as_ref().map(|_| self.pending_seq);
+        if let Some(b) = &applied {
+            self.open_batch = Some(OpenBatch {
+                seq: self.pending_seq,
+                round: b.round,
+                events: b.events.len(),
+                pre: self.coloring_map(),
+            });
+            self.stall_ticks = 0;
+            self.progress_hwm = 0;
+            self.backoff = 0;
+        }
+        let rs = self.inner.tick(applied.as_ref())?;
+        let mut escalated = None;
+        let quiesced = self.inner.is_quiescent();
+        if quiesced {
+            self.stall_ticks = 0;
+            self.backoff = 0;
+            if let Some(open) = self.open_batch.take() {
+                let post = self.coloring_map();
+                let colors_changed =
+                    post.iter().filter(|(k, v)| open.pre.get(k) != Some(*v)).count() as u64;
+                self.reports.push(ServeBatchReport {
+                    seq: open.seq,
+                    round: open.round,
+                    events: open.events,
+                    repair_rounds: self.inner.round() - open.round,
+                    colors_changed,
+                });
+            }
+        } else if self.watchdog_armed && self.cfg.watchdog_ticks > 0 {
+            let progress = self.progress_metric(rs.done);
+            if progress > self.progress_hwm {
+                self.progress_hwm = progress;
+                self.stall_ticks = 0;
+            } else {
+                self.stall_ticks += 1;
+                let threshold =
+                    self.cfg.watchdog_ticks.saturating_mul(1u64 << self.backoff.min(16));
+                if self.stall_ticks >= threshold {
+                    escalated = Some(self.escalate());
+                }
+            }
+        }
+        Ok(Tick::Round {
+            round: rs.round,
+            active: self.inner.still_active(),
+            applied: applied_seq,
+            quiesced,
+            escalated,
+        })
+    }
+
+    /// Tick until settled, at most `max_ticks` rounds. Returns the
+    /// number of rounds executed, or [`ServiceError::Budget`].
+    pub fn run_to_quiescence(&mut self, max_ticks: u64) -> Result<u64, ServiceError> {
+        let mut ticks = 0u64;
+        while !self.is_settled() {
+            if ticks >= max_ticks {
+                return Err(ServiceError::Budget { ticks });
+            }
+            self.tick()?;
+            ticks += 1;
+        }
+        Ok(ticks)
+    }
+
+    /// A generous tick budget for one repair on the current topology:
+    /// three communication rounds per computation round of the
+    /// configured budget, tripled for escalation headroom.
+    pub fn tick_budget(&self) -> u64 {
+        let topo = self.inner.topology();
+        let delta = topo.max_degree().max(1);
+        3 * 3 * self.cfg.coloring.compute_round_budget(delta) + 64
+    }
+
+    /// Drain the per-batch repair reports accumulated since the last
+    /// call.
+    pub fn take_reports(&mut self) -> Vec<ServeBatchReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    fn check_node(&self, v: VertexId) -> Result<(), ServiceError> {
+        if (v.0 as usize) < self.inner.num_nodes() {
+            Ok(())
+        } else {
+            Err(ServiceError::NoSuchNode { node: v, num_vertices: self.inner.num_nodes() })
+        }
+    }
+
+    /// The committed color slots on edge `u`-`v` (see [`ColoredEdge`]
+    /// for the per-protocol meaning). Errors on unknown vertices or a
+    /// non-edge.
+    pub fn edge_color(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(Option<Color>, Option<Color>), ServiceError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if !self.inner.topology().are_neighbors(u, v) {
+            return Err(ServiceError::NoSuchEdge { u, v });
+        }
+        Ok(self.inner.edge_slots(u, v))
+    }
+
+    /// Every color committed on `v`'s surviving edges, ascending.
+    pub fn node_palette(&self, v: VertexId) -> Result<Vec<Color>, ServiceError> {
+        self.check_node(v)?;
+        Ok(self.inner.palette(v))
+    }
+
+    fn coloring_map(&self) -> HashMap<(u32, u32), (Option<Color>, Option<Color>)> {
+        let topo = self.inner.topology();
+        let mut map = HashMap::new();
+        for i in 0..topo.num_nodes() {
+            let u = VertexId(i as u32);
+            for &v in topo.neighbors(u) {
+                if v.0 > u.0 {
+                    map.insert((u.0, v.0), self.inner.edge_slots(u, v));
+                }
+            }
+        }
+        map
+    }
+
+    /// The full current coloring, sorted by `(u, v)`.
+    pub fn coloring(&self) -> Vec<ColoredEdge> {
+        let mut out: Vec<ColoredEdge> = self
+            .coloring_map()
+            .into_iter()
+            .map(|((u, v), (forward, reverse))| ColoredEdge {
+                u: VertexId(u),
+                v: VertexId(v),
+                forward,
+                reverse,
+            })
+            .collect();
+        out.sort_by_key(|e| (e.u, e.v));
+        out
+    }
+
+    /// [`hash_coloring`] of [`ColoringService::coloring`].
+    pub fn coloring_hash(&self) -> u64 {
+        hash_coloring(&self.coloring())
+    }
+
+    /// A liveness/convergence summary.
+    pub fn status(&self) -> ServiceStatus {
+        let coloring = self.coloring();
+        let mut colors: Vec<u32> =
+            coloring.iter().flat_map(|e| [e.forward, e.reverse]).flatten().map(|c| c.0).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let n = self.inner.num_nodes();
+        let alive = (0..n).filter(|&i| self.feed.is_alive(VertexId(i as u32))).count();
+        ServiceStatus {
+            round: self.inner.round(),
+            settled: self.is_settled(),
+            nodes: n,
+            alive,
+            staged: self.feed.staged(),
+            batches: self.batches_committed,
+            escalations: self.escalations,
+            colors_used: colors.len(),
+            hash: hash_coloring(&coloring),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot + journal wire format
+    // ------------------------------------------------------------------
+
+    /// Journal line for an accepted event. Append (and flush) this
+    /// *before* acknowledging the event.
+    pub fn journal_event_line(ev: &ChurnEvent) -> String {
+        event_line(ev)
+    }
+
+    /// Journal line for a batch commit. `h` is the history index the
+    /// entry will occupy ([`ColoringService::history_len`]` + 1` when
+    /// written before the [`ColoringService::commit`] call), `(seq,
+    /// round)` is what [`ColoringService::next_commit`] returned.
+    /// Append and flush *before* committing — recovery replays the
+    /// marker, and a marker without its commit is harmless because the
+    /// commit round is deterministic.
+    pub fn journal_commit_line(h: u64, seq: u64, round: u64) -> String {
+        format!("{{\"type\":\"commit\",\"h\":{h},\"seq\":{seq},\"round\":{round}}}\n")
+    }
+
+    /// Journal line for a recolor escalation recorded at `round` as
+    /// history entry `h` (equal to [`ColoringService::history_len`]
+    /// right after the tick that escalated).
+    pub fn journal_recolor_line(h: u64, round: u64) -> String {
+        format!("{{\"type\":\"recolor\",\"h\":{h},\"round\":{round}}}\n")
+    }
+
+    /// Serialize the service to its flat-JSONL snapshot: header, the
+    /// initial graph, the replayable history, a CRC-32 trailer. Valid
+    /// at any point of execution — restore replays the history and
+    /// fast-forwards the in-flight repair (if any) to quiescence.
+    pub fn snapshot_text(&self) -> String {
+        let c = &self.cfg.coloring;
+        let settled = self.is_settled();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"serve-snapshot\",\"version\":{SNAPSHOT_VERSION},\
+             \"protocol\":\"{}\",\"seed\":{},\"invite_bits\":{},\
+             \"color_policy\":\"{}\",\"response_policy\":\"{}\",\"width\":{},\
+             \"max_compute\":{},\"validate_sends\":{},\"watchdog\":{},\
+             \"n\":{},\"edges\":{},\"history\":{},\"batches\":{},\
+             \"quiescent\":{},\"round\":{},\"hash\":{}}}\n",
+            self.cfg.protocol.name(),
+            c.seed,
+            c.invite_probability.to_bits(),
+            color_policy_name(c.color_policy),
+            response_policy_name(c.response_policy),
+            c.proposal_width,
+            c.max_compute_rounds.unwrap_or(0),
+            u64::from(c.validate_sends),
+            self.cfg.watchdog_ticks,
+            self.g0.num_vertices(),
+            self.g0.num_edges(),
+            self.history.len(),
+            self.batches_committed,
+            u64::from(settled),
+            self.inner.round(),
+            self.coloring_hash(),
+        ));
+        for (_, (u, v)) in self.g0.edges() {
+            out.push_str(&format!("{{\"type\":\"edge\",\"u\":{},\"v\":{}}}\n", u.0, v.0));
+        }
+        for (i, entry) in self.history.iter().enumerate() {
+            let h = i as u64 + 1;
+            match entry {
+                HistoryEntry::Batch { seq, round, events } => {
+                    for ev in events {
+                        out.push_str(&event_line(ev));
+                    }
+                    out.push_str(&Self::journal_commit_line(h, *seq, *round));
+                }
+                HistoryEntry::Recolor { round } => {
+                    out.push_str(&Self::journal_recolor_line(h, *round));
+                }
+            }
+        }
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("{{\"type\":\"crc\",\"value\":{crc}}}\n"));
+        out
+    }
+
+    /// Rebuild a service from a snapshot, then recover the tail from a
+    /// journal if one is given. The snapshot is CRC-checked and
+    /// structurally validated; the journal is read tolerantly (a torn
+    /// final line ends recovery at the tear). The restored service has
+    /// finished any in-flight repair (it is settled unless journal
+    /// events were re-staged).
+    pub fn restore(
+        snapshot: &str,
+        journal: Option<&str>,
+    ) -> Result<(Self, RestoreReport), ServiceError> {
+        let trimmed = snapshot.trim_end();
+        let (body, crc_text) = trimmed.rsplit_once('\n').ok_or(ServiceError::Snapshot {
+            line: 1,
+            message: "truncated snapshot: missing CRC trailer".into(),
+        })?;
+        let crc_lineno = body.lines().count() + 1;
+        let crc_rec = parse_line(crc_text).filter(|r| r.tag() == Some("crc")).ok_or(
+            ServiceError::Snapshot {
+                line: crc_lineno,
+                message: "truncated snapshot: last line is not a CRC trailer".into(),
+            },
+        )?;
+        let expected = crc_rec.num("value").ok_or(ServiceError::Snapshot {
+            line: crc_lineno,
+            message: "CRC trailer has no value".into(),
+        })? as u32;
+        let mut hashed = body.as_bytes().to_vec();
+        hashed.push(b'\n');
+        let actual = crc32(&hashed);
+        if expected != actual {
+            return Err(ServiceError::CrcMismatch { expected, actual });
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, header_text) = lines
+            .next()
+            .ok_or(ServiceError::Snapshot { line: 1, message: "empty snapshot".into() })?;
+        let header = parse_line(header_text).filter(|r| r.tag() == Some("serve-snapshot")).ok_or(
+            ServiceError::Snapshot {
+                line: 1,
+                message: "first line is not a serve-snapshot header".into(),
+            },
+        )?;
+        let version = header_num(&header, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(ServiceError::Snapshot {
+                line: 1,
+                message: format!("unsupported snapshot version {version}"),
+            });
+        }
+        let protocol: ServeProtocol = header
+            .str("protocol")
+            .unwrap_or("")
+            .parse()
+            .map_err(|e| ServiceError::Snapshot { line: 1, message: e })?;
+        let coloring = ColoringConfig {
+            seed: header_num(&header, "seed")?,
+            invite_probability: f64::from_bits(header_num(&header, "invite_bits")?),
+            color_policy: parse_color_policy(header.str("color_policy").unwrap_or("")).ok_or_else(
+                || ServiceError::Snapshot { line: 1, message: "unknown color_policy".into() },
+            )?,
+            response_policy: parse_response_policy(header.str("response_policy").unwrap_or(""))
+                .ok_or_else(|| ServiceError::Snapshot {
+                    line: 1,
+                    message: "unknown response_policy".into(),
+                })?,
+            proposal_width: header_num(&header, "width")? as usize,
+            max_compute_rounds: match header_num(&header, "max_compute")? {
+                0 => None,
+                m => Some(m),
+            },
+            validate_sends: header_num(&header, "validate_sends")? != 0,
+            collect_round_stats: false,
+            engine: Engine::Sequential,
+            faults: FaultPlan::reliable(),
+            transport: Transport::Bare,
+            profile: false,
+        };
+        let cfg =
+            ServiceConfig { protocol, coloring, watchdog_ticks: header_num(&header, "watchdog")? };
+        let n = header_num(&header, "n")? as usize;
+        let num_edges = header_num(&header, "edges")? as usize;
+        let num_history = header_num(&header, "history")? as usize;
+        let quiescent = header_num(&header, "quiescent")? != 0;
+        let recorded_hash = header_num(&header, "hash")?;
+
+        let mut edges = Vec::with_capacity(num_edges.min(1 << 20));
+        for _ in 0..num_edges {
+            let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
+                line: crc_lineno,
+                message: "snapshot ends inside the edge list".into(),
+            })?;
+            let rec = parse_line(text).filter(|r| r.tag() == Some("edge")).ok_or_else(|| {
+                ServiceError::Snapshot { line: idx + 1, message: "expected an edge line".into() }
+            })?;
+            let u = rec.num("u").ok_or(ServiceError::Snapshot {
+                line: idx + 1,
+                message: "edge line missing u".into(),
+            })?;
+            let v = rec.num("v").ok_or(ServiceError::Snapshot {
+                line: idx + 1,
+                message: "edge line missing v".into(),
+            })?;
+            if u > u32::MAX as u64 || v > u32::MAX as u64 {
+                return Err(ServiceError::Snapshot {
+                    line: idx + 1,
+                    message: "edge endpoint out of range".into(),
+                });
+            }
+            edges.push((VertexId(u as u32), VertexId(v as u32)));
+        }
+        let g0 = Graph::from_edges(n, edges).map_err(|e| ServiceError::Snapshot {
+            line: 1,
+            message: format!("invalid initial graph: {e}"),
+        })?;
+
+        let snap_entries = parse_entry_stream(lines, 0, true)?;
+        if snap_entries.torn || !snap_entries.staged.is_empty() {
+            return Err(ServiceError::Snapshot {
+                line: crc_lineno,
+                message: "snapshot history ends with dangling events".into(),
+            });
+        }
+        if snap_entries.entries.len() != num_history {
+            return Err(ServiceError::Snapshot {
+                line: crc_lineno,
+                message: format!(
+                    "header declares {num_history} history entries, found {}",
+                    snap_entries.entries.len()
+                ),
+            });
+        }
+
+        let tail = match journal {
+            Some(text) => parse_entry_stream(text.lines().enumerate(), num_history as u64, false)?,
+            None => ParsedEntries::default(),
+        };
+
+        let mut svc = Self::new(&g0, cfg)?;
+        let mut entries = snap_entries.entries;
+        let tail_count = tail.entries.len() as u64;
+        entries.extend(tail.entries);
+        svc.replay(&entries)?;
+        for ev in &tail.staged {
+            svc.stage(*ev)?;
+        }
+        if quiescent && tail_count == 0 && svc.coloring_hash() != recorded_hash {
+            return Err(ServiceError::Replay(format!(
+                "replayed coloring hash {:#018x} != recorded {recorded_hash:#018x}",
+                svc.coloring_hash()
+            )));
+        }
+        Ok((
+            svc,
+            RestoreReport {
+                snapshot_entries: num_history as u64,
+                tail_entries: tail_count,
+                staged: tail.staged.len() as u64,
+                torn_tail: tail.torn,
+            },
+        ))
+    }
+
+    /// Re-execute `entries` (batches pinned to their recorded rounds,
+    /// escalations restarted at theirs) through the normal tick loop,
+    /// with the watchdog disarmed — recorded escalations stand in for
+    /// it. Finishes by repairing to quiescence with the watchdog back
+    /// on.
+    fn replay(&mut self, entries: &[HistoryEntry]) -> Result<(), ServiceError> {
+        self.watchdog_armed = false;
+        for entry in entries {
+            let target = entry.round();
+            while self.inner.round() < target && !self.is_settled() {
+                self.tick()?;
+            }
+            if self.inner.round() != target {
+                return Err(ServiceError::Replay(format!(
+                    "settled at round {} but the next history entry is recorded at round {target}",
+                    self.inner.round()
+                )));
+            }
+            match entry {
+                HistoryEntry::Batch { seq, round, events } => {
+                    if !self.is_settled() {
+                        return Err(ServiceError::Replay(format!(
+                            "batch {seq} recorded at round {round}, but the service is not \
+                             quiescent there"
+                        )));
+                    }
+                    if *seq != self.batches_committed + 1 {
+                        return Err(ServiceError::Replay(format!(
+                            "batch sequence jump: recorded {seq}, expected {}",
+                            self.batches_committed + 1
+                        )));
+                    }
+                    for ev in events {
+                        self.feed.stage(*ev).map_err(|e| {
+                            ServiceError::Replay(format!("batch {seq} event rejected: {e}"))
+                        })?;
+                    }
+                    let batch = self
+                        .feed
+                        .commit(*round)
+                        .ok_or_else(|| ServiceError::Replay(format!("batch {seq} is empty")))?;
+                    self.history.push(entry.clone());
+                    self.pending = Some(batch);
+                    self.pending_seq = *seq;
+                    self.batches_committed = *seq;
+                }
+                HistoryEntry::Recolor { .. } => {
+                    // escalate() records Recolor{round: inner.round()},
+                    // which the round-match check above pins to the
+                    // recorded entry — and it updates the backoff state
+                    // exactly as the live watchdog did.
+                    self.escalate();
+                }
+            }
+        }
+        self.watchdog_armed = true;
+        self.run_to_quiescence(self.tick_budget())?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-engine recompute
+    // ------------------------------------------------------------------
+
+    /// Recompute the coloring from scratch by compiling the committed
+    /// history into a [`ChurnSchedule`] and running it through the
+    /// batch engines under `engine` — the independent cross-check the
+    /// acceptance suite diffs against the live state. Only available
+    /// for escalation-free histories (the batch engines have no restart
+    /// path).
+    pub fn recompute(&self, engine: Engine) -> Result<Vec<ColoredEdge>, ServiceError> {
+        if self.history.iter().any(|e| matches!(e, HistoryEntry::Recolor { .. })) {
+            return Err(ServiceError::Config(
+                "recompute requires an escalation-free history".into(),
+            ));
+        }
+        let mut feed = EventFeed::new(&self.g0);
+        let mut batches = Vec::new();
+        for entry in &self.history {
+            if let HistoryEntry::Batch { seq, round, events } = entry {
+                for ev in events {
+                    feed.stage(*ev).map_err(|e| {
+                        ServiceError::Replay(format!("batch {seq} event rejected: {e}"))
+                    })?;
+                }
+                batches.push(
+                    feed.commit(*round)
+                        .ok_or_else(|| ServiceError::Replay(format!("batch {seq} is empty")))?,
+                );
+            }
+        }
+        let schedule = ChurnSchedule::from_batches(batches);
+        let cfg = ColoringConfig { engine, ..self.cfg.coloring.clone() };
+        cfg.validate().map_err(|e| ServiceError::Config(e.to_string()))?;
+        let delta = self.g0.max_degree().max(schedule.max_degree()).max(1);
+        let max_rounds =
+            schedule.last_round().unwrap_or(0) + 3 * 3 * cfg.compute_round_budget(delta) + 64;
+        let topo = Topology::from_graph(&self.g0);
+        let final_graph = schedule.final_graph().unwrap_or(&self.g0).clone();
+        let slots: Vec<ColoredEdge> = match self.cfg.protocol {
+            ServeProtocol::EdgeColoring => {
+                let bound = self.palette_bound0;
+                let run = run_protocol_churn_traced(
+                    &topo,
+                    &cfg,
+                    max_rounds,
+                    &schedule,
+                    |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, &cfg, bound),
+                    &mut NoopTracer,
+                )
+                .map_err(|e| match e {
+                    CoreError::Sim(s) => ServiceError::Sim(s),
+                    other => ServiceError::Config(other.to_string()),
+                })?;
+                collect_coloring(&final_graph, |u, v| {
+                    (
+                        run.nodes[u.0 as usize].color_toward(v),
+                        run.nodes[v.0 as usize].color_toward(u),
+                    )
+                })
+            }
+            ServeProtocol::StrongColoring => {
+                let d0 = self.d0.as_ref().expect("strong service stores its digraph");
+                let run = run_protocol_churn_traced(
+                    &topo,
+                    &cfg,
+                    max_rounds,
+                    &schedule,
+                    |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, d0, &cfg),
+                    &mut NoopTracer,
+                )
+                .map_err(|e| match e {
+                    CoreError::Sim(s) => ServiceError::Sim(s),
+                    other => ServiceError::Config(other.to_string()),
+                })?;
+                collect_coloring(&final_graph, |u, v| {
+                    (
+                        run.nodes[u.0 as usize].out_color_toward(v),
+                        run.nodes[v.0 as usize].out_color_toward(u),
+                    )
+                })
+            }
+        };
+        Ok(slots)
+    }
+}
+
+fn collect_coloring(
+    g: &Graph,
+    slots: impl Fn(VertexId, VertexId) -> (Option<Color>, Option<Color>),
+) -> Vec<ColoredEdge> {
+    let mut out: Vec<ColoredEdge> = g
+        .edges()
+        .map(|(_, (a, b))| {
+            let (u, v) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+            let (forward, reverse) = slots(u, v);
+            ColoredEdge { u, v, forward, reverse }
+        })
+        .collect();
+    out.sort_by_key(|e| (e.u, e.v));
+    out
+}
+
+fn color_policy_name(p: ColorPolicy) -> &'static str {
+    match p {
+        ColorPolicy::LowestIndex => "lowest-index",
+        ColorPolicy::RandomLegal => "random-legal",
+    }
+}
+
+fn parse_color_policy(s: &str) -> Option<ColorPolicy> {
+    match s {
+        "lowest-index" => Some(ColorPolicy::LowestIndex),
+        "random-legal" => Some(ColorPolicy::RandomLegal),
+        _ => None,
+    }
+}
+
+fn response_policy_name(p: ResponsePolicy) -> &'static str {
+    match p {
+        ResponsePolicy::Random => "random",
+        ResponsePolicy::FirstSender => "first-sender",
+        ResponsePolicy::LowestColor => "lowest-color",
+    }
+}
+
+fn parse_response_policy(s: &str) -> Option<ResponsePolicy> {
+    match s {
+        "random" => Some(ResponsePolicy::Random),
+        "first-sender" => Some(ResponsePolicy::FirstSender),
+        "lowest-color" => Some(ResponsePolicy::LowestColor),
+        _ => None,
+    }
+}
+
+fn header_num(rec: &Record, key: &str) -> Result<u64, ServiceError> {
+    rec.num(key).ok_or_else(|| ServiceError::Snapshot {
+        line: 1,
+        message: format!("header missing numeric field '{key}'"),
+    })
+}
+
+fn event_line(ev: &ChurnEvent) -> String {
+    // Link endpoints are written normalized (min, max) — the feed
+    // stores them that way, so journal replay reconstructs the exact
+    // history the live service recorded.
+    match ev {
+        ChurnEvent::LinkUp(u, v) => {
+            let (a, b) = (u.min(v), u.max(v));
+            format!("{{\"type\":\"event\",\"kind\":\"link-up\",\"u\":{},\"v\":{}}}\n", a.0, b.0)
+        }
+        ChurnEvent::LinkDown(u, v) => {
+            let (a, b) = (u.min(v), u.max(v));
+            format!("{{\"type\":\"event\",\"kind\":\"link-down\",\"u\":{},\"v\":{}}}\n", a.0, b.0)
+        }
+        ChurnEvent::NodeJoin(v) => {
+            format!("{{\"type\":\"event\",\"kind\":\"join\",\"node\":{}}}\n", v.0)
+        }
+        ChurnEvent::NodeLeave(v) => {
+            format!("{{\"type\":\"event\",\"kind\":\"leave\",\"node\":{}}}\n", v.0)
+        }
+    }
+}
+
+fn event_from_record(rec: &Record) -> Option<ChurnEvent> {
+    let vertex = |key: &str| -> Option<VertexId> {
+        let n = rec.num(key)?;
+        (n <= u32::MAX as u64).then_some(VertexId(n as u32))
+    };
+    match rec.str("kind")? {
+        "link-up" => Some(ChurnEvent::LinkUp(vertex("u")?, vertex("v")?)),
+        "link-down" => Some(ChurnEvent::LinkDown(vertex("u")?, vertex("v")?)),
+        "join" => Some(ChurnEvent::NodeJoin(vertex("node")?)),
+        "leave" => Some(ChurnEvent::NodeLeave(vertex("node")?)),
+        _ => None,
+    }
+}
+
+#[derive(Default)]
+struct ParsedEntries {
+    entries: Vec<HistoryEntry>,
+    staged: Vec<ChurnEvent>,
+    torn: bool,
+}
+
+/// Parse a history-entry stream (shared between the snapshot body and
+/// the journal). Markers with `h <= skip_h` were already captured by
+/// the snapshot and are dropped along with their buffered events. In
+/// `strict` mode any unparseable line is an error; otherwise it is a
+/// torn tail and parsing stops there.
+fn parse_entry_stream<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+    skip_h: u64,
+    strict: bool,
+) -> Result<ParsedEntries, ServiceError> {
+    let mut out = ParsedEntries::default();
+    let mut buffer: Vec<ChurnEvent> = Vec::new();
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |message: &str| -> Result<(), ServiceError> {
+            if strict {
+                Err(ServiceError::Snapshot { line: idx + 1, message: message.into() })
+            } else {
+                Ok(())
+            }
+        };
+        let Some(rec) = parse_line(line) else {
+            bad("unparseable history line")?;
+            out.torn = true;
+            break;
+        };
+        match rec.tag() {
+            Some("event") => match event_from_record(&rec) {
+                Some(ev) => buffer.push(ev),
+                None => {
+                    bad("malformed event line")?;
+                    out.torn = true;
+                    break;
+                }
+            },
+            Some("commit") => {
+                let (Some(h), Some(seq), Some(round)) =
+                    (rec.num("h"), rec.num("seq"), rec.num("round"))
+                else {
+                    bad("commit marker missing h/seq/round")?;
+                    out.torn = true;
+                    break;
+                };
+                if h <= skip_h {
+                    buffer.clear();
+                } else {
+                    out.entries.push(HistoryEntry::Batch {
+                        seq,
+                        round,
+                        events: std::mem::take(&mut buffer),
+                    });
+                }
+            }
+            Some("recolor") => {
+                let (Some(h), Some(round)) = (rec.num("h"), rec.num("round")) else {
+                    bad("recolor marker missing h/round")?;
+                    out.torn = true;
+                    break;
+                };
+                if h > skip_h {
+                    out.entries.push(HistoryEntry::Recolor { round });
+                }
+            }
+            _ => {
+                bad("unknown history line type")?;
+                out.torn = true;
+                break;
+            }
+        }
+    }
+    out.staged = buffer;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dima_graph::gen::structured;
+
+    fn svc(protocol: ServeProtocol, seed: u64) -> ColoringService {
+        let g = structured::path(8);
+        let mut s = ColoringService::new(&g, ServiceConfig::new(protocol, seed)).unwrap();
+        s.run_to_quiescence(s.tick_budget()).unwrap();
+        s
+    }
+
+    fn waves() -> Vec<Vec<ChurnEvent>> {
+        use ChurnEvent::*;
+        vec![
+            vec![LinkUp(VertexId(0), VertexId(2)), LinkDown(VertexId(4), VertexId(5))],
+            vec![NodeLeave(VertexId(7)), LinkUp(VertexId(2), VertexId(5))],
+            vec![NodeJoin(VertexId(7)), LinkUp(VertexId(0), VertexId(7))],
+        ]
+    }
+
+    /// Drive `svc` through `waves`, journaling exactly as the serve CLI
+    /// does (event lines on accept, the commit marker before commit).
+    fn drive(s: &mut ColoringService, waves: &[Vec<ChurnEvent>], journal: &mut String) {
+        for wave in waves {
+            for ev in wave {
+                s.stage(*ev).unwrap();
+                journal.push_str(&ColoringService::journal_event_line(ev));
+            }
+            let (seq, round) = s.next_commit().unwrap();
+            journal.push_str(&ColoringService::journal_commit_line(
+                s.history_len() + 1,
+                seq,
+                round,
+            ));
+            assert_eq!(s.commit(), Some((seq, round)));
+            s.run_to_quiescence(s.tick_budget()).unwrap();
+        }
+    }
+
+    fn assert_proper(s: &ColoringService) {
+        let coloring = s.coloring();
+        for e in &coloring {
+            assert!(e.forward.is_some(), "uncolored edge {}-{}", e.u, e.v);
+            if s.config().protocol == ServeProtocol::EdgeColoring {
+                assert_eq!(e.forward, e.reverse, "endpoint disagreement on {}-{}", e.u, e.v);
+            }
+        }
+        // Edge coloring propriety: a node's incident colors are distinct.
+        if s.config().protocol == ServeProtocol::EdgeColoring {
+            let mut per_node: HashMap<u32, Vec<Color>> = HashMap::new();
+            for e in &coloring {
+                per_node.entry(e.u.0).or_default().push(e.forward.unwrap());
+                per_node.entry(e.v.0).or_default().push(e.forward.unwrap());
+            }
+            for (node, mut colors) in per_node {
+                let len = colors.len();
+                colors.sort();
+                colors.dedup();
+                assert_eq!(colors.len(), len, "node {node} repeats a color");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_service_colors_the_initial_graph() {
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let s = svc(protocol, 7);
+            assert!(s.is_settled());
+            assert_proper(&s);
+            let st = s.status();
+            assert_eq!(st.nodes, 8);
+            assert_eq!(st.alive, 8);
+            assert_eq!(st.batches, 0);
+            assert!(st.colors_used >= 2);
+        }
+    }
+
+    #[test]
+    fn feed_rejections_are_structured_and_harmless() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 1);
+        let before = s.coloring_hash();
+        assert!(matches!(
+            s.stage(ChurnEvent::LinkUp(VertexId(0), VertexId(99))),
+            Err(ServiceError::Feed(FeedError::UnknownNode { .. }))
+        ));
+        assert!(matches!(
+            s.stage(ChurnEvent::LinkUp(VertexId(0), VertexId(1))),
+            Err(ServiceError::Feed(FeedError::DuplicateLink { .. }))
+        ));
+        assert_eq!(s.staged(), 0);
+        assert_eq!(s.coloring_hash(), before);
+        // Queries validate too.
+        assert!(matches!(
+            s.edge_color(VertexId(0), VertexId(3)),
+            Err(ServiceError::NoSuchEdge { .. })
+        ));
+        assert!(matches!(s.node_palette(VertexId(50)), Err(ServiceError::NoSuchNode { .. })));
+    }
+
+    #[test]
+    fn batches_commit_and_reports_accumulate() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 3);
+        let mut journal = String::new();
+        drive(&mut s, &waves(), &mut journal);
+        assert_eq!(s.batches_committed(), 3);
+        assert_proper(&s);
+        let reports = s.take_reports();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.repair_rounds >= 1);
+        }
+        // The new edge 0-2 got a color: at least one change in batch 1.
+        assert!(reports[0].colors_changed >= 1);
+        assert!(s.take_reports().is_empty());
+        // Edge queries see the churned topology.
+        assert!(s.edge_color(VertexId(0), VertexId(2)).unwrap().0.is_some());
+        assert!(matches!(
+            s.edge_color(VertexId(4), VertexId(5)),
+            Err(ServiceError::NoSuchEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let mut s = svc(protocol, 11);
+            let mut journal = String::new();
+            drive(&mut s, &waves(), &mut journal);
+            let snap = s.snapshot_text();
+            let (r, report) = ColoringService::restore(&snap, None).unwrap();
+            assert_eq!(report.snapshot_entries, 3);
+            assert_eq!(report.tail_entries, 0);
+            assert_eq!(r.coloring_hash(), s.coloring_hash());
+            assert_eq!(r.coloring(), s.coloring());
+            assert_eq!(r.round(), s.round());
+            assert_eq!(r.history(), s.history());
+        }
+    }
+
+    #[test]
+    fn journal_tail_recovers_post_snapshot_batches() {
+        let all = waves();
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let mut s = svc(protocol, 23);
+            let mut journal = String::new();
+            drive(&mut s, &all[..1], &mut journal);
+            let snap = s.snapshot_text();
+            // Rotated journal: only the tail since the snapshot.
+            let mut tail = String::new();
+            drive(&mut s, &all[1..], &mut tail);
+            let (r, rep) = ColoringService::restore(&snap, Some(&tail)).unwrap();
+            assert_eq!(rep.tail_entries, 2);
+            assert_eq!(r.coloring_hash(), s.coloring_hash());
+            assert_eq!(r.history(), s.history());
+            // Unrotated journal: the full log dedupes against the
+            // snapshot by history index.
+            journal.push_str(&tail);
+            let (r2, rep2) = ColoringService::restore(&snap, Some(&journal)).unwrap();
+            assert_eq!(rep2.tail_entries, 2);
+            assert_eq!(r2.coloring_hash(), s.coloring_hash());
+        }
+    }
+
+    #[test]
+    fn journal_tolerates_torn_tail_and_restages_events() {
+        let all = waves();
+        let mut s = svc(ServeProtocol::EdgeColoring, 5);
+        let mut journal = String::new();
+        drive(&mut s, &all[..1], &mut journal);
+        let snap = s.snapshot_text();
+        let mut tail = String::new();
+        drive(&mut s, &all[1..2], &mut tail);
+        // Accepted-but-uncommitted events, then a torn final line.
+        let ev = ChurnEvent::LinkUp(VertexId(1), VertexId(6));
+        s.stage(ev).unwrap();
+        tail.push_str(&ColoringService::journal_event_line(&ev));
+        tail.push_str("{\"type\":\"ev");
+        let (r, rep) = ColoringService::restore(&snap, Some(&tail)).unwrap();
+        assert_eq!(rep.tail_entries, 1);
+        assert_eq!(rep.staged, 1);
+        assert!(rep.torn_tail);
+        assert_eq!(r.staged(), 1);
+        // Committing the restaged event lands on the same trajectory.
+        let mut live = s;
+        let (ls, lr) = live.next_commit().unwrap();
+        let mut restored = r;
+        assert_eq!(restored.next_commit(), Some((ls, lr)));
+        live.commit();
+        live.run_to_quiescence(live.tick_budget()).unwrap();
+        restored.commit();
+        restored.run_to_quiescence(restored.tick_budget()).unwrap();
+        assert_eq!(restored.coloring_hash(), live.coloring_hash());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_panicked() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 9);
+        let mut journal = String::new();
+        drive(&mut s, &waves(), &mut journal);
+        let snap = s.snapshot_text();
+        // Bit flip in the middle.
+        let mut flipped = snap.clone().into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] = flipped[mid].wrapping_add(1);
+        let flipped = String::from_utf8_lossy(&flipped).into_owned();
+        assert!(matches!(
+            ColoringService::restore(&flipped, None),
+            Err(ServiceError::CrcMismatch { .. })
+        ));
+        // Truncation drops the trailer.
+        let truncated = &snap[..snap.len() * 2 / 3];
+        assert!(ColoringService::restore(truncated, None).is_err());
+        // Garbage is structurally rejected.
+        assert!(ColoringService::restore("not a snapshot\n", None).is_err());
+        assert!(ColoringService::restore("", None).is_err());
+    }
+
+    #[test]
+    fn recompute_matches_live_on_both_engines() {
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let mut s = svc(protocol, 41);
+            let mut journal = String::new();
+            drive(&mut s, &waves(), &mut journal);
+            let live = s.coloring();
+            let seq = s.recompute(Engine::Sequential).unwrap();
+            let par = s.recompute(Engine::Parallel { threads: 2 }).unwrap();
+            assert_eq!(seq, live, "{protocol}: sequential recompute diverged");
+            assert_eq!(par, live, "{protocol}: parallel recompute diverged");
+        }
+    }
+
+    #[test]
+    fn forced_recolor_is_recorded_and_replays() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 13);
+        let mut journal = String::new();
+        let all = waves();
+        drive(&mut s, &all[..1], &mut journal);
+        let snap = s.snapshot_text();
+        let mut tail = String::new();
+        // Commit a batch, escalate mid-repair, then settle.
+        for ev in &all[1] {
+            s.stage(*ev).unwrap();
+            tail.push_str(&ColoringService::journal_event_line(ev));
+        }
+        let (seq, round) = s.next_commit().unwrap();
+        tail.push_str(&ColoringService::journal_commit_line(s.history_len() + 1, seq, round));
+        s.commit();
+        s.tick().unwrap();
+        s.tick().unwrap();
+        let rec_round = s.force_recolor();
+        tail.push_str(&ColoringService::journal_recolor_line(s.history_len(), rec_round));
+        s.run_to_quiescence(s.tick_budget()).unwrap();
+        assert_eq!(s.escalations(), 1);
+        assert_proper(&s);
+        let (r, rep) = ColoringService::restore(&snap, Some(&tail)).unwrap();
+        assert_eq!(rep.tail_entries, 2);
+        assert_eq!(r.escalations(), 1);
+        assert_eq!(r.coloring_hash(), s.coloring_hash());
+        assert_eq!(r.history(), s.history());
+        // Escalated histories refuse the batch-engine cross-check.
+        assert!(s.recompute(Engine::Sequential).is_err());
+    }
+
+    #[test]
+    fn hair_trigger_watchdog_escalates_but_still_converges() {
+        // A 1-tick watchdog fires on the very first stalled tick (the
+        // opening invite round commits nothing), so escalations are
+        // guaranteed — and the exponential backoff guarantees the
+        // repair still converges instead of livelocking. Two runs see
+        // identical tick sequences, so they escalate identically.
+        let g = structured::cycle(6);
+        let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 2);
+        cfg.watchdog_ticks = 1;
+        let run = |cfg: ServiceConfig| {
+            let mut s = ColoringService::new(&g, cfg).unwrap();
+            s.run_to_quiescence(s.tick_budget()).unwrap();
+            assert_proper(&s);
+            (s.escalations(), s.coloring_hash())
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert!(a.0 >= 1, "hair-trigger watchdog never fired");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn service_config_rejects_incompatible_modes() {
+        let g = structured::path(4);
+        let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 1);
+        cfg.coloring.engine = Engine::Parallel { threads: 2 };
+        assert!(matches!(ColoringService::new(&g, cfg), Err(ServiceError::Config(_))));
+        let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 1);
+        cfg.coloring.faults = FaultPlan::uniform(0.5);
+        assert!(matches!(ColoringService::new(&g, cfg), Err(ServiceError::Config(_))));
+    }
+}

@@ -191,7 +191,7 @@ pub struct StrongColoringNode {
 const NO_ARC: ArcId = ArcId(u32::MAX);
 
 impl StrongColoringNode {
-    fn new(seed: &NodeSeed<'_>, d: &Digraph, cfg: &ColoringConfig) -> Self {
+    pub(crate) fn new(seed: &NodeSeed<'_>, d: &Digraph, cfg: &ColoringConfig) -> Self {
         let me = seed.node;
         // Ports without an arc in `d` can only come from churn (a join
         // node attached to post-batch links): map them to the sentinel.
@@ -230,6 +230,20 @@ impl StrongColoringNode {
 
     fn port_of(&self, v: VertexId) -> Option<usize> {
         self.neighbors.binary_search(&v).ok()
+    }
+
+    /// Channel committed on the out-arc `me → v`, if any — the query
+    /// side of the long-running service.
+    pub(crate) fn out_color_toward(&self, v: VertexId) -> Option<Color> {
+        self.port_of(v).and_then(|p| self.out_color[p])
+    }
+
+    /// Every channel committed on this node's own arcs (both
+    /// directions), ascending.
+    pub(crate) fn palette(&self) -> Vec<Color> {
+        let (out, inc) = self.own_used_split();
+        let set: ColorSet = out.into_iter().chain(inc).collect();
+        set.iter().collect()
     }
 
     fn is_finished(&self) -> bool {

@@ -11,27 +11,34 @@
 //! bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH]
 //! ```
 
-use dima_core::{color_edges, ColoringConfig, Engine, Transport};
+use dima_core::{
+    color_edges, ColoringConfig, ColoringService, Engine, ServeProtocol, ServiceConfig, Transport,
+};
 use dima_graph::gen::GraphFamily;
-use dima_graph::Graph;
+use dima_graph::{Graph, VertexId};
 use dima_sim::fault::FaultPlan;
-use dima_sim::telemetry::{TraceMeta, TraceWriter};
+use dima_sim::telemetry::{BatchSample, SloRecorder, TraceMeta, TraceWriter};
 use dima_sim::{
-    run_parallel, run_sequential, run_sequential_traced, EngineConfig, NodeSeed, NodeStatus,
-    Protocol, RoundCtx, Shared, Topology,
+    run_parallel, run_sequential, run_sequential_traced, ChurnEvent, EngineConfig, NodeSeed,
+    NodeStatus, Protocol, RoundCtx, Shared, Topology,
 };
 use rand::rngs::SmallRng;
+use rand::Rng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// One measured scenario: name plus wall-clock stats over `reps` runs.
+/// The optional percentile pair carries per-batch latency for service
+/// scenarios (`serve_slo`); plain throughput scenarios leave it unset.
 struct Measurement {
     name: &'static str,
     reps: usize,
     mean_ms: f64,
     min_ms: f64,
     max_ms: f64,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
 }
 
 fn measure(name: &'static str, reps: usize, mut run: impl FnMut(u64)) -> Measurement {
@@ -48,7 +55,15 @@ fn measure(name: &'static str, reps: usize, mut run: impl FnMut(u64)) -> Measure
         max = max.max(t);
         sum += t;
     }
-    let m = Measurement { name, reps, mean_ms: sum / reps as f64, min_ms: min, max_ms: max };
+    let m = Measurement {
+        name,
+        reps,
+        mean_ms: sum / reps as f64,
+        min_ms: min,
+        max_ms: max,
+        p50_ms: None,
+        p99_ms: None,
+    };
     eprintln!(
         "  {:<24} mean {:9.3} ms  (min {:.3}, max {:.3}, reps {})",
         m.name, m.mean_ms, m.min_ms, m.max_ms, m.reps
@@ -213,6 +228,79 @@ fn coloring_scenario(
     })
 }
 
+/// The serve-mode SLO scenario: a [`ColoringService`] absorbing a fixed
+/// churn session (batches of validated random events, each committed at
+/// quiescence and repaired to convergence). `mean_ms` is the whole
+/// session; `p50_ms`/`p99_ms` are the per-batch repair latencies the
+/// service plane is judged on.
+fn serve_slo_scenario(
+    name: &'static str,
+    g: &Graph,
+    batches: usize,
+    events_per_batch: usize,
+    reps: usize,
+) -> Measurement {
+    let n = g.num_vertices() as u32;
+    let mut recorder = SloRecorder::new();
+    let mut m = measure(name, reps, |rep| {
+        let cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 0x5E54E + rep);
+        let mut svc = ColoringService::new(g, cfg).expect("service construction");
+        svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+        let mut rng = SmallRng::seed_from_u64(0xC4A5 + rep);
+        let mut slo = SloRecorder::new();
+        for _ in 0..batches {
+            let mut staged = 0;
+            let mut attempts = 0;
+            while staged < events_per_batch && attempts < 200 {
+                attempts += 1;
+                let ev = match rng.random_range(0..4u32) {
+                    0 => ChurnEvent::LinkUp(
+                        VertexId(rng.random_range(0..n)),
+                        VertexId(rng.random_range(0..n)),
+                    ),
+                    1 => ChurnEvent::LinkDown(
+                        VertexId(rng.random_range(0..n)),
+                        VertexId(rng.random_range(0..n)),
+                    ),
+                    2 => ChurnEvent::NodeLeave(VertexId(rng.random_range(0..n))),
+                    _ => ChurnEvent::NodeJoin(VertexId(rng.random_range(0..n))),
+                };
+                if svc.stage(ev).is_ok() {
+                    staged += 1;
+                }
+            }
+            let t0 = Instant::now();
+            svc.commit().expect("staged events commit");
+            svc.run_to_quiescence(svc.tick_budget()).expect("repair converges");
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            for r in svc.take_reports() {
+                slo.batch(BatchSample {
+                    seq: r.seq,
+                    events: r.events as u64,
+                    repair_rounds: r.repair_rounds,
+                    wall_ms,
+                    colors_changed: r.colors_changed,
+                });
+            }
+        }
+        black_box(svc.coloring_hash());
+        recorder = slo;
+    });
+    let report = recorder.report();
+    m.p50_ms = Some(report.p50_wall_ms);
+    m.p99_ms = Some(report.p99_wall_ms);
+    eprintln!(
+        "  {:<24} batch p50 {:.3} ms  p99 {:.3} ms  (p50 {} / p99 {} rounds, amp {:.2})",
+        "",
+        report.p50_wall_ms,
+        report.p99_wall_ms,
+        report.p50_repair_rounds,
+        report.p99_repair_rounds,
+        report.churn_amplification
+    );
+    m
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -221,10 +309,15 @@ fn scenarios_json(ms: &[Measurement]) -> String {
     let rows: Vec<String> = ms
         .iter()
         .map(|m| {
-            format!(
-                "{{\"name\":\"{}\",\"reps\":{},\"mean_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}}}",
+            let mut row = format!(
+                "{{\"name\":\"{}\",\"reps\":{},\"mean_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}",
                 m.name, m.reps, m.mean_ms, m.min_ms, m.max_ms
-            )
+            );
+            if let (Some(p50), Some(p99)) = (m.p50_ms, m.p99_ms) {
+                row.push_str(&format!(",\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3}"));
+            }
+            row.push('}');
+            row
         })
         .collect();
     format!("[{}]", rows.join(","))
@@ -358,6 +451,10 @@ fn main() {
             Some(4),
             reps,
         ));
+    }
+    if want("serve_slo") {
+        let (batches, events) = if quick { (8, 4) } else { (24, 8) };
+        results.push(serve_slo_scenario("serve_slo", &g, batches, events, reps));
     }
     if want("reliable_loss_seq") {
         results.push(coloring_scenario(

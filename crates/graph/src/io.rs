@@ -20,8 +20,21 @@ pub fn to_edge_list(g: &Graph) -> String {
     out
 }
 
+/// Hard cap on the vertex count [`from_edge_list`] will accept, declared
+/// or inferred. Edge lists come from untrusted files; a header like
+/// `n 18446744073709551615` must fail cleanly instead of driving an
+/// allocation. `2^27` vertices is ~0.5 GiB of builder adjacency before a
+/// single edge lands — far beyond any workload this code base targets.
+pub const MAX_EDGE_LIST_VERTICES: usize = 1 << 27;
+
 /// Parse an edge list produced by [`to_edge_list`] (or any whitespace
 /// separated `u v` pairs).
+///
+/// Input is treated as untrusted: the `n` header is parsed and bounded by
+/// [`MAX_EDGE_LIST_VERTICES`] *before* any allocation is sized from it,
+/// and every endpoint must lie below the declared count. All rejections
+/// are structured [`GraphError`]s carrying the offending line — never a
+/// panic, never an unchecked allocation.
 pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut declared_n: Option<usize> = None;
@@ -37,10 +50,25 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
                 line: lineno + 1,
                 message: "expected vertex count after 'n'".into(),
             })?;
-            declared_n = Some(val.parse().map_err(|_| GraphError::Parse {
+            let n: usize = val.parse().map_err(|_| GraphError::Parse {
                 line: lineno + 1,
                 message: format!("bad vertex count '{val}'"),
-            })?);
+            })?;
+            if n > MAX_EDGE_LIST_VERTICES {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "vertex count {n} exceeds the limit of {MAX_EDGE_LIST_VERTICES}"
+                    ),
+                });
+            }
+            if declared_n.is_some() {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: "duplicate 'n' header".into(),
+                });
+            }
+            declared_n = Some(n);
             continue;
         }
         let u: u32 = first.parse().map_err(|_| GraphError::Parse {
@@ -59,6 +87,25 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
             return Err(GraphError::Parse {
                 line: lineno + 1,
                 message: "trailing tokens after edge".into(),
+            });
+        }
+        // Endpoints must respect a declared header (checked per line so
+        // the error names the offending line) and the global cap (an
+        // inferred `1 + max id` must not overflow the limit either).
+        let hi = u.max(v) as usize;
+        if let Some(n) = declared_n {
+            if hi >= n {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("vertex id {hi} out of range: header declares n {n}"),
+                });
+            }
+        } else if hi >= MAX_EDGE_LIST_VERTICES {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!(
+                    "vertex id {hi} exceeds the limit of {MAX_EDGE_LIST_VERTICES} vertices"
+                ),
             });
         }
         pairs.push((u, v));
@@ -162,6 +209,29 @@ mod tests {
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
         let err = from_edge_list("n x\n").unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn hostile_headers_are_rejected_before_allocation() {
+        // Overflowing and oversized counts fail with a parse error (and
+        // in particular must not size an allocation first).
+        for bad in ["n 18446744073709551616", "n 99999999999999999999", "n 134217729"] {
+            let err = from_edge_list(bad).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{bad}: {err:?}");
+        }
+        let err = from_edge_list("n 3\nn 4\n0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected_with_line_numbers() {
+        let err = from_edge_list("n 3\n0 1\n1 3\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }), "{err:?}");
+        let err = from_edge_list("n 2\n4294967295 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err:?}");
+        // Without a header the global cap still applies to raw ids.
+        let err = from_edge_list("0 200000000\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err:?}");
     }
 
     #[test]

@@ -176,6 +176,20 @@ pub struct ChurnBatch {
 }
 
 impl ChurnBatch {
+    /// Compile a batch firing at `round` from two consecutive topology
+    /// states: the engine-facing joins/leaves/changes are the net diff
+    /// `prev → now`, and the snapshot fields are taken from `now`.
+    /// [`ChurnSchedule::generate`] and the live event feed of
+    /// [`EventFeed`] both funnel through here, so a batch built from
+    /// replayed events is field-for-field the batch the generator would
+    /// have produced.
+    pub fn compile(round: u64, events: Vec<ChurnEvent>, prev: &DynGraph, now: &DynGraph) -> Self {
+        let (joins, leaves, changes) = diff(prev, now);
+        let graph = now.snapshot();
+        let topo = Topology::from_graph(&graph);
+        ChurnBatch { round, events, graph, topo, joins, leaves, changes }
+    }
+
     /// Number of edges touched by this batch's net diff (an edge counted
     /// once even though it appears in both endpoints' changes).
     pub fn dirty_edges(&self) -> usize {
@@ -207,6 +221,18 @@ impl ChurnSchedule {
     /// The empty schedule — running under it is exactly a static run.
     pub fn empty() -> Self {
         ChurnSchedule { batches: Vec::new() }
+    }
+
+    /// Assemble a schedule from precompiled batches (e.g. the committed
+    /// history of a live [`EventFeed`] session, re-run through the batch
+    /// engines for a cross-engine check). Batch rounds must be strictly
+    /// increasing — the engines assume it.
+    pub fn from_batches(batches: Vec<ChurnBatch>) -> Self {
+        assert!(
+            batches.windows(2).all(|w| w[0].round < w[1].round),
+            "batch rounds must be strictly increasing"
+        );
+        ChurnSchedule { batches }
     }
 
     /// The compiled batches, in firing order.
@@ -295,10 +321,7 @@ impl ChurnSchedule {
                     _ => gen_node_leave(&mut rng, &mut dg, &mut events),
                 }
             }
-            let (joins, leaves, changes) = diff(&prev, &dg);
-            let graph = dg.snapshot();
-            let topo = Topology::from_graph(&graph);
-            batches.push(ChurnBatch { round, events, graph, topo, joins, leaves, changes });
+            batches.push(ChurnBatch::compile(round, events, &prev, &dg));
             prev = dg.clone();
         }
         ChurnSchedule { batches }
@@ -414,6 +437,176 @@ fn set_minus(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect()
 }
 
+/// Why a live topology event was rejected by [`EventFeed::stage`].
+///
+/// Rejection is a *validation* outcome, not a failure: the feed's graph
+/// state is untouched and later events are unaffected — exactly what a
+/// long-running ingest loop needs to survive malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedError {
+    /// An endpoint is outside the fixed vertex universe `0..n`.
+    UnknownNode {
+        /// The offending vertex id.
+        node: VertexId,
+        /// The universe size.
+        num_vertices: usize,
+    },
+    /// A link event named the same vertex twice.
+    SelfLoop(VertexId),
+    /// `LinkUp` between endpoints that are already linked.
+    DuplicateLink(VertexId, VertexId),
+    /// `LinkDown` on a pair with no link between them.
+    NoSuchLink(VertexId, VertexId),
+    /// A link event touched a departed node (rejoin it first).
+    EndpointDown(VertexId),
+    /// `NodeJoin` for a node that is already alive.
+    AlreadyAlive(VertexId),
+    /// `NodeLeave` for a node that is already gone.
+    AlreadyGone(VertexId),
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::UnknownNode { node, num_vertices } => {
+                write!(f, "unknown node {}: universe has {num_vertices} vertices", node.0)
+            }
+            FeedError::SelfLoop(v) => write!(f, "self-loop on node {}", v.0),
+            FeedError::DuplicateLink(u, v) => {
+                write!(f, "duplicate link-up: {}-{} already linked", u.0, v.0)
+            }
+            FeedError::NoSuchLink(u, v) => {
+                write!(f, "link-down on absent link {}-{}", u.0, v.0)
+            }
+            FeedError::EndpointDown(v) => {
+                write!(f, "endpoint {} has left the network", v.0)
+            }
+            FeedError::AlreadyAlive(v) => write!(f, "node {} is already alive", v.0),
+            FeedError::AlreadyGone(v) => write!(f, "node {} has already left", v.0),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// A live alternative to [`ChurnSchedule::generate`]: topology events
+/// arrive one at a time (from a socket, a file, an operator), each is
+/// validated against the current graph state, and accepted events
+/// accumulate until [`EventFeed::commit`] compiles them into a
+/// [`ChurnBatch`] for the engines — byte-for-byte the batch a generated
+/// schedule would carry for the same mutations.
+///
+/// Inconsistent events ([`FeedError`]) are rejected without touching the
+/// graph, so one bad line cannot poison the feed. The vertex universe is
+/// fixed at construction (`0..n`, like everywhere else in the simulator);
+/// `NodeJoin`/`NodeLeave` toggle liveness within it.
+#[derive(Clone, Debug)]
+pub struct EventFeed {
+    /// Graph state including every staged (accepted, uncommitted) event.
+    now: DynGraph,
+    /// Graph state as of the last committed batch.
+    prev: DynGraph,
+    staged: Vec<ChurnEvent>,
+}
+
+impl EventFeed {
+    /// Start a feed from the initial topology `g0`.
+    pub fn new(g0: &Graph) -> Self {
+        let dg = DynGraph::from_graph(g0);
+        EventFeed { now: dg.clone(), prev: dg, staged: Vec::new() }
+    }
+
+    /// Number of staged events awaiting [`EventFeed::commit`].
+    pub fn staged(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// The staged events themselves, in acceptance order.
+    pub fn staged_events(&self) -> &[ChurnEvent] {
+        &self.staged
+    }
+
+    /// The graph as of the last committed batch.
+    pub fn committed_graph(&self) -> Graph {
+        self.prev.snapshot()
+    }
+
+    /// Current (staged-inclusive) liveness of `v`.
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        v.index() < self.now.num_vertices() && self.now.is_alive(v)
+    }
+
+    fn check_node(&self, v: VertexId) -> Result<(), FeedError> {
+        if v.index() >= self.now.num_vertices() {
+            return Err(FeedError::UnknownNode { node: v, num_vertices: self.now.num_vertices() });
+        }
+        Ok(())
+    }
+
+    /// Validate `ev` against the staged graph state and stage it.
+    /// Rejected events leave the feed untouched.
+    pub fn stage(&mut self, ev: ChurnEvent) -> Result<(), FeedError> {
+        match ev {
+            ChurnEvent::LinkUp(u, v) => {
+                self.check_node(u)?;
+                self.check_node(v)?;
+                if u == v {
+                    return Err(FeedError::SelfLoop(u));
+                }
+                for w in [u, v] {
+                    if !self.now.is_alive(w) {
+                        return Err(FeedError::EndpointDown(w));
+                    }
+                }
+                if !self.now.insert_edge(u, v) {
+                    return Err(FeedError::DuplicateLink(u.min(v), u.max(v)));
+                }
+                self.staged.push(ChurnEvent::LinkUp(u.min(v), u.max(v)));
+            }
+            ChurnEvent::LinkDown(u, v) => {
+                self.check_node(u)?;
+                self.check_node(v)?;
+                if u == v {
+                    return Err(FeedError::SelfLoop(u));
+                }
+                if !self.now.remove_edge(u, v) {
+                    return Err(FeedError::NoSuchLink(u.min(v), u.max(v)));
+                }
+                self.staged.push(ChurnEvent::LinkDown(u.min(v), u.max(v)));
+            }
+            ChurnEvent::NodeJoin(v) => {
+                self.check_node(v)?;
+                if !self.now.restore_vertex(v) {
+                    return Err(FeedError::AlreadyAlive(v));
+                }
+                self.staged.push(ChurnEvent::NodeJoin(v));
+            }
+            ChurnEvent::NodeLeave(v) => {
+                self.check_node(v)?;
+                if !self.now.is_alive(v) {
+                    return Err(FeedError::AlreadyGone(v));
+                }
+                self.now.remove_vertex(v);
+                self.staged.push(ChurnEvent::NodeLeave(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile the staged events into a [`ChurnBatch`] firing at `round`
+    /// and advance the committed state. Returns `None` when nothing is
+    /// staged (the engines never see empty batches from a feed).
+    pub fn commit(&mut self, round: u64) -> Option<ChurnBatch> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let events = std::mem::take(&mut self.staged);
+        let batch = ChurnBatch::compile(round, events, &self.prev, &self.now);
+        self.prev = self.now.clone();
+        Some(batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +709,68 @@ mod tests {
         assert!(ChurnSchedule::generate(&g, &ChurnPlan { batches: 0, ..plan(1, 0.5) }).is_empty());
         assert!(ChurnSchedule::generate(&Graph::empty(0), &plan(1, 0.5)).is_empty());
         assert!(ChurnSchedule::empty().final_graph().is_none());
+    }
+
+    #[test]
+    fn feed_replays_generated_schedules_batch_for_batch() {
+        // Staging a generated schedule's events through the live feed
+        // must compile the very same batches the generator emitted.
+        let g = er(25, 50, 13);
+        let schedule =
+            ChurnSchedule::generate(&g, &ChurnPlan { batches: 5, ..ChurnPlan::new(3, 0.3) });
+        let mut feed = EventFeed::new(&g);
+        for batch in schedule.batches() {
+            for &ev in &batch.events {
+                feed.stage(ev).expect("generated events are always consistent");
+            }
+            if batch.events.is_empty() {
+                assert!(feed.commit(batch.round).is_none());
+                continue;
+            }
+            let live = feed.commit(batch.round).expect("staged events present");
+            assert_eq!(live.round, batch.round);
+            assert_eq!(live.events, batch.events);
+            assert_eq!(live.joins, batch.joins);
+            assert_eq!(live.leaves, batch.leaves);
+            assert_eq!(live.changes, batch.changes);
+            assert_eq!(live.graph.num_edges(), batch.graph.num_edges());
+        }
+    }
+
+    #[test]
+    fn feed_rejects_inconsistent_events_without_poisoning_state() {
+        let g = structured::path(4); // 0-1-2-3
+        let mut feed = EventFeed::new(&g);
+        let v = |i| VertexId(i);
+        assert_eq!(
+            feed.stage(ChurnEvent::LinkUp(v(0), v(9))),
+            Err(FeedError::UnknownNode { node: v(9), num_vertices: 4 })
+        );
+        assert_eq!(feed.stage(ChurnEvent::LinkUp(v(2), v(2))), Err(FeedError::SelfLoop(v(2))));
+        assert_eq!(
+            feed.stage(ChurnEvent::LinkUp(v(1), v(0))),
+            Err(FeedError::DuplicateLink(v(0), v(1)))
+        );
+        assert_eq!(
+            feed.stage(ChurnEvent::LinkDown(v(0), v(3))),
+            Err(FeedError::NoSuchLink(v(0), v(3)))
+        );
+        assert_eq!(feed.stage(ChurnEvent::NodeJoin(v(2))), Err(FeedError::AlreadyAlive(v(2))));
+        // None of the rejections touched the graph or staged anything.
+        assert_eq!(feed.staged(), 0);
+        // A valid sequence still works afterwards.
+        feed.stage(ChurnEvent::NodeLeave(v(3))).unwrap();
+        assert_eq!(feed.stage(ChurnEvent::NodeLeave(v(3))), Err(FeedError::AlreadyGone(v(3))));
+        assert_eq!(feed.stage(ChurnEvent::LinkUp(v(2), v(3))), Err(FeedError::EndpointDown(v(3))));
+        feed.stage(ChurnEvent::LinkUp(v(0), v(2))).unwrap();
+        let batch = feed.commit(7).unwrap();
+        assert_eq!(batch.round, 7);
+        assert_eq!(batch.events.len(), 2);
+        assert_eq!(batch.leaves, vec![v(3)]);
+        assert!(batch.graph.has_edge(v(0), v(2)));
+        // Committed state advanced; staging resumes from it.
+        assert_eq!(feed.staged(), 0);
+        assert_eq!(feed.committed_graph().num_edges(), batch.graph.num_edges());
     }
 
     #[test]

@@ -7,15 +7,14 @@
 //! bit-identical — and so is a [`crate::par::run_parallel`] run, which the
 //! test suites verify.
 
-use dima_graph::VertexId;
-use dima_telemetry::{Event, KindTable, KindTotals, NoopTracer, ProfileScope, TraceHandle, Tracer};
+use dima_telemetry::{NoopTracer, Tracer};
 
 use crate::churn::ChurnSchedule;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
-use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
-use crate::rng::node_rng;
+use crate::protocol::{NodeSeed, Protocol};
 use crate::stats::{RoundStats, RunStats};
+use crate::stepper::Stepper;
 use crate::topology::Topology;
 
 /// Engine configuration shared by both engines.
@@ -225,7 +224,7 @@ pub fn run_sequential_churn_observed_traced<P, F, O, T>(
     topo: &Topology,
     cfg: &EngineConfig,
     schedule: &ChurnSchedule,
-    mut factory: F,
+    factory: F,
     mut observer: O,
     tracer: &mut T,
 ) -> Result<RunOutcome<P>, SimError>
@@ -235,371 +234,52 @@ where
     O: FnMut(RoundView<'_, P>),
     T: Tracer,
 {
-    let n = topo.num_nodes();
-    let mut protocols: Vec<P> = (0..n)
-        .map(|i| {
-            let node = VertexId(i as u32);
-            factory(NodeSeed { node, neighbors: topo.neighbors(node) })
-        })
-        .collect();
-    let mut rngs: Vec<_> = (0..n).map(|i| node_rng(cfg.seed, i as u32)).collect();
-    let mut done = vec![false; n];
-    let mut done_count = 0usize;
-
-    // Crash fates are pure functions of (seed, node): both engines agree
-    // on them without any shared state.
-    let crash_round: Vec<Option<u64>> =
-        (0..n).map(|i| cfg.faults.crashed_at(cfg.seed, i as u32)).collect();
-    let mut crashed = vec![false; n];
-    let mut crashed_count = 0usize;
-
-    // The message plane: two per-node mailbox arrays alternate roles each
-    // round — nodes read this round's inboxes as slices of `cur` while
-    // next round's deliveries accumulate in `next`; the round boundary
-    // clears `cur` (keeping every mailbox's capacity) and swaps the
-    // buffers, so no envelope is ever moved twice. Stepping nodes in id
-    // order means each mailbox fills already sorted by sender — the
-    // documented delivery order — with no sorting anywhere.
-    let mut cur: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut next: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-    // Nodes whose arena slice a churn batch invalidated this round
-    // (leavers park with a cleared inbox, joiners start fresh).
-    let mut suppress = vec![false; n];
-    let mut suppressed_now: Vec<usize> = Vec::new();
-    let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
-
-    let mut stats =
-        RunStats { per_round: cfg.collect_round_stats.then(Vec::new), ..Default::default() };
-    // Per-message-kind counters, maintained only when a real tracer is
-    // attached (`T::ENABLED` is a compile-time constant: with the
-    // default no-op tracer every telemetry branch below folds away).
-    let mut kinds: Option<KindTable> = T::ENABLED.then(KindTable::new);
-
+    let mut stepper = Stepper::new(topo, cfg, factory);
+    let n = stepper.num_nodes();
     if n == 0 {
-        return Ok(RunOutcome { nodes: protocols, stats, crashed });
+        return Ok(stepper.into_outcome(0, 0));
     }
-
-    // Done-ness takes effect at round boundaries only (`newly_done` is
-    // merged after the node loop): whether a round-`r` delivery reaches a
-    // node must not depend on the order nodes are stepped in, or the
-    // parallel engine could not reproduce this engine's results. The same
-    // holds for wake-ups (`woken`): a parked node that receives a
-    // wake-class message ([`Protocol::wakes`]) this round re-enters at
-    // the next round boundary, with the message in its inbox.
-    let mut newly_done: Vec<usize> = Vec::new();
-    let mut woken: Vec<usize> = Vec::new();
-    // The topology in force; batches swap it for their snapshot.
-    let mut topo = topo;
     let mut next_batch = 0usize;
-    let mut round: u64 = 0;
-    let mut executed: u64 = 0;
-    while executed < cfg.max_rounds {
-        executed += 1;
-        let churn_scope = ProfileScope::start(cfg.profile);
-        if let Some(batch) = schedule.batches().get(next_batch) {
-            if batch.round == round {
-                if T::ENABLED {
-                    tracer.emit(Event::Churn {
-                        round,
-                        joins: batch.joins.len() as u32,
-                        leaves: batch.leaves.len() as u32,
-                        changes: batch.changes.len() as u32,
-                    });
-                }
-                for &v in &batch.leaves {
-                    let i = v.index();
-                    if crashed[i] {
-                        continue;
-                    }
-                    if !done[i] {
-                        done[i] = true;
-                        done_count += 1;
-                    }
-                    if !suppress[i] {
-                        suppress[i] = true;
-                        suppressed_now.push(i);
-                    }
-                }
-                for &v in &batch.joins {
-                    let i = v.index();
-                    if crashed[i] {
-                        continue;
-                    }
-                    protocols[i] =
-                        factory(NodeSeed { node: v, neighbors: batch.topo.neighbors(v) });
-                    if done[i] {
-                        done[i] = false;
-                        done_count -= 1;
-                    }
-                    if !suppress[i] {
-                        suppress[i] = true;
-                        suppressed_now.push(i);
-                    }
-                }
-                for (v, change) in &batch.changes {
-                    let i = v.index();
-                    if crashed[i] {
-                        continue;
-                    }
-                    let status = protocols[i].on_topology_change(
-                        NodeSeed { node: *v, neighbors: batch.topo.neighbors(*v) },
-                        change,
-                    );
-                    match status {
-                        NodeStatus::Active if done[i] => {
-                            done[i] = false;
-                            done_count -= 1;
-                        }
-                        NodeStatus::Done if !done[i] => {
-                            done[i] = true;
-                            done_count += 1;
-                        }
-                        _ => {}
-                    }
-                }
-                topo = &batch.topo;
-                next_batch += 1;
-            }
+    while stepper.executed() < cfg.max_rounds {
+        let batch = schedule.batches().get(next_batch).filter(|b| b.round == stepper.round());
+        if batch.is_some() {
+            next_batch += 1;
         }
-        churn_scope.stop_into(&mut stats.phase_nanos.churn);
-        let step_scope = ProfileScope::start(cfg.profile);
-        let mut sent = 0u64;
-        let mut delivered = 0u64;
-        let mut active = 0usize;
-        newly_done.clear();
-        woken.clear();
-        for i in 0..n {
-            if done[i] || crashed[i] {
-                continue;
+        let rs = stepper.tick(batch, tracer)?;
+        observer(stepper.view(rs));
+        if stepper.is_quiescent() {
+            if next_batch == schedule.len() {
+                return Ok(
+                    stepper.into_outcome(schedule.len() as u64, schedule.total_events() as u64)
+                );
             }
-            if crash_round[i].is_some_and(|cr| round >= cr) {
-                crashed[i] = true;
-                crashed_count += 1;
-                continue;
-            }
-            active += 1;
-            let node = VertexId(i as u32);
-            outbox.clear();
-            let inbox: &[Envelope<P::Msg>] = if suppress[i] { &[] } else { &cur[i] };
-            let status = {
-                let trace = if T::ENABLED && tracer.sample(i as u32) {
-                    TraceHandle::to(&mut *tracer)
-                } else {
-                    TraceHandle::none()
-                };
-                let mut ctx = RoundCtx {
-                    node,
-                    round,
-                    neighbors: topo.neighbors(node),
-                    inbox,
-                    outbox: &mut outbox,
-                    rng: &mut rngs[i],
-                    trace,
-                };
-                protocols[i].on_round(&mut ctx)
-            };
-            // Route this node's outbox: a unicast payload moves straight
-            // into its envelope, a broadcast payload is cloned once per
-            // recipient — a refcount bump when the protocol wraps heavy
-            // payloads in [`crate::Shared`].
-            for (k, (target, msg)) in outbox.drain(..).enumerate() {
-                sent += 1;
-                let mut kind_row: Option<&mut KindTotals> =
-                    kinds.as_mut().map(|t| t.row(P::kind_of(&msg)));
-                match target {
-                    Target::Unicast(to) => {
-                        if cfg.validate_sends && !topo.are_neighbors(node, to) {
-                            return Err(SimError::NotANeighbor { from: node, to });
-                        }
-                        let wakes = P::wakes(&msg);
-                        let copies = deliver(
-                            cfg,
-                            round,
-                            node,
-                            to,
-                            k,
-                            &done,
-                            wakes,
-                            &crash_round,
-                            &mut stats,
-                            kind_row,
-                        );
-                        if copies > 0 && done[to.index()] {
-                            woken.push(to.index());
-                        }
-                        delivered += u64::from(copies);
-                        if copies == 2 {
-                            next[to.index()].push(Envelope::new(node, msg.clone()));
-                        }
-                        if copies > 0 {
-                            next[to.index()].push(Envelope::new(node, msg));
-                        }
-                    }
-                    Target::Broadcast => {
-                        let wakes = P::wakes(&msg);
-                        for &to in topo.neighbors(node) {
-                            let copies = deliver(
-                                cfg,
-                                round,
-                                node,
-                                to,
-                                k,
-                                &done,
-                                wakes,
-                                &crash_round,
-                                &mut stats,
-                                kind_row.as_deref_mut(),
-                            );
-                            if copies > 0 && done[to.index()] {
-                                woken.push(to.index());
-                            }
-                            delivered += u64::from(copies);
-                            for _ in 0..copies {
-                                next[to.index()].push(Envelope::new(node, msg.clone()));
-                            }
-                        }
-                    }
+            // Idle-round fast-forward: this round was fully quiescent (no
+            // node stepped, so nothing is in flight) yet every node is
+            // parked waiting for a future churn batch. Its `active == 0`
+            // stats row above is the quiescence marker batch reports key
+            // off; jump straight to the batch round instead of spinning
+            // the gap one empty round at a time. The decision is a pure
+            // function of state both engines share, so they jump
+            // identically.
+            if rs.active == 0 {
+                if let Some(b) = schedule.batches().get(next_batch) {
+                    stepper.skip_to_round(b.round);
                 }
             }
-            if status == NodeStatus::Done {
-                newly_done.push(i);
-            }
         }
-        for &i in &suppressed_now {
-            suppress[i] = false;
-        }
-        suppressed_now.clear();
-        for &i in &newly_done {
-            done[i] = true;
-            done_count += 1;
-        }
-        // A node cannot be both newly done and woken in one round: wake
-        // deliveries only target nodes whose done flag was set when the
-        // round began, and such nodes are never stepped.
-        for &i in &woken {
-            if done[i] {
-                done[i] = false;
-                done_count -= 1;
-            }
-        }
-        step_scope.stop_into(&mut stats.phase_nanos.step);
-        if let Some(kinds) = kinds.as_mut() {
-            kinds.flush(round, |ev| tracer.emit(ev));
-        }
-        if T::ENABLED {
-            tracer.emit(Event::Round {
-                round,
-                active: active as u64,
-                done: done_count as u64,
-                sent,
-                delivered,
-            });
-        }
-        let rs = RoundStats { round, active, done: done_count, sent, delivered };
-        stats.push_round(rs);
-        observer(RoundView { round, nodes: &protocols, done: &done, crashed: &crashed, stats: rs });
-        if done_count + crashed_count == n && next_batch == schedule.len() {
-            stats.crashed = crashed_count;
-            stats.churn_batches = schedule.len() as u64;
-            stats.churn_events = schedule.total_events() as u64;
-            return Ok(RunOutcome { nodes: protocols, stats, crashed });
-        }
-        // Flip the double buffer: the consumed mailboxes are cleared
-        // (keeping their capacity) and become next round's staging.
-        let collect_scope = ProfileScope::start(cfg.profile);
-        for mailbox in cur.iter_mut() {
-            mailbox.clear();
-        }
-        std::mem::swap(&mut cur, &mut next);
-        collect_scope.stop_into(&mut stats.phase_nanos.collect);
-        // Idle-round fast-forward: this round was fully quiescent (no
-        // node stepped, so nothing is in flight) yet every node is parked
-        // waiting for a future churn batch. Its `active == 0` stats row
-        // above is the quiescence marker batch reports key off; jump
-        // straight to the batch round instead of spinning the gap one
-        // empty round at a time. The decision is a pure function of state
-        // both engines share, so they jump identically.
-        let idle_jump: Option<u64> = (active == 0 && done_count + crashed_count == n)
-            .then(|| schedule.batches().get(next_batch).map(|b| b.round))
-            .flatten();
-        round = match idle_jump {
-            Some(b) if b > round + 1 => {
-                stats.idle_rounds_skipped += b - round - 1;
-                b
-            }
-            _ => round + 1,
-        };
     }
     Err(SimError::MaxRoundsExceeded {
         max_rounds: cfg.max_rounds,
-        still_active: n - done_count - crashed_count,
+        still_active: stepper.still_active(),
     })
-}
-
-/// Decide a delivery's fate: the number of copies (0, 1 or 2) that reach
-/// the recipient's next-round inbox, updating fault counters. `wakes`
-/// carries [`Protocol::wakes`] for the message: a wake-class delivery
-/// goes through to a done node (the caller then re-enters the node).
-#[inline]
-#[allow(clippy::too_many_arguments)] // two call sites; mirrors the fault-decision tuple
-fn deliver(
-    cfg: &EngineConfig,
-    round: u64,
-    from: VertexId,
-    to: VertexId,
-    k: usize,
-    done: &[bool],
-    wakes: bool,
-    crash_round: &[Option<u64>],
-    stats: &mut RunStats,
-    mut kind: Option<&mut KindTotals>,
-) -> u32 {
-    if let Some(kr) = kind.as_deref_mut() {
-        kr.sent += 1;
-    }
-    if done[to.index()] && !wakes {
-        return 0;
-    }
-    // A message sent at round `r` is read at round `r + 1`; if the
-    // receiver has crashed by then, the delivery silently evaporates
-    // (just like a delivery to a done node).
-    if crash_round[to.index()].is_some_and(|cr| round + 1 >= cr) {
-        return 0;
-    }
-    if cfg.faults.drops(cfg.seed, round, from.0, to.0, k as u32) {
-        stats.dropped += 1;
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.dropped += 1;
-        }
-        return 0;
-    }
-    if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k as u32) {
-        stats.corrupted += 1;
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.corrupted += 1;
-        }
-        return 0;
-    }
-    let copies = if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k as u32) {
-        stats.duplicated += 1;
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.duplicated += 1;
-        }
-        2
-    } else {
-        1
-    };
-    if let Some(kr) = kind {
-        kr.delivered += u64::from(copies);
-    }
-    copies
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{NodeStatus, RoundCtx};
     use dima_graph::gen::structured;
-    use dima_graph::Graph;
+    use dima_graph::{Graph, VertexId};
 
     /// Flood: every node broadcasts its id once, collects neighbor ids,
     /// and finishes when it has heard from every neighbor.

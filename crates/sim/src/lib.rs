@@ -51,6 +51,7 @@ pub mod protocol;
 pub mod reliable;
 pub mod rng;
 pub mod stats;
+pub mod stepper;
 pub mod topology;
 pub mod trace;
 pub mod wire;
@@ -60,7 +61,10 @@ mod plane_proptests;
 
 pub use dima_telemetry as telemetry;
 
-pub use churn::{ChurnBatch, ChurnEvent, ChurnKinds, ChurnPlan, ChurnSchedule, NeighborhoodChange};
+pub use churn::{
+    ChurnBatch, ChurnEvent, ChurnKinds, ChurnPlan, ChurnSchedule, EventFeed, FeedError,
+    NeighborhoodChange,
+};
 pub use engine::{
     run_sequential, run_sequential_churn, run_sequential_churn_observed,
     run_sequential_churn_traced, run_sequential_observed, run_sequential_traced, EngineConfig,
@@ -71,4 +75,5 @@ pub use par::{run_parallel, run_parallel_churn, run_parallel_churn_traced, run_p
 pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared};
 pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};
+pub use stepper::Stepper;
 pub use topology::Topology;

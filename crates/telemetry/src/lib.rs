@@ -29,6 +29,7 @@ pub mod event;
 pub mod kinds;
 pub mod profile;
 pub mod read;
+pub mod slo;
 pub mod timeline;
 pub mod tracer;
 pub mod writer;
@@ -36,6 +37,7 @@ pub mod writer;
 pub use event::{merge_shards, ArqEventKind, Event, PaletteAction, Stamped};
 pub use kinds::{KindTable, KindTotals};
 pub use profile::{PhaseNanos, ProfileScope};
+pub use slo::{percentile_f64, percentile_u64, BatchSample, SloRecorder, SloReport};
 pub use timeline::{RoundSnapshot, StateTimeline, STATES};
 pub use tracer::{
     BufferTracer, EventSink, LinkClass, LinkClassTotals, NoopTracer, ShardBuf, Tee, TraceHandle,

@@ -1,0 +1,305 @@
+//! Service-level-objective accounting for `dima serve`.
+//!
+//! The serve loop feeds one [`BatchSample`] per committed churn batch
+//! (repair rounds, wall time, events, colors changed) plus ingest-side
+//! counters (queue depth high-water mark, shed and rejected events)
+//! into an [`SloRecorder`]; [`SloRecorder::report`] reduces them to the
+//! SLO summary the issue asks for — p50/p99 re-convergence rounds and
+//! wall time, churn amplification (colors changed per event), and the
+//! backpressure picture — rendered as one flat-JSON line per field
+//! group so the artifact stays greppable and machine-readable by
+//! [`crate::read::parse_line`].
+//!
+//! Percentiles use the nearest-rank method (the smallest sample ≥ the
+//! requested fraction of the population): exact, deterministic, and
+//! meaningful even for a handful of samples.
+
+use crate::writer::json_escape;
+
+/// One committed batch's repair cost, as observed by the serve loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchSample {
+    /// Commit sequence number.
+    pub seq: u64,
+    /// Events in the batch.
+    pub events: u64,
+    /// Communication rounds from batch application to quiescence.
+    pub repair_rounds: u64,
+    /// Wall-clock milliseconds from application to quiescence.
+    pub wall_ms: f64,
+    /// Edges whose color changed across the repair.
+    pub colors_changed: u64,
+}
+
+/// Accumulates serve-session observations into an [`SloReport`].
+#[derive(Clone, Debug, Default)]
+pub struct SloRecorder {
+    batches: Vec<BatchSample>,
+    queue_hwm: u64,
+    shed_events: u64,
+    rejected_events: u64,
+    malformed_lines: u64,
+    escalations: u64,
+    snapshots: u64,
+}
+
+impl SloRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one committed batch.
+    pub fn batch(&mut self, sample: BatchSample) {
+        self.batches.push(sample);
+    }
+
+    /// Raise the ingest-queue depth high-water mark to `depth` if it is
+    /// the new maximum.
+    pub fn queue_depth(&mut self, depth: u64) {
+        self.queue_hwm = self.queue_hwm.max(depth);
+    }
+
+    /// Count one event dropped by the shed policy (queue full).
+    pub fn shed(&mut self) {
+        self.shed_events += 1;
+    }
+
+    /// Count one event rejected by topology validation.
+    pub fn rejected(&mut self) {
+        self.rejected_events += 1;
+    }
+
+    /// Count one input line that failed to parse.
+    pub fn malformed(&mut self) {
+        self.malformed_lines += 1;
+    }
+
+    /// Count one watchdog (or operator) recolor escalation.
+    pub fn escalation(&mut self) {
+        self.escalations += 1;
+    }
+
+    /// Count one snapshot written.
+    pub fn snapshot(&mut self) {
+        self.snapshots += 1;
+    }
+
+    /// Reduce the observations to a report.
+    pub fn report(&self) -> SloReport {
+        let mut rounds: Vec<u64> = self.batches.iter().map(|b| b.repair_rounds).collect();
+        rounds.sort_unstable();
+        let mut wall: Vec<f64> = self.batches.iter().map(|b| b.wall_ms).collect();
+        wall.sort_by(f64::total_cmp);
+        let total_events: u64 = self.batches.iter().map(|b| b.events).sum();
+        let total_changed: u64 = self.batches.iter().map(|b| b.colors_changed).sum();
+        SloReport {
+            batches: self.batches.len() as u64,
+            total_events,
+            p50_repair_rounds: percentile_u64(&rounds, 0.50),
+            p99_repair_rounds: percentile_u64(&rounds, 0.99),
+            max_repair_rounds: rounds.last().copied().unwrap_or(0),
+            p50_wall_ms: percentile_f64(&wall, 0.50),
+            p99_wall_ms: percentile_f64(&wall, 0.99),
+            churn_amplification: if total_events == 0 {
+                0.0
+            } else {
+                total_changed as f64 / total_events as f64
+            },
+            queue_hwm: self.queue_hwm,
+            shed_events: self.shed_events,
+            rejected_events: self.rejected_events,
+            malformed_lines: self.malformed_lines,
+            escalations: self.escalations,
+            snapshots: self.snapshots,
+        }
+    }
+}
+
+/// The reduced serve-session SLO summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloReport {
+    /// Batches committed.
+    pub batches: u64,
+    /// Events across all committed batches.
+    pub total_events: u64,
+    /// Median repair length in communication rounds.
+    pub p50_repair_rounds: u64,
+    /// 99th-percentile repair length in rounds (nearest rank).
+    pub p99_repair_rounds: u64,
+    /// Worst repair length in rounds.
+    pub max_repair_rounds: u64,
+    /// Median repair wall time.
+    pub p50_wall_ms: f64,
+    /// 99th-percentile repair wall time (nearest rank).
+    pub p99_wall_ms: f64,
+    /// Colors changed per churn event across the session.
+    pub churn_amplification: f64,
+    /// Ingest-queue depth high-water mark.
+    pub queue_hwm: u64,
+    /// Events dropped by the shed policy.
+    pub shed_events: u64,
+    /// Events rejected by validation.
+    pub rejected_events: u64,
+    /// Input lines that failed to parse.
+    pub malformed_lines: u64,
+    /// Recolor escalations.
+    pub escalations: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+}
+
+impl SloReport {
+    /// Render as flat JSONL (a `serve-slo` summary line; floats carried
+    /// both human-readably and as exact bit patterns so
+    /// [`crate::read::parse_line`] round-trips them).
+    pub fn to_jsonl(&self, label: &str) -> String {
+        format!(
+            "{{\"type\":\"serve-slo\",\"label\":\"{}\",\"batches\":{},\
+             \"total_events\":{},\"p50_repair_rounds\":{},\"p99_repair_rounds\":{},\
+             \"max_repair_rounds\":{},\"p50_wall_ms_bits\":{},\"p99_wall_ms_bits\":{},\
+             \"amplification_bits\":{},\"queue_hwm\":{},\"shed_events\":{},\
+             \"rejected_events\":{},\"malformed_lines\":{},\"escalations\":{},\
+             \"snapshots\":{}}}\n",
+            json_escape(label),
+            self.batches,
+            self.total_events,
+            self.p50_repair_rounds,
+            self.p99_repair_rounds,
+            self.max_repair_rounds,
+            self.p50_wall_ms.to_bits(),
+            self.p99_wall_ms.to_bits(),
+            self.churn_amplification.to_bits(),
+            self.queue_hwm,
+            self.shed_events,
+            self.rejected_events,
+            self.malformed_lines,
+            self.escalations,
+            self.snapshots,
+        )
+    }
+
+    /// Human-readable multi-line summary for stderr.
+    pub fn to_text(&self) -> String {
+        format!(
+            "serve SLO: {} batches / {} events\n\
+             repair rounds p50 {} p99 {} max {}\n\
+             repair wall ms p50 {:.3} p99 {:.3}\n\
+             churn amplification {:.3} colors/event\n\
+             queue hwm {} shed {} rejected {} malformed {}\n\
+             escalations {} snapshots {}\n",
+            self.batches,
+            self.total_events,
+            self.p50_repair_rounds,
+            self.p99_repair_rounds,
+            self.max_repair_rounds,
+            self.p50_wall_ms,
+            self.p99_wall_ms,
+            self.churn_amplification,
+            self.queue_hwm,
+            self.shed_events,
+            self.rejected_events,
+            self.malformed_lines,
+            self.escalations,
+            self.snapshots,
+        )
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice: the smallest element
+/// whose rank covers fraction `q` of the population. Empty input
+/// yields 0.
+pub fn percentile_u64(sorted: &[u64], q: f64) -> u64 {
+    match nearest_rank(sorted.len(), q) {
+        Some(i) => sorted[i],
+        None => 0,
+    }
+}
+
+/// [`percentile_u64`] for floats (input sorted by `total_cmp`). Empty
+/// input yields 0.0.
+pub fn percentile_f64(sorted: &[f64], q: f64) -> f64 {
+    match nearest_rank(sorted.len(), q) {
+        Some(i) => sorted[i],
+        None => 0.0,
+    }
+}
+
+fn nearest_rank(len: usize, q: f64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let rank = (q * len as f64).ceil() as usize;
+    Some(rank.clamp(1, len) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::parse_line;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&v, 0.50), 50);
+        assert_eq!(percentile_u64(&v, 0.99), 99);
+        assert_eq!(percentile_u64(&v, 1.0), 100);
+        assert_eq!(percentile_u64(&[7], 0.99), 7);
+        assert_eq!(percentile_u64(&[], 0.5), 0);
+        assert_eq!(percentile_u64(&[3, 9], 0.50), 3);
+        assert_eq!(percentile_u64(&[3, 9], 0.51), 9);
+        assert_eq!(percentile_f64(&[1.5, 2.5], 0.5), 1.5);
+    }
+
+    #[test]
+    fn recorder_reduces_and_renders() {
+        let mut rec = SloRecorder::new();
+        for (i, rounds) in [4u64, 8, 6, 40].iter().enumerate() {
+            rec.batch(BatchSample {
+                seq: i as u64 + 1,
+                events: 2,
+                repair_rounds: *rounds,
+                wall_ms: *rounds as f64 * 0.5,
+                colors_changed: 3,
+            });
+        }
+        rec.queue_depth(3);
+        rec.queue_depth(17);
+        rec.queue_depth(5);
+        rec.shed();
+        rec.rejected();
+        rec.rejected();
+        rec.malformed();
+        rec.escalation();
+        rec.snapshot();
+        let r = rec.report();
+        assert_eq!(r.batches, 4);
+        assert_eq!(r.total_events, 8);
+        assert_eq!(r.p50_repair_rounds, 6);
+        assert_eq!(r.p99_repair_rounds, 40);
+        assert_eq!(r.max_repair_rounds, 40);
+        assert_eq!(r.queue_hwm, 17);
+        assert_eq!(r.shed_events, 1);
+        assert_eq!(r.rejected_events, 2);
+        assert!((r.churn_amplification - 1.5).abs() < 1e-12);
+        let line = r.to_jsonl("demo");
+        let parsed = parse_line(line.trim()).expect("report line parses");
+        assert_eq!(parsed.tag(), Some("serve-slo"));
+        assert_eq!(parsed.num("batches"), Some(4));
+        assert_eq!(parsed.num("queue_hwm"), Some(17));
+        assert_eq!(
+            f64::from_bits(parsed.num("amplification_bits").unwrap()),
+            r.churn_amplification
+        );
+        assert!(r.to_text().contains("p50 6 p99 40"));
+    }
+
+    #[test]
+    fn empty_session_reports_zeroes() {
+        let r = SloRecorder::new().report();
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.p99_repair_rounds, 0);
+        assert_eq!(r.churn_amplification, 0.0);
+        assert!(parse_line(r.to_jsonl("x").trim()).is_some());
+    }
+}

@@ -1,0 +1,182 @@
+//! Crash-recovery acceptance for the serve-mode [`ColoringService`].
+//!
+//! The bar the service must clear: interrupting a session at any batch
+//! boundary — snapshot, "kill", restore, replay the journaled tail,
+//! keep serving — must land on a coloring **bit-identical** to the
+//! uninterrupted session, across a 50-seed sweep, for both protocols.
+//! On top of that, the offline `recompute` cross-check (replaying the
+//! recorded history through the ordinary batch engines) must agree
+//! with the live automata on both the sequential and parallel engine.
+
+use dima::core::{ColoringService, Engine, HistoryEntry, ServeProtocol, ServiceConfig};
+use dima::graph::gen::erdos_renyi_gnm;
+use dima::graph::{Graph, VertexId};
+use dima::sim::ChurnEvent;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn er(n: usize, m: usize, seed: u64) -> Graph {
+    erdos_renyi_gnm(n, m, &mut SmallRng::seed_from_u64(seed)).expect("valid parameters")
+}
+
+/// Stage `want` random-but-valid events (rejections are skipped — the
+/// generator probes until the feed accepts).
+fn stage_batch(
+    svc: &mut ColoringService,
+    rng: &mut SmallRng,
+    n: u32,
+    want: usize,
+) -> Vec<ChurnEvent> {
+    let mut accepted = Vec::new();
+    let mut attempts = 0;
+    while accepted.len() < want && attempts < 200 {
+        attempts += 1;
+        let ev = match rng.random_range(0..4u32) {
+            0 => ChurnEvent::LinkUp(
+                VertexId(rng.random_range(0..n)),
+                VertexId(rng.random_range(0..n)),
+            ),
+            1 => ChurnEvent::LinkDown(
+                VertexId(rng.random_range(0..n)),
+                VertexId(rng.random_range(0..n)),
+            ),
+            2 => ChurnEvent::NodeLeave(VertexId(rng.random_range(0..n))),
+            _ => ChurnEvent::NodeJoin(VertexId(rng.random_range(0..n))),
+        };
+        if svc.stage(ev).is_ok() {
+            accepted.push(ev);
+        }
+    }
+    assert!(!accepted.is_empty(), "generator starved after {attempts} attempts");
+    accepted
+}
+
+fn commit_and_settle(svc: &mut ColoringService) {
+    assert!(svc.next_commit().is_some(), "staged events should be committable");
+    svc.commit().expect("commit applies");
+    svc.run_to_quiescence(svc.tick_budget()).expect("repair converges");
+}
+
+/// One interrupted session: run `pre_batches`, snapshot, keep running
+/// `journal_batches` with journaling only (the "crash" forgets the
+/// in-memory service), then restore from snapshot + journal and finish
+/// with `post_batches`. Returns the final service.
+#[allow(clippy::too_many_arguments)]
+fn interrupted(
+    g0: &Graph,
+    cfg: &ServiceConfig,
+    n: u32,
+    rng_seed: u64,
+    pre_batches: usize,
+    journal_batches: usize,
+    post_batches: usize,
+    batch_events: usize,
+) -> ColoringService {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut svc = ColoringService::new(g0, cfg.clone()).expect("service construction");
+    svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+    for _ in 0..pre_batches {
+        stage_batch(&mut svc, &mut rng, n, batch_events);
+        commit_and_settle(&mut svc);
+    }
+    let snapshot = svc.snapshot_text();
+    // Post-snapshot traffic goes to the journal exactly as the CLI
+    // writes it: event lines on accept, a write-ahead commit marker.
+    let mut journal = String::new();
+    let mut h_written = svc.history_len() as usize;
+    for _ in 0..journal_batches {
+        for ev in stage_batch(&mut svc, &mut rng, n, batch_events) {
+            journal.push_str(&ColoringService::journal_event_line(&ev));
+        }
+        let (seq, round) = svc.next_commit().expect("committable");
+        journal.push_str(&ColoringService::journal_commit_line(svc.history_len() + 1, seq, round));
+        commit_and_settle(&mut svc);
+        // Journal any watchdog escalations the repair recorded, exactly
+        // as the CLI does when a tick reports one.
+        for (i, entry) in svc.history().iter().enumerate().skip(h_written) {
+            if let HistoryEntry::Recolor { round } = entry {
+                journal.push_str(&ColoringService::journal_recolor_line(i as u64 + 1, *round));
+            }
+        }
+        h_written = svc.history_len() as usize;
+    }
+    // Crash: drop `svc`, recover from the persisted artifacts.
+    drop(svc);
+    let (mut svc, report) =
+        ColoringService::restore(&snapshot, Some(&journal)).expect("restore succeeds");
+    assert!(
+        report.tail_entries as usize >= journal_batches,
+        "journal tail replays fully ({} entries for {journal_batches} batches)",
+        report.tail_entries
+    );
+    assert!(!report.torn_tail);
+    for _ in 0..post_batches {
+        stage_batch(&mut svc, &mut rng, n, batch_events);
+        commit_and_settle(&mut svc);
+    }
+    svc
+}
+
+/// The uninterrupted control: same seeds, same batches, no crash.
+fn uninterrupted(
+    g0: &Graph,
+    cfg: &ServiceConfig,
+    n: u32,
+    rng_seed: u64,
+    batches: usize,
+    batch_events: usize,
+) -> ColoringService {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut svc = ColoringService::new(g0, cfg.clone()).expect("service construction");
+    svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+    for _ in 0..batches {
+        stage_batch(&mut svc, &mut rng, n, batch_events);
+        commit_and_settle(&mut svc);
+    }
+    svc
+}
+
+fn sweep(protocol: ServeProtocol) {
+    for seed in 0..50u64 {
+        let n = 16 + (seed % 3) as usize * 4; // 16, 20, 24
+        let g0 = er(n, 2 * n, seed);
+        let cfg = ServiceConfig::new(protocol, seed.wrapping_mul(31).wrapping_add(5));
+        let rng_seed = seed.wrapping_mul(97).wrapping_add(13);
+        // 1 batch before the snapshot, 2 journaled across the crash,
+        // 1 after recovery = 4 total.
+        let recovered = interrupted(&g0, &cfg, n as u32, rng_seed, 1, 2, 1, 2);
+        let control = uninterrupted(&g0, &cfg, n as u32, rng_seed, 4, 2);
+        assert_eq!(
+            recovered.coloring_hash(),
+            control.coloring_hash(),
+            "seed {seed} ({protocol}): recovered hash diverges from control"
+        );
+        assert_eq!(
+            recovered.coloring(),
+            control.coloring(),
+            "seed {seed} ({protocol}): recovered coloring diverges edge-by-edge"
+        );
+        assert_eq!(recovered.round(), control.round(), "seed {seed}: round drift");
+        assert_eq!(recovered.history(), control.history(), "seed {seed}: history drift");
+        // The recorded history must also replay through the ordinary
+        // batch engines (both of them) to the same coloring.
+        if recovered.history().iter().all(|h| matches!(h, HistoryEntry::Batch { .. })) {
+            let live = recovered.coloring();
+            let seq = recovered.recompute(Engine::Sequential).expect("sequential recompute");
+            assert_eq!(seq, live, "seed {seed} ({protocol}): sequential recompute diverges");
+            let par =
+                recovered.recompute(Engine::Parallel { threads: 2 }).expect("parallel recompute");
+            assert_eq!(par, live, "seed {seed} ({protocol}): parallel recompute diverges");
+        }
+    }
+}
+
+#[test]
+fn ec_snapshot_kill_restore_replay_is_bit_identical_across_fifty_seeds() {
+    sweep(ServeProtocol::EdgeColoring);
+}
+
+#[test]
+fn strong_snapshot_kill_restore_replay_is_bit_identical_across_fifty_seeds() {
+    sweep(ServeProtocol::StrongColoring);
+}
