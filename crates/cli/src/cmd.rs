@@ -12,8 +12,8 @@ use dima_core::verify::{
 use dima_core::{
     color_edges, color_edges_churn, color_edges_churn_traced, color_edges_traced, maximal_matching,
     maximal_matching_traced, strong_color_churn, strong_color_churn_traced, strong_color_digraph,
-    strong_color_digraph_traced, ChurnKinds, ChurnPlan, ChurnSchedule, Color, ColoringConfig,
-    Engine, Transport,
+    strong_color_digraph_traced, ChurnKinds, ChurnPlan, ChurnSchedule, Color, ColorReduction,
+    ColoringConfig, EdgeColoringResult, Engine, KempeConfig, Transport,
 };
 use dima_graph::gen;
 use dima_graph::{io, Digraph, Graph};
@@ -37,6 +37,11 @@ commands:
       families: er | gnp | scale-free | small-world | regular | geometric
   info <graph.edges>
   color <graph.edges> [--seed S] [--threads T] [--out FILE]
+               [--reduce kempe|off] [--reduce-target C]
+      --reduce kempe runs the Kempe-chain palette compaction after the
+      run (and after each churn repair) — alternating-chain recoloring
+      retires colors above the target (default Δ+1, override with
+      --reduce-target)
   strong-color <graph.edges> [--seed S] [--threads T] [--width K] [--out FILE]
   matching <graph.edges> [--seed S] [--threads T]
       churn flags (color | strong-color): inject topology churn mid-run
@@ -61,6 +66,7 @@ commands:
   serve <graph.edges> [--seed S] [--protocol ec|strong] [--width K]
         [--watchdog T] [--state-dir DIR] [--snapshot-every N]
         [--queue CAP] [--queue-policy block|shed]
+        [--reduce kempe|off] [--reduce-target C]
         [--slo-out FILE] [--label L] [--chaos-kill-at LABEL[:N]]
       long-running coloring service: reads JSONL topology events
       ({\"ev\":\"link-up\",\"u\":0,\"v\":5}, link-down, join, leave) and
@@ -139,6 +145,25 @@ fn fault_plan(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
     Ok(faults)
 }
 
+/// Parse the `--reduce` post-pass selector and its `--reduce-target`
+/// companion (shared by `color` and `serve`).
+pub(crate) fn parse_reduce(flags: &HashMap<String, String>) -> Result<ColorReduction, String> {
+    let target: u32 = flag(flags, "reduce-target", 0)?;
+    match flags.get("reduce").map(String::as_str) {
+        None | Some("off") => {
+            if flags.contains_key("reduce-target") {
+                return Err("--reduce-target needs --reduce kempe".into());
+            }
+            Ok(ColorReduction::Off)
+        }
+        Some("kempe") => Ok(ColorReduction::Kempe(KempeConfig {
+            target_colors: (target > 0).then_some(target),
+            ..KempeConfig::default()
+        })),
+        Some(other) => Err(format!("--reduce must be kempe or off, got '{other}'")),
+    }
+}
+
 fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String> {
     let seed: u64 = flag(flags, "seed", 0)?;
     let threads: usize = flag(flags, "threads", 0)?;
@@ -156,6 +181,7 @@ fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String>
         proposal_width: width,
         faults: fault_plan(flags)?,
         transport,
+        reduction: parse_reduce(flags)?,
         // CLI runs are measurements: skip the engine's per-delivery
         // debugging check (the test suites keep it on).
         ..ColoringConfig::for_measurement(seed)
@@ -578,6 +604,34 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Stderr lines for the Kempe post-pass outcome and palette memory.
+/// `n` is the vertex count of the graph the figures describe.
+fn report_quality(r: &EdgeColoringResult, n: usize) {
+    if let Some(k) = &r.reduction {
+        eprintln!(
+            "kempe: {} -> {} colors (target {}, saved {}), {} trivial recolors, {} chains \
+             (longest {}), {} aborts, {} communication rounds",
+            k.colors_before,
+            k.colors_after,
+            k.target_colors,
+            k.colors_saved(),
+            k.trivial_recolors,
+            k.chains_flipped,
+            k.max_chain_len,
+            k.aborts,
+            k.comm_rounds,
+        );
+    }
+    if n > 0 {
+        eprintln!(
+            "palette memory: {} bytes across {} nodes ({:.1} bytes/node)",
+            r.palette_bytes,
+            n,
+            r.palette_bytes as f64 / n as f64,
+        );
+    }
+}
+
 fn cmd_color(args: &[String]) -> Result<(), String> {
     let Some(path) = args.first() else {
         return Err("color needs a graph file".into());
@@ -618,6 +672,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
             r.coloring.stats.messages_sent,
             idle_note(&r.coloring.stats),
         );
+        report_quality(&r.coloring, r.final_graph.num_vertices());
         if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
@@ -657,6 +712,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         r.stats.messages_sent,
         idle_note(&r.stats),
     );
+    report_quality(&r, g.num_vertices());
     if let Some(tally) = &tally {
         report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
@@ -1144,9 +1200,16 @@ fn render_summary(s: &TraceSummary, top: usize, every: usize) -> String {
         let hist: Vec<String> =
             s.timeline.color_histogram().map(|(c, n)| format!("{c}:{n}")).collect();
         let shown = hist.len().min(24);
+        let used = s.timeline.colors_used();
+        let peak = s.timeline.peak_colors();
         out.push_str(&format!(
-            "colors: {} used, {} edges colored, {} conflicts; histogram: {}{}\n",
-            s.timeline.colors_used(),
+            "colors: {} used{}, {} edges colored, {} conflicts; histogram: {}{}\n",
+            used,
+            if peak > used {
+                format!(" (peak {peak}, {} vacated post-peak)", peak - used)
+            } else {
+                String::new()
+            },
             s.timeline.colored_edges(),
             s.timeline.conflicts,
             hist[..shown].join(" "),

@@ -250,6 +250,7 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let mut cfg = ServiceConfig::new(protocol, seed);
     cfg.coloring.proposal_width = width;
+    cfg.coloring.reduction = crate::cmd::parse_reduce(&flags)?;
     cfg.watchdog_ticks = watchdog;
 
     let mut slo = SloRecorder::new();
@@ -639,6 +640,8 @@ fn drain_reports(
             repair_rounds: r.repair_rounds,
             wall_ms,
             colors_changed: r.colors_changed,
+            colors_used: r.colors_used,
+            reduction_saved: r.reduction.map_or(0, |k| k.colors_saved() as u64),
         });
     }
 }

@@ -73,6 +73,48 @@ impl Transport {
     }
 }
 
+/// Post-pass palette compression, run after the main coloring quiesces
+/// (and, under churn, after each batch repair commits).
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub enum ColorReduction {
+    /// No reduction pass — the paper's behaviour.
+    #[default]
+    Off,
+    /// Kempe-chain recoloring toward `Δ+1` colors (see [`crate::kempe`]).
+    Kempe(KempeConfig),
+}
+
+impl ColorReduction {
+    /// `true` when a reduction pass will run.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ColorReduction::Off)
+    }
+}
+
+/// Tuning for the Kempe-chain palette-reduction pass.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct KempeConfig {
+    /// Palette size to compress toward: edges colored at or above this
+    /// many colors are recolored below it when a Kempe flip permits.
+    /// `None` targets `Δ+1` (computed from the graph at entry).
+    pub target_colors: Option<u32>,
+    /// Longest alternating chain a probe may walk before the operation
+    /// aborts; bounds per-operation latency on path-heavy graphs.
+    pub max_chain: usize,
+    /// Candidate `(a, b)` pair attempts per over-threshold edge per
+    /// sweep before the edge concedes the round.
+    pub max_attempts: u32,
+    /// Engine round budget for the pass; `None` derives `16·Δ + 64`
+    /// rounds per sweep from the graph.
+    pub max_rounds: Option<u64>,
+}
+
+impl Default for KempeConfig {
+    fn default() -> Self {
+        KempeConfig { target_colors: None, max_chain: 256, max_attempts: 16, max_rounds: None }
+    }
+}
+
 /// Configuration for [`crate::color_edges`], [`crate::maximal_matching`]
 /// and [`crate::strong_color_digraph`].
 #[derive(Clone, Debug, PartialEq)]
@@ -114,6 +156,9 @@ pub struct ColoringConfig {
     pub faults: FaultPlan,
     /// Link transport: bare (the default) or the reliable ARQ layer.
     pub transport: Transport,
+    /// Palette compression after quiescence (and after each churn-batch
+    /// repair). Off by default — the paper has no reduction phase.
+    pub reduction: ColorReduction,
     /// Measure wall-clock time per engine stage into
     /// [`dima_sim::RunStats::phase_nanos`]. Off by default so run
     /// statistics stay bit-comparable across engines and runs.
@@ -134,6 +179,7 @@ impl Default for ColoringConfig {
             validate_sends: true,
             faults: FaultPlan::reliable(),
             transport: Transport::default(),
+            reduction: ColorReduction::Off,
             profile: false,
         }
     }
@@ -179,6 +225,17 @@ impl ColoringConfig {
         if let Transport::Reliable(arq) = self.transport {
             if arq.round_budget_factor == 0 {
                 return Err(CoreError::Config("ARQ round_budget_factor must be >= 1".into()));
+            }
+        }
+        if let ColorReduction::Kempe(k) = self.reduction {
+            if k.max_chain == 0 {
+                return Err(CoreError::Config("kempe max_chain must be >= 1".into()));
+            }
+            if k.max_attempts == 0 {
+                return Err(CoreError::Config("kempe max_attempts must be >= 1".into()));
+            }
+            if k.target_colors == Some(0) {
+                return Err(CoreError::Config("kempe target_colors must be >= 1".into()));
             }
         }
         Ok(())
@@ -247,6 +304,28 @@ mod tests {
         let bad = ArqConfig { round_budget_factor: 0, ..ArqConfig::default() };
         let cfg = ColoringConfig { transport: Transport::Reliable(bad), ..Default::default() };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn reduction_defaults_off_and_validates() {
+        let cfg = ColoringConfig::default();
+        assert_eq!(cfg.reduction, ColorReduction::Off);
+        assert!(!cfg.reduction.is_on());
+        let cfg = ColoringConfig {
+            reduction: ColorReduction::Kempe(KempeConfig::default()),
+            ..Default::default()
+        };
+        assert!(cfg.reduction.is_on());
+        assert!(cfg.validate().is_ok());
+        for bad in [
+            KempeConfig { max_chain: 0, ..Default::default() },
+            KempeConfig { max_attempts: 0, ..Default::default() },
+            KempeConfig { target_colors: Some(0), ..Default::default() },
+        ] {
+            let cfg =
+                ColoringConfig { reduction: ColorReduction::Kempe(bad), ..Default::default() };
+            assert!(cfg.validate().is_err());
+        }
     }
 
     #[test]

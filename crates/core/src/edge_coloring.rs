@@ -56,6 +56,7 @@ use crate::automata::{choose_role, pick_uniform, pick_uniform_iter, Phase, Role}
 use crate::churn::{batch_reports, ChurnColoringResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
+use crate::kempe::{reduce_palette_traced, KempeReport};
 use crate::palette::{Color, ColorSet};
 use crate::runner::{run_protocol_churn_traced, run_protocol_traced};
 
@@ -150,8 +151,12 @@ impl EdgeColoringNode {
             neighbors: seed.neighbors.to_vec(),
             edge_color: vec![None; degree],
             uncolored: (0..degree).collect(),
-            used_self: ColorSet::new(),
-            used_nbr: vec![ColorSet::new(); degree],
+            // Presized to the 2Δ−1 bound: the hot paths never reallocate
+            // (Vec::clone trims to len, so build each set individually).
+            used_self: ColorSet::with_capacity(palette_bound as usize),
+            used_nbr: (0..degree)
+                .map(|_| ColorSet::with_capacity(palette_bound as usize))
+                .collect(),
             role: Role::Listener,
             proposal: None,
             newly_used: None,
@@ -197,6 +202,28 @@ impl EdgeColoringNode {
                     .unwrap_or_else(|| self.used_self.first_absent_in_union(&self.used_nbr[port]))
             }
         }
+    }
+
+    /// Overwrite this node's committed colors and per-neighbor
+    /// knowledge with the outcome of an out-of-band palette compaction
+    /// (serve mode runs the Kempe pass between repairs — see
+    /// [`crate::kempe`]). Only sound while the node is parked: at
+    /// quiescence no proposal or exchange is in flight. `own` is
+    /// port-aligned with the (sorted) neighbor list; `nbr_used` is each
+    /// neighbor's full post-compaction palette, replacing the stale
+    /// one-hop knowledge so future repair proposals stay exact.
+    pub(crate) fn adopt_compaction(&mut self, own: &[Option<Color>], nbr_used: Vec<ColorSet>) {
+        debug_assert_eq!(own.len(), self.neighbors.len());
+        debug_assert_eq!(nbr_used.len(), self.neighbors.len());
+        self.edge_color.copy_from_slice(own);
+        self.uncolored =
+            (0..self.neighbors.len()).filter(|&p| self.edge_color[p].is_none()).collect();
+        let mut used = ColorSet::with_capacity(self.palette_bound as usize);
+        for c in self.edge_color.iter().flatten() {
+            used.insert(*c);
+        }
+        self.used_self = used;
+        self.used_nbr = nbr_used;
     }
 
     /// Commit `color` on the edge toward `port`.
@@ -418,7 +445,9 @@ impl Protocol for EdgeColoringNode {
         // ports keep their color and accumulated neighbor knowledge, new
         // ports start blank.
         let mut edge_color = vec![None; new_neighbors.len()];
-        let mut used_nbr = vec![ColorSet::new(); new_neighbors.len()];
+        let mut used_nbr: Vec<ColorSet> = (0..new_neighbors.len())
+            .map(|_| ColorSet::with_capacity(self.palette_bound as usize))
+            .collect();
         for (np, &w) in new_neighbors.iter().enumerate() {
             if let Some(op) = self.port_of(w) {
                 edge_color[np] = self.edge_color[op];
@@ -505,6 +534,15 @@ pub struct EdgeColoringResult {
     /// [`EdgeColoringResult::comm_rounds`] (0 under
     /// [`crate::Transport::Bare`]).
     pub transport_overhead_rounds: u64,
+    /// What the Kempe-chain reduction pass did, when
+    /// [`crate::ColorReduction::Kempe`] was configured and the coloring
+    /// had endpoint agreement ([`EdgeColoringResult::colors_used`] and
+    /// [`EdgeColoringResult::max_color`] reflect the reduced palette).
+    pub reduction: Option<KempeReport>,
+    /// Total heap bytes the nodes' palette bitsets held at the end of
+    /// the run (own used set + per-neighbor knowledge). Divide by the
+    /// vertex count for the bytes/node figure the run reports print.
+    pub palette_bytes: u64,
 }
 
 /// Run Algorithm 1 on `g` and additionally collect a per-communication-
@@ -580,7 +618,16 @@ pub fn color_edges_traced<T: Tracer + Sync>(
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
     let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
     let run = run_protocol_traced(&topo, cfg, max_rounds, factory, tracer)?;
-    Ok(assemble_result(g, delta, &run.nodes, run.stats, run.crashed, run.transport_overhead_rounds))
+    let mut r = assemble_result(
+        g,
+        delta,
+        &run.nodes,
+        run.stats,
+        run.crashed,
+        run.transport_overhead_rounds,
+    );
+    apply_reduction(g, cfg, &mut r, tracer)?;
+    Ok(r)
 }
 
 /// Run Algorithm 1 on `g0` under a churn schedule: the coloring is
@@ -625,7 +672,8 @@ pub fn color_edges_churn_traced<T: Tracer + Sync>(
     let factory = |seed: NodeSeed<'_>| EdgeColoringNode::new(&seed, cfg, palette_bound);
     let run = run_protocol_churn_traced(&topo, cfg, max_rounds, schedule, factory, tracer)?;
     let batches = batch_reports(schedule, &run.stats);
-    let coloring = assemble_result(&final_graph, delta, &run.nodes, run.stats, run.crashed, 0);
+    let mut coloring = assemble_result(&final_graph, delta, &run.nodes, run.stats, run.crashed, 0);
+    apply_reduction(&final_graph, cfg, &mut coloring, tracer)?;
     Ok(ChurnColoringResult { coloring, final_graph, batches })
 }
 
@@ -665,6 +713,13 @@ fn assemble_result(
     for c in colors.iter().flatten() {
         palette.insert(*c);
     }
+    let palette_bytes: u64 = nodes
+        .iter()
+        .map(|n| {
+            (n.used_self.heap_bytes() + n.used_nbr.iter().map(ColorSet::heap_bytes).sum::<usize>())
+                as u64
+        })
+        .sum();
     let comm_rounds = stats.rounds - transport_overhead_rounds;
     EdgeColoringResult {
         colors_used: palette.len(),
@@ -677,7 +732,32 @@ fn assemble_result(
         stats,
         alive: crashed.iter().map(|&c| !c).collect(),
         transport_overhead_rounds,
+        reduction: None,
+        palette_bytes,
     }
+}
+
+/// Run the configured palette-reduction pass over an assembled result,
+/// in place. Skipped without endpoint agreement — Kempe chains assume
+/// both ends of every edge see the same color, and a corrupted run has
+/// no well-defined palette to compress.
+fn apply_reduction<T: Tracer + Sync>(
+    g: &Graph,
+    cfg: &ColoringConfig,
+    r: &mut EdgeColoringResult,
+    tracer: &mut T,
+) -> Result<(), CoreError> {
+    let crate::config::ColorReduction::Kempe(kcfg) = cfg.reduction else {
+        return Ok(());
+    };
+    if !r.endpoint_agreement {
+        return Ok(());
+    }
+    let report = reduce_palette_traced(g, &mut r.colors, &r.alive, &kcfg, cfg, tracer)?;
+    r.colors_used = report.colors_after;
+    r.max_color = report.max_color_after;
+    r.reduction = Some(report);
+    Ok(())
 }
 
 #[cfg(test)]

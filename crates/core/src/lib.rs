@@ -45,6 +45,7 @@ pub mod churn;
 pub mod config;
 pub mod edge_coloring;
 pub mod error;
+pub mod kempe;
 pub mod matching;
 pub mod palette;
 mod runner;
@@ -59,12 +60,15 @@ pub mod wire;
 pub use churn::{
     BatchReport, ChurnColoringResult, ChurnKinds, ChurnPlan, ChurnSchedule, ChurnStrongResult,
 };
-pub use config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
+pub use config::{
+    ColorPolicy, ColorReduction, ColoringConfig, Engine, KempeConfig, ResponsePolicy, Transport,
+};
 pub use edge_coloring::{
     color_edges, color_edges_churn, color_edges_churn_traced, color_edges_traced,
     color_edges_with_census, EdgeColoringResult,
 };
 pub use error::CoreError;
+pub use kempe::{reduce_palette, reduce_palette_traced, KempeReport};
 pub use matching::{maximal_matching, maximal_matching_traced, MatchingResult};
 pub use palette::{Color, ColorSet};
 pub use service::{

@@ -153,6 +153,13 @@ impl ColorSet {
         })
     }
 
+    /// Heap bytes held by this set's backing bitset. Used by the run
+    /// reports to account palette memory per node (ROADMAP item 2: the
+    /// bitset should stay sized to `O(Δ)` in the hot paths).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Colors in `0..bound` **not** in the set, in increasing order
     /// (used by the random-legal-color ablation policy). Allocation-free:
     /// the policies call this inside their per-round proposal loop, so it

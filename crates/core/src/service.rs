@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use dima_graph::{Digraph, Graph, VertexId};
+use dima_graph::{Digraph, Graph, GraphBuilder, VertexId};
 use dima_sim::fault::FaultPlan;
 use dima_sim::telemetry::read::{parse_line, Record};
 use dima_sim::telemetry::NoopTracer;
@@ -49,10 +49,13 @@ use dima_sim::{
     Stepper, Topology,
 };
 
-use crate::config::{ColorPolicy, ColoringConfig, Engine, ResponsePolicy, Transport};
+use crate::config::{
+    ColorPolicy, ColorReduction, ColoringConfig, Engine, KempeConfig, ResponsePolicy, Transport,
+};
 use crate::edge_coloring::EdgeColoringNode;
 use crate::error::CoreError;
-use crate::palette::Color;
+use crate::kempe::KempeReport;
+use crate::palette::{Color, ColorSet};
 use crate::runner::run_protocol_churn_traced;
 use crate::strong_coloring::StrongColoringNode;
 
@@ -147,6 +150,13 @@ impl ServiceConfig {
             return Err(ServiceError::Config(
                 "the service requires a reliable fault plan: quiescence detection and snapshot \
                  replay assume no injected loss or crashes"
+                    .into(),
+            ));
+        }
+        if self.coloring.reduction.is_on() && self.protocol != ServeProtocol::EdgeColoring {
+            return Err(ServiceError::Config(
+                "palette reduction is an edge-coloring pass; it is not defined for the strong \
+                 (directed) protocol"
                     .into(),
             ));
         }
@@ -310,8 +320,15 @@ pub struct ServeBatchReport {
     pub repair_rounds: u64,
     /// Edges whose color assignment after repair differs from before
     /// the batch (new edges count once they are colored; removed edges
-    /// are not counted) — the churn-amplification numerator.
+    /// are not counted) — the churn-amplification numerator. Counted
+    /// against the repaired coloring, before any palette compaction.
     pub colors_changed: u64,
+    /// Distinct colors in use once the batch settled (after compaction,
+    /// when configured) — the serve-mode quality metric.
+    pub colors_used: u64,
+    /// What the post-repair Kempe compaction did, when
+    /// [`crate::ColorReduction::Kempe`] is configured.
+    pub reduction: Option<KempeReport>,
 }
 
 /// A service liveness/convergence summary.
@@ -682,16 +699,23 @@ impl ColoringService {
         if quiesced {
             self.stall_ticks = 0;
             self.backoff = 0;
-            if let Some(open) = self.open_batch.take() {
+            let open = self.open_batch.take();
+            // The churn-amplification numerator measures the *repair*,
+            // so diff before compacting.
+            let colors_changed = open.as_ref().map(|open| {
                 let post = self.coloring_map();
-                let colors_changed =
-                    post.iter().filter(|(k, v)| open.pre.get(k) != Some(*v)).count() as u64;
+                post.iter().filter(|(k, v)| open.pre.get(k) != Some(*v)).count() as u64
+            });
+            let reduction = self.compact();
+            if let Some(open) = open {
                 self.reports.push(ServeBatchReport {
                     seq: open.seq,
                     round: open.round,
                     events: open.events,
                     repair_rounds: self.inner.round() - open.round,
-                    colors_changed,
+                    colors_changed: colors_changed.unwrap_or(0),
+                    colors_used: self.distinct_colors(),
+                    reduction,
                 });
             }
         } else if self.watchdog_armed && self.cfg.watchdog_ticks > 0 {
@@ -774,6 +798,98 @@ impl ColoringService {
     pub fn node_palette(&self, v: VertexId) -> Result<Vec<Color>, ServiceError> {
         self.check_node(v)?;
         Ok(self.inner.palette(v))
+    }
+
+    /// Distinct colors committed across the current coloring.
+    fn distinct_colors(&self) -> u64 {
+        let set: ColorSet =
+            self.coloring_map().values().flat_map(|&(f, r)| [f, r]).flatten().collect();
+        set.len() as u64
+    }
+
+    /// Run the configured Kempe pass over the settled coloring and
+    /// write the compacted colors back into the parked automata — the
+    /// serve-mode "compaction after repair commit". Out-of-band: the
+    /// pass runs on an ephemeral engine and does not advance the
+    /// service round clock, so recorded history rounds stay valid and
+    /// snapshot replay (which re-enters this path at the same
+    /// quiescence transitions) reproduces it bit-for-bit. Returns
+    /// `None` when reduction is off, the protocol is not edge coloring,
+    /// or the settled coloring is unusable (endpoint disagreement).
+    fn compact(&mut self) -> Option<KempeReport> {
+        let ColorReduction::Kempe(kcfg) = self.cfg.coloring.reduction else {
+            return None;
+        };
+        if !matches!(self.inner, Inner::Ec(_)) {
+            return None;
+        }
+        // Rebuild the live graph (edge ids: u ascending, then v) and
+        // lift the settled coloring off the automata.
+        let topo = self.inner.topology();
+        let n = topo.num_nodes();
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for i in 0..n {
+            let u = VertexId(i as u32);
+            for &v in topo.neighbors(u) {
+                if v > u {
+                    pairs.push((u, v));
+                }
+            }
+        }
+        let mut colors: Vec<Option<Color>> = Vec::with_capacity(pairs.len());
+        let mut b = GraphBuilder::with_capacity(n, pairs.len());
+        for &(u, v) in &pairs {
+            b.add_edge(u, v);
+            let (fwd, rev) = self.inner.edge_slots(u, v);
+            if fwd != rev {
+                return None;
+            }
+            colors.push(fwd);
+        }
+        let g = b.build().ok()?;
+        let alive: Vec<bool> = (0..n).map(|i| self.feed.is_alive(VertexId(i as u32))).collect();
+        let report =
+            crate::kempe::reduce_palette(&g, &mut colors, &alive, &kcfg, &self.cfg.coloring)
+                .ok()?;
+        if report.trivial_recolors + report.chains_flipped > 0 {
+            // Write back: each parked node adopts its port colors and
+            // its neighbors' full post-compaction palettes (so future
+            // repair proposals stay exact — Proposition 2 relies on
+            // one-hop knowledge being current at quiescence).
+            let mut by_edge: HashMap<(u32, u32), Option<Color>> = HashMap::new();
+            for (&(u, v), &c) in pairs.iter().zip(colors.iter()) {
+                by_edge.insert((u.0, v.0), c);
+            }
+            let color_of = |u: VertexId, v: VertexId| {
+                let key = if u < v { (u.0, v.0) } else { (v.0, u.0) };
+                by_edge.get(&key).copied().flatten()
+            };
+            let palettes: Vec<ColorSet> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    topo.neighbors(u).iter().filter_map(|&v| color_of(u, v)).collect()
+                })
+                .collect();
+            let per_node: Vec<(Vec<Option<Color>>, Vec<ColorSet>)> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    let own = topo.neighbors(u).iter().map(|&v| color_of(u, v)).collect::<Vec<_>>();
+                    let knowledge = topo
+                        .neighbors(u)
+                        .iter()
+                        .map(|&v| palettes[v.index()].clone())
+                        .collect::<Vec<_>>();
+                    (own, knowledge)
+                })
+                .collect();
+            let Inner::Ec(stepper) = &mut self.inner else {
+                unreachable!("matched Inner::Ec above");
+            };
+            for (i, (own, knowledge)) in per_node.into_iter().enumerate() {
+                stepper.nodes_mut()[i].adopt_compaction(&own, knowledge);
+            }
+        }
+        Some(report)
     }
 
     fn coloring_map(&self) -> HashMap<(u32, u32), (Option<Color>, Option<Color>)> {
@@ -868,12 +984,27 @@ impl ColoringService {
     pub fn snapshot_text(&self) -> String {
         let c = &self.cfg.coloring;
         let settled = self.is_settled();
+        // Reduction settings ride in the header so a restored service
+        // keeps compacting exactly as the live one did. All-zero (and
+        // absent, for pre-reduction snapshots) means off.
+        let (rk, rt, rc, ra, rr) = match c.reduction {
+            ColorReduction::Off => (0, 0, 0, 0, 0),
+            ColorReduction::Kempe(k) => (
+                1u64,
+                u64::from(k.target_colors.unwrap_or(0)),
+                k.max_chain as u64,
+                u64::from(k.max_attempts),
+                k.max_rounds.unwrap_or(0),
+            ),
+        };
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"type\":\"serve-snapshot\",\"version\":{SNAPSHOT_VERSION},\
              \"protocol\":\"{}\",\"seed\":{},\"invite_bits\":{},\
              \"color_policy\":\"{}\",\"response_policy\":\"{}\",\"width\":{},\
              \"max_compute\":{},\"validate_sends\":{},\"watchdog\":{},\
+             \"reduce\":{rk},\"reduce_target\":{rt},\"reduce_chain\":{rc},\
+             \"reduce_attempts\":{ra},\"reduce_rounds\":{rr},\
              \"n\":{},\"edges\":{},\"history\":{},\"batches\":{},\
              \"quiescent\":{},\"round\":{},\"hash\":{}}}\n",
             self.cfg.protocol.name(),
@@ -992,6 +1123,31 @@ impl ColoringService {
             faults: FaultPlan::reliable(),
             transport: Transport::Bare,
             profile: false,
+            // Absent in pre-reduction snapshots: off.
+            reduction: if header.num("reduce").unwrap_or(0) == 1 {
+                ColorReduction::Kempe(KempeConfig {
+                    target_colors: match header.num("reduce_target").unwrap_or(0) {
+                        0 => None,
+                        t => Some(t as u32),
+                    },
+                    max_chain: header
+                        .num("reduce_chain")
+                        .filter(|&c| c > 0)
+                        .unwrap_or(KempeConfig::default().max_chain as u64)
+                        as usize,
+                    max_attempts: header
+                        .num("reduce_attempts")
+                        .filter(|&a| a > 0)
+                        .unwrap_or(u64::from(KempeConfig::default().max_attempts))
+                        as u32,
+                    max_rounds: match header.num("reduce_rounds").unwrap_or(0) {
+                        0 => None,
+                        r => Some(r),
+                    },
+                })
+            } else {
+                ColorReduction::Off
+            },
         };
         let cfg =
             ServiceConfig { protocol, coloring, watchdog_ticks: header_num(&header, "watchdog")? };

@@ -1,0 +1,172 @@
+//! Property tests for the Kempe-chain palette-reduction pass.
+//!
+//! Three invariants hold for *any* proper input coloring, so they are
+//! checked over randomized graphs and thresholds rather than curated
+//! cases: the pass (1) preserves propriety, (2) never grows the
+//! palette, and (3) is bit-identical across the sequential and parallel
+//! engines. A fourth, non-property test drives the churn pipeline over
+//! 50 seeds and checks the post-repair compaction actually re-compacts.
+
+use dima_core::verify::{count_colors, verify_edge_coloring, verify_residual_edge_coloring};
+use dima_core::{
+    color_edges, color_edges_churn, reduce_palette, ChurnPlan, ChurnSchedule, ColorReduction,
+    ColoringConfig, Engine, KempeConfig,
+};
+use dima_graph::gen::{erdos_renyi_avg_degree, random_regular};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A graph plus a proper coloring of it, produced by the main protocol.
+fn colored_instance(
+    seed: u64,
+    n: usize,
+    avg_degree: f64,
+) -> (dima_graph::Graph, Vec<Option<dima_core::Color>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = erdos_renyi_avg_degree(n, avg_degree, &mut rng).expect("valid ER parameters");
+    let r = color_edges(&g, &ColoringConfig::seeded(seed)).expect("base coloring");
+    verify_edge_coloring(&g, &r.colors).expect("base coloring proper");
+    (g, r.colors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Propriety is preserved and the palette never grows, for any
+    /// target threshold — including aggressive (Vizing-infeasible)
+    /// ones, where the pass must degrade gracefully.
+    #[test]
+    fn preserves_propriety_and_never_grows(
+        seed in 0u64..1 << 48,
+        n in 20usize..120,
+        tenths_degree in 20u32..80,
+        target_slack in -3i64..4,
+    ) {
+        let (g, base) = colored_instance(seed, n, f64::from(tenths_degree) / 10.0);
+        let before = count_colors(&base);
+        let delta = g.max_degree() as i64;
+        let target = u32::try_from((delta + 1 + target_slack).max(1)).unwrap();
+        let kcfg = KempeConfig { target_colors: Some(target), ..KempeConfig::default() };
+        let alive = vec![true; g.num_vertices()];
+        let mut colors = base.clone();
+        let report =
+            reduce_palette(&g, &mut colors, &alive, &kcfg, &ColoringConfig::seeded(seed))
+                .expect("reduction runs");
+        verify_edge_coloring(&g, &colors).expect("reduction preserved propriety");
+        prop_assert_eq!(report.colors_before, before);
+        prop_assert_eq!(report.colors_after, count_colors(&colors));
+        prop_assert!(report.colors_after <= report.colors_before);
+        // Uncolored slots (there are none here) must stay untouched,
+        // and every edge keeps *some* color: the pass recolors, it
+        // never discards.
+        prop_assert!(colors.iter().all(|c| c.is_some()));
+    }
+
+    /// The sequential and parallel engines produce bit-identical
+    /// colorings and reports: the pass consults no RNG and orders all
+    /// decisions by round and node id.
+    #[test]
+    fn engines_bit_identical(
+        seed in 0u64..1 << 48,
+        n in 20usize..100,
+        threads in 2usize..5,
+    ) {
+        let (g, base) = colored_instance(seed, n, 6.0);
+        let delta = g.max_degree() as u32;
+        // Force work: target one color below what the base run used, so
+        // chains actually move (bounded below by Δ-feasibility).
+        let target = count_colors(&base).saturating_sub(1).max(delta as usize) as u32;
+        let kcfg = KempeConfig { target_colors: Some(target.max(1)), ..KempeConfig::default() };
+        let alive = vec![true; g.num_vertices()];
+
+        let mut seq = base.clone();
+        let seq_report = reduce_palette(
+            &g,
+            &mut seq,
+            &alive,
+            &kcfg,
+            &ColoringConfig { engine: Engine::Sequential, ..ColoringConfig::seeded(seed) },
+        )
+        .expect("sequential reduction");
+
+        let mut par = base.clone();
+        let par_report = reduce_palette(
+            &g,
+            &mut par,
+            &alive,
+            &kcfg,
+            &ColoringConfig { engine: Engine::Parallel { threads }, ..ColoringConfig::seeded(seed) },
+        )
+        .expect("parallel reduction");
+
+        prop_assert_eq!(seq, par);
+        prop_assert_eq!(seq_report, par_report);
+    }
+}
+
+/// 50-seed churn acceptance: with the Kempe post-pass configured, every
+/// churn repair re-compacts the palette — the final coloring verifies on
+/// the post-churn graph, never uses more colors than the bare repair,
+/// and strictly improves every run the bare repair left above Δ+1.
+#[test]
+fn churn_repair_recompacts_over_fifty_seeds() {
+    let mut improved = 0u32;
+    let mut opportunities = 0u32;
+    for seed in 0u64..50 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE + seed);
+        let g = random_regular(100, 9, &mut rng).expect("regular graph");
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan::new(seed, 0.05));
+
+        let bare = color_edges_churn(&g, &schedule, &ColoringConfig::seeded(seed))
+            .expect("bare churn repair");
+        verify_residual_edge_coloring(
+            &bare.final_graph,
+            &bare.coloring.colors,
+            &bare.coloring.alive,
+        )
+        .expect("bare repair proper");
+
+        let cfg = ColoringConfig {
+            reduction: ColorReduction::Kempe(KempeConfig::default()),
+            ..ColoringConfig::seeded(seed)
+        };
+        let kempe = color_edges_churn(&g, &schedule, &cfg).expect("kempe churn repair");
+        verify_residual_edge_coloring(
+            &kempe.final_graph,
+            &kempe.coloring.colors,
+            &kempe.coloring.alive,
+        )
+        .expect("compacted repair proper");
+
+        let report = kempe.coloring.reduction.expect("reduction ran after repair");
+        assert!(
+            report.colors_after <= report.colors_before,
+            "seed {seed}: compaction grew the palette"
+        );
+        assert!(
+            kempe.coloring.colors_used <= bare.coloring.colors_used,
+            "seed {seed}: kempe repair used more colors ({} > {})",
+            kempe.coloring.colors_used,
+            bare.coloring.colors_used
+        );
+        let delta = kempe.final_graph.max_degree();
+        if bare.coloring.colors_used > delta + 1 {
+            opportunities += 1;
+            if kempe.coloring.colors_used < bare.coloring.colors_used {
+                improved += 1;
+            } else {
+                panic!(
+                    "seed {seed}: bare repair left {} colors (Δ = {delta}) and the \
+                     post-pass failed to improve",
+                    bare.coloring.colors_used
+                );
+            }
+        }
+    }
+    assert_eq!(improved, opportunities);
+    assert!(
+        opportunities > 0,
+        "corpus never exceeded Δ+1 — the acceptance check exercised nothing"
+    );
+}

@@ -12,7 +12,8 @@
 //! ```
 
 use dima_core::{
-    color_edges, ColoringConfig, ColoringService, Engine, ServeProtocol, ServiceConfig, Transport,
+    color_edges, ColorReduction, ColoringConfig, ColoringService, Engine, KempeConfig,
+    ServeProtocol, ServiceConfig, Transport,
 };
 use dima_graph::gen::GraphFamily;
 use dima_graph::{Graph, VertexId};
@@ -228,6 +229,22 @@ fn coloring_scenario(
     })
 }
 
+/// The Kempe post-pass on its stress case: random 9-regular graphs,
+/// where bare DiMaEC overshoots Δ+1 and the compaction is carried by
+/// long alternating chains (the base coloring run is included — the
+/// interesting figure is the marginal cost over `color_seq`-style runs
+/// on a graph this size).
+fn kempe_scenario(name: &'static str, g: &Graph, reps: usize) -> Measurement {
+    measure(name, reps, |rep| {
+        let cfg = ColoringConfig {
+            reduction: ColorReduction::Kempe(KempeConfig::default()),
+            ..ColoringConfig::seeded(0xC01 + rep)
+        };
+        let r = color_edges(g, &cfg).expect("coloring run");
+        black_box((r.colors_used, r.reduction.map(|k| k.colors_saved())));
+    })
+}
+
 /// The serve-mode SLO scenario: a [`ColoringService`] absorbing a fixed
 /// churn session (batches of validated random events, each committed at
 /// quiescence and repaired to convergence). `mean_ms` is the whole
@@ -280,6 +297,8 @@ fn serve_slo_scenario(
                     repair_rounds: r.repair_rounds,
                     wall_ms,
                     colors_changed: r.colors_changed,
+                    colors_used: r.colors_used,
+                    reduction_saved: r.reduction.map_or(0, |k| k.colors_saved() as u64),
                 });
             }
         }
@@ -455,6 +474,14 @@ fn main() {
     if want("serve_slo") {
         let (batches, events) = if quick { (8, 4) } else { (24, 8) };
         results.push(serve_slo_scenario("serve_slo", &g, batches, events, reps));
+    }
+    if want("kempe_reduce") {
+        let kn = if quick { 300 } else { 1000 };
+        let kg = {
+            let mut rng = SmallRng::seed_from_u64(48);
+            GraphFamily::Regular { n: kn, d: 9 }.sample(&mut rng).expect("regular graph")
+        };
+        results.push(kempe_scenario("kempe_reduce", &kg, reps));
     }
     if want("reliable_loss_seq") {
         results.push(coloring_scenario(

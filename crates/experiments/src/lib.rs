@@ -24,6 +24,7 @@
 //! | `compare_matchings`  | DiMa matching automata vs Luby local-minima |
 //! | `loss_sweep`         | beyond the paper — loss rates × {bare, reliable} transport |
 //! | `churn_sweep`        | beyond the paper — topology churn rates × incremental repair |
+//! | `palette_sweep`      | beyond the paper — color-quality tournament: DiMaEC ± Kempe post-pass vs Misra–Gries / greedy, static and under churn |
 //!
 //! Pass `--quick` to any binary for a reduced corpus (CI-sized),
 //! `--trials N` / `--seed S` to override, `--out DIR` for the CSV

@@ -1,6 +1,6 @@
 //! Corpus runners: generate → run → **verify** → record.
 
-use dima_core::verify::{verify_edge_coloring, verify_strong_coloring};
+use dima_core::verify::{count_colors, verify_edge_coloring, verify_strong_coloring};
 use dima_core::{
     color_edges, color_edges_churn, strong_color_digraph, ChurnPlan, ChurnSchedule, ColoringConfig,
     CoreError, Engine, Transport,
@@ -20,6 +20,22 @@ use crate::corpus::{trial_seed, Config};
 pub fn send_validation_note() -> &'static str {
     "send validation: off (measurement default via ColoringConfig::for_measurement; \
      tests keep the per-delivery check on)"
+}
+
+/// Verify `colors` as a proper edge coloring of `g`, then count the
+/// distinct colors in use. The quality tournaments (`compare_baselines`,
+/// `palette_sweep`) score every algorithm through this one counter so no
+/// entry can win on an unverified or differently-counted palette.
+/// Panics (naming `algo`) on an invalid coloring — a quality number for
+/// a broken coloring would poison the comparison silently.
+pub fn verified_colors(
+    g: &dima_graph::Graph,
+    colors: &[Option<dima_core::Color>],
+    algo: &str,
+) -> usize {
+    verify_edge_coloring(g, colors)
+        .unwrap_or_else(|e| panic!("{algo} produced an invalid coloring: {e}"));
+    count_colors(colors)
 }
 
 /// One Algorithm-1 trial.

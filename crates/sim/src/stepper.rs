@@ -131,6 +131,15 @@ where
         &self.protocols
     }
 
+    /// Mutable access to the protocol instances, for hosts that apply an
+    /// out-of-band pass between repairs (e.g. serve-mode palette
+    /// compaction) and write the outcome back into the parked automata.
+    /// The engine does not re-validate node state — callers must
+    /// preserve the protocol's invariants.
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.protocols
+    }
+
     /// Which nodes have crash-stopped.
     pub fn crashed(&self) -> &[bool] {
         &self.crashed

@@ -29,6 +29,12 @@ pub struct BatchSample {
     pub wall_ms: f64,
     /// Edges whose color changed across the repair.
     pub colors_changed: u64,
+    /// Distinct colors in use once the batch settled (after palette
+    /// compaction, when the serve loop runs one).
+    pub colors_used: u64,
+    /// Colors retired by the post-repair palette compaction (0 when
+    /// compaction is off or found nothing to do).
+    pub reduction_saved: u64,
 }
 
 /// Accumulates serve-session observations into an [`SloReport`].
@@ -93,6 +99,7 @@ impl SloRecorder {
         wall.sort_by(f64::total_cmp);
         let total_events: u64 = self.batches.iter().map(|b| b.events).sum();
         let total_changed: u64 = self.batches.iter().map(|b| b.colors_changed).sum();
+        let reduction_saved: u64 = self.batches.iter().map(|b| b.reduction_saved).sum();
         SloReport {
             batches: self.batches.len() as u64,
             total_events,
@@ -112,6 +119,8 @@ impl SloRecorder {
             malformed_lines: self.malformed_lines,
             escalations: self.escalations,
             snapshots: self.snapshots,
+            colors_used: self.batches.last().map_or(0, |b| b.colors_used),
+            reduction_saved,
         }
     }
 }
@@ -147,6 +156,11 @@ pub struct SloReport {
     pub escalations: u64,
     /// Snapshots written.
     pub snapshots: u64,
+    /// Distinct colors in use after the most recent settled batch — the
+    /// session's closing quality figure.
+    pub colors_used: u64,
+    /// Colors retired by palette compaction across the session.
+    pub reduction_saved: u64,
 }
 
 impl SloReport {
@@ -160,7 +174,7 @@ impl SloReport {
              \"max_repair_rounds\":{},\"p50_wall_ms_bits\":{},\"p99_wall_ms_bits\":{},\
              \"amplification_bits\":{},\"queue_hwm\":{},\"shed_events\":{},\
              \"rejected_events\":{},\"malformed_lines\":{},\"escalations\":{},\
-             \"snapshots\":{}}}\n",
+             \"snapshots\":{},\"colors_used\":{},\"reduction_saved\":{}}}\n",
             json_escape(label),
             self.batches,
             self.total_events,
@@ -176,6 +190,8 @@ impl SloReport {
             self.malformed_lines,
             self.escalations,
             self.snapshots,
+            self.colors_used,
+            self.reduction_saved,
         )
     }
 
@@ -186,6 +202,7 @@ impl SloReport {
              repair rounds p50 {} p99 {} max {}\n\
              repair wall ms p50 {:.3} p99 {:.3}\n\
              churn amplification {:.3} colors/event\n\
+             colors used {} (compaction retired {})\n\
              queue hwm {} shed {} rejected {} malformed {}\n\
              escalations {} snapshots {}\n",
             self.batches,
@@ -196,6 +213,8 @@ impl SloReport {
             self.p50_wall_ms,
             self.p99_wall_ms,
             self.churn_amplification,
+            self.colors_used,
+            self.reduction_saved,
             self.queue_hwm,
             self.shed_events,
             self.rejected_events,
@@ -261,6 +280,8 @@ mod tests {
                 repair_rounds: *rounds,
                 wall_ms: *rounds as f64 * 0.5,
                 colors_changed: 3,
+                colors_used: 9 - i as u64,
+                reduction_saved: 1,
             });
         }
         rec.queue_depth(3);
@@ -282,11 +303,15 @@ mod tests {
         assert_eq!(r.shed_events, 1);
         assert_eq!(r.rejected_events, 2);
         assert!((r.churn_amplification - 1.5).abs() < 1e-12);
+        assert_eq!(r.colors_used, 6);
+        assert_eq!(r.reduction_saved, 4);
         let line = r.to_jsonl("demo");
         let parsed = parse_line(line.trim()).expect("report line parses");
         assert_eq!(parsed.tag(), Some("serve-slo"));
         assert_eq!(parsed.num("batches"), Some(4));
         assert_eq!(parsed.num("queue_hwm"), Some(17));
+        assert_eq!(parsed.num("colors_used"), Some(6));
+        assert_eq!(parsed.num("reduction_saved"), Some(4));
         assert_eq!(
             f64::from_bits(parsed.num("amplification_bits").unwrap()),
             r.churn_amplification

@@ -69,6 +69,9 @@ pub struct StateTimeline {
     colored_edges: u64,
     /// Commits per color over the whole run (releases subtract).
     histogram: BTreeMap<u32, i64>,
+    /// High-water mark of distinct in-use colors — a Kempe compaction
+    /// pass shows up as `peak_colors > colors_used` at the end.
+    peak_colors: usize,
     /// Palette proposals that the responder rejected.
     pub conflicts: u64,
     /// Last protocol round in which each node changed state, and the
@@ -86,6 +89,7 @@ impl StateTimeline {
             matched_pairs: 0,
             colored_edges: 0,
             histogram: BTreeMap::new(),
+            peak_colors: 0,
             conflicts: 0,
             last_transition: vec![(0, "C"); n],
         }
@@ -117,6 +121,13 @@ impl StateTimeline {
         self.histogram.values().filter(|&&c| c > 0).count()
     }
 
+    /// High-water mark of [`colors_used`](Self::colors_used) across the
+    /// run. Exceeds the final count exactly when colors were later
+    /// vacated — by fault-induced releases or by the Kempe post-pass.
+    pub fn peak_colors(&self) -> usize {
+        self.peak_colors
+    }
+
     /// The `k` nodes that kept transitioning longest, as
     /// `(node, last transition round, final label)`, slowest first.
     /// Nodes never reaching `"D"` sort before nodes that did.
@@ -144,6 +155,7 @@ impl Tracer for StateTimeline {
                         self.matched_pairs += 1;
                         self.colored_edges += 1;
                         *self.histogram.entry(color).or_insert(0) += 1;
+                        self.peak_colors = self.peak_colors.max(self.colors_used());
                     }
                 }
                 PaletteAction::Released => {
@@ -222,6 +234,7 @@ mod tests {
         assert_eq!(t.matched_pairs(), 2);
         assert_eq!(t.colored_edges(), 1);
         assert_eq!(t.colors_used(), 1);
+        assert_eq!(t.peak_colors(), 2);
         assert_eq!(t.color_histogram().collect::<Vec<_>>(), vec![(5, 1)]);
     }
 
