@@ -63,8 +63,8 @@ commands:
       compare two traces event by event and localize the first
       divergent round (engine identity is ignored, so identical-seed
       sequential vs parallel runs must diff empty)
-  serve <graph.edges> [--seed S] [--protocol ec|strong] [--width K]
-        [--watchdog T] [--state-dir DIR] [--snapshot-every N]
+  serve <graph.edges> [--seed S] [--protocol ec|strong] [--threads T]
+        [--width K] [--watchdog T] [--state-dir DIR] [--snapshot-every N]
         [--queue CAP] [--queue-policy block|shed]
         [--reduce kempe|off] [--reduce-target C]
         [--slo-out FILE] [--label L] [--chaos-kill-at LABEL[:N]]
@@ -84,11 +84,20 @@ fault-injection flags (color | strong-color | matching):
                           bare links (the paper's model) or the ARQ
                           reliable-link layer; overhead reported per run
 
+profiling flags (color | strong-color | matching):
+  --profile               measure per-phase engine wall-clock (step,
+                          route, collect, churn) to stderr; under
+                          --threads the per-shard breakdown shows which
+                          shard gates each round barrier
+
 trace flags (color | strong-color | matching | trace record):
   --trace FILE            stream a structured JSONL trace of the run
   --trace-sample N        keep node events only for nodes with id % N == 0
                           (bounds trace size and the parallel engine's
                           deterministic-merge cost)";
+
+/// Flags that take no value; present means "on".
+const BOOL_FLAGS: &[&str] = &["profile"];
 
 /// Parse `--key value` flags from `args` (after the positional prefix).
 pub(crate) fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -98,6 +107,10 @@ pub(crate) fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, St
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got '{a}'"));
         };
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".into());
+            continue;
+        }
         let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), val.clone());
     }
@@ -182,10 +195,42 @@ fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String>
         faults: fault_plan(flags)?,
         transport,
         reduction: parse_reduce(flags)?,
+        profile: flags.contains_key("profile"),
         // CLI runs are measurements: skip the engine's per-delivery
         // debugging check (the test suites keep it on).
         ..ColoringConfig::for_measurement(seed)
     })
+}
+
+/// `--profile` breakdown: engine phase wall-clock totals, plus the
+/// per-shard rows under the parallel engine (the imbalance view — a
+/// shard whose `step` dwarfs the others is the one gating each round
+/// barrier).
+fn report_profile(stats: &dima_sim::RunStats) {
+    let p = &stats.phase_nanos;
+    if p.total() == 0 {
+        return;
+    }
+    let ms = |n: u64| n as f64 / 1e6;
+    eprintln!(
+        "profile: step {:.3} ms, route {:.3} ms, collect {:.3} ms, churn {:.3} ms \
+         (total {:.3} ms across workers)",
+        ms(p.step),
+        ms(p.route),
+        ms(p.collect),
+        ms(p.churn),
+        ms(p.total()),
+    );
+    for (i, sp) in stats.shard_phases.iter().enumerate() {
+        eprintln!(
+            "profile:   shard {i}: step {:.3} ms, route {:.3} ms, collect {:.3} ms, \
+             churn {:.3} ms",
+            ms(sp.step),
+            ms(sp.route),
+            ms(sp.collect),
+            ms(sp.churn),
+        );
+    }
 }
 
 /// One stderr line recording engine options that change what a timing
@@ -673,6 +718,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
             idle_note(&r.coloring.stats),
         );
         report_quality(&r.coloring, r.final_graph.num_vertices());
+        report_profile(&r.coloring.stats);
         if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
@@ -713,6 +759,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         idle_note(&r.stats),
     );
     report_quality(&r, g.num_vertices());
+    report_profile(&r.stats);
     if let Some(tally) = &tally {
         report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
@@ -757,6 +804,7 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
             r.coloring.stats.messages_sent,
             idle_note(&r.coloring.stats),
         );
+        report_profile(&r.coloring.stats);
         if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
@@ -797,6 +845,7 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
         r.stats.messages_sent,
         idle_note(&r.stats),
     );
+    report_profile(&r.stats);
     if let Some(tally) = &tally {
         report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
@@ -840,6 +889,7 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
         m.stats.messages_sent,
         idle_note(&m.stats),
     );
+    report_profile(&m.stats);
     if let Some(tally) = &tally {
         report_transport(&m.stats, m.transport_overhead_rounds, &m.alive, tally);
     }

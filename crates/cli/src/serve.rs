@@ -32,7 +32,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dima_core::{ColoringService, ServeProtocol, ServiceConfig, Tick};
+use dima_core::{ColoringService, Engine, ServeProtocol, ServiceConfig, Tick};
 use dima_graph::VertexId;
 use dima_sim::telemetry::read::{parse_line, Record};
 use dima_sim::telemetry::slo::{BatchSample, SloRecorder};
@@ -225,6 +225,26 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = crate::cmd::parse_flags(&args[1..])?;
     let seed: u64 = crate::cmd::flag(&flags, "seed", 0)?;
     let width: usize = crate::cmd::flag(&flags, "width", 1)?;
+    let threads: usize = crate::cmd::flag(&flags, "threads", 0)?;
+    if threads == 0 && flags.contains_key("threads") {
+        return Err("--threads must be >= 1 (omit the flag for the sequential engine)".into());
+    }
+    // The parallel stepper is bit-identical to the sequential one, so
+    // the service runs on either engine. The one combination we refuse
+    // is a full-rate trace request under the pool: at sample 1 the
+    // deterministic merge buffers every node event per round, which is
+    // exactly the workload serve's latency budget cannot absorb.
+    if threads > 1 && flags.contains_key("trace") {
+        let sample: u32 = crate::cmd::flag(&flags, "trace-sample", 1)?;
+        if sample <= 1 {
+            return Err(
+                "--trace at full rate (--trace-sample 1) is not supported with --threads > 1: \
+                 the deterministic trace merge buffers every node event per round; raise \
+                 --trace-sample or drop --threads"
+                    .into(),
+            );
+        }
+    }
     let watchdog: u64 = crate::cmd::flag(&flags, "watchdog", 512)?;
     let snapshot_every: u64 = crate::cmd::flag(&flags, "snapshot-every", 8)?;
     let queue_cap: usize = crate::cmd::flag(&flags, "queue", 1024)?;
@@ -251,6 +271,8 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServiceConfig::new(protocol, seed);
     cfg.coloring.proposal_width = width;
     cfg.coloring.reduction = crate::cmd::parse_reduce(&flags)?;
+    cfg.coloring.engine =
+        if threads == 0 { Engine::Sequential } else { Engine::Parallel { threads } };
     cfg.watchdog_ticks = watchdog;
 
     let mut slo = SloRecorder::new();
@@ -265,6 +287,12 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             };
             let (svc, report) = ColoringService::restore(&snap, journal.as_deref())
                 .map_err(|e| format!("restoring {}: {e}", s.snapshot.display()))?;
+            if threads > 1 {
+                // Snapshots do not record the engine; a restored service
+                // runs sequentially. Identical colorings either way —
+                // only the wall-clock differs.
+                eprintln!("serve: restored snapshot runs sequentially (--threads ignored)");
+            }
             eprintln!(
                 "serve: restored {} snapshot entries + {} journal entries, {} restaged{}",
                 report.snapshot_entries,
@@ -287,11 +315,16 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(s) = state.as_mut() {
         write_snapshot(&svc, s, &mut chaos, &mut slo)?;
     }
+    let engine_desc = match svc.config().coloring.engine {
+        Engine::Sequential => "seq".to_string(),
+        Engine::Parallel { threads } => format!("par{threads}"),
+    };
     eprintln!(
-        "serve: {} protocol, {} nodes, round {}, watchdog {} ticks, queue {} ({})",
+        "serve: {} protocol, {} nodes, round {}, engine {}, watchdog {} ticks, queue {} ({})",
         svc.config().protocol,
         svc.status().nodes,
         svc.round(),
+        engine_desc,
         watchdog,
         queue_cap,
         if shed { "shed" } else { "block" }

@@ -45,8 +45,8 @@ use dima_sim::telemetry::read::{parse_line, Record};
 use dima_sim::telemetry::NoopTracer;
 use dima_sim::wire::crc32;
 use dima_sim::{
-    ChurnBatch, ChurnEvent, ChurnSchedule, EngineConfig, EventFeed, FeedError, NodeSeed, SimError,
-    Stepper, Topology,
+    ChurnBatch, ChurnEvent, ChurnSchedule, EngineConfig, EventFeed, FeedError, NodeSeed,
+    ParStepper, SimError, Stepper, Topology,
 };
 
 use crate::config::{
@@ -106,9 +106,10 @@ impl std::str::FromStr for ServeProtocol {
 pub struct ServiceConfig {
     /// Repair protocol.
     pub protocol: ServeProtocol,
-    /// Coloring parameters. The service requires the sequential engine,
-    /// the bare transport and a reliable fault plan (quiescence must
-    /// mean "every node is done", and snapshots must replay).
+    /// Coloring parameters. The service requires the bare transport and
+    /// a reliable fault plan (quiescence must mean "every node is
+    /// done", and snapshots must replay); either engine is accepted —
+    /// the parallel stepper is bit-identical to the sequential one.
     pub coloring: ColoringConfig,
     /// Consecutive stalled ticks (no rise of the progress high-water
     /// mark — committed color slots plus done nodes — while not
@@ -136,13 +137,10 @@ impl ServiceConfig {
 
     fn validate(&self) -> Result<(), ServiceError> {
         self.coloring.validate().map_err(|e| ServiceError::Config(e.to_string()))?;
-        if self.coloring.engine != Engine::Sequential {
-            return Err(ServiceError::Config(
-                "the service requires the sequential engine (use recompute() for a parallel \
-                 cross-check)"
-                    .into(),
-            ));
-        }
+        // Both engines are accepted: the parallel stepper is
+        // bit-identical to the sequential one (same colorings, same
+        // round clock, same snapshots), so serving from the pool is an
+        // implementation detail, not a semantic choice.
         if self.coloring.transport != Transport::Bare {
             return Err(ServiceError::Config("the service requires the bare transport".into()));
         }
@@ -407,61 +405,68 @@ pub fn hash_coloring(edges: &[ColoredEdge]) -> u64 {
     h
 }
 
-type EcFactory = Box<dyn FnMut(NodeSeed<'_>) -> EdgeColoringNode + Send>;
-type StrongFactory = Box<dyn FnMut(NodeSeed<'_>) -> StrongColoringNode + Send>;
+// `Fn + Sync` (not just `FnMut + Send`) so the same boxed factory drives
+// either engine — the parallel stepper's workers call it concurrently
+// when churn joins land in different shards.
+type EcFactory = Box<dyn Fn(NodeSeed<'_>) -> EdgeColoringNode + Send + Sync>;
+type StrongFactory = Box<dyn Fn(NodeSeed<'_>) -> StrongColoringNode + Send + Sync>;
 
 enum Inner {
     Ec(Stepper<EdgeColoringNode, EcFactory>),
     Strong(Stepper<StrongColoringNode, StrongFactory>),
+    EcPar(ParStepper<EdgeColoringNode, EcFactory>),
+    StrongPar(ParStepper<StrongColoringNode, StrongFactory>),
+}
+
+/// Dispatch one method call over all four stepper variants (the
+/// sequential and parallel steppers expose the same API by design).
+macro_rules! each_stepper {
+    ($inner:expr, $s:ident => $body:expr) => {
+        match $inner {
+            Inner::Ec($s) => $body,
+            Inner::Strong($s) => $body,
+            Inner::EcPar($s) => $body,
+            Inner::StrongPar($s) => $body,
+        }
+    };
 }
 
 impl Inner {
     fn round(&self) -> u64 {
-        match self {
-            Inner::Ec(s) => s.round(),
-            Inner::Strong(s) => s.round(),
-        }
+        each_stepper!(self, s => s.round())
     }
 
     fn is_quiescent(&self) -> bool {
-        match self {
-            Inner::Ec(s) => s.is_quiescent(),
-            Inner::Strong(s) => s.is_quiescent(),
-        }
+        each_stepper!(self, s => s.is_quiescent())
     }
 
     fn still_active(&self) -> usize {
-        match self {
-            Inner::Ec(s) => s.still_active(),
-            Inner::Strong(s) => s.still_active(),
-        }
+        each_stepper!(self, s => s.still_active())
     }
 
     fn num_nodes(&self) -> usize {
-        match self {
-            Inner::Ec(s) => s.num_nodes(),
-            Inner::Strong(s) => s.num_nodes(),
-        }
+        each_stepper!(self, s => s.num_nodes())
     }
 
     fn topology(&self) -> &Topology {
-        match self {
-            Inner::Ec(s) => s.topology(),
-            Inner::Strong(s) => s.topology(),
-        }
+        each_stepper!(self, s => s.topology())
     }
 
     fn tick(&mut self, batch: Option<&ChurnBatch>) -> Result<dima_sim::RoundStats, SimError> {
-        match self {
-            Inner::Ec(s) => s.tick(batch, &mut NoopTracer),
-            Inner::Strong(s) => s.tick(batch, &mut NoopTracer),
-        }
+        each_stepper!(self, s => s.tick(batch, &mut NoopTracer))
     }
 
     fn restart(&mut self) {
+        each_stepper!(self, s => s.restart())
+    }
+
+    /// The edge-coloring automata, when this service runs that protocol
+    /// (on either engine).
+    fn ec_nodes_mut(&mut self) -> Option<&mut [EdgeColoringNode]> {
         match self {
-            Inner::Ec(s) => s.restart(),
-            Inner::Strong(s) => s.restart(),
+            Inner::Ec(s) => Some(s.nodes_mut()),
+            Inner::EcPar(s) => Some(s.nodes_mut()),
+            Inner::Strong(_) | Inner::StrongPar(_) => None,
         }
     }
 
@@ -471,7 +476,15 @@ impl Inner {
                 let nodes = s.nodes();
                 (nodes[u.0 as usize].color_toward(v), nodes[v.0 as usize].color_toward(u))
             }
+            Inner::EcPar(s) => {
+                let nodes = s.nodes();
+                (nodes[u.0 as usize].color_toward(v), nodes[v.0 as usize].color_toward(u))
+            }
             Inner::Strong(s) => {
+                let nodes = s.nodes();
+                (nodes[u.0 as usize].out_color_toward(v), nodes[v.0 as usize].out_color_toward(u))
+            }
+            Inner::StrongPar(s) => {
                 let nodes = s.nodes();
                 (nodes[u.0 as usize].out_color_toward(v), nodes[v.0 as usize].out_color_toward(u))
             }
@@ -479,10 +492,7 @@ impl Inner {
     }
 
     fn palette(&self, v: VertexId) -> Vec<Color> {
-        match self {
-            Inner::Ec(s) => s.nodes()[v.0 as usize].palette(),
-            Inner::Strong(s) => s.nodes()[v.0 as usize].palette(),
-        }
+        each_stepper!(self, s => s.nodes()[v.0 as usize].palette())
     }
 }
 
@@ -539,7 +549,12 @@ impl ColoringService {
                 let factory: EcFactory = Box::new(move |seed: NodeSeed<'_>| {
                     EdgeColoringNode::new(&seed, &ccfg, palette_bound0)
                 });
-                Inner::Ec(Stepper::new(&topo, &engine_cfg, factory))
+                match cfg.coloring.engine {
+                    Engine::Sequential => Inner::Ec(Stepper::new(&topo, &engine_cfg, factory)),
+                    Engine::Parallel { threads } => {
+                        Inner::EcPar(ParStepper::new(&topo, &engine_cfg, threads, factory))
+                    }
+                }
             }
             ServeProtocol::StrongColoring => {
                 let d = Digraph::symmetric_closure(g0);
@@ -547,7 +562,12 @@ impl ColoringService {
                 let ccfg = cfg.coloring.clone();
                 let factory: StrongFactory =
                     Box::new(move |seed: NodeSeed<'_>| StrongColoringNode::new(&seed, &d, &ccfg));
-                Inner::Strong(Stepper::new(&topo, &engine_cfg, factory))
+                match cfg.coloring.engine {
+                    Engine::Sequential => Inner::Strong(Stepper::new(&topo, &engine_cfg, factory)),
+                    Engine::Parallel { threads } => {
+                        Inner::StrongPar(ParStepper::new(&topo, &engine_cfg, threads, factory))
+                    }
+                }
             }
         };
         Ok(ColoringService {
@@ -820,7 +840,7 @@ impl ColoringService {
         let ColorReduction::Kempe(kcfg) = self.cfg.coloring.reduction else {
             return None;
         };
-        if !matches!(self.inner, Inner::Ec(_)) {
+        if !matches!(self.inner, Inner::Ec(_) | Inner::EcPar(_)) {
             return None;
         }
         // Rebuild the live graph (edge ids: u ascending, then v) and
@@ -882,11 +902,9 @@ impl ColoringService {
                     (own, knowledge)
                 })
                 .collect();
-            let Inner::Ec(stepper) = &mut self.inner else {
-                unreachable!("matched Inner::Ec above");
-            };
+            let nodes = self.inner.ec_nodes_mut().expect("matched an edge-coloring variant above");
             for (i, (own, knowledge)) in per_node.into_iter().enumerate() {
-                stepper.nodes_mut()[i].adopt_compaction(&own, knowledge);
+                nodes[i].adopt_compaction(&own, knowledge);
             }
         }
         Some(report)
@@ -1119,6 +1137,10 @@ impl ColoringService {
             },
             validate_sends: header_num(&header, "validate_sends")? != 0,
             collect_round_stats: false,
+            // Snapshots do not record the engine: the coloring (and its
+            // replay) is bit-identical on either, so a restored service
+            // defaults to sequential and the host may choose parallel
+            // for fresh sessions.
             engine: Engine::Sequential,
             faults: FaultPlan::reliable(),
             transport: Transport::Bare,
@@ -1845,11 +1867,65 @@ mod tests {
     #[test]
     fn service_config_rejects_incompatible_modes() {
         let g = structured::path(4);
+        // threads: 0 is a config error (the coloring config validates
+        // it), but a well-formed parallel engine is accepted.
         let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 1);
-        cfg.coloring.engine = Engine::Parallel { threads: 2 };
+        cfg.coloring.engine = Engine::Parallel { threads: 0 };
         assert!(matches!(ColoringService::new(&g, cfg), Err(ServiceError::Config(_))));
         let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 1);
         cfg.coloring.faults = FaultPlan::uniform(0.5);
         assert!(matches!(ColoringService::new(&g, cfg), Err(ServiceError::Config(_))));
+    }
+
+    #[test]
+    fn parallel_service_matches_sequential() {
+        // The full serve lifecycle — initial coloring, staged churn
+        // commits, repairs, history — is bit-identical when the service
+        // runs on the pooled parallel stepper.
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let mut seq = svc(protocol, 29);
+            let mut journal = String::new();
+            drive(&mut seq, &waves(), &mut journal);
+
+            let g = structured::path(8);
+            let mut cfg = ServiceConfig::new(protocol, 29);
+            cfg.coloring.engine = Engine::Parallel { threads: 3 };
+            let mut par = ColoringService::new(&g, cfg).unwrap();
+            par.run_to_quiescence(par.tick_budget()).unwrap();
+            let mut journal_par = String::new();
+            drive(&mut par, &waves(), &mut journal_par);
+
+            assert_eq!(par.coloring_hash(), seq.coloring_hash(), "{protocol}");
+            assert_eq!(par.coloring(), seq.coloring(), "{protocol}");
+            assert_eq!(par.history(), seq.history(), "{protocol}");
+            assert_eq!(journal_par, journal, "{protocol}");
+            assert_proper(&par);
+        }
+    }
+
+    #[test]
+    fn consecutive_service_runs_reuse_the_pool() {
+        // Regression: the parallel stepper must draw workers from the
+        // persistent pool — ticking a service (or running two of them
+        // back to back) never spawns threads beyond the pool's
+        // high-water mark.
+        let g = structured::cycle(12);
+        let build = || {
+            let mut cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 7);
+            cfg.coloring.engine = Engine::Parallel { threads: 2 };
+            let mut s = ColoringService::new(&g, cfg).unwrap();
+            s.run_to_quiescence(s.tick_budget()).unwrap();
+            assert_proper(&s);
+        };
+        // Warm the pool to this width.
+        build();
+        let spawned_before = dima_sim::pool::global().threads_spawned();
+        build();
+        build();
+        assert_eq!(
+            dima_sim::pool::global().threads_spawned(),
+            spawned_before,
+            "repeat service runs must reuse pooled workers, not spawn new ones"
+        );
     }
 }

@@ -9,7 +9,15 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH]
+//!                [--only SUBSTRING] [--threads N] [--oversubscribe]
 //! ```
+//!
+//! Parallel scenarios are named after their width (`color_par4`,
+//! `thread_sweep_t8`); the default width is a constant, not the host's
+//! core count, so the same names appear in every snapshot. An explicit
+//! `--threads` larger than the host's parallelism is refused unless
+//! `--oversubscribe` is passed — a silently clamped run would publish
+//! numbers that don't match its scenario names.
 
 use dima_core::{
     color_edges, ColorReduction, ColoringConfig, ColoringService, Engine, KempeConfig,
@@ -33,7 +41,7 @@ use std::time::Instant;
 /// The optional percentile pair carries per-batch latency for service
 /// scenarios (`serve_slo`); plain throughput scenarios leave it unset.
 struct Measurement {
-    name: &'static str,
+    name: String,
     reps: usize,
     mean_ms: f64,
     min_ms: f64,
@@ -42,7 +50,7 @@ struct Measurement {
     p99_ms: Option<f64>,
 }
 
-fn measure(name: &'static str, reps: usize, mut run: impl FnMut(u64)) -> Measurement {
+fn measure(name: &str, reps: usize, mut run: impl FnMut(u64)) -> Measurement {
     run(0); // warm-up rep (page in the graph, size allocator pools)
     let mut times = Vec::with_capacity(reps);
     for rep in 0..reps {
@@ -57,7 +65,7 @@ fn measure(name: &'static str, reps: usize, mut run: impl FnMut(u64)) -> Measure
         sum += t;
     }
     let m = Measurement {
-        name,
+        name: name.to_string(),
         reps,
         mean_ms: sum / reps as f64,
         min_ms: min,
@@ -124,7 +132,7 @@ impl Protocol for SmallGossip {
 }
 
 fn small_gossip_scenario(
-    name: &'static str,
+    name: &str,
     topo: &Topology,
     rounds: u64,
     engine_threads: Option<usize>,
@@ -149,7 +157,7 @@ fn er_avg(n: usize, avg_degree: f64, seed: u64) -> Graph {
 }
 
 fn gossip_scenario(
-    name: &'static str,
+    name: &str,
     topo: &Topology,
     rounds: u64,
     payload_len: usize,
@@ -178,7 +186,7 @@ fn gossip_scenario(
 /// serialization) from disk throughput. Paired with
 /// `dense_broadcast_seq` to pin the sampled-tracing overhead budget.
 fn gossip_traced_scenario(
-    name: &'static str,
+    name: &str,
     topo: &Topology,
     rounds: u64,
     payload_len: usize,
@@ -210,7 +218,7 @@ fn gossip_traced_scenario(
 }
 
 fn coloring_scenario(
-    name: &'static str,
+    name: &str,
     g: &Graph,
     engine: Engine,
     transport: Transport,
@@ -234,7 +242,7 @@ fn coloring_scenario(
 /// long alternating chains (the base coloring run is included — the
 /// interesting figure is the marginal cost over `color_seq`-style runs
 /// on a graph this size).
-fn kempe_scenario(name: &'static str, g: &Graph, reps: usize) -> Measurement {
+fn kempe_scenario(name: &str, g: &Graph, reps: usize) -> Measurement {
     measure(name, reps, |rep| {
         let cfg = ColoringConfig {
             reduction: ColorReduction::Kempe(KempeConfig::default()),
@@ -251,7 +259,7 @@ fn kempe_scenario(name: &'static str, g: &Graph, reps: usize) -> Measurement {
 /// session; `p50_ms`/`p99_ms` are the per-batch repair latencies the
 /// service plane is judged on.
 fn serve_slo_scenario(
-    name: &'static str,
+    name: &str,
     g: &Graph,
     batches: usize,
     events_per_batch: usize,
@@ -366,12 +374,24 @@ fn parse_before(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Parallel-engine width the named scenarios are pinned to when
+/// `--threads` is absent. A constant — never the host's core count — so
+/// `color_par4` means the same configuration in every BENCH_*.json
+/// regardless of which machine produced it.
+const DEFAULT_PAR_THREADS: usize = 4;
+
+/// Shard counts the thread sweep visits (host-independent, like the
+/// scenario names).
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_engine.json");
     let mut label = String::from("snapshot");
     let mut before_path: Option<String> = None;
     let mut only: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut oversubscribe = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -380,15 +400,48 @@ fn main() {
             "--label" => label = args.next().expect("--label needs a name"),
             "--before" => before_path = Some(args.next().expect("--before needs a path")),
             "--only" => only = Some(args.next().expect("--only needs a scenario name substring")),
+            "--threads" => {
+                let v = args.next().expect("--threads needs a count");
+                threads = Some(v.parse().unwrap_or_else(|_| panic!("--threads {v}: not a count")));
+            }
+            "--oversubscribe" => oversubscribe = true,
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH] [--only SUBSTRING]");
+                eprintln!(
+                    "usage: bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH] \
+                     [--only SUBSTRING] [--threads N] [--oversubscribe]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    eprintln!("bench_baseline: label={label} quick={quick}");
+    let hw = dima_sim::pool::hardware_threads();
+    // An explicit --threads above the host's parallelism is an error,
+    // not a silent clamp: a clamped run would publish numbers under a
+    // different configuration than its scenario names claim. The
+    // default width is exempt — it is a naming constant, and an
+    // oversubscribed engine is merely slow, not wrong.
+    let par_threads = match threads {
+        Some(0) => {
+            eprintln!("error: --threads must be >= 1");
+            std::process::exit(2);
+        }
+        Some(t) if t > hw && !oversubscribe => {
+            eprintln!(
+                "error: --threads {t} exceeds this host's available parallelism ({hw}); \
+                 pass --oversubscribe to run anyway (numbers will reflect time-slicing, \
+                 not real concurrency)"
+            );
+            std::process::exit(2);
+        }
+        Some(t) => t,
+        None => DEFAULT_PAR_THREADS,
+    };
+
+    eprintln!(
+        "bench_baseline: label={label} quick={quick} par_threads={par_threads} host_threads={hw}"
+    );
 
     // Engine scenarios mirror `crates/experiments/benches/engines.rs`
     // (ER n=2000, avg degree 16); the gossip pair is the broadcast-heavy
@@ -402,6 +455,7 @@ fn main() {
     let dense_topo = Topology::from_graph(&dense);
 
     let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
+    let par_name = |base: &str| format!("{base}_par{par_threads}");
     let mut results = Vec::new();
     if want("color_seq") {
         results.push(coloring_scenario(
@@ -413,15 +467,55 @@ fn main() {
             reps,
         ));
     }
-    if want("color_par4") {
+    if want(&par_name("color")) {
         results.push(coloring_scenario(
-            "color_par4",
+            &par_name("color"),
             &g,
-            Engine::Parallel { threads: 4 },
+            Engine::Parallel { threads: par_threads },
             Transport::Bare,
             FaultPlan::reliable(),
             reps,
         ));
+    }
+    // The n >= 100k coloring pair: the scale where per-round work is
+    // large enough for the pool to amortize its barriers.
+    let (big_n, big_avg, big_reps) = if quick { (20_000, 8.0, 1) } else { (100_000, 8.0, 2) };
+    let big = er_avg(big_n, big_avg, 49);
+    if want("color_big_seq") {
+        results.push(coloring_scenario(
+            "color_big_seq",
+            &big,
+            Engine::Sequential,
+            Transport::Bare,
+            FaultPlan::reliable(),
+            big_reps,
+        ));
+    }
+    if want(&par_name("color_big")) {
+        results.push(coloring_scenario(
+            &par_name("color_big"),
+            &big,
+            Engine::Parallel { threads: par_threads },
+            Transport::Bare,
+            FaultPlan::reliable(),
+            big_reps,
+        ));
+    }
+    // Thread sweep over the big coloring workload. The sweep points are
+    // fixed (host-independent names); `host_threads` in the output says
+    // how many of them had real cores behind them.
+    for t in SWEEP_THREADS {
+        let name = format!("thread_sweep_t{t}");
+        if want(&name) {
+            results.push(coloring_scenario(
+                &name,
+                &big,
+                Engine::Parallel { threads: t },
+                Transport::Bare,
+                FaultPlan::reliable(),
+                big_reps,
+            ));
+        }
     }
     if want("dense_broadcast_seq") {
         results.push(gossip_scenario(
@@ -443,13 +537,13 @@ fn main() {
             reps,
         ));
     }
-    if want("dense_broadcast_par4") {
+    if want(&par_name("dense_broadcast")) {
         results.push(gossip_scenario(
-            "dense_broadcast_par4",
+            &par_name("dense_broadcast"),
             &dense_topo,
             dense_rounds,
             payload_len,
-            Some(4),
+            Some(par_threads),
             reps,
         ));
     }
@@ -462,12 +556,12 @@ fn main() {
             reps,
         ));
     }
-    if want("small_broadcast_par4") {
+    if want(&par_name("small_broadcast")) {
         results.push(small_gossip_scenario(
-            "small_broadcast_par4",
+            &par_name("small_broadcast"),
             &dense_topo,
             dense_rounds * 4,
-            Some(4),
+            Some(par_threads),
             reps,
         ));
     }
@@ -499,6 +593,8 @@ fn main() {
     doc.push_str("\"schema\":\"dima-bench-v1\",\n");
     doc.push_str(&format!("\"label\":\"{}\",\n", json_escape(&label)));
     doc.push_str(&format!("\"quick\":{quick},\n"));
+    doc.push_str(&format!("\"par_threads\":{par_threads},\n"));
+    doc.push_str(&format!("\"host_threads\":{hw},\n"));
     doc.push_str(&format!("\"scenarios\":{}", scenarios_json(&results)));
     // Sampled-tracing overhead budget: the traced dense-broadcast run
     // may cost at most 5% over its untraced twin.
@@ -533,7 +629,7 @@ fn main() {
         doc.push_str(&format!(",\n\"before\":[{}]", rows.join(",")));
         let mut speedups = Vec::new();
         for (name, before_mean) in &before {
-            if let Some(after) = results.iter().find(|m| m.name == name) {
+            if let Some(after) = results.iter().find(|m| &m.name == name) {
                 speedups.push(format!(
                     "{{\"name\":\"{}\",\"ratio\":{:.3}}}",
                     json_escape(name),

@@ -40,13 +40,17 @@
 //! run replays, event for event, the sequence a sequential run emits.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the two modules that implement the
+// parallel engine's lock-free message plane ([`pool`] and [`par`])
+// opt back in locally, each with a module-level safety argument.
+#![deny(unsafe_code)]
 
 pub mod churn;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod par;
+pub mod pool;
 pub mod protocol;
 pub mod reliable;
 pub mod rng;
@@ -71,7 +75,9 @@ pub use engine::{
     RoundView, RunOutcome,
 };
 pub use error::SimError;
-pub use par::{run_parallel, run_parallel_churn, run_parallel_churn_traced, run_parallel_traced};
+pub use par::{
+    run_parallel, run_parallel_churn, run_parallel_churn_traced, run_parallel_traced, ParStepper,
+};
 pub use protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Shared};
 pub use reliable::{ArqConfig, ArqMsg, ReliableNode};
 pub use stats::{RoundStats, RunStats};

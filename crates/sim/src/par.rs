@@ -1,33 +1,57 @@
 //! The parallel engine: sharded workers in lockstep, bit-identical to the
 //! sequential engine.
 //!
-//! Nodes are partitioned into contiguous shards, one worker thread per
-//! shard. Each communication round proceeds in two barrier-separated
-//! phases:
+//! Nodes are partitioned into contiguous shards (weighted by CSR degree,
+//! so shards carry equal *edge* load, not just equal node counts), one
+//! participant per shard. Workers come from the process-wide persistent
+//! pool ([`crate::pool`]) — nothing is spawned per run, let alone per
+//! round — and the caller itself drives shard 0, so `threads == 1` never
+//! touches the pool at all.
 //!
-//! 1. **step & send** — every worker steps its live nodes in id order,
-//!    staging each delivery into a per-destination-shard vector, then
-//!    swaps each vector whole into one slot of a `threads × threads`
-//!    mailbox matrix (each slot is written by exactly one sender worker
-//!    per round, so its mutex is never contended);
-//! 2. **collect** — after the barrier, every worker drains the `threads`
-//!    slots addressed to it, in sender-shard order, scattering messages
-//!    into per-node buckets and bulk-moving the buckets into a flat
-//!    per-shard inbox arena (CSR offsets, one slice per node). Shards
-//!    are contiguous and ascending and each slot holds its senders'
-//!    messages in sender-id order, so the buckets fill in exactly the
-//!    documented sorted-by-sender delivery order — no sort anywhere —
-//!    which makes delivery order, and therefore every downstream random
-//!    choice, independent of thread interleaving.
+//! Each communication round is one [`ParStepper::tick`]. Within a tick,
+//! the participants move through phases separated by an
+//! [`EpochBarrier`]:
+//!
+//! 1. **churn** (only on batch rounds) — each participant applies the
+//!    slice of the batch falling in its shard, then a barrier makes the
+//!    new done flags and topology visible before any node steps;
+//! 2. **step & deposit** — every participant steps its live nodes in id
+//!    order, pushing each delivery directly into the `(sender shard,
+//!    receiver shard)` slot of the [`MailGrid`] — in place, no mutex,
+//!    no post-barrier shuffle. Exactly one participant writes any slot
+//!    in this phase, which is what makes the lock-free deposit sound;
+//! 3. **barrier A**, then **boundary + collect** — each participant
+//!    publishes its shard's new done flags, applies pending wake-ups,
+//!    and drains its grid *column* straight into its flat CSR inbox
+//!    arena: one counting pass computes the offsets, one placement pass
+//!    moves each envelope to its final slot. Walking sender shards in
+//!    ascending order (each slot already in sender-id order) yields the
+//!    documented sorted-by-sender delivery order *by construction* — no
+//!    sort, no per-node buckets, one move per message.
+//!
+//! The scope join doubles as barrier B: no participant can deposit for
+//! round `r + 1` before every participant finished collecting round `r`.
 //!
 //! Combined with per-node RNGs seeded only by `(master seed, node id)`
 //! (see [`crate::rng`]) and hash-based fault decisions, a parallel run is
 //! *bit-identical* to a sequential run with the same config: same final
-//! protocol states, same aggregate message counts, same round count. The
-//! property tests in `tests/engine_equivalence.rs` exercise exactly this.
+//! protocol states, same aggregate message counts, same round count.
+//! [`ParStepper`] deliberately mirrors [`crate::Stepper`]'s API so
+//! step-wise hosts (the serve-mode [`ColoringService`]) can drive either
+//! engine through the same loop; the batch entry points below are the
+//! same thin run-to-quiescence loop the sequential engine uses.
+//!
+//! [`ColoringService`]: ../../dima_core/struct.ColoringService.html
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+// The in-place message plane shares per-node arrays across the pool
+// scope through raw pointers with barrier-enforced phase discipline;
+// the aliasing rules are documented on [`MailGrid`] and [`NodeArrays`]
+// and at each unsafe block.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dima_graph::VertexId;
 use dima_telemetry::{
@@ -36,28 +60,22 @@ use dima_telemetry::{
 };
 use parking_lot::Mutex;
 
-use crate::churn::ChurnSchedule;
-use crate::engine::{EngineConfig, RunOutcome};
+use crate::churn::{ChurnBatch, ChurnSchedule};
+use crate::engine::{EngineConfig, RoundView, RunOutcome};
 use crate::error::SimError;
+use crate::pool::{self, EpochBarrier};
 use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
 use crate::rng::node_rng;
 use crate::stats::{RoundStats, RunStats};
+use crate::stepper::deliver_fate;
 use crate::topology::Topology;
-
-/// One slot of the mailbox matrix: the `(recipient, envelope)` run one
-/// sender shard produced for one receiver shard this round.
-type MailboxSlot<M> = Mutex<Vec<(VertexId, Envelope<M>)>>;
-
-/// What one worker hands back: its shard's final protocols, crash fates,
-/// buffered trace events and phase timings.
-type ShardOut<P> = (Vec<P>, Vec<bool>, Vec<Stamped>, PhaseNanos);
 
 /// Run `factory`-created protocols on `topo` using `threads` workers.
 ///
 /// `factory` is invoked from worker threads (hence `Sync`); each node's
 /// instance is created by the worker that owns its shard.
 ///
-/// With `threads == 1` this is still the threaded code path (useful for
+/// With `threads == 1` this is still the sharded code path (useful for
 /// testing); for the plain single-threaded engine use
 /// [`crate::engine::run_sequential`].
 pub fn run_parallel<P, F>(
@@ -76,11 +94,12 @@ where
 /// [`run_parallel`] feeding telemetry events to `tracer`.
 ///
 /// Workers buffer events per shard, stamped with the engine round and
-/// node id; after the join the buffers are merged into the canonical
-/// deterministic order ([`dima_telemetry::merge_shards`]) and replayed
-/// into `tracer` — so an identically-seeded sequential run produces the
-/// *same event sequence*, which `tests/trace_plane.rs` asserts. The
-/// tracer needs `Sync` because workers consult its sampling predicate.
+/// node id; at each round boundary the buffers are merged into the
+/// canonical deterministic order ([`dima_telemetry::merge_shards`]) and
+/// replayed into `tracer` — so an identically-seeded sequential run
+/// produces the *same event sequence*, which `tests/trace_plane.rs`
+/// asserts. The tracer needs `Sync` because workers consult its
+/// sampling predicate.
 pub fn run_parallel_traced<P, F, T>(
     topo: &Topology,
     cfg: &EngineConfig,
@@ -98,13 +117,6 @@ where
 
 /// [`run_parallel`] under a topology-churn schedule, bit-identical to
 /// [`crate::engine::run_sequential_churn`].
-///
-/// Batches are precompiled data (see [`crate::churn`]), so every worker
-/// independently agrees on *when* a batch fires; each worker applies the
-/// slice of the batch that falls in its shard, then an extra barrier
-/// makes the new done flags and topology visible before any node is
-/// stepped. The run ends when every node is done *and* the schedule is
-/// exhausted.
 pub fn run_parallel_churn<P, F>(
     topo: &Topology,
     cfg: &EngineConfig,
@@ -120,6 +132,13 @@ where
 }
 
 /// [`run_parallel_traced`] under a topology-churn schedule.
+///
+/// This is the same run-to-quiescence loop as
+/// [`crate::engine::run_sequential_churn_observed_traced`], over a
+/// [`ParStepper`] instead of a [`crate::Stepper`]: batches fire at the
+/// top of their round, quiescent stretches between batches fast-forward,
+/// and the run ends when every node is done *and* the schedule is
+/// exhausted.
 pub fn run_parallel_churn_traced<P, F, T>(
     topo: &Topology,
     cfg: &EngineConfig,
@@ -133,9 +152,7 @@ where
     F: Fn(NodeSeed<'_>) -> P + Sync,
     T: Tracer + Sync,
 {
-    let n = topo.num_nodes();
-    let threads = threads.max(1).min(n.max(1));
-    if n == 0 {
+    if topo.num_nodes() == 0 {
         return Ok(RunOutcome {
             nodes: Vec::new(),
             stats: RunStats {
@@ -145,619 +162,960 @@ where
             crashed: Vec::new(),
         });
     }
-
-    // Shard bounds: contiguous, near-equal.
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|t| {
-            let lo = t * n / threads;
-            let hi = (t + 1) * n / threads;
-            (lo, hi)
-        })
-        .collect();
-    // Owning shard per node, so routing a delivery is one table lookup.
-    let shard_of: Vec<u32> = {
-        let mut v = vec![0u32; n];
-        for (t, &(lo, hi)) in bounds.iter().enumerate() {
-            v[lo..hi].fill(t as u32);
+    let mut stepper = ParStepper::new(topo, cfg, threads, factory);
+    let mut next_batch = 0usize;
+    while stepper.executed() < cfg.max_rounds {
+        let batch = schedule.batches().get(next_batch).filter(|b| b.round == stepper.round());
+        if batch.is_some() {
+            next_batch += 1;
         }
-        v
-    };
+        let rs = stepper.tick(batch, tracer)?;
+        if stepper.is_quiescent() {
+            if next_batch == schedule.len() {
+                return Ok(
+                    stepper.into_outcome(schedule.len() as u64, schedule.total_events() as u64)
+                );
+            }
+            // Idle-round fast-forward, mirroring the sequential engine:
+            // fully quiescent with nothing in flight, every node parked
+            // waiting for a future batch — jump straight to the batch
+            // round.
+            if rs.active == 0 {
+                if let Some(b) = schedule.batches().get(next_batch) {
+                    stepper.skip_to_round(b.round);
+                }
+            }
+        }
+    }
+    Err(SimError::MaxRoundsExceeded {
+        max_rounds: cfg.max_rounds,
+        still_active: stepper.still_active(),
+    })
+}
 
-    // Shared state. `slots[sender_tid * threads + recv_tid]` holds the
-    // `(recipient, envelope)` run sender_tid produced for recv_tid's
-    // shard this round; every slot is drained every round.
-    let slots: Vec<MailboxSlot<P::Msg>> =
-        (0..threads * threads).map(|_| Mutex::new(Vec::new())).collect();
-    let done_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    // Wake-ups pending for the round boundary ([`Protocol::wakes`]): set
-    // by the *sender's* worker in phase 1 (first setter also adjusts
-    // `total_done`, so every worker agrees on the termination test after
-    // barrier A), consumed by the *owner's* worker between the barriers.
-    let woken_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    let total_done = AtomicUsize::new(0);
-    let total_crashed = AtomicUsize::new(0);
-    let round_sent = AtomicU64::new(0);
-    let round_delivered = AtomicU64::new(0);
-    // Cumulative across rounds (never reset): every worker reads it in
-    // the stable window between the barriers and diffs against its own
-    // previous reading to learn this round's active count — a reset
-    // would race with the next round's adds.
-    let cum_active = AtomicUsize::new(0);
-    let total_dropped = AtomicU64::new(0);
-    let total_corrupted = AtomicU64::new(0);
-    let total_duplicated = AtomicU64::new(0);
-    // Crash fates are pure functions of (seed, node); every worker can
-    // evaluate any node's fate without shared mutable state.
-    let crash_round: Vec<Option<u64>> =
-        (0..n).map(|i| cfg.faults.crashed_at(cfg.seed, i as u32)).collect();
-    let barrier = Barrier::new(threads);
-    let error: Mutex<Option<SimError>> = Mutex::new(None);
-    let per_round: Mutex<Vec<RoundStats>> = Mutex::new(Vec::new());
-    let finished_round = AtomicU64::new(0);
-    let batches_applied = AtomicUsize::new(0);
-    let idle_skipped = AtomicU64::new(0);
+/// Contiguous shard bounds balanced by CSR weight (degree plus a fixed
+/// per-node cost), so a skewed-degree graph does not leave most shards
+/// idle while one drowns in edges. Deterministic in `(topo, threads)`;
+/// the cut positions never affect delivery order (see the module docs),
+/// so bit-identity is preserved for any partition.
+fn shard_bounds(topo: &Topology, threads: usize) -> Vec<(usize, usize)> {
+    // Stepping a node costs roughly a constant plus its degree.
+    const NODE_COST: u64 = 8;
+    let n = topo.num_nodes();
+    let weight = |i: usize| NODE_COST + topo.degree(VertexId(i as u32)) as u64;
+    let total: u64 = (0..n).map(weight).sum();
+    let mut bounds = Vec::with_capacity(threads);
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    for t in 0..threads {
+        if t == threads - 1 {
+            bounds.push((lo, n));
+            break;
+        }
+        let target = total * (t as u64 + 1) / threads as u64;
+        // Leave at least one node for each later shard.
+        let max_hi = n - (threads - 1 - t);
+        let mut hi = lo;
+        while hi < max_hi && (hi == lo || acc < target) {
+            acc += weight(hi);
+            hi += 1;
+        }
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
 
-    let worker = |tid: usize| -> ShardOut<P> {
-        let (lo, hi) = bounds[tid];
-        let mut protocols: Vec<P> = (lo..hi)
+/// The mailbox grid: one slot per `(sender shard, receiver shard)` pair.
+///
+/// Slots are plain vectors behind `UnsafeCell` — no mutex. Soundness is
+/// phase discipline, enforced by the round barrier:
+///
+/// * in the **deposit** phase, slot `(s, r)` is written only by
+///   participant `s` (each participant owns its *row*);
+/// * in the **collect** phase (after barrier A), slot `(s, r)` is
+///   drained only by participant `r` (each participant owns its
+///   *column*);
+/// * the phases never overlap: barrier A separates them within a tick,
+///   and the scope join + next dispatch separate a tick's collect from
+///   the next tick's deposit.
+///
+/// Draining in place (`Vec::drain`) keeps each slot's capacity with its
+/// channel pair, so steady-state rounds allocate nothing.
+/// One grid slot: messages addressed from a sender shard to the nodes
+/// of a receiver shard.
+type MailSlot<M> = UnsafeCell<Vec<(VertexId, Envelope<M>)>>;
+
+struct MailGrid<M> {
+    slots: Vec<MailSlot<M>>,
+    threads: usize,
+}
+
+// SAFETY: see the struct docs — every slot has exactly one accessor per
+// barrier-separated phase.
+unsafe impl<M: Send> Sync for MailGrid<M> {}
+
+impl<M> MailGrid<M> {
+    fn new(threads: usize) -> Self {
+        MailGrid {
+            slots: (0..threads * threads).map(|_| UnsafeCell::new(Vec::new())).collect(),
+            threads,
+        }
+    }
+
+    /// The `(sender shard, receiver shard)` slot.
+    ///
+    /// # Safety
+    /// The caller must be the slot's unique accessor for the current
+    /// phase: participant `s` during deposit, participant `r` during
+    /// collect.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, s: usize, r: usize) -> &mut Vec<(VertexId, Envelope<M>)> {
+        &mut *self.slots[s * self.threads + r].get()
+    }
+}
+
+/// Per-shard persistent state plus the per-tick outputs the caller folds
+/// after the join. Only the owning participant touches a `ShardState`
+/// during a tick.
+struct ShardState<M> {
+    /// This shard's inboxes as a flat arena: node `lo + li` reads the
+    /// slice `inbox_data[inbox_off[li]..inbox_off[li + 1]]`.
+    inbox_data: Vec<Envelope<M>>,
+    inbox_off: Vec<u32>,
+    /// Scratch for the collect counting pass (doubles as the placement
+    /// cursor).
+    counts: Vec<u32>,
+    outbox: Vec<(Target, M)>,
+    newly_done: Vec<usize>,
+    suppressed_now: Vec<usize>,
+    /// Telemetry: stamped event buffer (merged at each round boundary)
+    /// and partial per-kind counters (summed during the merge).
+    buf: ShardBuf,
+    kinds: Option<KindTable>,
+    /// Cumulative per-phase wall-clock for this shard (profiled runs).
+    phases: PhaseNanos,
+    // --- per-tick outputs ---
+    sent: u64,
+    delivered: u64,
+    active: usize,
+    dropped: u64,
+    corrupted: u64,
+    duplicated: u64,
+    done_delta: i64,
+    crashed_delta: usize,
+    error: Option<SimError>,
+}
+
+impl<M> ShardState<M> {
+    fn new(len: usize) -> Self {
+        ShardState {
+            inbox_data: Vec::new(),
+            inbox_off: vec![0; len + 1],
+            counts: vec![0; len],
+            outbox: Vec::new(),
+            newly_done: Vec::new(),
+            suppressed_now: Vec::new(),
+            buf: ShardBuf::default(),
+            kinds: None,
+            phases: PhaseNanos::default(),
+            sent: 0,
+            delivered: 0,
+            active: 0,
+            dropped: 0,
+            corrupted: 0,
+            duplicated: 0,
+            done_delta: 0,
+            crashed_delta: 0,
+            error: None,
+        }
+    }
+}
+
+/// Raw views into the stepper's per-node arrays, handed to the tick
+/// participants. All access goes through tiny unsafe helpers so the
+/// aliasing story stays auditable:
+///
+/// * `protocols`, `rngs` — element `i` is accessed (mutably) only by
+///   the participant owning node `i`'s shard;
+/// * `done`, `crashed`, `suppress` — written only by the owner, and
+///   only in phases where no other participant reads them (churn and
+///   boundary); read freely in the step phase, where nobody writes.
+///   The phase transitions are barriers, which order the accesses;
+/// * `shards` — element `tid` is touched only by participant `tid`.
+struct NodeArrays<P: Protocol> {
+    protocols: *mut P,
+    rngs: *mut rand::rngs::SmallRng,
+    done: *mut bool,
+    crashed: *mut bool,
+    suppress: *mut bool,
+    shards: *mut ShardState<P::Msg>,
+    n: usize,
+}
+
+// SAFETY: the pointers partition by shard / by phase as documented; the
+// barrier provides the cross-thread ordering.
+unsafe impl<P: Protocol> Sync for NodeArrays<P> {}
+
+impl<P: Protocol> NodeArrays<P> {
+    /// # Safety
+    /// Caller must own shard `tid` for this tick.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard(&self, tid: usize) -> &mut ShardState<P::Msg> {
+        &mut *self.shards.add(tid)
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn protocol(&self, i: usize) -> &mut P {
+        &mut *self.protocols.add(i)
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn rng(&self, i: usize) -> &mut rand::rngs::SmallRng {
+        &mut *self.rngs.add(i)
+    }
+    /// # Safety
+    /// Caller must be in a phase where the owner of `i` is not writing.
+    unsafe fn done(&self, i: usize) -> bool {
+        *self.done.add(i)
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard, in a write phase.
+    unsafe fn set_done(&self, i: usize, v: bool) {
+        *self.done.add(i) = v;
+    }
+    /// # Safety
+    /// See [`NodeArrays::done`].
+    unsafe fn crashed(&self, i: usize) -> bool {
+        *self.crashed.add(i)
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard, in a write phase.
+    unsafe fn set_crashed(&self, i: usize, v: bool) {
+        *self.crashed.add(i) = v;
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard.
+    unsafe fn suppressed(&self, i: usize) -> bool {
+        *self.suppress.add(i)
+    }
+    /// # Safety
+    /// `i` must be in the caller's shard.
+    unsafe fn set_suppress(&self, i: usize, v: bool) {
+        *self.suppress.add(i) = v;
+    }
+    /// The full done array as a shared slice, for the delivery-fate
+    /// check.
+    ///
+    /// # Safety
+    /// Only valid during the step phase, where no participant writes
+    /// the array; the slice must be dropped before barrier A.
+    unsafe fn done_view(&self) -> &[bool] {
+        std::slice::from_raw_parts(self.done, self.n)
+    }
+}
+
+/// Everything a tick participant needs, shared by reference across the
+/// pool scope.
+struct TickCtx<'a, P: Protocol, F, T> {
+    cfg: &'a EngineConfig,
+    topo: &'a Topology,
+    batch: Option<&'a ChurnBatch>,
+    bounds: &'a [(usize, usize)],
+    shard_of: &'a [u32],
+    crash_round: &'a [Option<u64>],
+    woken: &'a [AtomicBool],
+    grid: &'a MailGrid<P::Msg>,
+    barrier: &'a EpochBarrier,
+    arrays: NodeArrays<P>,
+    factory: &'a F,
+    tracer: &'a T,
+    panic: &'a Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    round: u64,
+    threads: usize,
+}
+
+/// The parallel engine's per-round state machine — [`crate::Stepper`]'s
+/// API over pooled shard workers. See the module docs for the phase
+/// structure and the bit-identity argument.
+pub struct ParStepper<P: Protocol, F> {
+    cfg: EngineConfig,
+    factory: F,
+    topo: Topology,
+    threads: usize,
+    bounds: Vec<(usize, usize)>,
+    shard_of: Vec<u32>,
+    barrier: EpochBarrier,
+    grid: MailGrid<P::Msg>,
+    shards: Vec<ShardState<P::Msg>>,
+    protocols: Vec<P>,
+    rngs: Vec<rand::rngs::SmallRng>,
+    done: Vec<bool>,
+    done_count: usize,
+    crash_round: Vec<Option<u64>>,
+    crashed: Vec<bool>,
+    crashed_count: usize,
+    suppress: Vec<bool>,
+    woken: Vec<AtomicBool>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    stats: RunStats,
+    kinds_on: bool,
+    round: u64,
+    executed: u64,
+}
+
+impl<P, F> ParStepper<P, F>
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+{
+    /// Create the per-node protocol instances on `topo` and stand ready
+    /// at round 0, sharded for `threads` participants (clamped to
+    /// `[1, n]`). The factory is called once per node in node order, and
+    /// kept for churn joins and [`ParStepper::restart`].
+    pub fn new(topo: &Topology, cfg: &EngineConfig, threads: usize, factory: F) -> Self {
+        let n = topo.num_nodes();
+        let threads = threads.max(1).min(n.max(1));
+        let bounds = shard_bounds(topo, threads);
+        let shard_of: Vec<u32> = {
+            let mut v = vec![0u32; n];
+            for (t, &(lo, hi)) in bounds.iter().enumerate() {
+                v[lo..hi].fill(t as u32);
+            }
+            v
+        };
+        let protocols: Vec<P> = (0..n)
             .map(|i| {
                 let node = VertexId(i as u32);
                 factory(NodeSeed { node, neighbors: topo.neighbors(node) })
             })
             .collect();
-        let mut rngs: Vec<_> = (lo..hi).map(|i| node_rng(cfg.seed, i as u32)).collect();
-        // This shard's inboxes as a flat arena: node `lo + li` reads the
-        // slice `inbox_data[inbox_off[li]..inbox_off[li + 1]]`.
-        let mut inbox_data: Vec<Envelope<P::Msg>> = Vec::new();
-        let mut inbox_off: Vec<u32> = vec![0; hi - lo + 1];
-        let mut local_done = vec![false; hi - lo];
-        let mut local_crashed = vec![false; hi - lo];
-        let mut outbox: Vec<(Target, P::Msg)> = Vec::new();
-        // Outgoing deliveries, staged per destination shard; each vector
-        // is swapped whole into its mailbox-matrix slot at deposit time.
-        let mut out_shard: Vec<Vec<(VertexId, Envelope<P::Msg>)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        // Per-sender-shard staging for the collect scatter; the emptied
-        // vectors go back into the slots so capacity is reused.
-        let mut collected: Vec<Vec<(VertexId, Envelope<P::Msg>)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        // Per-node staging for next round's inboxes: each bucket fills
-        // sorted by sender, then is bulk-moved into the arena.
-        let mut buckets: Vec<Vec<Envelope<P::Msg>>> = (0..hi - lo).map(|_| Vec::new()).collect();
-        // Nodes whose arena slice a churn batch invalidated this round.
-        let mut suppress = vec![false; hi - lo];
-        let mut suppressed_now: Vec<usize> = Vec::new();
-        // Telemetry: this worker's stamped event buffer (merged across
-        // workers after the join) and its partial per-kind counters
-        // (summed during the merge). Both stay empty under [`NoopTracer`]
-        // — `T::ENABLED` is a compile-time constant.
-        let mut shard = ShardBuf::default();
-        let mut kinds: Option<KindTable> = T::ENABLED.then(KindTable::new);
-        let mut phases = PhaseNanos::default();
+        let rngs: Vec<_> = (0..n).map(|i| node_rng(cfg.seed, i as u32)).collect();
+        let crash_round: Vec<Option<u64>> =
+            (0..n).map(|i| cfg.faults.crashed_at(cfg.seed, i as u32)).collect();
+        let stats =
+            RunStats { per_round: cfg.collect_round_stats.then(Vec::new), ..Default::default() };
+        ParStepper {
+            cfg: cfg.clone(),
+            factory,
+            topo: topo.clone(),
+            threads,
+            shards: bounds.iter().map(|&(lo, hi)| ShardState::new(hi - lo)).collect(),
+            bounds,
+            shard_of,
+            barrier: EpochBarrier::new(threads),
+            grid: MailGrid::new(threads),
+            protocols,
+            rngs,
+            done: vec![false; n],
+            done_count: 0,
+            crash_round,
+            crashed: vec![false; n],
+            crashed_count: 0,
+            suppress: vec![false; n],
+            woken: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            panic: Mutex::new(None),
+            stats,
+            kinds_on: false,
+            round: 0,
+            executed: 0,
+        }
+    }
 
-        // The topology in force; batches swap it for their snapshot.
-        let mut topo_now = topo;
-        let mut next_batch = 0usize;
-        let mut prev_cum_active = 0usize;
-        let mut round: u64 = 0;
-        let mut executed: u64 = 0;
-        while executed < cfg.max_rounds {
-            executed += 1;
-            let churn_scope = ProfileScope::start(cfg.profile);
-            // --- Churn batch (if one fires this round): every worker
-            //     evaluates the same schedule, so they all agree on
-            //     whether this block (and its barrier) runs. Each worker
-            //     applies the slice of the batch in its own shard; the
-            //     barrier then makes the new done flags and topology
-            //     visible before any node is stepped or any fate() reads
-            //     the flags. ---
-            if let Some(batch) = schedule.batches().get(next_batch) {
-                if batch.round == round {
-                    if T::ENABLED && tid == 0 {
-                        shard.round = round;
-                        shard.node = 0;
-                        shard.sink(Event::Churn {
-                            round,
-                            joins: batch.joins.len() as u32,
-                            leaves: batch.leaves.len() as u32,
-                            changes: batch.changes.len() as u32,
-                        });
-                    }
-                    for &v in &batch.leaves {
-                        let i = v.index();
-                        if i < lo || i >= hi {
-                            continue;
-                        }
-                        let li = i - lo;
-                        if local_crashed[li] {
-                            continue;
-                        }
-                        if !local_done[li] {
-                            local_done[li] = true;
-                            done_flags[i].store(true, Ordering::Relaxed);
-                            total_done.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if !suppress[li] {
-                            suppress[li] = true;
-                            suppressed_now.push(li);
-                        }
-                    }
-                    for &v in &batch.joins {
-                        let i = v.index();
-                        if i < lo || i >= hi {
-                            continue;
-                        }
-                        let li = i - lo;
-                        if local_crashed[li] {
-                            continue;
-                        }
-                        protocols[li] =
-                            factory(NodeSeed { node: v, neighbors: batch.topo.neighbors(v) });
-                        if local_done[li] {
-                            local_done[li] = false;
-                            done_flags[i].store(false, Ordering::Relaxed);
-                            total_done.fetch_sub(1, Ordering::Relaxed);
-                        }
-                        if !suppress[li] {
-                            suppress[li] = true;
-                            suppressed_now.push(li);
-                        }
-                    }
-                    for (v, change) in &batch.changes {
-                        let i = v.index();
-                        if i < lo || i >= hi {
-                            continue;
-                        }
-                        let li = i - lo;
-                        if local_crashed[li] {
-                            continue;
-                        }
-                        let status = protocols[li].on_topology_change(
-                            NodeSeed { node: *v, neighbors: batch.topo.neighbors(*v) },
-                            change,
-                        );
-                        match status {
-                            NodeStatus::Active if local_done[li] => {
-                                local_done[li] = false;
-                                done_flags[i].store(false, Ordering::Relaxed);
-                                total_done.fetch_sub(1, Ordering::Relaxed);
-                            }
-                            NodeStatus::Done if !local_done[li] => {
-                                local_done[li] = true;
-                                done_flags[i].store(true, Ordering::Relaxed);
-                                total_done.fetch_add(1, Ordering::Relaxed);
-                            }
-                            _ => {}
-                        }
-                    }
-                    topo_now = &batch.topo;
-                    next_batch += 1;
-                    if tid == 0 {
-                        batches_applied.store(next_batch, Ordering::Relaxed);
-                    }
-                    barrier.wait();
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.protocols.len()
+    }
+
+    /// The participant count after clamping.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The round the next [`ParStepper::tick`] will execute.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Rounds actually executed so far (excludes skipped idle rounds).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// True when every node is parked (done or crashed) — quiescence.
+    pub fn is_quiescent(&self) -> bool {
+        self.done_count + self.crashed_count == self.num_nodes()
+    }
+
+    /// Nodes still active (not done, not crashed).
+    pub fn still_active(&self) -> usize {
+        self.num_nodes() - self.done_count - self.crashed_count
+    }
+
+    /// Final protocol state per node, by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Mutable access to the protocol instances (see
+    /// [`crate::Stepper::nodes_mut`]).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.protocols
+    }
+
+    /// Which nodes have crash-stopped.
+    pub fn crashed(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Which nodes are done as of the last round boundary.
+    pub fn done(&self) -> &[bool] {
+        &self.done
+    }
+
+    /// The topology currently in force (swapped by churn batches).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The observer view for the round whose stats are `rs`.
+    pub fn view(&self, rs: RoundStats) -> RoundView<'_, P> {
+        RoundView {
+            round: rs.round,
+            nodes: &self.protocols,
+            done: &self.done,
+            crashed: &self.crashed,
+            stats: rs,
+        }
+    }
+
+    /// Jump the round clock forward to `target` without executing the
+    /// intervening rounds (see [`crate::Stepper::skip_to_round`]).
+    pub fn skip_to_round(&mut self, target: u64) {
+        debug_assert!(self.is_quiescent(), "cannot skip rounds with active nodes");
+        if target > self.round {
+            self.stats.idle_rounds_skipped += target - self.round;
+            self.round = target;
+        }
+    }
+
+    /// Consume the stepper into a [`RunOutcome`]. On profiled runs this
+    /// also folds the per-shard phase timers into
+    /// [`RunStats::phase_nanos`] and publishes the per-shard breakdown
+    /// as [`RunStats::shard_phases`].
+    pub fn into_outcome(mut self, churn_batches: u64, churn_events: u64) -> RunOutcome<P> {
+        self.stats.crashed = self.crashed_count;
+        self.stats.churn_batches = churn_batches;
+        self.stats.churn_events = churn_events;
+        for st in &self.shards {
+            self.stats.phase_nanos.add(st.phases);
+        }
+        if self.cfg.profile {
+            self.stats.shard_phases = self.shards.iter().map(|st| st.phases).collect();
+        }
+        RunOutcome { nodes: self.protocols, stats: self.stats, crashed: self.crashed }
+    }
+
+    /// Throw away every surviving node's protocol state and start over
+    /// on the current topology (see [`crate::Stepper::restart`] — same
+    /// determinism contract; the factory runs on the caller's thread).
+    pub fn restart(&mut self) {
+        for i in 0..self.num_nodes() {
+            if self.crashed[i] {
+                continue;
+            }
+            let node = VertexId(i as u32);
+            self.protocols[i] =
+                (self.factory)(NodeSeed { node, neighbors: self.topo.neighbors(node) });
+            if self.done[i] {
+                self.done[i] = false;
+                self.done_count -= 1;
+            }
+            self.suppress[i] = false;
+            self.woken[i].store(false, Ordering::Relaxed);
+        }
+        for st in &mut self.shards {
+            st.inbox_data.clear();
+            st.inbox_off.fill(0);
+            st.suppressed_now.clear();
+            st.newly_done.clear();
+        }
+        for cell in &self.grid.slots {
+            // SAFETY: `&mut self` — no tick in flight.
+            unsafe { (*cell.get()).clear() };
+        }
+    }
+
+    /// Execute one communication round across all shards: apply `batch`
+    /// first if given, step every active node, deposit + collect, merge
+    /// done/wake flags at the boundary, and advance the round clock.
+    /// Semantics (and the resulting statistics, states and telemetry
+    /// events) are bit-identical to [`crate::Stepper::tick`].
+    ///
+    /// If a protocol panics on any shard, the round barrier is poisoned
+    /// so every participant drains out, and the panic is re-raised here;
+    /// the stepper is not usable afterwards (nor after an `Err`).
+    pub fn tick<T: Tracer + Sync>(
+        &mut self,
+        batch: Option<&ChurnBatch>,
+        tracer: &mut T,
+    ) -> Result<RoundStats, SimError> {
+        if T::ENABLED && !self.kinds_on && self.executed == 0 {
+            self.kinds_on = true;
+            for st in &mut self.shards {
+                st.kinds = Some(KindTable::new());
+            }
+        }
+        self.executed += 1;
+        let round = self.round;
+        if let Some(b) = batch {
+            debug_assert_eq!(b.round, round, "batch applied at the wrong round");
+            // Participants step against the post-batch topology; their
+            // own shard's membership changes are applied inside the
+            // scope, behind the churn barrier.
+            self.topo = b.topo.clone();
+        }
+        let ctx = TickCtx {
+            cfg: &self.cfg,
+            topo: &self.topo,
+            batch,
+            bounds: &self.bounds,
+            shard_of: &self.shard_of,
+            crash_round: &self.crash_round,
+            woken: &self.woken,
+            grid: &self.grid,
+            barrier: &self.barrier,
+            arrays: NodeArrays {
+                protocols: self.protocols.as_mut_ptr(),
+                rngs: self.rngs.as_mut_ptr(),
+                done: self.done.as_mut_ptr(),
+                crashed: self.crashed.as_mut_ptr(),
+                suppress: self.suppress.as_mut_ptr(),
+                shards: self.shards.as_mut_ptr(),
+                n: self.protocols.len(),
+            },
+            factory: &self.factory,
+            tracer: &*tracer,
+            panic: &self.panic,
+            round,
+            threads: self.threads,
+        };
+        pool::global().scope(self.threads, &|tid| {
+            // A protocol panic must not strand the other participants at
+            // the barrier: poison it, record the payload, drain out.
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| tick_shard::<P, F, T>(&ctx, tid))) {
+                ctx.barrier.poison();
+                ctx.panic.lock().get_or_insert(p);
+            }
+        });
+        if self.barrier.is_poisoned() {
+            let payload = self
+                .panic
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("parallel engine participant panicked"));
+            resume_unwind(payload);
+        }
+
+        // Fold the shard outputs (deterministic: shard order).
+        let (mut sent, mut delivered, mut active) = (0u64, 0u64, 0usize);
+        let mut error: Option<SimError> = None;
+        for st in &mut self.shards {
+            sent += st.sent;
+            delivered += st.delivered;
+            active += st.active;
+            self.stats.dropped += st.dropped;
+            self.stats.corrupted += st.corrupted;
+            self.stats.duplicated += st.duplicated;
+            self.done_count = (self.done_count as i64 + st.done_delta) as usize;
+            self.crashed_count += st.crashed_delta;
+            if error.is_none() {
+                error = st.error.take();
+            }
+        }
+        if let Some(e) = error {
+            // Like the sequential engine, an invalid send aborts the
+            // round before its stats or events are published; the
+            // stepper is dead.
+            return Err(e);
+        }
+        if T::ENABLED {
+            // The round footer joins shard 0's buffer so the merge puts
+            // every event of this round in the canonical order.
+            let buf = &mut self.shards[0].buf;
+            buf.round = round;
+            buf.node = 0;
+            buf.sink(Event::Round {
+                round,
+                active: active as u64,
+                done: self.done_count as u64,
+                sent,
+                delivered,
+            });
+            let event_shards: Vec<Vec<Stamped>> =
+                self.shards.iter_mut().map(|st| std::mem::take(&mut st.buf.events)).collect();
+            for ev in merge_shards(event_shards) {
+                tracer.emit(ev);
+            }
+        }
+        let rs = RoundStats { round, active, done: self.done_count, sent, delivered };
+        self.stats.push_round(rs);
+        self.round += 1;
+        Ok(rs)
+    }
+}
+
+/// One participant's work for one tick. Runs on the pool (or inline for
+/// shard 0). See the module docs for the phase structure.
+fn tick_shard<P, F, T>(ctx: &TickCtx<'_, P, F, T>, tid: usize)
+where
+    P: Protocol,
+    F: Fn(NodeSeed<'_>) -> P + Sync,
+    T: Tracer + Sync,
+{
+    let (lo, hi) = ctx.bounds[tid];
+    let round = ctx.round;
+    let a = &ctx.arrays;
+    // SAFETY: `tid` is this participant's shard, exclusively.
+    let st = unsafe { a.shard(tid) };
+    let ShardState {
+        inbox_data,
+        inbox_off,
+        counts,
+        outbox,
+        newly_done,
+        suppressed_now,
+        buf,
+        kinds,
+        phases,
+        ..
+    } = st;
+    newly_done.clear();
+
+    // --- Churn phase (batch rounds only): every participant applies the
+    //     slice of the batch in its own shard; the barrier then makes
+    //     the new done flags, fresh protocol instances and topology
+    //     visible before any node is stepped. ---
+    let churn_scope = ProfileScope::start(ctx.cfg.profile);
+    let mut done_delta = 0i64;
+    if let Some(batch) = ctx.batch {
+        if T::ENABLED && tid == 0 {
+            buf.round = round;
+            buf.node = 0;
+            buf.sink(Event::Churn {
+                round,
+                joins: batch.joins.len() as u32,
+                leaves: batch.leaves.len() as u32,
+                changes: batch.changes.len() as u32,
+            });
+        }
+        // SAFETY (this whole block): all reads/writes are to indices in
+        // [lo, hi) — this participant's own rows — during the churn
+        // phase, which no other participant reads.
+        unsafe {
+            for &v in &batch.leaves {
+                let i = v.index();
+                if i < lo || i >= hi || a.crashed(i) {
+                    continue;
+                }
+                if !a.done(i) {
+                    a.set_done(i, true);
+                    done_delta += 1;
+                }
+                if !a.suppressed(i) {
+                    a.set_suppress(i, true);
+                    suppressed_now.push(i);
                 }
             }
-            churn_scope.stop_into(&mut phases.churn);
-            // --- Phase 1: step own nodes, buffer outgoing messages. ---
-            let step_scope = ProfileScope::start(cfg.profile);
-            let mut sent = 0u64;
-            let mut delivered = 0u64;
-            let mut active = 0usize;
-            let mut newly_done: Vec<usize> = Vec::new();
-            let mut newly_crashed = 0usize;
-            for li in 0..(hi - lo) {
-                if local_done[li] || local_crashed[li] {
+            for &v in &batch.joins {
+                let i = v.index();
+                if i < lo || i >= hi || a.crashed(i) {
                     continue;
                 }
-                if crash_round[lo + li].is_some_and(|cr| round >= cr) {
-                    local_crashed[li] = true;
-                    newly_crashed += 1;
+                *a.protocol(i) =
+                    (ctx.factory)(NodeSeed { node: v, neighbors: batch.topo.neighbors(v) });
+                if a.done(i) {
+                    a.set_done(i, false);
+                    done_delta -= 1;
+                }
+                if !a.suppressed(i) {
+                    a.set_suppress(i, true);
+                    suppressed_now.push(i);
+                }
+            }
+            for (v, change) in &batch.changes {
+                let i = v.index();
+                if i < lo || i >= hi || a.crashed(i) {
                     continue;
                 }
-                active += 1;
-                let node = VertexId((lo + li) as u32);
-                outbox.clear();
-                let inbox: &[Envelope<P::Msg>] = if suppress[li] {
-                    &[]
+                let status = a.protocol(i).on_topology_change(
+                    NodeSeed { node: *v, neighbors: batch.topo.neighbors(*v) },
+                    change,
+                );
+                match status {
+                    NodeStatus::Active if a.done(i) => {
+                        a.set_done(i, false);
+                        done_delta -= 1;
+                    }
+                    NodeStatus::Done if !a.done(i) => {
+                        a.set_done(i, true);
+                        done_delta += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !ctx.barrier.wait() {
+            return;
+        }
+    }
+    churn_scope.stop_into(&mut phases.churn);
+
+    // --- Step & deposit phase: nobody writes the done/crashed arrays
+    //     here, so shared reads across shards are safe; deposits go
+    //     into this participant's grid row only. ---
+    let step_scope = ProfileScope::start(ctx.cfg.profile);
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut active = 0usize;
+    let mut crashed_delta = 0usize;
+    let mut error: Option<SimError> = None;
+    // Fault counters land in a scratch RunStats so the delivery fate
+    // logic is *the same function* the sequential engine runs.
+    let mut fstats = RunStats::default();
+    {
+        // SAFETY: step phase — no participant writes `done`.
+        let done_view = unsafe { a.done_view() };
+        for i in lo..hi {
+            // SAFETY: own-shard reads/writes; see NodeArrays docs.
+            unsafe {
+                if a.done(i) || a.crashed(i) {
+                    continue;
+                }
+                if ctx.crash_round[i].is_some_and(|cr| round >= cr) {
+                    a.set_crashed(i, true);
+                    crashed_delta += 1;
+                    continue;
+                }
+            }
+            active += 1;
+            let node = VertexId(i as u32);
+            outbox.clear();
+            let li = i - lo;
+            let inbox: &[Envelope<P::Msg>] = if unsafe { a.suppressed(i) } {
+                &[]
+            } else {
+                &inbox_data[inbox_off[li] as usize..inbox_off[li + 1] as usize]
+            };
+            let status = {
+                let trace = if T::ENABLED && ctx.tracer.sample(node.0) {
+                    buf.round = round;
+                    buf.node = node.0;
+                    TraceHandle::to(buf)
                 } else {
-                    &inbox_data[inbox_off[li] as usize..inbox_off[li + 1] as usize]
+                    TraceHandle::none()
                 };
-                let status = {
-                    let trace = if T::ENABLED && tracer.sample(node.0) {
-                        shard.round = round;
-                        shard.node = node.0;
-                        TraceHandle::to(&mut shard)
-                    } else {
-                        TraceHandle::none()
-                    };
-                    let mut ctx = RoundCtx {
-                        node,
-                        round,
-                        neighbors: topo_now.neighbors(node),
-                        inbox,
-                        outbox: &mut outbox,
-                        rng: &mut rngs[li],
-                        trace,
-                    };
-                    protocols[li].on_round(&mut ctx)
+                let mut rctx = RoundCtx {
+                    node,
+                    round,
+                    neighbors: ctx.topo.neighbors(node),
+                    inbox,
+                    outbox,
+                    // SAFETY: own-shard RNG.
+                    rng: unsafe { a.rng(i) },
+                    trace,
                 };
-                for (k, (target, msg)) in outbox.drain(..).enumerate() {
-                    sent += 1;
-                    let mut kind_row: Option<&mut KindTotals> =
-                        kinds.as_mut().map(|t| t.row(P::kind_of(&msg)));
-                    let wakes = P::wakes(&msg);
-                    // First waker of a parked node adjusts the shared
-                    // done count immediately (still phase 1), so every
-                    // worker sees the same count at the termination test;
-                    // the owner's worker applies the flag after barrier A.
-                    let wake = |to: VertexId| {
-                        if done_flags[to.index()].load(Ordering::Relaxed)
-                            && !woken_flags[to.index()].swap(true, Ordering::Relaxed)
-                        {
-                            total_done.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: own-shard protocol.
+                unsafe { a.protocol(i) }.on_round(&mut rctx)
+            };
+            for (k, (target, msg)) in outbox.drain(..).enumerate() {
+                sent += 1;
+                let mut kind_row: Option<&mut KindTotals> =
+                    kinds.as_mut().map(|t| t.row(P::kind_of(&msg)));
+                let wakes = P::wakes(&msg);
+                // A delivery that goes through to a parked node wakes it
+                // at the boundary; the owner's participant applies the
+                // flag after barrier A.
+                let wake = |to: VertexId| {
+                    if done_view[to.index()] {
+                        ctx.woken[to.index()].store(true, Ordering::Relaxed);
+                    }
+                };
+                match target {
+                    Target::Unicast(to) => {
+                        if ctx.cfg.validate_sends && !ctx.topo.are_neighbors(node, to) {
+                            error.get_or_insert(SimError::NotANeighbor { from: node, to });
+                            continue;
                         }
-                    };
-                    match target {
-                        Target::Unicast(to) => {
-                            if cfg.validate_sends && !topo_now.are_neighbors(node, to) {
-                                let mut e = error.lock();
-                                e.get_or_insert(SimError::NotANeighbor { from: node, to });
-                                drop(e);
-                                continue;
-                            }
-                            let copies = fate(
-                                cfg,
+                        let copies = deliver_fate(
+                            ctx.cfg,
+                            round,
+                            node,
+                            to,
+                            k,
+                            done_view,
+                            wakes,
+                            ctx.crash_round,
+                            &mut fstats,
+                            kind_row,
+                        );
+                        if copies > 0 {
+                            wake(to);
+                        }
+                        delivered += u64::from(copies);
+                        // SAFETY: deposit into this participant's grid
+                        // row.
+                        let slot = unsafe { ctx.grid.slot(tid, ctx.shard_of[to.index()] as usize) };
+                        if copies == 2 {
+                            slot.push((to, Envelope::new(node, msg.clone())));
+                        }
+                        if copies > 0 {
+                            slot.push((to, Envelope::new(node, msg)));
+                        }
+                    }
+                    Target::Broadcast => {
+                        for &to in ctx.topo.neighbors(node) {
+                            let copies = deliver_fate(
+                                ctx.cfg,
                                 round,
                                 node,
                                 to,
-                                k as u32,
-                                &done_flags,
+                                k,
+                                done_view,
                                 wakes,
-                                &crash_round,
-                                &total_dropped,
-                                &total_corrupted,
-                                &total_duplicated,
-                                kind_row,
+                                ctx.crash_round,
+                                &mut fstats,
+                                kind_row.as_deref_mut(),
                             );
                             if copies > 0 {
                                 wake(to);
                             }
                             delivered += u64::from(copies);
-                            if copies == 2 {
-                                out_shard[shard_of[to.index()] as usize]
+                            for _ in 0..copies {
+                                // SAFETY: own grid row.
+                                unsafe { ctx.grid.slot(tid, ctx.shard_of[to.index()] as usize) }
                                     .push((to, Envelope::new(node, msg.clone())));
                             }
-                            if copies > 0 {
-                                out_shard[shard_of[to.index()] as usize]
-                                    .push((to, Envelope::new(node, msg)));
-                            }
-                        }
-                        Target::Broadcast => {
-                            for &to in topo_now.neighbors(node) {
-                                let copies = fate(
-                                    cfg,
-                                    round,
-                                    node,
-                                    to,
-                                    k as u32,
-                                    &done_flags,
-                                    wakes,
-                                    &crash_round,
-                                    &total_dropped,
-                                    &total_corrupted,
-                                    &total_duplicated,
-                                    kind_row.as_deref_mut(),
-                                );
-                                if copies > 0 {
-                                    wake(to);
-                                }
-                                delivered += u64::from(copies);
-                                for _ in 0..copies {
-                                    out_shard[shard_of[to.index()] as usize]
-                                        .push((to, Envelope::new(node, msg.clone())));
-                                }
-                            }
                         }
                     }
                 }
-                if status == NodeStatus::Done {
-                    newly_done.push(li);
-                }
             }
-            for &li in &suppressed_now {
-                suppress[li] = false;
+            if status == NodeStatus::Done {
+                newly_done.push(i);
             }
-            suppressed_now.clear();
-            step_scope.stop_into(&mut phases.step);
-            // Flush this worker's partial per-kind counters into the
-            // shard buffer; the post-join merge sums partial rows with
-            // equal (round, kind) across workers into the sequential
-            // engine's single row.
-            if let Some(k) = kinds.as_mut() {
-                shard.round = round;
-                shard.node = 0;
-                k.flush(round, |ev| shard.sink(ev));
-            }
-            let route_scope = ProfileScope::start(cfg.profile);
-            // Deposit outgoing messages: each destination shard's staging
-            // vector (already in this shard's sender-id order) is swapped
-            // whole into its slot of the mailbox matrix — one uncontended
-            // lock per destination shard, no sorting, no per-message
-            // copies. The swap hands back the slot's emptied vector, so
-            // capacity circulates between sender and receiver.
-            for (t, staged) in out_shard.iter_mut().enumerate() {
-                if staged.is_empty() {
-                    continue;
-                }
-                let mut slot = slots[tid * threads + t].lock();
-                std::mem::swap(&mut *slot, staged);
-            }
-            route_scope.stop_into(&mut phases.route);
-            round_sent.fetch_add(sent, Ordering::Relaxed);
-            round_delivered.fetch_add(delivered, Ordering::Relaxed);
-            cum_active.fetch_add(active, Ordering::Relaxed);
-            if !newly_done.is_empty() {
-                total_done.fetch_add(newly_done.len(), Ordering::Relaxed);
-                for &li in &newly_done {
-                    local_done[li] = true;
-                }
-            }
-            if newly_crashed > 0 {
-                total_crashed.fetch_add(newly_crashed, Ordering::Relaxed);
-            }
-
-            // --- Barrier A: all sends for this round are deposited. ---
-            barrier.wait();
-
-            // Publish done flags only *after* the barrier: like the
-            // sequential engine, done-ness must take effect at round
-            // boundaries, or suppression of same-round deliveries would
-            // depend on thread interleaving. No worker reads the shared
-            // flags between barriers A and B.
-            for &li in &newly_done {
-                done_flags[lo + li].store(true, Ordering::Relaxed);
-            }
-            // Apply pending wake-ups in this worker's shard: the node
-            // must be live again before phase 2 or its mailbox (holding
-            // the wake-class message) would be skipped. `total_done` was
-            // already adjusted by the waking sender in phase 1.
-            for li in 0..(hi - lo) {
-                if woken_flags[lo + li].swap(false, Ordering::Relaxed) && local_done[li] {
-                    local_done[li] = false;
-                    done_flags[lo + li].store(false, Ordering::Relaxed);
-                }
-            }
-
-            let done_now = total_done.load(Ordering::Relaxed);
-            let finished_now = done_now + total_crashed.load(Ordering::Relaxed);
-            // This round's global active count, by diffing the cumulative
-            // counter (stable in this window) — every worker, not just
-            // tid 0, needs it for the fast-forward decision below.
-            let cum = cum_active.load(Ordering::Relaxed);
-            let active_now = cum - prev_cum_active;
-            prev_cum_active = cum;
-            if tid == 0 {
-                let rs = RoundStats {
-                    round,
-                    active: active_now,
-                    done: done_now,
-                    sent: round_sent.swap(0, Ordering::Relaxed),
-                    delivered: round_delivered.swap(0, Ordering::Relaxed),
-                };
-                if T::ENABLED {
-                    shard.round = round;
-                    shard.node = 0;
-                    shard.sink(Event::Round {
-                        round,
-                        active: rs.active as u64,
-                        done: rs.done as u64,
-                        sent: rs.sent,
-                        delivered: rs.delivered,
-                    });
-                }
-                let mut pr = per_round.lock();
-                pr.push(rs);
-                finished_round.store(round + 1, Ordering::Relaxed);
-            }
-
-            let abort = error.lock().is_some();
-            // A run with batches still pending keeps going even when
-            // every node is momentarily done — parked nodes idle until
-            // the next batch wakes someone.
-            let terminal = abort || (finished_now == n && next_batch == schedule.len());
-            // Idle-round fast-forward, mirroring the sequential engine:
-            // this round was fully quiescent (nothing is in flight) yet
-            // every node is parked waiting for a future batch, so jump
-            // straight to the batch round after barrier B. Every input is
-            // stable in this window and identical across workers, so they
-            // all compute the same jump.
-            let idle_jump: Option<u64> = (active_now == 0 && finished_now == n)
-                .then(|| schedule.batches().get(next_batch).map(|b| b.round))
-                .flatten();
-
-            // --- Phase 2: collect own inboxes. This must happen while
-            //     deposits are quiescent — i.e. *between* the barriers:
-            //     every round-r deposit completed before barrier A, and
-            //     no round-(r+1) deposit starts until every worker passes
-            //     barrier B. Collecting after B would race with faster
-            //     workers already sending next-round messages. ---
-            let collect_scope = ProfileScope::start(cfg.profile);
-            if !terminal {
-                for (w, dst) in collected.iter_mut().enumerate() {
-                    let mut slot = slots[w * threads + tid].lock();
-                    std::mem::swap(&mut *slot, dst);
-                }
-                // Scatter the per-sender-shard runs into per-node
-                // buckets, walking sender shards in ascending order.
-                // Each run holds its senders' messages in sender-id
-                // order, so every bucket fills in exactly the documented
-                // sorted-by-sender delivery order — no sort. Deliveries
-                // to nodes that parked or crashed this round are dropped
-                // here, matching the sequential engine's arena rebuild
-                // (which never carries messages across more than one
-                // boundary).
-                for run in collected.iter_mut() {
-                    for (to, env) in run.drain(..) {
-                        let li = to.index() - lo;
-                        if !(local_done[li] || local_crashed[li]) {
-                            buckets[li].push(env);
-                        }
-                    }
-                }
-                // Bulk-move the buckets into the flat arena (`append`
-                // keeps each bucket's capacity for the next round).
-                inbox_data.clear();
-                let mut off = 0u32;
-                for (li, bucket) in buckets.iter_mut().enumerate() {
-                    inbox_off[li] = off;
-                    off += bucket.len() as u32;
-                    inbox_data.append(bucket);
-                }
-                inbox_off[hi - lo] = off;
-                // Hand the emptied vectors back so senders reuse their
-                // capacity next round.
-                for (w, dst) in collected.iter_mut().enumerate() {
-                    let mut slot = slots[w * threads + tid].lock();
-                    std::mem::swap(&mut *slot, dst);
-                }
-            }
-
-            collect_scope.stop_into(&mut phases.collect);
-
-            barrier.wait(); // B
-            if terminal {
-                return (protocols, local_crashed, shard.events, phases);
-            }
-            round = match idle_jump {
-                Some(b) if b > round + 1 => {
-                    if tid == 0 {
-                        idle_skipped.fetch_add(b - round - 1, Ordering::Relaxed);
-                    }
-                    b
-                }
-                _ => round + 1,
-            };
-        }
-        (protocols, local_crashed, shard.events, phases)
-    };
-
-    // Run the workers and reassemble shard results in order.
-    let shard_results: Vec<ShardOut<P>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let worker = &worker;
-                s.spawn(move || worker(tid))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-
-    if let Some(err) = error.into_inner() {
-        return Err(err);
-    }
-    let done_now = total_done.load(Ordering::Relaxed);
-    let crashed_now = total_crashed.load(Ordering::Relaxed);
-    if done_now + crashed_now != n || batches_applied.load(Ordering::Relaxed) != schedule.len() {
-        return Err(SimError::MaxRoundsExceeded {
-            max_rounds: cfg.max_rounds,
-            still_active: n - done_now - crashed_now,
-        });
-    }
-
-    let per_round = per_round.into_inner();
-    let mut stats = RunStats {
-        rounds: finished_round.load(Ordering::Relaxed),
-        dropped: total_dropped.load(Ordering::Relaxed),
-        corrupted: total_corrupted.load(Ordering::Relaxed),
-        duplicated: total_duplicated.load(Ordering::Relaxed),
-        idle_rounds_skipped: idle_skipped.load(Ordering::Relaxed),
-        crashed: crashed_now,
-        churn_batches: schedule.len() as u64,
-        churn_events: schedule.total_events() as u64,
-        ..Default::default()
-    };
-    for rs in &per_round {
-        stats.messages_sent += rs.sent;
-        stats.deliveries += rs.delivered;
-    }
-    stats.per_round = cfg.collect_round_stats.then_some(per_round);
-
-    let mut nodes = Vec::with_capacity(n);
-    let mut crashed = Vec::with_capacity(n);
-    let mut event_shards: Vec<Vec<Stamped>> = Vec::with_capacity(threads);
-    for (shard_nodes, shard_crashed, shard_events, shard_phases) in shard_results {
-        nodes.extend(shard_nodes);
-        crashed.extend(shard_crashed);
-        event_shards.push(shard_events);
-        stats.phase_nanos.add(shard_phases);
-    }
-    // Replay the buffered events into the tracer in the canonical order
-    // — identical, event for event, to what a sequential run emits.
-    if T::ENABLED {
-        for ev in merge_shards(event_shards) {
-            tracer.emit(ev);
         }
     }
-    Ok(RunOutcome { nodes, stats, crashed })
-}
+    for &i in suppressed_now.iter() {
+        // SAFETY: own-shard suppress flags.
+        unsafe { a.set_suppress(i, false) };
+    }
+    suppressed_now.clear();
+    step_scope.stop_into(&mut phases.step);
+    // Flush this participant's partial per-kind counters; the boundary
+    // merge sums partial rows with equal (round, kind) across shards
+    // into the sequential engine's single row.
+    if let Some(k) = kinds.as_mut() {
+        buf.round = round;
+        buf.node = 0;
+        k.flush(round, |ev| buf.sink(ev));
+    }
 
-/// Decide a delivery's fate: the number of copies (0, 1 or 2) deposited
-/// for the recipient, updating the shared fault counters. Mirrors the
-/// sequential engine's `deliver` exactly — every decision is a pure hash,
-/// so both engines (and every thread count) agree.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn fate(
-    cfg: &EngineConfig,
-    round: u64,
-    from: VertexId,
-    to: VertexId,
-    k: u32,
-    done_flags: &[AtomicBool],
-    wakes: bool,
-    crash_round: &[Option<u64>],
-    dropped: &AtomicU64,
-    corrupted: &AtomicU64,
-    duplicated: &AtomicU64,
-    mut kind: Option<&mut KindTotals>,
-) -> u32 {
-    if let Some(kr) = kind.as_deref_mut() {
-        kr.sent += 1;
+    // --- Barrier A: all deposits for this round are in the grid. ---
+    if !ctx.barrier.wait() {
+        return;
     }
-    if done_flags[to.index()].load(Ordering::Relaxed) && !wakes {
-        return 0;
+
+    // --- Boundary: publish this shard's new done flags and apply
+    //     pending wake-ups. Done-ness takes effect at round boundaries,
+    //     exactly like the sequential engine — no participant read the
+    //     shared flags since the barrier. ---
+    for &i in newly_done.iter() {
+        // SAFETY: own-shard writes in the boundary phase.
+        unsafe { a.set_done(i, true) };
+        done_delta += 1;
     }
-    if crash_round[to.index()].is_some_and(|cr| round + 1 >= cr) {
-        return 0;
-    }
-    if cfg.faults.drops(cfg.seed, round, from.0, to.0, k) {
-        dropped.fetch_add(1, Ordering::Relaxed);
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.dropped += 1;
+    for i in lo..hi {
+        // A woken node must be live again before collect, or its inbox
+        // (holding the wake-class message) would be dropped below.
+        if ctx.woken[i].swap(false, Ordering::Relaxed) && unsafe { a.done(i) } {
+            // SAFETY: own-shard write.
+            unsafe { a.set_done(i, false) };
+            done_delta -= 1;
         }
-        return 0;
     }
-    if cfg.faults.corrupts(cfg.seed, round, from.0, to.0, k) {
-        corrupted.fetch_add(1, Ordering::Relaxed);
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.corrupted += 1;
+
+    // --- Collect: drain this participant's grid column into its arena.
+    //     Sender shards ascending × sender ids ascending within a slot
+    //     = delivery order sorted by sender, by construction. One
+    //     counting pass sizes the CSR offsets, one placement pass moves
+    //     each envelope once. ---
+    let collect_scope = ProfileScope::start(ctx.cfg.profile);
+    let m = hi - lo;
+    counts.iter_mut().for_each(|c| *c = 0);
+    let mut total = 0u32;
+    for s in 0..ctx.threads {
+        // SAFETY: collect phase — this participant owns grid column
+        // `tid`.
+        let slot = unsafe { ctx.grid.slot(s, tid) };
+        for (to, _) in slot.iter() {
+            let i = to.index();
+            // Deliveries to nodes that parked or crashed this round are
+            // dropped, matching the sequential engine's mailbox clear.
+            // SAFETY: own-shard reads (the boundary writes above were
+            // ours).
+            if unsafe { a.done(i) || a.crashed(i) } {
+                continue;
+            }
+            counts[i - lo] += 1;
+            total += 1;
         }
-        return 0;
     }
-    let copies = if cfg.faults.duplicates(cfg.seed, round, from.0, to.0, k) {
-        duplicated.fetch_add(1, Ordering::Relaxed);
-        if let Some(kr) = kind.as_deref_mut() {
-            kr.duplicated += 1;
+    inbox_off[0] = 0;
+    for li in 0..m {
+        inbox_off[li + 1] = inbox_off[li] + counts[li];
+    }
+    counts.iter_mut().for_each(|c| *c = 0);
+    inbox_data.clear();
+    inbox_data.reserve(total as usize);
+    let base = inbox_data.as_mut_ptr();
+    for s in 0..ctx.threads {
+        // SAFETY: own column, as above.
+        let slot = unsafe { ctx.grid.slot(s, tid) };
+        for (to, env) in slot.drain(..) {
+            let i = to.index();
+            if unsafe { a.done(i) || a.crashed(i) } {
+                continue; // env dropped
+            }
+            let li = i - lo;
+            let at = (inbox_off[li] + counts[li]) as usize;
+            counts[li] += 1;
+            // SAFETY: `at < total <= capacity`, each slot written once
+            // (the cursor pass mirrors the counting pass exactly).
+            unsafe { base.add(at).write(env) };
         }
-        2
-    } else {
-        1
-    };
-    if let Some(kr) = kind {
-        kr.delivered += u64::from(copies);
     }
-    copies
+    // SAFETY: exactly `total` elements were placed above.
+    unsafe { inbox_data.set_len(total as usize) };
+    collect_scope.stop_into(&mut phases.collect);
+
+    // Publish this tick's outputs for the caller's fold. (`route` time
+    // is part of `step` here — deposits are in-place sends.)
+    st.sent = sent;
+    st.delivered = delivered;
+    st.active = active;
+    st.dropped = fstats.dropped;
+    st.corrupted = fstats.corrupted;
+    st.duplicated = fstats.duplicated;
+    st.done_delta = done_delta;
+    st.crashed_delta = crashed_delta;
+    st.error = error;
 }
 
 #[cfg(test)]
@@ -909,5 +1267,64 @@ mod tests {
             (Err(a), Err(b)) => assert_eq!(a, b),
             (a, b) => panic!("engines disagree: {a:?} vs {b:?}"),
         }
+    }
+
+    #[test]
+    fn shard_bounds_cover_and_balance() {
+        // A star graph: node 0 carries all the edges. Weighted bounds
+        // must still cover [0, n) contiguously with non-empty shards.
+        let g = structured::star(100);
+        let topo = Topology::from_graph(&g);
+        for threads in [1, 2, 3, 7, 8] {
+            let bounds = shard_bounds(&topo, threads);
+            assert_eq!(bounds.len(), threads);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[threads - 1].1, topo.num_nodes());
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+            }
+            for &(lo, hi) in &bounds {
+                assert!(hi > lo, "no empty shards while threads <= n");
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_ticks_match_batch_run() {
+        // Driving the ParStepper tick by tick is the same computation as
+        // the batch entry point (and therefore the sequential engine).
+        let g = structured::grid(4, 5);
+        let topo = Topology::from_graph(&g);
+        let cfg = EngineConfig { collect_round_stats: true, ..EngineConfig::seeded(5) };
+        let batch = run_parallel(&topo, &cfg, 3, flood_factory).unwrap();
+        let mut stepper = ParStepper::new(&topo, &cfg, 3, flood_factory);
+        while !stepper.is_quiescent() {
+            stepper.tick(None, &mut NoopTracer).unwrap();
+        }
+        let stepped = stepper.into_outcome(0, 0);
+        assert_eq!(stepped.stats, batch.stats);
+        for (a, b) in stepped.nodes.iter().zip(&batch.nodes) {
+            assert_eq!(a.heard, b.heard);
+        }
+    }
+
+    #[test]
+    fn protocol_panic_propagates_and_poisons() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl Protocol for Bomb {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, ()>) -> NodeStatus {
+                if ctx.node() == VertexId(3) {
+                    panic!("protocol bomb");
+                }
+                NodeStatus::Active
+            }
+        }
+        let topo = Topology::from_graph(&structured::path(8));
+        let err = std::panic::catch_unwind(|| {
+            let _ = run_parallel(&topo, &EngineConfig::seeded(1), 4, |_| Bomb);
+        });
+        assert!(err.is_err(), "the protocol panic must reach the caller");
     }
 }

@@ -191,6 +191,14 @@ fn graph_strategy() -> impl Strategy<Value = Topology> {
     })
 }
 
+/// Shard counts worth exercising: the degenerate single shard, small
+/// counts that leave every shard multi-node, and an oversubscribed 8
+/// (more shards than this host has cores, and often more than the graph
+/// has nodes — non-empty shards are still guaranteed by construction).
+fn threads_strategy() -> impl Strategy<Value = usize> {
+    (0usize..4).prop_map(|i| [1usize, 2, 3, 8][i])
+}
+
 fn fault_strategy() -> impl Strategy<Value = FaultPlan> {
     // Percent knobs stand in for f64 strategies; `burst_sel == 0` means
     // no Gilbert–Elliott burst layer.
@@ -239,7 +247,7 @@ proptest! {
         topo in graph_strategy(),
         faults in fault_strategy(),
         seed in 0u64..1_000,
-        threads in 1usize..5,
+        threads in threads_strategy(),
     ) {
         let cfg = engine_config(seed, faults);
         let expected = reference_logs(&topo, &cfg, HORIZON);
@@ -260,7 +268,7 @@ proptest! {
         deg_tenths in 10u32..50,
         rate_pct in 5u32..40,
         seed in 0u64..1_000,
-        threads in 2usize..5,
+        threads in threads_strategy(),
     ) {
         let rate = rate_pct as f64 / 100.0;
         let mut rng = SmallRng::seed_from_u64(seed);

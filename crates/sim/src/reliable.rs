@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, VecDeque};
 use dima_graph::VertexId;
 use dima_telemetry::ArqEventKind;
 
-use crate::protocol::{NodeSeed, NodeStatus, Protocol, RoundCtx};
+use crate::protocol::{NodeSeed, NodeStatus, Protocol, RoundCtx, Shared};
 
 /// Tuning for the ARQ layer.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -102,8 +102,11 @@ pub enum ArqMsg<M> {
         /// Piggybacked cumulative ack for the reverse direction.
         ack: u32,
         /// The inner messages (possibly none — empty bundles carry the
-        /// synchronization signal).
-        msgs: Vec<M>,
+        /// synchronization signal). Refcounted: every (re)transmission
+        /// and engine-injected duplicate of a bundle shares the one
+        /// allocation built when the inner round ran, so the ARQ tax
+        /// per copy is a pointer bump, not a deep `Vec` clone.
+        msgs: Shared<Vec<M>>,
         /// `true` on the sender's final bundle: its inner protocol
         /// finished at `round` and will never send again.
         fin: bool,
@@ -120,7 +123,9 @@ pub enum ArqMsg<M> {
 #[derive(Debug)]
 struct Bundle<M> {
     round: u32,
-    msgs: Vec<M>,
+    /// Shared with every transmission of this bundle (see
+    /// [`ArqMsg::Data::msgs`]).
+    msgs: Shared<Vec<M>>,
     fin: bool,
     /// Transmissions performed so far (0 = never sent).
     attempts: u32,
@@ -134,8 +139,10 @@ struct Link<M> {
     peer: VertexId,
     /// Unacknowledged outgoing bundles, oldest first.
     outq: VecDeque<Bundle<M>>,
-    /// Received, not yet consumed bundles, by inner round.
-    recvq: BTreeMap<u32, Vec<M>>,
+    /// Received, not yet consumed bundles, by inner round. Holding the
+    /// shared handle (not a copy) keeps absorption allocation-free; the
+    /// payload is recovered when the inner round consumes it.
+    recvq: BTreeMap<u32, Shared<Vec<M>>>,
     /// Every bundle round below this has been received (cumulative ack
     /// we advertise).
     recv_ceil: u32,
@@ -188,7 +195,7 @@ impl<M> Link<M> {
 
     /// Store an arriving bundle (idempotent — duplication faults and
     /// retransmissions collapse here).
-    fn absorb_data(&mut self, round: u32, msgs: Vec<M>, fin: bool) {
+    fn absorb_data(&mut self, round: u32, msgs: Shared<Vec<M>>, fin: bool) {
         self.got_data = true;
         if fin {
             self.peer_fin = Some(round);
@@ -332,8 +339,13 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                 if r > 0 {
                     if let Some(msgs) = link.recvq.remove(&((r - 1) as u32)) {
                         let peer = link.peer;
+                        // Usually the last handle (the sender drops its
+                        // bundle on ack), so this moves rather than
+                        // clones.
                         inbox.extend(
-                            msgs.into_iter().map(|msg| crate::protocol::Envelope::new(peer, msg)),
+                            msgs.unwrap_or_clone()
+                                .into_iter()
+                                .map(|msg| crate::protocol::Envelope::new(peer, msg)),
                         );
                     }
                 }
@@ -382,7 +394,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                 }
                 link.outq.push_back(Bundle {
                     round: r as u32,
-                    msgs,
+                    msgs: Shared::new(msgs),
                     fin,
                     attempts: 0,
                     last_sent: None,

@@ -50,6 +50,11 @@ pub struct RunStats {
     /// was profiled ([`crate::EngineConfig::profile`]), so run
     /// statistics stay comparable across engines with `==`.
     pub phase_nanos: PhaseNanos,
+    /// Per-shard phase breakdown from the parallel engine, indexed by
+    /// shard id — attributes the wall-clock to step/route/collect per
+    /// worker. Empty unless the run was profiled *and* parallel, so run
+    /// statistics stay comparable across engines with `==`.
+    pub shard_phases: Vec<PhaseNanos>,
     /// Per-round breakdown (present iff the engine was configured to
     /// collect it).
     pub per_round: Option<Vec<RoundStats>>,

@@ -13,8 +13,10 @@ pub struct PhaseNanos {
     pub churn: u64,
     /// Stepping protocol state machines (including message staging).
     pub step: u64,
-    /// Routing staged messages toward next-round inboxes (the parallel
-    /// engine's mailbox deposit; folded into `step` sequentially).
+    /// Routing staged messages toward next-round inboxes. Both engines
+    /// now deposit in place while stepping, so this is folded into
+    /// `step`; the field stays for older profiles and future stages
+    /// that batch their routing.
     pub route: u64,
     /// Collecting/delivering messages into inbox arenas.
     pub collect: u64,
