@@ -187,6 +187,7 @@ pub fn luby_matching(g: &Graph, cfg: &ColoringConfig) -> Result<LubyMatchingResu
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
         profile: cfg.profile,
+        metrics: cfg.collect_metrics,
     };
     let factory = |seed: NodeSeed<'_>| LubyNode::new(&seed);
     let outcome: RunOutcome<LubyNode> = match cfg.engine {

@@ -247,6 +247,7 @@ pub fn random_trial_coloring(
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
         profile: cfg.profile,
+        metrics: cfg.collect_metrics,
     };
     let factory = |seed: NodeSeed<'_>| RandomTrialNode::new(&seed, g, palette);
     let outcome: RunOutcome<RandomTrialNode> = match cfg.engine {

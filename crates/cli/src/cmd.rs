@@ -19,8 +19,8 @@ use dima_graph::gen;
 use dima_graph::{io, Digraph, Graph};
 use dima_sim::fault::{FaultPlan, GilbertElliott};
 use dima_sim::telemetry::{
-    read, Event, KindTotals, PaletteAction, RunTotals, StateTimeline, TraceMeta, TraceWriter,
-    Tracer, TransportTally, STATES,
+    read, Event, KindTotals, MemReport, MetricsRegistry, PaletteAction, RunTotals, StateTimeline,
+    TraceMeta, TraceWriter, Tracer, TransportTally, STATES,
 };
 use dima_sim::RunStats;
 use rand::rngs::SmallRng;
@@ -63,11 +63,20 @@ commands:
       compare two traces event by event and localize the first
       divergent round (engine identity is ignored, so identical-seed
       sequential vs parallel runs must diff empty)
+  metrics dump <graph.edges> [--workload color|strong-color|matching]
+               [--out FILE] [run flags]
+      run a workload with the metrics plane on and emit the merged
+      counter/gauge/histogram registry as flat JSONL
+  metrics diff <a.jsonl> <b.jsonl>
+      compare two metrics dumps entry by entry (env-dependent mem/ and
+      pool/ families excluded, so identical-seed sequential vs parallel
+      dumps must diff empty); nonzero exit on divergence
   serve <graph.edges> [--seed S] [--protocol ec|strong] [--threads T]
         [--width K] [--watchdog T] [--state-dir DIR] [--snapshot-every N]
         [--queue CAP] [--queue-policy block|shed]
         [--reduce kempe|off] [--reduce-target C]
-        [--slo-out FILE] [--label L] [--chaos-kill-at LABEL[:N]]
+        [--slo-out FILE] [--metrics-out FILE] [--label L]
+        [--chaos-kill-at LABEL[:N]]
       long-running coloring service: reads JSONL topology events
       ({\"ev\":\"link-up\",\"u\":0,\"v\":5}, link-down, join, leave) and
       commands ({\"cmd\":\"status\"|\"color\"|\"palette\"|\"hash\"|
@@ -90,6 +99,13 @@ profiling flags (color | strong-color | matching):
                           --threads the per-shard breakdown shows which
                           shard gates each round barrier
 
+metrics flags (color | strong-color | matching):
+  --metrics               collect the deterministic metrics plane and
+                          print it (plus allocator bytes/node, bytes/edge,
+                          peak RSS) with the run report
+  --metrics-out FILE      also dump the registry as JSONL (implies
+                          --metrics); feed two dumps to 'metrics diff'
+
 trace flags (color | strong-color | matching | trace record):
   --trace FILE            stream a structured JSONL trace of the run
   --trace-sample N        keep node events only for nodes with id % N == 0
@@ -97,7 +113,7 @@ trace flags (color | strong-color | matching | trace record):
                           deterministic-merge cost)";
 
 /// Flags that take no value; present means "on".
-const BOOL_FLAGS: &[&str] = &["profile"];
+const BOOL_FLAGS: &[&str] = &["profile", "metrics"];
 
 /// Parse `--key value` flags from `args` (after the positional prefix).
 pub(crate) fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -196,6 +212,7 @@ fn run_config(flags: &HashMap<String, String>) -> Result<ColoringConfig, String>
         transport,
         reduction: parse_reduce(flags)?,
         profile: flags.contains_key("profile"),
+        collect_metrics: flags.contains_key("metrics") || flags.contains_key("metrics-out"),
         // CLI runs are measurements: skip the engine's per-delivery
         // debugging check (the test suites keep it on).
         ..ColoringConfig::for_measurement(seed)
@@ -231,6 +248,33 @@ fn report_profile(stats: &dima_sim::RunStats) {
             ms(sp.churn),
         );
     }
+}
+
+/// `--metrics` section of a run report: the aggregate registry plus the
+/// process memory footprint (bytes/node, bytes/edge, peak RSS). With
+/// `--metrics-out FILE` the registry (including the `mem/` gauges) is
+/// also dumped as flat JSONL for `dima metrics diff`.
+fn report_metrics(
+    flags: &HashMap<String, String>,
+    label: &str,
+    stats: &RunStats,
+    nodes: usize,
+    edges: usize,
+) -> Result<(), String> {
+    let Some(reg) = stats.metrics.as_deref() else {
+        return Ok(());
+    };
+    let mem = MemReport::capture(nodes as u64, edges as u64);
+    eprintln!("metrics:");
+    eprint!("{}", reg.to_text());
+    eprint!("{}", mem.to_text());
+    if let Some(path) = flags.get("metrics-out") {
+        let mut full = reg.clone();
+        mem.record(&mut full);
+        std::fs::write(path, full.to_jsonl(label)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics: dump -> {path}");
+    }
+    Ok(())
 }
 
 /// One stderr line recording engine options that change what a timing
@@ -573,6 +617,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "serve" => crate::serve::cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -719,6 +764,13 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         );
         report_quality(&r.coloring, r.final_graph.num_vertices());
         report_profile(&r.coloring.stats);
+        report_metrics(
+            &flags,
+            "color",
+            &r.coloring.stats,
+            r.final_graph.num_vertices(),
+            r.final_graph.num_edges(),
+        )?;
         if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
@@ -760,6 +812,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     );
     report_quality(&r, g.num_vertices());
     report_profile(&r.stats);
+    report_metrics(&flags, "color", &r.stats, g.num_vertices(), g.num_edges())?;
     if let Some(tally) = &tally {
         report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
@@ -805,6 +858,13 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
             idle_note(&r.coloring.stats),
         );
         report_profile(&r.coloring.stats);
+        report_metrics(
+            &flags,
+            "strong-color",
+            &r.coloring.stats,
+            r.final_digraph.num_vertices(),
+            r.final_digraph.num_arcs(),
+        )?;
         if let Some(tally) = &tally {
             report_transport(
                 &r.coloring.stats,
@@ -846,6 +906,7 @@ fn cmd_strong_color(args: &[String]) -> Result<(), String> {
         idle_note(&r.stats),
     );
     report_profile(&r.stats);
+    report_metrics(&flags, "strong-color", &r.stats, g.num_vertices(), d.num_arcs())?;
     if let Some(tally) = &tally {
         report_transport(&r.stats, r.transport_overhead_rounds, &r.alive, tally);
     }
@@ -890,6 +951,7 @@ fn cmd_matching(args: &[String]) -> Result<(), String> {
         idle_note(&m.stats),
     );
     report_profile(&m.stats);
+    report_metrics(&flags, "matching", &m.stats, g.num_vertices(), g.num_edges())?;
     if let Some(tally) = &tally {
         report_transport(&m.stats, m.transport_overhead_rounds, &m.alive, tally);
     }
@@ -1398,6 +1460,94 @@ fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
     ))
 }
 
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("metrics needs a subcommand: dump | diff".into());
+    };
+    match sub.as_str() {
+        "dump" => cmd_metrics_dump(&args[1..]),
+        "diff" => cmd_metrics_diff(&args[1..]),
+        other => Err(format!("unknown metrics subcommand '{other}'")),
+    }
+}
+
+/// `metrics dump` — run a workload with the metrics plane forced on and
+/// emit the merged registry as flat JSONL (the `metrics diff` input).
+/// Like `trace record` it writes no coloring output: the registry is
+/// the artifact.
+fn cmd_metrics_dump(args: &[String]) -> Result<(), String> {
+    let Some(gpath) = args.first() else {
+        return Err("metrics dump needs a graph file".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    if flags.contains_key("churn-rate") {
+        return Err("metrics dump covers static runs; for churn runs pass --metrics-out to \
+             'color' or 'strong-color' directly"
+            .into());
+    }
+    let g = load_graph(gpath)?;
+    let mut cfg = run_config(&flags)?;
+    cfg.collect_metrics = true;
+    report_run_options(&cfg);
+    let workload = flags.get("workload").map(String::as_str).unwrap_or("color");
+    let (stats, nodes, edges) = match workload {
+        "color" => {
+            let r = color_edges(&g, &cfg).map_err(|e| e.to_string())?;
+            (r.stats, g.num_vertices(), g.num_edges())
+        }
+        "strong-color" => {
+            let d = Digraph::symmetric_closure(&g);
+            let r = strong_color_digraph(&d, &cfg).map_err(|e| e.to_string())?;
+            (r.stats, g.num_vertices(), d.num_arcs())
+        }
+        "matching" => {
+            let m = maximal_matching(&g, &cfg).map_err(|e| e.to_string())?;
+            (m.stats, g.num_vertices(), g.num_edges())
+        }
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (expected color, strong-color, or matching)"
+            ))
+        }
+    };
+    let mut reg = *stats.metrics.expect("collect_metrics was forced on");
+    MemReport::capture(nodes as u64, edges as u64).record(&mut reg);
+    write_or_print(flags.get("out"), &reg.to_jsonl(workload))
+}
+
+/// `metrics diff` — compare two metrics dumps entry by entry. The
+/// env-dependent families (`mem/` allocator accounting, wall-clock
+/// `pool/` shard timings) are stripped first, so identical-seed
+/// sequential vs parallel dumps must diff empty — this is the CLI face
+/// of the determinism contract the metrics-plane proptests pin.
+fn cmd_metrics_diff(args: &[String]) -> Result<(), String> {
+    let (Some(apath), Some(bpath)) = (args.first(), args.get(1)) else {
+        return Err("metrics diff needs two dump files".into());
+    };
+    let load = |path: &str| -> Result<(MetricsRegistry, String), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let (mut reg, label) = MetricsRegistry::from_jsonl(&text)
+            .ok_or_else(|| format!("{path}: not a dima metrics dump"))?;
+        reg.remove_prefix("mem/");
+        reg.remove_prefix("pool/");
+        Ok((reg, label))
+    };
+    let (a, alabel) = load(apath)?;
+    let (b, blabel) = load(bpath)?;
+    let diffs = a.diff(&b);
+    if diffs.is_empty() {
+        println!("metrics identical ({alabel} vs {blabel}; mem/ and pool/ families excluded)");
+        return Ok(());
+    }
+    for d in diffs.iter().take(20) {
+        eprintln!("  {d}");
+    }
+    if diffs.len() > 20 {
+        eprintln!("  ... and {} more", diffs.len() - 20);
+    }
+    Err(format!("metrics diverge: {} differing entries", diffs.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1825,6 +1975,67 @@ mod tests {
             "unknown workload"
         );
         assert!(dispatch(&s(&["trace", "bogus"])).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn metrics_dump_diff_roundtrip() {
+        let dir = tmpdir();
+        let gpath = dir.join("mg.edges");
+        dispatch(&s(&[
+            "gen",
+            "er",
+            "--n",
+            "48",
+            "--avg-degree",
+            "5",
+            "--seed",
+            "17",
+            "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let g = gpath.to_str().unwrap();
+        let seq = dir.join("md_seq.jsonl");
+        let par = dir.join("md_par.jsonl");
+        let other = dir.join("md_other.jsonl");
+        let dump = |args: &[&str]| {
+            let mut full = vec!["metrics", "dump", g];
+            full.extend_from_slice(args);
+            dispatch(&s(&full))
+        };
+        dump(&["--seed", "5", "--out", seq.to_str().unwrap()]).unwrap();
+        dump(&["--seed", "5", "--threads", "3", "--out", par.to_str().unwrap()]).unwrap();
+        dump(&["--seed", "6", "--out", other.to_str().unwrap()]).unwrap();
+        // The dump carries the engine counters and the allocator family.
+        let text = std::fs::read_to_string(&seq).unwrap();
+        assert!(text.contains("engine/rounds"), "missing engine counters:\n{text}");
+        assert!(text.contains("mem/"), "missing allocator family:\n{text}");
+
+        // Identical file and seq-vs-par of the same seed diff empty
+        // (mem/ and pool/ are excluded); a different seed diverges.
+        dispatch(&s(&["metrics", "diff", seq.to_str().unwrap(), seq.to_str().unwrap()])).unwrap();
+        dispatch(&s(&["metrics", "diff", seq.to_str().unwrap(), par.to_str().unwrap()])).unwrap();
+        assert!(dispatch(&s(&["metrics", "diff", seq.to_str().unwrap(), other.to_str().unwrap()]))
+            .is_err());
+
+        // The other workloads dump too, and --metrics on a run command
+        // prints the section without writing a file.
+        let m = dir.join("md_m.jsonl");
+        dump(&["--workload", "matching", "--seed", "1", "--out", m.to_str().unwrap()]).unwrap();
+        dump(&["--workload", "strong-color", "--seed", "1", "--out", m.to_str().unwrap()]).unwrap();
+        let out = dir.join("md_colors.colors");
+        dispatch(&s(&["color", g, "--seed", "3", "--metrics", "--out", out.to_str().unwrap()]))
+            .unwrap();
+
+        // Bad invocations.
+        assert!(dump(&["--churn-rate", "0.1"]).is_err(), "dump rejects churn");
+        assert!(dump(&["--workload", "bogus"]).is_err(), "unknown workload");
+        assert!(dispatch(&s(&["metrics", "bogus"])).is_err());
+        assert!(
+            dispatch(&s(&["metrics", "diff", g, g])).is_err(),
+            "a graph file is not a metrics dump"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

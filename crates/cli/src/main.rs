@@ -15,8 +15,17 @@
 
 use std::process::ExitCode;
 
+use dima_sim::telemetry::CountingAlloc;
+
 mod cmd;
 mod serve;
+
+/// Route every heap allocation through the counting wrapper so run
+/// reports can state peak heap, bytes/node, and bytes/edge. The
+/// wrapper is two relaxed atomic adds over the system allocator —
+/// cheap enough to leave on unconditionally.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -37,6 +37,7 @@ use dima_graph::VertexId;
 use dima_sim::telemetry::read::{parse_line, Record};
 use dima_sim::telemetry::slo::{BatchSample, SloRecorder};
 use dima_sim::telemetry::writer::json_escape;
+use dima_sim::telemetry::MetricsRegistry;
 use dima_sim::ChurnEvent;
 
 /// Ticks executed per main-loop spin before the queue is polled again —
@@ -125,6 +126,9 @@ struct StateDir {
     snapshot: PathBuf,
     journal: PathBuf,
     journal_file: Option<fs::File>,
+    /// Bytes appended to the write-ahead journal since startup
+    /// (rotations count the rewritten tail, not the discarded bytes).
+    wal_bytes: u64,
 }
 
 impl StateDir {
@@ -135,10 +139,12 @@ impl StateDir {
             snapshot: dir.join("snapshot.dima"),
             journal: dir.join("journal.jsonl"),
             journal_file: None,
+            wal_bytes: 0,
         })
     }
 
     fn append(&mut self, line: &str) -> Result<(), String> {
+        self.wal_bytes += line.len() as u64;
         if self.journal_file.is_none() {
             self.journal_file = Some(
                 fs::OpenOptions::new()
@@ -164,6 +170,7 @@ impl StateDir {
             text.push_str(&ColoringService::journal_event_line(ev));
         }
         let tmp = self.journal.with_extension("jsonl.tmp");
+        self.wal_bytes += text.len() as u64;
         fs::write(&tmp, text).map_err(|e| format!("writing journal: {e}"))?;
         fs::rename(&tmp, &self.journal).map_err(|e| format!("rotating journal: {e}"))
     }
@@ -239,8 +246,12 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         if sample <= 1 {
             return Err(
                 "--trace at full rate (--trace-sample 1) is not supported with --threads > 1: \
-                 the deterministic trace merge buffers every node event per round; raise \
-                 --trace-sample or drop --threads"
+                 to keep the trace deterministic the pool must buffer every node's events in \
+                 every round and merge them in node order at the barrier, and serve's per-tick \
+                 latency budget cannot absorb that. Two workarounds: sample the trace \
+                 (e.g. --trace-sample 64 records one node in 64, merge still deterministic \
+                 and cheap), or drop --threads so the sequential engine streams the \
+                 full-rate trace without buffering. See DESIGN.md §13."
                     .into(),
             );
         }
@@ -261,6 +272,7 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(p) => p.parse()?,
     };
     let slo_out = flags.get("slo-out").cloned();
+    let metrics_out = flags.get("metrics-out").cloned();
     let label = flags.get("label").cloned().unwrap_or_else(|| "serve".into());
     let mut chaos = Chaos::parse(flags.get("chaos-kill-at"))?;
     let mut state = match flags.get("state-dir") {
@@ -276,6 +288,9 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     cfg.watchdog_ticks = watchdog;
 
     let mut slo = SloRecorder::new();
+    // Service-plane registry: wall-clock values are fine here (unlike
+    // the engine registries, this one is never `==`-compared).
+    let mut metrics = MetricsRegistry::new();
     let mut svc = match &state {
         Some(s) if s.snapshot.exists() => {
             let snap =
@@ -313,7 +328,7 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     svc.take_reports();
     // Re-anchor the on-disk state to "now": one snapshot, fresh journal.
     if let Some(s) = state.as_mut() {
-        write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+        write_snapshot(&svc, s, &mut chaos, &mut slo, &mut metrics)?;
     }
     let engine_desc = match svc.config().coloring.engine {
         Engine::Sequential => "seq".to_string(),
@@ -396,7 +411,14 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             match rx.try_recv() {
                 Ok(msg) => {
                     depth.fetch_sub(1, Ordering::SeqCst);
-                    match handle_msg(msg, &mut svc, state.as_mut(), &mut chaos, &mut slo)? {
+                    match handle_msg(
+                        msg,
+                        &mut svc,
+                        state.as_mut(),
+                        &mut chaos,
+                        &mut slo,
+                        &mut metrics,
+                    )? {
                         Handled::Continue => {}
                         Handled::Eof => eof = true,
                         Handled::Shutdown => break 'main,
@@ -434,14 +456,14 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
                     }
                 }
             }
-            drain_reports(&mut svc, &mut repair_started, &mut slo);
+            drain_reports(&mut svc, &mut repair_started, &mut slo, &mut metrics);
             // Periodic checkpoint at quiescent batch boundaries.
             if svc.is_settled()
                 && snapshot_every > 0
                 && svc.batches_committed() >= last_snapshot_batch + snapshot_every
             {
                 if let Some(s) = state.as_mut() {
-                    write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+                    write_snapshot(&svc, s, &mut chaos, &mut slo, &mut metrics)?;
                 }
                 last_snapshot_batch = svc.batches_committed();
             }
@@ -452,7 +474,14 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             match rx.recv_timeout(Duration::from_millis(25)) {
                 Ok(msg) => {
                     depth.fetch_sub(1, Ordering::SeqCst);
-                    match handle_msg(msg, &mut svc, state.as_mut(), &mut chaos, &mut slo)? {
+                    match handle_msg(
+                        msg,
+                        &mut svc,
+                        state.as_mut(),
+                        &mut chaos,
+                        &mut slo,
+                        &mut metrics,
+                    )? {
                         Handled::Continue => {}
                         Handled::Eof => eof = true,
                         Handled::Shutdown => break 'main,
@@ -463,6 +492,8 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         }
         slo.queue_depth(hwm.load(Ordering::SeqCst));
+        metrics.observe("serve/queue_depth", depth.load(Ordering::SeqCst));
+        metrics.gauge_max("serve/queue_depth_hwm", hwm.load(Ordering::SeqCst));
     }
 
     // Graceful shutdown: finish the repair in flight, commit and repair
@@ -479,19 +510,30 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         }) {
             repair_started = Some((seq, t0));
         }
-        drain_reports(&mut svc, &mut repair_started, &mut slo);
+        drain_reports(&mut svc, &mut repair_started, &mut slo, &mut metrics);
     }
     if let Some(s) = state.as_mut() {
-        write_snapshot(&svc, s, &mut chaos, &mut slo)?;
+        write_snapshot(&svc, s, &mut chaos, &mut slo, &mut metrics)?;
     }
     for _ in 0..shed_count.load(Ordering::SeqCst) {
         slo.shed();
     }
     slo.queue_depth(hwm.load(Ordering::SeqCst));
+    if let Some(s) = &state {
+        metrics.inc("serve/wal_bytes", s.wal_bytes);
+    }
+    metrics.inc("serve/shed_events", shed_count.load(Ordering::SeqCst));
     let report = slo.report();
     eprint!("{}", report.to_text());
+    eprint!("{}", metrics.to_text());
     if let Some(path) = slo_out {
-        fs::write(&path, report.to_jsonl(&label)).map_err(|e| format!("writing {path}: {e}"))?;
+        // The metrics registry rides in the SLO artifact so one file
+        // carries the whole serve observability plane.
+        let text = format!("{}{}", report.to_jsonl(&label), metrics.to_jsonl(&label));
+        fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = metrics_out {
+        fs::write(&path, metrics.to_jsonl(&label)).map_err(|e| format!("writing {path}: {e}"))?;
     }
     let status = svc.status();
     eprintln!(
@@ -513,6 +555,7 @@ fn handle_msg(
     state: Option<&mut StateDir>,
     chaos: &mut Chaos,
     slo: &mut SloRecorder,
+    metrics: &mut MetricsRegistry,
 ) -> Result<Handled, String> {
     match msg {
         Msg::Eof => Ok(Handled::Eof),
@@ -535,7 +578,7 @@ fn handle_msg(
             }
             Ok(Handled::Continue)
         }
-        Msg::Cmd(rec) => handle_cmd(&rec, svc, state, chaos, slo),
+        Msg::Cmd(rec) => handle_cmd(&rec, svc, state, chaos, slo, metrics),
     }
 }
 
@@ -545,6 +588,7 @@ fn handle_cmd(
     state: Option<&mut StateDir>,
     chaos: &mut Chaos,
     slo: &mut SloRecorder,
+    metrics: &mut MetricsRegistry,
 ) -> Result<Handled, String> {
     match rec.str("cmd") {
         Some("status") => {
@@ -608,7 +652,7 @@ fn handle_cmd(
         }
         Some("snapshot") => match state {
             Some(s) => {
-                write_snapshot(svc, s, chaos, slo)?;
+                write_snapshot(svc, s, chaos, slo, metrics)?;
                 Reply::line(format!(
                     "{{\"type\":\"snapshot\",\"path\":\"{}\",\"batches\":{}}}",
                     json_escape(&s.snapshot.display().to_string()),
@@ -661,12 +705,17 @@ fn drain_reports(
     svc: &mut ColoringService,
     repair_started: &mut Option<(u64, Instant)>,
     slo: &mut SloRecorder,
+    metrics: &mut MetricsRegistry,
 ) {
     for r in svc.take_reports() {
         let wall_ms = match repair_started.take_if(|(seq, _)| *seq == r.seq) {
             Some((_, t0)) => t0.elapsed().as_secs_f64() * 1e3,
             None => 0.0,
         };
+        metrics.inc("serve/batches_committed", 1);
+        metrics.inc("serve/events_applied", r.events as u64);
+        metrics.observe("serve/repair_rounds", r.repair_rounds);
+        metrics.observe("serve/batch_commit_ms", wall_ms as u64);
         slo.batch(BatchSample {
             seq: r.seq,
             events: r.events as u64,
@@ -687,8 +736,12 @@ fn write_snapshot(
     state: &mut StateDir,
     chaos: &mut Chaos,
     slo: &mut SloRecorder,
+    metrics: &mut MetricsRegistry,
 ) -> Result<(), String> {
     let text = svc.snapshot_text();
+    metrics.inc("serve/snapshots", 1);
+    metrics.inc("serve/snapshot_bytes", text.len() as u64);
+    metrics.gauge_max("serve/snapshot_max_bytes", text.len() as u64);
     chaos.hit("snapshot-pre-write");
     let tmp = state.snapshot.with_extension("dima.tmp");
     fs::write(&tmp, &text).map_err(|e| format!("writing snapshot: {e}"))?;

@@ -163,6 +163,12 @@ pub struct ColoringConfig {
     /// [`dima_sim::RunStats::phase_nanos`]. Off by default so run
     /// statistics stay bit-comparable across engines and runs.
     pub profile: bool,
+    /// Collect the aggregate metrics registry
+    /// ([`dima_sim::RunStats::metrics`]): engine, ARQ and Kempe
+    /// counters/gauges/histograms. Deterministic — unlike `profile`,
+    /// enabling this keeps run statistics bit-comparable across
+    /// engines. Off by default (zero-cost when disabled).
+    pub collect_metrics: bool,
 }
 
 impl Default for ColoringConfig {
@@ -181,6 +187,7 @@ impl Default for ColoringConfig {
             transport: Transport::default(),
             reduction: ColorReduction::Off,
             profile: false,
+            collect_metrics: false,
         }
     }
 }

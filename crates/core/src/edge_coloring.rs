@@ -56,7 +56,7 @@ use crate::automata::{choose_role, pick_uniform, pick_uniform_iter, Phase, Role}
 use crate::churn::{batch_reports, ChurnColoringResult};
 use crate::config::{ColorPolicy, ColoringConfig, ResponsePolicy, Transport};
 use crate::error::CoreError;
-use crate::kempe::{reduce_palette_traced, KempeReport};
+use crate::kempe::{reduce_palette_metered, KempeReport};
 use crate::palette::{Color, ColorSet};
 use crate::runner::{run_protocol_churn_traced, run_protocol_traced};
 
@@ -574,6 +574,7 @@ pub fn color_edges_with_census(
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
         profile: cfg.profile,
+        metrics: cfg.collect_metrics,
     };
     let palette_bound = (2 * delta).saturating_sub(1).max(1) as u32;
     let mut timeline = StateTimeline::new(g.num_vertices());
@@ -753,10 +754,19 @@ fn apply_reduction<T: Tracer + Sync>(
     if !r.endpoint_agreement {
         return Ok(());
     }
-    let report = reduce_palette_traced(g, &mut r.colors, &r.alive, &kcfg, cfg, tracer)?;
+    let (report, metrics) = reduce_palette_metered(g, &mut r.colors, &r.alive, &kcfg, cfg, tracer)?;
     r.colors_used = report.colors_after;
     r.max_color = report.max_color_after;
     r.reduction = Some(report);
+    // Fold the pass's registry (kempe/ counters plus its own engine
+    // rounds) into the run's: the reduction is part of the run's work,
+    // and counter merge keeps the total deterministic.
+    if let Some(m) = metrics {
+        match &mut r.stats.metrics {
+            Some(reg) => reg.merge(&m),
+            None => r.stats.metrics = Some(m),
+        }
+    }
     Ok(())
 }
 

@@ -62,7 +62,7 @@
 
 use dima_graph::{Graph, VertexId};
 use dima_sim::fault::FaultPlan;
-use dima_sim::telemetry::{NoopTracer, PaletteAction, Tracer};
+use dima_sim::telemetry::{MetricsRegistry, NoopTracer, PaletteAction, Tracer};
 use dima_sim::{NodeSeed, NodeStatus, Protocol, RoundCtx, Topology};
 
 use crate::config::{ColorReduction, ColoringConfig, KempeConfig, Transport};
@@ -351,12 +351,20 @@ impl KempeNode {
     /// uncontended, whose outcome (a flip, or a structural refusal that
     /// consumes an attempt) breaks the orbit. Purely a function of local
     /// state, so the engines stay bit-identical.
-    fn backoff(&mut self, round: u64) {
+    /// `busy` distinguishes transient contention (the peer was
+    /// mid-operation) from structural refusals that consumed an
+    /// attempt — the split feeds the `kempe/aborts_*` counters.
+    fn backoff(&mut self, ctx: &mut RoundCtx<'_, KMsg>, busy: bool) {
+        ctx.metric_inc(if busy { "kempe/aborts_busy" } else { "kempe/aborts_structural" }, 1);
         self.aborts += 1;
         self.consec_aborts += 1;
+        if (2..=9).contains(&self.consec_aborts) {
+            // The quiet window actually doubled (it is capped past 9).
+            ctx.metric_inc("kempe/backoff_widenings", 1);
+        }
         let window = 1u64 << u64::from(self.consec_aborts.min(9));
         let stagger = (self.aborts * 3 + u64::from(self.me.0)) % window;
-        self.retry_after = round + 2 + window + stagger;
+        self.retry_after = ctx.round() + 2 + window + stagger;
     }
 
     /// An operation committed: clear the consecutive-refusal streak so
@@ -522,6 +530,8 @@ impl KempeNode {
                     self.rebuild_used();
                     self.chains_flipped += 1;
                     self.max_chain_len = self.max_chain_len.max(len);
+                    ctx.metric_inc("kempe/chains_flipped", 1);
+                    ctx.metric_observe("kempe/chain_len", u64::from(len));
                     ctx.trace_palette(PaletteAction::Released, old.0, self.neighbors[port]);
                     ctx.trace_palette(PaletteAction::Committed, b.0, self.neighbors[port]);
                     self.hello(ctx);
@@ -535,7 +545,7 @@ impl KempeNode {
                     }
                     ctx.send(self.neighbors[port], KMsg::Unlock);
                     self.op = OwnerOp::Idle;
-                    self.backoff(ctx.round());
+                    self.backoff(ctx, busy);
                 }
                 return;
             }
@@ -614,6 +624,7 @@ impl KempeNode {
                     self.edge_color[port] = Some(to_color);
                     self.rebuild_used();
                     self.trivial_recolors += 1;
+                    ctx.metric_inc("kempe/trivial_recolors", 1);
                     ctx.trace_palette(PaletteAction::Released, old.0, from);
                     ctx.trace_palette(PaletteAction::Committed, to_color.0, from);
                     self.hello(ctx);
@@ -624,7 +635,7 @@ impl KempeNode {
                         self.refund(port);
                     }
                     self.op = OwnerOp::Idle;
-                    self.backoff(ctx.round());
+                    self.backoff(ctx, busy);
                 }
             }
         }
@@ -638,7 +649,7 @@ impl KempeNode {
                         self.refund(port);
                     }
                     self.op = OwnerOp::Idle;
-                    self.backoff(ctx.round());
+                    self.backoff(ctx, busy);
                     return;
                 }
                 match self.port_colored(b).filter(|&pb| !self.pinned[pb]) {
@@ -658,7 +669,7 @@ impl KempeNode {
                         // whole time — but degrade instead of panicking).
                         ctx.send(self.neighbors[port], KMsg::Unlock);
                         self.op = OwnerOp::Idle;
-                        self.backoff(ctx.round());
+                        self.backoff(ctx, false);
                     }
                 }
             }
@@ -770,7 +781,7 @@ impl Protocol for KempeNode {
                     if self.op_retries >= MAX_RETRIES {
                         self.refund(port);
                         self.op = OwnerOp::Idle;
-                        self.backoff(round);
+                        self.backoff(ctx, true);
                     } else if let Some(cur) = self.edge_color[port] {
                         self.op_retries += 1;
                         self.op_sent_at = round;
@@ -781,7 +792,7 @@ impl Protocol for KempeNode {
                     if self.op_retries >= MAX_RETRIES {
                         self.refund(port);
                         self.op = OwnerOp::Idle;
-                        self.backoff(round);
+                        self.backoff(ctx, true);
                     } else if let Some(cur) = self.edge_color[port] {
                         self.op_retries += 1;
                         self.op_sent_at = round;
@@ -793,7 +804,7 @@ impl Protocol for KempeNode {
                         self.refund(port);
                         ctx.send(self.neighbors[port], KMsg::Unlock);
                         self.op = OwnerOp::Idle;
-                        self.backoff(round);
+                        self.backoff(ctx, true);
                     } else {
                         self.op_retries += 1;
                         self.op_sent_at = round;
@@ -900,13 +911,7 @@ pub fn reduce_palette(
     reduce_palette_traced(g, colors, alive, kcfg, base, &mut NoopTracer)
 }
 
-/// Run the Kempe-chain reduction pass over a proper (partial) edge
-/// coloring of `g`, rewriting `colors` in place and reporting what
-/// changed. `alive[v] == false` pins every edge at `v` (residual
-/// colorings of crashed runs stay untouched there). `base` supplies the
-/// engine, seed and send-validation settings; the pass itself always
-/// runs on the bare reliable transport (it is a post-processing phase,
-/// not part of the paper's fault model).
+/// [`reduce_palette_metered`] dropping the metrics registry.
 pub fn reduce_palette_traced<T: Tracer + Sync>(
     g: &Graph,
     colors: &mut [Option<Color>],
@@ -915,6 +920,29 @@ pub fn reduce_palette_traced<T: Tracer + Sync>(
     base: &ColoringConfig,
     tracer: &mut T,
 ) -> Result<KempeReport, CoreError> {
+    reduce_palette_metered(g, colors, alive, kcfg, base, tracer).map(|(report, _)| report)
+}
+
+/// Run the Kempe-chain reduction pass over a proper (partial) edge
+/// coloring of `g`, rewriting `colors` in place and reporting what
+/// changed. `alive[v] == false` pins every edge at `v` (residual
+/// colorings of crashed runs stay untouched there). `base` supplies the
+/// engine, seed and send-validation settings; the pass itself always
+/// runs on the bare reliable transport (it is a post-processing phase,
+/// not part of the paper's fault model).
+///
+/// The second return is the pass's own metrics registry (the `kempe/`
+/// family) when `base.collect_metrics` is on — [`KempeReport`] is
+/// `Copy` and stays that way, so the registry travels beside it for
+/// callers that fold it into a run-level registry.
+pub fn reduce_palette_metered<T: Tracer + Sync>(
+    g: &Graph,
+    colors: &mut [Option<Color>],
+    alive: &[bool],
+    kcfg: &KempeConfig,
+    base: &ColoringConfig,
+    tracer: &mut T,
+) -> Result<(KempeReport, Option<Box<MetricsRegistry>>), CoreError> {
     if colors.len() != g.num_edges() {
         return Err(CoreError::Config(format!(
             "reduce_palette: {} colors for {} edges",
@@ -948,7 +976,7 @@ pub fn reduce_palette_traced<T: Tracer + Sync>(
     // Nothing over the threshold: the pass would start and immediately
     // quiesce — skip the engine run entirely.
     if before.max().is_none_or(|m| m.0 < threshold) {
-        return Ok(report);
+        return Ok((report, None));
     }
     let n = g.num_vertices();
     let mut init: Vec<KempeInit> = vec![KempeInit::default(); n];
@@ -998,7 +1026,7 @@ pub fn reduce_palette_traced<T: Tracer + Sync>(
     let factory = |seed: NodeSeed<'_>| {
         KempeNode::new(&seed, &init[seed.node.index()], threshold, &kcfg, deadline)
     };
-    let run = run_protocol_traced(&topo, &run_cfg, max_rounds, factory, tracer)?;
+    let mut run = run_protocol_traced(&topo, &run_cfg, max_rounds, factory, tracer)?;
     // Write the negotiated colors back into the global table. Both
     // endpoints of every live edge agree (the commit protocol updates
     // them within one operation); pinned edges kept their input color.
@@ -1026,7 +1054,7 @@ pub fn reduce_palette_traced<T: Tracer + Sync>(
         report.max_chain_len = report.max_chain_len.max(node.max_chain_len);
         report.aborts += node.aborts;
     }
-    Ok(report)
+    Ok((report, run.stats.metrics.take()))
 }
 
 #[cfg(test)]

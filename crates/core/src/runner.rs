@@ -164,5 +164,6 @@ fn engine_config(cfg: &ColoringConfig, max_rounds: u64) -> EngineConfig {
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
         profile: cfg.profile,
+        metrics: cfg.collect_metrics,
     }
 }

@@ -540,6 +540,7 @@ impl ColoringService {
             validate_sends: cfg.coloring.validate_sends,
             faults: FaultPlan::reliable(),
             profile: false,
+            metrics: false,
         };
         let topo = Topology::from_graph(g0);
         let mut d0 = None;
@@ -1137,6 +1138,7 @@ impl ColoringService {
             },
             validate_sends: header_num(&header, "validate_sends")? != 0,
             collect_round_stats: false,
+            collect_metrics: false,
             // Snapshots do not record the engine: the coloring (and its
             // replay) is bit-identical on either, so a restored service
             // defaults to sequential and the host may choose parallel

@@ -461,6 +461,7 @@ pub fn strong_color_graph_traced<T: Tracer + Sync>(
         validate_sends: cfg.validate_sends,
         faults: cfg.faults.clone(),
         profile: cfg.profile,
+        metrics: cfg.collect_metrics,
     };
     let factory = |seed: NodeSeed<'_>| StrongUndirectedNode::new(&seed, g, cfg);
     let outcome: RunOutcome<StrongUndirectedNode> = match cfg.engine {

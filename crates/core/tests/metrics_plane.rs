@@ -1,0 +1,169 @@
+//! The metrics plane shares the trace plane's determinism contract:
+//! the merged counters, gauges and histograms of a parallel run are
+//! bit-identical to the sequential engine's at every thread count, and
+//! turning the plane on cannot change a single bit of any run's
+//! results. These property tests pin both, across fault plans, churn
+//! schedules, and the Kempe reduction pass (whose registry folds into
+//! the run's).
+
+use dima_core::{
+    color_edges, color_edges_churn, maximal_matching, strong_color_digraph, ChurnPlan,
+    ChurnSchedule, ColorReduction, ColoringConfig, Engine, KempeConfig,
+};
+use dima_graph::gen::erdos_renyi_avg_degree;
+use dima_graph::{Digraph, Graph};
+use dima_sim::fault::FaultPlan;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The thread counts the issue pins: degenerate pool, small pools, and
+/// one wider than any test graph's shard count is likely to need.
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, 1u64..200, 10u32..45).prop_map(|(n, gseed, avg10)| {
+        let mut rng = SmallRng::seed_from_u64(gseed);
+        let avg = (f64::from(avg10) / 10.0).min(0.8 * (n - 1) as f64);
+        erdos_renyi_avg_degree(n, avg, &mut rng).unwrap()
+    })
+}
+
+fn arb_cfg() -> impl Strategy<Value = ColoringConfig> {
+    (1u64..500, 0u8..3, any::<bool>()).prop_map(|(seed, faults, reduce)| ColoringConfig {
+        collect_round_stats: true,
+        collect_metrics: true,
+        faults: match faults {
+            0 => FaultPlan::reliable(),
+            1 => FaultPlan::uniform(0.05),
+            _ => FaultPlan { duplicate_probability: 0.05, ..FaultPlan::uniform(0.1) },
+        },
+        reduction: if reduce {
+            ColorReduction::Kempe(KempeConfig::default())
+        } else {
+            ColorReduction::Off
+        },
+        // Lossy runs may legitimately hit the budget; keep it small so
+        // the error path is exercised quickly instead of spinning.
+        max_compute_rounds: Some(300),
+        ..ColoringConfig::seeded(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The merged registry of an edge-coloring run is bit-identical
+    /// between the sequential engine and the worker pool at every
+    /// pinned thread count, including under fault injection and with
+    /// the Kempe reduction folded in.
+    #[test]
+    fn edge_coloring_metrics_engine_identical(g in arb_graph(), cfg in arb_cfg()) {
+        let seq = color_edges(&g, &ColoringConfig { engine: Engine::Sequential, ..cfg.clone() });
+        for threads in THREADS {
+            let par = color_edges(
+                &g,
+                &ColoringConfig { engine: Engine::Parallel { threads }, ..cfg.clone() },
+            );
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert!(s.stats.metrics.is_some(), "metrics plane was on");
+                    // RunStats derives Eq and carries the registry, so
+                    // this compares every counter, gauge and histogram
+                    // bucket alongside the rest of the stats.
+                    prop_assert_eq!(&s.stats, &p.stats, "threads = {}", threads);
+                    prop_assert_eq!(&s.colors, &p.colors);
+                }
+                // A lossy run may fail (budget exhausted); it must fail
+                // identically on every engine.
+                (s, p) => {
+                    prop_assert!(s.is_err(), "threads = {}", threads);
+                    prop_assert!(p.is_err(), "threads = {}", threads);
+                }
+            }
+        }
+    }
+
+    /// Same for the matching and strong-coloring protocols (ARQ
+    /// metrics included when the reliable transport engages under
+    /// loss).
+    #[test]
+    fn matching_and_strong_metrics_engine_identical(g in arb_graph(), cfg in arb_cfg()) {
+        let d = Digraph::symmetric_closure(&g);
+        let seq_cfg = ColoringConfig { engine: Engine::Sequential, ..cfg.clone() };
+        let seq_m = maximal_matching(&g, &seq_cfg);
+        let seq_s = strong_color_digraph(&d, &seq_cfg);
+        for threads in THREADS {
+            let par_cfg = ColoringConfig { engine: Engine::Parallel { threads }, ..cfg.clone() };
+            match (&seq_m, &maximal_matching(&g, &par_cfg)) {
+                (Ok(s), Ok(p)) => prop_assert_eq!(&s.stats, &p.stats, "threads = {}", threads),
+                (s, p) => {
+                    prop_assert!(s.is_err());
+                    prop_assert!(p.is_err());
+                }
+            }
+            match (&seq_s, &strong_color_digraph(&d, &par_cfg)) {
+                (Ok(s), Ok(p)) => prop_assert_eq!(&s.stats, &p.stats, "threads = {}", threads),
+                (s, p) => {
+                    prop_assert!(s.is_err());
+                    prop_assert!(p.is_err());
+                }
+            }
+        }
+    }
+
+    /// Same under a churn schedule: topology mutation mid-run must not
+    /// break the shard-merge determinism of the counters.
+    #[test]
+    fn churn_metrics_engine_identical(
+        g in arb_graph(),
+        seed in 1u64..300,
+        churn_seed in 1u64..300,
+    ) {
+        let schedule = ChurnSchedule::generate(&g, &ChurnPlan::new(churn_seed, 0.25));
+        let base = ColoringConfig {
+            collect_round_stats: true,
+            collect_metrics: true,
+            ..ColoringConfig::seeded(seed)
+        };
+        let seq = color_edges_churn(
+            &g,
+            &schedule,
+            &ColoringConfig { engine: Engine::Sequential, ..base.clone() },
+        )
+        .unwrap();
+        prop_assert!(seq.coloring.stats.metrics.is_some());
+        for threads in THREADS {
+            let par = color_edges_churn(
+                &g,
+                &schedule,
+                &ColoringConfig { engine: Engine::Parallel { threads }, ..base.clone() },
+            )
+            .unwrap();
+            prop_assert_eq!(&seq.coloring.stats, &par.coloring.stats, "threads = {}", threads);
+            prop_assert_eq!(&seq.coloring.colors, &par.coloring.colors);
+        }
+    }
+
+    /// The plane is a pure observer: collecting metrics changes nothing
+    /// but the registry itself.
+    #[test]
+    fn metrics_collection_is_pure(g in arb_graph(), cfg in arb_cfg()) {
+        let with = color_edges(&g, &cfg);
+        let without = color_edges(&g, &ColoringConfig { collect_metrics: false, ..cfg.clone() });
+        match (with, without) {
+            (Ok(w), Ok(wo)) => {
+                prop_assert!(w.stats.metrics.is_some());
+                prop_assert!(wo.stats.metrics.is_none());
+                let mut stripped = w.stats.clone();
+                stripped.metrics = None;
+                prop_assert_eq!(&stripped, &wo.stats);
+                prop_assert_eq!(&w.colors, &wo.colors);
+            }
+            (w, wo) => {
+                prop_assert!(w.is_err());
+                prop_assert!(wo.is_err());
+            }
+        }
+    }
+}

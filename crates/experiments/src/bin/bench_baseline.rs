@@ -5,11 +5,17 @@
 //! criterion harness, so CI and the BENCH_*.json trajectory can record
 //! wall-clock numbers from a plain `cargo run --release`. Output is a
 //! single JSON document; pass `--before <path>` (a previous run of this
-//! bin) to embed that snapshot and per-scenario speedup ratios.
+//! bin) to embed that snapshot and per-scenario speedup ratios, or
+//! `--compare <path>` to do the same while interleaving the reps
+//! round-robin across scenarios — slow thermal or frequency drift then
+//! lands on every scenario equally instead of biasing whichever ran
+//! last. Feed the result and its predecessor to `bench_diff` for a
+//! noise-aware verdict.
 //!
 //! ```text
 //! bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH]
-//!                [--only SUBSTRING] [--threads N] [--oversubscribe]
+//!                [--compare PATH] [--only SUBSTRING] [--threads N]
+//!                [--oversubscribe]
 //! ```
 //!
 //! Parallel scenarios are named after their width (`color_par4`,
@@ -34,7 +40,9 @@ use dima_sim::{
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// One measured scenario: name plus wall-clock stats over `reps` runs.
@@ -50,34 +58,87 @@ struct Measurement {
     p99_ms: Option<f64>,
 }
 
-fn measure(name: &str, reps: usize, mut run: impl FnMut(u64)) -> Measurement {
-    run(0); // warm-up rep (page in the graph, size allocator pools)
-    let mut times = Vec::with_capacity(reps);
-    for rep in 0..reps {
+/// Post-measurement hook (serve_slo attaches its percentile report).
+type PostHook<'a> = Box<dyn FnMut(&mut Measurement) + 'a>;
+
+/// A scenario staged but not yet timed: the driver owns the rep loop so
+/// `--compare` can interleave reps across scenarios instead of running
+/// each scenario's reps back to back.
+struct Scenario<'a> {
+    name: String,
+    reps: usize,
+    run: Box<dyn FnMut(u64) + 'a>,
+    post: Option<PostHook<'a>>,
+}
+
+impl<'a> Scenario<'a> {
+    fn new(name: &str, reps: usize, run: impl FnMut(u64) + 'a) -> Self {
+        Scenario { name: name.to_string(), reps, run: Box::new(run), post: None }
+    }
+}
+
+/// Time every scenario. In consecutive order (the default) each
+/// scenario's reps run back to back; under `interleave` the driver
+/// round-robins single reps across all scenarios, so drift over the
+/// session's wall-clock (thermal throttling, a noisy neighbor) averages
+/// into every scenario instead of penalizing the ones measured last —
+/// the property that makes before/after comparisons on one host fair.
+fn run_scenarios(mut scenarios: Vec<Scenario<'_>>, interleave: bool) -> Vec<Measurement> {
+    let mut times: Vec<Vec<f64>> = scenarios.iter().map(|s| Vec::with_capacity(s.reps)).collect();
+    // Warm-up rep for each (page in the graph, size allocator pools).
+    for s in &mut scenarios {
+        (s.run)(0);
+    }
+    let time_one = |s: &mut Scenario<'_>, rep: usize, times: &mut Vec<f64>| {
         let t0 = Instant::now();
-        run(rep as u64 + 1);
+        (s.run)(rep as u64 + 1);
         times.push(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
-    for &t in &times {
-        min = min.min(t);
-        max = max.max(t);
-        sum += t;
-    }
-    let m = Measurement {
-        name: name.to_string(),
-        reps,
-        mean_ms: sum / reps as f64,
-        min_ms: min,
-        max_ms: max,
-        p50_ms: None,
-        p99_ms: None,
     };
-    eprintln!(
-        "  {:<24} mean {:9.3} ms  (min {:.3}, max {:.3}, reps {})",
-        m.name, m.mean_ms, m.min_ms, m.max_ms, m.reps
-    );
-    m
+    if interleave {
+        let max_reps = scenarios.iter().map(|s| s.reps).max().unwrap_or(0);
+        for rep in 0..max_reps {
+            for (s, times) in scenarios.iter_mut().zip(times.iter_mut()) {
+                if rep < s.reps {
+                    time_one(s, rep, times);
+                }
+            }
+        }
+    } else {
+        for (s, times) in scenarios.iter_mut().zip(times.iter_mut()) {
+            for rep in 0..s.reps {
+                time_one(s, rep, times);
+            }
+        }
+    }
+    scenarios
+        .iter_mut()
+        .zip(times)
+        .map(|(s, times)| {
+            let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+            for &t in &times {
+                min = min.min(t);
+                max = max.max(t);
+                sum += t;
+            }
+            let mut m = Measurement {
+                name: s.name.clone(),
+                reps: s.reps,
+                mean_ms: sum / s.reps as f64,
+                min_ms: min,
+                max_ms: max,
+                p50_ms: None,
+                p99_ms: None,
+            };
+            eprintln!(
+                "  {:<24} mean {:9.3} ms  (min {:.3}, max {:.3}, reps {})",
+                m.name, m.mean_ms, m.min_ms, m.max_ms, m.reps
+            );
+            if let Some(post) = &mut s.post {
+                post(&mut m);
+            }
+            m
+        })
+        .collect()
 }
 
 /// Broadcast-heavy protocol: every node floods a fixed-size `Vec<u64>`
@@ -131,14 +192,14 @@ impl Protocol for SmallGossip {
     }
 }
 
-fn small_gossip_scenario(
+fn small_gossip_scenario<'a>(
     name: &str,
-    topo: &Topology,
+    topo: &'a Topology,
     rounds: u64,
     engine_threads: Option<usize>,
     reps: usize,
-) -> Measurement {
-    measure(name, reps, |rep| {
+) -> Scenario<'a> {
+    Scenario::new(name, reps, move |rep| {
         let cfg =
             EngineConfig { seed: 0x5AA + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
         let factory = |seed: NodeSeed<'_>| SmallGossip { rounds, digest: seed.node.0 as u64 };
@@ -156,17 +217,25 @@ fn er_avg(n: usize, avg_degree: f64, seed: u64) -> Graph {
         .expect("valid family")
 }
 
-fn gossip_scenario(
+/// `metrics` turns the deterministic metrics plane on — paired with the
+/// plain run it pins the enabled-metrics overhead budget (satellite of
+/// the observability plane: counting must cost ~nothing).
+fn gossip_scenario<'a>(
     name: &str,
-    topo: &Topology,
+    topo: &'a Topology,
     rounds: u64,
     payload_len: usize,
     engine_threads: Option<usize>,
+    metrics: bool,
     reps: usize,
-) -> Measurement {
-    measure(name, reps, |rep| {
-        let cfg =
-            EngineConfig { seed: 0xB0A5 + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
+) -> Scenario<'a> {
+    Scenario::new(name, reps, move |rep| {
+        let cfg = EngineConfig {
+            seed: 0xB0A5 + rep,
+            max_rounds: rounds + 4,
+            metrics,
+            ..EngineConfig::default()
+        };
         let factory = |seed: NodeSeed<'_>| Gossip {
             rounds,
             payload: Shared::new((0..payload_len as u64).map(|i| i ^ seed.node.0 as u64).collect()),
@@ -176,6 +245,7 @@ fn gossip_scenario(
             None => run_sequential(topo, &cfg, factory).expect("gossip run"),
             Some(t) => run_parallel(topo, &cfg, t, factory).expect("gossip run"),
         };
+        black_box(outcome.stats.metrics.is_some());
         black_box(outcome.nodes.iter().map(|n| n.digest).fold(0u64, u64::wrapping_add));
     })
 }
@@ -185,15 +255,15 @@ fn gossip_scenario(
 /// telemetry plane's CPU cost (event construction, sampling filter,
 /// serialization) from disk throughput. Paired with
 /// `dense_broadcast_seq` to pin the sampled-tracing overhead budget.
-fn gossip_traced_scenario(
+fn gossip_traced_scenario<'a>(
     name: &str,
-    topo: &Topology,
+    topo: &'a Topology,
     rounds: u64,
     payload_len: usize,
     sample: u32,
     reps: usize,
-) -> Measurement {
-    measure(name, reps, |rep| {
+) -> Scenario<'a> {
+    Scenario::new(name, reps, move |rep| {
         let cfg =
             EngineConfig { seed: 0xB0A5 + rep, max_rounds: rounds + 4, ..EngineConfig::default() };
         let factory = |seed: NodeSeed<'_>| Gossip {
@@ -217,15 +287,15 @@ fn gossip_traced_scenario(
     })
 }
 
-fn coloring_scenario(
+fn coloring_scenario<'a>(
     name: &str,
-    g: &Graph,
+    g: &'a Graph,
     engine: Engine,
     transport: Transport,
     faults: FaultPlan,
     reps: usize,
-) -> Measurement {
-    measure(name, reps, |rep| {
+) -> Scenario<'a> {
+    Scenario::new(name, reps, move |rep| {
         let cfg = ColoringConfig {
             engine,
             transport,
@@ -242,8 +312,8 @@ fn coloring_scenario(
 /// long alternating chains (the base coloring run is included — the
 /// interesting figure is the marginal cost over `color_seq`-style runs
 /// on a graph this size).
-fn kempe_scenario(name: &str, g: &Graph, reps: usize) -> Measurement {
-    measure(name, reps, |rep| {
+fn kempe_scenario<'a>(name: &str, g: &'a Graph, reps: usize) -> Scenario<'a> {
+    Scenario::new(name, reps, move |rep| {
         let cfg = ColoringConfig {
             reduction: ColorReduction::Kempe(KempeConfig::default()),
             ..ColoringConfig::seeded(0xC01 + rep)
@@ -258,16 +328,17 @@ fn kempe_scenario(name: &str, g: &Graph, reps: usize) -> Measurement {
 /// quiescence and repaired to convergence). `mean_ms` is the whole
 /// session; `p50_ms`/`p99_ms` are the per-batch repair latencies the
 /// service plane is judged on.
-fn serve_slo_scenario(
+fn serve_slo_scenario<'a>(
     name: &str,
-    g: &Graph,
+    g: &'a Graph,
     batches: usize,
     events_per_batch: usize,
     reps: usize,
-) -> Measurement {
+) -> Scenario<'a> {
     let n = g.num_vertices() as u32;
-    let mut recorder = SloRecorder::new();
-    let mut m = measure(name, reps, |rep| {
+    let recorder: Rc<RefCell<SloRecorder>> = Rc::new(RefCell::new(SloRecorder::new()));
+    let rec_in = Rc::clone(&recorder);
+    let mut s = Scenario::new(name, reps, move |rep| {
         let cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 0x5E54E + rep);
         let mut svc = ColoringService::new(g, cfg).expect("service construction");
         svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
@@ -311,21 +382,23 @@ fn serve_slo_scenario(
             }
         }
         black_box(svc.coloring_hash());
-        recorder = slo;
+        *rec_in.borrow_mut() = slo;
     });
-    let report = recorder.report();
-    m.p50_ms = Some(report.p50_wall_ms);
-    m.p99_ms = Some(report.p99_wall_ms);
-    eprintln!(
-        "  {:<24} batch p50 {:.3} ms  p99 {:.3} ms  (p50 {} / p99 {} rounds, amp {:.2})",
-        "",
-        report.p50_wall_ms,
-        report.p99_wall_ms,
-        report.p50_repair_rounds,
-        report.p99_repair_rounds,
-        report.churn_amplification
-    );
-    m
+    s.post = Some(Box::new(move |m: &mut Measurement| {
+        let report = recorder.borrow().report();
+        m.p50_ms = Some(report.p50_wall_ms);
+        m.p99_ms = Some(report.p99_wall_ms);
+        eprintln!(
+            "  {:<24} batch p50 {:.3} ms  p99 {:.3} ms  (p50 {} / p99 {} rounds, amp {:.2})",
+            "",
+            report.p50_wall_ms,
+            report.p99_wall_ms,
+            report.p50_repair_rounds,
+            report.p99_repair_rounds,
+            report.churn_amplification
+        );
+    }));
+    s
 }
 
 fn json_escape(s: &str) -> String {
@@ -374,6 +447,30 @@ fn parse_before(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The host's CPU model string (`/proc/cpuinfo`), recorded alongside
+/// `host_threads` so a BENCH_*.json says which silicon produced it —
+/// cross-host comparisons are exactly the ones `bench_diff` should
+/// refuse to read as regressions.
+fn cpu_model() -> String {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else { return "unknown".into() };
+    info.lines()
+        .find_map(|l| l.strip_prefix("model name"))
+        .and_then(|rest| rest.split(':').nth(1))
+        .map_or_else(|| "unknown".into(), |m| m.trim().to_string())
+}
+
+/// `rustc --version` of the toolchain on PATH — close enough to the one
+/// that built this binary for snapshot provenance, and "unknown" where
+/// no toolchain is visible at runtime.
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(|| "unknown".into(), |o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+}
+
 /// Parallel-engine width the named scenarios are pinned to when
 /// `--threads` is absent. A constant — never the host's core count — so
 /// `color_par4` means the same configuration in every BENCH_*.json
@@ -389,6 +486,7 @@ fn main() {
     let mut out_path = String::from("BENCH_engine.json");
     let mut label = String::from("snapshot");
     let mut before_path: Option<String> = None;
+    let mut interleave = false;
     let mut only: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut oversubscribe = false;
@@ -399,6 +497,10 @@ fn main() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--label" => label = args.next().expect("--label needs a name"),
             "--before" => before_path = Some(args.next().expect("--before needs a path")),
+            "--compare" => {
+                before_path = Some(args.next().expect("--compare needs a path"));
+                interleave = true;
+            }
             "--only" => only = Some(args.next().expect("--only needs a scenario name substring")),
             "--threads" => {
                 let v = args.next().expect("--threads needs a count");
@@ -409,7 +511,7 @@ fn main() {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_baseline [--quick] [--out PATH] [--label NAME] [--before PATH] \
-                     [--only SUBSTRING] [--threads N] [--oversubscribe]"
+                     [--compare PATH] [--only SUBSTRING] [--threads N] [--oversubscribe]"
                 );
                 std::process::exit(2);
             }
@@ -440,7 +542,9 @@ fn main() {
     };
 
     eprintln!(
-        "bench_baseline: label={label} quick={quick} par_threads={par_threads} host_threads={hw}"
+        "bench_baseline: label={label} quick={quick} par_threads={par_threads} host_threads={hw}\
+         {}",
+        if interleave { " (interleaved reps)" } else { "" }
     );
 
     // Engine scenarios mirror `crates/experiments/benches/engines.rs`
@@ -453,12 +557,21 @@ fn main() {
     let g = er_avg(color_n, color_avg, 46);
     let dense = er_avg(dense_n, dense_avg, 47);
     let dense_topo = Topology::from_graph(&dense);
+    // The n >= 100k coloring pair: the scale where per-round work is
+    // large enough for the pool to amortize its barriers.
+    let (big_n, big_avg, big_reps) = if quick { (20_000, 8.0, 1) } else { (100_000, 8.0, 2) };
+    let big = er_avg(big_n, big_avg, 49);
+    let kn = if quick { 300 } else { 1000 };
+    let kg = {
+        let mut rng = SmallRng::seed_from_u64(48);
+        GraphFamily::Regular { n: kn, d: 9 }.sample(&mut rng).expect("regular graph")
+    };
 
     let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
     let par_name = |base: &str| format!("{base}_par{par_threads}");
-    let mut results = Vec::new();
+    let mut scenarios = Vec::new();
     if want("color_seq") {
-        results.push(coloring_scenario(
+        scenarios.push(coloring_scenario(
             "color_seq",
             &g,
             Engine::Sequential,
@@ -468,7 +581,7 @@ fn main() {
         ));
     }
     if want(&par_name("color")) {
-        results.push(coloring_scenario(
+        scenarios.push(coloring_scenario(
             &par_name("color"),
             &g,
             Engine::Parallel { threads: par_threads },
@@ -477,12 +590,8 @@ fn main() {
             reps,
         ));
     }
-    // The n >= 100k coloring pair: the scale where per-round work is
-    // large enough for the pool to amortize its barriers.
-    let (big_n, big_avg, big_reps) = if quick { (20_000, 8.0, 1) } else { (100_000, 8.0, 2) };
-    let big = er_avg(big_n, big_avg, 49);
     if want("color_big_seq") {
-        results.push(coloring_scenario(
+        scenarios.push(coloring_scenario(
             "color_big_seq",
             &big,
             Engine::Sequential,
@@ -492,7 +601,7 @@ fn main() {
         ));
     }
     if want(&par_name("color_big")) {
-        results.push(coloring_scenario(
+        scenarios.push(coloring_scenario(
             &par_name("color_big"),
             &big,
             Engine::Parallel { threads: par_threads },
@@ -507,7 +616,7 @@ fn main() {
     for t in SWEEP_THREADS {
         let name = format!("thread_sweep_t{t}");
         if want(&name) {
-            results.push(coloring_scenario(
+            scenarios.push(coloring_scenario(
                 &name,
                 &big,
                 Engine::Parallel { threads: t },
@@ -518,17 +627,18 @@ fn main() {
         }
     }
     if want("dense_broadcast_seq") {
-        results.push(gossip_scenario(
+        scenarios.push(gossip_scenario(
             "dense_broadcast_seq",
             &dense_topo,
             dense_rounds,
             payload_len,
             None,
+            false,
             reps,
         ));
     }
     if want("dense_broadcast_traced_seq") {
-        results.push(gossip_traced_scenario(
+        scenarios.push(gossip_traced_scenario(
             "dense_broadcast_traced_seq",
             &dense_topo,
             dense_rounds,
@@ -537,18 +647,30 @@ fn main() {
             reps,
         ));
     }
+    if want("dense_broadcast_metrics_seq") {
+        scenarios.push(gossip_scenario(
+            "dense_broadcast_metrics_seq",
+            &dense_topo,
+            dense_rounds,
+            payload_len,
+            None,
+            true,
+            reps,
+        ));
+    }
     if want(&par_name("dense_broadcast")) {
-        results.push(gossip_scenario(
+        scenarios.push(gossip_scenario(
             &par_name("dense_broadcast"),
             &dense_topo,
             dense_rounds,
             payload_len,
             Some(par_threads),
+            false,
             reps,
         ));
     }
     if want("small_broadcast_seq") {
-        results.push(small_gossip_scenario(
+        scenarios.push(small_gossip_scenario(
             "small_broadcast_seq",
             &dense_topo,
             dense_rounds * 4,
@@ -557,7 +679,7 @@ fn main() {
         ));
     }
     if want(&par_name("small_broadcast")) {
-        results.push(small_gossip_scenario(
+        scenarios.push(small_gossip_scenario(
             &par_name("small_broadcast"),
             &dense_topo,
             dense_rounds * 4,
@@ -567,18 +689,13 @@ fn main() {
     }
     if want("serve_slo") {
         let (batches, events) = if quick { (8, 4) } else { (24, 8) };
-        results.push(serve_slo_scenario("serve_slo", &g, batches, events, reps));
+        scenarios.push(serve_slo_scenario("serve_slo", &g, batches, events, reps));
     }
     if want("kempe_reduce") {
-        let kn = if quick { 300 } else { 1000 };
-        let kg = {
-            let mut rng = SmallRng::seed_from_u64(48);
-            GraphFamily::Regular { n: kn, d: 9 }.sample(&mut rng).expect("regular graph")
-        };
-        results.push(kempe_scenario("kempe_reduce", &kg, reps));
+        scenarios.push(kempe_scenario("kempe_reduce", &kg, reps));
     }
     if want("reliable_loss_seq") {
-        results.push(coloring_scenario(
+        scenarios.push(coloring_scenario(
             "reliable_loss_seq",
             &g,
             Engine::Sequential,
@@ -587,7 +704,8 @@ fn main() {
             reps,
         ));
     }
-    assert!(!results.is_empty(), "--only matched no scenario");
+    assert!(!scenarios.is_empty(), "--only matched no scenario");
+    let results = run_scenarios(scenarios, interleave);
 
     let mut doc = String::from("{\n");
     doc.push_str("\"schema\":\"dima-bench-v1\",\n");
@@ -595,6 +713,9 @@ fn main() {
     doc.push_str(&format!("\"quick\":{quick},\n"));
     doc.push_str(&format!("\"par_threads\":{par_threads},\n"));
     doc.push_str(&format!("\"host_threads\":{hw},\n"));
+    doc.push_str(&format!("\"cpu_model\":\"{}\",\n", json_escape(&cpu_model())));
+    doc.push_str(&format!("\"rustc\":\"{}\",\n", json_escape(&rustc_version())));
+    doc.push_str(&format!("\"interleaved\":{interleave},\n"));
     doc.push_str(&format!("\"scenarios\":{}", scenarios_json(&results)));
     // Sampled-tracing overhead budget: the traced dense-broadcast run
     // may cost at most 5% over its untraced twin.
@@ -616,6 +737,28 @@ fn main() {
             );
         } else {
             eprintln!("trace overhead: {:+.1}% (1/16 sampling, budget 5%)", (ratio - 1.0) * 100.0);
+        }
+    }
+    // Enabled-metrics overhead budget: counters and log-bucket
+    // histograms are a handful of adds per round, so the metered
+    // dense-broadcast run may cost at most 3% over the plain one.
+    let metered = results.iter().find(|m| m.name == "dense_broadcast_metrics_seq");
+    if let (Some(base), Some(metered)) = (base, metered) {
+        let ratio = metered.mean_ms / base.mean_ms;
+        doc.push_str(&format!(
+            ",\n\"metrics_overhead\":{{\"base\":\"{}\",\"metered\":\"{}\",\"budget\":1.03,\"ratio\":{:.3}}}",
+            base.name, metered.name, ratio
+        ));
+        if ratio > 1.03 {
+            eprintln!(
+                "warning: enabled-metrics overhead {:.1}% exceeds the 3% budget \
+                 ({:.3} ms metered vs {:.3} ms base)",
+                (ratio - 1.0) * 100.0,
+                metered.mean_ms,
+                base.mean_ms
+            );
+        } else {
+            eprintln!("metrics overhead: {:+.1}% (budget 3%)", (ratio - 1.0) * 100.0);
         }
     }
     if let Some(path) = &before_path {

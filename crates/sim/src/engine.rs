@@ -36,6 +36,13 @@ pub struct EngineConfig {
     /// [`RunStats::phase_nanos`]. Off by default so run statistics stay
     /// bit-comparable across engines and runs.
     pub profile: bool,
+    /// Collect aggregate metrics (counters/gauges/histograms) into
+    /// [`RunStats::metrics`]. All recorded quantities are deterministic
+    /// — counts and round-denominated latencies — so metric registries
+    /// are bit-identical across engines, except the `pool/` per-shard
+    /// entries which only appear when `profile` is also on (they are
+    /// wall-clock and engine-specific by nature).
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +54,7 @@ impl Default for EngineConfig {
             validate_sends: true,
             faults: FaultPlan::reliable(),
             profile: false,
+            metrics: false,
         }
     }
 }

@@ -55,8 +55,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use dima_graph::VertexId;
 use dima_telemetry::{
-    merge_shards, Event, EventSink, KindTable, KindTotals, NoopTracer, PhaseNanos, ProfileScope,
-    ShardBuf, Stamped, TraceHandle, Tracer,
+    merge_shards, Event, EventSink, KindTable, KindTotals, MetricsHandle, MetricsRegistry,
+    NoopTracer, PhaseNanos, ProfileScope, ShardBuf, Stamped, TraceHandle, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -66,7 +66,7 @@ use crate::error::SimError;
 use crate::pool::{self, EpochBarrier};
 use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
 use crate::rng::node_rng;
-use crate::stats::{RoundStats, RunStats};
+use crate::stats::{note_round_metrics, RoundStats, RunStats};
 use crate::stepper::deliver_fate;
 use crate::topology::Topology;
 
@@ -157,6 +157,7 @@ where
             nodes: Vec::new(),
             stats: RunStats {
                 per_round: cfg.collect_round_stats.then(Vec::new),
+                metrics: cfg.metrics.then(|| Box::new(MetricsRegistry::new())),
                 ..Default::default()
             },
             crashed: Vec::new(),
@@ -293,6 +294,11 @@ struct ShardState<M> {
     /// and partial per-kind counters (summed during the merge).
     buf: ShardBuf,
     kinds: Option<KindTable>,
+    /// Protocol-level metric updates from this shard's nodes. All
+    /// updates are commutative, so merging the shard registries in any
+    /// order reproduces the sequential engine's single registry —
+    /// no boundary normalization needed (unlike `buf`).
+    metrics: Option<MetricsRegistry>,
     /// Cumulative per-phase wall-clock for this shard (profiled runs).
     phases: PhaseNanos,
     // --- per-tick outputs ---
@@ -318,6 +324,7 @@ impl<M> ShardState<M> {
             suppressed_now: Vec::new(),
             buf: ShardBuf::default(),
             kinds: None,
+            metrics: None,
             phases: PhaseNanos::default(),
             sent: 0,
             delivered: 0,
@@ -461,6 +468,11 @@ pub struct ParStepper<P: Protocol, F> {
     woken: Vec<AtomicBool>,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     stats: RunStats,
+    // The caller-side registry: engine-level round metrics land here
+    // directly (the fold below owns the round's stats, like the
+    // sequential engine), and the per-shard protocol registries merge
+    // into it at `into_outcome`.
+    metrics: Option<Box<MetricsRegistry>>,
     kinds_on: bool,
     round: u64,
     executed: u64,
@@ -502,7 +514,14 @@ where
             factory,
             topo: topo.clone(),
             threads,
-            shards: bounds.iter().map(|&(lo, hi)| ShardState::new(hi - lo)).collect(),
+            shards: bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    let mut st = ShardState::new(hi - lo);
+                    st.metrics = cfg.metrics.then(MetricsRegistry::new);
+                    st
+                })
+                .collect(),
             bounds,
             shard_of,
             barrier: EpochBarrier::new(threads),
@@ -518,6 +537,7 @@ where
             woken: (0..n).map(|_| AtomicBool::new(false)).collect(),
             panic: Mutex::new(None),
             stats,
+            metrics: cfg.metrics.then(|| Box::new(MetricsRegistry::new())),
             kinds_on: false,
             round: 0,
             executed: 0,
@@ -620,6 +640,30 @@ where
         if self.cfg.profile {
             self.stats.shard_phases = self.shards.iter().map(|st| st.phases).collect();
         }
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            // Fold the per-shard protocol registries in. Every update
+            // is commutative, so any merge order equals the sequential
+            // engine's single-registry content bit for bit.
+            for st in &self.shards {
+                if let Some(sm) = st.metrics.as_ref() {
+                    reg.merge(sm);
+                }
+            }
+            // Wall-clock per-shard work and barrier-wait imbalance are
+            // engine-specific by nature, so they only exist on profiled
+            // runs — which are never `==`-compared across engines.
+            if self.cfg.profile {
+                reg.gauge_max("pool/threads", self.threads as u64);
+                for (i, st) in self.shards.iter().enumerate() {
+                    reg.gauge_max(format!("pool/shard{}/work_nanos", i), st.phases.step);
+                    reg.gauge_max(format!("pool/shard{}/barrier_wait_nanos", i), st.phases.barrier);
+                }
+                let max_wait = self.shards.iter().map(|st| st.phases.barrier).max().unwrap_or(0);
+                let min_wait = self.shards.iter().map(|st| st.phases.barrier).min().unwrap_or(0);
+                reg.gauge_max("pool/barrier_wait_spread_nanos", max_wait - min_wait);
+            }
+        }
+        self.stats.metrics = self.metrics.take();
         RunOutcome { nodes: self.protocols, stats: self.stats, crashed: self.crashed }
     }
 
@@ -766,6 +810,12 @@ where
             }
         }
         let rs = RoundStats { round, active, done: self.done_count, sent, delivered };
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            // Engine-level round metrics are recorded once, here, by the
+            // single thread that owns the folded RoundStats — the same
+            // values the sequential engine records in its tick.
+            note_round_metrics(reg, &rs);
+        }
         self.stats.push_round(rs);
         self.round += 1;
         Ok(rs)
@@ -794,6 +844,7 @@ where
         suppressed_now,
         buf,
         kinds,
+        metrics,
         phases,
         ..
     } = st;
@@ -872,11 +923,15 @@ where
                 }
             }
         }
+        churn_scope.stop_into(&mut phases.churn);
+        let wait_scope = ProfileScope::start(ctx.cfg.profile);
         if !ctx.barrier.wait() {
             return;
         }
+        wait_scope.stop_into(&mut phases.barrier);
+    } else {
+        churn_scope.stop_into(&mut phases.churn);
     }
-    churn_scope.stop_into(&mut phases.churn);
 
     // --- Step & deposit phase: nobody writes the done/crashed arrays
     //     here, so shared reads across shards are safe; deposits go
@@ -931,6 +986,7 @@ where
                     // SAFETY: own-shard RNG.
                     rng: unsafe { a.rng(i) },
                     trace,
+                    metrics: MetricsHandle::from_opt(metrics.as_mut()),
                 };
                 // SAFETY: own-shard protocol.
                 unsafe { a.protocol(i) }.on_round(&mut rctx)
@@ -1027,10 +1083,14 @@ where
         k.flush(round, |ev| buf.sink(ev));
     }
 
-    // --- Barrier A: all deposits for this round are in the grid. ---
+    // --- Barrier A: all deposits for this round are in the grid. The
+    //     wait is timed apart from the phases: per-shard barrier time
+    //     relative to step time is the load-imbalance signal. ---
+    let wait_scope = ProfileScope::start(ctx.cfg.profile);
     if !ctx.barrier.wait() {
         return;
     }
+    wait_scope.stop_into(&mut phases.barrier);
 
     // --- Boundary: publish this shard's new done flags and apply
     //     pending wake-ups. Done-ness takes effect at round boundaries,

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use dima_graph::VertexId;
-use dima_telemetry::{ArqEventKind, Event, PaletteAction, TraceHandle};
+use dima_telemetry::{ArqEventKind, Event, MetricsHandle, PaletteAction, TraceHandle};
 use rand::rngs::SmallRng;
 
 use crate::churn::NeighborhoodChange;
@@ -173,6 +173,10 @@ pub struct RoundCtx<'a, M> {
     /// Telemetry sink for this node this round. Dead (one branch per
     /// emission) when tracing is off or the node is sampled out.
     pub(crate) trace: TraceHandle<'a>,
+    /// Aggregate-metrics sink for this node this round (the engine's
+    /// registry — per-shard in the parallel engine). Dead (one branch
+    /// per update) when metrics are off.
+    pub(crate) metrics: MetricsHandle<'a>,
 }
 
 impl<'a, M> RoundCtx<'a, M> {
@@ -263,6 +267,36 @@ impl<'a, M> RoundCtx<'a, M> {
             let (round, node) = (self.round, self.node.0);
             self.trace.emit(Event::Arq { round, node, kind, peer: peer.0 });
         }
+    }
+
+    /// Whether aggregate-metric updates from this node currently go
+    /// anywhere. The update helpers below already no-op when `false`.
+    ///
+    /// Updates must be deterministic — a pure function of `(topology,
+    /// seed, config)` — because the metrics registry participates in
+    /// the engines' bit-identity contract. Count things in rounds and
+    /// messages, never in wall-clock time.
+    #[inline]
+    pub fn metrics_on(&self) -> bool {
+        self.metrics.on()
+    }
+
+    /// Add `by` to run counter `name`.
+    #[inline]
+    pub fn metric_inc(&mut self, name: &'static str, by: u64) {
+        self.metrics.inc(name, by);
+    }
+
+    /// Raise run gauge `name` to `v` if it is a new maximum.
+    #[inline]
+    pub fn metric_gauge_max(&mut self, name: &'static str, v: u64) {
+        self.metrics.gauge_max(name, v);
+    }
+
+    /// Record observation `v` into run histogram `name`.
+    #[inline]
+    pub fn metric_observe(&mut self, name: &'static str, v: u64) {
+        self.metrics.observe(name, v);
     }
 }
 
@@ -356,6 +390,7 @@ mod tests {
             outbox: &mut outbox,
             rng: &mut rng,
             trace: TraceHandle::none(),
+            metrics: MetricsHandle::none(),
         };
         assert_eq!(ctx.node(), VertexId(0));
         assert_eq!(ctx.round(), 3);

@@ -131,6 +131,10 @@ struct Bundle<M> {
     attempts: u32,
     /// Engine round of the most recent transmission.
     last_sent: Option<u64>,
+    /// Engine round of the first transmission — the start of the
+    /// ack-latency clock. Measured in engine rounds (not wall clock)
+    /// so the `arq/ack_rounds` histogram stays deterministic.
+    first_sent: Option<u64>,
 }
 
 /// Per-neighbor link state.
@@ -186,16 +190,23 @@ impl<M> Link<M> {
         self.peer_fin.is_some()
     }
 
-    /// Drop every outgoing bundle acknowledged by `ack`.
-    fn absorb_ack(&mut self, ack: u32) {
+    /// Drop every outgoing bundle acknowledged by `ack`. When `lat` is
+    /// given, each newly-acked bundle's first-send → ack latency (in
+    /// engine rounds) is pushed for the `arq/ack_rounds` histogram.
+    fn absorb_ack(&mut self, ack: u32, engine_round: u64, lat: Option<&mut Vec<u64>>) {
+        let mut lat = lat;
         while self.outq.front().is_some_and(|b| b.round < ack) {
-            self.outq.pop_front();
+            let b = self.outq.pop_front().expect("front checked above");
+            if let (Some(out), Some(first)) = (lat.as_deref_mut(), b.first_sent) {
+                out.push(engine_round.saturating_sub(first));
+            }
         }
     }
 
     /// Store an arriving bundle (idempotent — duplication faults and
-    /// retransmissions collapse here).
-    fn absorb_data(&mut self, round: u32, msgs: Shared<Vec<M>>, fin: bool) {
+    /// retransmissions collapse here). Returns `true` when the bundle
+    /// was redundant (already received or consumed).
+    fn absorb_data(&mut self, round: u32, msgs: Shared<Vec<M>>, fin: bool) -> bool {
         self.got_data = true;
         if fin {
             self.peer_fin = Some(round);
@@ -205,6 +216,9 @@ impl<M> Link<M> {
             while self.recvq.contains_key(&self.recv_ceil) {
                 self.recv_ceil += 1;
             }
+            false
+        } else {
+            true
         }
     }
 
@@ -306,18 +320,27 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
             link.sent_data = false;
             link.got_any = false;
         }
+        // Latency samples are staged locally because the inbox borrow
+        // pins `ctx` for the whole receive loop; `Vec::new` does not
+        // allocate, so the metrics-off cost is one bool check.
+        let metrics_on = ctx.metrics_on();
+        let mut ack_lat: Vec<u64> = Vec::new();
+        let mut dup_bundles = 0u64;
         for port in 0..self.links.len() {
             // Inbox is sorted by sender; collect this peer's envelopes.
             let peer = self.links[port].peer;
             for env in ctx.inbox().iter().filter(|e| e.from == peer) {
                 self.links[port].got_any = true;
+                let lat = if metrics_on { Some(&mut ack_lat) } else { None };
                 match env.msg() {
-                    ArqMsg::Ack { ack } => self.links[port].absorb_ack(*ack),
+                    ArqMsg::Ack { ack } => self.links[port].absorb_ack(*ack, engine_round, lat),
                     ArqMsg::Data { round, ack, msgs, fin } => {
                         let link = &mut self.links[port];
-                        link.absorb_ack(*ack);
+                        link.absorb_ack(*ack, engine_round, lat);
                         let fresh_fin = *fin && link.peer_fin.is_none();
-                        link.absorb_data(*round, msgs.clone(), *fin);
+                        if link.absorb_data(*round, msgs.clone(), *fin) {
+                            dup_bundles += 1;
+                        }
                         if fresh_fin {
                             // The peer's inner protocol is done: whatever
                             // we still had queued for it would be
@@ -329,6 +352,13 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     }
                 }
             }
+        }
+
+        for lat in ack_lat.drain(..) {
+            ctx.metric_observe("arq/ack_rounds", lat);
+        }
+        if dup_bundles > 0 {
+            ctx.metric_inc("arq/dup_bundles", dup_bundles);
         }
 
         // --- Synchronize: run the inner round if its inputs are here. ---
@@ -367,6 +397,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     // protocol's events are stamped with the round its
                     // logic actually observed.
                     trace: ctx.trace.reborrow(),
+                    metrics: ctx.metrics.reborrow(),
                 };
                 self.inner.on_round(&mut inner_ctx)
             };
@@ -398,6 +429,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     fin,
                     attempts: 0,
                     last_sent: None,
+                    first_sent: None,
                 });
             }
         }
@@ -428,6 +460,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                 if b.attempts > 0 {
                     // A re-send, not the bundle's first transmission.
                     ctx.trace_arq(ArqEventKind::Retransmit, link.peer);
+                    ctx.metric_inc("arq/retransmits", 1);
                 }
                 ctx.outbox.push((
                     crate::protocol::Target::Unicast(link.peer),
@@ -435,6 +468,9 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                 ));
                 b.attempts += 1;
                 b.last_sent = Some(engine_round);
+                if b.first_sent.is_none() {
+                    b.first_sent = Some(engine_round);
+                }
                 link.sent_data = true;
             }
             // Second detector: a peer that acked everything and then
@@ -451,6 +487,14 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
             }
             if let Some(kind) = died {
                 ctx.trace_arq(kind, link.peer);
+                ctx.metric_inc(
+                    if matches!(kind, ArqEventKind::LinkDownExhausted) {
+                        "arq/link_down_exhausted"
+                    } else {
+                        "arq/link_down_silent"
+                    },
+                    1,
+                );
                 link.dead = true;
                 link.outq.clear();
                 downed.push(link.peer);
@@ -469,6 +513,7 @@ impl<P: Protocol> Protocol for ReliableNode<P> {
                     crate::protocol::Target::Unicast(link.peer),
                     ArqMsg::Ack { ack: link.recv_ceil },
                 ));
+                ctx.metric_inc("arq/acks_standalone", 1);
             }
         }
 

@@ -1,6 +1,6 @@
 //! Run instrumentation: the quantities the paper's figures report.
 
-use dima_telemetry::PhaseNanos;
+use dima_telemetry::{MetricsRegistry, PhaseNanos};
 
 /// Per-communication-round counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -55,9 +55,31 @@ pub struct RunStats {
     /// worker. Empty unless the run was profiled *and* parallel, so run
     /// statistics stay comparable across engines with `==`.
     pub shard_phases: Vec<PhaseNanos>,
+    /// Aggregate metrics registry (present iff
+    /// [`crate::EngineConfig::metrics`] was on). Deterministic content
+    /// — the parallel engine merges its per-shard registries
+    /// commutatively, so this compares bit-identically across engines
+    /// with `==`; only profiled runs add engine-specific `pool/`
+    /// entries (and profiled runs are never `==`-compared anyway,
+    /// their `phase_nanos` already differ).
+    pub metrics: Option<Box<MetricsRegistry>>,
     /// Per-round breakdown (present iff the engine was configured to
     /// collect it).
     pub per_round: Option<Vec<RoundStats>>,
+}
+
+/// Record one finished round's engine-level metrics. One shared
+/// function for both engines, called once per round from the single
+/// thread that owns the round's [`RoundStats`] — that (plus the
+/// commutative shard merge for protocol-level updates) is why the
+/// final registries are bit-identical across engines.
+pub(crate) fn note_round_metrics(reg: &mut MetricsRegistry, rs: &RoundStats) {
+    reg.inc("engine/rounds", 1);
+    reg.inc("engine/messages_sent", rs.sent);
+    reg.inc("engine/deliveries", rs.delivered);
+    reg.observe("engine/msgs_per_round", rs.sent);
+    reg.observe("engine/active_per_round", rs.active as u64);
+    reg.gauge_max("engine/peak_active", rs.active as u64);
 }
 
 impl RunStats {

@@ -17,14 +17,16 @@
 //! budget here — budget enforcement stays with the caller.
 
 use dima_graph::VertexId;
-use dima_telemetry::{Event, KindTable, KindTotals, ProfileScope, TraceHandle, Tracer};
+use dima_telemetry::{
+    Event, KindTable, KindTotals, MetricsHandle, MetricsRegistry, ProfileScope, TraceHandle, Tracer,
+};
 
 use crate::churn::ChurnBatch;
 use crate::engine::{EngineConfig, RoundView, RunOutcome};
 use crate::error::SimError;
 use crate::protocol::{Envelope, NodeSeed, NodeStatus, Protocol, RoundCtx, Target};
 use crate::rng::node_rng;
-use crate::stats::{RoundStats, RunStats};
+use crate::stats::{note_round_metrics, RoundStats, RunStats};
 use crate::topology::Topology;
 
 /// The sequential engine's per-round state machine. See the module docs.
@@ -48,6 +50,10 @@ pub struct Stepper<P: Protocol, F> {
     outbox: Vec<(Target, P::Msg)>,
     stats: RunStats,
     kinds: Option<KindTable>,
+    // The run's metrics registry (None when EngineConfig::metrics is
+    // off). One registry for the whole run — the parallel engine's
+    // per-shard registries merge to exactly this content.
+    metrics: Option<Box<MetricsRegistry>>,
     newly_done: Vec<usize>,
     woken: Vec<usize>,
     round: u64,
@@ -93,6 +99,7 @@ where
             outbox: Vec::new(),
             stats,
             kinds: None,
+            metrics: cfg.metrics.then(|| Box::new(MetricsRegistry::new())),
             newly_done: Vec::new(),
             woken: Vec::new(),
             round: 0,
@@ -190,6 +197,7 @@ where
         self.stats.crashed = self.crashed_count;
         self.stats.churn_batches = churn_batches;
         self.stats.churn_events = churn_events;
+        self.stats.metrics = self.metrics.take();
         RunOutcome { nodes: self.protocols, stats: self.stats, crashed: self.crashed }
     }
 
@@ -280,6 +288,7 @@ where
                     outbox: &mut self.outbox,
                     rng: &mut self.rngs[i],
                     trace,
+                    metrics: MetricsHandle::from_opt(self.metrics.as_deref_mut()),
                 };
                 self.protocols[i].on_round(&mut ctx)
             };
@@ -378,6 +387,9 @@ where
             });
         }
         let rs = RoundStats { round, active, done: self.done_count, sent, delivered };
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            note_round_metrics(reg, &rs);
+        }
         self.stats.push_round(rs);
         // Flip the double buffer and advance the clock.
         let collect_scope = ProfileScope::start(self.cfg.profile);

@@ -19,14 +19,25 @@
 //!   ([`ShardBuf`]) and normalizes with [`merge_shards`]; the canonical
 //!   order is defined in [`event`].
 //!
+//! Alongside the event stream sits the **metrics plane** ([`metrics`]):
+//! always-cheap aggregate counters, gauges, and log-bucketed
+//! histograms behind a nullable [`MetricsHandle`], sharded per worker
+//! and merged commutatively so seq/par registries are bit-identical.
+//! [`mem`] adds byte-level memory accounting (tracking allocator +
+//! peak RSS) for run reports.
+//!
 //! This crate is dependency-free and knows nothing about graphs or
 //! protocols: nodes are `u32` ids, states are `&'static str` labels.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `mem` needs a scoped allow for its
+// `GlobalAlloc` impl; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod event;
 pub mod kinds;
+pub mod mem;
+pub mod metrics;
 pub mod profile;
 pub mod read;
 pub mod slo;
@@ -36,6 +47,8 @@ pub mod writer;
 
 pub use event::{merge_shards, ArqEventKind, Event, PaletteAction, Stamped};
 pub use kinds::{KindTable, KindTotals};
+pub use mem::{CountingAlloc, MemReport};
+pub use metrics::{LogHistogram, MetricsHandle, MetricsRegistry};
 pub use profile::{PhaseNanos, ProfileScope};
 pub use slo::{percentile_f64, percentile_u64, BatchSample, SloRecorder, SloReport};
 pub use timeline::{RoundSnapshot, StateTimeline, STATES};

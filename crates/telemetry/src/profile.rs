@@ -20,12 +20,18 @@ pub struct PhaseNanos {
     pub route: u64,
     /// Collecting/delivering messages into inbox arenas.
     pub collect: u64,
+    /// Waiting at the parallel engine's round barriers — the
+    /// imbalance signal: a shard with large `barrier` relative to its
+    /// `step` finished early and idled. Always 0 for the sequential
+    /// engine.
+    pub barrier: u64,
 }
 
 impl PhaseNanos {
-    /// Sum of all stages.
+    /// Sum of all stages (barrier wait included — it is wall-clock the
+    /// worker spent, just not useful work).
     pub fn total(&self) -> u64 {
-        self.churn + self.step + self.route + self.collect
+        self.churn + self.step + self.route + self.collect + self.barrier
     }
 
     /// Accumulate another reading (used to fold per-worker profiles).
@@ -34,6 +40,7 @@ impl PhaseNanos {
         self.step += other.step;
         self.route += other.route;
         self.collect += other.collect;
+        self.barrier += other.barrier;
     }
 }
 
