@@ -73,17 +73,25 @@ commands:
       dumps must diff empty); nonzero exit on divergence
   serve <graph.edges> [--seed S] [--protocol ec|strong] [--threads T]
         [--width K] [--watchdog T] [--state-dir DIR] [--snapshot-every N]
-        [--queue CAP] [--queue-policy block|shed]
+        [--compact-after N] [--queue CAP] [--queue-policy block|shed]
+        [--listen tcp:ADDR|unix:PATH] [--max-clients N]
         [--reduce kempe|off] [--reduce-target C]
         [--slo-out FILE] [--metrics-out FILE] [--label L]
-        [--chaos-kill-at LABEL[:N]]
+        [--chaos-kill-at LABEL[:N]] [--chaos-storage KIND:TARGET:N,..]
       long-running coloring service: reads JSONL topology events
       ({\"ev\":\"link-up\",\"u\":0,\"v\":5}, link-down, join, leave) and
       commands ({\"cmd\":\"status\"|\"color\"|\"palette\"|\"hash\"|
       \"snapshot\"|\"recolor\"|\"shutdown\"}) on stdin, repairs the
-      coloring incrementally, and answers on stdout; with --state-dir
-      it checkpoints CRC-guarded snapshots + a write-ahead journal and
-      restores bit-identically after a crash
+      coloring incrementally, and answers on stdout; --listen swaps
+      stdin for a TCP or Unix socket front end serving many concurrent
+      clients (admission-capped, overload replies carry retry hints);
+      with --state-dir it checkpoints a CRC-chained base + delta
+      snapshot sequence with a write-ahead journal, folds replay
+      history into a fresh base every N committed entries
+      (--compact-after), and restores bit-identically after a crash
+      from the newest verifiable checkpoint; --chaos-storage injects
+      torn/short writes (torn) or disk-full failures (full) into the
+      Nth write of snapshot|delta|journal
 
 fault-injection flags (color | strong-color | matching):
   --fault-loss P          drop each delivery with probability P

@@ -1,0 +1,338 @@
+//! The serve socket front end: a TCP or Unix-domain listener feeding
+//! the single service loop from many concurrent clients.
+//!
+//! Each accepted client gets a reader thread that frames JSONL lines
+//! (bounded line length, read timeout so shutdown is never blocked on
+//! a silent peer) and enqueues parsed messages tagged with a
+//! [`Source`] handle, so replies route back to the right connection.
+//! Admission and per-client queues are bounded: past the limits the
+//! client receives a typed `overload` reply with a retry hint instead
+//! of unbounded buffering.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dima_sim::telemetry::writer::json_escape;
+
+use super::{parse_msg, Msg, QueueGauges, SHUTDOWN};
+
+/// Longest accepted request line — a malicious or broken client cannot
+/// balloon the reader's buffer.
+const MAX_LINE_BYTES: usize = 1 << 20;
+/// Reader poll interval: how long a blocked read waits before checking
+/// the shutdown flag again.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Where a message came from, and where its replies go. `Stdin` writes
+/// to stdout (the single-client degenerate mode); `Client` writes to
+/// that connection's stream.
+#[derive(Clone)]
+pub enum Source {
+    Stdin,
+    Client(Arc<ClientHandle>),
+}
+
+impl Source {
+    pub fn reply(&self, text: String) {
+        match self {
+            Source::Stdin => {
+                let mut out = std::io::stdout().lock();
+                let _ = out.write_all(text.as_bytes());
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+            }
+            Source::Client(c) => c.send(&text),
+        }
+    }
+
+    pub fn error(&self, context: &str, message: &str) {
+        self.reply(format!(
+            "{{\"type\":\"error\",\"where\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(context),
+            json_escape(message)
+        ));
+    }
+
+    /// A retryable storage refusal: the event was not accepted, try
+    /// again after `retry_ms`.
+    pub fn retryable(&self, context: &str, message: &str, retry_ms: u64) {
+        self.reply(format!(
+            "{{\"type\":\"error\",\"where\":\"{}\",\"retryable\":1,\"retry_ms\":{retry_ms},\
+             \"message\":\"{}\"}}",
+            json_escape(context),
+            json_escape(message)
+        ));
+    }
+
+    /// Mark this message handled — frees one slot in the client's
+    /// bounded in-flight window.
+    pub fn done(&self) {
+        if let Source::Client(c) = self {
+            c.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One connected client: a write handle shared between its reader
+/// thread (overload replies) and the service loop (normal replies).
+pub struct ClientHandle {
+    out: Mutex<Box<dyn Write + Send>>,
+    inflight: AtomicU64,
+}
+
+impl ClientHandle {
+    pub fn send(&self, text: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(text.as_bytes());
+            let _ = out.write_all(b"\n");
+            let _ = out.flush();
+        }
+    }
+
+    fn overload(&self, at: &str, retry_ms: u64) {
+        self.send(&format!(
+            "{{\"type\":\"overload\",\"where\":\"{}\",\"retry_ms\":{retry_ms}}}",
+            json_escape(at)
+        ));
+    }
+}
+
+/// `--listen tcp:HOST:PORT` or `--listen unix:PATH`.
+pub enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    pub fn bind(spec: &str) -> Result<Listener, String> {
+        match spec.split_once(':') {
+            Some(("tcp", addr)) => {
+                let l = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+                Ok(Listener::Tcp(l))
+            }
+            #[cfg(unix)]
+            Some(("unix", path)) => {
+                // A leftover socket file from a previous run refuses the
+                // bind; it is dead weight once its listener is gone.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+                Ok(Listener::Unix(l))
+            }
+            _ => Err(format!("--listen must be tcp:HOST:PORT or unix:PATH, got '{spec}'")),
+        }
+    }
+
+    /// Human-readable bound address ("tcp:127.0.0.1:41123"), with a
+    /// port-0 bind resolved to the actual port.
+    pub fn describe(&self) -> String {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:?".into(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.local_addr() {
+                Ok(a) => format!(
+                    "unix:{}",
+                    a.as_pathname().unwrap_or(std::path::Path::new("?")).display()
+                ),
+                Err(_) => "unix:?".into(),
+            },
+        }
+    }
+}
+
+/// Shared limits and counters for the accept/reader threads.
+pub struct Frontend {
+    pub tx: SyncSender<Msg>,
+    pub gauges: Arc<QueueGauges>,
+    /// Shed instead of blocking when the global queue is full.
+    pub shed: bool,
+    pub max_clients: u64,
+    pub client_queue: u64,
+    pub clients: Arc<AtomicU64>,
+}
+
+/// Run the accept loop until shutdown. Each accepted connection gets a
+/// reader thread; past `max_clients` the connection is refused with a
+/// typed overload reply.
+pub fn accept_loop(listener: Listener, fe: Arc<Frontend>) {
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream: Option<Box<dyn Conn>> = match &listener {
+            Listener::Tcp(l) => {
+                l.set_nonblocking(true).ok();
+                match l.accept() {
+                    Ok((s, _)) => Some(Box::new(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                }
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                l.set_nonblocking(true).ok();
+                match l.accept() {
+                    Ok((s, _)) => Some(Box::new(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                }
+            }
+        };
+        let Some(conn) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if fe.clients.load(Ordering::SeqCst) >= fe.max_clients {
+            let mut w = match conn.try_clone_writer() {
+                Ok(w) => w,
+                Err(_) => continue,
+            };
+            let _ = w.write_all(
+                format!(
+                    "{{\"type\":\"overload\",\"where\":\"admission\",\"limit\":{},\
+                     \"retry_ms\":250}}\n",
+                    fe.max_clients
+                )
+                .as_bytes(),
+            );
+            continue;
+        }
+        fe.clients.fetch_add(1, Ordering::SeqCst);
+        let fe = Arc::clone(&fe);
+        std::thread::spawn(move || {
+            client_loop(conn, &fe);
+            fe.clients.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// The pieces of a connection the reader needs: a timeout-configured
+/// read half and a clonable write half.
+trait Conn: Send {
+    fn configure(&self) -> std::io::Result<()>;
+    fn try_clone_writer(&self) -> std::io::Result<Box<dyn Write + Send>>;
+    fn reader(self: Box<Self>) -> Box<dyn Read + Send>;
+}
+
+impl Conn for std::net::TcpStream {
+    fn configure(&self) -> std::io::Result<()> {
+        self.set_read_timeout(Some(READ_TIMEOUT))?;
+        self.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        self.set_nodelay(true)
+    }
+    fn try_clone_writer(&self) -> std::io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn reader(self: Box<Self>) -> Box<dyn Read + Send> {
+        self
+    }
+}
+
+#[cfg(unix)]
+impl Conn for std::os::unix::net::UnixStream {
+    fn configure(&self) -> std::io::Result<()> {
+        self.set_read_timeout(Some(READ_TIMEOUT))?;
+        self.set_write_timeout(Some(WRITE_TIMEOUT))
+    }
+    fn try_clone_writer(&self) -> std::io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn reader(self: Box<Self>) -> Box<dyn Read + Send> {
+        self
+    }
+}
+
+/// Frame lines off one connection until EOF, shutdown, or a protocol
+/// violation. Messages respect the per-client in-flight window and the
+/// global admission queue; refusals are typed replies, never silent
+/// drops.
+fn client_loop(conn: Box<dyn Conn>, fe: &Frontend) {
+    if conn.configure().is_err() {
+        return;
+    }
+    let writer = match conn.try_clone_writer() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let handle = Arc::new(ClientHandle { out: Mutex::new(writer), inflight: AtomicU64::new(0) });
+    let mut reader = BufReader::new(conn.reader());
+    let mut buf = String::new();
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Partial reads stay buffered in `buf`; enforce the
+                // frame cap even while a line trickles in.
+                if buf.len() > MAX_LINE_BYTES {
+                    handle.send(
+                        "{\"type\":\"error\",\"where\":\"frame\",\
+                         \"message\":\"line exceeds 1MiB frame limit\"}",
+                    );
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let line = buf.trim().to_string();
+        let oversized = buf.len() > MAX_LINE_BYTES;
+        buf.clear();
+        if oversized {
+            handle.send(
+                "{\"type\":\"error\",\"where\":\"frame\",\
+                 \"message\":\"line exceeds 1MiB frame limit\"}",
+            );
+            return;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let src = Source::Client(Arc::clone(&handle));
+        let msg = parse_msg(&line, src);
+        // Per-client window first: a single flooding client sheds
+        // before it can saturate the shared queue.
+        if handle.inflight.load(Ordering::SeqCst) >= fe.client_queue {
+            handle.overload("client-queue", 25);
+            fe.gauges.shed.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        handle.inflight.fetch_add(1, Ordering::SeqCst);
+        let d = fe.gauges.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        fe.gauges.hwm.fetch_max(d, Ordering::SeqCst);
+        if fe.shed && matches!(msg, Msg::Event(..)) {
+            match fe.tx.try_send(msg) {
+                Ok(()) => {}
+                Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                    fe.gauges.depth.fetch_sub(1, Ordering::SeqCst);
+                    handle.inflight.fetch_sub(1, Ordering::SeqCst);
+                    fe.gauges.shed.fetch_add(1, Ordering::SeqCst);
+                    handle.overload("queue", 25);
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
+            }
+        } else if fe.tx.send(msg).is_err() {
+            return;
+        }
+    }
+}

@@ -72,8 +72,9 @@ pub use kempe::{reduce_palette, reduce_palette_traced, KempeReport};
 pub use matching::{maximal_matching, maximal_matching_traced, MatchingResult};
 pub use palette::{Color, ColorSet};
 pub use service::{
-    hash_coloring, ColoredEdge, ColoringService, HistoryEntry, RestoreReport, ServeBatchReport,
-    ServeProtocol, ServiceConfig, ServiceError, ServiceStatus, Tick,
+    checkpoint_crc, hash_coloring, ChainFallback, ColoredEdge, ColoringService, CompactReport,
+    HistoryEntry, RestoreReport, ServeBatchReport, ServeProtocol, ServiceConfig, ServiceError,
+    ServiceStatus, Tick,
 };
 pub use strong_coloring::{
     strong_color_churn, strong_color_churn_traced, strong_color_digraph,

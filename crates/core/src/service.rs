@@ -41,6 +41,7 @@ use std::fmt;
 
 use dima_graph::{Digraph, Graph, GraphBuilder, VertexId};
 use dima_sim::fault::FaultPlan;
+use dima_sim::rng::splitmix64;
 use dima_sim::telemetry::read::{parse_line, Record};
 use dima_sim::telemetry::NoopTracer;
 use dima_sim::wire::crc32;
@@ -61,6 +62,19 @@ use crate::strong_coloring::StrongColoringNode;
 
 /// Snapshot format version accepted by [`ColoringService::restore`].
 pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Materialized-base snapshot format version accepted by
+/// [`ColoringService::restore_chain`]. A base records the *folded*
+/// topology and coloring produced by [`ColoringService::compact_history`]
+/// instead of a replay history, so restore cost is `O(graph)` no matter
+/// how much history was folded into it.
+pub const BASE_VERSION: u64 = 2;
+
+/// Delta-checkpoint format version accepted by
+/// [`ColoringService::restore_chain`]. A delta carries the history
+/// entries recorded since the previous checkpoint in the chain, bound to
+/// its parent by index and CRC.
+pub const DELTA_VERSION: u64 = 1;
 
 /// Which repair protocol a service runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -210,6 +224,27 @@ pub enum ServiceError {
     },
     /// The underlying simulator rejected a round.
     Sim(SimError),
+    /// A checkpoint-chain file failed verification against its parent
+    /// (broken CRC linkage, wrong chain index, history gap, or an epoch
+    /// that does not match the base). Recovery falls back to the newest
+    /// checkpoint *before* the offending file.
+    Chain {
+        /// 0-based index of the delta file in the presented chain.
+        index: usize,
+        /// What failed to verify.
+        message: String,
+    },
+    /// An operation was invoked in a state it is not defined for (e.g.
+    /// compaction while a repair is in flight).
+    NotSettled {
+        /// The rejected operation.
+        what: &'static str,
+    },
+    /// An internal invariant was violated. Unlike the variants above
+    /// this is never caused by untrusted input — it replaces what would
+    /// otherwise be a panic on the serve path, so a resident service can
+    /// report the failure and keep its state instead of aborting.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -236,6 +271,13 @@ impl fmt::Display for ServiceError {
                 write!(f, "repair failed to quiesce within {ticks} ticks")
             }
             ServiceError::Sim(e) => write!(f, "simulator error: {e}"),
+            ServiceError::Chain { index, message } => {
+                write!(f, "checkpoint chain broken at delta {index}: {message}")
+            }
+            ServiceError::NotSettled { what } => {
+                write!(f, "{what} requires a settled service (quiescent, no batch pending)")
+            }
+            ServiceError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -352,10 +394,12 @@ pub struct ServiceStatus {
     pub hash: u64,
 }
 
-/// What [`ColoringService::restore`] replayed.
+/// What [`ColoringService::restore`] (or
+/// [`ColoringService::restore_chain`]) replayed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RestoreReport {
-    /// History entries replayed from the snapshot itself.
+    /// History entries replayed from the snapshot/base itself (zero for
+    /// a materialized base — its history is already folded in).
     pub snapshot_entries: u64,
     /// History entries recovered from the journal tail.
     pub tail_entries: u64,
@@ -365,6 +409,55 @@ pub struct RestoreReport {
     /// The journal ended mid-line (torn write) — everything before the
     /// tear was recovered.
     pub torn_tail: bool,
+    /// Delta-checkpoint files verified and replayed.
+    pub deltas_applied: u64,
+    /// History entries replayed out of those deltas.
+    pub delta_entries: u64,
+    /// Delta files discarded because the chain failed verification at
+    /// that point (the journal, if also discarded, is not counted
+    /// here — see [`RestoreReport::journal_discarded`]).
+    pub deltas_discarded: u64,
+    /// The journal was discarded because it did not attach to the
+    /// verified chain prefix (it was rotated against a checkpoint that
+    /// was itself discarded, leaving a replay gap).
+    pub journal_discarded: bool,
+    /// Why the chain was cut short, if it was (display form of the
+    /// verification failure; `None` on a fully verified chain). Not
+    /// part of equality because it is diagnostic text.
+    pub fallback: Option<ChainFallback>,
+}
+
+/// Why [`ColoringService::restore_chain`] stopped applying deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainFallback {
+    /// The delta's CRC trailer did not match its body.
+    Corrupt,
+    /// The delta did not link to its parent (index, CRC, epoch, or
+    /// history offset mismatch).
+    BrokenLink,
+}
+
+impl std::fmt::Display for ChainFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainFallback::Corrupt => write!(f, "corrupt delta"),
+            ChainFallback::BrokenLink => write!(f, "broken chain link"),
+        }
+    }
+}
+
+/// What one [`ColoringService::compact_history`] call folded away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The epoch the service rebased into (monotonic, starts at 0 for a
+    /// fresh service).
+    pub epoch: u64,
+    /// History entries folded into the materialized graph.
+    pub folded_entries: u64,
+    /// Edges of the folded (committed) topology.
+    pub graph_edges: usize,
+    /// Departed nodes carried as dead slots.
+    pub dead_nodes: usize,
 }
 
 /// One edge of a coloring, endpoints normalized `u < v`.
@@ -460,6 +553,20 @@ impl Inner {
         each_stepper!(self, s => s.restart())
     }
 
+    fn park_all(&mut self) {
+        each_stepper!(self, s => s.park_all())
+    }
+
+    /// The strong-coloring automata, when this service runs that
+    /// protocol (on either engine).
+    fn strong_nodes_mut(&mut self) -> Option<&mut [StrongColoringNode]> {
+        match self {
+            Inner::Strong(s) => Some(s.nodes_mut()),
+            Inner::StrongPar(s) => Some(s.nodes_mut()),
+            Inner::Ec(_) | Inner::EcPar(_) => None,
+        }
+    }
+
     /// The edge-coloring automata, when this service runs that protocol
     /// (on either engine).
     fn ec_nodes_mut(&mut self) -> Option<&mut [EdgeColoringNode]> {
@@ -512,6 +619,12 @@ pub struct ColoringService {
     palette_bound0: u32,
     feed: EventFeed,
     inner: Inner,
+    /// Number of history compactions applied so far. Each compaction
+    /// rebases the service onto fresh per-node RNG streams derived from
+    /// `epoch_seed(master, epoch)` and resets the round clock and
+    /// history, so the epoch (recorded in materialized bases) is part of
+    /// the service's deterministic identity.
+    epoch: u64,
     pending: Option<ChurnBatch>,
     pending_seq: u64,
     history: Vec<HistoryEntry>,
@@ -525,16 +638,34 @@ pub struct ColoringService {
     reports: Vec<ServeBatchReport>,
 }
 
+/// Per-node RNG master seed for `epoch`. Epoch 0 is the configured seed
+/// itself (a fresh, never-compacted service is bit-compatible with every
+/// pre-compaction snapshot); later epochs mix the epoch index in through
+/// splitmix64 so each rebase starts statistically fresh streams while
+/// staying a pure function of `(master, epoch)`.
+fn epoch_seed(master: u64, epoch: u64) -> u64 {
+    if epoch == 0 {
+        master
+    } else {
+        splitmix64(splitmix64(master) ^ splitmix64(0x5EED_BA5E ^ epoch))
+    }
+}
+
 impl ColoringService {
-    /// Start a fresh service over `g0`. The initial coloring has not
-    /// run yet — call [`ColoringService::run_to_quiescence`] (or tick)
-    /// to converge it.
-    pub fn new(g0: &Graph, cfg: ServiceConfig) -> Result<Self, ServiceError> {
-        cfg.validate()?;
-        let delta = g0.max_degree();
-        let palette_bound0 = ((2 * delta).saturating_sub(1)).max(1) as u32;
+    /// Build the engine and per-protocol artifacts for `cfg` over `g`,
+    /// with per-node RNG streams seeded from `engine_seed` (the
+    /// [`epoch_seed`] of the current epoch — the configured master seed
+    /// for epoch 0). Shared by the fresh-service constructor and the
+    /// compaction rebase.
+    fn build_inner(
+        g: &Graph,
+        cfg: &ServiceConfig,
+        engine_seed: u64,
+    ) -> (Inner, Option<Digraph>, u32) {
+        let delta = g.max_degree();
+        let palette_bound = ((2 * delta).saturating_sub(1)).max(1) as u32;
         let engine_cfg = EngineConfig {
-            seed: cfg.coloring.seed,
+            seed: engine_seed,
             max_rounds: u64::MAX,
             collect_round_stats: false,
             validate_sends: cfg.coloring.validate_sends,
@@ -542,13 +673,13 @@ impl ColoringService {
             profile: false,
             metrics: false,
         };
-        let topo = Topology::from_graph(g0);
+        let topo = Topology::from_graph(g);
         let mut d0 = None;
         let inner = match cfg.protocol {
             ServeProtocol::EdgeColoring => {
                 let ccfg = cfg.coloring.clone();
                 let factory: EcFactory = Box::new(move |seed: NodeSeed<'_>| {
-                    EdgeColoringNode::new(&seed, &ccfg, palette_bound0)
+                    EdgeColoringNode::new(&seed, &ccfg, palette_bound)
                 });
                 match cfg.coloring.engine {
                     Engine::Sequential => Inner::Ec(Stepper::new(&topo, &engine_cfg, factory)),
@@ -558,7 +689,7 @@ impl ColoringService {
                 }
             }
             ServeProtocol::StrongColoring => {
-                let d = Digraph::symmetric_closure(g0);
+                let d = Digraph::symmetric_closure(g);
                 d0 = Some(d.clone());
                 let ccfg = cfg.coloring.clone();
                 let factory: StrongFactory =
@@ -571,6 +702,15 @@ impl ColoringService {
                 }
             }
         };
+        (inner, d0, palette_bound)
+    }
+
+    /// Start a fresh service over `g0`. The initial coloring has not
+    /// run yet — call [`ColoringService::run_to_quiescence`] (or tick)
+    /// to converge it.
+    pub fn new(g0: &Graph, cfg: ServiceConfig) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        let (inner, d0, palette_bound0) = Self::build_inner(g0, &cfg, cfg.coloring.seed);
         Ok(ColoringService {
             cfg,
             g0: g0.clone(),
@@ -578,6 +718,7 @@ impl ColoringService {
             palette_bound0,
             feed: EventFeed::new(g0),
             inner,
+            epoch: 0,
             pending: None,
             pending_seq: 0,
             history: Vec::new(),
@@ -619,9 +760,15 @@ impl ColoringService {
         self.feed.staged_events()
     }
 
-    /// Committed batches so far.
+    /// Committed batches so far (cumulative across compactions).
     pub fn batches_committed(&self) -> u64 {
         self.batches_committed
+    }
+
+    /// Number of history compactions applied so far (see
+    /// [`ColoringService::compact_history`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Recolor escalations so far.
@@ -646,6 +793,13 @@ impl ColoringService {
         self.feed.stage(ev).map_err(ServiceError::Feed)
     }
 
+    /// Reverse the most recently staged event (see
+    /// [`EventFeed::unstage_last`]) — the durability back-out for an
+    /// ingest loop that accepted an event but failed to journal it.
+    pub fn unstage_last(&mut self) -> Option<ChurnEvent> {
+        self.feed.unstage_last()
+    }
+
     /// `(seq, round)` the staged events would commit as right now, or
     /// `None` if there is nothing staged or a repair is still running.
     pub fn next_commit(&self) -> Option<(u64, u64)> {
@@ -654,16 +808,25 @@ impl ColoringService {
     }
 
     /// Commit the staged events as one batch, to be applied on the next
-    /// tick. Returns the commit `(seq, round)`, or `None` when
-    /// [`ColoringService::next_commit`] is `None`.
-    pub fn commit(&mut self) -> Option<(u64, u64)> {
-        let (seq, round) = self.next_commit()?;
-        let batch = self.feed.commit(round).expect("staged() > 0 implies a batch");
+    /// tick. Returns the commit `(seq, round)`, or `Ok(None)` when
+    /// [`ColoringService::next_commit`] is `None`. The error arm covers
+    /// an internal feed/service desynchronization (it can only fire on a
+    /// bug, never on bad input — but a resident service must report it,
+    /// not abort).
+    pub fn commit(&mut self) -> Result<Option<(u64, u64)>, ServiceError> {
+        let Some((seq, round)) = self.next_commit() else {
+            return Ok(None);
+        };
+        let batch = self.feed.commit(round).ok_or_else(|| {
+            ServiceError::Internal(format!(
+                "next_commit promised batch {seq} at round {round} but the feed had nothing staged"
+            ))
+        })?;
         self.history.push(HistoryEntry::Batch { seq, round, events: batch.events.clone() });
         self.pending = Some(batch);
         self.pending_seq = seq;
         self.batches_committed = seq;
-        Some((seq, round))
+        Ok(Some((seq, round)))
     }
 
     /// Escalate to a full recolor now: every surviving node restarts
@@ -903,7 +1066,10 @@ impl ColoringService {
                     (own, knowledge)
                 })
                 .collect();
-            let nodes = self.inner.ec_nodes_mut().expect("matched an edge-coloring variant above");
+            // The protocol was matched as edge-coloring above; if the
+            // engine variant disagrees, skip the write-back rather than
+            // panic — the un-compacted coloring is still proper.
+            let nodes = self.inner.ec_nodes_mut()?;
             for (i, (own, knowledge)) in per_node.into_iter().enumerate() {
                 nodes[i].adopt_compaction(&own, knowledge);
             }
@@ -911,7 +1077,7 @@ impl ColoringService {
         Some(report)
     }
 
-    fn coloring_map(&self) -> HashMap<(u32, u32), (Option<Color>, Option<Color>)> {
+    fn coloring_map(&self) -> SlotMap {
         let topo = self.inner.topology();
         let mut map = HashMap::new();
         for i in 0..topo.num_nodes() {
@@ -969,6 +1135,190 @@ impl ColoringService {
     }
 
     // ------------------------------------------------------------------
+    // History compaction (epoch rebase)
+    // ------------------------------------------------------------------
+
+    /// Adopt `coloring` (the committed slot map, keyed `(u, v)` with
+    /// `u < v`) into freshly built automata. The adopted knowledge —
+    /// edge coloring: neighbor palettes; strong coloring: one-hop
+    /// committed channels as the forbidden set — is a pure function of
+    /// the coloring, which is what makes a rebase deterministic: a live
+    /// compaction and a restore from the resulting materialized base
+    /// reconstruct byte-identical automata.
+    fn adopt_coloring(inner: &mut Inner, coloring: &SlotMap) {
+        // Directed slots of the `u`-`v` edge from `u`'s side: (u's slot
+        // toward v, v's slot toward u).
+        let slot = |u: VertexId, v: VertexId| -> (Option<Color>, Option<Color>) {
+            if u.0 < v.0 {
+                coloring.get(&(u.0, v.0)).copied().unwrap_or((None, None))
+            } else {
+                let (f, r) = coloring.get(&(v.0, u.0)).copied().unwrap_or((None, None));
+                (r, f)
+            }
+        };
+        let is_ec = matches!(inner, Inner::Ec(_) | Inner::EcPar(_));
+        let topo = inner.topology();
+        let n = topo.num_nodes();
+        if is_ec {
+            let palettes: Vec<ColorSet> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    topo.neighbors(u).iter().filter_map(|&v| slot(u, v).0).collect()
+                })
+                .collect();
+            let per_node: Vec<(Vec<Option<Color>>, Vec<ColorSet>)> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    let own = topo.neighbors(u).iter().map(|&v| slot(u, v).0).collect::<Vec<_>>();
+                    let knowledge =
+                        topo.neighbors(u).iter().map(|&v| palettes[v.index()].clone()).collect();
+                    (own, knowledge)
+                })
+                .collect();
+            let Some(nodes) = inner.ec_nodes_mut() else { return };
+            for (i, (own, knowledge)) in per_node.into_iter().enumerate() {
+                nodes[i].adopt_compaction(&own, knowledge);
+            }
+        } else {
+            // A strong-coloring node's forbidden set accumulates every
+            // channel it has seen claimed: its own plus whatever Used and
+            // Hello traffic from direct neighbors reported — exactly the
+            // one-hop committed channels at quiescence.
+            let incident: Vec<Vec<Color>> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    topo.neighbors(u)
+                        .iter()
+                        .flat_map(|&v| {
+                            let (out, inc) = slot(u, v);
+                            [out, inc]
+                        })
+                        .flatten()
+                        .collect()
+                })
+                .collect();
+            let per_node: Vec<StrongRebaseSlots> = (0..n)
+                .map(|i| {
+                    let u = VertexId(i as u32);
+                    let out = topo.neighbors(u).iter().map(|&v| slot(u, v).0).collect::<Vec<_>>();
+                    let inc = topo.neighbors(u).iter().map(|&v| slot(u, v).1).collect::<Vec<_>>();
+                    let forbidden: ColorSet = incident[i]
+                        .iter()
+                        .copied()
+                        .chain(
+                            topo.neighbors(u)
+                                .iter()
+                                .flat_map(|&v| incident[v.index()].iter().copied()),
+                        )
+                        .collect();
+                    (out, inc, forbidden)
+                })
+                .collect();
+            let Some(nodes) = inner.strong_nodes_mut() else { return };
+            for (i, (out, inc, forbidden)) in per_node.into_iter().enumerate() {
+                nodes[i].adopt_rebase(&out, &inc, forbidden);
+            }
+        }
+    }
+
+    /// Build a service directly in a settled, rebased state: fresh
+    /// automata over `g` (with the departed nodes in `dead` present as
+    /// parked isolated slots), per-node RNG streams at `epoch`, and
+    /// `coloring` adopted into the parked nodes. The caller supplies the
+    /// cumulative counters a rebase carries across epochs. Shared by
+    /// [`ColoringService::compact_history`] (live) and the
+    /// materialized-base restore (recovery) — both must produce the same
+    /// service for checkpoints to stay bit-compatible.
+    fn build_rebased(
+        g: &Graph,
+        dead: &[VertexId],
+        coloring: &SlotMap,
+        cfg: ServiceConfig,
+        epoch: u64,
+        batches_committed: u64,
+        escalations: u64,
+    ) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        let (mut inner, d0, palette_bound0) =
+            Self::build_inner(g, &cfg, epoch_seed(cfg.coloring.seed, epoch));
+        Self::adopt_coloring(&mut inner, coloring);
+        inner.park_all();
+        Ok(ColoringService {
+            cfg,
+            g0: g.clone(),
+            d0,
+            palette_bound0,
+            feed: EventFeed::with_dead(g, dead),
+            inner,
+            epoch,
+            pending: None,
+            pending_seq: 0,
+            history: Vec::new(),
+            batches_committed,
+            escalations,
+            watchdog_armed: true,
+            stall_ticks: 0,
+            progress_hwm: 0,
+            backoff: 0,
+            open_batch: None,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Fold the committed history into the topology and rebase the
+    /// service into the next epoch: the replay prefix disappears, the
+    /// committed graph becomes the new `g0` (departed nodes stay as
+    /// parked isolated slots so their ids remain reserved), the settled
+    /// coloring is adopted verbatim, and the round clock restarts at 0
+    /// on RNG streams derived from [`epoch_seed`]. Staged events
+    /// survive; `batches_committed`/`escalations` stay cumulative.
+    ///
+    /// Requires a settled service. After compacting, persist a
+    /// [`ColoringService::base_text`] checkpoint — every earlier
+    /// snapshot, delta, and journal entry is now unreplayable against
+    /// this service (their epoch no longer matches).
+    pub fn compact_history(&mut self) -> Result<CompactReport, ServiceError> {
+        if !self.is_settled() {
+            return Err(ServiceError::NotSettled { what: "history compaction" });
+        }
+        let folded_entries = self.history.len() as u64;
+        let hash_before = self.coloring_hash();
+        let g = self.feed.committed_graph();
+        let dead = self.feed.committed_dead();
+        let coloring = self.coloring_map();
+        let staged: Vec<ChurnEvent> = self.feed.staged_events().to_vec();
+        let epoch = self.epoch + 1;
+        let mut next = Self::build_rebased(
+            &g,
+            &dead,
+            &coloring,
+            self.cfg.clone(),
+            epoch,
+            self.batches_committed,
+            self.escalations,
+        )?;
+        for ev in staged {
+            next.stage(ev).map_err(|e| {
+                ServiceError::Internal(format!("staged event no longer applies after rebase: {e}"))
+            })?;
+        }
+        if next.coloring_hash() != hash_before {
+            return Err(ServiceError::Internal(format!(
+                "rebase changed the coloring: {:#018x} != {hash_before:#018x}",
+                next.coloring_hash()
+            )));
+        }
+        next.reports = std::mem::take(&mut self.reports);
+        *self = next;
+        Ok(CompactReport {
+            epoch,
+            folded_entries,
+            graph_edges: self.g0.num_edges(),
+            dead_nodes: dead.len(),
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Snapshot + journal wire format
     // ------------------------------------------------------------------
 
@@ -978,34 +1328,36 @@ impl ColoringService {
         event_line(ev)
     }
 
-    /// Journal line for a batch commit. `h` is the history index the
-    /// entry will occupy ([`ColoringService::history_len`]` + 1` when
-    /// written before the [`ColoringService::commit`] call), `(seq,
-    /// round)` is what [`ColoringService::next_commit`] returned.
+    /// Journal line for a batch commit. `epoch` is the service epoch the
+    /// entry belongs to ([`ColoringService::epoch`]), `h` is the history
+    /// index the entry will occupy ([`ColoringService::history_len`]` +
+    /// 1` when written before the [`ColoringService::commit`] call),
+    /// `(seq, round)` is what [`ColoringService::next_commit`] returned.
     /// Append and flush *before* committing — recovery replays the
     /// marker, and a marker without its commit is harmless because the
-    /// commit round is deterministic.
-    pub fn journal_commit_line(h: u64, seq: u64, round: u64) -> String {
-        format!("{{\"type\":\"commit\",\"h\":{h},\"seq\":{seq},\"round\":{round}}}\n")
+    /// commit round is deterministic. The `(epoch, h)` pair is what lets
+    /// a stale (unrotated) journal deduplicate against any checkpoint:
+    /// markers at an older epoch, or at this epoch but an already-
+    /// captured index, are dropped on restore.
+    pub fn journal_commit_line(epoch: u64, h: u64, seq: u64, round: u64) -> String {
+        format!("{{\"type\":\"commit\",\"e\":{epoch},\"h\":{h},\"seq\":{seq},\"round\":{round}}}\n")
     }
 
     /// Journal line for a recolor escalation recorded at `round` as
     /// history entry `h` (equal to [`ColoringService::history_len`]
-    /// right after the tick that escalated).
-    pub fn journal_recolor_line(h: u64, round: u64) -> String {
-        format!("{{\"type\":\"recolor\",\"h\":{h},\"round\":{round}}}\n")
+    /// right after the tick that escalated) in `epoch`.
+    pub fn journal_recolor_line(epoch: u64, h: u64, round: u64) -> String {
+        format!("{{\"type\":\"recolor\",\"e\":{epoch},\"h\":{h},\"round\":{round}}}\n")
     }
 
-    /// Serialize the service to its flat-JSONL snapshot: header, the
-    /// initial graph, the replayable history, a CRC-32 trailer. Valid
-    /// at any point of execution — restore replays the history and
-    /// fast-forwards the in-flight repair (if any) to quiescence.
-    pub fn snapshot_text(&self) -> String {
+    /// The configuration fragment shared by every checkpoint header —
+    /// enough to reconstruct the [`ServiceConfig`], minus the engine
+    /// (which is the restoring host's choice — the coloring is
+    /// bit-identical on either). Reduction settings ride along so a
+    /// restored service keeps compacting exactly as the live one did;
+    /// all-zero (and absent, for pre-reduction snapshots) means off.
+    fn config_header_fragment(&self) -> String {
         let c = &self.cfg.coloring;
-        let settled = self.is_settled();
-        // Reduction settings ride in the header so a restored service
-        // keeps compacting exactly as the live one did. All-zero (and
-        // absent, for pre-reduction snapshots) means off.
         let (rk, rt, rc, ra, rr) = match c.reduction {
             ColorReduction::Off => (0, 0, 0, 0, 0),
             ColorReduction::Kempe(k) => (
@@ -1016,16 +1368,12 @@ impl ColoringService {
                 k.max_rounds.unwrap_or(0),
             ),
         };
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"type\":\"serve-snapshot\",\"version\":{SNAPSHOT_VERSION},\
-             \"protocol\":\"{}\",\"seed\":{},\"invite_bits\":{},\
+        format!(
+            "\"protocol\":\"{}\",\"seed\":{},\"invite_bits\":{},\
              \"color_policy\":\"{}\",\"response_policy\":\"{}\",\"width\":{},\
              \"max_compute\":{},\"validate_sends\":{},\"watchdog\":{},\
              \"reduce\":{rk},\"reduce_target\":{rt},\"reduce_chain\":{rc},\
-             \"reduce_attempts\":{ra},\"reduce_rounds\":{rr},\
-             \"n\":{},\"edges\":{},\"history\":{},\"batches\":{},\
-             \"quiescent\":{},\"round\":{},\"hash\":{}}}\n",
+             \"reduce_attempts\":{ra},\"reduce_rounds\":{rr}",
             self.cfg.protocol.name(),
             c.seed,
             c.invite_probability.to_bits(),
@@ -1035,6 +1383,28 @@ impl ColoringService {
             c.max_compute_rounds.unwrap_or(0),
             u64::from(c.validate_sends),
             self.cfg.watchdog_ticks,
+        )
+    }
+
+    /// Serialize the service to its flat-JSONL full snapshot: header,
+    /// the initial graph, the replayable history, a CRC-32 trailer.
+    /// Valid at any point of execution — restore replays the history
+    /// and fast-forwards the in-flight repair (if any) to quiescence.
+    ///
+    /// Only meaningful at epoch 0: a full snapshot replays from the
+    /// initial graph with the master seed, which a compacted service no
+    /// longer does. Restore rejects nonzero-epoch snapshots — a
+    /// compacted service persists [`ColoringService::base_text`] plus
+    /// deltas instead.
+    pub fn snapshot_text(&self) -> String {
+        let settled = self.is_settled();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"serve-snapshot\",\"version\":{SNAPSHOT_VERSION},{},\
+             \"epoch\":{},\"n\":{},\"edges\":{},\"history\":{},\"batches\":{},\
+             \"quiescent\":{},\"round\":{},\"hash\":{}}}\n",
+            self.config_header_fragment(),
+            self.epoch,
             self.g0.num_vertices(),
             self.g0.num_edges(),
             self.history.len(),
@@ -1046,23 +1416,102 @@ impl ColoringService {
         for (_, (u, v)) in self.g0.edges() {
             out.push_str(&format!("{{\"type\":\"edge\",\"u\":{},\"v\":{}}}\n", u.0, v.0));
         }
-        for (i, entry) in self.history.iter().enumerate() {
-            let h = i as u64 + 1;
-            match entry {
-                HistoryEntry::Batch { seq, round, events } => {
-                    for ev in events {
-                        out.push_str(&event_line(ev));
-                    }
-                    out.push_str(&Self::journal_commit_line(h, *seq, *round));
-                }
-                HistoryEntry::Recolor { round } => {
-                    out.push_str(&Self::journal_recolor_line(h, *round));
-                }
-            }
-        }
+        push_history_lines(&mut out, self.epoch, 0, &self.history);
         let crc = crc32(out.as_bytes());
         out.push_str(&format!("{{\"type\":\"crc\",\"value\":{crc}}}\n"));
         out
+    }
+
+    /// Serialize a materialized-base checkpoint: the folded topology,
+    /// dead set, and settled coloring of a just-rebased service, CRC
+    /// trailer included. Only valid immediately after
+    /// [`ColoringService::compact_history`] (history empty, round clock
+    /// at 0, settled): a base claims "rebuild me by rebasing at this
+    /// epoch", which is bit-exact only against a service that has not
+    /// consumed any randomness in its epoch yet.
+    pub fn base_text(&self) -> Result<String, ServiceError> {
+        if !self.history.is_empty() || self.inner.round() != 0 || !self.is_settled() {
+            return Err(ServiceError::NotSettled { what: "materialized-base write" });
+        }
+        let dead = self.feed.committed_dead();
+        let coloring = self.coloring();
+        let staged = self.feed.staged_events();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"serve-base\",\"version\":{BASE_VERSION},{},\
+             \"epoch\":{},\"n\":{},\"edges\":{},\"dead\":{},\"staged\":{},\"batches\":{},\
+             \"escalations\":{},\"quiescent\":1,\"round\":0,\"hash\":{}}}\n",
+            self.config_header_fragment(),
+            self.epoch,
+            self.g0.num_vertices(),
+            coloring.len(),
+            dead.len(),
+            staged.len(),
+            self.batches_committed,
+            self.escalations,
+            self.coloring_hash(),
+        ));
+        for v in &dead {
+            out.push_str(&format!("{{\"type\":\"dead\",\"node\":{}}}\n", v.0));
+        }
+        // Color slots are written shifted by one so 0 reads "uncolored"
+        // without an extra null-handling arm in the record parser.
+        for e in &coloring {
+            out.push_str(&format!(
+                "{{\"type\":\"cedge\",\"u\":{},\"v\":{},\"f\":{},\"r\":{}}}\n",
+                e.u.0,
+                e.v.0,
+                e.forward.map_or(0, |c| u64::from(c.0) + 1),
+                e.reverse.map_or(0, |c| u64::from(c.0) + 1),
+            ));
+        }
+        // Staged (acked but uncommitted) events ride in the base so a
+        // crash between base rename and journal rotation cannot lose
+        // them: a discarded journal falls back to the base's copy.
+        for ev in staged {
+            out.push_str(&event_line(ev));
+        }
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("{{\"type\":\"crc\",\"value\":{crc}}}\n"));
+        Ok(out)
+    }
+
+    /// Serialize history entries `from_h..` as delta checkpoint `chain`
+    /// (1-based position after the base) whose parent file — the base
+    /// for chain 1, the previous delta otherwise — has CRC
+    /// `parent_crc`. The parent CRC is what links the chain: a delta
+    /// left over from before a compaction (or an aborted checkpoint)
+    /// fails the linkage check on restore and is discarded rather than
+    /// misapplied.
+    pub fn delta_text(
+        &self,
+        from_h: u64,
+        chain: u64,
+        parent_crc: u32,
+    ) -> Result<String, ServiceError> {
+        let from = from_h as usize;
+        if from > self.history.len() {
+            return Err(ServiceError::Internal(format!(
+                "delta start h={from_h} is beyond the history ({} entries)",
+                self.history.len()
+            )));
+        }
+        let entries = &self.history[from..];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"serve-delta\",\"version\":{DELTA_VERSION},\"chain\":{chain},\
+             \"epoch\":{},\"h_base\":{from_h},\"entries\":{},\"parent_crc\":{parent_crc},\
+             \"quiescent\":{},\"round\":{},\"hash\":{}}}\n",
+            self.epoch,
+            entries.len(),
+            u64::from(self.is_settled()),
+            self.inner.round(),
+            self.coloring_hash(),
+        ));
+        push_history_lines(&mut out, self.epoch, from_h, entries);
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("{{\"type\":\"crc\",\"value\":{crc}}}\n"));
+        Ok(out)
     }
 
     /// Rebuild a service from a snapshot, then recover the tail from a
@@ -1070,178 +1519,125 @@ impl ColoringService {
     /// structurally validated; the journal is read tolerantly (a torn
     /// final line ends recovery at the tear). The restored service has
     /// finished any in-flight repair (it is settled unless journal
-    /// events were re-staged).
+    /// events were re-staged). Replays sequentially — a pooled host uses
+    /// [`ColoringService::restore_with`].
     pub fn restore(
         snapshot: &str,
         journal: Option<&str>,
     ) -> Result<(Self, RestoreReport), ServiceError> {
-        let trimmed = snapshot.trim_end();
-        let (body, crc_text) = trimmed.rsplit_once('\n').ok_or(ServiceError::Snapshot {
-            line: 1,
-            message: "truncated snapshot: missing CRC trailer".into(),
-        })?;
-        let crc_lineno = body.lines().count() + 1;
-        let crc_rec = parse_line(crc_text).filter(|r| r.tag() == Some("crc")).ok_or(
-            ServiceError::Snapshot {
-                line: crc_lineno,
-                message: "truncated snapshot: last line is not a CRC trailer".into(),
-            },
-        )?;
-        let expected = crc_rec.num("value").ok_or(ServiceError::Snapshot {
-            line: crc_lineno,
-            message: "CRC trailer has no value".into(),
-        })? as u32;
-        let mut hashed = body.as_bytes().to_vec();
-        hashed.push(b'\n');
-        let actual = crc32(&hashed);
-        if expected != actual {
-            return Err(ServiceError::CrcMismatch { expected, actual });
-        }
+        Self::restore_with(snapshot, journal, Engine::Sequential)
+    }
 
-        let mut lines = body.lines().enumerate();
-        let (_, header_text) = lines
-            .next()
-            .ok_or(ServiceError::Snapshot { line: 1, message: "empty snapshot".into() })?;
-        let header = parse_line(header_text).filter(|r| r.tag() == Some("serve-snapshot")).ok_or(
-            ServiceError::Snapshot {
-                line: 1,
-                message: "first line is not a serve-snapshot header".into(),
-            },
-        )?;
-        let version = header_num(&header, "version")?;
-        if version != SNAPSHOT_VERSION {
-            return Err(ServiceError::Snapshot {
-                line: 1,
-                message: format!("unsupported snapshot version {version}"),
-            });
-        }
-        let protocol: ServeProtocol = header
-            .str("protocol")
-            .unwrap_or("")
-            .parse()
-            .map_err(|e| ServiceError::Snapshot { line: 1, message: e })?;
-        let coloring = ColoringConfig {
-            seed: header_num(&header, "seed")?,
-            invite_probability: f64::from_bits(header_num(&header, "invite_bits")?),
-            color_policy: parse_color_policy(header.str("color_policy").unwrap_or("")).ok_or_else(
-                || ServiceError::Snapshot { line: 1, message: "unknown color_policy".into() },
-            )?,
-            response_policy: parse_response_policy(header.str("response_policy").unwrap_or(""))
-                .ok_or_else(|| ServiceError::Snapshot {
-                    line: 1,
-                    message: "unknown response_policy".into(),
-                })?,
-            proposal_width: header_num(&header, "width")? as usize,
-            max_compute_rounds: match header_num(&header, "max_compute")? {
-                0 => None,
-                m => Some(m),
-            },
-            validate_sends: header_num(&header, "validate_sends")? != 0,
-            collect_round_stats: false,
-            collect_metrics: false,
-            // Snapshots do not record the engine: the coloring (and its
-            // replay) is bit-identical on either, so a restored service
-            // defaults to sequential and the host may choose parallel
-            // for fresh sessions.
-            engine: Engine::Sequential,
-            faults: FaultPlan::reliable(),
-            transport: Transport::Bare,
-            profile: false,
-            // Absent in pre-reduction snapshots: off.
-            reduction: if header.num("reduce").unwrap_or(0) == 1 {
-                ColorReduction::Kempe(KempeConfig {
-                    target_colors: match header.num("reduce_target").unwrap_or(0) {
-                        0 => None,
-                        t => Some(t as u32),
-                    },
-                    max_chain: header
-                        .num("reduce_chain")
-                        .filter(|&c| c > 0)
-                        .unwrap_or(KempeConfig::default().max_chain as u64)
-                        as usize,
-                    max_attempts: header
-                        .num("reduce_attempts")
-                        .filter(|&a| a > 0)
-                        .unwrap_or(u64::from(KempeConfig::default().max_attempts))
-                        as u32,
-                    max_rounds: match header.num("reduce_rounds").unwrap_or(0) {
-                        0 => None,
-                        r => Some(r),
-                    },
-                })
-            } else {
-                ColorReduction::Off
-            },
-        };
-        let cfg =
-            ServiceConfig { protocol, coloring, watchdog_ticks: header_num(&header, "watchdog")? };
-        let n = header_num(&header, "n")? as usize;
-        let num_edges = header_num(&header, "edges")? as usize;
-        let num_history = header_num(&header, "history")? as usize;
-        let quiescent = header_num(&header, "quiescent")? != 0;
-        let recorded_hash = header_num(&header, "hash")?;
+    /// [`ColoringService::restore`] replaying on `engine`. The coloring
+    /// is bit-identical on either engine (the acceptance suite pins
+    /// this), so a host running a worker pool restores on the pool
+    /// instead of single-threading the replay.
+    pub fn restore_with(
+        snapshot: &str,
+        journal: Option<&str>,
+        engine: Engine,
+    ) -> Result<(Self, RestoreReport), ServiceError> {
+        Self::restore_chain(snapshot, &[], journal, engine)
+    }
 
-        let mut edges = Vec::with_capacity(num_edges.min(1 << 20));
-        for _ in 0..num_edges {
-            let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
-                line: crc_lineno,
-                message: "snapshot ends inside the edge list".into(),
-            })?;
-            let rec = parse_line(text).filter(|r| r.tag() == Some("edge")).ok_or_else(|| {
-                ServiceError::Snapshot { line: idx + 1, message: "expected an edge line".into() }
-            })?;
-            let u = rec.num("u").ok_or(ServiceError::Snapshot {
-                line: idx + 1,
-                message: "edge line missing u".into(),
-            })?;
-            let v = rec.num("v").ok_or(ServiceError::Snapshot {
-                line: idx + 1,
-                message: "edge line missing v".into(),
-            })?;
-            if u > u32::MAX as u64 || v > u32::MAX as u64 {
-                return Err(ServiceError::Snapshot {
-                    line: idx + 1,
-                    message: "edge endpoint out of range".into(),
-                });
+    /// Rebuild a service from a checkpoint chain: a base (either a full
+    /// `serve-snapshot` or a materialized `serve-base`), zero or more
+    /// `serve-delta` files in chain order, and an optional journal
+    /// tail.
+    ///
+    /// The base must verify — a corrupt base is a hard error. Deltas
+    /// are verified link by link (CRC, chain position, epoch, history
+    /// offset, parent CRC); the first delta that fails ends the chain
+    /// there, discarding it, every later delta, *and the journal*
+    /// (which was rotated against the newest delta and cannot bridge
+    /// the gap) — recovery proceeds from the newest verifiable
+    /// checkpoint and the [`RestoreReport::fallback`] field says why.
+    /// Journal markers already captured by the chain (older epoch, or
+    /// this epoch at an already-covered history index) deduplicate
+    /// away.
+    pub fn restore_chain(
+        base: &str,
+        deltas: &[&str],
+        journal: Option<&str>,
+        engine: Engine,
+    ) -> Result<(Self, RestoreReport), ServiceError> {
+        let (mut svc, mut entries, info) = Self::parse_base(base, engine)?;
+        let snapshot_entries = entries.len() as u64;
+        let mut h = snapshot_entries;
+        let mut parent_crc = info.crc;
+        let mut quiescent = info.quiescent;
+        let mut recorded_hash = info.hash;
+        let mut deltas_applied = 0u64;
+        let mut delta_entries = 0u64;
+        let mut fallback = None;
+        for text in deltas {
+            match Self::parse_delta(text, deltas_applied + 1, info.epoch, h, parent_crc) {
+                Ok(d) => {
+                    h += d.entries.len() as u64;
+                    delta_entries += d.entries.len() as u64;
+                    entries.extend(d.entries);
+                    parent_crc = d.crc;
+                    quiescent = d.quiescent;
+                    recorded_hash = d.hash;
+                    deltas_applied += 1;
+                }
+                Err(kind) => {
+                    fallback = Some(kind);
+                    break;
+                }
             }
-            edges.push((VertexId(u as u32), VertexId(v as u32)));
         }
-        let g0 = Graph::from_edges(n, edges).map_err(|e| ServiceError::Snapshot {
-            line: 1,
-            message: format!("invalid initial graph: {e}"),
-        })?;
-
-        let snap_entries = parse_entry_stream(lines, 0, true)?;
-        if snap_entries.torn || !snap_entries.staged.is_empty() {
-            return Err(ServiceError::Snapshot {
-                line: crc_lineno,
-                message: "snapshot history ends with dangling events".into(),
-            });
-        }
-        if snap_entries.entries.len() != num_history {
-            return Err(ServiceError::Snapshot {
-                line: crc_lineno,
-                message: format!(
-                    "header declares {num_history} history entries, found {}",
-                    snap_entries.entries.len()
-                ),
-            });
-        }
-
+        let deltas_discarded = deltas.len() as u64 - deltas_applied;
+        // The journal is kept only when it attaches to the verified
+        // prefix: its first fresh marker must be the very next history
+        // entry. A journal rotated against a delta that was then lost
+        // or corrupted starts past the gap and cannot bridge it — but a
+        // journal that predates a torn newest delta still carries the
+        // acked events and replays seamlessly over the fallback point.
+        let mut journal_discarded = false;
         let tail = match journal {
-            Some(text) => parse_entry_stream(text.lines().enumerate(), num_history as u64, false)?,
+            Some(text) => {
+                let parsed = parse_entry_stream(text.lines().enumerate(), info.epoch, h, false)?;
+                let attaches = match parsed.first_marker {
+                    Some((e, first_h)) => e == info.epoch && first_h == h + 1,
+                    None => true,
+                };
+                if attaches {
+                    parsed
+                } else {
+                    journal_discarded = true;
+                    ParsedEntries::default()
+                }
+            }
             None => ParsedEntries::default(),
         };
-
-        let mut svc = Self::new(&g0, cfg)?;
-        let mut entries = snap_entries.entries;
         let tail_count = tail.entries.len() as u64;
         entries.extend(tail.entries);
         svc.replay(&entries)?;
-        for ev in &tail.staged {
+        // The journal's staged view supersedes the base's (rotation
+        // rewrites the full staged set, and a journaled commit consumed
+        // the base's staged events) — but an empty journal against a
+        // base that recorded staged events means rotation was torn, so
+        // the base's copy is the surviving record.
+        let staged_events = if journal.is_some()
+            && !journal_discarded
+            && (tail_count > 0 || !tail.staged.is_empty())
+        {
+            tail.staged
+        } else {
+            info.staged
+        };
+        for ev in &staged_events {
             svc.stage(*ev)?;
         }
-        if quiescent && tail_count == 0 && svc.coloring_hash() != recorded_hash {
+        // Self-check against the newest applied artifact's recorded
+        // hash, when that artifact captured a quiescent service and
+        // nothing was replayed past it.
+        if quiescent
+            && tail_count == 0
+            && fallback.is_none()
+            && svc.coloring_hash() != recorded_hash
+        {
             return Err(ServiceError::Replay(format!(
                 "replayed coloring hash {:#018x} != recorded {recorded_hash:#018x}",
                 svc.coloring_hash()
@@ -1250,12 +1646,261 @@ impl ColoringService {
         Ok((
             svc,
             RestoreReport {
-                snapshot_entries: num_history as u64,
+                snapshot_entries,
                 tail_entries: tail_count,
-                staged: tail.staged.len() as u64,
+                staged: staged_events.len() as u64,
                 torn_tail: tail.torn,
+                deltas_applied,
+                delta_entries,
+                deltas_discarded,
+                journal_discarded,
+                fallback,
             },
         ))
+    }
+
+    /// Parse and verify the chain's base file, dispatching on its
+    /// header tag. Returns the not-yet-replayed service, the history
+    /// entries the base itself carries (empty for a materialized base),
+    /// and the linkage info the delta walk continues from.
+    fn parse_base(
+        base: &str,
+        engine: Engine,
+    ) -> Result<(Self, Vec<HistoryEntry>, BaseInfo), ServiceError> {
+        let (body, crc) = verify_crc(base)?;
+        let crc_lineno = body.lines().count() + 1;
+        let mut lines = body.lines().enumerate();
+        let (_, header_text) = lines
+            .next()
+            .ok_or(ServiceError::Snapshot { line: 1, message: "empty snapshot".into() })?;
+        let header = parse_line(header_text)
+            .filter(|r| matches!(r.tag(), Some("serve-snapshot" | "serve-base")))
+            .ok_or(ServiceError::Snapshot {
+                line: 1,
+                message: "first line is not a serve-snapshot or serve-base header".into(),
+            })?;
+        let materialized = header.tag() == Some("serve-base");
+        let version = header_num(&header, "version")?;
+        let expected_version = if materialized { BASE_VERSION } else { SNAPSHOT_VERSION };
+        if version != expected_version {
+            return Err(ServiceError::Snapshot {
+                line: 1,
+                message: format!("unsupported snapshot version {version}"),
+            });
+        }
+        let cfg = config_from_header(&header, engine)?;
+        let n = header_num(&header, "n")? as usize;
+        let num_edges = header_num(&header, "edges")? as usize;
+        let recorded_hash = header_num(&header, "hash")?;
+        let epoch = header.num("epoch").unwrap_or(0);
+
+        if materialized {
+            let num_dead = header_num(&header, "dead")? as usize;
+            let batches = header_num(&header, "batches")?;
+            let escalations = header_num(&header, "escalations")?;
+            let mut dead = Vec::with_capacity(num_dead.min(1 << 20));
+            for _ in 0..num_dead {
+                let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: "base ends inside the dead list".into(),
+                })?;
+                let rec =
+                    parse_line(text).filter(|r| r.tag() == Some("dead")).ok_or_else(|| {
+                        ServiceError::Snapshot {
+                            line: idx + 1,
+                            message: "expected a dead line".into(),
+                        }
+                    })?;
+                let v =
+                    rec.num("node").filter(|&v| v < n as u64).ok_or(ServiceError::Snapshot {
+                        line: idx + 1,
+                        message: "dead line missing node (or out of range)".into(),
+                    })?;
+                dead.push(VertexId(v as u32));
+            }
+            let mut edges = Vec::with_capacity(num_edges.min(1 << 20));
+            let mut coloring = HashMap::with_capacity(num_edges.min(1 << 20));
+            for _ in 0..num_edges {
+                let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: "base ends inside the coloring".into(),
+                })?;
+                let rec =
+                    parse_line(text).filter(|r| r.tag() == Some("cedge")).ok_or_else(|| {
+                        ServiceError::Snapshot {
+                            line: idx + 1,
+                            message: "expected a cedge line".into(),
+                        }
+                    })?;
+                let (Some(u), Some(v), Some(f), Some(r)) =
+                    (rec.num("u"), rec.num("v"), rec.num("f"), rec.num("r"))
+                else {
+                    return Err(ServiceError::Snapshot {
+                        line: idx + 1,
+                        message: "cedge line missing u/v/f/r".into(),
+                    });
+                };
+                if u >= v || v >= n as u64 {
+                    return Err(ServiceError::Snapshot {
+                        line: idx + 1,
+                        message: "cedge endpoints out of order or range".into(),
+                    });
+                }
+                let decode = |x: u64| (x > 0).then(|| Color((x - 1) as u32));
+                edges.push((VertexId(u as u32), VertexId(v as u32)));
+                coloring.insert((u as u32, v as u32), (decode(f), decode(r)));
+            }
+            let num_staged = header_num(&header, "staged")? as usize;
+            let mut staged = Vec::with_capacity(num_staged.min(1 << 20));
+            for _ in 0..num_staged {
+                let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: "base ends inside the staged events".into(),
+                })?;
+                let ev = parse_line(text)
+                    .filter(|r| r.tag() == Some("event"))
+                    .as_ref()
+                    .and_then(event_from_record)
+                    .ok_or_else(|| ServiceError::Snapshot {
+                        line: idx + 1,
+                        message: "expected a staged event line".into(),
+                    })?;
+                staged.push(ev);
+            }
+            if let Some((idx, _)) = lines.next() {
+                return Err(ServiceError::Snapshot {
+                    line: idx + 1,
+                    message: "unexpected line after the base coloring".into(),
+                });
+            }
+            let g = Graph::from_edges(n, edges).map_err(|e| ServiceError::Snapshot {
+                line: 1,
+                message: format!("invalid base graph: {e}"),
+            })?;
+            let svc = Self::build_rebased(&g, &dead, &coloring, cfg, epoch, batches, escalations)?;
+            if svc.coloring_hash() != recorded_hash {
+                return Err(ServiceError::Replay(format!(
+                    "rebased coloring hash {:#018x} != recorded {recorded_hash:#018x}",
+                    svc.coloring_hash()
+                )));
+            }
+            Ok((
+                svc,
+                Vec::new(),
+                BaseInfo { crc, epoch, quiescent: true, hash: recorded_hash, staged },
+            ))
+        } else {
+            if epoch != 0 {
+                return Err(ServiceError::Snapshot {
+                    line: 1,
+                    message: format!(
+                        "full snapshot of a compacted service (epoch {epoch}) is not replayable; \
+                         restore from its materialized base"
+                    ),
+                });
+            }
+            let num_history = header_num(&header, "history")? as usize;
+            let quiescent = header_num(&header, "quiescent")? != 0;
+            let mut edges = Vec::with_capacity(num_edges.min(1 << 20));
+            for _ in 0..num_edges {
+                let (idx, text) = lines.next().ok_or(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: "snapshot ends inside the edge list".into(),
+                })?;
+                let rec =
+                    parse_line(text).filter(|r| r.tag() == Some("edge")).ok_or_else(|| {
+                        ServiceError::Snapshot {
+                            line: idx + 1,
+                            message: "expected an edge line".into(),
+                        }
+                    })?;
+                let u = rec.num("u").ok_or(ServiceError::Snapshot {
+                    line: idx + 1,
+                    message: "edge line missing u".into(),
+                })?;
+                let v = rec.num("v").ok_or(ServiceError::Snapshot {
+                    line: idx + 1,
+                    message: "edge line missing v".into(),
+                })?;
+                if u > u32::MAX as u64 || v > u32::MAX as u64 {
+                    return Err(ServiceError::Snapshot {
+                        line: idx + 1,
+                        message: "edge endpoint out of range".into(),
+                    });
+                }
+                edges.push((VertexId(u as u32), VertexId(v as u32)));
+            }
+            let g0 = Graph::from_edges(n, edges).map_err(|e| ServiceError::Snapshot {
+                line: 1,
+                message: format!("invalid initial graph: {e}"),
+            })?;
+            let snap_entries = parse_entry_stream(lines, 0, 0, true)?;
+            if snap_entries.torn || !snap_entries.staged.is_empty() {
+                return Err(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: "snapshot history ends with dangling events".into(),
+                });
+            }
+            if snap_entries.entries.len() != num_history {
+                return Err(ServiceError::Snapshot {
+                    line: crc_lineno,
+                    message: format!(
+                        "header declares {num_history} history entries, found {}",
+                        snap_entries.entries.len()
+                    ),
+                });
+            }
+            let svc = Self::new(&g0, cfg)?;
+            Ok((
+                svc,
+                snap_entries.entries,
+                BaseInfo { crc, epoch: 0, quiescent, hash: recorded_hash, staged: Vec::new() },
+            ))
+        }
+    }
+
+    /// Verify one delta against its expected chain position. Any CRC or
+    /// structural failure is [`ChainFallback::Corrupt`]; a clean file
+    /// that belongs to a different chain state (stale after compaction,
+    /// replaced checkpoint) is [`ChainFallback::BrokenLink`].
+    fn parse_delta(
+        text: &str,
+        chain: u64,
+        epoch: u64,
+        h_base: u64,
+        parent_crc: u32,
+    ) -> Result<ParsedDelta, ChainFallback> {
+        let (body, crc) = verify_crc(text).map_err(|_| ChainFallback::Corrupt)?;
+        let mut lines = body.lines().enumerate();
+        let Some((_, header_text)) = lines.next() else {
+            return Err(ChainFallback::Corrupt);
+        };
+        let Some(header) = parse_line(header_text).filter(|r| r.tag() == Some("serve-delta"))
+        else {
+            return Err(ChainFallback::Corrupt);
+        };
+        if header.num("version") != Some(DELTA_VERSION) {
+            return Err(ChainFallback::Corrupt);
+        }
+        if header.num("chain") != Some(chain)
+            || header.num("epoch") != Some(epoch)
+            || header.num("h_base") != Some(h_base)
+            || header.num("parent_crc") != Some(u64::from(parent_crc))
+        {
+            return Err(ChainFallback::BrokenLink);
+        }
+        let (Some(count), Some(quiescent), Some(hash)) =
+            (header.num("entries"), header.num("quiescent"), header.num("hash"))
+        else {
+            return Err(ChainFallback::Corrupt);
+        };
+        let Ok(parsed) = parse_entry_stream(lines, 0, 0, true) else {
+            return Err(ChainFallback::Corrupt);
+        };
+        if parsed.torn || !parsed.staged.is_empty() || parsed.entries.len() as u64 != count {
+            return Err(ChainFallback::Corrupt);
+        }
+        Ok(ParsedDelta { entries: parsed.entries, crc, quiescent: quiescent != 0, hash })
     }
 
     /// Re-execute `entries` (batches pinned to their recorded rounds,
@@ -1329,6 +1974,14 @@ impl ColoringService {
     /// for escalation-free histories (the batch engines have no restart
     /// path).
     pub fn recompute(&self, engine: Engine) -> Result<Vec<ColoredEdge>, ServiceError> {
+        if self.epoch > 0 {
+            // A compacted service adopted its coloring across a rebase;
+            // a from-scratch run over the folded graph is a different
+            // (equally proper, but not comparable) coloring.
+            return Err(ServiceError::Config(
+                "recompute requires an uncompacted (epoch 0) service".into(),
+            ));
+        }
         if self.history.iter().any(|e| matches!(e, HistoryEntry::Recolor { .. })) {
             return Err(ServiceError::Config(
                 "recompute requires an escalation-free history".into(),
@@ -1380,7 +2033,11 @@ impl ColoringService {
                 })
             }
             ServeProtocol::StrongColoring => {
-                let d0 = self.d0.as_ref().expect("strong service stores its digraph");
+                let Some(d0) = self.d0.as_ref() else {
+                    return Err(ServiceError::Internal(
+                        "strong-coloring service lost its digraph".into(),
+                    ));
+                };
                 let run = run_protocol_churn_traced(
                     &topo,
                     &cfg,
@@ -1460,6 +2117,146 @@ fn header_num(rec: &Record, key: &str) -> Result<u64, ServiceError> {
     })
 }
 
+/// Split a checkpoint file into its CRC-verified body and trailer CRC.
+fn verify_crc(text: &str) -> Result<(&str, u32), ServiceError> {
+    let trimmed = text.trim_end();
+    let (body, crc_text) = trimmed.rsplit_once('\n').ok_or(ServiceError::Snapshot {
+        line: 1,
+        message: "truncated checkpoint: missing CRC trailer".into(),
+    })?;
+    let crc_lineno = body.lines().count() + 1;
+    let crc_rec =
+        parse_line(crc_text).filter(|r| r.tag() == Some("crc")).ok_or(ServiceError::Snapshot {
+            line: crc_lineno,
+            message: "truncated checkpoint: last line is not a CRC trailer".into(),
+        })?;
+    let expected = crc_rec.num("value").ok_or(ServiceError::Snapshot {
+        line: crc_lineno,
+        message: "CRC trailer has no value".into(),
+    })? as u32;
+    let mut hashed = body.as_bytes().to_vec();
+    hashed.push(b'\n');
+    let actual = crc32(&hashed);
+    if expected != actual {
+        return Err(ServiceError::CrcMismatch { expected, actual });
+    }
+    Ok((body, expected))
+}
+
+/// The CRC-32 a checkpoint file's trailer records, if the file
+/// verifies. Hosts chain the next delta's `parent_crc` to it.
+pub fn checkpoint_crc(text: &str) -> Option<u32> {
+    verify_crc(text).ok().map(|(_, crc)| crc)
+}
+
+/// Rebuild the [`ServiceConfig`] a checkpoint header recorded, with the
+/// restoring host's engine choice substituted in (checkpoints do not
+/// record the engine — the coloring is bit-identical on either).
+fn config_from_header(header: &Record, engine: Engine) -> Result<ServiceConfig, ServiceError> {
+    let protocol: ServeProtocol = header
+        .str("protocol")
+        .unwrap_or("")
+        .parse()
+        .map_err(|e| ServiceError::Snapshot { line: 1, message: e })?;
+    let coloring = ColoringConfig {
+        seed: header_num(header, "seed")?,
+        invite_probability: f64::from_bits(header_num(header, "invite_bits")?),
+        color_policy: parse_color_policy(header.str("color_policy").unwrap_or("")).ok_or_else(
+            || ServiceError::Snapshot { line: 1, message: "unknown color_policy".into() },
+        )?,
+        response_policy: parse_response_policy(header.str("response_policy").unwrap_or(""))
+            .ok_or_else(|| ServiceError::Snapshot {
+                line: 1,
+                message: "unknown response_policy".into(),
+            })?,
+        proposal_width: header_num(header, "width")? as usize,
+        max_compute_rounds: match header_num(header, "max_compute")? {
+            0 => None,
+            m => Some(m),
+        },
+        validate_sends: header_num(header, "validate_sends")? != 0,
+        collect_round_stats: false,
+        collect_metrics: false,
+        engine,
+        faults: FaultPlan::reliable(),
+        transport: Transport::Bare,
+        profile: false,
+        // Absent in pre-reduction snapshots: off.
+        reduction: if header.num("reduce").unwrap_or(0) == 1 {
+            ColorReduction::Kempe(KempeConfig {
+                target_colors: match header.num("reduce_target").unwrap_or(0) {
+                    0 => None,
+                    t => Some(t as u32),
+                },
+                max_chain: header
+                    .num("reduce_chain")
+                    .filter(|&c| c > 0)
+                    .unwrap_or(KempeConfig::default().max_chain as u64)
+                    as usize,
+                max_attempts: header
+                    .num("reduce_attempts")
+                    .filter(|&a| a > 0)
+                    .unwrap_or(u64::from(KempeConfig::default().max_attempts))
+                    as u32,
+                max_rounds: match header.num("reduce_rounds").unwrap_or(0) {
+                    0 => None,
+                    r => Some(r),
+                },
+            })
+        } else {
+            ColorReduction::Off
+        },
+    };
+    Ok(ServiceConfig { protocol, coloring, watchdog_ticks: header_num(header, "watchdog")? })
+}
+
+/// Write `entries` (occupying history indices `from_h + 1 ..`) in the
+/// journal wire format — shared by the full snapshot body and delta
+/// checkpoints.
+fn push_history_lines(out: &mut String, epoch: u64, from_h: u64, entries: &[HistoryEntry]) {
+    for (i, entry) in entries.iter().enumerate() {
+        let h = from_h + i as u64 + 1;
+        match entry {
+            HistoryEntry::Batch { seq, round, events } => {
+                for ev in events {
+                    out.push_str(&event_line(ev));
+                }
+                out.push_str(&ColoringService::journal_commit_line(epoch, h, *seq, *round));
+            }
+            HistoryEntry::Recolor { round } => {
+                out.push_str(&ColoringService::journal_recolor_line(epoch, h, *round));
+            }
+        }
+    }
+}
+
+/// The committed slot map, keyed `(u, v)` with `u < v`, holding (u's
+/// slot toward v, v's slot toward u).
+type SlotMap = HashMap<(u32, u32), (Option<Color>, Option<Color>)>;
+
+/// Per-node adoption payload for a strong-coloring rebase: outgoing
+/// slots, incoming slots, and the accumulated forbidden set.
+type StrongRebaseSlots = (Vec<Option<Color>>, Vec<Option<Color>>, ColorSet);
+
+/// Verified linkage facts about a chain's base file.
+struct BaseInfo {
+    crc: u32,
+    epoch: u64,
+    quiescent: bool,
+    hash: u64,
+    /// Staged events the base carried (materialized bases only) —
+    /// restaged when no journal supersedes them.
+    staged: Vec<ChurnEvent>,
+}
+
+/// One verified delta checkpoint.
+struct ParsedDelta {
+    entries: Vec<HistoryEntry>,
+    crc: u32,
+    quiescent: bool,
+    hash: u64,
+}
+
 fn event_line(ev: &ChurnEvent) -> String {
     // Link endpoints are written normalized (min, max) — the feed
     // stores them that way, so journal replay reconstructs the exact
@@ -1501,18 +2298,26 @@ struct ParsedEntries {
     entries: Vec<HistoryEntry>,
     staged: Vec<ChurnEvent>,
     torn: bool,
+    /// `(epoch, h)` of the first marker that survived staleness
+    /// filtering — the point this stream attaches to. `None` when every
+    /// marker was stale (or there were none).
+    first_marker: Option<(u64, u64)>,
 }
 
-/// Parse a history-entry stream (shared between the snapshot body and
-/// the journal). Markers with `h <= skip_h` were already captured by
-/// the snapshot and are dropped along with their buffered events. In
-/// `strict` mode any unparseable line is an error; otherwise it is a
-/// torn tail and parsing stops there.
+/// Parse a history-entry stream (shared between snapshot bodies, delta
+/// checkpoints, and the journal). Markers already captured by the
+/// checkpoint being restored — an earlier epoch, or `skip_epoch` with
+/// `h <= skip_h` (markers without an epoch field predate compaction and
+/// read as epoch 0) — are dropped, commits along with their buffered
+/// events. In `strict` mode any unparseable line is an error; otherwise
+/// it is a torn tail and parsing stops there.
 fn parse_entry_stream<'a>(
     lines: impl Iterator<Item = (usize, &'a str)>,
+    skip_epoch: u64,
     skip_h: u64,
     strict: bool,
 ) -> Result<ParsedEntries, ServiceError> {
+    let stale = |e: u64, h: u64| e < skip_epoch || (e == skip_epoch && h <= skip_h);
     let mut out = ParsedEntries::default();
     let mut buffer: Vec<ChurnEvent> = Vec::new();
     for (idx, raw) in lines {
@@ -1549,9 +2354,13 @@ fn parse_entry_stream<'a>(
                     out.torn = true;
                     break;
                 };
-                if h <= skip_h {
+                let e = rec.num("e").unwrap_or(0);
+                if stale(e, h) {
                     buffer.clear();
                 } else {
+                    if out.first_marker.is_none() {
+                        out.first_marker = Some((e, h));
+                    }
                     out.entries.push(HistoryEntry::Batch {
                         seq,
                         round,
@@ -1565,7 +2374,11 @@ fn parse_entry_stream<'a>(
                     out.torn = true;
                     break;
                 };
-                if h > skip_h {
+                let e = rec.num("e").unwrap_or(0);
+                if !stale(e, h) {
+                    if out.first_marker.is_none() {
+                        out.first_marker = Some((e, h));
+                    }
                     out.entries.push(HistoryEntry::Recolor { round });
                 }
             }
@@ -1611,11 +2424,12 @@ mod tests {
             }
             let (seq, round) = s.next_commit().unwrap();
             journal.push_str(&ColoringService::journal_commit_line(
+                s.epoch(),
                 s.history_len() + 1,
                 seq,
                 round,
             ));
-            assert_eq!(s.commit(), Some((seq, round)));
+            assert_eq!(s.commit().unwrap(), Some((seq, round)));
             s.run_to_quiescence(s.tick_budget()).unwrap();
         }
     }
@@ -1768,9 +2582,9 @@ mod tests {
         let (ls, lr) = live.next_commit().unwrap();
         let mut restored = r;
         assert_eq!(restored.next_commit(), Some((ls, lr)));
-        live.commit();
+        live.commit().unwrap();
         live.run_to_quiescence(live.tick_budget()).unwrap();
-        restored.commit();
+        restored.commit().unwrap();
         restored.run_to_quiescence(restored.tick_budget()).unwrap();
         assert_eq!(restored.coloring_hash(), live.coloring_hash());
     }
@@ -1826,12 +2640,21 @@ mod tests {
             tail.push_str(&ColoringService::journal_event_line(ev));
         }
         let (seq, round) = s.next_commit().unwrap();
-        tail.push_str(&ColoringService::journal_commit_line(s.history_len() + 1, seq, round));
-        s.commit();
+        tail.push_str(&ColoringService::journal_commit_line(
+            s.epoch(),
+            s.history_len() + 1,
+            seq,
+            round,
+        ));
+        s.commit().unwrap();
         s.tick().unwrap();
         s.tick().unwrap();
         let rec_round = s.force_recolor();
-        tail.push_str(&ColoringService::journal_recolor_line(s.history_len(), rec_round));
+        tail.push_str(&ColoringService::journal_recolor_line(
+            s.epoch(),
+            s.history_len(),
+            rec_round,
+        ));
         s.run_to_quiescence(s.tick_budget()).unwrap();
         assert_eq!(s.escalations(), 1);
         assert_proper(&s);
@@ -1929,5 +2752,266 @@ mod tests {
             spawned_before,
             "repeat service runs must reuse pooled workers, not spawn new ones"
         );
+    }
+
+    /// Churn valid against the graph waves() leaves behind.
+    fn extra_waves() -> Vec<Vec<ChurnEvent>> {
+        use ChurnEvent::*;
+        vec![
+            vec![LinkUp(VertexId(3), VertexId(5)), LinkDown(VertexId(0), VertexId(2))],
+            vec![NodeLeave(VertexId(6)), LinkUp(VertexId(4), VertexId(7))],
+        ]
+    }
+
+    #[test]
+    fn compaction_rebases_live_and_restored_identically() {
+        for protocol in [ServeProtocol::EdgeColoring, ServeProtocol::StrongColoring] {
+            let mut live = svc(protocol, 17);
+            let mut journal = String::new();
+            drive(&mut live, &waves(), &mut journal);
+            let hash = live.coloring_hash();
+            let report = live.compact_history().unwrap();
+            assert_eq!(report.epoch, 1);
+            assert_eq!(report.folded_entries, 3);
+            assert_eq!(live.epoch(), 1);
+            assert_eq!(live.history_len(), 0);
+            assert_eq!(live.round(), 0);
+            assert!(live.is_settled());
+            assert_eq!(live.coloring_hash(), hash, "{protocol}: rebase changed the coloring");
+            assert_eq!(live.batches_committed(), 3);
+            assert_proper(&live);
+
+            let base = live.base_text().unwrap();
+            let (mut restored, rep) =
+                ColoringService::restore_chain(&base, &[], None, Engine::Sequential).unwrap();
+            assert_eq!(rep.deltas_applied, 0);
+            assert_eq!(restored.coloring_hash(), hash);
+            assert_eq!(restored.epoch(), 1);
+
+            // Post-compaction churn lands on the same trajectory whether
+            // the rebase happened live or through a base restore.
+            let mut jl = String::new();
+            let mut jr = String::new();
+            drive(&mut live, &extra_waves(), &mut jl);
+            drive(&mut restored, &extra_waves(), &mut jr);
+            assert_eq!(jl, jr, "{protocol}");
+            assert_eq!(restored.coloring_hash(), live.coloring_hash(), "{protocol}");
+            assert_eq!(restored.history(), live.history());
+            assert_proper(&live);
+
+            // The pooled engine rebases bit-identically too.
+            let g = structured::path(8);
+            let mut cfg = ServiceConfig::new(protocol, 17);
+            cfg.coloring.engine = Engine::Parallel { threads: 2 };
+            let mut par = ColoringService::new(&g, cfg).unwrap();
+            par.run_to_quiescence(par.tick_budget()).unwrap();
+            drive(&mut par, &waves(), &mut String::new());
+            par.compact_history().unwrap();
+            drive(&mut par, &extra_waves(), &mut String::new());
+            assert_eq!(par.coloring_hash(), live.coloring_hash(), "{protocol}: parallel rebase");
+        }
+    }
+
+    #[test]
+    fn chain_restore_applies_deltas_and_dedups_stale_journal() {
+        let extra = extra_waves();
+        let mut s = svc(ServeProtocol::EdgeColoring, 31);
+        // One unrotated journal across the compaction — its epoch-0
+        // markers must dedup away against the epoch-1 base.
+        let mut journal = String::new();
+        drive(&mut s, &waves(), &mut journal);
+        s.compact_history().unwrap();
+        let base = s.base_text().unwrap();
+        let base_crc = checkpoint_crc(&base).unwrap();
+        drive(&mut s, &extra[..1], &mut journal);
+        let delta1 = s.delta_text(0, 1, base_crc).unwrap();
+        let d1_crc = checkpoint_crc(&delta1).unwrap();
+        drive(&mut s, &extra[1..], &mut journal);
+        let delta2 = s.delta_text(1, 2, d1_crc).unwrap();
+        // Accepted-but-uncommitted event on top.
+        let ev = ChurnEvent::LinkUp(VertexId(1), VertexId(5));
+        s.stage(ev).unwrap();
+        journal.push_str(&ColoringService::journal_event_line(&ev));
+
+        let (r, rep) = ColoringService::restore_chain(
+            &base,
+            &[&delta1, &delta2],
+            Some(&journal),
+            Engine::Sequential,
+        )
+        .unwrap();
+        assert_eq!(rep.deltas_applied, 2);
+        assert_eq!(rep.delta_entries, 2);
+        assert_eq!(rep.deltas_discarded, 0);
+        assert_eq!(rep.fallback, None);
+        assert_eq!(rep.tail_entries, 0, "every journaled batch was captured by a delta");
+        assert_eq!(rep.staged, 1);
+        assert_eq!(r.coloring_hash(), s.coloring_hash());
+        assert_eq!(r.history(), s.history());
+        assert_eq!(r.staged(), 1);
+
+        // Chain restore on the pooled engine is bit-identical.
+        let (rp, _) = ColoringService::restore_chain(
+            &base,
+            &[&delta1, &delta2],
+            Some(&journal),
+            Engine::Parallel { threads: 2 },
+        )
+        .unwrap();
+        assert_eq!(rp.coloring_hash(), s.coloring_hash());
+        assert_eq!(rp.history(), s.history());
+    }
+
+    #[test]
+    fn base_carries_staged_events_across_torn_journal_rotation() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 23);
+        drive(&mut s, &waves(), &mut String::new());
+        s.run_to_quiescence(s.tick_budget()).unwrap();
+        let ev = ChurnEvent::LinkUp(VertexId(1), VertexId(5));
+        s.compact_history().unwrap();
+        s.stage(ev).unwrap();
+        let base = s.base_text().unwrap();
+
+        // No journal at all (crash between base rename and rotation):
+        // the acked event survives via the base.
+        let (r, rep) =
+            ColoringService::restore_chain(&base, &[], None, Engine::Sequential).unwrap();
+        assert_eq!(rep.staged, 1);
+        assert_eq!(r.staged(), 1);
+        assert_eq!(r.coloring_hash(), s.coloring_hash());
+
+        // An empty journal (rotation renamed but wrote nothing) reads
+        // as torn rotation — base staged still wins.
+        let (r2, rep2) =
+            ColoringService::restore_chain(&base, &[], Some(""), Engine::Sequential).unwrap();
+        assert_eq!(rep2.staged, 1);
+        assert_eq!(r2.staged(), 1);
+
+        // A rotated journal that recorded the staged set supersedes it
+        // (no double-staging).
+        let journal = ColoringService::journal_event_line(&ev);
+        let (r3, rep3) =
+            ColoringService::restore_chain(&base, &[], Some(&journal), Engine::Sequential).unwrap();
+        assert_eq!(rep3.staged, 1);
+        assert_eq!(r3.staged(), 1);
+
+        // And a journal where the staged batch committed replays the
+        // commit instead of restaging.
+        let mut s2 = s;
+        let mut journal2 = journal.clone();
+        let (seq, round) = s2.next_commit().unwrap();
+        journal2.push_str(&ColoringService::journal_commit_line(
+            s2.epoch(),
+            s2.history_len() + 1,
+            seq,
+            round,
+        ));
+        s2.commit().unwrap();
+        s2.run_to_quiescence(s2.tick_budget()).unwrap();
+        let (r4, rep4) =
+            ColoringService::restore_chain(&base, &[], Some(&journal2), Engine::Sequential)
+                .unwrap();
+        assert_eq!(rep4.staged, 0);
+        assert_eq!(rep4.tail_entries, 1);
+        assert_eq!(r4.staged(), 0);
+        assert_eq!(r4.coloring_hash(), s2.coloring_hash());
+    }
+
+    #[test]
+    fn broken_chain_falls_back_to_newest_verifiable_checkpoint() {
+        let extra = extra_waves();
+        let mut s = svc(ServeProtocol::EdgeColoring, 43);
+        drive(&mut s, &waves(), &mut String::new());
+        s.compact_history().unwrap();
+        let base = s.base_text().unwrap();
+        let base_crc = checkpoint_crc(&base).unwrap();
+        drive(&mut s, &extra[..1], &mut String::new());
+        let hash_at_d1 = s.coloring_hash();
+        let h_at_d1 = s.history_len();
+        let delta1 = s.delta_text(0, 1, base_crc).unwrap();
+        let d1_crc = checkpoint_crc(&delta1).unwrap();
+        let mut bridge_journal = String::new();
+        drive(&mut s, &extra[1..], &mut bridge_journal);
+        let delta2 = s.delta_text(h_at_d1, 2, d1_crc).unwrap();
+
+        // Bit-flipped newest delta, journal already rotated against it
+        // (empty): recover to delta 1.
+        let mut bad = delta2.clone().into_bytes();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x20;
+        let bad = String::from_utf8_lossy(&bad).into_owned();
+        let (r, rep) =
+            ColoringService::restore_chain(&base, &[&delta1, &bad], Some(""), Engine::Sequential)
+                .unwrap();
+        assert_eq!(rep.deltas_applied, 1);
+        assert_eq!(rep.deltas_discarded, 1);
+        assert_eq!(rep.fallback, Some(ChainFallback::Corrupt));
+        assert!(!rep.journal_discarded);
+        assert_eq!(r.coloring_hash(), hash_at_d1);
+
+        // Same torn delta but the journal was not yet rotated — it
+        // still starts at the fallback point and bridges the gap, so
+        // the acked batches survive the lost checkpoint.
+        let (rb, repb) = ColoringService::restore_chain(
+            &base,
+            &[&delta1, &bad],
+            Some(&bridge_journal),
+            Engine::Sequential,
+        )
+        .unwrap();
+        assert_eq!(repb.fallback, Some(ChainFallback::Corrupt));
+        assert!(!repb.journal_discarded);
+        assert!(repb.tail_entries > 0);
+        assert_eq!(rb.coloring_hash(), s.coloring_hash());
+        assert_eq!(rb.history_len(), s.history_len());
+
+        // A journal rotated against the lost delta starts past the
+        // verified prefix; it cannot bridge the gap and is discarded.
+        let orphan = ColoringService::journal_commit_line(s.epoch(), s.history_len() + 2, 99, 0);
+        let (ro, repo) = ColoringService::restore_chain(
+            &base,
+            &[&delta1, &bad],
+            Some(&orphan),
+            Engine::Sequential,
+        )
+        .unwrap();
+        assert!(repo.journal_discarded);
+        assert_eq!(repo.tail_entries, 0);
+        assert_eq!(ro.coloring_hash(), hash_at_d1);
+
+        // A clean delta chained to the wrong parent is a stale leftover,
+        // not corruption.
+        let unlinked = s.delta_text(1, 2, d1_crc ^ 1).unwrap();
+        let (r2, rep2) =
+            ColoringService::restore_chain(&base, &[&delta1, &unlinked], None, Engine::Sequential)
+                .unwrap();
+        assert_eq!(rep2.fallback, Some(ChainFallback::BrokenLink));
+        assert_eq!(r2.coloring_hash(), hash_at_d1);
+
+        // A corrupt base is a hard error, not a fallback.
+        let mut bad_base = base.clone().into_bytes();
+        bad_base[20] ^= 0x01;
+        let bad_base = String::from_utf8_lossy(&bad_base).into_owned();
+        assert!(ColoringService::restore_chain(&bad_base, &[], None, Engine::Sequential).is_err());
+    }
+
+    #[test]
+    fn compacted_services_guard_snapshot_and_recompute_paths() {
+        let mut s = svc(ServeProtocol::EdgeColoring, 19);
+        drive(&mut s, &waves(), &mut String::new());
+        // base_text before compaction: replay prefix still present.
+        assert!(matches!(s.base_text(), Err(ServiceError::NotSettled { .. })));
+        s.compact_history().unwrap();
+        // Full snapshots of a compacted service don't replay.
+        let snap = s.snapshot_text();
+        assert!(ColoringService::restore(&snap, None).is_err());
+        // And the from-scratch cross-check no longer applies.
+        assert!(matches!(s.recompute(Engine::Sequential), Err(ServiceError::Config(_))));
+        // Compacting while unsettled is refused.
+        s.stage(ChurnEvent::LinkUp(VertexId(1), VertexId(4))).unwrap();
+        s.commit().unwrap();
+        assert!(matches!(s.compact_history(), Err(ServiceError::NotSettled { .. })));
+        s.run_to_quiescence(s.tick_budget()).unwrap();
+        assert_proper(&s);
     }
 }

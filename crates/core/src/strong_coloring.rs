@@ -232,6 +232,32 @@ impl StrongColoringNode {
         self.neighbors.binary_search(&v).ok()
     }
 
+    /// Overwrite this node's committed channels after a history-
+    /// compaction rebase (`ColoringService` folds the replay prefix into
+    /// a materialized topology and rebuilds every node fresh, handing
+    /// each one back the channels it had already converged to). Only
+    /// sound while the node is parked: at quiescence no proposal or
+    /// exchange is in flight. `out`/`inc` are port-aligned with the
+    /// (sorted) neighbor list; `forbidden` must hold this node's own
+    /// channels plus every channel committed in its one-hop
+    /// neighborhood — exactly the exclusion set the automata would have
+    /// accumulated through `Used`/`Hello` traffic on the way to this
+    /// coloring, so future repairs propose from the same knowledge.
+    pub(crate) fn adopt_rebase(
+        &mut self,
+        out: &[Option<Color>],
+        inc: &[Option<Color>],
+        forbidden: ColorSet,
+    ) {
+        debug_assert_eq!(out.len(), self.neighbors.len());
+        debug_assert_eq!(inc.len(), self.neighbors.len());
+        self.out_color.copy_from_slice(out);
+        self.in_color.copy_from_slice(inc);
+        self.uncolored_out = (0..out.len()).filter(|&p| out[p].is_none()).collect();
+        self.uncolored_in = inc.iter().filter(|c| c.is_none()).count();
+        self.forbidden = forbidden;
+    }
+
     /// Channel committed on the out-arc `me → v`, if any — the query
     /// side of the long-running service.
     pub(crate) fn out_color_toward(&self, v: VertexId) -> Option<Color> {

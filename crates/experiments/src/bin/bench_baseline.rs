@@ -401,6 +401,79 @@ fn serve_slo_scenario<'a>(
     s
 }
 
+/// Build the recovery-cost artifact pair off one churn session: the
+/// epoch-0 full snapshot plus a journal covering *every* batch (restore
+/// replays the whole history), and a compacted materialized base plus a
+/// one-batch journal tail (restore adopts the folded coloring and
+/// replays only the delta since the last checkpoint). Returns
+/// `(full_snapshot, full_journal, base, tail_journal)`.
+fn serve_recovery_artifacts(
+    g: &Graph,
+    batches: usize,
+    events_per_batch: usize,
+) -> (String, String, String, String) {
+    let n = g.num_vertices() as u32;
+    let cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 0x0EC0);
+    let mut svc = ColoringService::new(g, cfg).expect("service construction");
+    svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+    let full = svc.snapshot_text();
+    let mut rng = SmallRng::seed_from_u64(0x0EC1);
+    let mut journal = String::new();
+    let run_batch = |svc: &mut ColoringService, rng: &mut SmallRng, journal: &mut String| {
+        let mut staged = 0;
+        let mut attempts = 0;
+        while staged < events_per_batch && attempts < 200 {
+            attempts += 1;
+            let ev = match rng.random_range(0..4u32) {
+                0 => ChurnEvent::LinkUp(
+                    VertexId(rng.random_range(0..n)),
+                    VertexId(rng.random_range(0..n)),
+                ),
+                1 => ChurnEvent::LinkDown(
+                    VertexId(rng.random_range(0..n)),
+                    VertexId(rng.random_range(0..n)),
+                ),
+                2 => ChurnEvent::NodeLeave(VertexId(rng.random_range(0..n))),
+                _ => ChurnEvent::NodeJoin(VertexId(rng.random_range(0..n))),
+            };
+            if svc.stage(ev).is_ok() {
+                journal.push_str(&ColoringService::journal_event_line(&ev));
+                staged += 1;
+            }
+        }
+        let h_before = svc.history_len() as usize;
+        let (seq, round) = svc.next_commit().expect("committable");
+        journal.push_str(&ColoringService::journal_commit_line(
+            svc.epoch(),
+            svc.history_len() + 1,
+            seq,
+            round,
+        ));
+        svc.commit().expect("staged events commit");
+        svc.run_to_quiescence(svc.tick_budget()).expect("repair converges");
+        for (i, entry) in svc.history().iter().enumerate().skip(h_before) {
+            if let dima_core::HistoryEntry::Recolor { round } = entry {
+                journal.push_str(&ColoringService::journal_recolor_line(
+                    svc.epoch(),
+                    i as u64 + 1,
+                    *round,
+                ));
+            }
+        }
+    };
+    for _ in 0..batches {
+        run_batch(&mut svc, &mut rng, &mut journal);
+    }
+    let full_journal = journal;
+    // The incremental side: fold the whole session into a materialized
+    // base, then one more journaled batch as the tail.
+    svc.compact_history().expect("settled service compacts");
+    let base = svc.base_text().expect("base serializes");
+    let mut tail = String::new();
+    run_batch(&mut svc, &mut rng, &mut tail);
+    (full, full_journal, base, tail)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -690,6 +763,30 @@ fn main() {
     if want("serve_slo") {
         let (batches, events) = if quick { (8, 4) } else { (24, 8) };
         scenarios.push(serve_slo_scenario("serve_slo", &g, batches, events, reps));
+    }
+    if want("serve_recovery_full") || want("serve_recovery_incr") {
+        let (batches, events) = if quick { (8, 4) } else { (24, 8) };
+        let (full, full_journal, chain_base, tail) = serve_recovery_artifacts(&g, batches, events);
+        let recovery_reps = if quick { 3 } else { 5 };
+        if want("serve_recovery_full") {
+            scenarios.push(Scenario::new("serve_recovery_full", recovery_reps, move |_| {
+                let (svc, report) = ColoringService::restore(&full, Some(&full_journal))
+                    .expect("full-snapshot restore");
+                black_box((svc.coloring_hash(), report.tail_entries));
+            }));
+        }
+        if want("serve_recovery_incr") {
+            scenarios.push(Scenario::new("serve_recovery_incr", recovery_reps, move |_| {
+                let (svc, report) = ColoringService::restore_chain(
+                    &chain_base,
+                    &[],
+                    Some(&tail),
+                    Engine::Sequential,
+                )
+                .expect("incremental chain restore");
+                black_box((svc.coloring_hash(), report.tail_entries));
+            }));
+        }
     }
     if want("kempe_reduce") {
         scenarios.push(kempe_scenario("kempe_reduce", &kg, reps));

@@ -507,13 +507,30 @@ pub struct EventFeed {
     /// Graph state as of the last committed batch.
     prev: DynGraph,
     staged: Vec<ChurnEvent>,
+    /// Per-staged-event undo data, aligned with `staged`: the neighbor
+    /// list a `NodeLeave` destroyed (empty for every other kind). Lets
+    /// [`EventFeed::unstage_last`] reverse any event exactly.
+    undo: Vec<Vec<VertexId>>,
 }
 
 impl EventFeed {
     /// Start a feed from the initial topology `g0`.
     pub fn new(g0: &Graph) -> Self {
         let dg = DynGraph::from_graph(g0);
-        EventFeed { now: dg.clone(), prev: dg, staged: Vec::new() }
+        EventFeed { now: dg.clone(), prev: dg, staged: Vec::new(), undo: Vec::new() }
+    }
+
+    /// Start a feed from a topology in which the nodes listed in `dead`
+    /// have already departed (their `g0` slots are isolated vertices).
+    /// This is how a compacted service rebuilds its feed: the committed
+    /// graph keeps the full `0..n` universe, and the dead set restores
+    /// the liveness bits a plain [`EventFeed::new`] would lose.
+    pub fn with_dead(g0: &Graph, dead: &[VertexId]) -> Self {
+        let mut dg = DynGraph::from_graph(g0);
+        for &v in dead {
+            dg.remove_vertex(v);
+        }
+        EventFeed { now: dg.clone(), prev: dg, staged: Vec::new(), undo: Vec::new() }
     }
 
     /// Number of staged events awaiting [`EventFeed::commit`].
@@ -529,6 +546,17 @@ impl EventFeed {
     /// The graph as of the last committed batch.
     pub fn committed_graph(&self) -> Graph {
         self.prev.snapshot()
+    }
+
+    /// Nodes that are dead in the *committed* state (sorted). Together
+    /// with [`EventFeed::committed_graph`] — where departed nodes appear
+    /// as isolated vertices — this fully describes the committed
+    /// topology, e.g. for a materialized snapshot.
+    pub fn committed_dead(&self) -> Vec<VertexId> {
+        (0..self.prev.num_vertices() as u32)
+            .map(VertexId)
+            .filter(|&v| !self.prev.is_alive(v))
+            .collect()
     }
 
     /// Current (staged-inclusive) liveness of `v`.
@@ -562,6 +590,7 @@ impl EventFeed {
                     return Err(FeedError::DuplicateLink(u.min(v), u.max(v)));
                 }
                 self.staged.push(ChurnEvent::LinkUp(u.min(v), u.max(v)));
+                self.undo.push(Vec::new());
             }
             ChurnEvent::LinkDown(u, v) => {
                 self.check_node(u)?;
@@ -573,6 +602,7 @@ impl EventFeed {
                     return Err(FeedError::NoSuchLink(u.min(v), u.max(v)));
                 }
                 self.staged.push(ChurnEvent::LinkDown(u.min(v), u.max(v)));
+                self.undo.push(Vec::new());
             }
             ChurnEvent::NodeJoin(v) => {
                 self.check_node(v)?;
@@ -580,14 +610,17 @@ impl EventFeed {
                     return Err(FeedError::AlreadyAlive(v));
                 }
                 self.staged.push(ChurnEvent::NodeJoin(v));
+                self.undo.push(Vec::new());
             }
             ChurnEvent::NodeLeave(v) => {
                 self.check_node(v)?;
                 if !self.now.is_alive(v) {
                     return Err(FeedError::AlreadyGone(v));
                 }
+                let neighbors = self.now.neighbors(v).to_vec();
                 self.now.remove_vertex(v);
                 self.staged.push(ChurnEvent::NodeLeave(v));
+                self.undo.push(neighbors);
             }
         }
         Ok(())
@@ -601,9 +634,42 @@ impl EventFeed {
             return None;
         }
         let events = std::mem::take(&mut self.staged);
+        self.undo.clear();
         let batch = ChurnBatch::compile(round, events, &self.prev, &self.now);
         self.prev = self.now.clone();
         Some(batch)
+    }
+
+    /// Reverse the most recently staged event, restoring the graph state
+    /// to exactly what it was before that [`EventFeed::stage`] call.
+    /// Returns the event, or `None` when nothing is staged.
+    ///
+    /// This is the durability back-out: an ingest loop that accepted an
+    /// event but then failed to journal it (disk full, I/O error) can
+    /// reject the event instead of holding state it cannot persist.
+    pub fn unstage_last(&mut self) -> Option<ChurnEvent> {
+        let ev = self.staged.pop()?;
+        let undo = self.undo.pop().unwrap_or_default();
+        match ev {
+            ChurnEvent::LinkUp(u, v) => {
+                self.now.remove_edge(u, v);
+            }
+            ChurnEvent::LinkDown(u, v) => {
+                self.now.insert_edge(u, v);
+            }
+            // A staged join has no attachments yet (they arrive as
+            // separate LinkUp events, undone before this one).
+            ChurnEvent::NodeJoin(v) => {
+                self.now.remove_vertex(v);
+            }
+            ChurnEvent::NodeLeave(v) => {
+                self.now.restore_vertex(v);
+                for w in undo {
+                    self.now.insert_edge(v, w);
+                }
+            }
+        }
+        Some(ev)
     }
 }
 
@@ -771,6 +837,60 @@ mod tests {
         // Committed state advanced; staging resumes from it.
         assert_eq!(feed.staged(), 0);
         assert_eq!(feed.committed_graph().num_edges(), batch.graph.num_edges());
+    }
+
+    #[test]
+    fn unstage_last_reverses_every_event_kind() {
+        let g = structured::path(5); // 0-1-2-3-4
+        let v = |i| VertexId(i);
+        let mut feed = EventFeed::new(&g);
+        let edges0 = feed.committed_graph().num_edges();
+
+        // LinkUp then back out.
+        feed.stage(ChurnEvent::LinkUp(v(0), v(3))).unwrap();
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::LinkUp(v(0), v(3))));
+        assert_eq!(feed.staged(), 0);
+        // LinkDown then back out: the link is live again.
+        feed.stage(ChurnEvent::LinkDown(v(1), v(2))).unwrap();
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::LinkDown(v(1), v(2))));
+        assert_eq!(feed.stage(ChurnEvent::LinkDown(v(1), v(2))), Ok(()));
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::LinkDown(v(1), v(2))));
+        // NodeLeave then back out: liveness and *all* incident edges
+        // return, so a duplicate link-up is rejected as before.
+        feed.stage(ChurnEvent::NodeLeave(v(2))).unwrap();
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::NodeLeave(v(2))));
+        assert!(feed.is_alive(v(2)));
+        assert_eq!(
+            feed.stage(ChurnEvent::LinkUp(v(1), v(2))),
+            Err(FeedError::DuplicateLink(v(1), v(2)))
+        );
+        // Join then back out (leave 4 first so the join is legal).
+        feed.stage(ChurnEvent::NodeLeave(v(4))).unwrap();
+        feed.stage(ChurnEvent::NodeJoin(v(4))).unwrap();
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::NodeJoin(v(4))));
+        assert!(!feed.is_alive(v(4)));
+        assert_eq!(feed.unstage_last(), Some(ChurnEvent::NodeLeave(v(4))));
+        assert!(feed.is_alive(v(4)));
+
+        // After all the churn the feed is back at g0: committing after a
+        // fresh round-trip event yields the same edge count as g0.
+        assert_eq!(feed.staged(), 0);
+        assert_eq!(feed.committed_graph().num_edges(), edges0);
+        assert_eq!(feed.unstage_last(), None);
+    }
+
+    #[test]
+    fn with_dead_marks_nodes_departed() {
+        let v = |i| VertexId(i);
+        // Pretend node 3 left earlier: its slot exists but is dead.
+        let committed = Graph::from_edges(4, [(v(0), v(1)), (v(1), v(2))]).unwrap();
+        let feed = EventFeed::with_dead(&committed, &[v(3)]);
+        assert!(!feed.is_alive(v(3)));
+        assert_eq!(feed.committed_dead(), vec![v(3)]);
+        let mut feed = feed;
+        assert_eq!(feed.stage(ChurnEvent::LinkUp(v(0), v(3))), Err(FeedError::EndpointDown(v(3))));
+        feed.stage(ChurnEvent::NodeJoin(v(3))).unwrap();
+        assert!(feed.is_alive(v(3)));
     }
 
     #[test]

@@ -697,6 +697,30 @@ where
         }
     }
 
+    /// Park every surviving node as done without stepping it (see
+    /// [`crate::Stepper::park_all`] — the rebase bootstrap after history
+    /// compaction; semantics are identical across engines).
+    pub fn park_all(&mut self) {
+        for i in 0..self.num_nodes() {
+            if !self.crashed[i] && !self.done[i] {
+                self.done[i] = true;
+                self.done_count += 1;
+            }
+            self.suppress[i] = false;
+            self.woken[i].store(false, Ordering::Relaxed);
+        }
+        for st in &mut self.shards {
+            st.inbox_data.clear();
+            st.inbox_off.fill(0);
+            st.suppressed_now.clear();
+            st.newly_done.clear();
+        }
+        for cell in &self.grid.slots {
+            // SAFETY: `&mut self` — no tick in flight.
+            unsafe { (*cell.get()).clear() };
+        }
+    }
+
     /// Execute one communication round across all shards: apply `batch`
     /// first if given, step every active node, deposit + collect, merge
     /// done/wake flags at the boundary, and advance the round clock.

@@ -227,6 +227,27 @@ where
         self.suppressed_now.clear();
     }
 
+    /// Park every surviving node as done without stepping it, leaving
+    /// protocol state exactly as constructed. This is the bootstrap for a
+    /// *rebased* service: after history compaction the nodes are built
+    /// directly in a settled configuration (adopting a previously
+    /// converged coloring), so the stepper must start quiescent instead
+    /// of running the algorithm from scratch. Mailboxes are cleared; the
+    /// round clock is untouched. Wake-class traffic (a later churn batch)
+    /// un-parks nodes exactly as it would after natural convergence.
+    pub fn park_all(&mut self) {
+        for i in 0..self.num_nodes() {
+            if !self.crashed[i] && !self.done[i] {
+                self.done[i] = true;
+                self.done_count += 1;
+            }
+            self.cur[i].clear();
+            self.next[i].clear();
+            self.suppress[i] = false;
+        }
+        self.suppressed_now.clear();
+    }
+
     /// Execute one communication round: apply `batch` first if given
     /// (its [`ChurnBatch::round`] must equal [`Stepper::round`]), step
     /// every active node, deliver, merge done/wake flags at the boundary,

@@ -8,7 +8,9 @@
 //! recorded history through the ordinary batch engines) must agree
 //! with the live automata on both the sequential and parallel engine.
 
-use dima::core::{ColoringService, Engine, HistoryEntry, ServeProtocol, ServiceConfig};
+use dima::core::{
+    checkpoint_crc, ColoringService, Engine, HistoryEntry, ServeProtocol, ServiceConfig,
+};
 use dima::graph::gen::erdos_renyi_gnm;
 use dima::graph::{Graph, VertexId};
 use dima::sim::ChurnEvent;
@@ -89,13 +91,22 @@ fn interrupted(
             journal.push_str(&ColoringService::journal_event_line(&ev));
         }
         let (seq, round) = svc.next_commit().expect("committable");
-        journal.push_str(&ColoringService::journal_commit_line(svc.history_len() + 1, seq, round));
+        journal.push_str(&ColoringService::journal_commit_line(
+            svc.epoch(),
+            svc.history_len() + 1,
+            seq,
+            round,
+        ));
         commit_and_settle(&mut svc);
         // Journal any watchdog escalations the repair recorded, exactly
         // as the CLI does when a tick reports one.
         for (i, entry) in svc.history().iter().enumerate().skip(h_written) {
             if let HistoryEntry::Recolor { round } = entry {
-                journal.push_str(&ColoringService::journal_recolor_line(i as u64 + 1, *round));
+                journal.push_str(&ColoringService::journal_recolor_line(
+                    svc.epoch(),
+                    i as u64 + 1,
+                    *round,
+                ));
             }
         }
         h_written = svc.history_len() as usize;
@@ -179,4 +190,300 @@ fn ec_snapshot_kill_restore_replay_is_bit_identical_across_fifty_seeds() {
 #[test]
 fn strong_snapshot_kill_restore_replay_is_bit_identical_across_fifty_seeds() {
     sweep(ServeProtocol::StrongColoring);
+}
+
+/// One session persisted as a checkpoint chain, mirroring the CLI's
+/// trigger logic exactly: a full snapshot anchors the chain, a delta
+/// checkpoint lands every `DELTA_EVERY` batches, and the history is
+/// compacted into a materialized base (journal and deltas reset) once
+/// it reaches `COMPACT_AFTER` entries at a settled point. With
+/// `crash_after = Some(b)` the in-memory service is dropped after batch
+/// `b` and recovered from the chain + journal tail.
+fn chain_session(
+    g0: &Graph,
+    cfg: &ServiceConfig,
+    n: u32,
+    rng_seed: u64,
+    batches: usize,
+    crash_after: Option<usize>,
+) -> ColoringService {
+    const COMPACT_AFTER: u64 = 3;
+    const DELTA_EVERY: usize = 2;
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut svc = ColoringService::new(g0, cfg.clone()).expect("service construction");
+    svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+    let mut base = svc.snapshot_text();
+    let mut deltas: Vec<String> = Vec::new();
+    let mut checkpointed_h = svc.history_len();
+    let mut parent_crc = checkpoint_crc(&base).expect("base CRC");
+    let mut journal = String::new();
+    let mut h_written = svc.history_len() as usize;
+    for b in 1..=batches {
+        for ev in stage_batch(&mut svc, &mut rng, n, 2) {
+            journal.push_str(&ColoringService::journal_event_line(&ev));
+        }
+        let (seq, round) = svc.next_commit().expect("committable");
+        journal.push_str(&ColoringService::journal_commit_line(
+            svc.epoch(),
+            svc.history_len() + 1,
+            seq,
+            round,
+        ));
+        commit_and_settle(&mut svc);
+        for (i, entry) in svc.history().iter().enumerate().skip(h_written) {
+            if let HistoryEntry::Recolor { round } = entry {
+                journal.push_str(&ColoringService::journal_recolor_line(
+                    svc.epoch(),
+                    i as u64 + 1,
+                    *round,
+                ));
+            }
+        }
+        h_written = svc.history_len() as usize;
+        if svc.history_len() >= COMPACT_AFTER {
+            svc.compact_history().expect("settled service compacts");
+            base = svc.base_text().expect("compacted base serializes");
+            deltas.clear();
+            checkpointed_h = 0;
+            parent_crc = checkpoint_crc(&base).expect("base CRC");
+            journal.clear();
+            h_written = 0;
+        } else if b % DELTA_EVERY == 0 {
+            let d = svc
+                .delta_text(checkpointed_h, deltas.len() as u64 + 1, parent_crc)
+                .expect("delta serializes");
+            parent_crc = checkpoint_crc(&d).expect("delta CRC");
+            checkpointed_h = svc.history_len();
+            deltas.push(d);
+            journal.clear();
+        }
+        if crash_after == Some(b) {
+            let epoch = svc.epoch();
+            drop(svc);
+            let refs: Vec<&str> = deltas.iter().map(String::as_str).collect();
+            let (recovered, report) =
+                ColoringService::restore_chain(&base, &refs, Some(&journal), Engine::Sequential)
+                    .expect("chain restore succeeds");
+            assert_eq!(report.fallback, None, "healthy chain must not fall back");
+            assert!(!report.torn_tail);
+            assert_eq!(recovered.epoch(), epoch, "restored epoch drifts");
+            svc = recovered;
+        }
+    }
+    svc
+}
+
+/// The compaction-era acceptance bar: incremental checkpoints and
+/// epoch-rebasing compaction enabled, a crash in the middle, and the
+/// recovered trajectory must stay bit-identical to the uninterrupted
+/// one across the 50-seed sweep.
+fn chain_sweep(protocol: ServeProtocol) {
+    for seed in 0..50u64 {
+        let n = 16 + (seed % 3) as usize * 4; // 16, 20, 24
+        let g0 = er(n, 2 * n, seed);
+        let cfg = ServiceConfig::new(protocol, seed.wrapping_mul(29).wrapping_add(7));
+        let rng_seed = seed.wrapping_mul(101).wrapping_add(3);
+        // Six batches: compaction triggers around batch 3 (epoch 1) and
+        // again near the end (epoch 2); the crash at batch 5 recovers
+        // through base + delta + journal tail.
+        let recovered = chain_session(&g0, &cfg, n as u32, rng_seed, 6, Some(5));
+        let control = chain_session(&g0, &cfg, n as u32, rng_seed, 6, None);
+        assert!(control.epoch() > 0, "seed {seed} ({protocol}): compaction never triggered");
+        assert_eq!(
+            recovered.coloring_hash(),
+            control.coloring_hash(),
+            "seed {seed} ({protocol}): chain-recovered hash diverges from control"
+        );
+        assert_eq!(
+            recovered.coloring(),
+            control.coloring(),
+            "seed {seed} ({protocol}): chain-recovered coloring diverges edge-by-edge"
+        );
+        assert_eq!(recovered.epoch(), control.epoch(), "seed {seed}: epoch drift");
+        assert_eq!(recovered.round(), control.round(), "seed {seed}: round drift");
+        assert_eq!(recovered.history(), control.history(), "seed {seed}: history drift");
+    }
+}
+
+#[test]
+fn ec_chain_restore_with_compaction_is_bit_identical_across_fifty_seeds() {
+    chain_sweep(ServeProtocol::EdgeColoring);
+}
+
+#[test]
+fn strong_chain_restore_with_compaction_is_bit_identical_across_fifty_seeds() {
+    chain_sweep(ServeProtocol::StrongColoring);
+}
+
+/// The corruption matrix: every artifact of a persisted chain — the
+/// materialized base, both deltas, and the journal — is truncated at
+/// every line boundary, cut mid-line, and bit-flipped in each region
+/// (header, body, CRC trailer). Every mutation must yield a typed
+/// error or a clean recovery to a verifiable prefix, never a panic;
+/// recovery from identical damage must be deterministic; and a
+/// recovered service must keep serving.
+#[test]
+fn corruption_matrix_yields_typed_errors_or_clean_recovery() {
+    let n = 16u32;
+    let g0 = er(16, 32, 90);
+    let cfg = ServiceConfig::new(ServeProtocol::EdgeColoring, 91);
+    let mut rng = SmallRng::seed_from_u64(92);
+    let mut svc = ColoringService::new(&g0, cfg).expect("service construction");
+    svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+    // Fold a few batches into a materialized (epoch 1) base, then grow
+    // a two-delta chain with a journal tail past it, ending on a
+    // staged-but-uncommitted event — every artifact kind is populated.
+    for _ in 0..3 {
+        stage_batch(&mut svc, &mut rng, n, 2);
+        commit_and_settle(&mut svc);
+    }
+    svc.compact_history().expect("settled service compacts");
+    let base = svc.base_text().expect("base serializes");
+    let base_crc = checkpoint_crc(&base).expect("base CRC");
+    stage_batch(&mut svc, &mut rng, n, 2);
+    commit_and_settle(&mut svc);
+    let h1 = svc.history_len();
+    let delta1 = svc.delta_text(0, 1, base_crc).expect("delta 1 serializes");
+    let d1_crc = checkpoint_crc(&delta1).expect("delta 1 CRC");
+    stage_batch(&mut svc, &mut rng, n, 2);
+    commit_and_settle(&mut svc);
+    let h2 = svc.history_len();
+    let delta2 = svc.delta_text(h1, 2, d1_crc).expect("delta 2 serializes");
+    let mut journal = String::new();
+    for ev in stage_batch(&mut svc, &mut rng, n, 2) {
+        journal.push_str(&ColoringService::journal_event_line(&ev));
+    }
+    let (seq, round) = svc.next_commit().expect("committable");
+    journal.push_str(&ColoringService::journal_commit_line(
+        svc.epoch(),
+        svc.history_len() + 1,
+        seq,
+        round,
+    ));
+    commit_and_settle(&mut svc);
+    for (i, entry) in svc.history().iter().enumerate().skip(h2 as usize) {
+        if let HistoryEntry::Recolor { round } = entry {
+            journal.push_str(&ColoringService::journal_recolor_line(
+                svc.epoch(),
+                i as u64 + 1,
+                *round,
+            ));
+        }
+    }
+    for ev in stage_batch(&mut svc, &mut rng, n, 1) {
+        journal.push_str(&ColoringService::journal_event_line(&ev));
+    }
+
+    let restore = |b: &str, d1: &str, d2: &str, j: &str| {
+        ColoringService::restore_chain(b, &[d1, d2], Some(j), Engine::Sequential)
+    };
+    let (pristine, rep) = restore(&base, &delta1, &delta2, &journal).expect("pristine chain");
+    assert_eq!(rep.fallback, None);
+    assert_eq!(pristine.coloring_hash(), svc.coloring_hash(), "pristine chain round-trips");
+
+    let artifacts: [(&str, &String); 4] =
+        [("base", &base), ("delta1", &delta1), ("delta2", &delta2), ("journal", &journal)];
+    let mut cases = 0usize;
+    let mut typed_errors = 0usize;
+    let mut recoveries = 0usize;
+    for (which, text) in artifacts {
+        let mut mutations: Vec<String> = Vec::new();
+        // Truncate at every line boundary, shortest first (the empty
+        // file is the k = 0 case).
+        let lines: Vec<&str> = text.lines().collect();
+        for k in 0..lines.len() {
+            let mut t = lines[..k].join("\n");
+            if k > 0 {
+                t.push('\n');
+            }
+            mutations.push(t);
+        }
+        // Mid-line cuts: a quarter and half of the raw bytes.
+        for frac in [4, 2] {
+            mutations
+                .push(String::from_utf8_lossy(&text.as_bytes()[..text.len() / frac]).into_owned());
+        }
+        // One flipped byte in the header, the body middle, and the CRC
+        // trailer.
+        let header_end = text.find('\n').unwrap_or(text.len());
+        for at in [header_end / 2, text.len() / 2, text.len().saturating_sub(5)] {
+            let mut bytes = text.clone().into_bytes();
+            bytes[at] ^= 0x08;
+            mutations.push(String::from_utf8_lossy(&bytes).into_owned());
+        }
+        for (mi, m) in mutations.iter().enumerate() {
+            cases += 1;
+            let (b, d1, d2, j) = match which {
+                "base" => (m.as_str(), delta1.as_str(), delta2.as_str(), journal.as_str()),
+                "delta1" => (base.as_str(), m.as_str(), delta2.as_str(), journal.as_str()),
+                "delta2" => (base.as_str(), delta1.as_str(), m.as_str(), journal.as_str()),
+                _ => (base.as_str(), delta1.as_str(), delta2.as_str(), m.as_str()),
+            };
+            match restore(b, d1, d2, j) {
+                Err(_) => typed_errors += 1,
+                Ok((mut r, _)) => {
+                    recoveries += 1;
+                    let (r2, _) = restore(b, d1, d2, j)
+                        .unwrap_or_else(|e| panic!("{which} #{mi}: second restore failed: {e}"));
+                    assert_eq!(
+                        r.coloring_hash(),
+                        r2.coloring_hash(),
+                        "{which} #{mi}: recovery is not deterministic"
+                    );
+                    r.run_to_quiescence(r.tick_budget())
+                        .unwrap_or_else(|e| panic!("{which} #{mi}: recovered service wedged: {e}"));
+                }
+            }
+        }
+    }
+    // The matrix must exercise both outcomes: damage the chain can
+    // route around (fallback, torn tails, stale prefixes) and damage
+    // it must refuse (a corrupt base).
+    assert!(typed_errors > 0, "no mutation produced a typed error ({cases} cases)");
+    assert!(recoveries > 0, "no mutation recovered cleanly ({cases} cases)");
+}
+
+/// Pooled restore pin: replaying a snapshot + journal on the worker
+/// pool must land on the same bits as the sequential replay, across
+/// randomized sessions (the property the `serve --threads N` restore
+/// path depends on).
+#[test]
+fn pooled_restore_is_bit_identical_to_sequential() {
+    for seed in 0..20u64 {
+        let protocol =
+            if seed % 2 == 0 { ServeProtocol::EdgeColoring } else { ServeProtocol::StrongColoring };
+        let n = 16usize;
+        let g0 = er(n, 2 * n, seed.wrapping_mul(7).wrapping_add(1));
+        let cfg = ServiceConfig::new(protocol, seed.wrapping_mul(13).wrapping_add(11));
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(41).wrapping_add(17));
+        let mut svc = ColoringService::new(&g0, cfg).expect("service construction");
+        svc.run_to_quiescence(svc.tick_budget()).expect("initial coloring");
+        stage_batch(&mut svc, &mut rng, n as u32, 2);
+        commit_and_settle(&mut svc);
+        let snapshot = svc.snapshot_text();
+        let mut journal = String::new();
+        for ev in stage_batch(&mut svc, &mut rng, n as u32, 2) {
+            journal.push_str(&ColoringService::journal_event_line(&ev));
+        }
+        let (seq, round) = svc.next_commit().expect("committable");
+        journal.push_str(&ColoringService::journal_commit_line(
+            svc.epoch(),
+            svc.history_len() + 1,
+            seq,
+            round,
+        ));
+        let (seq_svc, _) =
+            ColoringService::restore_with(&snapshot, Some(&journal), Engine::Sequential)
+                .expect("sequential restore");
+        let (par_svc, _) = ColoringService::restore_with(
+            &snapshot,
+            Some(&journal),
+            Engine::Parallel { threads: 2 },
+        )
+        .expect("pooled restore");
+        assert_eq!(par_svc.coloring_hash(), seq_svc.coloring_hash(), "seed {seed}: hash diverges");
+        assert_eq!(par_svc.coloring(), seq_svc.coloring(), "seed {seed}: coloring diverges");
+        assert_eq!(par_svc.history(), seq_svc.history(), "seed {seed}: history diverges");
+        assert_eq!(par_svc.round(), seq_svc.round(), "seed {seed}: round diverges");
+    }
 }
